@@ -1,0 +1,108 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * FIFO treatment — off vs linearized vs semidefinite-relaxed;
+//! * overlapping time windows vs disjoint windows (ratio 1.0);
+//! * BLP boundary tuning vs plain BFS balls;
+//! * ADMM iteration budget vs solve cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{bounds_for, estimate, BoundsConfig, EstimatorConfig, FifoMode};
+use domo_solver::Settings;
+use std::hint::black_box;
+
+fn ablation_fifo(c: &mut Criterion) {
+    let trace = bench_trace(21);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("ablation_fifo");
+    group.sample_size(10);
+    for (label, mode, window) in [
+        ("off", FifoMode::Off, 32usize),
+        ("linearized", FifoMode::Linearized, 32),
+        ("sdp", FifoMode::SdpRelaxation, 6),
+    ] {
+        let cfg = EstimatorConfig {
+            fifo_mode: mode,
+            window_packets: window,
+            ..EstimatorConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("estimate", label), &cfg, |b, cfg| {
+            b.iter(|| estimate(black_box(&view), cfg))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_window_overlap(c: &mut Criterion) {
+    let trace = bench_trace(22);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("ablation_window_overlap");
+    group.sample_size(10);
+    for (label, ratio) in [("overlapping", 0.5f64), ("disjoint", 1.0)] {
+        let cfg = EstimatorConfig {
+            effective_window_ratio: ratio,
+            ..EstimatorConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("estimate", label), &cfg, |b, cfg| {
+            b.iter(|| estimate(black_box(&view), cfg))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_blp(c: &mut Criterion) {
+    let trace = bench_trace(23);
+    let view = bench_view(&trace);
+    let targets: Vec<usize> = (0..view.num_vars()).step_by(40).collect();
+    let mut group = c.benchmark_group("ablation_blp");
+    group.sample_size(10);
+    for (label, use_blp) in [("bfs_only", false), ("blp_refined", true)] {
+        let cfg = BoundsConfig {
+            use_blp,
+            graph_cut_size: 100,
+            ..BoundsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bounds", label), &cfg, |b, cfg| {
+            b.iter(|| bounds_for(black_box(&view), cfg, &targets))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_admm_budget(c: &mut Criterion) {
+    let trace = bench_trace(24);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("ablation_admm_budget");
+    group.sample_size(10);
+    for max_iterations in [250usize, 1000, 2500] {
+        let cfg = EstimatorConfig {
+            solver: Settings {
+                max_iterations,
+                ..EstimatorConfig::default().solver
+            },
+            ..EstimatorConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("estimate", max_iterations),
+            &cfg,
+            |b, cfg| b.iter(|| estimate(black_box(&view), cfg)),
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = ablation_fifo, ablation_window_overlap, ablation_blp, ablation_admm_budget
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 10 — the graph cut size. Larger sub-graphs tighten bounds but
+//! cost more per LP; Criterion measures the per-bound cost curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{bounds_for, BoundsConfig};
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    let trace = bench_trace(10);
+    let view = bench_view(&trace);
+    let targets: Vec<usize> = (0..view.num_vars()).step_by(40).collect();
+    let mut group = c.benchmark_group("fig10_cut_size");
+    group.sample_size(10);
+    for cut in [25usize, 50, 100, 200] {
+        let cfg = BoundsConfig {
+            graph_cut_size: cut,
+            ..BoundsConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("bounds", cut), &cfg, |b, cfg| {
+            b.iter(|| bounds_for(black_box(&view), cfg, &targets))
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 6 — the headline comparison: Domo's estimator and bound
+//! solver against MNT and MessageTracing on one trace. Criterion
+//! measures the PC-side cost of each pipeline; the printed accuracy
+//! numbers come from `domo-exp fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domo_baselines::{message_tracing, mnt};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{bounds_for, estimate, BoundsConfig, EstimatorConfig};
+use std::hint::black_box;
+
+fn fig6(c: &mut Criterion) {
+    let trace = bench_trace(6);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    group.bench_function("domo_estimate", |b| {
+        b.iter(|| estimate(black_box(&view), &EstimatorConfig::default()))
+    });
+
+    let targets: Vec<usize> = (0..view.num_vars()).step_by(17).collect();
+    group.bench_function("domo_bounds_50targets", |b| {
+        b.iter(|| bounds_for(black_box(&view), &BoundsConfig::default(), &targets))
+    });
+
+    group.bench_function("mnt_full", |b| {
+        b.iter(|| mnt::run_mnt(black_box(&trace), &view, &mnt::MntConfig::default()))
+    });
+
+    group.bench_function("message_tracing_order", |b| {
+        b.iter(|| message_tracing::reconstruct_order(black_box(&trace), &view))
+    });
+
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = fig6
+}
+criterion_main!(benches);

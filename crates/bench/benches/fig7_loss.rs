@@ -1,0 +1,46 @@
+//! Figure 7 — reconstruction under extra packet loss. Criterion tracks
+//! how the estimator's cost reacts as the trace thins (fewer packets,
+//! but also fewer constraints per unknown).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{estimate, EstimatorConfig};
+use domo_util::rng::Xoshiro256pp;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let trace = bench_trace(7);
+    let mut group = c.benchmark_group("fig7_loss");
+    group.sample_size(10);
+    for loss_pct in [0u32, 10, 20, 30] {
+        let lossy = if loss_pct == 0 {
+            trace.clone()
+        } else {
+            let mut rng = Xoshiro256pp::seed_from_u64(7000 + u64::from(loss_pct));
+            trace.with_extra_loss(f64::from(loss_pct) / 100.0, &mut rng)
+        };
+        let view = bench_view(&lossy);
+        group.bench_with_input(
+            BenchmarkId::new("estimate", format!("{loss_pct}%")),
+            &view,
+            |b, view| b.iter(|| estimate(black_box(view), &EstimatorConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 8 — network scale. Criterion tracks the PC-side cost of the
+//! whole pipeline as the deployment grows (trace durations are scaled
+//! down so each point stays benchable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domo_bench::{bench_trace_scaled, bench_view};
+use domo_core::{estimate, EstimatorConfig};
+use domo_net::{run_simulation, NetworkConfig};
+use std::hint::black_box;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scale");
+    group.sample_size(10);
+
+    for nodes in [100usize, 225, 400] {
+        let trace = bench_trace_scaled(nodes, 8);
+        let view = bench_view(&trace);
+        group.bench_with_input(BenchmarkId::new("estimate", nodes), &view, |b, view| {
+            b.iter(|| estimate(black_box(view), &EstimatorConfig::default()))
+        });
+    }
+
+    // The simulator itself scales too; measure it separately so the
+    // reconstruction numbers above stay clean.
+    for nodes in [100usize, 225] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", nodes),
+            &nodes,
+            |b, &nodes| {
+                let mut cfg = NetworkConfig::paper_scale(nodes, 8);
+                cfg.duration = domo_util::time::SimDuration::from_secs(30);
+                b.iter(|| run_simulation(black_box(&cfg)))
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 9 — the effective time window ratio. The paper's trade-off:
+//! larger ratios keep more of each window (fewer windows, faster) at a
+//! small accuracy cost. Criterion measures the speed side; `domo-exp
+//! fig9` prints the accuracy side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{estimate, EstimatorConfig};
+use std::hint::black_box;
+
+fn fig9(c: &mut Criterion) {
+    let trace = bench_trace(9);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("fig9_window_ratio");
+    group.sample_size(10);
+    for ratio in [0.3f64, 0.5, 0.7, 0.9] {
+        let cfg = EstimatorConfig {
+            effective_window_ratio: ratio,
+            ..EstimatorConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("estimate", format!("ratio{ratio}")),
+            &cfg,
+            |b, cfg| b.iter(|| estimate(black_box(&view), cfg)),
+        );
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = fig9
+}
+criterion_main!(benches);

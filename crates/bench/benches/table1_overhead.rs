@@ -1,0 +1,65 @@
+//! Table I — overhead. The message overhead is static (4 bytes); what
+//! can be *measured* is the node-side cost of Algorithm 1 (folded into
+//! the simulator's per-packet processing) and the PC-side cost per
+//! reconstructed delay. This bench measures the end-to-end simulation
+//! throughput with Algorithm 1 running on every node, and the PC-side
+//! preprocessing (trace → constraint systems).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{build_constraints, propagate, ConstraintOptions, TraceView};
+use domo_net::{run_simulation, NetworkConfig};
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_overhead");
+    group.sample_size(10);
+
+    // Node side: a full simulated minute of 25 nodes running
+    // Algorithm 1 (sum-of-delays recording) on every transmission.
+    group.bench_function("node_side_simulation", |b| {
+        let cfg = NetworkConfig::small(25, 111);
+        b.iter(|| run_simulation(black_box(&cfg)))
+    });
+
+    // PC side: the data preprocessor (view construction + interval
+    // propagation + constraint construction), the paper's Perl stage.
+    let trace = bench_trace(11);
+    group.bench_function("pc_side_preprocess", |b| {
+        b.iter(|| {
+            let view = TraceView::new(black_box(&trace).packets.clone());
+            let opts = ConstraintOptions::default();
+            let intervals = propagate(&view, opts.omega_ms, opts.propagation_rounds);
+            let subset: Vec<usize> = (0..view.num_packets()).collect();
+            build_constraints(&view, &subset, &intervals, &opts)
+        })
+    });
+
+    // Candidate-set construction alone (the S(p) bookkeeping).
+    let view = bench_view(&trace);
+    group.bench_function("candidate_sets", |b| {
+        b.iter(|| {
+            (0..view.num_packets())
+                .filter_map(|p| view.candidate_sets(black_box(p)))
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+
+/// Short measurement windows keep the full-workspace bench run in
+/// minutes; per-group `sample_size` calls below still apply.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(800))
+        .sample_size(10)
+}
+criterion_group! {
+    name = benches;
+    config = fast_criterion();
+    targets = table1
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Criterion benches must not pay simulation cost inside the timing
+//! loop; these helpers build deterministic traces and views once per
+//! bench target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use domo_core::TraceView;
+use domo_net::{run_simulation, NetworkConfig, NetworkTrace};
+
+/// A small but representative benchmark trace (25 nodes, one simulated
+/// minute, ≈ 300 packets / 800 unknowns).
+pub fn bench_trace(seed: u64) -> NetworkTrace {
+    run_simulation(&NetworkConfig::small(25, seed))
+}
+
+/// A benchmark trace at a chosen node count, duration scaled to keep
+/// packet counts comparable.
+pub fn bench_trace_scaled(num_nodes: usize, seed: u64) -> NetworkTrace {
+    let mut cfg = NetworkConfig::paper_scale(num_nodes, seed);
+    cfg.duration = domo_util::time::SimDuration::from_secs(match num_nodes {
+        n if n <= 100 => 60,
+        n if n <= 225 => 30,
+        _ => 20,
+    });
+    run_simulation(&cfg)
+}
+
+/// The view over a trace (what the PC-side pipeline consumes).
+pub fn bench_view(trace: &NetworkTrace) -> TraceView {
+    TraceView::new(trace.packets.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty_and_deterministic() {
+        let a = bench_trace(1);
+        let b = bench_trace(1);
+        assert_eq!(a.packets, b.packets);
+        assert!(a.num_unknowns() > 100);
+        let v = bench_view(&a);
+        assert_eq!(v.num_packets(), a.packets.len());
+        let s = bench_trace_scaled(100, 1);
+        assert!(s.stats.delivered > 100);
+    }
+}

@@ -1,0 +1,36 @@
+//! Reimplementations of the two comparators the Domo paper evaluates
+//! against (§VI), plus the static overhead rows of Table I.
+//!
+//! * [`mnt`] — MNT (Keller et al., SenSys'12): per-hop arrival brackets
+//!   from local anchor packets, improved by FIFO correlation; estimated
+//!   values are bracket midpoints (the paper's §VI.A methodology).
+//! * [`message_tracing`] — MessageTracing (Sundaram & Eugster, DSN'13):
+//!   local send/receive logs merged into a happens-before DAG and
+//!   linearized; scored by average displacement against the true event
+//!   order.
+//! * [`overhead`] — the static rows of Table I.
+//!
+//! # Examples
+//!
+//! ```
+//! use domo_baselines::mnt::{run_mnt, MntConfig};
+//! use domo_core::view::TraceView;
+//!
+//! let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 1));
+//! let view = TraceView::new(trace.packets.clone());
+//! let result = run_mnt(&trace, &view, &MntConfig::default());
+//! assert_eq!(result.lb.len(), view.num_vars());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message_tracing;
+pub mod mnt;
+pub mod overhead;
+
+pub use message_tracing::{
+    order_by_estimates, reconstruct_order, truth_order, ArrivalEvent, TracingOrder,
+};
+pub use mnt::{run_mnt, AnchorOracle, MntConfig, MntResult};
+pub use overhead::{table_rows, OverheadClass, OverheadRow};

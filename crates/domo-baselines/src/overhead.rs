@@ -1,0 +1,120 @@
+//! The static overhead accounting behind the paper's Table I.
+//!
+//! Message overhead is a property of the packet formats; node memory and
+//! computation classes come from the papers' implementations. PC-side
+//! computation is *measured* by the experiment harness; this module only
+//! carries the static rows.
+
+/// Qualitative overhead classes used by Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadClass {
+    /// Negligible (a few arithmetic operations / bytes).
+    Low,
+    /// Noticeable but tractable on commodity hardware.
+    Modest,
+    /// A real resource burden.
+    High,
+}
+
+impl std::fmt::Display for OverheadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverheadClass::Low => write!(f, "low"),
+            OverheadClass::Modest => write!(f, "modest"),
+            OverheadClass::High => write!(f, "high"),
+        }
+    }
+}
+
+/// One approach's overhead row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverheadRow {
+    /// Approach name.
+    pub approach: &'static str,
+    /// Bytes added to every data packet.
+    pub message_bytes: u32,
+    /// Node-side computation class.
+    pub node_computation: OverheadClass,
+    /// PC-side computation class.
+    pub pc_computation: OverheadClass,
+    /// Node-side memory class.
+    pub node_memory: OverheadClass,
+}
+
+/// Domo's row: 2-byte sum-of-delays + 2-byte delay timestamp.
+pub fn domo_row() -> OverheadRow {
+    OverheadRow {
+        approach: "Domo",
+        message_bytes: 4,
+        node_computation: OverheadClass::Low,
+        pc_computation: OverheadClass::Modest,
+        node_memory: OverheadClass::Low,
+    }
+}
+
+/// MNT's row: 2-byte delay timestamp + 2-byte first-hop receiver id.
+pub fn mnt_row() -> OverheadRow {
+    OverheadRow {
+        approach: "MNT",
+        message_bytes: 4,
+        node_computation: OverheadClass::Low,
+        pc_computation: OverheadClass::Modest,
+        node_memory: OverheadClass::Low,
+    }
+}
+
+/// MessageTracing's row: no message overhead, but every send/receive is
+/// written to local storage.
+pub fn message_tracing_row() -> OverheadRow {
+    OverheadRow {
+        approach: "MsgTracing",
+        message_bytes: 0,
+        node_computation: OverheadClass::Low,
+        pc_computation: OverheadClass::Low,
+        node_memory: OverheadClass::High,
+    }
+}
+
+/// All three rows in the paper's order.
+pub fn table_rows() -> Vec<OverheadRow> {
+    vec![domo_row(), mnt_row(), message_tracing_row()]
+}
+
+/// Measures MessageTracing's actual per-node log volume on a trace
+/// (bytes, assuming 6 bytes per logged event: 2-byte origin, 4-byte
+/// sequence number).
+pub fn message_tracing_log_bytes(trace: &domo_net::NetworkTrace) -> Vec<usize> {
+    trace.node_logs.iter().map(|log| log.len() * 6).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_the_paper() {
+        let rows = table_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].message_bytes, 4);
+        assert_eq!(rows[1].message_bytes, 4);
+        assert_eq!(rows[2].message_bytes, 0);
+        assert_eq!(rows[2].node_memory, OverheadClass::High);
+        assert_eq!(rows[0].pc_computation, OverheadClass::Modest);
+    }
+
+    #[test]
+    fn classes_render() {
+        assert_eq!(OverheadClass::Low.to_string(), "low");
+        assert_eq!(OverheadClass::Modest.to_string(), "modest");
+        assert_eq!(OverheadClass::High.to_string(), "high");
+    }
+
+    #[test]
+    fn log_bytes_scale_with_traffic() {
+        let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(16, 71));
+        let bytes = message_tracing_log_bytes(&trace);
+        assert_eq!(bytes.len(), 16);
+        // Relaying nodes log plenty.
+        assert!(bytes.iter().sum::<usize>() > 1000);
+    }
+}

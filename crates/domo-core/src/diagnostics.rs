@@ -1,0 +1,217 @@
+//! Introspection over a trace's constraint system.
+//!
+//! "Why is the reconstruction good/bad on this trace?" is answered by
+//! structure, not magic: how many unknowns, how dense the constraints,
+//! what fraction of FIFO pairs the ordering oracle could decide, how
+//! wide the intervals start out. This module computes those numbers in
+//! one pass — the repo's experiment harness prints them, and users
+//! triaging their own deployments' traces can too.
+
+use crate::constraints::{build_constraints, ConstraintKind, ConstraintOptions};
+use crate::interval::propagate;
+use crate::view::TraceView;
+
+/// Structural statistics of a trace's constraint system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDiagnostics {
+    /// Packets in the view.
+    pub packets: usize,
+    /// Unknown arrival times.
+    pub unknowns: usize,
+    /// Mean path length (hops, including source and sink).
+    pub mean_path_len: f64,
+    /// Order rows emitted.
+    pub order_rows: usize,
+    /// Decided FIFO rows emitted (arrival + departure).
+    pub fifo_rows: usize,
+    /// FIFO pairs the oracle could not decide.
+    pub undecided_pairs: usize,
+    /// Fraction of FIFO pairs decided (1.0 when no pairs exist).
+    pub decided_ratio: f64,
+    /// Guaranteed sum rows (7) emitted.
+    pub sum_lower_rows: usize,
+    /// Loss-sensitive sum rows (6) emitted after pruning.
+    pub sum_upper_rows: usize,
+    /// Packets whose sum constraints were skipped (no anchor or a
+    /// sequence gap).
+    pub unanchored_packets: usize,
+    /// Mean initial interval width (ms) after propagation.
+    pub mean_interval_width_ms: f64,
+    /// Mean constraint rows touching each unknown.
+    pub rows_per_unknown: f64,
+}
+
+impl SystemDiagnostics {
+    /// Renders a compact text block.
+    pub fn render(&self) -> String {
+        format!(
+            "constraint system: {} packets, {} unknowns (mean path {:.1} hops)\n\
+             rows: {} order, {} fifo (decided {:.1}% of {} pairs), {} sum-lower, {} sum-upper\n\
+             anchors: {} packets without usable S(p); intervals avg {:.2} ms wide; \
+             {:.1} rows/unknown\n",
+            self.packets,
+            self.unknowns,
+            self.mean_path_len,
+            self.order_rows,
+            self.fifo_rows,
+            100.0 * self.decided_ratio,
+            self.fifo_rows / 2 + self.undecided_pairs,
+            self.sum_lower_rows,
+            self.sum_upper_rows,
+            self.unanchored_packets,
+            self.mean_interval_width_ms,
+            self.rows_per_unknown,
+        )
+    }
+}
+
+/// Computes the diagnostics for a full trace view.
+///
+/// # Examples
+///
+/// ```
+/// use domo_core::{diagnostics::diagnose, ConstraintOptions, TraceView};
+///
+/// let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 1));
+/// let view = TraceView::new(trace.packets.clone());
+/// let d = diagnose(&view, &ConstraintOptions::default());
+/// assert_eq!(d.packets, view.num_packets());
+/// assert!(d.decided_ratio > 0.5);
+/// ```
+pub fn diagnose(view: &TraceView, opts: &ConstraintOptions) -> SystemDiagnostics {
+    let intervals = propagate(view, opts.omega_ms, opts.propagation_rounds);
+    let all: Vec<usize> = (0..view.num_packets()).collect();
+    let system = build_constraints(view, &all, &intervals, opts);
+
+    let unknowns = view.num_vars();
+    let mean_path_len = if view.num_packets() == 0 {
+        0.0
+    } else {
+        view.packets().iter().map(|p| p.path.len()).sum::<usize>() as f64
+            / view.num_packets() as f64
+    };
+
+    let order_rows = system.count(ConstraintKind::Order);
+    let fifo_rows = system.count(ConstraintKind::FifoArrival)
+        + system.count(ConstraintKind::FifoDeparture);
+    let undecided = system.undecided_pairs.len();
+    let decided_pairs = fifo_rows / 2;
+    let total_pairs = decided_pairs + undecided;
+    let decided_ratio = if total_pairs == 0 {
+        1.0
+    } else {
+        decided_pairs as f64 / total_pairs as f64
+    };
+
+    let unanchored = (0..view.num_packets())
+        .filter(|&p| view.candidate_sets(p).is_none())
+        .count();
+
+    let mean_interval_width_ms = if unknowns == 0 {
+        0.0
+    } else {
+        (0..unknowns).map(|v| intervals.width(v)).sum::<f64>() / unknowns as f64
+    };
+
+    let touches: usize = system.rows.iter().map(|r| r.expr.len()).sum();
+    let rows_per_unknown = if unknowns == 0 {
+        0.0
+    } else {
+        touches as f64 / unknowns as f64
+    };
+
+    SystemDiagnostics {
+        packets: view.num_packets(),
+        unknowns,
+        mean_path_len,
+        order_rows,
+        fifo_rows,
+        undecided_pairs: undecided,
+        decided_ratio,
+        sum_lower_rows: system.count(ConstraintKind::SumLower),
+        sum_upper_rows: system.count(ConstraintKind::SumUpper),
+        unanchored_packets: unanchored,
+        mean_interval_width_ms,
+        rows_per_unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_net::{run_simulation, NetworkConfig};
+
+    fn diag(seed: u64) -> SystemDiagnostics {
+        let trace = run_simulation(&NetworkConfig::small(25, seed));
+        let view = TraceView::new(trace.packets.clone());
+        diagnose(&view, &ConstraintOptions::default())
+    }
+
+    #[test]
+    fn counts_are_internally_consistent() {
+        let d = diag(401);
+        assert!(d.packets > 100);
+        assert!(d.unknowns > 100);
+        assert!(d.mean_path_len > 2.0);
+        assert!(d.order_rows >= d.packets, "≥ one order row per packet hop");
+        assert_eq!(d.fifo_rows % 2, 0, "fifo rows come in pairs");
+        assert!(d.decided_ratio > 0.0 && d.decided_ratio <= 1.0);
+        assert!(d.rows_per_unknown > 1.0);
+        assert!(d.mean_interval_width_ms > 0.0);
+    }
+
+    #[test]
+    fn loss_increases_unanchored_packets() {
+        let trace = run_simulation(&NetworkConfig::small(25, 402));
+        let view = TraceView::new(trace.packets.clone());
+        let clean = diagnose(&view, &ConstraintOptions::default());
+        let mut rng = domo_util::rng::Xoshiro256pp::seed_from_u64(1);
+        let lossy_trace = trace.with_extra_loss(0.3, &mut rng);
+        let lossy_view = TraceView::new(lossy_trace.packets.clone());
+        let lossy = diagnose(&lossy_view, &ConstraintOptions::default());
+        // Sequence gaps from removed local packets disable anchors.
+        let clean_frac = clean.unanchored_packets as f64 / clean.packets as f64;
+        let lossy_frac = lossy.unanchored_packets as f64 / lossy.packets as f64;
+        assert!(
+            lossy_frac > clean_frac,
+            "loss should unanchor more packets: {clean_frac:.3} → {lossy_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn congestion_lowers_decided_ratio() {
+        let mut cfg = NetworkConfig::small(16, 403);
+        cfg.traffic_period = domo_util::time::SimDuration::from_secs(1);
+        cfg.traffic_jitter = domo_util::time::SimDuration::from_millis(300);
+        let congested = {
+            let trace = run_simulation(&cfg);
+            let view = TraceView::new(trace.packets.clone());
+            diagnose(&view, &ConstraintOptions::default())
+        };
+        let calm = diag(403);
+        assert!(
+            congested.decided_ratio < calm.decided_ratio,
+            "queue overlap must create undecided pairs: {:.3} vs {:.3}",
+            congested.decided_ratio,
+            calm.decided_ratio
+        );
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let d = diag(404);
+        let text = d.render();
+        assert!(text.contains("unknowns"));
+        assert!(text.contains("fifo"));
+        assert!(text.contains("rows/unknown"));
+    }
+
+    #[test]
+    fn empty_view_is_all_zeros() {
+        let view = TraceView::new(Vec::new());
+        let d = diagnose(&view, &ConstraintOptions::default());
+        assert_eq!(d.packets, 0);
+        assert_eq!(d.unknowns, 0);
+        assert_eq!(d.decided_ratio, 1.0);
+    }
+}

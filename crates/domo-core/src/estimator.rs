@@ -1,0 +1,617 @@
+//! Estimated values of the unknown arrival times (paper §IV.B).
+//!
+//! Domo picks, among all assignments satisfying the constraints, the one
+//! minimizing the summed variance of per-hop delays of temporally-close
+//! packets at each node — a convex QP once the FIFO constraints are
+//! linearized or semidefinite-relaxed. To scale to full traces the
+//! solve runs over **overlapping time windows**: each window is solved
+//! independently and only the estimates away from the window boundary
+//! are kept (the *effective time window ratio* of §IV.B, Figure 3).
+//!
+//! Two FIFO treatments are provided:
+//!
+//! * [`FifoMode::Linearized`] — pairs whose order the interval oracle
+//!   decides become linear rows; undecided pairs are dropped. Fast; the
+//!   default for large traces.
+//! * [`FifoMode::SdpRelaxation`] — the paper's relaxation: the window's
+//!   unknowns `u` are lifted to `Z = [[U, u], [uᵀ, 1]] ⪰ 0`, the
+//!   variance objective becomes linear in `(U, u)`, and every undecided
+//!   FIFO product constraint becomes linear in `U`. Exact per the paper
+//!   but cubically more expensive; intended for small windows.
+
+use crate::constraints::{
+    build_constraints, ConstraintKind, ConstraintOptions, ConstraintSystem, FifoPair,
+};
+use crate::expr::LinExpr;
+use crate::interval::{propagate, Intervals};
+use crate::lowering::LocalProblem;
+use crate::view::TraceView;
+use domo_solver::svec::svec_index;
+use domo_solver::{solve_warm, QpBuilder, Settings};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// How FIFO constraints enter the optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoMode {
+    /// Ignore FIFO constraints entirely (ablation).
+    Off,
+    /// Linear rows for decided pairs; undecided pairs dropped.
+    Linearized,
+    /// Decided pairs linear; undecided pairs via the paper's
+    /// semidefinite lifting of the whole window.
+    SdpRelaxation,
+}
+
+/// Configuration of the windowed estimator.
+#[derive(Debug, Clone)]
+pub struct EstimatorConfig {
+    /// Constraint-construction options.
+    pub constraints: ConstraintOptions,
+    /// FIFO treatment.
+    pub fifo_mode: FifoMode,
+    /// Packets per window.
+    pub window_packets: usize,
+    /// Fraction of each window whose estimates are kept (§IV.B; 0.5 in
+    /// the paper's implementation).
+    pub effective_window_ratio: f64,
+    /// Only packet pairs generated within ε of each other enter the
+    /// variance objective (§IV.B).
+    pub epsilon_ms: f64,
+    /// Each pass-through is paired with at most this many successors in
+    /// the objective (keeps the QP sparse).
+    pub pairs_per_packet: usize,
+    /// Tiny pull toward the interval midpoint; regularizes windows with
+    /// few objective terms.
+    pub anchor_weight: f64,
+    /// Windows with more unknowns than this fall back to the linearized
+    /// FIFO treatment even in [`FifoMode::SdpRelaxation`].
+    pub max_sdp_unknowns: usize,
+    /// ADMM settings.
+    pub solver: Settings,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self {
+            constraints: ConstraintOptions::default(),
+            fifo_mode: FifoMode::Linearized,
+            window_packets: 48,
+            effective_window_ratio: 0.5,
+            epsilon_ms: 30_000.0,
+            pairs_per_packet: 4,
+            anchor_weight: 1e-4,
+            max_sdp_unknowns: 24,
+            solver: Settings {
+                max_iterations: 2500,
+                eps_abs: 1e-4,
+                eps_rel: 1e-5,
+                ..Settings::default()
+            },
+        }
+    }
+}
+
+/// Execution statistics of one estimation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EstimatorStats {
+    /// Windows solved.
+    pub windows: usize,
+    /// Windows solved with the semidefinite lifting.
+    pub sdp_windows: usize,
+    /// Windows re-solved without the loss-sensitive upper sum rows.
+    pub relaxed_retries: usize,
+    /// Windows that never reached tolerance (midpoint fallback used).
+    pub unsolved_windows: usize,
+    /// Total ADMM iterations.
+    pub total_iterations: usize,
+    /// Wall-clock solver time.
+    pub solve_time: Duration,
+}
+
+/// Estimated arrival times, indexed like [`TraceView::vars`].
+#[derive(Debug, Clone)]
+pub struct Estimates {
+    /// Per-variable estimates (ms, global axis); `None` only if the
+    /// variable's packet never fell in a commit zone (cannot happen for
+    /// full-trace runs).
+    pub times_ms: Vec<Option<f64>>,
+    /// Run statistics.
+    pub stats: EstimatorStats,
+}
+
+impl Estimates {
+    /// The estimate for a variable, if committed.
+    pub fn time_of(&self, var: usize) -> Option<f64> {
+        self.times_ms.get(var).copied().flatten()
+    }
+}
+
+/// Runs the windowed estimator over the whole trace view.
+///
+/// # Panics
+///
+/// Panics if `effective_window_ratio` is outside `(0, 1]` or
+/// `window_packets == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use domo_core::{estimator::{estimate, EstimatorConfig}, view::TraceView};
+///
+/// let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(16, 1));
+/// let view = TraceView::new(trace.packets.clone());
+/// let est = estimate(&view, &EstimatorConfig::default());
+/// assert_eq!(est.times_ms.len(), view.num_vars());
+/// ```
+pub fn estimate(view: &TraceView, cfg: &EstimatorConfig) -> Estimates {
+    assert!(
+        cfg.effective_window_ratio > 0.0 && cfg.effective_window_ratio <= 1.0,
+        "effective window ratio must be in (0, 1]"
+    );
+    assert!(cfg.window_packets > 0, "window must hold at least one packet");
+
+    let intervals = propagate(view, cfg.constraints.omega_ms, cfg.constraints.propagation_rounds);
+    let mut times_ms: Vec<Option<f64>> = vec![None; view.num_vars()];
+    let mut stats = EstimatorStats::default();
+
+    // Packets in generation order; windows slide over this order.
+    let mut order: Vec<usize> = (0..view.num_packets()).collect();
+    order.sort_by_key(|&i| (view.packet(i).gen_time, view.packet(i).pid));
+
+    let n = order.len();
+    if n == 0 {
+        return Estimates { times_ms, stats };
+    }
+    let w = cfg.window_packets.min(n);
+    let keep = ((w as f64 * cfg.effective_window_ratio).round() as usize).clamp(1, w);
+    let lead = (w - keep) / 2;
+
+    let mut next_commit = 0usize;
+    let mut start = 0usize;
+    while next_commit < n {
+        let end = (start + w).min(n);
+        let window: Vec<usize> = order[start..end].to_vec();
+        // Commit zone: the middle `keep` of the window, stretched to the
+        // trace edges for the first and last windows.
+        let commit_hi = if end == n { n } else { (start + lead + keep).min(n) };
+        let commit: Vec<usize> = order[next_commit..commit_hi].to_vec();
+
+        solve_window(view, cfg, &intervals, &window, &commit, &mut times_ms, &mut stats);
+
+        next_commit = commit_hi;
+        start += keep;
+        stats.windows += 1;
+    }
+
+    Estimates { times_ms, stats }
+}
+
+/// The variance-objective terms (paper Eq. 8) among `subset`: one
+/// squared delay difference per close-in-time pair at each shared
+/// forwarder.
+pub(crate) fn variance_terms(
+    view: &TraceView,
+    subset: &[usize],
+    epsilon_ms: f64,
+    pairs_per_packet: usize,
+) -> Vec<LinExpr> {
+    let mut mask = vec![false; view.num_packets()];
+    for &p in subset {
+        mask[p] = true;
+    }
+    let mut terms = Vec::new();
+    for node in view.forwarding_nodes().collect::<Vec<_>>() {
+        let mut entries: Vec<(usize, usize)> = view
+            .passthroughs(node)
+            .iter()
+            .copied()
+            .filter(|&(p, _)| mask[p])
+            .collect();
+        if entries.len() < 2 {
+            continue;
+        }
+        entries.sort_by_key(|&(p, _)| (view.packet(p).gen_time, view.packet(p).pid));
+        for i in 0..entries.len() {
+            let (pi, hi) = entries[i];
+            let gen_i = TraceView::ms(view.packet(pi).gen_time);
+            let mut paired = 0;
+            for &(pj, hj) in entries.iter().skip(i + 1) {
+                if paired >= pairs_per_packet {
+                    break;
+                }
+                let gen_j = TraceView::ms(view.packet(pj).gen_time);
+                if (gen_j - gen_i).abs() > epsilon_ms {
+                    break;
+                }
+                let diff = view.delay_expr(pi, hi).sub(&view.delay_expr(pj, hj));
+                if diff.len() > 0 {
+                    terms.push(diff);
+                }
+                paired += 1;
+            }
+        }
+    }
+    terms
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_window(
+    view: &TraceView,
+    cfg: &EstimatorConfig,
+    intervals: &Intervals,
+    window: &[usize],
+    commit: &[usize],
+    times_ms: &mut [Option<f64>],
+    stats: &mut EstimatorStats,
+) {
+    let mut system = build_constraints(view, window, intervals, &cfg.constraints);
+
+    // Local variable space: the window packets' own unknowns only. Rows
+    // that reference foreign variables (candidate-set sums reaching
+    // outside the window) are soundly relaxed against the intervals —
+    // importing them verbatim would balloon the KKT system on dense
+    // traces.
+    let mut vars: Vec<usize> = Vec::new();
+    for &p in window {
+        let len = view.packet(p).path.len();
+        for hop in 1..len.saturating_sub(1) {
+            if let crate::view::TimeRef::Var(v) = view.time_ref(p, hop) {
+                vars.push(v);
+            }
+        }
+    }
+    vars.sort_unstable();
+    vars.dedup();
+    let mut in_window = vec![false; view.num_vars()];
+    for &v in &vars {
+        in_window[v] = true;
+    }
+    system.rows = system
+        .rows
+        .iter()
+        .filter_map(|row| {
+            match crate::constraints::restrict_row_to(row, &in_window, intervals) {
+                crate::constraints::RowRestriction::Inside => Some(row.clone()),
+                crate::constraints::RowRestriction::Relaxed(r) => Some(r),
+                crate::constraints::RowRestriction::Vacuous => None,
+            }
+        })
+        .collect();
+
+    let t_ref = window
+        .iter()
+        .map(|&p| TraceView::ms(view.packet(p).gen_time))
+        .fold(f64::INFINITY, f64::min);
+    let local = LocalProblem::new(&vars, t_ref);
+    let objective = variance_terms(view, window, cfg.epsilon_ms, cfg.pairs_per_packet);
+
+    let use_sdp = cfg.fifo_mode == FifoMode::SdpRelaxation
+        && !system.undecided_pairs.is_empty()
+        && local.num_vars() <= cfg.max_sdp_unknowns;
+
+    let solution = if use_sdp {
+        stats.sdp_windows += 1;
+        attempt(view, cfg, intervals, &local, &system, &objective, true, false, stats)
+    } else {
+        attempt(view, cfg, intervals, &local, &system, &objective, false, false, stats)
+    };
+
+    // Fallback ladder: drop the loss-sensitive upper sum rows, then give
+    // up and use interval midpoints.
+    let solution = match solution {
+        Some(x) => Some(x),
+        None => {
+            stats.relaxed_retries += 1;
+            attempt(view, cfg, intervals, &local, &system, &objective, use_sdp, true, stats)
+        }
+    };
+
+    let committed_vars: Vec<usize> = commit
+        .iter()
+        .flat_map(|&p| {
+            let len = view.packet(p).path.len();
+            (1..len.saturating_sub(1)).filter_map(move |hop| match view.time_ref(p, hop) {
+                crate::view::TimeRef::Var(v) => Some(v),
+                crate::view::TimeRef::Known(_) => None,
+            })
+        })
+        .collect();
+
+    match solution {
+        Some(x) => {
+            for v in committed_vars {
+                let lv = local.local(v).expect("window vars include commit vars");
+                times_ms[v] = Some(local.to_ms(x[lv]).clamp(intervals.lb[v], intervals.ub[v]));
+            }
+        }
+        None => {
+            stats.unsolved_windows += 1;
+            for v in committed_vars {
+                times_ms[v] = Some(intervals.midpoint(v));
+            }
+        }
+    }
+}
+
+/// One solve attempt; returns the local solution if it met quality.
+#[allow(clippy::too_many_arguments)]
+fn attempt(
+    view: &TraceView,
+    cfg: &EstimatorConfig,
+    intervals: &Intervals,
+    local: &LocalProblem,
+    system: &ConstraintSystem,
+    objective: &[LinExpr],
+    use_sdp: bool,
+    drop_upper_sum: bool,
+    stats: &mut EstimatorStats,
+) -> Option<Vec<f64>> {
+    let m = local.num_vars();
+    let (total_vars, u_base) = if use_sdp {
+        (m + m * (m + 1) / 2 + 1, m)
+    } else {
+        (m, m)
+    };
+    let mut b = QpBuilder::new(total_vars);
+
+    local.add_boxes(&mut b, intervals);
+    for row in &system.rows {
+        if drop_upper_sum && row.kind == ConstraintKind::SumUpper {
+            continue;
+        }
+        local.add_row(&mut b, row);
+    }
+
+    // Anchor regularization (true quadratic in both modes).
+    for lv in 0..m {
+        let g = local.global(lv);
+        let anchor = LinExpr::var(g).sub(&LinExpr::constant_of(intervals.midpoint(g)));
+        local.add_square(&mut b, &anchor, cfg.anchor_weight);
+    }
+
+    if use_sdp {
+        let corner = total_vars - 1;
+        b.fix_variable(corner, 1.0);
+        // Diagonal secant bounds on U_ii keep the lifting tight.
+        for i in 0..m {
+            let g = local.global(i);
+            let lo = local.from_ms(intervals.lb[g]);
+            let hi = local.from_ms(intervals.ub[g]);
+            let d_lo = if lo <= 0.0 && hi >= 0.0 {
+                0.0
+            } else {
+                lo.powi(2).min(hi.powi(2))
+            };
+            let d_hi = lo.powi(2).max(hi.powi(2));
+            b.add_row(&[(u_base + svec_index(i, i), 1.0)], d_lo, d_hi);
+        }
+        // Lifted variance objective: linear in (U, u).
+        for expr in objective {
+            let (terms, k) = local.lower_expr(expr);
+            for (a, &(va, ca)) in terms.iter().enumerate() {
+                b.add_linear(u_base + svec_index(va, va), ca * ca);
+                for &(vb, cb) in terms.iter().skip(a + 1) {
+                    b.add_linear(u_base + svec_index(va, vb), 2.0 * ca * cb);
+                }
+                b.add_linear(va, 2.0 * k * ca);
+            }
+        }
+        // Lifted FIFO product rows: (arr_y − arr_x)(dep_y − dep_x) ≥ 0.
+        for pair in &system.undecided_pairs {
+            add_lifted_fifo(view, local, &mut b, pair, u_base);
+        }
+        // PSD block over [[U, u], [uᵀ, 1]].
+        let dim = m + 1;
+        let mut block_vars = Vec::with_capacity(dim * (dim + 1) / 2);
+        for j in 0..dim {
+            for i in 0..=j {
+                let id = if j < m {
+                    u_base + svec_index(i, j)
+                } else if i < m {
+                    i
+                } else {
+                    corner
+                };
+                block_vars.push(id);
+            }
+        }
+        b.add_psd_block(dim, block_vars)
+            .expect("block sized by construction");
+    } else {
+        // Plain QP: variance objective as a true quadratic.
+        for expr in objective {
+            local.add_square(&mut b, expr, 1.0);
+        }
+    }
+
+    let problem = b.build().expect("window problem is well-formed");
+    // Warm-start the arrival-time block at the interval midpoints (the
+    // lifted block, when present, starts at zero).
+    let mut warm = vec![0.0; total_vars];
+    for (lv, w) in warm.iter_mut().take(m).enumerate() {
+        *w = local.from_ms(intervals.midpoint(local.global(lv)));
+    }
+    let sol = solve_warm(&problem, &cfg.solver, Some(&warm));
+    stats.total_iterations += sol.iterations;
+    stats.solve_time += sol.solve_time;
+
+    // Accept solutions within ~2 ms of feasibility (window units are
+    // seconds) even if formal tolerances were missed.
+    let acceptable = sol.is_solved() || sol.primal_residual < 2e-3;
+    if acceptable {
+        Some(sol.x[..m].to_vec())
+    } else {
+        None
+    }
+}
+
+/// Adds the lifted bilinear FIFO row for one undecided pair.
+fn add_lifted_fifo(
+    view: &TraceView,
+    local: &LocalProblem,
+    b: &mut QpBuilder,
+    pair: &FifoPair,
+    u_base: usize,
+) {
+    let arr = view
+        .time_expr(pair.y.0, pair.y.1)
+        .sub(&view.time_expr(pair.x.0, pair.x.1));
+    let dep = view
+        .time_expr(pair.y.0, pair.y.1 + 1)
+        .sub(&view.time_expr(pair.x.0, pair.x.1 + 1));
+    let (ta, ka) = local.lower_expr(&arr);
+    let (tb, kb) = local.lower_expr(&dep);
+
+    // Product = Σᵢⱼ aᵢbⱼ·xᵢxⱼ + ka·Σbⱼxⱼ + kb·Σaᵢxᵢ + ka·kb ≥ 0, with
+    // xᵢxⱼ replaced by the lifted U entry.
+    let mut coeffs: HashMap<usize, f64> = HashMap::new();
+    for &(i, ai) in &ta {
+        for &(j, bj) in &tb {
+            *coeffs.entry(u_base + svec_index(i, j)).or_insert(0.0) += ai * bj;
+        }
+    }
+    for &(j, bj) in &tb {
+        *coeffs.entry(j).or_insert(0.0) += ka * bj;
+    }
+    for &(i, ai) in &ta {
+        *coeffs.entry(i).or_insert(0.0) += kb * ai;
+    }
+    let entries: Vec<(usize, f64)> = coeffs
+        .into_iter()
+        .filter(|&(_, c)| c != 0.0)
+        .collect();
+    if !entries.is_empty() {
+        b.add_row(&entries, -ka * kb, f64::INFINITY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_net::{run_simulation, NetworkConfig};
+
+    fn mean_abs_error(view: &TraceView, trace: &domo_net::NetworkTrace, est: &Estimates) -> f64 {
+        let mut errors = Vec::new();
+        for (v, hr) in view.vars().iter().enumerate() {
+            let pid = view.packet(hr.packet).pid;
+            let truth = trace.truth(pid).unwrap()[hr.hop].as_millis_f64();
+            if let Some(t) = est.time_of(v) {
+                errors.push((t - truth).abs());
+            }
+        }
+        assert!(!errors.is_empty());
+        errors.iter().sum::<f64>() / errors.len() as f64
+    }
+
+    #[test]
+    fn estimator_commits_every_variable() {
+        let trace = run_simulation(&NetworkConfig::small(25, 21));
+        let view = TraceView::new(trace.packets.clone());
+        let est = estimate(&view, &EstimatorConfig::default());
+        let missing = est.times_ms.iter().filter(|t| t.is_none()).count();
+        assert_eq!(missing, 0, "every unknown must receive an estimate");
+        assert!(est.stats.windows > 1, "trace must span several windows");
+    }
+
+    #[test]
+    fn estimates_beat_naive_midpoint_baseline() {
+        let trace = run_simulation(&NetworkConfig::small(25, 22));
+        let view = TraceView::new(trace.packets.clone());
+        let cfg = EstimatorConfig::default();
+        let est = estimate(&view, &cfg);
+        let err = mean_abs_error(&view, &trace, &est);
+
+        // Midpoint-of-interval baseline.
+        let intervals = propagate(&view, cfg.constraints.omega_ms, 3);
+        let mid = Estimates {
+            times_ms: (0..view.num_vars())
+                .map(|v| Some(intervals.midpoint(v)))
+                .collect(),
+            stats: EstimatorStats::default(),
+        };
+        let err_mid = mean_abs_error(&view, &trace, &mid);
+        assert!(
+            err < err_mid,
+            "estimator ({err:.2} ms) must beat midpoints ({err_mid:.2} ms)"
+        );
+        // And land in the paper's accuracy regime (single-digit ms).
+        assert!(err < 15.0, "error {err:.2} ms unexpectedly large");
+    }
+
+    #[test]
+    fn estimates_respect_intervals() {
+        let trace = run_simulation(&NetworkConfig::small(16, 23));
+        let view = TraceView::new(trace.packets.clone());
+        let cfg = EstimatorConfig::default();
+        let est = estimate(&view, &cfg);
+        let intervals = propagate(&view, cfg.constraints.omega_ms, 3);
+        for v in 0..view.num_vars() {
+            let t = est.time_of(v).unwrap();
+            assert!(t >= intervals.lb[v] - 1e-6 && t <= intervals.ub[v] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn sdp_mode_runs_and_is_reasonable() {
+        let trace = run_simulation(&NetworkConfig::small(16, 24));
+        let view = TraceView::new(trace.packets.clone());
+        let cfg = EstimatorConfig {
+            fifo_mode: FifoMode::SdpRelaxation,
+            window_packets: 6,
+            max_sdp_unknowns: 24,
+            ..EstimatorConfig::default()
+        };
+        let est = estimate(&view, &cfg);
+        assert!(
+            est.stats.sdp_windows > 0,
+            "SDP mode must actually lift some windows"
+        );
+        let err = mean_abs_error(&view, &trace, &est);
+        assert!(err < 20.0, "SDP-mode error {err:.2} ms unexpectedly large");
+    }
+
+    #[test]
+    fn window_ratio_extremes_are_valid() {
+        let trace = run_simulation(&NetworkConfig::small(16, 25));
+        let view = TraceView::new(trace.packets.clone());
+        for ratio in [0.3, 0.9, 1.0] {
+            let cfg = EstimatorConfig {
+                effective_window_ratio: ratio,
+                ..EstimatorConfig::default()
+            };
+            let est = estimate(&view, &cfg);
+            assert!(est.times_ms.iter().all(|t| t.is_some()), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn zero_ratio_is_rejected() {
+        let trace = run_simulation(&NetworkConfig::small(9, 26));
+        let view = TraceView::new(trace.packets.clone());
+        let cfg = EstimatorConfig {
+            effective_window_ratio: 0.0,
+            ..EstimatorConfig::default()
+        };
+        let _ = estimate(&view, &cfg);
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let view = TraceView::new(Vec::new());
+        let est = estimate(&view, &EstimatorConfig::default());
+        assert!(est.times_ms.is_empty());
+        assert_eq!(est.stats.windows, 0);
+    }
+
+    #[test]
+    fn variance_terms_pair_close_packets_only() {
+        let trace = run_simulation(&NetworkConfig::small(16, 27));
+        let view = TraceView::new(trace.packets.clone());
+        let subset: Vec<usize> = (0..view.num_packets()).collect();
+        let wide = variance_terms(&view, &subset, 1e12, 4);
+        let narrow = variance_terms(&view, &subset, 1.0, 4);
+        assert!(wide.len() > narrow.len());
+    }
+}

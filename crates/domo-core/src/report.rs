@@ -1,0 +1,346 @@
+//! Network-management views over a reconstruction.
+//!
+//! The paper's motivation (§I, Figure 1) is operational: end-to-end
+//! delays flag *which sources* are slow, but only the per-hop
+//! decomposition reveals *which node* causes it. This module turns raw
+//! estimates into the reports an operator would actually read: per-node
+//! sojourn statistics, bottleneck rankings, and time-windowed
+//! comparisons for "what changed?" questions.
+
+use crate::estimator::Estimates;
+use crate::view::{TimeRef, TraceView};
+use domo_net::NodeId;
+use domo_util::stats::Summary;
+use domo_util::time::SimTime;
+use std::collections::HashMap;
+
+/// Reconstructed sojourn statistics for one forwarding node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDelayReport {
+    /// The node.
+    pub node: NodeId,
+    /// Number of (packet, hop) sojourns aggregated.
+    pub samples: usize,
+    /// Summary of the reconstructed sojourn times (ms).
+    pub sojourn_ms: Summary,
+}
+
+/// A full per-node report over a reconstruction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DelayReport {
+    /// Per-node entries, sorted by descending mean sojourn.
+    pub nodes: Vec<NodeDelayReport>,
+}
+
+impl DelayReport {
+    /// The `k` slowest forwarders with at least `min_samples` sojourns.
+    pub fn bottlenecks(&self, k: usize, min_samples: usize) -> Vec<&NodeDelayReport> {
+        self.nodes
+            .iter()
+            .filter(|n| n.samples >= min_samples)
+            .take(k)
+            .collect()
+    }
+
+    /// Looks up one node's entry.
+    pub fn node(&self, node: NodeId) -> Option<&NodeDelayReport> {
+        self.nodes.iter().find(|n| n.node == node)
+    }
+
+    /// Renders a fixed-width text table of the top `k` nodes.
+    pub fn render(&self, k: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "node", "samples", "mean (ms)", "p50 (ms)", "p90 (ms)", "max (ms)"
+        );
+        for n in self.nodes.iter().take(k) {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                n.node.to_string(),
+                n.samples,
+                n.sojourn_ms.mean,
+                n.sojourn_ms.median,
+                n.sojourn_ms.p90,
+                n.sojourn_ms.max
+            );
+        }
+        out
+    }
+}
+
+/// Options controlling report aggregation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportOptions {
+    /// Only sojourns of packets generated at or after this instant.
+    pub from: SimTime,
+    /// Only sojourns of packets generated strictly before this instant.
+    pub until: SimTime,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self {
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+        }
+    }
+}
+
+/// Builds the per-node sojourn report from a reconstruction.
+///
+/// Every hop of every packet whose generation time falls in
+/// `[from, until)` contributes one sojourn sample to the forwarding
+/// node of that hop. Unestimated variables (cannot occur after a
+/// full-trace [`crate::estimator::estimate`] run) are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use domo_core::{report::{build_report, ReportOptions}, Domo, EstimatorConfig};
+///
+/// let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(16, 1));
+/// let domo = Domo::from_trace(&trace);
+/// let est = domo.estimate(&EstimatorConfig::default());
+/// let report = build_report(domo.view(), &est, &ReportOptions::default());
+/// assert!(!report.nodes.is_empty());
+/// // Sorted slowest-first.
+/// assert!(report.nodes.windows(2).all(|w| {
+///     w[0].sojourn_ms.mean >= w[1].sojourn_ms.mean
+/// }));
+/// ```
+pub fn build_report(view: &TraceView, estimates: &Estimates, opts: &ReportOptions) -> DelayReport {
+    let mut sojourns: HashMap<usize, Vec<f64>> = HashMap::new();
+    for pi in 0..view.num_packets() {
+        let p = view.packet(pi);
+        if p.gen_time < opts.from || p.gen_time >= opts.until {
+            continue;
+        }
+        let mut times: Vec<Option<f64>> = Vec::with_capacity(p.path.len());
+        for hop in 0..p.path.len() {
+            times.push(match view.time_ref(pi, hop) {
+                TimeRef::Known(t) => Some(t),
+                TimeRef::Var(v) => estimates.time_of(v),
+            });
+        }
+        for hop in 0..p.path.len() - 1 {
+            if let (Some(a), Some(b)) = (times[hop], times[hop + 1]) {
+                sojourns
+                    .entry(p.path[hop].index())
+                    .or_default()
+                    .push(b - a);
+            }
+        }
+    }
+
+    let mut nodes: Vec<NodeDelayReport> = sojourns
+        .into_iter()
+        .filter_map(|(node, ds)| {
+            Some(NodeDelayReport {
+                node: NodeId::new(node as u16),
+                samples: ds.len(),
+                sojourn_ms: Summary::from_values(&ds)?,
+            })
+        })
+        .collect();
+    nodes.sort_by(|a, b| {
+        b.sojourn_ms
+            .mean
+            .partial_cmp(&a.sojourn_ms.mean)
+            .expect("finite means")
+            .then(a.node.cmp(&b.node))
+    });
+    DelayReport { nodes }
+}
+
+/// One node's change between two report windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeShift {
+    /// The node.
+    pub node: NodeId,
+    /// Mean sojourn in the first window (ms).
+    pub before_ms: f64,
+    /// Mean sojourn in the second window (ms).
+    pub after_ms: f64,
+}
+
+impl NodeShift {
+    /// Absolute change (ms).
+    pub fn delta_ms(&self) -> f64 {
+        self.after_ms - self.before_ms
+    }
+}
+
+/// Compares per-node sojourns across two time windows — the "what
+/// changed between t₁ and t₂?" question of Figure 1, answered per
+/// *forwarder* instead of per source. Nodes need at least
+/// `min_samples` sojourns in **both** windows; the result is sorted by
+/// descending absolute change.
+pub fn compare_windows(
+    view: &TraceView,
+    estimates: &Estimates,
+    split: SimTime,
+    min_samples: usize,
+) -> Vec<NodeShift> {
+    let before = build_report(
+        view,
+        estimates,
+        &ReportOptions {
+            from: SimTime::ZERO,
+            until: split,
+        },
+    );
+    let after = build_report(
+        view,
+        estimates,
+        &ReportOptions {
+            from: split,
+            until: SimTime::MAX,
+        },
+    );
+    let mut shifts: Vec<NodeShift> = before
+        .nodes
+        .iter()
+        .filter(|b| b.samples >= min_samples)
+        .filter_map(|b| {
+            let a = after.node(b.node)?;
+            if a.samples < min_samples {
+                return None;
+            }
+            Some(NodeShift {
+                node: b.node,
+                before_ms: b.sojourn_ms.mean,
+                after_ms: a.sojourn_ms.mean,
+            })
+        })
+        .collect();
+    shifts.sort_by(|x, y| {
+        y.delta_ms()
+            .abs()
+            .partial_cmp(&x.delta_ms().abs())
+            .expect("finite deltas")
+            .then(x.node.cmp(&y.node))
+    });
+    shifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{estimate, EstimatorConfig};
+    use domo_net::{run_simulation, NetworkConfig};
+
+    fn setup(seed: u64) -> (domo_net::NetworkTrace, TraceView, Estimates) {
+        let trace = run_simulation(&NetworkConfig::small(16, seed));
+        let view = TraceView::new(trace.packets.clone());
+        let est = estimate(&view, &EstimatorConfig::default());
+        (trace, view, est)
+    }
+
+    #[test]
+    fn report_covers_forwarders_and_sorts() {
+        let (_, view, est) = setup(201);
+        let report = build_report(&view, &est, &ReportOptions::default());
+        assert!(!report.nodes.is_empty());
+        // Sink never forwards.
+        assert!(report.node(NodeId::SINK).is_none());
+        // Sorted slowest first.
+        assert!(report
+            .nodes
+            .windows(2)
+            .all(|w| w[0].sojourn_ms.mean >= w[1].sojourn_ms.mean));
+        // Sample counts match pass-through counts.
+        for n in &report.nodes {
+            assert_eq!(n.samples, view.passthroughs(n.node).len());
+        }
+    }
+
+    #[test]
+    fn report_matches_ground_truth_ranking_roughly() {
+        let (trace, view, est) = setup(202);
+        let report = build_report(&view, &est, &ReportOptions::default());
+        // Ground-truth per-node means.
+        let mut truth: HashMap<usize, Vec<f64>> = HashMap::new();
+        for p in &trace.packets {
+            let times = trace.truth(p.pid).unwrap();
+            for hop in 0..p.path.len() - 1 {
+                truth
+                    .entry(p.path[hop].index())
+                    .or_default()
+                    .push((times[hop + 1] - times[hop]).as_millis_f64());
+            }
+        }
+        // Per-node mean estimates should track truth within a few ms.
+        for n in &report.nodes {
+            let t = &truth[&n.node.index()];
+            let t_mean = t.iter().sum::<f64>() / t.len() as f64;
+            assert!(
+                (n.sojourn_ms.mean - t_mean).abs() < 5.0,
+                "node {} mean {:.2} vs truth {:.2}",
+                n.node,
+                n.sojourn_ms.mean,
+                t_mean
+            );
+        }
+    }
+
+    #[test]
+    fn bottlenecks_respect_min_samples() {
+        let (_, view, est) = setup(203);
+        let report = build_report(&view, &est, &ReportOptions::default());
+        let top = report.bottlenecks(3, 5);
+        assert!(top.len() <= 3);
+        assert!(top.iter().all(|n| n.samples >= 5));
+    }
+
+    #[test]
+    fn window_filter_partitions_samples() {
+        let (trace, view, est) = setup(204);
+        let split = trace.packets[trace.packets.len() / 2].gen_time;
+        let full = build_report(&view, &est, &ReportOptions::default());
+        let before = build_report(
+            &view,
+            &est,
+            &ReportOptions {
+                from: SimTime::ZERO,
+                until: split,
+            },
+        );
+        let after = build_report(
+            &view,
+            &est,
+            &ReportOptions {
+                from: split,
+                until: SimTime::MAX,
+            },
+        );
+        let count =
+            |r: &DelayReport| r.nodes.iter().map(|n| n.samples).sum::<usize>();
+        assert_eq!(count(&before) + count(&after), count(&full));
+    }
+
+    #[test]
+    fn compare_windows_sorted_by_change() {
+        let (trace, view, est) = setup(205);
+        let split = trace.packets[trace.packets.len() / 2].gen_time;
+        let shifts = compare_windows(&view, &est, split, 3);
+        assert!(shifts
+            .windows(2)
+            .all(|w| w[0].delta_ms().abs() >= w[1].delta_ms().abs()));
+        for s in &shifts {
+            assert!((s.delta_ms() - (s.after_ms - s.before_ms)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_produces_rows() {
+        let (_, view, est) = setup(206);
+        let report = build_report(&view, &est, &ReportOptions::default());
+        let text = report.render(4);
+        assert!(text.contains("mean (ms)"));
+        assert!(text.lines().count() <= 5);
+    }
+}

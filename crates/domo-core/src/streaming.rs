@@ -1,0 +1,254 @@
+//! Online (streaming) reconstruction.
+//!
+//! The paper's pipeline is offline: collect the whole trace, then solve.
+//! Operationally, a sink wants per-hop delays *while the network runs*.
+//! [`StreamingEstimator`] wraps the windowed estimator in a rolling
+//! buffer: packets are pushed as they arrive at the sink; whenever the
+//! buffer reaches its high-water mark the oldest half is solved (with
+//! the newer half present as constraint context, playing the role of the
+//! overlap in §IV.B's improved time windows) and emitted.
+//!
+//! Compared to a full offline solve, the online mode loses the
+//! constraints that would have arrived *after* a packet's flush — the
+//! accuracy cost is bounded and measured in this module's tests.
+
+use crate::estimator::{estimate, EstimatorConfig};
+use crate::view::{TimeRef, TraceView};
+use domo_net::{CollectedPacket, PacketId};
+
+/// One emitted reconstruction: a packet and its full arrival-time
+/// sequence (generation, interior estimates, sink arrival; ms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconstructedPacket {
+    /// The packet.
+    pub pid: PacketId,
+    /// Arrival times aligned with the packet's path.
+    pub hop_times_ms: Vec<f64>,
+}
+
+/// A rolling-buffer online estimator.
+///
+/// # Examples
+///
+/// ```
+/// use domo_core::streaming::StreamingEstimator;
+///
+/// let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 1));
+/// let mut online = StreamingEstimator::new(Default::default());
+/// let mut emitted = Vec::new();
+/// for p in &trace.packets {
+///     emitted.extend(online.push(p.clone()));
+/// }
+/// emitted.extend(online.finish());
+/// assert_eq!(emitted.len(), trace.packets.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEstimator {
+    cfg: EstimatorConfig,
+    buffer: Vec<CollectedPacket>,
+    /// Flush when the buffer reaches this many packets.
+    high_water: usize,
+    emitted: usize,
+}
+
+impl StreamingEstimator {
+    /// Creates an online estimator. The flush threshold is four windows
+    /// of the wrapped estimator, so each flushed packet is solved with
+    /// at least one window of future context.
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        let high_water = (cfg.window_packets * 4).max(8);
+        Self {
+            cfg,
+            buffer: Vec::new(),
+            high_water,
+            emitted: 0,
+        }
+    }
+
+    /// Number of packets buffered but not yet emitted.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Total packets emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Pushes one packet (in sink-arrival order); returns any packets
+    /// whose reconstruction became final.
+    pub fn push(&mut self, packet: CollectedPacket) -> Vec<ReconstructedPacket> {
+        self.buffer.push(packet);
+        if self.buffer.len() >= self.high_water {
+            self.flush(self.buffer.len() / 2)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Flushes everything still buffered (end of stream).
+    pub fn finish(&mut self) -> Vec<ReconstructedPacket> {
+        let n = self.buffer.len();
+        self.flush(n)
+    }
+
+    /// Solves over the whole buffer and emits the `commit` oldest
+    /// packets (by generation time).
+    fn flush(&mut self, commit: usize) -> Vec<ReconstructedPacket> {
+        if commit == 0 || self.buffer.is_empty() {
+            return Vec::new();
+        }
+        // Solve with the full buffer as context.
+        let view = TraceView::new(self.buffer.clone());
+        let est = estimate(&view, &self.cfg);
+
+        // Pick the oldest `commit` packets by generation time.
+        let mut order: Vec<usize> = (0..view.num_packets()).collect();
+        order.sort_by_key(|&i| (view.packet(i).gen_time, view.packet(i).pid));
+        let committed: Vec<usize> = order.into_iter().take(commit).collect();
+
+        let mut out = Vec::with_capacity(committed.len());
+        for &pi in &committed {
+            let p = view.packet(pi);
+            let hop_times_ms: Vec<f64> = (0..p.path.len())
+                .map(|hop| match view.time_ref(pi, hop) {
+                    TimeRef::Known(t) => t,
+                    TimeRef::Var(v) => est
+                        .time_of(v)
+                        .expect("full-buffer estimation commits every variable"),
+                })
+                .collect();
+            out.push(ReconstructedPacket {
+                pid: p.pid,
+                hop_times_ms,
+            });
+        }
+
+        // Retain the rest of the buffer.
+        let committed_set: std::collections::HashSet<PacketId> =
+            out.iter().map(|r| r.pid).collect();
+        self.buffer.retain(|p| !committed_set.contains(&p.pid));
+        self.emitted += out.len();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_net::{run_simulation, NetworkConfig, NetworkTrace};
+
+    fn online_errors(trace: &NetworkTrace, emitted: &[ReconstructedPacket]) -> Vec<f64> {
+        let mut errs = Vec::new();
+        for r in emitted {
+            let truth = trace.truth(r.pid).expect("delivered");
+            assert_eq!(truth.len(), r.hop_times_ms.len());
+            for (t, &e) in truth.iter().zip(&r.hop_times_ms) {
+                errs.push((e - t.as_millis_f64()).abs());
+            }
+        }
+        errs
+    }
+
+    #[test]
+    fn every_packet_emitted_exactly_once() {
+        let trace = run_simulation(&NetworkConfig::small(16, 301));
+        let mut online = StreamingEstimator::new(EstimatorConfig::default());
+        let mut emitted = Vec::new();
+        for p in &trace.packets {
+            emitted.extend(online.push(p.clone()));
+        }
+        assert!(online.pending() > 0, "tail should still be buffered");
+        emitted.extend(online.finish());
+        assert_eq!(online.pending(), 0);
+        assert_eq!(emitted.len(), trace.packets.len());
+        assert_eq!(online.emitted(), trace.packets.len());
+        let mut pids: Vec<PacketId> = emitted.iter().map(|r| r.pid).collect();
+        pids.sort();
+        pids.dedup();
+        assert_eq!(pids.len(), trace.packets.len(), "no duplicates");
+    }
+
+    #[test]
+    fn online_accuracy_close_to_offline() {
+        let trace = run_simulation(&NetworkConfig::small(16, 302));
+        // Offline reference.
+        let view = TraceView::new(trace.packets.clone());
+        let offline = estimate(&view, &EstimatorConfig::default());
+        let offline_err: f64 = {
+            let mut errs = Vec::new();
+            for (v, hr) in view.vars().iter().enumerate() {
+                let t = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
+                    .as_millis_f64();
+                errs.push((offline.time_of(v).unwrap() - t).abs());
+            }
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        // Online.
+        let mut online = StreamingEstimator::new(EstimatorConfig::default());
+        let mut emitted = Vec::new();
+        for p in &trace.packets {
+            emitted.extend(online.push(p.clone()));
+        }
+        emitted.extend(online.finish());
+        let errs = online_errors(&trace, &emitted);
+        let online_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(
+            online_err < offline_err + 2.0,
+            "online {online_err:.2} ms vs offline {offline_err:.2} ms"
+        );
+    }
+
+    #[test]
+    fn emissions_are_monotone_in_generation_time() {
+        let trace = run_simulation(&NetworkConfig::small(9, 303));
+        let mut online = StreamingEstimator::new(EstimatorConfig::default());
+        let mut last_gen = f64::NEG_INFINITY;
+        let mut check = |batch: Vec<ReconstructedPacket>, trace: &NetworkTrace| {
+            // Batches are flushed oldest-first; across batches the
+            // newest generation time of an earlier batch precedes the
+            // oldest of a later one.
+            if let Some(max_gen) = batch
+                .iter()
+                .map(|r| {
+                    trace
+                        .packets
+                        .iter()
+                        .find(|p| p.pid == r.pid)
+                        .unwrap()
+                        .gen_time
+                        .as_millis_f64()
+                })
+                .reduce(f64::min)
+            {
+                assert!(max_gen >= last_gen - 1e-9);
+            }
+            if let Some(max_gen) = batch
+                .iter()
+                .map(|r| {
+                    trace
+                        .packets
+                        .iter()
+                        .find(|p| p.pid == r.pid)
+                        .unwrap()
+                        .gen_time
+                        .as_millis_f64()
+                })
+                .reduce(f64::max)
+            {
+                last_gen = max_gen;
+            }
+        };
+        for p in &trace.packets {
+            check(online.push(p.clone()), &trace);
+        }
+        check(online.finish(), &trace);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let mut online = StreamingEstimator::new(EstimatorConfig::default());
+        assert!(online.finish().is_empty());
+        assert_eq!(online.emitted(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the reconstruction pipeline.
+
+use domo_core::{
+    build_constraints, estimate, propagate, ConstraintKind, ConstraintOptions, EstimatorConfig,
+    TraceView,
+};
+use domo_net::{run_simulation, NetworkConfig};
+use domo_util::time::SimDuration;
+use proptest::prelude::*;
+
+fn trace_for(seed: u64, nodes: usize) -> domo_net::NetworkTrace {
+    let mut cfg = NetworkConfig::small(nodes.clamp(9, 25), seed);
+    cfg.duration = SimDuration::from_secs(30);
+    run_simulation(&cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Estimates always land inside the sound intervals, for any seed.
+    #[test]
+    fn estimates_respect_intervals(seed in 1u64..500, nodes in 9usize..25) {
+        let trace = trace_for(seed, nodes);
+        let view = TraceView::new(trace.packets.clone());
+        let cfg = EstimatorConfig::default();
+        let est = estimate(&view, &cfg);
+        let iv = propagate(&view, cfg.constraints.omega_ms, 3);
+        for v in 0..view.num_vars() {
+            let t = est.time_of(v).expect("committed");
+            prop_assert!(t >= iv.lb[v] - 1e-6 && t <= iv.ub[v] + 1e-6);
+        }
+    }
+
+    /// The non-loss-sensitive constraint families hold at ground truth
+    /// for any seed (the repo-wide soundness contract).
+    #[test]
+    fn sound_constraints_hold_at_truth(seed in 1u64..500) {
+        let trace = trace_for(seed, 16);
+        let view = TraceView::new(trace.packets.clone());
+        let opts = ConstraintOptions::default();
+        let iv = propagate(&view, opts.omega_ms, opts.propagation_rounds);
+        let all: Vec<usize> = (0..view.num_packets()).collect();
+        let system = build_constraints(&view, &all, &iv, &opts);
+        let x: Vec<f64> = view
+            .vars()
+            .iter()
+            .map(|hr| trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64())
+            .collect();
+        for row in &system.rows {
+            if row.kind == ConstraintKind::SumUpper {
+                continue;
+            }
+            let val = row.expr.eval(&x);
+            prop_assert!(
+                val >= row.lo - 1e-6 && val <= row.hi + 1e-6,
+                "{:?} violated at truth (seed {seed})", row.kind
+            );
+        }
+    }
+
+    /// Window ratio never affects which variables get committed — only
+    /// the values (the paper's Figure 3 guarantee that remaining values
+    /// cover all unknowns).
+    #[test]
+    fn any_window_ratio_commits_everything(
+        seed in 1u64..200,
+        ratio in 0.25f64..1.0,
+        window in 4usize..64,
+    ) {
+        let trace = trace_for(seed, 16);
+        let view = TraceView::new(trace.packets.clone());
+        let cfg = EstimatorConfig {
+            effective_window_ratio: ratio,
+            window_packets: window,
+            ..EstimatorConfig::default()
+        };
+        let est = estimate(&view, &cfg);
+        prop_assert!(est.times_ms.iter().all(|t| t.is_some()));
+    }
+
+    /// Candidate sets obey their defining inequalities.
+    #[test]
+    fn candidate_sets_obey_definitions(seed in 1u64..500) {
+        let trace = trace_for(seed, 25);
+        let view = TraceView::new(trace.packets.clone());
+        for p in 0..view.num_packets() {
+            let Some(sets) = view.candidate_sets(p) else { continue };
+            let q = view.prev_local(p).expect("sets imply q");
+            let t0_p = view.packet(p).gen_time;
+            let t0_q = view.packet(q).gen_time;
+            for &(x, hop) in &sets.possible {
+                prop_assert!(view.packet(x).path[hop] == view.packet(p).path[0]);
+                prop_assert!(view.packet(x).gen_time < t0_p);
+                prop_assert!(view.packet(x).sink_arrival > t0_q);
+            }
+            for &(x, _) in &sets.certain {
+                prop_assert!(view.packet(x).gen_time > t0_q);
+                prop_assert!(view.packet(x).sink_arrival < t0_p);
+            }
+        }
+    }
+}

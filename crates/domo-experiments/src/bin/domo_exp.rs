@@ -1,0 +1,148 @@
+//! `domo-exp` — regenerate the Domo paper's tables and figures.
+//!
+//! ```text
+//! domo-exp <experiment> [--nodes N] [--seed S] [--fast K]
+//!
+//! experiments:
+//!   fig1     per-node delay map at two times
+//!   fig6     accuracy / bounds / displacement vs MNT & MessageTracing
+//!   fig7     the packet-loss sweep (10/20/30 %)
+//!   fig8     the network-scale sweep (100/225/400 nodes)
+//!   fig9     the effective-time-window-ratio sweep
+//!   fig10    the graph-cut-size sweep
+//!   table1   overhead comparison (plus measured PC-side cost)
+//!   ablation quality ablations (FIFO mode, BLP, bound method, MNT oracle)
+//!   workload trace/topology characterization + constraint diagnostics
+//!   all      everything above, in order
+//! ```
+
+use domo_experiments::figures;
+use domo_experiments::scenario::Scenario;
+
+struct Args {
+    experiment: String,
+    nodes: usize,
+    seed: u64,
+    fast: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        experiment: String::new(),
+        nodes: 100,
+        seed: 1,
+        fast: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    let Some(exp) = it.next() else {
+        return Err("missing experiment name".into());
+    };
+    args.experiment = exp.clone();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--nodes" => args.nodes = value.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--fast" => args.fast = value.parse().map_err(|e| format!("--fast: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.fast == 0 {
+        return Err("--fast must be positive".into());
+    }
+    Ok(args)
+}
+
+fn base_scenario(args: &Args) -> Scenario {
+    Scenario::paper(args.nodes, args.seed).scaled_down(args.fast)
+}
+
+fn run(experiment: &str, args: &Args) {
+    match experiment {
+        "fig1" => println!("{}", figures::delay_map(base_scenario(args))),
+        "fig6" => {
+            let eval = figures::evaluate(base_scenario(args));
+            println!("{}", eval.render_accuracy());
+            println!("{}", eval.render_bounds());
+            println!("{}", eval.render_displacement());
+            println!(
+                "(trace: {} unknowns; estimator {:.1}s, bounds {:.1}s)\n",
+                eval.num_unknowns, eval.estimate_seconds, eval.bounds_seconds
+            );
+        }
+        "fig7" => {
+            let points = figures::loss_sweep(base_scenario(args), &[0.1, 0.2, 0.3]);
+            println!("{}", figures::render_loss_sweep(&points));
+        }
+        "fig8" => {
+            let scales: Vec<usize> = [100usize, 225, 400]
+                .into_iter()
+                .filter(|&n| n <= args.nodes.max(400))
+                .collect();
+            let points: Vec<(usize, figures::Evaluation)> = scales
+                .iter()
+                .map(|&n| {
+                    (
+                        n,
+                        figures::evaluate(Scenario::paper(n, args.seed).scaled_down(args.fast)),
+                    )
+                })
+                .collect();
+            println!("{}", figures::render_scale_sweep(&points));
+        }
+        "fig9" => {
+            let points = figures::window_ratio_sweep(
+                base_scenario(args),
+                &[0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            );
+            println!("{}", figures::render_window_ratio_sweep(&points));
+        }
+        "fig10" => {
+            let points = figures::cut_size_sweep(base_scenario(args), &[25, 50, 100, 200, 400]);
+            println!("{}", figures::render_cut_size_sweep(&points));
+        }
+        "table1" => println!("{}", figures::table1(base_scenario(args))),
+        "ablation" => println!("{}", figures::ablation_report(base_scenario(args))),
+        "workload" => {
+            let scenario = base_scenario(args);
+            let run = domo_experiments::ScenarioRun::execute(scenario);
+            if let Some(profile) = domo_net::TraceProfile::from_trace(&run.trace) {
+                println!("{}", profile.render());
+            }
+            let diag = domo_core::diagnose(
+                run.domo.view(),
+                &run.scenario.estimator.constraints,
+            );
+            println!("{}", diag.render());
+        }
+        "all" => {
+            for exp in [
+                "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "ablation",
+            ] {
+                run(exp, args);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}' — see --help text in the module docs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    match parse_args() {
+        Ok(args) => run(&args.experiment.clone(), &args),
+        Err(msg) => {
+            eprintln!("domo-exp: {msg}");
+            eprintln!(
+                "usage: domo-exp <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|all> \
+                 [--nodes N] [--seed S] [--fast K]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

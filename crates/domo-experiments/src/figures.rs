@@ -1,0 +1,715 @@
+//! One function per table/figure of the paper's evaluation (§VI).
+//!
+//! Every function returns a structured result plus a `render()` that
+//! prints the same rows/series the paper plots. Absolute numbers differ
+//! from the paper's (different simulator, different hardware); the
+//! *shape* — who wins and by roughly what factor, and how each parameter
+//! sweep bends the curves — is the reproduction target. EXPERIMENTS.md
+//! records paper-vs-measured for every entry.
+
+use crate::metrics::{bound_widths, coverage, domo_errors, render_table, Series};
+use crate::scenario::{Scenario, ScenarioRun};
+use domo_baselines::{
+    message_tracing, mnt::run_mnt, overhead, ArrivalEvent,
+};
+use domo_core::TimeRef;
+use domo_util::stats::average_displacement;
+
+/// The joint evaluation of one scenario against both baselines — the
+/// ingredients of Figures 6, 7 and 8.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Scenario name.
+    pub name: String,
+    /// Domo estimated-value absolute errors (ms).
+    pub domo_err: Series,
+    /// MNT estimated-value absolute errors (ms).
+    pub mnt_err: Series,
+    /// Domo bound widths (ms) over the sampled targets.
+    pub domo_width: Series,
+    /// MNT bound widths (ms) over the same targets.
+    pub mnt_width: Series,
+    /// Fraction of truths inside Domo's bounds (soundness check).
+    pub domo_bound_coverage: f64,
+    /// Domo's event-order displacement.
+    pub domo_displacement: f64,
+    /// MessageTracing's event-order displacement.
+    pub msgtracing_displacement: f64,
+    /// Estimator wall-clock seconds.
+    pub estimate_seconds: f64,
+    /// Bound-solver wall-clock seconds.
+    pub bounds_seconds: f64,
+    /// Unknowns in the trace.
+    pub num_unknowns: usize,
+}
+
+/// Runs a scenario and scores Domo against both baselines.
+pub fn evaluate(scenario: Scenario) -> Evaluation {
+    let run = ScenarioRun::execute(scenario);
+    let view = run.domo.view();
+    let trace = &run.trace;
+
+    // --- Estimated values: Domo vs MNT. ---
+    let domo_err = Series::new("Domo error", domo_errors(view, trace, &run.estimates));
+    let mnt_result = run_mnt(trace, view, &run.scenario.mnt);
+    let mnt_err = Series::new(
+        "MNT error",
+        crate::metrics::absolute_errors(view, trace, |v| Some(mnt_result.estimate[v])),
+    );
+
+    // --- Bounds: Domo (sampled LPs) vs MNT (same targets). ---
+    let (bounds, bounds_seconds) = run.run_bounds();
+    let targets = run.bound_targets();
+    let domo_width = Series::new(
+        "Domo bound width",
+        bound_widths(|v| bounds.of(v), view.num_vars()),
+    );
+    let mnt_width = Series::new(
+        "MNT bound width",
+        targets
+            .iter()
+            .map(|&v| mnt_result.ub[v] - mnt_result.lb[v])
+            .collect(),
+    );
+    let domo_bound_coverage = coverage(view, trace, |v| bounds.of(v), 0.5);
+
+    // --- Event order: Domo vs MessageTracing. ---
+    let truth = message_tracing::truth_order(trace, view);
+    let domo_order = message_tracing::order_by_estimates(view, |pi, hop| {
+        match view.time_ref(pi, hop) {
+            TimeRef::Known(t) => Some(t),
+            TimeRef::Var(v) => run.estimates.time_of(v),
+        }
+    });
+    let domo_displacement = displacement_or_zero(&truth, &domo_order);
+    let mt_order = message_tracing::reconstruct_order(trace, view);
+    let msgtracing_displacement = displacement_or_zero(&truth, &mt_order.order);
+
+    Evaluation {
+        name: run.scenario.name.clone(),
+        domo_err,
+        mnt_err,
+        domo_width,
+        mnt_width,
+        domo_bound_coverage,
+        domo_displacement,
+        msgtracing_displacement,
+        estimate_seconds: run.estimate_seconds,
+        bounds_seconds,
+        num_unknowns: view.num_vars(),
+    }
+}
+
+fn displacement_or_zero(truth: &[ArrivalEvent], recon: &[ArrivalEvent]) -> f64 {
+    average_displacement(truth, recon).unwrap_or(0.0)
+}
+
+impl Evaluation {
+    /// Figure 6(a): estimated-value accuracy, Domo vs MNT.
+    pub fn render_accuracy(&self) -> String {
+        let rows = vec![
+            vec![
+                "Domo".to_string(),
+                format!("{:.2}", self.domo_err.mean()),
+                format!(
+                    "{:.1}%",
+                    100.0 * self.domo_err.ecdf().fraction_at_or_below(4.0)
+                ),
+            ],
+            vec![
+                "MNT".to_string(),
+                format!("{:.2}", self.mnt_err.mean()),
+                format!(
+                    "{:.1}%",
+                    100.0 * self.mnt_err.ecdf().fraction_at_or_below(4.0)
+                ),
+            ],
+        ];
+        render_table(
+            &format!("Fig 6(a) — estimated-value accuracy [{}]", self.name),
+            &["approach", "avg error (ms)", "errors < 4ms"],
+            &rows,
+        )
+    }
+
+    /// Figure 6(b): bound accuracy, Domo vs MNT.
+    pub fn render_bounds(&self) -> String {
+        let rows = vec![
+            vec![
+                "Domo".to_string(),
+                format!("{:.2}", self.domo_width.mean()),
+                format!("{:.1}%", 100.0 * self.domo_bound_coverage),
+            ],
+            vec![
+                "MNT".to_string(),
+                format!("{:.2}", self.mnt_width.mean()),
+                "-".to_string(),
+            ],
+        ];
+        render_table(
+            &format!("Fig 6(b) — bound accuracy [{}]", self.name),
+            &["approach", "avg bound width (ms)", "truth coverage"],
+            &rows,
+        )
+    }
+
+    /// Figure 6(c): displacement, Domo vs MessageTracing.
+    pub fn render_displacement(&self) -> String {
+        let rows = vec![
+            vec![
+                "Domo".to_string(),
+                format!("{:.3}", self.domo_displacement),
+            ],
+            vec![
+                "MsgTracing".to_string(),
+                format!("{:.3}", self.msgtracing_displacement),
+            ],
+        ];
+        render_table(
+            &format!("Fig 6(c) — event-order displacement [{}]", self.name),
+            &["approach", "avg displacement"],
+            &rows,
+        )
+    }
+}
+
+/// Figure 7: the loss sweep — each entry is a full [`Evaluation`] at an
+/// extra-loss rate.
+pub fn loss_sweep(base: Scenario, rates: &[f64]) -> Vec<(f64, Evaluation)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut s = base.clone();
+            s.name = format!("{}+loss{:.0}%", s.name, rate * 100.0);
+            s.extra_loss = rate;
+            (rate, evaluate(s))
+        })
+        .collect()
+}
+
+/// Renders the loss sweep as the three sub-figure tables (7a/7b/7c).
+pub fn render_loss_sweep(points: &[(f64, Evaluation)]) -> String {
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    for (rate, e) in points {
+        let pct = format!("{:.0}%", rate * 100.0);
+        rows_a.push(vec![
+            pct.clone(),
+            format!("{:.2}", e.domo_err.mean()),
+            format!("{:.2}", e.mnt_err.mean()),
+        ]);
+        rows_b.push(vec![
+            pct.clone(),
+            format!("{:.2}", e.domo_width.mean()),
+            format!("{:.2}", e.mnt_width.mean()),
+        ]);
+        rows_c.push(vec![
+            pct,
+            format!("{:.3}", e.domo_displacement),
+            format!("{:.3}", e.msgtracing_displacement),
+        ]);
+    }
+    format!(
+        "{}\n{}\n{}",
+        render_table(
+            "Fig 7(a) — error vs packet loss",
+            &["loss", "Domo (ms)", "MNT (ms)"],
+            &rows_a
+        ),
+        render_table(
+            "Fig 7(b) — bound width vs packet loss",
+            &["loss", "Domo (ms)", "MNT (ms)"],
+            &rows_b
+        ),
+        render_table(
+            "Fig 7(c) — displacement vs packet loss",
+            &["loss", "Domo", "MsgTracing"],
+            &rows_c
+        ),
+    )
+}
+
+/// Figure 8: the network-scale sweep.
+pub fn scale_sweep(scales: &[usize], seed: u64) -> Vec<(usize, Evaluation)> {
+    scales
+        .iter()
+        .map(|&n| (n, evaluate(Scenario::paper(n, seed))))
+        .collect()
+}
+
+/// Renders the scale sweep as the three sub-figure tables (8a/8b/8c).
+pub fn render_scale_sweep(points: &[(usize, Evaluation)]) -> String {
+    let mut rows_a = Vec::new();
+    let mut rows_b = Vec::new();
+    let mut rows_c = Vec::new();
+    for (n, e) in points {
+        rows_a.push(vec![
+            n.to_string(),
+            format!("{:.2}", e.domo_err.mean()),
+            format!("{:.2}", e.mnt_err.mean()),
+        ]);
+        rows_b.push(vec![
+            n.to_string(),
+            format!("{:.2}", e.domo_width.mean()),
+            format!("{:.2}", e.mnt_width.mean()),
+        ]);
+        rows_c.push(vec![
+            n.to_string(),
+            format!("{:.3}", e.domo_displacement),
+            format!("{:.3}", e.msgtracing_displacement),
+        ]);
+    }
+    format!(
+        "{}\n{}\n{}",
+        render_table(
+            "Fig 8(a) — error vs network scale",
+            &["nodes", "Domo (ms)", "MNT (ms)"],
+            &rows_a
+        ),
+        render_table(
+            "Fig 8(b) — bound width vs network scale",
+            &["nodes", "Domo (ms)", "MNT (ms)"],
+            &rows_b
+        ),
+        render_table(
+            "Fig 8(c) — displacement vs network scale",
+            &["nodes", "Domo", "MsgTracing"],
+            &rows_c
+        ),
+    )
+}
+
+/// One point of the Figure 9 sweep (effective time window ratio).
+#[derive(Debug, Clone)]
+pub struct WindowRatioPoint {
+    /// The effective time window ratio.
+    pub ratio: f64,
+    /// Mean estimated-value error (ms).
+    pub error_ms: f64,
+    /// Estimator wall-clock per reconstructed delay (ms).
+    pub time_per_delay_ms: f64,
+}
+
+/// Figure 9: sweep of the effective time window ratio (§IV.B).
+pub fn window_ratio_sweep(base: Scenario, ratios: &[f64]) -> Vec<WindowRatioPoint> {
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let mut s = base.clone();
+            s.name = format!("{}-ratio{ratio:.1}", s.name);
+            s.estimator.effective_window_ratio = ratio;
+            let run = ScenarioRun::execute(s);
+            let errs = domo_errors(run.domo.view(), &run.trace, &run.estimates);
+            // Re-time the estimator over a few repeats (min of runs) so
+            // the per-delay cost curve is not dominated by system noise.
+            let best = (0..3)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    let _ = run.domo.estimate(&run.scenario.estimator);
+                    start.elapsed().as_secs_f64()
+                })
+                .fold(run.estimate_seconds, f64::min);
+            WindowRatioPoint {
+                ratio,
+                error_ms: domo_util::stats::mean(&errs).unwrap_or(f64::NAN),
+                time_per_delay_ms: 1000.0 * best
+                    / run.domo.view().num_vars().max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure 9 tables (9a accuracy, 9b execution time).
+pub fn render_window_ratio_sweep(points: &[WindowRatioPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.ratio),
+                format!("{:.2}", p.error_ms),
+                format!("{:.3}", p.time_per_delay_ms),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig 9 — effective time window ratio",
+        &["ratio", "avg error (ms)", "time/delay (ms)"],
+        &rows,
+    )
+}
+
+/// One point of the Figure 10 sweep (graph cut size).
+#[derive(Debug, Clone)]
+pub struct CutSizePoint {
+    /// Sub-graph vertex budget.
+    pub cut_size: usize,
+    /// Mean bound width (ms).
+    pub width_ms: f64,
+    /// Bound-solver wall-clock per bound (ms).
+    pub time_per_bound_ms: f64,
+    /// Cut edges after BLP, averaged per target.
+    pub avg_cut_edges: f64,
+}
+
+/// Figure 10: sweep of the graph cut size (§IV.C).
+pub fn cut_size_sweep(base: Scenario, cut_sizes: &[usize]) -> Vec<CutSizePoint> {
+    cut_sizes
+        .iter()
+        .map(|&cut| {
+            let mut s = base.clone();
+            s.name = format!("{}-cut{cut}", s.name);
+            s.bounds.graph_cut_size = cut;
+            let run = ScenarioRun::execute(s);
+            let (bounds, seconds) = run.run_bounds();
+            let widths = bound_widths(|v| bounds.of(v), run.domo.view().num_vars());
+            CutSizePoint {
+                cut_size: cut,
+                width_ms: domo_util::stats::mean(&widths).unwrap_or(f64::NAN),
+                time_per_bound_ms: 1000.0 * seconds / bounds.stats.targets.max(1) as f64,
+                avg_cut_edges: bounds.stats.cut_after as f64
+                    / bounds.stats.targets.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Figure 10 tables (10a bound width, 10b execution time).
+pub fn render_cut_size_sweep(points: &[CutSizePoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.cut_size.to_string(),
+                format!("{:.2}", p.width_ms),
+                format!("{:.2}", p.time_per_bound_ms),
+                format!("{:.1}", p.avg_cut_edges),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig 10 — graph cut size",
+        &["cut size", "avg bound width (ms)", "time/bound (ms)", "cut edges"],
+        &rows,
+    )
+}
+
+/// The quality ablation of DESIGN.md §5: FIFO treatment, BLP boundary
+/// tuning, propagation-only bounds, and the MNT oracle idealization,
+/// each scored on the same trace.
+pub fn ablation_report(scenario: Scenario) -> String {
+    use domo_baselines::AnchorOracle;
+    use domo_core::{BoundMethod, FifoMode};
+
+    let run = ScenarioRun::execute(scenario.clone());
+    let view = run.domo.view();
+    let trace = &run.trace;
+    let mean = |v: &[f64]| domo_util::stats::mean(v).unwrap_or(f64::NAN);
+
+    // --- FIFO treatment (estimator). ---
+    let mut fifo_rows = Vec::new();
+    for (label, mode, window) in [
+        ("off", FifoMode::Off, scenario.estimator.window_packets),
+        ("linearized", FifoMode::Linearized, scenario.estimator.window_packets),
+        ("sdp", FifoMode::SdpRelaxation, 6),
+    ] {
+        let cfg = domo_core::EstimatorConfig {
+            fifo_mode: mode,
+            window_packets: window,
+            ..scenario.estimator.clone()
+        };
+        let start = std::time::Instant::now();
+        let est = run.domo.estimate(&cfg);
+        let errs = domo_errors(view, trace, &est);
+        fifo_rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", mean(&errs)),
+            format!("{}", est.stats.sdp_windows),
+            format!("{:.2}s", start.elapsed().as_secs_f64()),
+        ]);
+    }
+
+    // --- Bounds: BLP / BFS / propagation-only. ---
+    let targets = run.bound_targets();
+    let mut bound_rows = Vec::new();
+    for (label, use_blp, method) in [
+        ("bfs ball", false, BoundMethod::SubgraphLp),
+        ("blp refined", true, BoundMethod::SubgraphLp),
+        ("propagation only", true, BoundMethod::PropagationOnly),
+    ] {
+        let cfg = domo_core::BoundsConfig {
+            use_blp,
+            method,
+            ..scenario.bounds.clone()
+        };
+        let start = std::time::Instant::now();
+        let b = run.domo.bounds(&cfg, &targets);
+        bound_rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", b.mean_width().unwrap_or(f64::NAN)),
+            format!("{}", b.stats.cut_after),
+            format!("{:.2}s", start.elapsed().as_secs_f64()),
+        ]);
+    }
+
+    // --- MNT oracle idealization. ---
+    let mut mnt_rows = Vec::new();
+    for (label, oracle) in [
+        ("idealized (true order)", AnchorOracle::TrueOrder),
+        ("sink-side (decided only)", AnchorOracle::DecidedOnly),
+    ] {
+        let res = run_mnt(
+            trace,
+            view,
+            &domo_baselines::MntConfig {
+                oracle,
+                ..scenario.mnt.clone()
+            },
+        );
+        let errs = crate::metrics::absolute_errors(view, trace, |v| Some(res.estimate[v]));
+        mnt_rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", mean(&errs)),
+            format!("{:.2}", res.mean_width().unwrap_or(f64::NAN)),
+        ]);
+    }
+
+    format!(
+        "{}\n{}\n{}",
+        render_table(
+            &format!("Ablation — FIFO treatment [{}]", run.scenario.name),
+            &["mode", "avg error (ms)", "lifted windows", "time"],
+            &fifo_rows,
+        ),
+        render_table(
+            "Ablation — bound method",
+            &["method", "avg width (ms)", "cut edges", "time"],
+            &bound_rows,
+        ),
+        render_table(
+            "Ablation — MNT oracle",
+            &["oracle", "avg error (ms)", "avg width (ms)"],
+            &mnt_rows,
+        ),
+    )
+}
+
+/// Table I: overhead comparison, with the PC-side computation measured
+/// on a real run.
+pub fn table1(scenario: Scenario) -> String {
+    let run = ScenarioRun::execute(scenario);
+    let (_, bounds_seconds) = run.run_bounds();
+    let per_delay_ms =
+        1000.0 * run.estimate_seconds / run.domo.view().num_vars().max(1) as f64;
+    let log_bytes = overhead::message_tracing_log_bytes(&run.trace);
+    let max_log = log_bytes.iter().max().copied().unwrap_or(0);
+
+    let rows: Vec<Vec<String>> = overhead::table_rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.approach.to_string(),
+                format!("{} bytes", r.message_bytes),
+                r.node_computation.to_string(),
+                r.pc_computation.to_string(),
+                r.node_memory.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Table I — overhead comparison",
+        &["approach", "message", "node comp.", "PC comp.", "node mem."],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nmeasured PC-side cost [{}]: {:.2} ms per estimated delay, {:.1}s bounds pass;\n\
+         MessageTracing max per-node log volume on this trace: {} bytes\n",
+        run.scenario.name, per_delay_ms, bounds_seconds, max_log
+    ));
+    out
+}
+
+/// Renders a spatial delay heat map as ASCII art (the paper's Figure 1
+/// draws dots sized by delay; we draw intensity characters on a grid).
+/// `values` maps node index → mean delay; the sink renders as `#`.
+fn render_heat_map(
+    positions: &[domo_net::Position],
+    values: &std::collections::HashMap<usize, f64>,
+    title: &str,
+) -> String {
+    use std::fmt::Write;
+    const COLS: usize = 40;
+    const ROWS: usize = 20;
+    const RAMP: [char; 6] = ['.', ':', 'o', 'O', '@', '%'];
+
+    let max_x = positions.iter().map(|p| p.x).fold(1.0_f64, f64::max);
+    let max_y = positions.iter().map(|p| p.y).fold(1.0_f64, f64::max);
+    let (lo, hi) = values.values().fold((f64::INFINITY, 0.0_f64), |(l, h), &v| {
+        (l.min(v), h.max(v))
+    });
+    let span = (hi - lo).max(1e-9);
+
+    let mut grid = vec![[' '; COLS]; ROWS];
+    for (i, pos) in positions.iter().enumerate() {
+        let c = ((pos.x / max_x) * (COLS - 1) as f64).round() as usize;
+        let r = ((pos.y / max_y) * (ROWS - 1) as f64).round() as usize;
+        let glyph = if i == 0 {
+            '#'
+        } else if let Some(&v) = values.get(&i) {
+            RAMP[(((v - lo) / span) * (RAMP.len() - 1) as f64).round() as usize]
+        } else {
+            continue;
+        };
+        grid[r][c] = glyph;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  [{lo:.1} ms '.' … {hi:.1} ms '%'; '#' = sink]");
+    for row in &grid {
+        let _ = writeln!(out, "  {}", row.iter().collect::<String>());
+    }
+    out
+}
+
+/// Figure 1: the end-to-end delay map of the deployment at two times —
+/// qualitative, regenerated from a simulated trace.
+pub fn delay_map(scenario: Scenario) -> String {
+    let run = ScenarioRun::execute(scenario);
+    let view = run.domo.view();
+    let trace = &run.trace;
+    let mid = trace
+        .packets
+        .first()
+        .map(|f| {
+            let last = trace.packets.last().expect("non-empty").sink_arrival;
+            f.gen_time + (last - f.gen_time) / 2
+        })
+        .unwrap_or(domo_util::time::SimTime::ZERO);
+
+    // Mean e2e per origin in each half of the trace.
+    let n = trace.num_nodes;
+    let mut acc = vec![(0.0f64, 0usize, 0.0f64, 0usize); n];
+    for p in view.packets() {
+        let e2e = p.e2e_delay().as_millis_f64();
+        let slot = &mut acc[p.pid.origin.index()];
+        if p.gen_time < mid {
+            slot.0 += e2e;
+            slot.1 += 1;
+        } else {
+            slot.2 += e2e;
+            slot.3 += 1;
+        }
+    }
+    let rows: Vec<Vec<String>> = (1..n)
+        .filter(|&i| acc[i].1 > 0 || acc[i].3 > 0)
+        .map(|i| {
+            let (x, y) = (trace.positions[i].x, trace.positions[i].y);
+            let t1 = if acc[i].1 > 0 { acc[i].0 / acc[i].1 as f64 } else { f64::NAN };
+            let t2 = if acc[i].3 > 0 { acc[i].2 / acc[i].3 as f64 } else { f64::NAN };
+            vec![
+                format!("n{i}"),
+                format!("({x:.0},{y:.0})"),
+                format!("{t1:.1}"),
+                format!("{t2:.1}"),
+            ]
+        })
+        .collect();
+
+    // The two spatial heat maps (the paper's Figure 1(a)/(b)).
+    let means = |first: bool| -> std::collections::HashMap<usize, f64> {
+        (1..n)
+            .filter_map(|i| {
+                let (sum, count) = if first {
+                    (acc[i].0, acc[i].1)
+                } else {
+                    (acc[i].2, acc[i].3)
+                };
+                (count > 0).then(|| (i, sum / count as f64))
+            })
+            .collect()
+    };
+    format!(
+        "{}\n{}\n{}",
+        render_heat_map(
+            &trace.positions,
+            &means(true),
+            "Fig 1(a) — mean e2e delay, first half",
+        ),
+        render_heat_map(
+            &trace.positions,
+            &means(false),
+            "Fig 1(b) — mean e2e delay, second half",
+        ),
+        render_table(
+            "Fig 1 — per-node mean end-to-end delay at two times (ms)",
+            &["node", "position", "t1 window", "t2 window"],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_eval() -> Evaluation {
+        evaluate(Scenario::smoke(95))
+    }
+
+    #[test]
+    fn evaluation_shows_domo_ahead() {
+        let e = smoke_eval();
+        assert!(
+            e.domo_err.mean() < e.mnt_err.mean(),
+            "Domo ({:.2}) must beat MNT ({:.2}) on estimates",
+            e.domo_err.mean(),
+            e.mnt_err.mean()
+        );
+        assert!(
+            e.domo_width.mean() < e.mnt_width.mean(),
+            "Domo ({:.2}) must beat MNT ({:.2}) on bounds",
+            e.domo_width.mean(),
+            e.mnt_width.mean()
+        );
+        assert!(
+            e.domo_displacement < e.msgtracing_displacement,
+            "Domo ({:.3}) must beat MessageTracing ({:.3}) on order",
+            e.domo_displacement,
+            e.msgtracing_displacement
+        );
+        assert!(e.domo_bound_coverage > 0.9);
+    }
+
+    #[test]
+    fn renderers_produce_tables() {
+        let e = smoke_eval();
+        assert!(e.render_accuracy().contains("Fig 6(a)"));
+        assert!(e.render_bounds().contains("Fig 6(b)"));
+        assert!(e.render_displacement().contains("Fig 6(c)"));
+    }
+
+    #[test]
+    fn window_ratio_sweep_runs() {
+        let pts = window_ratio_sweep(Scenario::smoke(96), &[0.3, 0.9]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.error_ms.is_finite()));
+        assert!(render_window_ratio_sweep(&pts).contains("Fig 9"));
+    }
+
+    #[test]
+    fn cut_size_sweep_runs() {
+        let pts = cut_size_sweep(Scenario::smoke(97), &[20, 120]);
+        assert_eq!(pts.len(), 2);
+        // Bigger sub-graphs never loosen the mean width (small slack for
+        // LP tolerance).
+        assert!(pts[1].width_ms <= pts[0].width_ms + 0.5);
+        assert!(render_cut_size_sweep(&pts).contains("Fig 10"));
+    }
+
+    #[test]
+    fn table1_and_delay_map_render() {
+        assert!(table1(Scenario::smoke(98)).contains("Table I"));
+        let map = delay_map(Scenario::smoke(99));
+        assert!(map.contains("Fig 1"));
+        assert!(map.lines().count() > 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! The experiment harness reproducing the Domo paper's evaluation.
+//!
+//! Every table and figure of §VI maps to a function in [`figures`]; the
+//! `domo-exp` binary drives them from the command line. [`scenario`]
+//! defines the simulated deployments (node counts match the paper;
+//! durations are scaled for laptop-friendly regeneration — see
+//! DESIGN.md) and [`metrics`] holds the scoring shared across
+//! experiments.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use domo_experiments::{figures, scenario::Scenario};
+//!
+//! let eval = figures::evaluate(Scenario::smoke(1));
+//! println!("{}", eval.render_accuracy());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod metrics;
+pub mod scenario;
+
+pub use figures::{evaluate, Evaluation};
+pub use scenario::{Scenario, ScenarioRun};

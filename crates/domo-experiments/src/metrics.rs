@@ -1,0 +1,224 @@
+//! Evaluation metrics shared by every experiment.
+//!
+//! All scoring compares a reconstruction against the simulator's ground
+//! truth. The three metric families mirror §VI.A of the paper:
+//! absolute per-arrival-time error (estimated values), bound width
+//! (bounds), and average displacement (event order).
+
+use domo_core::{Estimates, TraceView};
+use domo_net::NetworkTrace;
+use domo_util::stats::Ecdf;
+
+/// Per-variable absolute errors of a reconstruction (ms). Variables
+/// without a value are skipped.
+pub fn absolute_errors(
+    view: &TraceView,
+    trace: &NetworkTrace,
+    value_of: impl Fn(usize) -> Option<f64>,
+) -> Vec<f64> {
+    let mut errors = Vec::new();
+    for (var, hr) in view.vars().iter().enumerate() {
+        let pid = view.packet(hr.packet).pid;
+        let truth = trace
+            .truth(pid)
+            .expect("delivered packets have ground truth")[hr.hop]
+            .as_millis_f64();
+        if let Some(v) = value_of(var) {
+            errors.push((v - truth).abs());
+        }
+    }
+    errors
+}
+
+/// Absolute errors of Domo's estimated values.
+pub fn domo_errors(view: &TraceView, trace: &NetworkTrace, est: &Estimates) -> Vec<f64> {
+    absolute_errors(view, trace, |v| est.time_of(v))
+}
+
+/// Fraction of truths lying inside `[lb − tol, ub + tol]`.
+pub fn coverage(
+    view: &TraceView,
+    trace: &NetworkTrace,
+    bound_of: impl Fn(usize) -> Option<(f64, f64)>,
+    tol: f64,
+) -> f64 {
+    let mut inside = 0usize;
+    let mut total = 0usize;
+    for (var, hr) in view.vars().iter().enumerate() {
+        let Some((lo, hi)) = bound_of(var) else {
+            continue;
+        };
+        let pid = view.packet(hr.packet).pid;
+        let truth = trace.truth(pid).expect("truth")[hr.hop].as_millis_f64();
+        total += 1;
+        if truth >= lo - tol && truth <= hi + tol {
+            inside += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        inside as f64 / total as f64
+    }
+}
+
+/// Bound widths (ms) of the computed targets.
+pub fn bound_widths(bound_of: impl Fn(usize) -> Option<(f64, f64)>, num_vars: usize) -> Vec<f64> {
+    (0..num_vars)
+        .filter_map(|v| bound_of(v).map(|(lo, hi)| hi - lo))
+        .collect()
+}
+
+/// A labeled empirical distribution, ready for text rendering.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Label shown in reports.
+    pub name: String,
+    /// Raw sample.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates a labeled series.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Mean of the sample (`NaN` for an empty series).
+    pub fn mean(&self) -> f64 {
+        domo_util::stats::mean(&self.values).unwrap_or(f64::NAN)
+    }
+
+    /// The ECDF of the sample.
+    pub fn ecdf(&self) -> Ecdf {
+        Ecdf::from_values(&self.values)
+    }
+
+    /// Renders the CDF as `x  P[X ≤ x]` rows (the series a plot would
+    /// show), at `points` evenly spaced x-values.
+    pub fn render_cdf(&self, points: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# CDF of {} (n={}, mean={:.2})", self.name, self.values.len(), self.mean());
+        for (x, p) in self.ecdf().curve(points) {
+            let _ = writeln!(out, "{x:10.3}  {p:7.4}");
+        }
+        out
+    }
+}
+
+/// Renders a fixed-width text table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write;
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line: Vec<String> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = width[i]))
+        .collect();
+    let _ = writeln!(out, "{}", line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .take(cols)
+            .map(|(i, c)| format!("{c:>w$}", w = width[i]))
+            .collect();
+        let _ = writeln!(out, "{}", line.join("  "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_core::EstimatorConfig;
+
+    #[test]
+    fn errors_zero_for_perfect_reconstruction() {
+        let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 81));
+        let view = TraceView::new(trace.packets.clone());
+        let errs = absolute_errors(&view, &trace, |var| {
+            let hr = view.vars()[var];
+            Some(trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64())
+        });
+        assert!(!errs.is_empty());
+        assert!(errs.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn domo_errors_align_with_estimates() {
+        let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 82));
+        let view = TraceView::new(trace.packets.clone());
+        let est = domo_core::estimate(&view, &EstimatorConfig::default());
+        let errs = domo_errors(&view, &trace, &est);
+        assert_eq!(errs.len(), view.num_vars());
+        assert!(errs.iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn coverage_counts_containment() {
+        let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 83));
+        let view = TraceView::new(trace.packets.clone());
+        // Infinite bounds: full coverage.
+        let c = coverage(&view, &trace, |_| Some((f64::NEG_INFINITY, f64::INFINITY)), 0.0);
+        assert_eq!(c, 1.0);
+        // Impossible bounds: zero coverage.
+        let c = coverage(&view, &trace, |_| Some((0.0, 0.0)), 0.0);
+        assert_eq!(c, 0.0);
+        // No bounds at all: vacuous full coverage.
+        let c = coverage(&view, &trace, |_| None, 0.0);
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s = Series::new("widths", vec![1.0, 3.0]);
+        assert_eq!(s.mean(), 2.0);
+        let cdf = s.render_cdf(3);
+        assert!(cdf.contains("widths"));
+        assert!(cdf.lines().count() >= 3);
+        assert!(Series::new("empty", vec![]).mean().is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let table = render_table(
+            "Demo",
+            &["approach", "value"],
+            &[
+                vec!["Domo".into(), "3.58".into()],
+                vec!["MNT".into(), "9.33".into()],
+            ],
+        );
+        assert!(table.contains("== Demo =="));
+        assert!(table.contains("Domo"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Columns align: both data lines have the same length.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn bound_widths_skip_missing() {
+        let widths = bound_widths(
+            |v| if v == 1 { Some((0.0, 5.0)) } else { None },
+            3,
+        );
+        assert_eq!(widths, vec![5.0]);
+    }
+}

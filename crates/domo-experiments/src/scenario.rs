@@ -1,0 +1,186 @@
+//! Experiment scenarios: a network configuration plus reconstruction
+//! settings plus evaluation controls.
+//!
+//! The paper evaluates on 100/225/400-node TOSSIM networks. We keep the
+//! same node counts but scale the trace *duration* so every figure
+//! regenerates in minutes on a laptop; the reconstruction behaviour is
+//! governed by traffic density and topology, not wall-clock length, so
+//! the shapes are preserved (see EXPERIMENTS.md). Bounds are evaluated
+//! on a deterministic sample of the unknowns for the same reason.
+
+use domo_baselines::MntConfig;
+use domo_core::{Bounds, BoundsConfig, Domo, Estimates, EstimatorConfig};
+use domo_net::{run_simulation, NetworkConfig, NetworkTrace};
+use domo_util::rng::Xoshiro256pp;
+use domo_util::time::SimDuration;
+
+/// A fully specified experiment run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (appears in reports).
+    pub name: String,
+    /// Network/simulation configuration.
+    pub net: NetworkConfig,
+    /// Estimator configuration.
+    pub estimator: EstimatorConfig,
+    /// Bound-solver configuration.
+    pub bounds: BoundsConfig,
+    /// MNT baseline configuration.
+    pub mnt: MntConfig,
+    /// Extra fraction of delivered packets removed from the trace before
+    /// analysis (the paper's loss experiment), `0.0` for none.
+    pub extra_loss: f64,
+    /// Max number of unknowns bounds are computed for (deterministically
+    /// sampled); `usize::MAX` for all.
+    pub bound_sample: usize,
+}
+
+impl Scenario {
+    /// The paper's evaluation network at `num_nodes ∈ {100, 225, 400}`,
+    /// duration scaled for tractable regeneration.
+    pub fn paper(num_nodes: usize, seed: u64) -> Self {
+        let mut net = NetworkConfig::paper_scale(num_nodes, seed);
+        // Keep roughly 1.5–2k packets per run across scales.
+        net.duration = match num_nodes {
+            n if n <= 100 => SimDuration::from_secs(320),
+            n if n <= 225 => SimDuration::from_secs(150),
+            _ => SimDuration::from_secs(90),
+        };
+        Self {
+            name: format!("paper-{num_nodes}"),
+            net,
+            estimator: EstimatorConfig::default(),
+            bounds: BoundsConfig::default(),
+            mnt: MntConfig::default(),
+            extra_loss: 0.0,
+            bound_sample: 200,
+        }
+    }
+
+    /// A fast, small scenario for tests and smoke runs.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            name: "smoke".into(),
+            net: NetworkConfig::small(25, seed),
+            estimator: EstimatorConfig::default(),
+            bounds: BoundsConfig::default(),
+            mnt: MntConfig::default(),
+            extra_loss: 0.0,
+            bound_sample: 60,
+        }
+    }
+
+    /// Divides the scenario's duration and sampling by `factor` (the
+    /// `--fast` switch of the harness).
+    pub fn scaled_down(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        let us = self.net.duration.as_micros() / factor;
+        self.net.duration = SimDuration::from_micros(us.max(10_000_000));
+        self.bound_sample = (self.bound_sample / factor as usize).max(20);
+        self
+    }
+}
+
+/// Everything one scenario run produces.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// The simulated trace (after any extra loss was applied).
+    pub trace: NetworkTrace,
+    /// The Domo analyzer built over the trace.
+    pub domo: Domo,
+    /// Domo's estimated values.
+    pub estimates: Estimates,
+    /// Wall-clock seconds spent in the estimator.
+    pub estimate_seconds: f64,
+}
+
+impl ScenarioRun {
+    /// Simulates the network, applies extra loss, and runs the
+    /// estimator.
+    pub fn execute(scenario: Scenario) -> Self {
+        let full_trace = run_simulation(&scenario.net);
+        let trace = if scenario.extra_loss > 0.0 {
+            let mut rng = Xoshiro256pp::seed_from_u64(scenario.net.seed ^ 0xD0D0);
+            full_trace.with_extra_loss(scenario.extra_loss, &mut rng)
+        } else {
+            full_trace
+        };
+        let domo = Domo::from_trace(&trace);
+        let start = std::time::Instant::now();
+        let estimates = domo.estimate(&scenario.estimator);
+        let estimate_seconds = start.elapsed().as_secs_f64();
+        Self {
+            scenario,
+            trace,
+            domo,
+            estimates,
+            estimate_seconds,
+        }
+    }
+
+    /// The deterministic bound-target sample for this run.
+    pub fn bound_targets(&self) -> Vec<usize> {
+        let n = self.domo.view().num_vars();
+        let want = self.scenario.bound_sample.min(n);
+        if want == 0 || n == 0 {
+            return Vec::new();
+        }
+        let step = (n / want).max(1);
+        (0..n).step_by(step).take(want).collect()
+    }
+
+    /// Runs the bound solver on the sampled targets, returning the
+    /// bounds and the wall-clock seconds spent.
+    pub fn run_bounds(&self) -> (Bounds, f64) {
+        let targets = self.bound_targets();
+        let start = std::time::Instant::now();
+        let bounds = self.domo.bounds(&self.scenario.bounds, &targets);
+        (bounds, start.elapsed().as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_executes_end_to_end() {
+        let run = ScenarioRun::execute(Scenario::smoke(91));
+        assert!(run.trace.stats.delivered > 50);
+        assert!(run.estimates.times_ms.iter().all(|t| t.is_some()));
+        assert!(run.estimate_seconds >= 0.0);
+        let targets = run.bound_targets();
+        assert!(!targets.is_empty());
+        assert!(targets.len() <= 60);
+    }
+
+    #[test]
+    fn extra_loss_shrinks_trace() {
+        let mut s = Scenario::smoke(92);
+        s.extra_loss = 0.3;
+        let lossy = ScenarioRun::execute(s);
+        let clean = ScenarioRun::execute(Scenario::smoke(92));
+        assert!(lossy.trace.packets.len() < clean.trace.packets.len());
+    }
+
+    #[test]
+    fn scaled_down_reduces_duration() {
+        let s = Scenario::paper(100, 1).scaled_down(2);
+        assert_eq!(s.net.duration, SimDuration::from_secs(160));
+        assert_eq!(s.bound_sample, 100);
+        // Never shrinks below the 10-second floor.
+        let tiny = Scenario::paper(100, 1).scaled_down(1000);
+        assert_eq!(tiny.net.duration, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn paper_scenarios_have_expected_sizes() {
+        for n in [100, 225, 400] {
+            let s = Scenario::paper(n, 1);
+            assert_eq!(s.net.num_nodes, n);
+            assert!(s.net.validate().is_ok());
+        }
+    }
+}

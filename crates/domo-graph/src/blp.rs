@@ -1,0 +1,278 @@
+//! Balanced label propagation (BLP) boundary tuning.
+//!
+//! The Domo paper refines the initial BFS-ball sub-graph with the
+//! balanced label propagation algorithm of Ugander & Backstrom (WSDM'13)
+//! so that the extracted sub-graph cuts as few constraint edges as
+//! possible while keeping its size fixed. This module implements the
+//! two-partition special case that Domo needs: vertices carry an
+//! in/out label; each round computes, for every boundary vertex, the
+//! *gain* of flipping its label (weighted neighbors inside minus
+//! outside), then executes the best-gain swaps in matched in/out pairs so
+//! the sub-graph size never changes. The target vertex is pinned inside.
+//!
+//! This greedy matched-swap scheme is the standard simplification of
+//! BLP's LP-based relocation step for two partitions; DESIGN.md records
+//! the substitution.
+
+use crate::extract::Subgraph;
+use crate::graph::Graph;
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlpOptions {
+    /// Maximum number of propagation rounds.
+    pub max_rounds: usize,
+    /// Maximum swaps executed per round (caps per-round churn like BLP's
+    /// relocation budget).
+    pub max_swaps_per_round: usize,
+}
+
+impl Default for BlpOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 20,
+            max_swaps_per_round: 64,
+        }
+    }
+}
+
+/// Outcome statistics of a refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlpStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total swaps executed.
+    pub swaps: usize,
+    /// Cut weight before refinement.
+    pub cut_before: u64,
+    /// Cut weight after refinement.
+    pub cut_after: u64,
+}
+
+/// Gain of flipping vertex `v`: (weight to same-label neighbors) −
+/// (weight to other-label neighbors). Negative gain means flipping
+/// *reduces* the cut by `−gain`.
+fn flip_delta(graph: &Graph, in_set: &[bool], v: usize) -> i64 {
+    let mut same = 0i64;
+    let mut other = 0i64;
+    for (u, w) in graph.neighbors(v) {
+        if in_set[u] == in_set[v] {
+            same += i64::from(w);
+        } else {
+            other += i64::from(w);
+        }
+    }
+    same - other
+}
+
+/// Refines a sub-graph in place, returning statistics.
+///
+/// The sub-graph size is invariant; the target vertex never leaves. The
+/// cut weight is non-increasing across rounds (each executed swap pair is
+/// re-validated against the current labels before being applied).
+///
+/// # Panics
+///
+/// Panics if the sub-graph does not belong to `graph` (mask length
+/// mismatch) or does not contain its own target.
+///
+/// # Examples
+///
+/// ```
+/// use domo_graph::{Graph, extract_ball, refine, BlpOptions};
+///
+/// let mut g = Graph::new(6);
+/// // Two triangles joined by one edge.
+/// g.add_edge(0, 1); g.add_edge(1, 2); g.add_edge(0, 2);
+/// g.add_edge(3, 4); g.add_edge(4, 5); g.add_edge(3, 5);
+/// g.add_edge(2, 3);
+/// let mut sub = extract_ball(&g, 0, 3);
+/// let stats = refine(&g, &mut sub, &BlpOptions::default());
+/// assert!(stats.cut_after <= stats.cut_before);
+/// assert_eq!(stats.cut_after, 1); // the bridge edge
+/// ```
+pub fn refine(graph: &Graph, sub: &mut Subgraph, options: &BlpOptions) -> BlpStats {
+    assert_eq!(
+        sub.in_set.len(),
+        graph.num_vertices(),
+        "sub-graph mask does not match graph"
+    );
+    assert!(sub.contains(sub.target), "sub-graph must contain its target");
+
+    let cut_before = graph.cut_weight(&sub.in_set);
+    let mut stats = BlpStats {
+        rounds: 0,
+        swaps: 0,
+        cut_before,
+        cut_after: cut_before,
+    };
+
+    for _ in 0..options.max_rounds {
+        stats.rounds += 1;
+
+        // Candidate flips: inside vertices wanting out (except target)
+        // and outside vertices wanting in, sorted by how much the flip
+        // would reduce the cut on its own.
+        let mut out_candidates: Vec<(i64, usize)> = Vec::new(); // inside → outside
+        let mut in_candidates: Vec<(i64, usize)> = Vec::new(); // outside → inside
+        for v in 0..graph.num_vertices() {
+            let delta = flip_delta(graph, &sub.in_set, v);
+            if delta < 0 {
+                if sub.in_set[v] {
+                    if v != sub.target {
+                        out_candidates.push((delta, v));
+                    }
+                } else if graph.neighbors(v).any(|(u, _)| sub.in_set[u]) {
+                    // Only adjacent outsiders may join (keeps the
+                    // sub-graph connected to the target's region).
+                    in_candidates.push((delta, v));
+                }
+            }
+        }
+        out_candidates.sort_unstable();
+        in_candidates.sort_unstable();
+
+        let mut swaps_this_round = 0;
+        let pairs = out_candidates
+            .iter()
+            .zip(&in_candidates)
+            .take(options.max_swaps_per_round);
+        for (&(_, leave), &(_, join)) in pairs {
+            // Re-validate both flips against the *current* labels — the
+            // earlier swaps of this round may have changed the gains.
+            if !sub.in_set[leave] || sub.in_set[join] {
+                continue;
+            }
+            let d_leave = flip_delta(graph, &sub.in_set, leave);
+            if d_leave >= 0 {
+                continue;
+            }
+            sub.in_set[leave] = false;
+            let d_join = flip_delta(graph, &sub.in_set, join);
+            if d_join >= -d_leave {
+                // The pair would not strictly reduce the cut; undo.
+                sub.in_set[leave] = true;
+                continue;
+            }
+            sub.in_set[join] = true;
+            swaps_this_round += 1;
+        }
+
+        stats.swaps += swaps_this_round;
+        if swaps_this_round == 0 {
+            break;
+        }
+    }
+
+    // Rebuild the vertex list from the mask (discovery order is no
+    // longer meaningful after swaps; use ascending ids).
+    sub.vertices = (0..graph.num_vertices()).filter(|&v| sub.in_set[v]).collect();
+    stats.cut_after = graph.cut_weight(&sub.in_set);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_ball;
+
+    /// Two K4 cliques joined by a single bridge edge; a ball around a
+    /// vertex of clique A with budget 4 may initially grab a bridge
+    /// vertex from clique B — refinement should settle on clique A.
+    fn barbell() -> Graph {
+        let mut g = Graph::new(8);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b);
+                g.add_edge(4 + a, 4 + b);
+            }
+        }
+        g.add_edge(3, 4);
+        g
+    }
+
+    #[test]
+    fn refine_never_increases_cut() {
+        let g = barbell();
+        for target in 0..8 {
+            let mut sub = extract_ball(&g, target, 4);
+            let stats = refine(&g, &mut sub, &BlpOptions::default());
+            assert!(stats.cut_after <= stats.cut_before, "target {target}");
+            assert!(sub.contains(target));
+            assert_eq!(sub.len(), 4);
+        }
+    }
+
+    #[test]
+    fn refine_finds_the_clique() {
+        let g = barbell();
+        let mut sub = extract_ball(&g, 0, 4);
+        let stats = refine(&g, &mut sub, &BlpOptions::default());
+        assert_eq!(stats.cut_after, 1, "only the bridge should be cut");
+        for v in 0..4 {
+            assert!(sub.contains(v), "clique member {v} should be inside");
+        }
+    }
+
+    #[test]
+    fn size_is_invariant_under_refinement() {
+        let g = barbell();
+        for budget in 1..8 {
+            let mut sub = extract_ball(&g, 2, budget);
+            let before = sub.len();
+            refine(&g, &mut sub, &BlpOptions::default());
+            assert_eq!(sub.len(), before, "budget {budget}");
+            assert_eq!(
+                sub.in_set.iter().filter(|&&b| b).count(),
+                before,
+                "mask and list must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn already_optimal_subgraph_is_untouched() {
+        let g = barbell();
+        let mut sub = extract_ball(&g, 0, 4);
+        refine(&g, &mut sub, &BlpOptions::default());
+        let cut = sub.cut_edges(&g);
+        let mut again = sub.clone();
+        let stats = refine(&g, &mut again, &BlpOptions::default());
+        assert_eq!(stats.swaps, 0);
+        assert_eq!(stats.cut_after, cut);
+    }
+
+    #[test]
+    fn rounds_budget_is_respected() {
+        let g = barbell();
+        let mut sub = extract_ball(&g, 0, 4);
+        let stats = refine(
+            &g,
+            &mut sub,
+            &BlpOptions {
+                max_rounds: 1,
+                max_swaps_per_round: 1,
+            },
+        );
+        assert!(stats.rounds <= 1);
+    }
+
+    #[test]
+    fn target_is_pinned() {
+        // Target in the "wrong" clique: even when every neighbor votes to
+        // leave, the target stays.
+        let g = barbell();
+        let mut sub = extract_ball(&g, 4, 5);
+        refine(&g, &mut sub, &BlpOptions::default());
+        assert!(sub.contains(4));
+    }
+
+    #[test]
+    fn empty_graph_edge_case() {
+        let mut g = Graph::new(1);
+        g.add_edge_weighted(0, 0, 1); // ignored self-loop
+        let mut sub = extract_ball(&g, 0, 1);
+        let stats = refine(&g, &mut sub, &BlpOptions::default());
+        assert_eq!(stats.cut_after, 0);
+    }
+}

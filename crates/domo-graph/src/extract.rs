@@ -1,0 +1,229 @@
+//! Sub-graph extraction around a target vertex (Domo §IV.C).
+//!
+//! When bounding one arrival time, Domo does not solve an optimization
+//! problem over the whole trace: it extracts a sub-graph of the
+//! constraint graph around the target vertex — large enough that the
+//! boundary is far from the target, small enough to solve quickly — and
+//! only uses the constraints inside it. The *initial* solution here is a
+//! BFS ball; [`crate::blp`] then tunes the boundary to cut fewer edges,
+//! exactly as the paper does with balanced label propagation.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// An extracted sub-graph: a set of vertices around a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgraph {
+    /// The vertex the sub-graph was grown around.
+    pub target: usize,
+    /// Membership mask over all graph vertices.
+    pub in_set: Vec<bool>,
+    /// The member vertices, in BFS discovery order from the target.
+    pub vertices: Vec<usize>,
+}
+
+impl Subgraph {
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` when the sub-graph is empty (cannot happen for
+    /// extraction from a valid target, which always contains the target).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Returns `true` if `v` is a member.
+    pub fn contains(&self, v: usize) -> bool {
+        self.in_set.get(v).copied().unwrap_or(false)
+    }
+
+    /// Number of edges with exactly one endpoint inside.
+    pub fn cut_edges(&self, graph: &Graph) -> u64 {
+        graph.cut_weight(&self.in_set)
+    }
+
+    /// Minimum BFS distance (inside the sub-graph) from the target to any
+    /// member vertex that has a neighbor outside — the "how far is the
+    /// boundary" criterion of the paper's initial solution. Returns
+    /// `None` when the sub-graph has no boundary (covers its component).
+    pub fn boundary_distance(&self, graph: &Graph) -> Option<usize> {
+        let dist = graph.bfs_distances(self.target);
+        self.vertices
+            .iter()
+            .filter(|&&v| graph.neighbors(v).any(|(w, _)| !self.in_set[w]))
+            .map(|&v| dist[v])
+            .min()
+    }
+}
+
+/// Grows a BFS ball of at most `max_vertices` vertices around `target`.
+///
+/// Vertices are taken in breadth-first order, so the ball is distance-
+/// monotone: every vertex at distance `d` enters before any at `d + 1`,
+/// which keeps the boundary as far from the target as a ball of this
+/// size allows (the paper's second criterion).
+///
+/// # Panics
+///
+/// Panics if `target` is out of range or `max_vertices == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use domo_graph::{Graph, extract_ball};
+///
+/// let mut g = Graph::new(5);
+/// for i in 0..4 { g.add_edge(i, i + 1); }
+/// let sub = extract_ball(&g, 2, 3);
+/// assert!(sub.contains(2));
+/// assert_eq!(sub.len(), 3);
+/// ```
+pub fn extract_ball(graph: &Graph, target: usize, max_vertices: usize) -> Subgraph {
+    assert!(target < graph.num_vertices(), "target out of range");
+    assert!(max_vertices > 0, "sub-graph must allow at least the target");
+
+    let mut in_set = vec![false; graph.num_vertices()];
+    let mut vertices = Vec::with_capacity(max_vertices.min(graph.num_vertices()));
+    let mut queue = VecDeque::from([target]);
+    in_set[target] = true;
+    while let Some(u) = queue.pop_front() {
+        vertices.push(u);
+        if vertices.len() == max_vertices {
+            break;
+        }
+        // Deterministic neighbor order: sort by id (HashMap iteration
+        // order is unspecified and would make extraction non-reproducible).
+        let mut nbrs: Vec<usize> = graph
+            .neighbors(u)
+            .filter(|&(v, _)| !in_set[v])
+            .map(|(v, _)| v)
+            .collect();
+        nbrs.sort_unstable();
+        for v in nbrs {
+            if in_set[v] {
+                continue;
+            }
+            if vertices.len() + queue.len() + 1 > max_vertices {
+                break;
+            }
+            in_set[v] = true;
+            queue.push_back(v);
+        }
+    }
+    // Any queued-but-unvisited vertices are still members (they were
+    // admitted under the budget).
+    for v in queue {
+        vertices.push(v);
+    }
+    Subgraph {
+        target,
+        in_set,
+        vertices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(side: usize) -> Graph {
+        let mut g = Graph::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    g.add_edge(v, v + 1);
+                }
+                if r + 1 < side {
+                    g.add_edge(v, v + side);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn ball_contains_target_and_respects_budget() {
+        let g = grid(5);
+        for budget in [1, 3, 7, 25] {
+            let sub = extract_ball(&g, 12, budget);
+            assert!(sub.contains(12));
+            assert_eq!(sub.len(), budget.min(25));
+            assert_eq!(sub.vertices.len(), sub.in_set.iter().filter(|&&b| b).count());
+        }
+    }
+
+    #[test]
+    fn ball_is_distance_monotone() {
+        let g = grid(5);
+        let sub = extract_ball(&g, 12, 9);
+        let dist = g.bfs_distances(12);
+        let max_in: usize = sub.vertices.iter().map(|&v| dist[v]).max().unwrap();
+        // No vertex outside the ball may be strictly closer than an
+        // interior (non-frontier) vertex of the ball.
+        for v in 0..g.num_vertices() {
+            if !sub.contains(v) {
+                assert!(dist[v] + 1 >= max_in, "outside vertex {v} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn ball_budget_larger_than_component_takes_component() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        // 3, 4, 5 disconnected.
+        let sub = extract_ball(&g, 0, 100);
+        assert_eq!(sub.len(), 3);
+        assert!(!sub.contains(4));
+        assert_eq!(sub.cut_edges(&g), 0);
+        assert_eq!(sub.boundary_distance(&g), None);
+    }
+
+    #[test]
+    fn boundary_distance_reflects_ball_radius() {
+        let g = grid(7);
+        let center = 24; // middle of the 7×7 grid
+        let small = extract_ball(&g, center, 5); // radius ≈ 1
+        let large = extract_ball(&g, center, 25); // radius ≈ 3
+        let bd_small = small.boundary_distance(&g).unwrap();
+        let bd_large = large.boundary_distance(&g).unwrap();
+        assert!(bd_large >= bd_small, "{bd_large} >= {bd_small}");
+    }
+
+    #[test]
+    fn cut_edges_shrink_with_full_coverage() {
+        let g = grid(3);
+        let partial = extract_ball(&g, 4, 4);
+        let full = extract_ball(&g, 4, 9);
+        assert!(partial.cut_edges(&g) > 0);
+        assert_eq!(full.cut_edges(&g), 0);
+    }
+
+    #[test]
+    fn singleton_budget() {
+        let g = grid(3);
+        let sub = extract_ball(&g, 0, 1);
+        assert_eq!(sub.vertices, vec![0]);
+        assert_eq!(sub.cut_edges(&g), 2);
+        assert_eq!(sub.boundary_distance(&g), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the target")]
+    fn zero_budget_rejected() {
+        let g = grid(2);
+        let _ = extract_ball(&g, 0, 0);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let g = grid(6);
+        let a = extract_ball(&g, 14, 12);
+        let b = extract_ball(&g, 14, 12);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! An undirected graph with parallel-edge merging.
+//!
+//! Domo models each unknown arrival time as a vertex and connects two
+//! vertices when at least one constraint couples them (paper §IV.C). The
+//! edge weight counts how many constraints couple the pair, which the
+//! sub-graph extraction uses to prefer keeping strongly-coupled vertices
+//! together.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A compact undirected graph over vertices `0..num_vertices`.
+///
+/// # Examples
+///
+/// ```
+/// use domo_graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    adjacency: Vec<HashMap<usize, u32>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![HashMap::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of distinct edges (parallel edges merge into weights).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds an edge (or increments its weight if it exists). Self-loops
+    /// are ignored: a constraint trivially couples a variable to itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        self.add_edge_weighted(u, v, 1);
+    }
+
+    /// Adds `w` to the weight of edge `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge_weighted(&mut self, u: usize, v: usize, w: u32) {
+        let n = self.num_vertices();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        if u == v || w == 0 {
+            return;
+        }
+        let is_new = !self.adjacency[u].contains_key(&v);
+        *self.adjacency[u].entry(v).or_insert(0) += w;
+        *self.adjacency[v].entry(u).or_insert(0) += w;
+        if is_new {
+            self.num_edges += 1;
+        }
+    }
+
+    /// Weight of edge `(u, v)`; `0` when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn edge_weight(&self, u: usize, v: usize) -> u32 {
+        let n = self.num_vertices();
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        self.adjacency[u].get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct neighbors of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.adjacency[u].iter().map(|(&v, &w)| (v, w))
+    }
+
+    /// Breadth-first distances from `source`; unreachable vertices get
+    /// `usize::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        assert!(source < self.num_vertices(), "source out of range");
+        let mut dist = vec![usize::MAX; self.num_vertices()];
+        dist[source] = 0;
+        let mut queue = VecDeque::from([source]);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in self.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected components as a vector of component ids (0-based,
+    /// ordered by first appearance).
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.num_vertices();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for (v, _) in self.neighbors(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Sum of weights of edges with exactly one endpoint in `in_set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_set.len() != self.num_vertices()`.
+    pub fn cut_weight(&self, in_set: &[bool]) -> u64 {
+        assert_eq!(in_set.len(), self.num_vertices(), "membership mask has wrong length");
+        let mut cut = 0u64;
+        for u in 0..self.num_vertices() {
+            if !in_set[u] {
+                continue;
+            }
+            for (v, w) in self.neighbors(u) {
+                if !in_set[v] {
+                    cut += u64::from(w);
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_merges_parallel_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), 3);
+        assert_eq!(g.edge_weight(1, 0), 3);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_ignored() {
+        let mut g = Graph::new(2);
+        g.add_edge_weighted(0, 1, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_bounds_checked() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.bfs_distances(2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn connected_components_partition_vertices() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(3, 4);
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[2], comp[3]);
+    }
+
+    #[test]
+    fn cut_weight_counts_boundary_edges_once() {
+        let g = path_graph(4);
+        // Cut between {0,1} and {2,3}: single edge (1,2).
+        assert_eq!(g.cut_weight(&[true, true, false, false]), 1);
+        assert_eq!(g.cut_weight(&[true, false, true, false]), 3);
+        assert_eq!(g.cut_weight(&[true, true, true, true]), 0);
+        assert_eq!(g.cut_weight(&[false; 4]), 0);
+    }
+
+    #[test]
+    fn cut_weight_respects_weights() {
+        let mut g = Graph::new(2);
+        g.add_edge_weighted(0, 1, 7);
+        assert_eq!(g.cut_weight(&[true, false]), 7);
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let g = Graph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.connected_components().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Constraint-graph machinery for Domo's bound solver.
+//!
+//! Domo (§IV.C of the paper) computes per-arrival-time bounds by solving
+//! `min t` / `max t` over a *sub-graph* of the constraint graph rather
+//! than the whole trace. This crate provides that machinery:
+//!
+//! * [`Graph`] — an undirected weighted graph whose vertices are unknown
+//!   arrival times and whose edges mark "some constraint couples these
+//!   two unknowns".
+//! * [`extract_ball`] — the paper's initial sub-graph: a BFS ball of a
+//!   configured size whose boundary is as far from the target as
+//!   possible.
+//! * [`refine`] — balanced-label-propagation boundary tuning that
+//!   reduces the number of cut constraint edges at fixed sub-graph size.
+//!
+//! # Examples
+//!
+//! ```
+//! use domo_graph::{Graph, extract_ball, refine, BlpOptions};
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(2, 3);
+//! let mut sub = extract_ball(&g, 1, 2);
+//! let stats = refine(&g, &mut sub, &BlpOptions::default());
+//! assert!(stats.cut_after <= stats.cut_before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blp;
+pub mod extract;
+pub mod graph;
+
+pub use blp::{refine, BlpOptions, BlpStats};
+pub use extract::{extract_ball, Subgraph};
+pub use graph::Graph;

@@ -1,0 +1,81 @@
+//! Property-based tests for the graph machinery.
+
+use domo_graph::{extract_ball, refine, BlpOptions, Graph};
+use domo_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+/// A random connected graph: a spanning path plus extra random edges.
+fn random_graph(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    for _ in 0..extra {
+        let a = rng.range_usize(0..n);
+        let b = rng.range_usize(0..n);
+        g.add_edge(a, b);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ball_invariants(n in 2usize..60, extra in 0usize..80, seed: u64,
+                       target_frac in 0.0f64..1.0, budget_frac in 0.01f64..1.0) {
+        let g = random_graph(n, extra, seed);
+        let target = ((n - 1) as f64 * target_frac) as usize;
+        let budget = ((n as f64 * budget_frac) as usize).max(1);
+        let sub = extract_ball(&g, target, budget);
+        prop_assert!(sub.contains(target));
+        prop_assert!(sub.len() <= budget);
+        prop_assert_eq!(sub.len(), sub.in_set.iter().filter(|&&b| b).count());
+        // Connected graph: the ball fills its budget (or the graph).
+        prop_assert_eq!(sub.len(), budget.min(n));
+    }
+
+    #[test]
+    fn refinement_invariants(n in 4usize..50, extra in 0usize..60, seed: u64,
+                             budget_frac in 0.1f64..0.9) {
+        let g = random_graph(n, extra, seed);
+        let target = n / 2;
+        let budget = ((n as f64 * budget_frac) as usize).max(1);
+        let mut sub = extract_ball(&g, target, budget);
+        let before_len = sub.len();
+        let stats = refine(&g, &mut sub, &BlpOptions::default());
+        prop_assert!(stats.cut_after <= stats.cut_before, "cut must not grow");
+        prop_assert_eq!(sub.len(), before_len, "size is invariant");
+        prop_assert!(sub.contains(target), "target stays inside");
+        prop_assert_eq!(stats.cut_after, sub.cut_edges(&g));
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_edges(n in 2usize..40, extra in 0usize..40, seed: u64) {
+        let g = random_graph(n, extra, seed);
+        let d = g.bfs_distances(0);
+        for u in 0..n {
+            for (v, _) in g.neighbors(u) {
+                // Adjacent vertices differ by at most one level.
+                prop_assert!(d[u].abs_diff(d[v]) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn components_consistent_with_edges(n in 1usize..40, edges in proptest::collection::vec((0usize..40, 0usize..40), 0..40)) {
+        let mut g = Graph::new(n);
+        for (a, b) in edges {
+            if a < n && b < n {
+                g.add_edge(a, b);
+            }
+        }
+        let comp = g.connected_components();
+        for u in 0..n {
+            for (v, _) in g.neighbors(u) {
+                prop_assert_eq!(comp[u], comp[v], "edge endpoints share a component");
+            }
+        }
+    }
+}

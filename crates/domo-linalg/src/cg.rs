@@ -1,0 +1,230 @@
+//! Preconditioned conjugate gradient for symmetric positive-definite
+//! systems.
+//!
+//! Used by the solver layer when a system is too large to factor densely
+//! (e.g. the Gram system of a full-trace QP before windowing) and in the
+//! ablation benches comparing direct vs. iterative linear solves.
+
+use crate::dense::{axpy, dot, norm2};
+use crate::sparse::CsrMatrix;
+
+/// Outcome of a conjugate-gradient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm `‖b − A x‖₂`.
+    pub residual_norm: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}
+
+/// Options controlling a CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Maximum iterations; defaults to `10 * n`.
+    pub max_iterations: Option<usize>,
+    /// Relative residual tolerance (`‖r‖ ≤ tol · ‖b‖`).
+    pub tolerance: f64,
+    /// Jacobi (diagonal) preconditioning.
+    pub jacobi_preconditioner: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: None,
+            tolerance: 1e-10,
+            jacobi_preconditioner: true,
+        }
+    }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` in CSR form.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use domo_linalg::{CsrMatrix, cg_solve, CgOptions};
+///
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
+/// let sol = cg_solve(&a, &[1.0, 2.0], &CgOptions::default());
+/// assert!(sol.converged);
+/// let r = a.matvec(&sol.x);
+/// assert!((r[0] - 1.0).abs() < 1e-8 && (r[1] - 2.0).abs() < 1e-8);
+/// ```
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> CgSolution {
+    assert_eq!(a.rows(), a.cols(), "CG requires a square matrix");
+    assert_eq!(b.len(), a.rows(), "right-hand side has wrong length");
+    let n = b.len();
+    if n == 0 {
+        return CgSolution {
+            x: Vec::new(),
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
+    }
+
+    let max_iter = options.max_iterations.unwrap_or(10 * n.max(1));
+    let b_norm = norm2(b).max(f64::MIN_POSITIVE);
+    let target = options.tolerance * b_norm;
+
+    // Jacobi preconditioner: M⁻¹ = diag(A)⁻¹ (fall back to identity for
+    // zero diagonal entries).
+    let inv_diag: Vec<f64> = if options.jacobi_preconditioner {
+        (0..n)
+            .map(|i| {
+                let d = a
+                    .row_entries(i)
+                    .find(|&(c, _)| c == i)
+                    .map(|(_, v)| v)
+                    .unwrap_or(0.0);
+                if d.abs() > f64::MIN_POSITIVE {
+                    1.0 / d
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    } else {
+        vec![1.0; n]
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+
+    let mut iterations = 0;
+    let mut res_norm = norm2(&r);
+    while res_norm > target && iterations < max_iter {
+        let ap = a.matvec(&p);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Not positive definite along p; bail with current iterate.
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        res_norm = norm2(&r);
+        iterations += 1;
+        if res_norm <= target {
+            break;
+        }
+        for ((zi, ri), di) in z.iter_mut().zip(&r).zip(&inv_diag) {
+            *zi = ri * di;
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+
+    CgSolution {
+        converged: res_norm <= target,
+        x,
+        iterations,
+        residual_norm: res_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Tridiagonal [−1, 2, −1] plus identity shift: SPD.
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 3.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn solves_small_spd_system() {
+        let a = laplacian_1d(5);
+        let b = vec![1.0; 5];
+        let sol = cg_solve(&a, &b, &CgOptions::default());
+        assert!(sol.converged, "residual {}", sol.residual_norm);
+        let r = a.matvec(&sol.x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn larger_system_converges_quickly_with_preconditioner() {
+        let n = 500;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let sol = cg_solve(&a, &b, &CgOptions::default());
+        assert!(sol.converged);
+        assert!(sol.iterations < n, "CG should beat dimension bound: {}", sol.iterations);
+    }
+
+    #[test]
+    fn without_preconditioner_still_converges() {
+        let a = laplacian_1d(50);
+        let b = vec![1.0; 50];
+        let opts = CgOptions {
+            jacobi_preconditioner: false,
+            ..CgOptions::default()
+        };
+        let sol = cg_solve(&a, &b, &opts);
+        assert!(sol.converged);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian_1d(4);
+        let sol = cg_solve(&a, &[0.0; 4], &CgOptions::default());
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_system_is_trivially_converged() {
+        let a = CsrMatrix::zeros(0, 0);
+        let sol = cg_solve(&a, &[], &CgOptions::default());
+        assert!(sol.converged);
+        assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    fn iteration_budget_is_respected() {
+        let a = laplacian_1d(100);
+        let b = vec![1.0; 100];
+        let opts = CgOptions {
+            max_iterations: Some(2),
+            tolerance: 1e-14,
+            jacobi_preconditioner: false,
+        };
+        let sol = cg_solve(&a, &b, &opts);
+        assert!(!sol.converged);
+        assert_eq!(sol.iterations, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular_matrix() {
+        let a = CsrMatrix::zeros(2, 3);
+        let _ = cg_solve(&a, &[1.0, 1.0], &CgOptions::default());
+    }
+}

@@ -1,0 +1,478 @@
+//! Dense, row-major matrices and vector kernels.
+//!
+//! The solver stack only needs real, double-precision linear algebra on
+//! problems of a few thousand unknowns, so this module favours clarity
+//! and bounds-checked safety over cache-blocking tricks. All storage is
+//! row-major `Vec<f64>`.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use domo_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(&a * &b, a);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have the same length"
+        );
+        Self {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a diagonal matrix from `diag`.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Self::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
+        (0..self.rows)
+            .map(|i| dot(self.row(i), x))
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch in matvec_t");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi != 0.0 {
+                for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                    *o += a * xi;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Replaces the matrix by its symmetric part `(A + Aᵀ)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Maximum absolute deviation from symmetry; `0.0` for square
+    /// symmetric matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn asymmetry(&self) -> f64 {
+        assert!(self.is_square(), "asymmetry requires a square matrix");
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// The trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Adds `s` to every diagonal entry in place (Tikhonov shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn shift_diagonal(&mut self, s: f64) {
+        assert!(self.is_square(), "shift_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += s;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik != 0.0 {
+                    for j in 0..rhs.cols {
+                        out[(i, j)] += aik * rhs[(k, j)];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            let row: Vec<String> = self.row(i).iter().map(|v| format!("{v:>10.4}")).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(domo_linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a vector.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm (max absolute entry); `0.0` for an empty vector.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Computes `y ← y + alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Returns `a - b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub_vec requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Returns `a + b` element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add_vec requires equal lengths");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Returns `s * a` element-wise.
+pub fn scale_vec(s: f64, a: &[f64]) -> Vec<f64> {
+    a.iter().map(|x| s * x).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!((z.rows(), z.cols()), (2, 3));
+        assert!(!z.is_square());
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i.trace(), 3.0);
+
+        let d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = &a * &b;
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matvec_and_matvec_t_agree_with_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let x = [1.0, 0.5, -1.0];
+        let y = [2.0, -1.0];
+        assert_eq!(a.matvec(&x), vec![-1.0, 0.5]);
+        assert_eq!(a.matvec_t(&y), a.transpose().matvec(&y));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        assert_eq!((&a + &b)[(0, 0)], 2.0);
+        assert_eq!((&a - &b)[(1, 1)], 3.0);
+        assert_eq!(a.scale(2.0)[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        assert_eq!(a.asymmetry(), 2.0);
+        a.symmetrize();
+        assert_eq!(a.asymmetry(), 0.0);
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert_eq!(sub_vec(&[3.0, 2.0], &[1.0, 1.0]), vec![2.0, 1.0]);
+        assert_eq!(add_vec(&[3.0, 2.0], &[1.0, 1.0]), vec![4.0, 3.0]);
+        assert_eq!(scale_vec(0.5, &[2.0, 4.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn shift_diagonal_adds_in_place() {
+        let mut a = Matrix::zeros(2, 2);
+        a.shift_diagonal(1e-6);
+        assert_eq!(a[(0, 0)], 1e-6);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let a = Matrix::identity(2);
+        let s = a.to_string();
+        assert!(s.contains("Matrix 2x2"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+}

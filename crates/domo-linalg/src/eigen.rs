@@ -1,0 +1,312 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method, and the
+//! PSD-cone projection built on top of it.
+//!
+//! The SDP solver's only non-trivial kernel is projecting a symmetric
+//! matrix onto the positive-semidefinite cone:
+//! `Π(A) = V · max(Λ, 0) · Vᵀ`. The Jacobi method is simple, provably
+//! convergent, and accurate to machine precision for the modest matrix
+//! sizes (tens to a few hundreds) produced by Domo's per-window lifted
+//! problems.
+
+use crate::dense::Matrix;
+
+/// Result of a symmetric eigendecomposition `A = V Λ Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `j` corresponds to `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// Only the *symmetric part* of `a` is decomposed: the routine
+/// symmetrizes internally so that tiny floating-point asymmetries from
+/// upstream arithmetic cannot break convergence.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or contains non-finite entries.
+///
+/// # Examples
+///
+/// ```
+/// use domo_linalg::{Matrix, symmetric_eigen};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let e = symmetric_eigen(&a);
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    assert!(a.is_square(), "symmetric_eigen requires a square matrix");
+    assert!(
+        a.as_slice().iter().all(|v| v.is_finite()),
+        "symmetric_eigen requires finite entries"
+    );
+    let n = a.rows();
+    let mut m = a.clone();
+    m.symmetrize();
+    let mut v = Matrix::identity(n);
+
+    if n <= 1 {
+        return SymmetricEigen {
+            values: (0..n).map(|i| m[(i, i)]).collect(),
+            vectors: v,
+        };
+    }
+
+    let scale = m.frobenius_norm().max(1.0);
+    let tol = 1e-15 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Classic stable rotation computation (Golub & Van Loan).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation J(p,q,θ) on both sides: M ← Jᵀ M J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors: V ← V J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+/// Projects a symmetric matrix onto the positive-semidefinite cone by
+/// clipping negative eigenvalues to zero.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or contains non-finite entries.
+///
+/// # Examples
+///
+/// ```
+/// use domo_linalg::{Matrix, project_psd, symmetric_eigen};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+/// let p = project_psd(&a);
+/// let e = symmetric_eigen(&p);
+/// assert!(e.values.iter().all(|&v| v >= -1e-12));
+/// ```
+pub fn project_psd(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let e = symmetric_eigen(a);
+    // Reconstruct V diag(λ⁺) Vᵀ, skipping non-positive eigenvalues.
+    let mut out = Matrix::zeros(n, n);
+    for (j, &lam) in e.values.iter().enumerate() {
+        if lam <= 0.0 {
+            continue;
+        }
+        for r in 0..n {
+            let vr = e.vectors[(r, j)];
+            if vr == 0.0 {
+                continue;
+            }
+            for c in 0..n {
+                out[(r, c)] += lam * vr * e.vectors[(c, j)];
+            }
+        }
+    }
+    out.symmetrize();
+    out
+}
+
+/// Returns the smallest eigenvalue of the symmetric part of `a`.
+///
+/// Convenience for tests and solver diagnostics ("how infeasible is this
+/// iterate with respect to the PSD cone?").
+///
+/// # Panics
+///
+/// Panics if `a` is not square or contains non-finite entries.
+pub fn min_eigenvalue(a: &Matrix) -> f64 {
+    symmetric_eigen(a).values.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Matrix) {
+        let e = symmetric_eigen(a);
+        let n = a.rows();
+        // V Λ Vᵀ == A (symmetric part).
+        let lam = Matrix::from_diag(&e.values);
+        let recon = &(&e.vectors * &lam) * &e.vectors.transpose();
+        let mut sym = a.clone();
+        sym.symmetrize();
+        assert!(
+            (&recon - &sym).frobenius_norm() < 1e-10 * sym.frobenius_norm().max(1.0),
+            "reconstruction error too large"
+        );
+        // Vᵀ V == I.
+        let vtv = &e.vectors.transpose() * &e.vectors;
+        assert!((&vtv - &Matrix::identity(n)).frobenius_norm() < 1e-10);
+        // Values ascending.
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 0.5]);
+        let e = symmetric_eigen(&a);
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 0.5).abs() < 1e-14);
+        assert!((e.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let e0 = symmetric_eigen(&Matrix::zeros(0, 0));
+        assert!(e0.values.is_empty());
+        let e1 = symmetric_eigen(&Matrix::from_rows(&[&[7.0]]));
+        assert_eq!(e1.values, vec![7.0]);
+        assert_eq!(e1.vectors[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn random_symmetric_matrices_decompose() {
+        use domo_util::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::seed_from_u64(2024);
+        for n in [2usize, 3, 5, 8, 16, 33] {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..=i {
+                    let v = rng.range_f64(-5.0..5.0);
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+            }
+            check_decomposition(&a);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace() {
+        use domo_util::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rng.range_f64(-1.0..1.0);
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = symmetric_eigen(&a);
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_clips_negative_part() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // λ = 3, -1
+        let p = project_psd(&a);
+        let e = symmetric_eigen(&p);
+        assert!(e.values[0] > -1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        // Projection of an already-PSD matrix is (numerically) itself.
+        let spd = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]);
+        assert!((&project_psd(&spd) - &spd).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn psd_projection_is_idempotent() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, -2.0, 3.0], &[0.0, 3.0, 1.0]]);
+        let p1 = project_psd(&a);
+        let p2 = project_psd(&p1);
+        assert!((&p1 - &p2).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn min_eigenvalue_detects_definiteness() {
+        assert!(min_eigenvalue(&Matrix::identity(3)) > 0.99);
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(min_eigenvalue(&indef) < 0.0);
+        assert_eq!(min_eigenvalue(&Matrix::zeros(0, 0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = symmetric_eigen(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = f64::NAN;
+        let _ = symmetric_eigen(&a);
+    }
+}

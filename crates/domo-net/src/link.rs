@@ -1,0 +1,313 @@
+//! The radio link model.
+//!
+//! Link quality follows the classic empirical shape used in sensor-net
+//! simulation: a sigmoid packet-reception-ratio (PRR) curve over
+//! distance, a static per-link log-normal fading multiplier, and a slow
+//! sinusoidal temporal component per link that drives the routing
+//! dynamics Domo's evaluation relies on (parents switch when links
+//! degrade). Links below a PRR floor are not neighbors at all.
+
+use crate::config::{NetworkConfig, Placement};
+use crate::types::{NodeId, Position};
+use domo_util::rng::Xoshiro256pp;
+use domo_util::time::SimTime;
+use std::collections::HashMap;
+
+/// PRR below which a pair of nodes is not considered connected.
+pub const PRR_FLOOR: f64 = 0.05;
+
+/// Static and temporal parameters of one undirected link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkParams {
+    /// Distance-based PRR multiplied by static fading.
+    base_prr: f64,
+    /// Phase of the temporal sinusoid.
+    phase: f64,
+}
+
+/// The full link model: node positions plus per-link parameters.
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    positions: Vec<Position>,
+    links: HashMap<(u16, u16), LinkParams>,
+    neighbors: Vec<Vec<NodeId>>,
+    variation_amplitude: f64,
+    variation_period_us: f64,
+}
+
+impl LinkModel {
+    /// Builds the link model for a configuration, drawing placement and
+    /// fading from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (call
+    /// [`NetworkConfig::validate`] first).
+    pub fn build(config: &NetworkConfig, rng: &mut Xoshiro256pp) -> Self {
+        config.validate().expect("invalid network configuration");
+        let n = config.num_nodes;
+        let side = config.area_side();
+
+        let mut positions = Vec::with_capacity(n);
+        match config.placement {
+            Placement::GridJitter => {
+                let cells = (n as f64).sqrt().ceil() as usize;
+                let cell = side / cells as f64;
+                // The sink takes the corner cell; other nodes fill the
+                // grid in row-major order with jitter.
+                for i in 0..n {
+                    let (r, c) = (i / cells, i % cells);
+                    let jx = rng.range_f64(-0.3..0.3) * cell;
+                    let jy = rng.range_f64(-0.3..0.3) * cell;
+                    positions.push(Position {
+                        x: (c as f64 + 0.5) * cell + jx,
+                        y: (r as f64 + 0.5) * cell + jy,
+                    });
+                }
+            }
+            Placement::UniformRandom => {
+                positions.push(Position {
+                    x: 0.05 * side,
+                    y: 0.05 * side,
+                }); // sink near the corner
+                for _ in 1..n {
+                    positions.push(Position {
+                        x: rng.range_f64(0.0..side),
+                        y: rng.range_f64(0.0..side),
+                    });
+                }
+            }
+        }
+
+        let mut links = HashMap::new();
+        let mut neighbors = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = positions[a].distance(positions[b]);
+                // Sigmoid PRR over distance.
+                let geo = 1.0 / (1.0 + ((d - config.radio_d50) / config.radio_slope).exp());
+                if geo < PRR_FLOOR / 2.0 {
+                    continue;
+                }
+                // Static log-normal fading.
+                let fade = (rng.normal(0.0, config.fading_sigma)).exp();
+                let base = (geo * fade).clamp(0.0, 1.0);
+                if base < PRR_FLOOR {
+                    continue;
+                }
+                links.insert(
+                    (a as u16, b as u16),
+                    LinkParams {
+                        base_prr: base,
+                        phase: rng.range_f64(0.0..std::f64::consts::TAU),
+                    },
+                );
+                neighbors[a].push(NodeId::new(b as u16));
+                neighbors[b].push(NodeId::new(a as u16));
+            }
+        }
+        for list in &mut neighbors {
+            list.sort_unstable();
+        }
+
+        Self {
+            positions,
+            links,
+            neighbors,
+            variation_amplitude: config.link_variation_amplitude,
+            variation_period_us: config.link_variation_period.as_micros().max(1) as f64,
+        }
+    }
+
+    /// Number of nodes in the model.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// All node positions.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// The neighbor list of a node (nodes with PRR above the floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Instantaneous PRR of the link `a ↔ b` at simulated time `t`;
+    /// `0.0` for non-links.
+    pub fn prr(&self, a: NodeId, b: NodeId, t: SimTime) -> f64 {
+        let key = if a.index() <= b.index() {
+            (a.index() as u16, b.index() as u16)
+        } else {
+            (b.index() as u16, a.index() as u16)
+        };
+        match self.links.get(&key) {
+            None => 0.0,
+            Some(p) => {
+                let angle = std::f64::consts::TAU * t.as_micros() as f64
+                    / self.variation_period_us
+                    + p.phase;
+                (p.base_prr + self.variation_amplitude * angle.sin()).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Returns `true` if every node can reach the sink through links
+    /// above the PRR floor (static topology check).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for v in self.neighbors(NodeId::new(u as u16)) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v.index());
+                }
+            }
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_util::time::SimDuration;
+
+    fn model(seed: u64) -> LinkModel {
+        let cfg = NetworkConfig::small(25, seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        LinkModel::build(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn grid_jitter_network_is_connected() {
+        for seed in 1..6 {
+            assert!(model(seed).is_connected(), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn prr_is_symmetric_and_bounded() {
+        let m = model(1);
+        let t = SimTime::from_secs(30);
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                let (na, nb) = (NodeId::new(a as u16), NodeId::new(b as u16));
+                let p = m.prr(na, nb, t);
+                assert!((0.0..=1.0).contains(&p));
+                assert_eq!(p, m.prr(nb, na, t), "asymmetric PRR {a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn close_links_beat_far_links() {
+        let m = model(2);
+        let t = SimTime::ZERO;
+        // Average PRR of all links under 0.8·spacing vs over 1.5·spacing.
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for a in 0..m.num_nodes() {
+            for b in (a + 1)..m.num_nodes() {
+                let (na, nb) = (NodeId::new(a as u16), NodeId::new(b as u16));
+                let d = m.position(na).distance(m.position(nb));
+                let p = m.prr(na, nb, t);
+                if d < 8.0 {
+                    near.push(p);
+                } else if d > 15.0 && p > 0.0 {
+                    far.push(p);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(avg(&near) > 0.7, "near links should be strong: {}", avg(&near));
+        if !far.is_empty() {
+            assert!(avg(&near) > avg(&far));
+        }
+    }
+
+    #[test]
+    fn prr_varies_over_time() {
+        let m = model(3);
+        // Find some link and check its PRR moves across the variation
+        // period.
+        let mut moved = false;
+        'outer: for a in 0..m.num_nodes() {
+            for b in m.neighbors(NodeId::new(a as u16)) {
+                let p0 = m.prr(NodeId::new(a as u16), *b, SimTime::ZERO);
+                let p1 = m.prr(
+                    NodeId::new(a as u16),
+                    *b,
+                    SimTime::ZERO + SimDuration::from_secs(15),
+                );
+                if (p0 - p1).abs() > 0.01 {
+                    moved = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(moved, "temporal variation should change some link");
+    }
+
+    #[test]
+    fn non_neighbors_have_zero_prr() {
+        let cfg = NetworkConfig::small(49, 9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let m = LinkModel::build(&cfg, &mut rng);
+        // Opposite corners of a 7×7 grid cannot talk directly.
+        let far_a = NodeId::new(0);
+        let far_b = NodeId::new(48);
+        assert_eq!(m.prr(far_a, far_b, SimTime::ZERO), 0.0);
+        assert!(!m.neighbors(far_a).contains(&far_b));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = NetworkConfig::small(16, 5);
+        let mut r1 = Xoshiro256pp::seed_from_u64(5);
+        let mut r2 = Xoshiro256pp::seed_from_u64(5);
+        let m1 = LinkModel::build(&cfg, &mut r1);
+        let m2 = LinkModel::build(&cfg, &mut r2);
+        assert_eq!(m1.positions(), m2.positions());
+        let t = SimTime::from_millis(1234);
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert_eq!(
+                    m1.prr(NodeId::new(a), NodeId::new(b), t),
+                    m2.prr(NodeId::new(a), NodeId::new(b), t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_placement_also_builds() {
+        let mut cfg = NetworkConfig::small(30, 7);
+        cfg.placement = Placement::UniformRandom;
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let m = LinkModel::build(&cfg, &mut rng);
+        assert_eq!(m.num_nodes(), 30);
+        // Sink sits near the corner.
+        let sink = m.position(NodeId::SINK);
+        assert!(sink.x < cfg.area_side() * 0.1 + 1e-9);
+    }
+}

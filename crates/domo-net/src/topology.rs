@@ -1,0 +1,138 @@
+//! Topology and workload characterization of a trace.
+//!
+//! Reconstruction quality depends on the trace's shape: tree depth,
+//! per-hop delay spread, loss, traffic density. This module summarizes
+//! them so experiment reports (and users with their own traces) can see
+//! what regime they are in before comparing numbers.
+
+use crate::trace::NetworkTrace;
+use domo_util::stats::Summary;
+
+/// Workload/topology statistics of a delivered trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Delivered packets.
+    pub packets: usize,
+    /// Delivery ratio over generated packets.
+    pub delivery_ratio: f64,
+    /// Path lengths (node counts including source and sink).
+    pub path_len: Summary,
+    /// True per-hop sojourn times (ms) over all delivered hops.
+    pub hop_delay_ms: Summary,
+    /// True end-to-end delays (ms).
+    pub e2e_delay_ms: Summary,
+    /// Distinct nodes that appear as a forwarder.
+    pub forwarders: usize,
+    /// Maximum pass-through count over any single forwarder.
+    pub max_node_load: usize,
+}
+
+impl TraceProfile {
+    /// Computes the profile from a trace (uses ground truth — this is a
+    /// workload characterization, not a reconstruction).
+    ///
+    /// Returns `None` for an empty trace.
+    pub fn from_trace(trace: &NetworkTrace) -> Option<Self> {
+        if trace.packets.is_empty() {
+            return None;
+        }
+        let mut path_lens = Vec::with_capacity(trace.packets.len());
+        let mut hop_delays = Vec::new();
+        let mut e2e = Vec::with_capacity(trace.packets.len());
+        let mut load = std::collections::HashMap::new();
+        for p in &trace.packets {
+            path_lens.push(p.path.len() as f64);
+            e2e.push(p.e2e_delay().as_millis_f64());
+            let times = trace.truth(p.pid)?;
+            for w in times.windows(2) {
+                hop_delays.push((w[1] - w[0]).as_millis_f64());
+            }
+            for node in &p.path[..p.path.len() - 1] {
+                *load.entry(node.index()).or_insert(0usize) += 1;
+            }
+        }
+        Some(Self {
+            packets: trace.packets.len(),
+            delivery_ratio: trace.stats.delivery_ratio(),
+            path_len: Summary::from_values(&path_lens)?,
+            hop_delay_ms: Summary::from_values(&hop_delays)?,
+            e2e_delay_ms: Summary::from_values(&e2e)?,
+            forwarders: load.len(),
+            max_node_load: load.values().copied().max().unwrap_or(0),
+        })
+    }
+
+    /// Renders a compact text block.
+    pub fn render(&self) -> String {
+        format!(
+            "workload: {} packets delivered ({:.1}% delivery), {} forwarders, \
+             hottest node relays {}\n\
+             paths: mean {:.1} hops (p90 {:.0}, max {:.0})\n\
+             per-hop sojourn: mean {:.2} ms (p50 {:.2}, p90 {:.2}, max {:.1})\n\
+             end-to-end: mean {:.1} ms (p50 {:.1}, p90 {:.1}, max {:.1})\n",
+            self.packets,
+            100.0 * self.delivery_ratio,
+            self.forwarders,
+            self.max_node_load,
+            self.path_len.mean,
+            self.path_len.p90,
+            self.path_len.max,
+            self.hop_delay_ms.mean,
+            self.hop_delay_ms.median,
+            self.hop_delay_ms.p90,
+            self.hop_delay_ms.max,
+            self.e2e_delay_ms.mean,
+            self.e2e_delay_ms.median,
+            self.e2e_delay_ms.p90,
+            self.e2e_delay_ms.max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::run_simulation;
+
+    #[test]
+    fn profile_reflects_the_trace() {
+        let trace = run_simulation(&NetworkConfig::small(25, 501));
+        let p = TraceProfile::from_trace(&trace).expect("non-empty");
+        assert_eq!(p.packets, trace.packets.len());
+        assert!(p.path_len.mean >= 2.0);
+        assert!(p.hop_delay_ms.mean > 1.0);
+        // e2e mean ≈ mean hops-1 × mean hop delay, loosely.
+        assert!(p.e2e_delay_ms.mean > p.hop_delay_ms.mean);
+        assert!(p.forwarders > 0);
+        assert!(p.max_node_load >= p.packets / p.forwarders);
+        let text = p.render();
+        assert!(text.contains("per-hop sojourn"));
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        let trace = NetworkTrace {
+            num_nodes: 1,
+            seed: 0,
+            packets: Vec::new(),
+            ground_truth: Default::default(),
+            node_logs: Vec::new(),
+            positions: Vec::new(),
+            stats: Default::default(),
+        };
+        assert!(TraceProfile::from_trace(&trace).is_none());
+    }
+
+    #[test]
+    fn lpl_shifts_the_hop_delay_profile() {
+        let base = NetworkConfig::small(16, 502);
+        let mut lpl = base.clone();
+        lpl.mac_mode = crate::config::MacMode::LowPowerListening {
+            wake_interval: domo_util::time::SimDuration::from_millis(80),
+        };
+        let p_base = TraceProfile::from_trace(&run_simulation(&base)).unwrap();
+        let p_lpl = TraceProfile::from_trace(&run_simulation(&lpl)).unwrap();
+        assert!(p_lpl.hop_delay_ms.mean > p_base.hop_delay_ms.mean + 10.0);
+    }
+}

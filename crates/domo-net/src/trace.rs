@@ -1,0 +1,249 @@
+//! The trace a Domo deployment delivers to the PC side, plus the
+//! evaluation-only ground truth.
+//!
+//! A [`CollectedPacket`] carries exactly the information the paper
+//! assumes available at the sink (§III.B): the routing path, the
+//! generation time, the sink arrival time, and the 2-byte sum-of-delays
+//! field `S(p)`. The per-hop arrival times live in
+//! [`NetworkTrace::ground_truth`] and are used *only* to score
+//! reconstructions — the algorithms never read them.
+
+use crate::types::{NodeId, PacketId, Position};
+use domo_util::time::SimTime;
+use std::collections::HashMap;
+
+/// One packet as received and decoded at the sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedPacket {
+    /// Identifier (origin + sequence number).
+    pub pid: PacketId,
+    /// Generation time `t₀(p)` (known via time-reconstruction methods,
+    /// paper assumption).
+    pub gen_time: SimTime,
+    /// Arrival time at the sink `t_{|p|−1}(p)`.
+    pub sink_arrival: SimTime,
+    /// The routing path, source first, sink last (known via path
+    /// reconstruction, paper assumption).
+    pub path: Vec<NodeId>,
+    /// The on-air 2-byte sum-of-delays field, in milliseconds.
+    pub sum_of_delays_ms: u16,
+    /// The on-air 2-byte accumulated end-to-end delay field, in
+    /// milliseconds (measured with the nodes' drifting clocks).
+    pub e2e_ms: u16,
+}
+
+impl CollectedPacket {
+    /// Path length `|p|` (number of nodes including source and sink).
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// End-to-end delay derived from the trusted sink-side quantities.
+    pub fn e2e_delay(&self) -> domo_util::time::SimDuration {
+        self.sink_arrival.saturating_sub(self.gen_time)
+    }
+}
+
+/// What a node wrote to its local log (the MessageTracing baseline reads
+/// these; Domo itself never does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogEventKind {
+    /// The node transmitted this packet (locally generated or forwarded).
+    Send,
+    /// The node received this packet for forwarding.
+    Receive,
+}
+
+/// One entry of a node's local event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Send or receive.
+    pub kind: LogEventKind,
+    /// The packet involved.
+    pub pid: PacketId,
+}
+
+/// Loss/throughput counters from a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Packets generated at sources.
+    pub generated: usize,
+    /// Packets fully delivered to the sink.
+    pub delivered: usize,
+    /// Packets dropped because a send queue was full.
+    pub dropped_queue: usize,
+    /// Packets dropped after exhausting retransmissions.
+    pub dropped_retx: usize,
+    /// Packets dropped for lack of a route.
+    pub dropped_no_route: usize,
+    /// Packets dropped by the hop-budget (routing-loop) guard.
+    pub dropped_ttl: usize,
+}
+
+impl SimStats {
+    /// Delivery ratio over generated packets (1.0 for an idle network).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone)]
+pub struct NetworkTrace {
+    /// Number of nodes in the network (including the sink).
+    pub num_nodes: usize,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Delivered packets, sorted by sink arrival time.
+    pub packets: Vec<CollectedPacket>,
+    /// Ground-truth per-hop arrival times, aligned with each packet's
+    /// `path` (index 0 = generation time, last = sink arrival).
+    pub ground_truth: HashMap<PacketId, Vec<SimTime>>,
+    /// Per-node local logs (for the MessageTracing baseline).
+    pub node_logs: Vec<Vec<LogEvent>>,
+    /// Node positions (for rendering delay maps à la Figure 1).
+    pub positions: Vec<Position>,
+    /// Loss and throughput counters.
+    pub stats: SimStats,
+}
+
+impl NetworkTrace {
+    /// Looks up the ground-truth arrival times of a packet.
+    pub fn truth(&self, pid: PacketId) -> Option<&[SimTime]> {
+        self.ground_truth.get(&pid).map(Vec::as_slice)
+    }
+
+    /// Total number of unknown interior arrival times across the trace —
+    /// the quantity Domo must reconstruct (`Σ max(|p| − 2, 0)`).
+    pub fn num_unknowns(&self) -> usize {
+        self.packets
+            .iter()
+            .map(|p| p.path_len().saturating_sub(2))
+            .sum()
+    }
+
+    /// Returns a copy of the trace with `fraction` of the delivered
+    /// packets removed uniformly at random — the paper's packet-loss
+    /// experiment (§VI.B "Impact of packet loss" removes packets from
+    /// the original trace). Ground truth and logs keep all packets; only
+    /// the sink-side view shrinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0, 1)`.
+    pub fn with_extra_loss(
+        &self,
+        fraction: f64,
+        rng: &mut domo_util::rng::Xoshiro256pp,
+    ) -> NetworkTrace {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "loss fraction must be in [0, 1)"
+        );
+        let keep = self.packets.len()
+            - ((self.packets.len() as f64) * fraction).round() as usize;
+        let kept_idx = rng.sample_indices(self.packets.len(), keep.min(self.packets.len()));
+        let packets: Vec<CollectedPacket> =
+            kept_idx.iter().map(|&i| self.packets[i].clone()).collect();
+        NetworkTrace {
+            packets,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_util::rng::Xoshiro256pp;
+    use domo_util::time::SimDuration;
+
+    fn dummy_packet(origin: u16, seq: u32, hops: usize) -> CollectedPacket {
+        let path: Vec<NodeId> = (0..hops)
+            .rev()
+            .map(|i| NodeId::new(if i == 0 { 0 } else { origin + i as u16 - 1 }))
+            .collect();
+        CollectedPacket {
+            pid: PacketId::new(NodeId::new(origin), seq),
+            gen_time: SimTime::from_millis(10),
+            sink_arrival: SimTime::from_millis(40),
+            path,
+            sum_of_delays_ms: 12,
+            e2e_ms: 30,
+        }
+    }
+
+    fn dummy_trace(n_packets: usize) -> NetworkTrace {
+        let packets: Vec<CollectedPacket> =
+            (0..n_packets).map(|i| dummy_packet(5, i as u32, 4)).collect();
+        NetworkTrace {
+            num_nodes: 10,
+            seed: 1,
+            ground_truth: packets
+                .iter()
+                .map(|p| (p.pid, vec![p.gen_time; p.path.len()]))
+                .collect(),
+            packets,
+            node_logs: vec![Vec::new(); 10],
+            positions: vec![Position::default(); 10],
+            stats: SimStats::default(),
+        }
+    }
+
+    #[test]
+    fn e2e_delay_from_sink_quantities() {
+        let p = dummy_packet(3, 0, 3);
+        assert_eq!(p.e2e_delay(), SimDuration::from_millis(30));
+        assert_eq!(p.path_len(), 3);
+    }
+
+    #[test]
+    fn num_unknowns_counts_interior_hops() {
+        let t = dummy_trace(5);
+        // Each path has 4 nodes → 2 interior unknowns.
+        assert_eq!(t.num_unknowns(), 10);
+    }
+
+    #[test]
+    fn with_extra_loss_removes_requested_fraction() {
+        let t = dummy_trace(100);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let lossy = t.with_extra_loss(0.3, &mut rng);
+        assert_eq!(lossy.packets.len(), 70);
+        // Ground truth still covers everything.
+        assert_eq!(lossy.ground_truth.len(), 100);
+        let zero = t.with_extra_loss(0.0, &mut rng);
+        assert_eq!(zero.packets.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss fraction")]
+    fn with_extra_loss_rejects_bad_fraction() {
+        let t = dummy_trace(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let _ = t.with_extra_loss(1.0, &mut rng);
+    }
+
+    #[test]
+    fn delivery_ratio_handles_idle_network() {
+        assert_eq!(SimStats::default().delivery_ratio(), 1.0);
+        let s = SimStats {
+            generated: 10,
+            delivered: 7,
+            ..SimStats::default()
+        };
+        assert!((s.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truth_lookup() {
+        let t = dummy_trace(3);
+        let pid = t.packets[0].pid;
+        assert!(t.truth(pid).is_some());
+        assert!(t.truth(PacketId::new(NodeId::new(99), 0)).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Identifiers shared across the simulator and the reconstruction stack.
+
+use std::fmt;
+
+/// A node identifier. Node `0` is always the sink.
+///
+/// # Examples
+///
+/// ```
+/// use domo_net::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert!(!n.is_sink());
+/// assert!(NodeId::SINK.is_sink());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// The sink node (always id 0).
+    pub const SINK: NodeId = NodeId(0);
+
+    /// Creates a node id.
+    pub const fn new(id: u16) -> Self {
+        NodeId(id)
+    }
+
+    /// The raw id as a `usize` index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the sink node.
+    pub const fn is_sink(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A globally unique packet identifier: origin node plus a per-origin
+/// sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use domo_net::{NodeId, PacketId};
+///
+/// let pid = PacketId::new(NodeId::new(7), 42);
+/// assert_eq!(pid.origin, NodeId::new(7));
+/// assert_eq!(pid.seq, 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId {
+    /// The node that generated the packet.
+    pub origin: NodeId,
+    /// Sequence number local to the origin.
+    pub seq: u32,
+}
+
+impl PacketId {
+    /// Creates a packet id.
+    pub const fn new(origin: NodeId, seq: u32) -> Self {
+        Self { origin, seq }
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// A 2-D position in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_is_node_zero() {
+        assert!(NodeId::SINK.is_sink());
+        assert_eq!(NodeId::SINK.index(), 0);
+        assert!(!NodeId::new(1).is_sink());
+    }
+
+    #[test]
+    fn packet_id_identity() {
+        let a = PacketId::new(NodeId::new(1), 5);
+        let b = PacketId::new(NodeId::new(1), 5);
+        let c = PacketId::new(NodeId::new(2), 5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "n1#5");
+    }
+
+    #[test]
+    fn ordering_is_origin_then_seq() {
+        let a = PacketId::new(NodeId::new(1), 9);
+        let b = PacketId::new(NodeId::new(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position { x: 0.0, y: 0.0 };
+        let b = Position { x: 3.0, y: 4.0 };
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests: simulator invariants must hold for *any*
+//! configuration in the supported envelope, not just the defaults.
+
+use domo_net::{run_simulation, NetworkConfig, Placement};
+use domo_util::time::SimDuration;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_config() -> impl Strategy<Value = NetworkConfig> {
+    (
+        4usize..30,              // nodes
+        1u64..1000,              // seed
+        2u64..8,                 // traffic period (s)
+        1usize..16,              // queue capacity
+        0u32..6,                 // max retries
+        prop_oneof![Just(Placement::GridJitter), Just(Placement::UniformRandom)],
+    )
+        .prop_map(|(nodes, seed, period, queue, retries, placement)| {
+            let mut cfg = NetworkConfig::small(nodes, seed);
+            cfg.traffic_period = SimDuration::from_secs(period);
+            cfg.traffic_jitter = SimDuration::from_millis(500);
+            cfg.queue_capacity = queue;
+            cfg.max_retries = retries;
+            cfg.placement = placement;
+            cfg.duration = SimDuration::from_secs(30);
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_generated_packet_is_accounted_for(cfg in arb_config()) {
+        let t = run_simulation(&cfg);
+        let s = t.stats;
+        prop_assert_eq!(
+            s.generated,
+            s.delivered + s.dropped_queue + s.dropped_retx + s.dropped_no_route + s.dropped_ttl,
+            "loss accounting must balance"
+        );
+    }
+
+    #[test]
+    fn delivered_packets_have_valid_paths_and_truth(cfg in arb_config()) {
+        let t = run_simulation(&cfg);
+        for p in &t.packets {
+            prop_assert_eq!(p.path[0], p.pid.origin);
+            prop_assert!(p.path.last().unwrap().is_sink());
+            prop_assert!(p.path.len() <= cfg.max_hops);
+            let truth = t.truth(p.pid).expect("truth recorded");
+            prop_assert_eq!(truth.len(), p.path.len());
+            prop_assert!(truth.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(truth[0], p.gen_time);
+            prop_assert_eq!(*truth.last().unwrap(), p.sink_arrival);
+        }
+    }
+
+    #[test]
+    fn fifo_invariant_holds_for_any_config(cfg in arb_config()) {
+        let t = run_simulation(&cfg);
+        let mut per_node: HashMap<usize, Vec<(u64, u64)>> = HashMap::new();
+        for p in &t.packets {
+            let truth = t.truth(p.pid).unwrap();
+            for i in 0..p.path.len() - 1 {
+                per_node.entry(p.path[i].index()).or_default().push((
+                    truth[i].as_micros(),
+                    truth[i + 1].as_micros(),
+                ));
+            }
+        }
+        for (_, mut pairs) in per_node {
+            pairs.sort_unstable();
+            prop_assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn sum_of_delays_covers_first_hop(cfg in arb_config()) {
+        let t = run_simulation(&cfg);
+        for p in &t.packets {
+            if p.path.len() < 2 { continue; }
+            let truth = t.truth(p.pid).unwrap();
+            let own_ms = (truth[1] - truth[0]).as_millis_f64();
+            prop_assert!(
+                f64::from(p.sum_of_delays_ms) >= own_ms - 1.5,
+                "S(p)={} must cover the first-hop sojourn {:.2}",
+                p.sum_of_delays_ms, own_ms
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(cfg in arb_config()) {
+        let a = run_simulation(&cfg);
+        let b = run_simulation(&cfg);
+        prop_assert_eq!(a.packets, b.packets);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,793 @@
+//! The ADMM solver for cone quadratic programs.
+//!
+//! This is an OSQP-style operator-splitting method extended with
+//! semidefinite blocks. The iteration is
+//!
+//! ```text
+//! x ← (P + σI + ρ MᵀM)⁻¹ (σ x − q + Mᵀ(ρ z − y))
+//! v ← α·Mx + (1−α)·z
+//! z ← Π_C(v + y/ρ)
+//! y ← y + ρ (v − z)
+//! ```
+//!
+//! where `M` stacks the box-constraint matrix `A` with one selector row
+//! per svec coordinate of each PSD block, and `Π_C` clamps the box rows
+//! to `[l, u]` and projects each block segment onto the PSD cone (via the
+//! Jacobi eigensolver in `domo-linalg`). The KKT matrix is factored once
+//! per problem (re-factored only when adaptive ρ steps far), which is
+//! what makes the per-window solves in Domo fast.
+
+use crate::problem::ConeQp;
+use crate::svec::{project_psd_svec, svec_index, SQRT2};
+use domo_linalg::{norm_inf, Cholesky, CsrMatrix, Matrix};
+use std::time::{Duration, Instant};
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Settings {
+    /// Penalty parameter ρ.
+    pub rho: f64,
+    /// Tikhonov parameter σ keeping the KKT matrix positive definite.
+    pub sigma: f64,
+    /// Over-relaxation α ∈ (0, 2).
+    pub alpha: f64,
+    /// Absolute tolerance.
+    pub eps_abs: f64,
+    /// Relative tolerance.
+    pub eps_rel: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// How often (in iterations) residuals are checked.
+    pub check_interval: usize,
+    /// Enables adaptive ρ rescaling.
+    pub adaptive_rho: bool,
+    /// After ADMM terminates, attempt an active-set *polish*: solve the
+    /// equality-constrained KKT system on the detected active rows and
+    /// keep the refined point if it is feasible and no worse. Skipped
+    /// for problems with PSD blocks (their active set is not a row
+    /// subset).
+    pub polish: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            rho: 1.0,
+            sigma: 1e-6,
+            alpha: 1.6,
+            eps_abs: 1e-6,
+            eps_rel: 1e-6,
+            max_iterations: 8000,
+            check_interval: 25,
+            adaptive_rho: true,
+            polish: true,
+        }
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Residuals met the tolerances.
+    Solved,
+    /// The iteration budget ran out; the returned iterate is the best
+    /// effort and its residuals are reported in the solution.
+    MaxIterations,
+    /// A primal infeasibility certificate was found: no point satisfies
+    /// the box rows (detected for problems without PSD blocks). The
+    /// returned `y` contains the certificate direction.
+    PrimalInfeasible,
+}
+
+/// The result of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Primal solution.
+    pub x: Vec<f64>,
+    /// Dual multipliers for the stacked constraint rows.
+    pub y: Vec<f64>,
+    /// Termination status.
+    pub status: Status,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final primal residual (∞-norm).
+    pub primal_residual: f64,
+    /// Final dual residual (∞-norm).
+    pub dual_residual: f64,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Wall-clock time of the solve.
+    pub solve_time: Duration,
+}
+
+impl Solution {
+    /// Returns `true` when the solver met its tolerances.
+    pub fn is_solved(&self) -> bool {
+        self.status == Status::Solved
+    }
+}
+
+/// Solves a [`ConeQp`] with ADMM.
+///
+/// # Examples
+///
+/// ```
+/// use domo_solver::{QpBuilder, solve, Settings};
+///
+/// // minimize (x − 3)² subject to 0 ≤ x ≤ 2  →  x* = 2.
+/// let mut b = QpBuilder::new(1);
+/// b.add_quadratic(0, 0, 2.0);
+/// b.add_linear(0, -6.0);
+/// b.add_row(&[(0, 1.0)], 0.0, 2.0);
+/// let sol = solve(&b.build()?, &Settings::default());
+/// assert!(sol.is_solved());
+/// assert!((sol.x[0] - 2.0).abs() < 1e-4);
+/// # Ok::<(), domo_solver::ProblemError>(())
+/// ```
+pub fn solve(problem: &ConeQp, settings: &Settings) -> Solution {
+    solve_warm(problem, settings, None)
+}
+
+/// Solves a [`ConeQp`], optionally warm-starting from a previous primal
+/// point (duals are reset).
+///
+/// # Panics
+///
+/// Panics if the warm-start vector has the wrong length, if a setting is
+/// out of range (ρ ≤ 0, σ ≤ 0, α ∉ (0,2)), or if the (regularized) KKT
+/// matrix cannot be factored, which cannot happen for a valid [`ConeQp`]
+/// with finite data.
+pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>) -> Solution {
+    assert!(settings.rho > 0.0, "rho must be positive");
+    assert!(settings.sigma > 0.0, "sigma must be positive");
+    assert!(
+        settings.alpha > 0.0 && settings.alpha < 2.0,
+        "alpha must lie in (0, 2)"
+    );
+
+    let start = Instant::now();
+    let n = problem.num_vars();
+    let m_box = problem.num_box_rows();
+
+    // ---- Stack M = [A; S] where S holds PSD selector rows. ----
+    let mut m_triplets: Vec<(usize, usize, f64)> = Vec::new();
+    for r in 0..m_box {
+        for (c, v) in problem.a.row_entries(r) {
+            m_triplets.push((r, c, v));
+        }
+    }
+    // Each PSD block contributes svec-scaled selector rows; remember the
+    // (start, dim) of each block segment in the stacked rows.
+    let mut block_segments: Vec<(usize, usize)> = Vec::new();
+    let mut row = m_box;
+    for block in &problem.psd_blocks {
+        let dim = block.dim();
+        block_segments.push((row, dim));
+        for j in 0..dim {
+            for i in 0..=j {
+                let var = block.vars()[svec_index(i, j)];
+                let coef = if i == j { 1.0 } else { SQRT2 };
+                m_triplets.push((row, var, coef));
+                row += 1;
+            }
+        }
+    }
+    let m_total = row;
+    let m = CsrMatrix::from_triplets(m_total, n, &m_triplets);
+
+    if n == 0 {
+        return Solution {
+            x: Vec::new(),
+            y: vec![0.0; m_total],
+            status: Status::Solved,
+            iterations: 0,
+            primal_residual: 0.0,
+            dual_residual: 0.0,
+            objective: 0.0,
+            solve_time: start.elapsed(),
+        };
+    }
+
+    let mut rho = settings.rho;
+
+    // ---- Factor K = P_sym + σI + ρ MᵀM (dense Cholesky). ----
+    let p_dense = {
+        let mut p = problem.p.to_dense();
+        p.symmetrize();
+        p
+    };
+    let factor_kkt = |rho: f64| -> Cholesky {
+        let mut k = m.gram_with_shift(&vec![0.0; n]).scale(rho);
+        k = &k + &p_dense;
+        k.shift_diagonal(settings.sigma);
+        Cholesky::factor(&k).expect("KKT matrix is SPD by construction")
+    };
+    let mut kkt = factor_kkt(rho);
+
+    // ---- Projection onto C = [l,u] × PSD × … ----
+    let project = |v: &mut [f64]| {
+        for i in 0..m_box {
+            v[i] = v[i].clamp(problem.l[i], problem.u[i]);
+        }
+        for &(seg_start, dim) in &block_segments {
+            let len = crate::svec::svec_len(dim);
+            let seg = &v[seg_start..seg_start + len];
+            let projected = project_psd_svec(seg);
+            v[seg_start..seg_start + len].copy_from_slice(&projected);
+        }
+    };
+
+    // ---- Iterate. ----
+    let mut x = match warm_x {
+        Some(w) => {
+            assert_eq!(w.len(), n, "warm start has wrong length");
+            w.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let mut z = {
+        let mut z0 = m.matvec(&x);
+        project(&mut z0);
+        z0
+    };
+    let mut y = vec![0.0; m_total];
+
+    let mut status = Status::MaxIterations;
+    let mut iterations = 0;
+    let mut primal_residual = f64::INFINITY;
+    let mut dual_residual = f64::INFINITY;
+    let mut y_at_last_check = y.clone();
+
+    for iter in 1..=settings.max_iterations {
+        iterations = iter;
+
+        // x-update.
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = settings.sigma * x[i] - problem.q[i];
+        }
+        let mut w = vec![0.0; m_total];
+        for i in 0..m_total {
+            w[i] = rho * z[i] - y[i];
+        }
+        let mtw = m.matvec_t(&w);
+        for i in 0..n {
+            rhs[i] += mtw[i];
+        }
+        x = kkt.solve(&rhs);
+
+        // Relaxed z/y updates.
+        let mx = m.matvec(&x);
+        let z_prev = z.clone();
+        let mut v = vec![0.0; m_total];
+        for i in 0..m_total {
+            v[i] = settings.alpha * mx[i] + (1.0 - settings.alpha) * z_prev[i];
+        }
+        for i in 0..m_total {
+            z[i] = v[i] + y[i] / rho;
+        }
+        project(&mut z);
+        for i in 0..m_total {
+            y[i] += rho * (v[i] - z[i]);
+        }
+
+        if iter % settings.check_interval == 0 || iter == settings.max_iterations {
+            // Primal residual: ‖Mx − z‖∞.
+            let mut r_prim = 0.0f64;
+            for i in 0..m_total {
+                r_prim = r_prim.max((mx[i] - z[i]).abs());
+            }
+            // Dual residual: ‖Px + q + Mᵀy‖∞.
+            let px = problem.p.matvec(&x);
+            let mty = m.matvec_t(&y);
+            let mut r_dual = 0.0f64;
+            for i in 0..n {
+                r_dual = r_dual.max((px[i] + problem.q[i] + mty[i]).abs());
+            }
+
+            let eps_prim = settings.eps_abs
+                + settings.eps_rel * norm_inf(&mx).max(norm_inf(&z));
+            let eps_dual = settings.eps_abs
+                + settings.eps_rel
+                    * norm_inf(&px).max(norm_inf(&mty)).max(norm_inf(&problem.q));
+
+            primal_residual = r_prim;
+            dual_residual = r_dual;
+            if r_prim <= eps_prim && r_dual <= eps_dual {
+                status = Status::Solved;
+                break;
+            }
+
+            // Primal infeasibility certificate (box-only problems):
+            // a dual direction δy with Mᵀδy ≈ 0 whose support function
+            // over the boxes is strictly negative proves emptiness.
+            if problem.psd_blocks.is_empty() {
+                let dy: Vec<f64> = y
+                    .iter()
+                    .zip(&y_at_last_check)
+                    .map(|(a, b)| a - b)
+                    .collect();
+                let dy_norm = norm_inf(&dy);
+                if dy_norm > settings.eps_abs {
+                    let mt_dy = m.matvec_t(&dy);
+                    if norm_inf(&mt_dy) <= 1e-6 * dy_norm {
+                        let mut support = 0.0;
+                        let mut certifiable = true;
+                        for i in 0..m_box {
+                            let d = dy[i];
+                            if d > 1e-9 * dy_norm {
+                                if problem.u[i].is_finite() {
+                                    support += problem.u[i] * d;
+                                } else {
+                                    certifiable = false;
+                                    break;
+                                }
+                            } else if d < -1e-9 * dy_norm {
+                                if problem.l[i].is_finite() {
+                                    support += problem.l[i] * d;
+                                } else {
+                                    certifiable = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if certifiable && support < -settings.eps_abs * dy_norm {
+                            y = dy;
+                            status = Status::PrimalInfeasible;
+                            break;
+                        }
+                    }
+                }
+            }
+            y_at_last_check.copy_from_slice(&y);
+
+            // Simple adaptive ρ: equalize the residual magnitudes.
+            if settings.adaptive_rho && iter % (settings.check_interval * 8) == 0 {
+                let ratio = ((r_prim + 1e-30) / (r_dual + 1e-30)).sqrt();
+                if ratio > 5.0 || ratio < 0.2 {
+                    let new_rho = (rho * ratio).clamp(1e-6, 1e6);
+                    if (new_rho / rho - 1.0).abs() > 1e-9 {
+                        // Rescale duals so y/ρ stays consistent.
+                        for yi in y.iter_mut() {
+                            *yi *= new_rho / rho;
+                        }
+                        rho = new_rho;
+                        kkt = factor_kkt(rho);
+                    }
+                }
+            }
+        }
+    }
+
+    // Active-set polish (box rows only; PSD-block problems skip it).
+    if settings.polish
+        && status != Status::PrimalInfeasible
+        && problem.psd_blocks.is_empty()
+        && m_box > 0
+    {
+        if let Some(xp) = polish_active_set(problem, &x, &y, &z) {
+            let tol = 10.0 * settings.eps_abs;
+            if problem.box_violation(&xp) <= tol
+                && problem.objective(&xp) <= problem.objective(&x) + tol
+            {
+                x = xp;
+                status = Status::Solved;
+                primal_residual = problem.box_violation(&x);
+            }
+        }
+    }
+
+    Solution {
+        objective: problem.objective(&x),
+        x,
+        y,
+        status,
+        iterations,
+        primal_residual,
+        dual_residual,
+        solve_time: start.elapsed(),
+    }
+}
+
+/// Solves the equality-constrained KKT system over the rows the ADMM
+/// iterate marks active (duals pushing against a bound, or equality
+/// rows). Returns `None` when the system is singular or trivially empty.
+fn polish_active_set(
+    problem: &ConeQp,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+) -> Option<Vec<f64>> {
+    let n = problem.num_vars();
+    let m_box = problem.num_box_rows();
+    const ACT_TOL: f64 = 1e-6;
+
+    // Detect active rows and their pinned values.
+    let mut active: Vec<(usize, f64)> = Vec::new();
+    for i in 0..m_box {
+        let (l, u) = (problem.l[i], problem.u[i]);
+        if l == u {
+            active.push((i, l));
+        } else if y[i] < -ACT_TOL && l.is_finite() && (z[i] - l).abs() < 1e-3 {
+            active.push((i, l));
+        } else if y[i] > ACT_TOL && u.is_finite() && (z[i] - u).abs() < 1e-3 {
+            active.push((i, u));
+        }
+    }
+    if active.is_empty() {
+        return None;
+    }
+    let k = active.len();
+
+    // KKT: [[P + δI, Aᵀ_act], [A_act, −δI]] · [x; ν] = [−q; b_act].
+    const DELTA: f64 = 1e-9;
+    let mut kkt = Matrix::zeros(n + k, n + k);
+    let p_dense = {
+        let mut p = problem.p.to_dense();
+        p.symmetrize();
+        p
+    };
+    for i in 0..n {
+        for j in 0..n {
+            kkt[(i, j)] = p_dense[(i, j)];
+        }
+        kkt[(i, i)] += DELTA;
+    }
+    for (row_idx, &(ri, _)) in active.iter().enumerate() {
+        for (col, v) in problem.a.row_entries(ri) {
+            kkt[(n + row_idx, col)] = v;
+            kkt[(col, n + row_idx)] = v;
+        }
+        kkt[(n + row_idx, n + row_idx)] = -DELTA;
+    }
+    let mut rhs = vec![0.0; n + k];
+    for i in 0..n {
+        rhs[i] = -problem.q[i];
+    }
+    for (row_idx, &(_, b)) in active.iter().enumerate() {
+        rhs[n + row_idx] = b;
+    }
+
+    let factor = domo_linalg::Ldlt::factor(&kkt).ok()?;
+    let sol = factor.solve(&rhs);
+    let xp = sol[..n].to_vec();
+    // Guard against a wrong active set producing a wild point.
+    let drift: f64 = xp
+        .iter()
+        .zip(x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    if !drift.is_finite() {
+        return None;
+    }
+    Some(xp)
+}
+
+/// Solves the pure linear program `min qᵀx  s.t.  l ≤ Ax ≤ u` by calling
+/// the ADMM solver with a zero quadratic term.
+///
+/// # Examples
+///
+/// ```
+/// use domo_solver::{solve_lp, Settings};
+/// use domo_linalg::CsrMatrix;
+///
+/// // min −x  s.t.  x ≤ 4, x ≥ 0  →  x* = 4.
+/// let a = CsrMatrix::from_triplets(1, 1, &[(0, 0, 1.0)]);
+/// let sol = solve_lp(&[-1.0], &a, &[0.0], &[4.0], &Settings::default());
+/// assert!((sol.x[0] - 4.0).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the dimensions of `q`, `a`, `l`, `u` are inconsistent.
+pub fn solve_lp(
+    q: &[f64],
+    a: &CsrMatrix,
+    l: &[f64],
+    u: &[f64],
+    settings: &Settings,
+) -> Solution {
+    let n = q.len();
+    let problem = ConeQp::new(
+        CsrMatrix::zeros(n, n),
+        q.to_vec(),
+        a.clone(),
+        l.to_vec(),
+        u.to_vec(),
+    )
+    .expect("solve_lp arguments must be dimensionally consistent");
+    solve(&problem, settings)
+}
+
+/// Reports the minimum eigenvalue over all PSD blocks at `x` — a
+/// diagnostic for "how far outside the cone" an iterate sits. Returns
+/// `0.0` when there are no blocks.
+///
+/// # Panics
+///
+/// Panics if `x.len() != problem.num_vars()`.
+pub fn psd_infeasibility(problem: &ConeQp, x: &[f64]) -> f64 {
+    assert_eq!(x.len(), problem.num_vars(), "point has wrong length");
+    let mut worst = 0.0f64;
+    for block in &problem.psd_blocks {
+        let dim = block.dim();
+        let mut mat = Matrix::zeros(dim, dim);
+        for j in 0..dim {
+            for i in 0..=j {
+                let v = x[block.vars()[svec_index(i, j)]];
+                mat[(i, j)] = v;
+                mat[(j, i)] = v;
+            }
+        }
+        worst = worst.min(domo_linalg::min_eigenvalue(&mat));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::QpBuilder;
+
+    fn settings() -> Settings {
+        Settings::default()
+    }
+
+    #[test]
+    fn unconstrained_quadratic_reaches_minimum() {
+        // minimize (x0 − 1)² + (x1 + 2)².
+        let mut b = QpBuilder::new(2);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_linear(0, -2.0);
+        b.add_linear(1, 4.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved());
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "x0 = {}", sol.x[0]);
+        assert!((sol.x[1] + 2.0).abs() < 1e-4, "x1 = {}", sol.x[1]);
+    }
+
+    #[test]
+    fn active_box_constraint_binds() {
+        // minimize (x − 3)², 0 ≤ x ≤ 2 → x* = 2.
+        let mut b = QpBuilder::new(1);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_linear(0, -6.0);
+        b.add_row(&[(0, 1.0)], 0.0, 2.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved());
+        assert!((sol.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn equality_constraint_projection() {
+        // minimize x0² + x1²  s.t.  x0 + x1 = 1 → (0.5, 0.5).
+        let mut b = QpBuilder::new(2);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], 1.0, 1.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved());
+        assert!((sol.x[0] - 0.5).abs() < 1e-4);
+        assert!((sol.x[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lp_reaches_vertex() {
+        // max x0 + 2 x1  s.t. x0 + x1 ≤ 4, 0 ≤ x ≤ 3 → (1, 3), value 7.
+        let mut b = QpBuilder::new(2);
+        b.add_linear(0, -1.0);
+        b.add_linear(1, -2.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], f64::NEG_INFINITY, 4.0);
+        b.add_row(&[(0, 1.0)], 0.0, 3.0);
+        b.add_row(&[(1, 1.0)], 0.0, 3.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved(), "residuals {} {}", sol.primal_residual, sol.dual_residual);
+        let value = sol.x[0] + 2.0 * sol.x[1];
+        assert!((value - 7.0).abs() < 1e-3, "value {value}");
+    }
+
+    #[test]
+    fn solve_lp_helper_works() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let sol = solve_lp(&[1.0, -1.0], &a, &[-1.0, -1.0], &[1.0, 1.0], &settings());
+        assert!((sol.x[0] + 1.0).abs() < 1e-3);
+        assert!((sol.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psd_block_enforces_semidefiniteness() {
+        // Variables form [[x0, x1], [x1, x2]] ⪰ 0; minimize (x1 + 1)²
+        // with x0 = x2 = 0.25 fixed. Unconstrained optimum x1 = −1 is
+        // outside the cone (needs |x1| ≤ 0.25); expect x1 → −0.25.
+        let mut b = QpBuilder::new(3);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_linear(1, 2.0);
+        b.fix_variable(0, 0.25);
+        b.fix_variable(2, 0.25);
+        b.add_psd_block(2, vec![0, 1, 2]).unwrap();
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved());
+        assert!((sol.x[1] + 0.25).abs() < 1e-3, "x1 = {}", sol.x[1]);
+        let problem = {
+            let mut b = QpBuilder::new(3);
+            b.add_psd_block(2, vec![0, 1, 2]).unwrap();
+            b.build().unwrap()
+        };
+        assert!(psd_infeasibility(&problem, &sol.x) > -1e-4);
+    }
+
+    #[test]
+    fn psd_block_inactive_when_interior() {
+        // Same geometry but the optimum is inside the cone: x1 → 0.1.
+        let mut b = QpBuilder::new(3);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_linear(1, -0.2);
+        b.fix_variable(0, 1.0);
+        b.fix_variable(2, 1.0);
+        b.add_psd_block(2, vec![0, 1, 2]).unwrap();
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved());
+        assert!((sol.x[1] - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sdp_trace_minimization() {
+        // minimize tr(Z) s.t. Z ⪰ 0, Z01 = 1 (2×2). Optimal Z = [[1,1],[1,1]]
+        // scaled: min z00 + z11 with z01 = 1, [[z00, z01],[z01, z11]] ⪰ 0
+        // → z00 = z11 = 1 (det = 0), objective 2.
+        let mut b = QpBuilder::new(3);
+        b.add_linear(0, 1.0);
+        b.add_linear(2, 1.0);
+        b.fix_variable(1, 1.0);
+        b.add_psd_block(2, vec![0, 1, 2]).unwrap();
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert!(sol.is_solved());
+        let obj = sol.x[0] + sol.x[2];
+        assert!((obj - 2.0).abs() < 5e-3, "objective {obj}");
+    }
+
+    #[test]
+    fn warm_start_converges_fast() {
+        let mut b = QpBuilder::new(2);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], 1.0, 1.0);
+        let problem = b.build().unwrap();
+        let cold = solve(&problem, &settings());
+        let warm = solve_warm(&problem, &settings(), Some(&cold.x));
+        assert!(warm.is_solved());
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn detects_primal_infeasibility() {
+        // x ≥ 2 and x ≤ 1 simultaneously: empty.
+        let mut b = QpBuilder::new(1);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_row(&[(0, 1.0)], 2.0, f64::INFINITY);
+        b.add_row(&[(0, 1.0)], f64::NEG_INFINITY, 1.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert_eq!(sol.status, Status::PrimalInfeasible);
+        assert!(!sol.is_solved());
+    }
+
+    #[test]
+    fn detects_infeasible_sum_system() {
+        // Conflicting equality rows through two variables:
+        // x0 + x1 = 0 and x0 + x1 = 10.
+        let mut b = QpBuilder::new(2);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], 0.0, 0.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], 10.0, 10.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert_eq!(sol.status, Status::PrimalInfeasible);
+    }
+
+    #[test]
+    fn feasible_problems_are_not_flagged() {
+        // A tightly-constrained but feasible problem must still solve.
+        let mut b = QpBuilder::new(1);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_linear(0, -6.0);
+        b.add_row(&[(0, 1.0)], 1.0, 1.0);
+        let sol = solve(&b.build().unwrap(), &settings());
+        assert_eq!(sol.status, Status::Solved);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn polish_sharpens_lp_vertices() {
+        // max x0 + 2 x1 s.t. x0 + x1 ≤ 4, 0 ≤ x ≤ 3 → (1, 3). With loose
+        // tolerances ADMM stops a fraction of a unit away; the polish
+        // lands on the vertex to near machine precision.
+        let build = || {
+            let mut b = QpBuilder::new(2);
+            b.add_linear(0, -1.0);
+            b.add_linear(1, -2.0);
+            b.add_row(&[(0, 1.0), (1, 1.0)], f64::NEG_INFINITY, 4.0);
+            b.add_row(&[(0, 1.0)], 0.0, 3.0);
+            b.add_row(&[(1, 1.0)], 0.0, 3.0);
+            b.build().unwrap()
+        };
+        let loose = Settings {
+            eps_abs: 1e-3,
+            eps_rel: 1e-3,
+            polish: false,
+            ..settings()
+        };
+        let rough = solve(&build(), &loose);
+        let polished = solve(&build(), &Settings { polish: true, ..loose });
+        let err = |s: &Solution| (s.x[0] - 1.0).abs() + (s.x[1] - 3.0).abs();
+        assert!(err(&polished) < 1e-6, "polished error {}", err(&polished));
+        assert!(err(&polished) <= err(&rough) + 1e-12);
+    }
+
+    #[test]
+    fn polish_never_accepts_infeasible_points() {
+        // A QP whose unconstrained optimum is outside the box; whatever
+        // the active-set guess, the accepted point must stay feasible.
+        let mut b = QpBuilder::new(2);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_linear(0, -20.0);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_row(&[(0, 1.0)], -1.0, 1.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], -1.5, 1.5);
+        let problem = b.build().unwrap();
+        let sol = solve(&problem, &settings());
+        assert!(problem.box_violation(&sol.x) < 1e-4);
+        assert!((sol.x[0] - 1.0).abs() < 1e-4, "x0 should pin to its box");
+    }
+
+    #[test]
+    fn max_iterations_reports_honestly() {
+        let mut b = QpBuilder::new(2);
+        b.add_linear(0, -1.0);
+        b.add_row(&[(0, 1.0), (1, 1.0)], f64::NEG_INFINITY, 4.0);
+        b.add_row(&[(0, 1.0)], 0.0, 3.0);
+        b.add_row(&[(1, 1.0)], 0.0, 3.0);
+        let tight = Settings {
+            max_iterations: 3,
+            check_interval: 1,
+            ..settings()
+        };
+        let sol = solve(&b.build().unwrap(), &tight);
+        assert_eq!(sol.status, Status::MaxIterations);
+        assert_eq!(sol.iterations, 3);
+    }
+
+    #[test]
+    fn empty_problem_is_solved_trivially() {
+        let problem = ConeQp::new(
+            CsrMatrix::zeros(0, 0),
+            vec![],
+            CsrMatrix::zeros(0, 0),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let sol = solve(&problem, &settings());
+        assert!(sol.is_solved());
+        assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let problem = ConeQp::new(
+            CsrMatrix::zeros(1, 1),
+            vec![0.0],
+            CsrMatrix::zeros(0, 1),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let bad = Settings {
+            alpha: 2.5,
+            ..settings()
+        };
+        let _ = solve(&problem, &bad);
+    }
+}

@@ -1,0 +1,48 @@
+//! From-scratch convex solvers for the Domo reconstruction pipeline.
+//!
+//! The Domo paper (ICDCS 2014) turns per-hop per-packet delay tomography
+//! into convex optimization problems: a quadratic program for estimated
+//! arrival times and a pair of linear programs per unknown for bounds,
+//! with the non-convex FIFO constraints handled by semidefinite
+//! relaxation. The Rust ecosystem has no mature SDP solver to lean on
+//! (that is this paper's reproduction gate), so this crate implements the
+//! required solver from scratch:
+//!
+//! * [`ConeQp`] / [`QpBuilder`] — problem descriptions for
+//!   `min ½xᵀPx + qᵀx` subject to box rows `l ≤ Ax ≤ u` and optional
+//!   [`PsdBlock`]s requiring subsets of variables to form PSD matrices
+//!   (the lifted `[[U, u], [uᵀ, 1]] ⪰ 0` constraints of the paper's
+//!   relaxation).
+//! * [`solve`] / [`solve_warm`] / [`solve_lp`] — an OSQP-style ADMM
+//!   method whose cone projection handles boxes and PSD blocks; the PSD
+//!   projection runs through the Jacobi eigensolver in `domo-linalg`.
+//! * [`svec`] — the symmetric-vectorization convention shared by problem
+//!   construction and the solver.
+//!
+//! # Examples
+//!
+//! ```
+//! use domo_solver::{QpBuilder, solve, Settings};
+//!
+//! // minimize (x0 − 1)² + (x1 − 1)²  s.t.  x0 + x1 = 1.
+//! let mut b = QpBuilder::new(2);
+//! b.add_quadratic(0, 0, 2.0);
+//! b.add_quadratic(1, 1, 2.0);
+//! b.add_linear(0, -2.0);
+//! b.add_linear(1, -2.0);
+//! b.add_row(&[(0, 1.0), (1, 1.0)], 1.0, 1.0);
+//! let sol = solve(&b.build()?, &Settings::default());
+//! assert!(sol.is_solved());
+//! assert!((sol.x[0] - 0.5).abs() < 1e-4);
+//! # Ok::<(), domo_solver::ProblemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admm;
+pub mod problem;
+pub mod svec;
+
+pub use admm::{psd_infeasibility, solve, solve_lp, solve_warm, Settings, Solution, Status};
+pub use problem::{ConeQp, ProblemError, PsdBlock, QpBuilder};

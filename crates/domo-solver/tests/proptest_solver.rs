@@ -1,0 +1,99 @@
+//! Property-based tests for the ADMM solver.
+
+use domo_solver::{solve, QpBuilder, Settings};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Separable box-constrained least squares has a closed form: the
+    /// solution is each target clamped to its box.
+    #[test]
+    fn separable_box_qp_matches_closed_form(
+        targets in proptest::collection::vec(-10.0f64..10.0, 1..6),
+        boxes in proptest::collection::vec((-5.0f64..0.0, 0.0f64..5.0), 6),
+    ) {
+        let n = targets.len();
+        let mut b = QpBuilder::new(n);
+        for i in 0..n {
+            b.add_quadratic(i, i, 2.0);
+            b.add_linear(i, -2.0 * targets[i]);
+            b.add_row(&[(i, 1.0)], boxes[i].0, boxes[i].1);
+        }
+        let sol = solve(&b.build().unwrap(), &Settings::default());
+        prop_assert!(sol.is_solved());
+        for i in 0..n {
+            let expected = targets[i].clamp(boxes[i].0, boxes[i].1);
+            prop_assert!((sol.x[i] - expected).abs() < 1e-3,
+                "var {i}: got {}, expected {expected}", sol.x[i]);
+        }
+    }
+
+    /// The solver's reported objective should never beat the optimum of
+    /// the unconstrained problem (which lower-bounds the constrained one).
+    #[test]
+    fn constrained_objective_at_least_unconstrained(
+        targets in proptest::collection::vec(-5.0f64..5.0, 2..5),
+    ) {
+        let n = targets.len();
+        let mut b = QpBuilder::new(n);
+        for i in 0..n {
+            b.add_quadratic(i, i, 2.0);
+            b.add_linear(i, -2.0 * targets[i]);
+            // Constrain into [0, 1].
+            b.add_row(&[(i, 1.0)], 0.0, 1.0);
+        }
+        let sol = solve(&b.build().unwrap(), &Settings::default());
+        prop_assert!(sol.is_solved());
+        // Unconstrained optimum value is −Σ targetᵢ².
+        let unconstrained: f64 = targets.iter().map(|t| -t * t).sum();
+        prop_assert!(sol.objective >= unconstrained - 1e-6);
+    }
+
+    /// Feasibility: a solved problem's x must satisfy the boxes.
+    #[test]
+    fn solution_is_box_feasible(
+        seed in 0u64..500,
+        n in 2usize..5,
+        m in 1usize..6,
+    ) {
+        use domo_util::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut b = QpBuilder::new(n);
+        for i in 0..n {
+            b.add_quadratic(i, i, 1.0 + rng.f64());
+            b.add_linear(i, rng.range_f64(-2.0..2.0));
+        }
+        for _ in 0..m {
+            let nv = rng.range_usize(1..n + 1);
+            let vars = rng.sample_indices(n, nv);
+            let entries: Vec<(usize, f64)> =
+                vars.iter().map(|&v| (v, rng.range_f64(-2.0..2.0))).collect();
+            // Always-feasible wide box around zero.
+            b.add_row(&entries, -10.0, 10.0);
+        }
+        let problem = b.build().unwrap();
+        let sol = solve(&problem, &Settings::default());
+        prop_assert!(sol.is_solved());
+        prop_assert!(problem.box_violation(&sol.x) < 1e-4);
+    }
+
+    /// PSD-block problems: the returned matrix is (nearly) in the cone.
+    #[test]
+    fn psd_iterates_land_in_cone(target in -3.0f64..3.0, corner in 0.1f64..2.0) {
+        let mut b = QpBuilder::new(3);
+        b.add_quadratic(1, 1, 2.0);
+        b.add_linear(1, -2.0 * target);
+        b.fix_variable(0, corner);
+        b.fix_variable(2, corner);
+        b.add_psd_block(2, vec![0, 1, 2]).unwrap();
+        let problem = b.build().unwrap();
+        let sol = solve(&problem, &Settings::default());
+        prop_assert!(sol.is_solved());
+        // |x1| ≤ corner within tolerance, and x1 ≈ clamp(target, ±corner).
+        let expected = target.clamp(-corner, corner);
+        prop_assert!((sol.x[1] - expected).abs() < 5e-3,
+            "x1 = {}, expected {expected}", sol.x[1]);
+        prop_assert!(domo_solver::psd_infeasibility(&problem, &sol.x) > -5e-3);
+    }
+}

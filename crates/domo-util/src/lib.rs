@@ -1,0 +1,38 @@
+//! Shared utilities for the Domo reproduction.
+//!
+//! This crate hosts the three foundations every other crate in the
+//! workspace builds on:
+//!
+//! * [`rng`] — a deterministic, dependency-free pseudo-random number
+//!   generator (splitmix64 seeding + xoshiro256++ core) so that every
+//!   simulation and experiment in the repository is bit-reproducible from
+//!   a seed, independent of external crate versions.
+//! * [`stats`] — descriptive statistics (mean, variance, percentiles,
+//!   empirical CDFs) and the paper's *average displacement* sequence
+//!   metric used to score MessageTracing-style order reconstruction.
+//! * [`time`] — strongly-typed simulated time ([`SimTime`]) and duration
+//!   ([`SimDuration`]) in microsecond ticks, matching the paper's
+//!   millisecond-precision measurements with headroom.
+//!
+//! # Examples
+//!
+//! ```
+//! use domo_util::rng::Xoshiro256pp;
+//! use domo_util::time::SimDuration;
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(42);
+//! let jitter = SimDuration::from_millis(rng.range_u64(0..100));
+//! assert!(jitter.as_millis() < 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod running;
+pub mod stats;
+pub mod time;
+
+pub use rng::Xoshiro256pp;
+pub use running::RunningStats;
+pub use time::{SimDuration, SimTime};

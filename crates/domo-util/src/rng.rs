@@ -1,0 +1,401 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The workspace deliberately does not depend on the `rand` crate: the
+//! simulator's results must be bit-reproducible from a seed across crate
+//! upgrades, so we implement the well-known splitmix64 (for seeding) and
+//! xoshiro256++ (for the stream) generators directly. Both are public
+//! domain algorithms by Blackman & Vigna and are tested against the
+//! reference vectors in this module's unit tests.
+
+use std::ops::Range;
+
+/// The splitmix64 generator, used to expand a 64-bit seed into the
+/// 256-bit state required by [`Xoshiro256pp`].
+///
+/// Splitmix64 passes BigCrush on its own and is the recommended seeding
+/// procedure for the xoshiro family. It is exposed publicly because the
+/// simulator also uses it to derive independent per-node seeds from a
+/// scenario seed.
+///
+/// # Examples
+///
+/// ```
+/// use domo_util::rng::SplitMix64;
+///
+/// let mut sm = SplitMix64::new(7);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The xoshiro256++ generator: fast, small, and statistically strong.
+///
+/// This is the workhorse RNG for every stochastic component of the
+/// repository (link loss, MAC backoff, traffic jitter, workload
+/// generation). Construct it with [`Xoshiro256pp::seed_from_u64`] for a
+/// convenient single-integer seed, or [`Xoshiro256pp::from_state`] to
+/// resume an exact stream.
+///
+/// # Examples
+///
+/// ```
+/// use domo_util::rng::Xoshiro256pp;
+///
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let x = rng.f64(); // uniform in [0, 1)
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator by expanding `seed` through splitmix64.
+    ///
+    /// Two generators created from different seeds produce streams that
+    /// are, for all simulation purposes, independent.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // The all-zero state is the only invalid state; splitmix64 cannot
+        // produce four consecutive zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            Self { s: [1, 2, 3, 4] }
+        } else {
+            Self { s }
+        }
+    }
+
+    /// Creates a generator from an explicit 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is all zeros, which is not a valid xoshiro state.
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(state != [0; 4], "xoshiro256++ state must be non-zero");
+        Self { s: state }
+    }
+
+    /// Returns the raw 256-bit state, e.g. for checkpointing a stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Derives a new, independent generator from this one.
+    ///
+    /// Used to hand each simulated node its own stream so that adding or
+    /// removing nodes does not perturb the randomness seen by others.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from_u64(self.next_u64())
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `u64` in `range` (half-open).
+    ///
+    /// Uses Lemire-style rejection to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "range_u64 requires a non-empty range");
+        let span = range.end - range.start;
+        // Rejection sampling over the top bits; loop terminates with
+        // probability 1 and in practice after ~1 iteration.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return range.start + v % span;
+            }
+        }
+    }
+
+    /// Returns a uniform `usize` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_usize(&mut self, range: Range<usize>) -> usize {
+        self.range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn range_f64(&mut self, range: Range<f64>) -> f64 {
+        assert!(
+            range.start < range.end && range.start.is_finite() && range.end.is_finite(),
+            "range_f64 requires a non-empty finite range"
+        );
+        range.start + self.f64() * (range.end - range.start)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Samples a standard normal via the Box–Muller transform.
+    pub fn normal_std(&mut self) -> f64 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.normal_std()
+    }
+
+    /// Samples an exponential with rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        -self.f64().max(f64::MIN_POSITIVE).ln() / lambda
+    }
+
+    /// Shuffles `slice` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.range_usize(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Returns a reference to a uniformly chosen element, or `None` if
+    /// `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.range_usize(0..slice.len())])
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir sampling),
+    /// returned in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        let mut reservoir: Vec<usize> = (0..k).collect();
+        for i in k..n {
+            let j = self.range_usize(0..i + 1);
+            if j < k {
+                reservoir[j] = i;
+            }
+        }
+        reservoir.sort_unstable();
+        reservoir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_reference_vectors() {
+        // Reference outputs for seed 1234567 from the canonical C code.
+        let mut sm = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![6457827717110365317, 3203168211198807973, 9817491932198370423]
+        );
+    }
+
+    #[test]
+    fn splitmix64_seed_zero_progresses() {
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(99);
+        let mut b = Xoshiro256pp::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Cross-checked against the canonical xoshiro256++ C code seeded
+        // with splitmix64(0): state = [e220a8397b1dcdaf, 6e789e6aa1b965f4,
+        // 06c45d188009454f, f88bb8a8724c81ec].
+        let mut rng = Xoshiro256pp::from_state([
+            0xe220a8397b1dcdaf,
+            0x6e789e6aa1b965f4,
+            0x06c45d188009454f,
+            0xf88bb8a8724c81ec,
+        ]);
+        assert_eq!(rng.next_u64(), 0x53175d61490b23df);
+        assert_eq!(rng.next_u64(), 0x61da6f3dc380d507);
+        assert_eq!(rng.next_u64(), 0x5c0fdf91ec9a7bfc);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn xoshiro_rejects_zero_state() {
+        let _ = Xoshiro256pp::from_state([0; 4]);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x), "f64 out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn range_u64_covers_and_stays_in_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.range_u64(5..15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should appear in 1000 draws");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn range_u64_rejects_empty_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let _ = rng.range_u64(5..5);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability_roughly() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+    }
+
+    #[test]
+    fn sample_indices_distinct_sorted_in_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let idx = rng.sample_indices(50, 10);
+        assert_eq!(idx.len(), 10);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        assert_eq!(rng.sample_indices(5, 5), vec![0, 1, 2, 3, 4]);
+        assert!(rng.sample_indices(5, 0).is_empty());
+    }
+
+    #[test]
+    fn fork_produces_diverging_streams() {
+        let mut parent = Xoshiro256pp::seed_from_u64(11);
+        let mut child = parent.fork();
+        let p: Vec<u64> = (0..10).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..10).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

@@ -1,0 +1,366 @@
+//! Descriptive statistics and the paper's sequence-displacement metric.
+//!
+//! The evaluation section of the Domo paper reports three families of
+//! numbers, all of which bottom out in this module:
+//!
+//! * average reconstruction error (mean of absolute errors),
+//! * CDFs of errors / bound widths (empirical distribution functions),
+//! * the *average displacement* between a reconstructed event order and
+//!   the ground-truth order (Domo §VI.A), used to compare against
+//!   MessageTracing.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Returns the arithmetic mean of `values`, or `None` if empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(domo_util::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(domo_util::stats::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Returns the population variance of `values`, or `None` if empty.
+pub fn variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Returns the population standard deviation of `values`, or `None` if
+/// empty.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` using linear
+/// interpolation between order statistics, or `None` if empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Returns the median of `values`, or `None` if empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// A five-number-plus-mean summary of a sample.
+///
+/// # Examples
+///
+/// ```
+/// let s = domo_util::stats::Summary::from_values(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes a summary, or `None` if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: values.len(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            p25: quantile(values, 0.25)?,
+            median: median(values)?,
+            p75: quantile(values, 0.75)?,
+            p90: quantile(values, 0.90)?,
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            mean: mean(values)?,
+            std_dev: std_dev(values)?,
+        })
+    }
+}
+
+/// An empirical cumulative distribution function.
+///
+/// Used by every figure in the paper's evaluation that plots a CDF
+/// (Figures 7 and 8) and by the textual experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// let cdf = domo_util::stats::Ecdf::from_values(&[1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ECDF input must not contain NaN"));
+        Self { sorted }
+    }
+
+    /// Number of samples in the ECDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Returns `P[X ≤ x]` for the empirical distribution.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the `q`-quantile of the sample, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile(&self.sorted, q)
+    }
+
+    /// Samples the CDF curve at `points` evenly spaced x-values spanning
+    /// the data range, returning `(x, P[X ≤ x])` pairs — the series a
+    /// plotting frontend would consume.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty checked above");
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+}
+
+/// Computes the *average displacement* between a ground-truth sequence
+/// and a reconstructed sequence of the same elements (Domo §VI.A).
+///
+/// Each element's displacement is the absolute difference between its
+/// position in `truth` and its position in `reconstructed`; the metric is
+/// the mean over all elements. The paper's example: truth
+/// `(a, b, c, d, e)` vs. reconstruction `(b, a, e, d, c)` has displacement
+/// `(1+1+2+0+2)/5 = 1.2`.
+///
+/// Elements present in only one of the sequences are ignored (this models
+/// packet loss: an event that was never reconstructed cannot be scored).
+/// Returns `None` when the sequences share no elements.
+///
+/// # Panics
+///
+/// Panics if either sequence contains duplicate elements.
+///
+/// # Examples
+///
+/// ```
+/// let truth = ['a', 'b', 'c', 'd', 'e'];
+/// let recon = ['b', 'a', 'e', 'd', 'c'];
+/// let d = domo_util::stats::average_displacement(&truth, &recon).unwrap();
+/// assert!((d - 1.2).abs() < 1e-12);
+/// ```
+pub fn average_displacement<T: Eq + Hash>(truth: &[T], reconstructed: &[T]) -> Option<f64> {
+    let mut truth_pos: HashMap<&T, usize> = HashMap::with_capacity(truth.len());
+    for (i, t) in truth.iter().enumerate() {
+        assert!(truth_pos.insert(t, i).is_none(), "duplicate element in truth sequence");
+    }
+    let mut seen: HashMap<&T, usize> = HashMap::with_capacity(reconstructed.len());
+    let mut total = 0usize;
+    let mut count = 0usize;
+    // Positions must be compared within the common subsequence: rank both
+    // sequences over the shared elements only, otherwise missing elements
+    // shift every later position and inflate the metric.
+    let common: Vec<&T> = reconstructed
+        .iter()
+        .filter(|e| truth_pos.contains_key(e))
+        .collect();
+    for (i, e) in common.iter().enumerate() {
+        assert!(seen.insert(e, i).is_none(), "duplicate element in reconstructed sequence");
+    }
+    let mut truth_rank = 0usize;
+    for t in truth {
+        if let Some(&recon_rank) = seen.get(t) {
+            total += truth_rank.abs_diff(recon_rank);
+            truth_rank += 1;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_stddev_basics() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&v), Some(5.0));
+        assert_eq!(variance(&v), Some(4.0));
+        assert_eq!(std_dev(&v), Some(2.0));
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert!(Summary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "q in [0, 1]")]
+    fn quantile_rejects_out_of_range_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_values(&v).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p90);
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let cdf = Ecdf::from_values(&[1.0, 2.0, 2.0, 10.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(9.99), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn ecdf_curve_spans_range_and_is_monotone() {
+        let cdf = Ecdf::from_values(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        let curve = cdf.curve(11);
+        assert_eq!(curve.len(), 11);
+        assert_eq!(curve[0].0, 1.0);
+        assert_eq!(curve[10].0, 5.0);
+        assert_eq!(curve[10].1, 1.0);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn ecdf_degenerate_cases() {
+        assert!(Ecdf::from_values(&[]).curve(5).is_empty());
+        let single = Ecdf::from_values(&[7.0]);
+        assert_eq!(single.curve(5), vec![(7.0, 1.0)]);
+        assert!(Ecdf::from_values(&[]).is_empty());
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn displacement_paper_example() {
+        let truth = ['a', 'b', 'c', 'd', 'e'];
+        let recon = ['b', 'a', 'e', 'd', 'c'];
+        let d = average_displacement(&truth, &recon).unwrap();
+        assert!((d - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displacement_identity_is_zero() {
+        let seq = [1, 2, 3, 4, 5];
+        assert_eq!(average_displacement(&seq, &seq), Some(0.0));
+    }
+
+    #[test]
+    fn displacement_ignores_missing_elements() {
+        // Reconstruction missed 'c' entirely: score the common elements.
+        let truth = ['a', 'b', 'c', 'd'];
+        let recon = ['b', 'a', 'd'];
+        // Common ranks — truth: a=0, b=1, d=2; recon: b=0, a=1, d=2.
+        let d = average_displacement(&truth, &recon).unwrap();
+        assert!((d - (1.0 + 1.0 + 0.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn displacement_disjoint_is_none() {
+        assert_eq!(average_displacement(&[1, 2], &[3, 4]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn displacement_rejects_duplicates() {
+        let _ = average_displacement(&[1, 1], &[1]);
+    }
+}

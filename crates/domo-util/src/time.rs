@@ -1,0 +1,322 @@
+//! Strongly-typed simulated time.
+//!
+//! All timing quantities in the simulator and the reconstruction pipeline
+//! are expressed in microsecond ticks. The paper measures delays with
+//! 1 ms precision and stores the 2-byte sum-of-delays at 1 ms resolution;
+//! we keep a µs-resolution global clock internally so that quantization
+//! to the on-air format is an explicit, testable step rather than an
+//! accident of representation.
+//!
+//! [`SimTime`] is a point on the simulation's global timeline;
+//! [`SimDuration`] is a difference of such points. The two types are kept
+//! distinct so that, e.g., adding two absolute times is a compile error.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in microseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use domo_util::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use domo_util::time::SimDuration;
+///
+/// let d = SimDuration::from_millis(3) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 3_500);
+/// assert_eq!(d.as_millis_f64(), 3.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from microseconds since the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a time from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the epoch as a float (lossless for the
+    /// simulation horizons used here).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction: returns [`SimDuration`] zero when `other`
+    /// is later than `self`.
+    pub fn saturating_sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction of a duration: `None` on underflow.
+    pub fn checked_sub_dur(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_sub(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration of `s` whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the
+    /// nearest microsecond and clamping negatives to zero.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if ms <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((ms * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Length in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Quantizes to the on-air 1 ms resolution used by the 2-byte
+    /// sum-of-delays field, rounding half up.
+    pub fn quantize_millis(self) -> u64 {
+        (self.0 + 500) / 1_000
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic_between_times_and_durations() {
+        let t0 = SimTime::from_millis(10);
+        let t1 = t0 + SimDuration::from_millis(5);
+        assert_eq!(t1, SimTime::from_millis(15));
+        assert_eq!(t1 - t0, SimDuration::from_millis(5));
+        assert_eq!(t1 - SimDuration::from_millis(15), SimTime::ZERO);
+
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_micros(250);
+        assert_eq!(t.as_micros(), 250);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(3);
+        let b = SimDuration::from_millis(1);
+        assert_eq!(a + b, SimDuration::from_millis(4));
+        assert_eq!(a - b, SimDuration::from_millis(2));
+        assert_eq!(a * 2, SimDuration::from_millis(6));
+        assert_eq!(a / 3, SimDuration::from_millis(1));
+        let mut c = a;
+        c -= b;
+        assert_eq!(c, SimDuration::from_millis(2));
+        let total: SimDuration = [a, b, b].into_iter().sum();
+        assert_eq!(total, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn saturating_ops_do_not_underflow() {
+        let early = SimTime::from_millis(1);
+        let late = SimTime::from_millis(2);
+        assert_eq!(early.saturating_sub(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_sub(early), SimDuration::from_millis(1));
+        assert_eq!(
+            SimDuration::from_millis(1).saturating_sub(SimDuration::from_millis(9)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn checked_sub_dur_detects_underflow() {
+        let t = SimTime::from_millis(1);
+        assert_eq!(t.checked_sub_dur(SimDuration::from_millis(2)), None);
+        assert_eq!(
+            t.checked_sub_dur(SimDuration::from_micros(1_000)),
+            Some(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn quantize_millis_rounds_half_up() {
+        assert_eq!(SimDuration::from_micros(499).quantize_millis(), 0);
+        assert_eq!(SimDuration::from_micros(500).quantize_millis(), 1);
+        assert_eq!(SimDuration::from_micros(1_499).quantize_millis(), 1);
+        assert_eq!(SimDuration::from_micros(1_500).quantize_millis(), 2);
+    }
+
+    #[test]
+    fn from_millis_f64_clamps_and_rounds() {
+        assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(1.2344).as_micros(), 1_234);
+        assert_eq!(SimDuration::from_millis_f64(1.2346).as_micros(), 1_235);
+    }
+
+    #[test]
+    fn display_uses_milliseconds() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.250ms");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::ZERO < SimTime::from_micros(1));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_millis(2));
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the utility crate.
+
+use domo_util::rng::Xoshiro256pp;
+use domo_util::stats::{average_displacement, mean, quantile, Ecdf};
+use domo_util::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn range_u64_always_within_bounds(seed: u64, lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let v = rng.range_u64(lo..lo + span);
+        prop_assert!(v >= lo && v < lo + span);
+    }
+
+    #[test]
+    fn f64_always_in_unit_interval(seed: u64) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let x = rng.f64();
+        prop_assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed: u64, mut v in proptest::collection::vec(0u32..100, 0..50)) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+
+    #[test]
+    fn sample_indices_invariants(seed: u64, n in 0usize..200, frac in 0.0f64..1.0) {
+        let k = (n as f64 * frac) as usize;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let idx = rng.sample_indices(n, k);
+        prop_assert_eq!(idx.len(), k);
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = mean(&v).unwrap();
+        let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                                  q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&v, qa).unwrap();
+        let b = quantile(&v, qb).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_monotone(v in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                        x1 in -1e3f64..1e3, x2 in -1e3f64..1e3) {
+        let (xa, xb) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let cdf = Ecdf::from_values(&v);
+        prop_assert!(cdf.fraction_at_or_below(xa) <= cdf.fraction_at_or_below(xb));
+    }
+
+    #[test]
+    fn displacement_of_permutation_is_finite_and_bounded(
+        perm in proptest::collection::vec(0usize..64, 1..64)
+    ) {
+        // Deduplicate to build a valid permutation domain.
+        let mut truth: Vec<usize> = perm.clone();
+        truth.sort_unstable();
+        truth.dedup();
+        let mut recon = truth.clone();
+        recon.reverse();
+        let n = truth.len() as f64;
+        let d = average_displacement(&truth, &recon).unwrap();
+        // Reversal displacement is at most n-1 per element.
+        prop_assert!(d <= n);
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn simtime_add_sub_round_trip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn quantize_is_within_half_ms(us in 0u64..10_000_000) {
+        let d = SimDuration::from_micros(us);
+        let q_ms = d.quantize_millis() as f64;
+        prop_assert!((q_ms - d.as_millis_f64()).abs() <= 0.5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Feeding Domo a trace from outside this repository.
+//!
+//! Domo's PC side only needs four sink-side quantities per packet
+//! (path, generation time, sink arrival, the 2-byte `S(p)` field). Any
+//! deployment that records them can export the line format of
+//! `domo_net::trace_io` and run the reconstruction — no simulator
+//! involved. This example simulates that workflow: it writes a trace to
+//! disk, "ships" it, reads it back, reconstructs, and prints the
+//! operator-facing bottleneck report.
+//!
+//! ```text
+//! cargo run --release --example external_trace
+//! ```
+
+use domo::core::report::{build_report, ReportOptions};
+use domo::net::trace_io;
+use domo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Producer side (would be your deployment's log collector). ----
+    let trace = run_simulation(&NetworkConfig::small(25, 314));
+    let dir = std::env::temp_dir().join("domo_external_trace");
+    std::fs::create_dir_all(&dir)?;
+    let file = dir.join("deployment.trace");
+    trace_io::write_packets(&file, &trace.packets)?;
+    println!(
+        "exported {} packets to {} ({} bytes)",
+        trace.packets.len(),
+        file.display(),
+        std::fs::metadata(&file)?.len()
+    );
+
+    // ---- Consumer side (any machine, any time later). ----
+    let packets = trace_io::read_packets(&file)?;
+    println!("imported {} packets", packets.len());
+    let domo = Domo::from_packets(packets);
+    let estimates = domo.estimate(&EstimatorConfig::default());
+    println!(
+        "reconstructed {} per-hop arrival times in {:?}",
+        domo.view().num_vars(),
+        estimates.stats.solve_time
+    );
+
+    // The operator's view: which forwarders are slow?
+    let report = build_report(domo.view(), &estimates, &ReportOptions::default());
+    println!("\nslowest forwarders (reconstructed):");
+    print!("{}", report.render(5));
+
+    std::fs::remove_file(&file).ok();
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Online per-hop monitoring with the streaming estimator.
+//!
+//! The paper's pipeline is offline; a live sink wants delays *now*. This
+//! example replays a trace in sink-arrival order — an event-burst
+//! workload, so congestion comes and goes — pushing each packet into
+//! [`domo::core::StreamingEstimator`] and printing the slowest forwarder
+//! every time a flush emits a batch.
+//!
+//! ```text
+//! cargo run --release --example online_monitoring
+//! ```
+
+use domo::core::{ReconstructedPacket, StreamingEstimator};
+use domo::net::EventBursts;
+use domo::prelude::*;
+use std::collections::HashMap;
+
+fn main() {
+    // An event-monitoring workload: periodic background traffic plus
+    // bursts around random epicenters.
+    let mut config = NetworkConfig::small(36, 77);
+    config.duration = SimDuration::from_secs(120);
+    config.event_bursts = Some(EventBursts {
+        mean_interval: SimDuration::from_secs(15),
+        radius: 25.0,
+        packets: 4,
+        spacing: SimDuration::from_millis(150),
+    });
+    let trace = run_simulation(&config);
+    println!(
+        "replaying {} packets ({} from bursts and periodic traffic)",
+        trace.packets.len(),
+        trace.stats.generated
+    );
+
+    let mut online = StreamingEstimator::new(EstimatorConfig::default());
+    let mut batch_no = 0;
+    let mut report = |batch: Vec<ReconstructedPacket>, trace: &NetworkTrace| {
+        if batch.is_empty() {
+            return;
+        }
+        batch_no += 1;
+        // Slowest forwarder within this batch.
+        let mut sojourns: HashMap<u16, Vec<f64>> = HashMap::new();
+        let mut last_arrival = 0.0f64;
+        for r in &batch {
+            let packet = trace
+                .packets
+                .iter()
+                .find(|p| p.pid == r.pid)
+                .expect("emitted packets come from the trace");
+            last_arrival = last_arrival.max(packet.sink_arrival.as_millis_f64());
+            for (hop, w) in r.hop_times_ms.windows(2).enumerate() {
+                sojourns
+                    .entry(packet.path[hop].index() as u16)
+                    .or_default()
+                    .push(w[1] - w[0]);
+            }
+        }
+        let slowest = sojourns
+            .iter()
+            .filter(|(_, ds)| ds.len() >= 3)
+            .map(|(&n, ds)| (n, ds.iter().sum::<f64>() / ds.len() as f64))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        if let Some((node, mean)) = slowest {
+            println!(
+                "batch {batch_no:>2} (≤ t={:>7.1}s, {:>3} packets): slowest forwarder n{node} \
+                 at {mean:.2} ms mean sojourn",
+                last_arrival / 1000.0,
+                batch.len(),
+            );
+        }
+    };
+
+    for p in &trace.packets {
+        let emitted = online.push(p.clone());
+        report(emitted, &trace);
+    }
+    report(online.finish(), &trace);
+    println!(
+        "\nstream complete: {} packets reconstructed online",
+        online.emitted()
+    );
+}

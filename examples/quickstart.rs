@@ -1,0 +1,67 @@
+//! Quickstart: simulate a small collection network, reconstruct the
+//! per-hop delay of every packet, and compare with the ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use domo::prelude::*;
+
+fn main() {
+    // A 5×5-grid collection network, one sink, CTP-style routing, one
+    // packet per node every ~5 s for a simulated minute.
+    let config = NetworkConfig::small(25, 2024);
+    let trace = run_simulation(&config);
+    println!(
+        "simulated {} nodes: {} packets delivered ({:.1}% delivery), {} unknown arrival times",
+        config.num_nodes,
+        trace.stats.delivered,
+        100.0 * trace.stats.delivery_ratio(),
+        trace.num_unknowns(),
+    );
+
+    // Reconstruct from sink-side data only (paths, generation times,
+    // sink arrivals, the 2-byte sum-of-delays field).
+    let domo = Domo::from_trace(&trace);
+    let estimates = domo.estimate(&EstimatorConfig::default());
+    println!(
+        "estimator: {} windows, {} ADMM iterations, {:?}",
+        estimates.stats.windows, estimates.stats.total_iterations, estimates.stats.solve_time
+    );
+
+    // Score against the simulator's ground truth.
+    let view = domo.view();
+    let mut errors: Vec<f64> = Vec::new();
+    for (var, hr) in view.vars().iter().enumerate() {
+        let pid = view.packet(hr.packet).pid;
+        let truth = trace.truth(pid).expect("delivered packet")[hr.hop].as_millis_f64();
+        let est = estimates.time_of(var).expect("committed estimate");
+        errors.push((est - truth).abs());
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    let under_4ms = errors.iter().filter(|&&e| e < 4.0).count() as f64 / errors.len() as f64;
+    println!("mean reconstruction error: {mean:.2} ms ({:.0}% of errors < 4 ms)", under_4ms * 100.0);
+
+    // Decompose one multi-hop packet's end-to-end delay.
+    let longest = (0..view.num_packets())
+        .max_by_key(|&p| view.packet(p).path.len())
+        .expect("non-empty trace");
+    let packet = view.packet(longest);
+    println!(
+        "\ndecomposition of {} (path {:?}, e2e {:.1} ms):",
+        packet.pid,
+        packet.path.iter().map(|n| n.index()).collect::<Vec<_>>(),
+        packet.e2e_delay().as_millis_f64()
+    );
+    let delays = domo.hop_delays(longest, &estimates);
+    let truth = trace.truth(packet.pid).expect("truth");
+    for (i, d) in delays.iter().enumerate() {
+        let true_d = (truth[i + 1] - truth[i]).as_millis_f64();
+        println!(
+            "  hop {:>2} ({} → {}): estimated {d:7.2} ms   true {true_d:7.2} ms",
+            i,
+            packet.path[i],
+            packet.path[i + 1]
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # Domo — passive per-packet delay tomography for wireless ad-hoc networks
+//!
+//! A full reproduction of *"Domo: Passive Per-Packet Delay Tomography in
+//! Wireless Ad-hoc Networks"* (ICDCS 2014): the reconstruction
+//! algorithms, the network substrate they run on, the two baselines they
+//! are evaluated against, and the experiment harness that regenerates
+//! every table and figure of the paper.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`core`] | `domo-core` | the paper's contribution: constraints, windowed QP/SDP estimator, sub-graph bound LPs |
+//! | [`net`] | `domo-net` | discrete-event wireless collection network (CSMA MAC, CTP-style routing, Algorithm 1 on-node) |
+//! | [`baselines`] | `domo-baselines` | MNT and MessageTracing comparators |
+//! | [`solver`] | `domo-solver` | from-scratch ADMM QP/LP/SDP solver |
+//! | [`linalg`] | `domo-linalg` | dense/sparse kernels, Jacobi eigensolver |
+//! | [`graph`] | `domo-graph` | constraint graph, BFS balls, balanced label propagation |
+//! | [`experiments`] | `domo-experiments` | per-figure regeneration harness |
+//! | [`util`] | `domo-util` | deterministic RNG, statistics, simulated time |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use domo::prelude::*;
+//!
+//! // 1. Simulate a collection network (or bring your own trace).
+//! let trace = run_simulation(&NetworkConfig::small(16, 7));
+//!
+//! // 2. Reconstruct per-hop arrival times from sink-side data only.
+//! let domo = Domo::from_trace(&trace);
+//! let estimates = domo.estimate(&EstimatorConfig::default());
+//!
+//! // 3. Read back the decomposition of any packet's end-to-end delay.
+//! let delays = domo.hop_delays(0, &estimates);
+//! assert_eq!(delays.len(), domo.view().packet(0).path.len() - 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use domo_baselines as baselines;
+pub use domo_core as core;
+pub use domo_experiments as experiments;
+pub use domo_graph as graph;
+pub use domo_linalg as linalg;
+pub use domo_net as net;
+pub use domo_solver as solver;
+pub use domo_util as util;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use domo_core::{
+        BoundMethod, Bounds, BoundsConfig, Domo, Estimates, EstimatorConfig, FifoMode, TraceView,
+    };
+    pub use domo_net::{run_simulation, NetworkConfig, NetworkTrace, NodeId, PacketId};
+    pub use domo_util::rng::Xoshiro256pp;
+    pub use domo_util::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,137 @@
+//! Cross-crate invariants: the constraint systems domo-core builds from
+//! domo-net traces must hold at the simulator's ground truth, across
+//! seeds and network shapes.
+
+use domo::core::{
+    build_constraints, propagate, ConstraintKind, ConstraintOptions, TraceView,
+};
+use domo::prelude::*;
+
+fn truth_point(trace: &NetworkTrace, view: &TraceView) -> Vec<f64> {
+    view.vars()
+        .iter()
+        .map(|hr| {
+            trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64()
+        })
+        .collect()
+}
+
+#[test]
+fn guaranteed_constraints_hold_at_truth_across_seeds() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let trace = run_simulation(&NetworkConfig::small(16, seed));
+        let view = TraceView::new(trace.packets.clone());
+        let opts = ConstraintOptions::default();
+        let intervals = propagate(&view, opts.omega_ms, opts.propagation_rounds);
+        let subset: Vec<usize> = (0..view.num_packets()).collect();
+        let system = build_constraints(&view, &subset, &intervals, &opts);
+        let x = truth_point(&trace, &view);
+        for row in &system.rows {
+            if row.kind == ConstraintKind::SumUpper {
+                continue; // loss-sensitive by design
+            }
+            let val = row.expr.eval(&x);
+            assert!(
+                val >= row.lo - 1e-6 && val <= row.hi + 1e-6,
+                "seed {seed}: {:?} violated at truth ({val} ∉ [{}, {}])",
+                row.kind,
+                row.lo,
+                row.hi
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_propagation_is_sound_across_shapes() {
+    for (nodes, seed) in [(9usize, 11u64), (16, 12), (25, 13), (36, 14)] {
+        let trace = run_simulation(&NetworkConfig::small(nodes, seed));
+        let view = TraceView::new(trace.packets.clone());
+        let intervals = propagate(&view, 0.5, 4);
+        let x = truth_point(&trace, &view);
+        for (v, &t) in x.iter().enumerate() {
+            assert!(
+                t >= intervals.lb[v] - 1e-6 && t <= intervals.ub[v] + 1e-6,
+                "{nodes} nodes seed {seed}: truth escaped interval"
+            );
+        }
+    }
+}
+
+#[test]
+fn candidate_sets_certain_subset_of_possible() {
+    let trace = run_simulation(&NetworkConfig::small(25, 21));
+    let view = TraceView::new(trace.packets.clone());
+    let mut any = false;
+    for p in 0..view.num_packets() {
+        if let Some(sets) = view.candidate_sets(p) {
+            for c in &sets.certain {
+                assert!(
+                    sets.possible.contains(c),
+                    "C*(p) must be a subset of C(p)"
+                );
+            }
+            any = true;
+        }
+    }
+    assert!(any, "trace must produce candidate sets");
+}
+
+#[test]
+fn sum_field_brackets_hold_semantically() {
+    // S(p) (the on-air field) must cover the packet's own first-hop
+    // sojourn and at most the total sojourn the source spent on all
+    // traffic between the anchor packets — checked against ground truth.
+    let trace = run_simulation(&NetworkConfig::small(16, 31));
+    let view = TraceView::new(trace.packets.clone());
+    let mut checked = 0;
+    for p in 0..view.num_packets() {
+        let Some(sets) = view.candidate_sets(p) else {
+            continue;
+        };
+        let packet = view.packet(p);
+        let truth = trace.truth(packet.pid).unwrap();
+        let own = (truth[1] - truth[0]).as_millis_f64();
+        let s = f64::from(packet.sum_of_delays_ms);
+        assert!(s >= own - 1.5, "S(p) must include the first-hop sojourn");
+        // Guaranteed candidates' delays fit under S(p).
+        let mut certain_sum = own;
+        for &(x, hop) in &sets.certain {
+            let tx = trace.truth(view.packet(x).pid).unwrap();
+            certain_sum += (tx[hop + 1] - tx[hop]).as_millis_f64();
+        }
+        assert!(
+            certain_sum <= s + 2.5,
+            "C* sum {certain_sum:.2} exceeds S(p)+slack {s}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 20, "need enough anchored packets, got {checked}");
+}
+
+#[test]
+fn fifo_order_decided_pairs_match_truth() {
+    use domo::core::interval::decided_order;
+    let trace = run_simulation(&NetworkConfig::small(16, 41));
+    let view = TraceView::new(trace.packets.clone());
+    let intervals = propagate(&view, 1.0, 3);
+    let mut decided = 0;
+    for node in view.forwarding_nodes().collect::<Vec<_>>() {
+        let entries = view.passthroughs(node);
+        for (i, &x) in entries.iter().enumerate() {
+            for &y in entries.iter().skip(i + 1) {
+                if let Some(x_first) = decided_order(&view, &intervals, x, y) {
+                    let tx = trace.truth(view.packet(x.0).pid).unwrap()[x.1];
+                    let ty = trace.truth(view.packet(y.0).pid).unwrap()[y.1];
+                    assert_eq!(
+                        x_first,
+                        tx < ty,
+                        "oracle decided the wrong order at node {node}"
+                    );
+                    decided += 1;
+                }
+            }
+        }
+    }
+    assert!(decided > 100, "oracle must decide plenty of pairs: {decided}");
+}

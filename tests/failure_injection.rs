@@ -1,0 +1,153 @@
+//! Failure injection: the reconstruction stack must stay sound and
+//! well-behaved when the network misbehaves — overflowing queues,
+//! hostile loss rates, no-route partitions, and pathological traffic.
+
+use domo::core::TraceView;
+use domo::net::Placement;
+use domo::prelude::*;
+
+fn mean_error(trace: &NetworkTrace, domo: &Domo, est: &Estimates) -> f64 {
+    let view = domo.view();
+    let errs: Vec<f64> = view
+        .vars()
+        .iter()
+        .enumerate()
+        .map(|(v, hr)| {
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
+                .as_millis_f64();
+            (est.time_of(v).unwrap() - truth).abs()
+        })
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+#[test]
+fn saturated_queues_still_reconstruct() {
+    // Queue capacity 2 and aggressive traffic: heavy queue drops, long
+    // sojourns — the pipeline must stay sound and sane.
+    let mut cfg = NetworkConfig::small(25, 7001);
+    cfg.queue_capacity = 1;
+    cfg.traffic_period = SimDuration::from_millis(600);
+    cfg.traffic_jitter = SimDuration::from_millis(200);
+    let trace = run_simulation(&cfg);
+    assert!(trace.stats.dropped_queue > 0, "the scenario must overflow queues");
+    assert!(trace.stats.delivered > 30, "and still deliver something");
+
+    let domo = Domo::from_trace(&trace);
+    let est = domo.estimate(&EstimatorConfig::default());
+    assert!(est.times_ms.iter().all(Option::is_some));
+    let err = mean_error(&trace, &domo, &est);
+    assert!(err < 40.0, "error {err:.1} ms diverged under congestion");
+}
+
+#[test]
+fn unreachable_nodes_are_tolerated() {
+    // Uniform random placement can strand nodes without routes; their
+    // packets drop with `dropped_no_route` and everything else works.
+    let mut cfg = NetworkConfig::small(30, 7002);
+    cfg.placement = Placement::UniformRandom;
+    cfg.node_spacing = 16.0; // sparse → likely partitions
+    let trace = run_simulation(&cfg);
+    let domo = Domo::from_trace(&trace);
+    let est = domo.estimate(&EstimatorConfig::default());
+    assert!(est.times_ms.iter().all(Option::is_some));
+    // Either the network was lucky and fully connected, or drops were
+    // counted — never silent loss.
+    let s = trace.stats;
+    assert_eq!(
+        s.generated,
+        s.delivered + s.dropped_queue + s.dropped_retx + s.dropped_no_route + s.dropped_ttl
+    );
+}
+
+#[test]
+fn extreme_extra_loss_keeps_bounds_sound() {
+    let trace = run_simulation(&NetworkConfig::small(16, 7003));
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let lossy = trace.with_extra_loss(0.6, &mut rng);
+    let domo = Domo::from_trace(&lossy);
+    let view = domo.view();
+    let targets: Vec<usize> = (0..view.num_vars()).step_by(5).collect();
+    let bounds = domo.bounds(&BoundsConfig::default(), &targets);
+    let mut inside = 0;
+    for &t in &targets {
+        let (lo, hi) = bounds.of(t).unwrap();
+        assert!(lo <= hi + 1e-6);
+        let hr = view.vars()[t];
+        let truth = lossy.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
+        if truth >= lo - 0.5 && truth <= hi + 0.5 {
+            inside += 1;
+        }
+    }
+    assert!(
+        inside as f64 >= 0.93 * targets.len() as f64,
+        "bounds lost soundness under 60% loss: {inside}/{}",
+        targets.len()
+    );
+}
+
+#[test]
+fn single_hop_network_degenerates_gracefully() {
+    // Every node one hop from the sink: no interior unknowns at all.
+    let mut cfg = NetworkConfig::small(4, 7004);
+    cfg.radio_d50 = 200.0; // everyone hears the sink
+    let trace = run_simulation(&cfg);
+    assert!(trace.packets.iter().all(|p| p.path_len() == 2));
+    let domo = Domo::from_trace(&trace);
+    assert_eq!(domo.view().num_vars(), 0);
+    let est = domo.estimate(&EstimatorConfig::default());
+    assert!(est.times_ms.is_empty());
+    // hop_times still returns the two known endpoints.
+    let times = domo.hop_times(0, &est);
+    assert_eq!(times.len(), 2);
+}
+
+#[test]
+fn retransmission_storms_accounted() {
+    // Lower link quality until retransmission drops appear; the S(p)
+    // fields still cover the surviving packets' own sojourns.
+    let mut cfg = NetworkConfig::small(25, 7005);
+    cfg.radio_d50 = 10.0; // marginal links everywhere
+    cfg.max_retries = 2;
+    let trace = run_simulation(&cfg);
+    assert!(trace.stats.dropped_retx > 0, "scenario must drop on retries");
+    let view = TraceView::new(trace.packets.clone());
+    for p in 0..view.num_packets() {
+        let packet = view.packet(p);
+        if packet.path_len() < 2 {
+            continue;
+        }
+        let truth = trace.truth(packet.pid).unwrap();
+        let own = (truth[1] - truth[0]).as_millis_f64();
+        assert!(f64::from(packet.sum_of_delays_ms) >= own - 1.5);
+    }
+}
+
+#[test]
+fn lost_acks_degrade_gracefully() {
+    // 15 % ACK loss: spurious retransmissions skew the sender-side
+    // sum-of-delays commits relative to the receiver-recorded arrivals.
+    // Reconstruction absorbs the skew through the constraint slack.
+    let mut cfg = NetworkConfig::small(25, 7007);
+    cfg.ack_reliability = 0.85;
+    let trace = run_simulation(&cfg);
+    let domo = Domo::from_trace(&trace);
+    let mut est_cfg = EstimatorConfig::default();
+    est_cfg.constraints.sum_slack_ms = 5.0; // widen for the skew
+    let est = domo.estimate(&est_cfg);
+    let err = mean_error(&trace, &domo, &est);
+    assert!(err < 15.0, "error {err:.1} ms diverged under ACK loss");
+}
+
+#[test]
+fn clock_drift_extremes_stay_within_slack() {
+    // 200 ppm drift (cheap crystals): sum constraints still hold at
+    // truth thanks to the quantization slack.
+    let mut cfg = NetworkConfig::small(16, 7006);
+    cfg.clock_drift_ppm = 200.0;
+    let trace = run_simulation(&cfg);
+    let domo = Domo::from_trace(&trace);
+    let est = domo.estimate(&EstimatorConfig::default());
+    let err = mean_error(&trace, &domo, &est);
+    assert!(err < 15.0, "drift should cost little: {err:.2} ms");
+}

@@ -1,0 +1,100 @@
+//! Domo must work across MAC and routing variants — the reconstruction
+//! consumes only the sink-side trace, so duty-cycled radios and a
+//! different collection protocol should change the delays, not the
+//! soundness.
+
+use domo::net::{MacMode, RoutingProtocol};
+use domo::prelude::*;
+
+fn mean_error(trace: &NetworkTrace, domo: &Domo, est: &Estimates) -> f64 {
+    let view = domo.view();
+    let errs: Vec<f64> = view
+        .vars()
+        .iter()
+        .enumerate()
+        .map(|(v, hr)| {
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
+                .as_millis_f64();
+            (est.time_of(v).unwrap() - truth).abs()
+        })
+        .collect();
+    errs.iter().sum::<f64>() / errs.len().max(1) as f64
+}
+
+#[test]
+fn reconstruction_works_under_low_power_listening() {
+    let mut cfg = NetworkConfig::small(16, 8101);
+    cfg.mac_mode = MacMode::LowPowerListening {
+        wake_interval: SimDuration::from_millis(100),
+    };
+    let trace = run_simulation(&cfg);
+    let domo = Domo::from_trace(&trace);
+    let est = domo.estimate(&EstimatorConfig::default());
+
+    // Per-hop delays are now dominated by ~U[0,100] ms wake-ups, so the
+    // absolute error budget scales with the wake interval — but the
+    // estimator must track it, not diverge.
+    let err = mean_error(&trace, &domo, &est);
+    assert!(err < 50.0, "error {err:.1} ms diverged under LPL");
+
+    // Relative to the naive midpoint baseline it must still win.
+    let iv = domo::core::propagate(domo.view(), 1.0, 3);
+    let mid_err: f64 = {
+        let errs: Vec<f64> = domo
+            .view()
+            .vars()
+            .iter()
+            .enumerate()
+            .map(|(v, hr)| {
+                let truth = trace.truth(domo.view().packet(hr.packet).pid).unwrap()[hr.hop]
+                    .as_millis_f64();
+                (iv.midpoint(v) - truth).abs()
+            })
+            .collect();
+        errs.iter().sum::<f64>() / errs.len().max(1) as f64
+    };
+    assert!(err < mid_err, "Domo {err:.1} vs midpoint {mid_err:.1} under LPL");
+}
+
+#[test]
+fn reconstruction_works_under_lqi_routing() {
+    let mut cfg = NetworkConfig::small(25, 8102);
+    cfg.routing_protocol = RoutingProtocol::LqiMultihop { min_prr: 0.5 };
+    let trace = run_simulation(&cfg);
+    assert!(trace.stats.delivered > 50);
+    let domo = Domo::from_trace(&trace);
+    let est = domo.estimate(&EstimatorConfig::default());
+    let err = mean_error(&trace, &domo, &est);
+    assert!(err < 10.0, "error {err:.1} ms under LQI routing");
+
+    // Bounds stay sound on the different tree shape, too.
+    let view = domo.view();
+    let targets: Vec<usize> = (0..view.num_vars()).step_by(9).collect();
+    let bounds = domo.bounds(&BoundsConfig::default(), &targets);
+    let mut inside = 0;
+    for &t in &targets {
+        let (lo, hi) = bounds.of(t).unwrap();
+        let hr = view.vars()[t];
+        let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
+        if truth >= lo - 0.5 && truth <= hi + 0.5 {
+            inside += 1;
+        }
+    }
+    assert!(inside as f64 >= 0.95 * targets.len() as f64);
+}
+
+#[test]
+fn protocols_produce_different_trees() {
+    // Sanity: the variant actually changes behavior (otherwise the
+    // tests above prove nothing).
+    let mut ctp = NetworkConfig::small(25, 8103);
+    ctp.fading_sigma = 0.2;
+    let mut lqi = ctp.clone();
+    lqi.routing_protocol = RoutingProtocol::LqiMultihop { min_prr: 0.6 };
+    let a = run_simulation(&ctp);
+    let b = run_simulation(&lqi);
+    assert_ne!(
+        a.packets, b.packets,
+        "different protocols should route at least some packets differently"
+    );
+}
