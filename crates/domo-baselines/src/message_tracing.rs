@@ -107,8 +107,7 @@ pub fn reconstruct_order(trace: &NetworkTrace, view: &TraceView) -> TracingOrder
         adj[a].push(b);
         indeg[b] += 1;
     }
-    let mut queue: VecDeque<usize> =
-        (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(u) = queue.pop_front() {
         order.push(events[u]);
@@ -136,15 +135,16 @@ pub fn reconstruct_order(trace: &NetworkTrace, view: &TraceView) -> TracingOrder
 pub fn truth_order(trace: &NetworkTrace, view: &TraceView) -> Vec<ArrivalEvent> {
     let mut timed: Vec<(f64, ArrivalEvent)> = Vec::new();
     for p in view.packets() {
-        let times = trace.truth(p.pid).expect("delivered packets have truth");
-        for hop in 1..p.path.len() {
-            timed.push((
-                times[hop].as_millis_f64(),
-                ArrivalEvent { pid: p.pid, hop },
-            ));
+        // Every packet in a view is a delivered one; a missing truth
+        // entry (foreign trace) simply contributes no events.
+        let Some(times) = trace.truth(p.pid) else {
+            continue;
+        };
+        for (hop, t) in times.iter().enumerate().take(p.path.len()).skip(1) {
+            timed.push((t.as_millis_f64(), ArrivalEvent { pid: p.pid, hop }));
         }
     }
-    timed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+    timed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     timed.into_iter().map(|(_, e)| e).collect()
 }
 
@@ -164,7 +164,7 @@ pub fn order_by_estimates(
             }
         }
     }
-    timed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+    timed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     timed.into_iter().map(|(_, e)| e).collect()
 }
 

@@ -181,7 +181,11 @@ fn apply_true_order_anchors(
         }
         for (pos, &pi) in order.iter().enumerate() {
             // Which hop of pi is this node?
-            let Some(hop) = view.packet(pi).path.iter().position(|nd| nd.index() == node)
+            let Some(hop) = view
+                .packet(pi)
+                .path
+                .iter()
+                .position(|nd| nd.index() == node)
             else {
                 continue;
             };
@@ -213,10 +217,7 @@ fn apply_decided_anchors(view: &TraceView, cfg: &MntConfig, lb: &mut [f64], ub: 
     use domo_core::interval::decided_order;
     // An order-only interval seed serves as the decidability oracle
     // (no FIFO rounds: anchors must not assume what they prove).
-    let seed = {
-        let zero_rounds = domo_core::interval::propagate(view, cfg.omega_ms, 0);
-        zero_rounds
-    };
+    let seed = domo_core::interval::propagate(view, cfg.omega_ms, 0);
     for node in view.forwarding_nodes().collect::<Vec<_>>() {
         // Local packets of this node, sorted by generation time.
         let mut locals: Vec<(f64, usize)> = view
@@ -225,7 +226,7 @@ fn apply_decided_anchors(view: &TraceView, cfg: &MntConfig, lb: &mut [f64], ub: 
             .filter(|&&(p, hop)| hop == 0 && view.packet(p).pid.origin == node)
             .map(|&(p, _)| (TraceView::ms(view.packet(p).gen_time), p))
             .collect();
-        locals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite gen times"));
+        locals.sort_by(|a, b| a.0.total_cmp(&b.0));
         if locals.is_empty() {
             continue;
         }
@@ -276,8 +277,7 @@ mod tests {
         let res = run_mnt(&trace, &view, &MntConfig::default());
         let mut checked = 0;
         for (var, hr) in view.vars().iter().enumerate() {
-            let truth =
-                trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
             assert!(
                 truth >= res.lb[var] - 1e-6 && truth <= res.ub[var] + 1e-6,
                 "truth {truth} outside MNT bracket [{}, {}]",
@@ -337,8 +337,7 @@ mod tests {
         );
         // Soundness: truth inside the inferred brackets everywhere.
         for (var, hr) in view.vars().iter().enumerate() {
-            let truth =
-                trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
             assert!(
                 truth >= inferred.lb[var] - 1e-6 && truth <= inferred.ub[var] + 1e-6,
                 "inferred bracket must contain truth"

@@ -14,7 +14,7 @@ use crate::interval::{propagate, Intervals};
 use crate::lowering::LocalProblem;
 use crate::view::TraceView;
 use domo_graph::{extract_ball, refine, BlpOptions, Graph};
-use domo_solver::{solve_warm, QpBuilder, Settings};
+use domo_solver::{try_solve_warm, QpBuilder, Settings};
 use std::time::Duration;
 
 /// How the per-target bounds are computed.
@@ -84,9 +84,39 @@ pub struct BoundsStats {
     pub cut_after: u64,
     /// LP solves that failed to converge (interval fallback used).
     pub unconverged_lps: usize,
+    /// Worker threads that panicked; their targets fell back to the
+    /// propagated intervals instead of aborting the run.
+    pub failed_workers: usize,
     /// Wall-clock solver time.
     pub solve_time: Duration,
 }
+
+/// Why a bound run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundsError {
+    /// A configuration field is out of its valid range.
+    BadConfig(String),
+    /// A requested target variable does not exist.
+    TargetOutOfRange {
+        /// The offending target.
+        target: usize,
+        /// Unknowns in the view.
+        num_vars: usize,
+    },
+}
+
+impl std::fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadConfig(msg) => write!(f, "{msg}"),
+            Self::TargetOutOfRange { target, num_vars } => {
+                write!(f, "target {target} out of range ({num_vars} vars)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {}
 
 /// Bounds per variable (only targeted variables are `Some`).
 #[derive(Debug, Clone)]
@@ -102,7 +132,10 @@ pub struct Bounds {
 impl Bounds {
     /// The bound pair of a variable, if computed.
     pub fn of(&self, var: usize) -> Option<(f64, f64)> {
-        match (self.lb.get(var).copied().flatten(), self.ub.get(var).copied().flatten()) {
+        match (
+            self.lb.get(var).copied().flatten(),
+            self.ub.get(var).copied().flatten(),
+        ) {
             (Some(l), Some(u)) => Some((l, u)),
             _ => None,
         }
@@ -142,14 +175,48 @@ impl Bounds {
 /// }
 /// ```
 pub fn bounds_for(view: &TraceView, cfg: &BoundsConfig, targets: &[usize]) -> Bounds {
-    assert!(cfg.graph_cut_size > 0, "graph cut size must be positive");
+    match try_bounds_for(view, cfg, targets) {
+        Ok(b) => b,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking variant of [`bounds_for`]: bad inputs come back as a
+/// [`BoundsError`]. Per-target solver trouble (unconverged or
+/// infeasible LPs, even a panicking worker thread) never fails the
+/// run — affected targets degrade to their propagated intervals, with
+/// counts in [`BoundsStats`].
+///
+/// # Errors
+///
+/// [`BoundsError::BadConfig`] when `graph_cut_size == 0`;
+/// [`BoundsError::TargetOutOfRange`] for a target `≥` the number of
+/// unknowns.
+pub fn try_bounds_for(
+    view: &TraceView,
+    cfg: &BoundsConfig,
+    targets: &[usize],
+) -> Result<Bounds, BoundsError> {
+    if cfg.graph_cut_size == 0 {
+        return Err(BoundsError::BadConfig(
+            "graph cut size must be positive".into(),
+        ));
+    }
     let n = view.num_vars();
     for &t in targets {
-        assert!(t < n, "target {t} out of range ({n} vars)");
+        if t >= n {
+            return Err(BoundsError::TargetOutOfRange {
+                target: t,
+                num_vars: n,
+            });
+        }
     }
 
-    let mut intervals =
-        propagate(view, cfg.constraints.omega_ms, cfg.constraints.propagation_rounds);
+    let mut intervals = propagate(
+        view,
+        cfg.constraints.omega_ms,
+        cfg.constraints.propagation_rounds,
+    );
     let all: Vec<usize> = (0..view.num_packets()).collect();
     let system = build_constraints(view, &all, &intervals, &cfg.constraints);
     // HC4 pre-tightening pushes the sum-of-delays information into the
@@ -170,7 +237,7 @@ pub fn bounds_for(view: &TraceView, cfg: &BoundsConfig, targets: &[usize]) -> Bo
             ub[t] = Some(intervals.ub[t]);
             stats.targets += 1;
         }
-        return Bounds { lb, ub, stats };
+        return Ok(Bounds { lb, ub, stats });
     }
 
     let graph = constraint_graph(n, &system);
@@ -195,9 +262,7 @@ pub fn bounds_for(view: &TraceView, cfg: &BoundsConfig, targets: &[usize]) -> Bo
     let results: Vec<TargetResult> = if threads <= 1 {
         targets
             .iter()
-            .map(|&t| {
-                solve_target(view, cfg, &intervals, &system, &graph, &rows_of_var, t)
-            })
+            .map(|&t| solve_target(view, cfg, &intervals, &system, &graph, &rows_of_var, t))
             .collect()
     } else {
         std::thread::scope(|scope| {
@@ -205,18 +270,34 @@ pub fn bounds_for(view: &TraceView, cfg: &BoundsConfig, targets: &[usize]) -> Bo
             for part in targets.chunks(chunk) {
                 let (intervals, system, graph, rows_of_var) =
                     (&intervals, &system, &graph, &rows_of_var);
-                handles.push(scope.spawn(move || {
+                let handle = scope.spawn(move || {
                     part.iter()
-                        .map(|&t| {
-                            solve_target(view, cfg, intervals, system, graph, rows_of_var, t)
-                        })
+                        .map(|&t| solve_target(view, cfg, intervals, system, graph, rows_of_var, t))
                         .collect::<Vec<_>>()
-                }));
+                });
+                handles.push((part, handle));
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("bound worker thread panicked"))
-                .collect()
+            let mut results = Vec::with_capacity(targets.len());
+            for (part, h) in handles {
+                match h.join() {
+                    Ok(rs) => results.extend(rs),
+                    Err(_) => {
+                        // A panicking worker loses its LP results, not
+                        // the run: its targets degrade to the
+                        // propagated intervals.
+                        stats.failed_workers += 1;
+                        results.extend(part.iter().map(|&t| TargetResult {
+                            target: t,
+                            lb: intervals.lb[t],
+                            ub: intervals.ub[t],
+                            cut_before: 0,
+                            cut_after: 0,
+                            unconverged: 2,
+                        }));
+                    }
+                }
+            }
+            results
         })
     };
 
@@ -230,11 +311,7 @@ pub fn bounds_for(view: &TraceView, cfg: &BoundsConfig, targets: &[usize]) -> Bo
         ub[r.target] = Some(r.ub);
     }
 
-    Bounds {
-        lb,
-        ub,
-        stats,
-    }
+    Ok(Bounds { lb, ub, stats })
 }
 
 /// Computes bounds for every unknown (small traces / tests).
@@ -284,10 +361,18 @@ fn solve_target(
     row_ids.dedup();
 
     let local = LocalProblem::new(&sub.vertices, intervals.lb[target]);
-    let (lo_val, hi_val) =
-        solve_pair(view, cfg, intervals, &local, system, &row_ids, &sub.in_set, target);
-    let unconverged = usize::from(lo_val == f64::NEG_INFINITY)
-        + usize::from(hi_val == f64::INFINITY);
+    let (lo_val, hi_val) = solve_pair(
+        view,
+        cfg,
+        intervals,
+        &local,
+        system,
+        &row_ids,
+        &sub.in_set,
+        target,
+    );
+    let unconverged =
+        usize::from(lo_val == f64::NEG_INFINITY) + usize::from(hi_val == f64::INFINITY);
 
     // Intersect with the propagated intervals (always sound).
     let l = lo_val.max(intervals.lb[target]);
@@ -358,7 +443,10 @@ fn solve_pair(
                 crate::constraints::RowRestriction::Vacuous => {}
             }
         }
-        let lt = local.local(target).expect("target is in its own sub-graph");
+        // The target is in its own sub-graph by construction; if that
+        // ever broke, fall back to the propagated interval rather than
+        // aborting the run.
+        let lt = local.local(target)?;
         b.add_linear(lt, sign);
         // A whisper of curvature keeps the LP's ADMM iterates stable.
         b.add_quadratic(lt, lt, 1e-9);
@@ -368,11 +456,8 @@ fn solve_pair(
         let warm: Vec<f64> = (0..local.num_vars())
             .map(|lv| local.from_ms(intervals.midpoint(local.global(lv))))
             .collect();
-        let sol = solve_warm(
-            &b.build().expect("bound LP is well-formed"),
-            &cfg.solver,
-            Some(&warm),
-        );
+        let problem = b.build().ok()?;
+        let sol = try_solve_warm(&problem, &cfg.solver, Some(&warm)).ok()?;
         *stats_time += sol.solve_time;
         // An unconverged iterate is not a valid bound; the caller falls
         // back to the propagated interval (1 ms acceptance matches the
@@ -583,6 +668,32 @@ mod tests {
         let g = constraint_graph(3, &system);
         assert_eq!(g.edge_weight(0, 1), 1);
         assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn try_bounds_rejects_bad_inputs_without_panicking() {
+        let (_, view) = setup(36);
+        let n = view.num_vars();
+        let e = try_bounds_for(&view, &BoundsConfig::default(), &[n]).unwrap_err();
+        assert_eq!(
+            e,
+            BoundsError::TargetOutOfRange {
+                target: n,
+                num_vars: n
+            }
+        );
+        assert!(e.to_string().contains("out of range"));
+        let bad = BoundsConfig {
+            graph_cut_size: 0,
+            ..BoundsConfig::default()
+        };
+        assert!(matches!(
+            try_bounds_for(&view, &bad, &[0]),
+            Err(BoundsError::BadConfig(_))
+        ));
+        // The panicking wrapper preserves the old behavior.
+        let caught = std::panic::catch_unwind(|| bounds_for(&view, &BoundsConfig::default(), &[n]));
+        assert!(caught.is_err());
     }
 
     #[test]

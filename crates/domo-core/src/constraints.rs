@@ -177,11 +177,7 @@ pub fn build_constraints(
                     (lo, p, hop)
                 })
                 .collect();
-            sorted.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("finite bounds")
-                    .then(a.1.cmp(&b.1))
-            });
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             for i in 0..sorted.len() {
                 let horizon = sorted.len().min(i + 1 + opts.fifo_horizon);
                 for j in (i + 1)..horizon {
@@ -316,7 +312,7 @@ pub fn restrict_row_to(row: &Row, in_set: &[bool], intervals: &Intervals) -> Row
             hi -= min_c;
         }
     }
-    if expr.len() == 0 || (!lo.is_finite() && !hi.is_finite()) {
+    if expr.is_empty() || (!lo.is_finite() && !hi.is_finite()) {
         return RowRestriction::Vacuous;
     }
     RowRestriction::Relaxed(Row {
@@ -412,7 +408,7 @@ pub fn expr_interval(expr: &LinExpr, intervals: &Intervals) -> (f64, f64) {
 /// Skips rows with no unknowns (their truth is already determined by
 /// sink-side knowledge and, for a valid trace, holds automatically).
 fn push_row(system: &mut ConstraintSystem, row: Row) {
-    if row.expr.len() > 0 {
+    if !row.expr.is_empty() {
         system.rows.push(row);
     }
 }

@@ -39,17 +39,21 @@ pub struct SystemDiagnostics {
     pub mean_interval_width_ms: f64,
     /// Mean constraint rows touching each unknown.
     pub rows_per_unknown: f64,
+    /// Records the sanitizer pulled before this view was built (0 when
+    /// diagnosing an unsanitized view — see [`crate::sanitize`]).
+    pub quarantined_packets: usize,
 }
 
 impl SystemDiagnostics {
     /// Renders a compact text block.
     pub fn render(&self) -> String {
         format!(
-            "constraint system: {} packets, {} unknowns (mean path {:.1} hops)\n\
+            "constraint system: {} packets ({} quarantined), {} unknowns (mean path {:.1} hops)\n\
              rows: {} order, {} fifo (decided {:.1}% of {} pairs), {} sum-lower, {} sum-upper\n\
              anchors: {} packets without usable S(p); intervals avg {:.2} ms wide; \
              {:.1} rows/unknown\n",
             self.packets,
+            self.quarantined_packets,
             self.unknowns,
             self.mean_path_len,
             self.order_rows,
@@ -92,8 +96,8 @@ pub fn diagnose(view: &TraceView, opts: &ConstraintOptions) -> SystemDiagnostics
     };
 
     let order_rows = system.count(ConstraintKind::Order);
-    let fifo_rows = system.count(ConstraintKind::FifoArrival)
-        + system.count(ConstraintKind::FifoDeparture);
+    let fifo_rows =
+        system.count(ConstraintKind::FifoArrival) + system.count(ConstraintKind::FifoDeparture);
     let undecided = system.undecided_pairs.len();
     let decided_pairs = fifo_rows / 2;
     let total_pairs = decided_pairs + undecided;
@@ -133,6 +137,7 @@ pub fn diagnose(view: &TraceView, opts: &ConstraintOptions) -> SystemDiagnostics
         unanchored_packets: unanchored,
         mean_interval_width_ms,
         rows_per_unknown,
+        quarantined_packets: 0,
     }
 }
 
@@ -204,6 +209,7 @@ mod tests {
         assert!(text.contains("unknowns"));
         assert!(text.contains("fifo"));
         assert!(text.contains("rows/unknown"));
+        assert!(text.contains("quarantined"));
     }
 
     #[test]

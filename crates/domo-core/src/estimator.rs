@@ -27,7 +27,7 @@ use crate::interval::{propagate, Intervals};
 use crate::lowering::LocalProblem;
 use crate::view::TraceView;
 use domo_solver::svec::svec_index;
-use domo_solver::{solve_warm, QpBuilder, Settings};
+use domo_solver::{try_solve_warm, QpBuilder, Settings};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -101,8 +101,15 @@ pub struct EstimatorStats {
     pub sdp_windows: usize,
     /// Windows re-solved without the loss-sensitive upper sum rows.
     pub relaxed_retries: usize,
+    /// Windows re-solved with the FIFO rows *also* dropped (last rung
+    /// before the midpoint fallback; corrupted `S(p)` fields that slip
+    /// the sanitizer land here).
+    pub fifo_relaxed_windows: usize,
     /// Windows that never reached tolerance (midpoint fallback used).
     pub unsolved_windows: usize,
+    /// Solve attempts the solver refused outright (failed factorization,
+    /// malformed window problem) rather than merely not converging.
+    pub solver_errors: usize,
     /// Total ADMM iterations.
     pub total_iterations: usize,
     /// Wall-clock solver time.
@@ -127,12 +134,30 @@ impl Estimates {
     }
 }
 
+/// Why an estimation run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// A configuration field is out of its valid range.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadConfig(msg) => write!(f, "bad estimator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
 /// Runs the windowed estimator over the whole trace view.
 ///
 /// # Panics
 ///
 /// Panics if `effective_window_ratio` is outside `(0, 1]` or
-/// `window_packets == 0`.
+/// `window_packets == 0`; [`try_estimate`] returns those as errors
+/// instead.
 ///
 /// # Examples
 ///
@@ -145,13 +170,38 @@ impl Estimates {
 /// assert_eq!(est.times_ms.len(), view.num_vars());
 /// ```
 pub fn estimate(view: &TraceView, cfg: &EstimatorConfig) -> Estimates {
-    assert!(
-        cfg.effective_window_ratio > 0.0 && cfg.effective_window_ratio <= 1.0,
-        "effective window ratio must be in (0, 1]"
-    );
-    assert!(cfg.window_packets > 0, "window must hold at least one packet");
+    match try_estimate(view, cfg) {
+        Ok(est) => est,
+        Err(e) => panic!("{e}"),
+    }
+}
 
-    let intervals = propagate(view, cfg.constraints.omega_ms, cfg.constraints.propagation_rounds);
+/// Non-panicking variant of [`estimate`]: configuration problems come
+/// back as [`EstimatorError`]; everything downstream (solver refusals,
+/// non-convergence, infeasible windows) degrades through the fallback
+/// ladder and is reported in [`EstimatorStats`], never panics.
+///
+/// # Errors
+///
+/// [`EstimatorError::BadConfig`] when `effective_window_ratio` is
+/// outside `(0, 1]` or `window_packets == 0`.
+pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates, EstimatorError> {
+    if !(cfg.effective_window_ratio > 0.0 && cfg.effective_window_ratio <= 1.0) {
+        return Err(EstimatorError::BadConfig(
+            "effective window ratio must be in (0, 1]".into(),
+        ));
+    }
+    if cfg.window_packets == 0 {
+        return Err(EstimatorError::BadConfig(
+            "window must hold at least one packet".into(),
+        ));
+    }
+
+    let intervals = propagate(
+        view,
+        cfg.constraints.omega_ms,
+        cfg.constraints.propagation_rounds,
+    );
     let mut times_ms: Vec<Option<f64>> = vec![None; view.num_vars()];
     let mut stats = EstimatorStats::default();
 
@@ -161,7 +211,7 @@ pub fn estimate(view: &TraceView, cfg: &EstimatorConfig) -> Estimates {
 
     let n = order.len();
     if n == 0 {
-        return Estimates { times_ms, stats };
+        return Ok(Estimates { times_ms, stats });
     }
     let w = cfg.window_packets.min(n);
     let keep = ((w as f64 * cfg.effective_window_ratio).round() as usize).clamp(1, w);
@@ -174,17 +224,29 @@ pub fn estimate(view: &TraceView, cfg: &EstimatorConfig) -> Estimates {
         let window: Vec<usize> = order[start..end].to_vec();
         // Commit zone: the middle `keep` of the window, stretched to the
         // trace edges for the first and last windows.
-        let commit_hi = if end == n { n } else { (start + lead + keep).min(n) };
+        let commit_hi = if end == n {
+            n
+        } else {
+            (start + lead + keep).min(n)
+        };
         let commit: Vec<usize> = order[next_commit..commit_hi].to_vec();
 
-        solve_window(view, cfg, &intervals, &window, &commit, &mut times_ms, &mut stats);
+        solve_window(
+            view,
+            cfg,
+            &intervals,
+            &window,
+            &commit,
+            &mut times_ms,
+            &mut stats,
+        );
 
         next_commit = commit_hi;
         start += keep;
         stats.windows += 1;
     }
 
-    Estimates { times_ms, stats }
+    Ok(Estimates { times_ms, stats })
 }
 
 /// The variance-objective terms (paper Eq. 8) among `subset`: one
@@ -215,20 +277,15 @@ pub(crate) fn variance_terms(
         for i in 0..entries.len() {
             let (pi, hi) = entries[i];
             let gen_i = TraceView::ms(view.packet(pi).gen_time);
-            let mut paired = 0;
-            for &(pj, hj) in entries.iter().skip(i + 1) {
-                if paired >= pairs_per_packet {
-                    break;
-                }
+            for &(pj, hj) in entries.iter().skip(i + 1).take(pairs_per_packet) {
                 let gen_j = TraceView::ms(view.packet(pj).gen_time);
                 if (gen_j - gen_i).abs() > epsilon_ms {
                     break;
                 }
                 let diff = view.delay_expr(pi, hi).sub(&view.delay_expr(pj, hj));
-                if diff.len() > 0 {
+                if !diff.is_empty() {
                     terms.push(diff);
                 }
-                paired += 1;
             }
         }
     }
@@ -270,13 +327,13 @@ fn solve_window(
     system.rows = system
         .rows
         .iter()
-        .filter_map(|row| {
-            match crate::constraints::restrict_row_to(row, &in_window, intervals) {
+        .filter_map(
+            |row| match crate::constraints::restrict_row_to(row, &in_window, intervals) {
                 crate::constraints::RowRestriction::Inside => Some(row.clone()),
                 crate::constraints::RowRestriction::Relaxed(r) => Some(r),
                 crate::constraints::RowRestriction::Vacuous => None,
-            }
-        })
+            },
+        )
         .collect();
 
     let t_ref = window
@@ -292,18 +349,68 @@ fn solve_window(
 
     let solution = if use_sdp {
         stats.sdp_windows += 1;
-        attempt(view, cfg, intervals, &local, &system, &objective, true, false, stats)
+        attempt(
+            view,
+            cfg,
+            intervals,
+            &local,
+            &system,
+            &objective,
+            true,
+            Relax::None,
+            stats,
+        )
     } else {
-        attempt(view, cfg, intervals, &local, &system, &objective, false, false, stats)
+        attempt(
+            view,
+            cfg,
+            intervals,
+            &local,
+            &system,
+            &objective,
+            false,
+            Relax::None,
+            stats,
+        )
     };
 
-    // Fallback ladder: drop the loss-sensitive upper sum rows, then give
-    // up and use interval midpoints.
+    // Fallback ladder: drop the loss-sensitive upper sum rows, then the
+    // FIFO rows too (an infeasible window whose offending constraints
+    // came from bad data), then give up and use interval midpoints.
     let solution = match solution {
         Some(x) => Some(x),
         None => {
             stats.relaxed_retries += 1;
-            attempt(view, cfg, intervals, &local, &system, &objective, use_sdp, true, stats)
+            attempt(
+                view,
+                cfg,
+                intervals,
+                &local,
+                &system,
+                &objective,
+                use_sdp,
+                Relax::UpperSum,
+                stats,
+            )
+        }
+    };
+    let solution = match solution {
+        Some(x) => Some(x),
+        None => {
+            stats.fifo_relaxed_windows += 1;
+            // No lifting on the last rung: the lifted rows *are* the
+            // undecided FIFO constraints being dropped.
+            attempt(
+                view,
+                cfg,
+                intervals,
+                &local,
+                &system,
+                &objective,
+                false,
+                Relax::UpperSumAndFifo,
+                stats,
+            )
         }
     };
 
@@ -321,8 +428,13 @@ fn solve_window(
     match solution {
         Some(x) => {
             for v in committed_vars {
-                let lv = local.local(v).expect("window vars include commit vars");
-                times_ms[v] = Some(local.to_ms(x[lv]).clamp(intervals.lb[v], intervals.ub[v]));
+                // A commit var missing from the window's local space
+                // would be a bookkeeping bug; degrade that variable to
+                // its interval midpoint rather than aborting the run.
+                times_ms[v] = match local.local(v) {
+                    Some(lv) => Some(local.to_ms(x[lv]).clamp(intervals.lb[v], intervals.ub[v])),
+                    None => Some(intervals.midpoint(v)),
+                };
             }
         }
         None => {
@@ -332,6 +444,18 @@ fn solve_window(
             }
         }
     }
+}
+
+/// Which constraint families a fallback attempt drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Relax {
+    /// Full constraint system.
+    None,
+    /// Drop the loss-sensitive upper sum rows (6).
+    UpperSum,
+    /// Drop the upper sum rows *and* every FIFO row — the widest
+    /// relaxation before giving up; order and guaranteed-sum rows stay.
+    UpperSumAndFifo,
 }
 
 /// One solve attempt; returns the local solution if it met quality.
@@ -344,7 +468,7 @@ fn attempt(
     system: &ConstraintSystem,
     objective: &[LinExpr],
     use_sdp: bool,
-    drop_upper_sum: bool,
+    relax: Relax,
     stats: &mut EstimatorStats,
 ) -> Option<Vec<f64>> {
     let m = local.num_vars();
@@ -357,7 +481,14 @@ fn attempt(
 
     local.add_boxes(&mut b, intervals);
     for row in &system.rows {
-        if drop_upper_sum && row.kind == ConstraintKind::SumUpper {
+        let dropped = match row.kind {
+            ConstraintKind::SumUpper => relax != Relax::None,
+            ConstraintKind::FifoArrival | ConstraintKind::FifoDeparture => {
+                relax == Relax::UpperSumAndFifo
+            }
+            _ => false,
+        };
+        if dropped {
             continue;
         }
         local.add_row(&mut b, row);
@@ -416,8 +547,12 @@ fn attempt(
                 block_vars.push(id);
             }
         }
-        b.add_psd_block(dim, block_vars)
-            .expect("block sized by construction");
+        if b.add_psd_block(dim, block_vars).is_err() {
+            // Block sized by construction; if that invariant ever broke,
+            // fall through the ladder instead of aborting the run.
+            stats.solver_errors += 1;
+            return None;
+        }
     } else {
         // Plain QP: variance objective as a true quadratic.
         for expr in objective {
@@ -425,14 +560,26 @@ fn attempt(
         }
     }
 
-    let problem = b.build().expect("window problem is well-formed");
+    let problem = match b.build() {
+        Ok(p) => p,
+        Err(_) => {
+            stats.solver_errors += 1;
+            return None;
+        }
+    };
     // Warm-start the arrival-time block at the interval midpoints (the
     // lifted block, when present, starts at zero).
     let mut warm = vec![0.0; total_vars];
     for (lv, w) in warm.iter_mut().take(m).enumerate() {
         *w = local.from_ms(intervals.midpoint(local.global(lv)));
     }
-    let sol = solve_warm(&problem, &cfg.solver, Some(&warm));
+    let sol = match try_solve_warm(&problem, &cfg.solver, Some(&warm)) {
+        Ok(sol) => sol,
+        Err(_) => {
+            stats.solver_errors += 1;
+            return None;
+        }
+    };
     stats.total_iterations += sol.iterations;
     stats.solve_time += sol.solve_time;
 
@@ -477,10 +624,7 @@ fn add_lifted_fifo(
     for &(i, ai) in &ta {
         *coeffs.entry(i).or_insert(0.0) += kb * ai;
     }
-    let entries: Vec<(usize, f64)> = coeffs
-        .into_iter()
-        .filter(|&(_, c)| c != 0.0)
-        .collect();
+    let entries: Vec<(usize, f64)> = coeffs.into_iter().filter(|&(_, c)| c != 0.0).collect();
     if !entries.is_empty() {
         b.add_row(&entries, -ka * kb, f64::INFINITY);
     }
@@ -603,6 +747,48 @@ mod tests {
         let est = estimate(&view, &EstimatorConfig::default());
         assert!(est.times_ms.is_empty());
         assert_eq!(est.stats.windows, 0);
+    }
+
+    #[test]
+    fn try_estimate_reports_bad_config_without_panicking() {
+        let view = TraceView::new(Vec::new());
+        let bad_ratio = EstimatorConfig {
+            effective_window_ratio: 0.0,
+            ..EstimatorConfig::default()
+        };
+        assert!(matches!(
+            try_estimate(&view, &bad_ratio),
+            Err(EstimatorError::BadConfig(msg)) if msg.contains("ratio")
+        ));
+        let bad_window = EstimatorConfig {
+            window_packets: 0,
+            ..EstimatorConfig::default()
+        };
+        let e = try_estimate(&view, &bad_window).unwrap_err();
+        assert!(e.to_string().contains("window"));
+    }
+
+    #[test]
+    fn corrupted_sums_degrade_through_the_ladder() {
+        // Feed the estimator an UNSANITIZED trace whose S(p) fields are
+        // heavily corrupted: the infeasible sum rows must be relaxed
+        // away (or the window abandoned to midpoints), never panic, and
+        // every variable must still get a finite estimate.
+        let mut net = NetworkConfig::small(16, 28);
+        net.faults = Some(domo_net::FaultConfig {
+            corrupt_sum_rate: 0.5,
+            ..domo_net::FaultConfig::default()
+        });
+        let trace = run_simulation(&net);
+        let view = TraceView::new(trace.packets.clone());
+        let est = estimate(&view, &EstimatorConfig::default());
+        assert!(est.times_ms.iter().all(|t| t.is_some()));
+        assert!(est.times_ms.iter().flatten().all(|t| t.is_finite()));
+        // Most corrupted rows are removed by the constraint builder's
+        // provable-inconsistency pruning; whatever survives is relaxed
+        // by the ladder. Either way there must be no panic and no
+        // outright solver refusal.
+        assert_eq!(est.stats.solver_errors, 0, "{:?}", est.stats);
     }
 
     #[test]

@@ -150,7 +150,7 @@ fn fifo_sweep(view: &TraceView, iv: &mut Intervals) {
                 (lo, p, hop)
             })
             .collect();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         for i in 0..sorted.len() {
             for j in (i + 1)..sorted.len().min(i + 1 + FIFO_HORIZON_DEFAULT) {
@@ -186,12 +186,7 @@ pub fn decided_order(
     }
 }
 
-fn tighten_if_decided(
-    view: &TraceView,
-    iv: &mut Intervals,
-    x: (usize, usize),
-    y: (usize, usize),
-) {
+fn tighten_if_decided(view: &TraceView, iv: &mut Intervals, x: (usize, usize), y: (usize, usize)) {
     let Some(x_first) = decided_order(view, iv, x, y) else {
         return;
     };

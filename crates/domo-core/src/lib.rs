@@ -46,42 +46,125 @@ pub mod expr;
 pub mod interval;
 pub mod lowering;
 pub mod report;
+pub mod sanitize;
 pub mod streaming;
 pub mod view;
 
-pub use bounds::{bounds_all, bounds_for, BoundMethod, Bounds, BoundsConfig, BoundsStats};
+pub use bounds::{
+    bounds_all, bounds_for, try_bounds_for, BoundMethod, Bounds, BoundsConfig, BoundsError,
+    BoundsStats,
+};
 pub use constraints::{
-    build_constraints, expr_interval, restrict_row_to, tighten_intervals_with_rows,
-    ConstraintKind, ConstraintOptions, ConstraintSystem, FifoPair, Row, RowRestriction,
+    build_constraints, expr_interval, restrict_row_to, tighten_intervals_with_rows, ConstraintKind,
+    ConstraintOptions, ConstraintSystem, FifoPair, Row, RowRestriction,
 };
 pub use diagnostics::{diagnose, SystemDiagnostics};
-pub use estimator::{estimate, Estimates, EstimatorConfig, EstimatorStats, FifoMode};
+pub use estimator::{
+    estimate, try_estimate, Estimates, EstimatorConfig, EstimatorError, EstimatorStats, FifoMode,
+};
 pub use interval::{propagate, propagate_from_seed, Intervals};
 pub use report::{build_report, compare_windows, DelayReport, NodeShift, ReportOptions};
+pub use sanitize::{check_packet, sanitize_packets, QuarantinedPacket, SanitizeConfig, TraceError};
 pub use streaming::{ReconstructedPacket, StreamingEstimator};
 pub use view::{CandidateSets, HopRef, TimeRef, TraceView};
 
 use domo_net::NetworkTrace;
 
+/// A structured failure from the [`Domo`] facade's `try_*` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DomoError {
+    /// A packet index does not exist in the view.
+    PacketOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Packets in the view.
+        packets: usize,
+    },
+    /// An estimate was missing for an interior variable (only possible
+    /// with partial [`Estimates`], e.g. from a foreign streaming run).
+    MissingEstimate {
+        /// The uncommitted variable.
+        var: usize,
+    },
+    /// The estimator rejected its configuration.
+    Estimator(EstimatorError),
+    /// The bound solver rejected its inputs.
+    Bounds(BoundsError),
+}
+
+impl std::fmt::Display for DomoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PacketOutOfRange { index, packets } => {
+                write!(f, "packet {index} out of range ({packets} packets)")
+            }
+            Self::MissingEstimate { var } => {
+                write!(f, "estimate missing for a committed variable ({var})")
+            }
+            Self::Estimator(e) => write!(f, "{e}"),
+            Self::Bounds(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DomoError {}
+
+impl From<EstimatorError> for DomoError {
+    fn from(e: EstimatorError) -> Self {
+        Self::Estimator(e)
+    }
+}
+
+impl From<BoundsError> for DomoError {
+    fn from(e: BoundsError) -> Self {
+        Self::Bounds(e)
+    }
+}
+
 /// High-level facade: build once from a trace, then estimate and bound.
 #[derive(Debug, Clone)]
 pub struct Domo {
     view: TraceView,
+    quarantine: Vec<QuarantinedPacket>,
 }
 
 impl Domo {
     /// Builds the analyzer from a network trace (only the sink-side
-    /// packet records are read — never the ground truth).
+    /// packet records are read — never the ground truth). The records
+    /// are taken **as-is**: use [`Domo::sanitized_from_trace`] for
+    /// traces that may contain malformed records.
     pub fn from_trace(trace: &NetworkTrace) -> Self {
         Self {
             view: TraceView::new(trace.packets.clone()),
+            quarantine: Vec::new(),
         }
     }
 
-    /// Builds the analyzer from raw collected packets.
+    /// Builds the analyzer from raw collected packets, as-is.
     pub fn from_packets(packets: Vec<domo_net::CollectedPacket>) -> Self {
         Self {
             view: TraceView::new(packets),
+            quarantine: Vec::new(),
+        }
+    }
+
+    /// Builds the analyzer from a trace after running the sanitizer:
+    /// malformed records are quarantined (see [`Domo::quarantine`])
+    /// instead of corrupting the reconstruction. On an already-clean
+    /// trace this is identical to [`Domo::from_trace`].
+    pub fn sanitized_from_trace(trace: &NetworkTrace, cfg: &SanitizeConfig) -> Self {
+        Self::sanitized_from_packets(trace.packets.clone(), cfg)
+    }
+
+    /// Builds the analyzer from raw collected packets after sanitizing.
+    pub fn sanitized_from_packets(
+        packets: Vec<domo_net::CollectedPacket>,
+        cfg: &SanitizeConfig,
+    ) -> Self {
+        let (clean, quarantine) = sanitize_packets(packets, cfg);
+        Self {
+            view: TraceView::new(clean),
+            quarantine,
         }
     }
 
@@ -90,9 +173,41 @@ impl Domo {
         &self.view
     }
 
+    /// Records the sanitizer rejected (empty for the as-is
+    /// constructors).
+    pub fn quarantine(&self) -> &[QuarantinedPacket] {
+        &self.quarantine
+    }
+
+    /// Structural diagnostics of the constraint system, including the
+    /// quarantine count from construction.
+    pub fn diagnostics(&self, opts: &ConstraintOptions) -> SystemDiagnostics {
+        let mut d = diagnose(&self.view, opts);
+        d.quarantined_packets = self.quarantine.len();
+        d
+    }
+
     /// Runs the windowed estimator (§IV.B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`Domo::try_estimate`]
+    /// reports that as an error instead).
     pub fn estimate(&self, cfg: &EstimatorConfig) -> Estimates {
         estimate(&self.view, cfg)
+    }
+
+    /// Non-panicking variant of [`Domo::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomoError::Estimator`] when the configuration is
+    /// invalid. Solver-level trouble (non-convergence, infeasible
+    /// windows, failed factorizations) is *not* an error: it degrades
+    /// through the estimator's fallback ladder and is reported in
+    /// [`EstimatorStats`].
+    pub fn try_estimate(&self, cfg: &EstimatorConfig) -> Result<Estimates, DomoError> {
+        Ok(try_estimate(&self.view, cfg)?)
     }
 
     /// Runs the bound solver (§IV.C) for selected unknowns.
@@ -104,6 +219,17 @@ impl Domo {
         bounds_for(&self.view, cfg, targets)
     }
 
+    /// Non-panicking variant of [`Domo::bounds`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DomoError::Bounds`] when a target is out of range or
+    /// the configuration is invalid. LPs that fail to converge fall
+    /// back to interval-propagation bounds (see [`BoundsStats`]).
+    pub fn try_bounds(&self, cfg: &BoundsConfig, targets: &[usize]) -> Result<Bounds, DomoError> {
+        Ok(try_bounds_for(&self.view, cfg, targets)?)
+    }
+
     /// The full reconstructed arrival-time sequence of a packet:
     /// known endpoints plus estimated interior times.
     ///
@@ -112,13 +238,37 @@ impl Domo {
     /// Panics if `packet` is out of range or an interior estimate is
     /// missing (full-trace estimation always commits every variable).
     pub fn hop_times(&self, packet: usize, estimates: &Estimates) -> Vec<f64> {
+        match self.try_hop_times(packet, estimates) {
+            Ok(times) => times,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`Domo::hop_times`].
+    ///
+    /// # Errors
+    ///
+    /// [`DomoError::PacketOutOfRange`] for a bad index and
+    /// [`DomoError::MissingEstimate`] when `estimates` never committed
+    /// one of the packet's interior variables.
+    pub fn try_hop_times(
+        &self,
+        packet: usize,
+        estimates: &Estimates,
+    ) -> Result<Vec<f64>, DomoError> {
+        if packet >= self.view.num_packets() {
+            return Err(DomoError::PacketOutOfRange {
+                index: packet,
+                packets: self.view.num_packets(),
+            });
+        }
         let len = self.view.packet(packet).path.len();
         (0..len)
             .map(|hop| match self.view.time_ref(packet, hop) {
-                TimeRef::Known(t) => t,
+                TimeRef::Known(t) => Ok(t),
                 TimeRef::Var(v) => estimates
                     .time_of(v)
-                    .expect("estimate missing for a committed variable"),
+                    .ok_or(DomoError::MissingEstimate { var: v }),
             })
             .collect()
     }
@@ -203,7 +353,10 @@ mod tests {
         for &t in &targets {
             let (lo, hi) = b.of(t).unwrap();
             let e = est.time_of(t).unwrap();
-            assert!(e >= lo - 4.0 && e <= hi + 4.0, "estimate {e} outside [{lo}, {hi}]");
+            assert!(
+                e >= lo - 4.0 && e <= hi + 4.0,
+                "estimate {e} outside [{lo}, {hi}]"
+            );
         }
     }
 

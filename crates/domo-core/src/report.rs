@@ -128,10 +128,7 @@ pub fn build_report(view: &TraceView, estimates: &Estimates, opts: &ReportOption
         }
         for hop in 0..p.path.len() - 1 {
             if let (Some(a), Some(b)) = (times[hop], times[hop + 1]) {
-                sojourns
-                    .entry(p.path[hop].index())
-                    .or_default()
-                    .push(b - a);
+                sojourns.entry(p.path[hop].index()).or_default().push(b - a);
             }
         }
     }
@@ -149,8 +146,7 @@ pub fn build_report(view: &TraceView, estimates: &Estimates, opts: &ReportOption
     nodes.sort_by(|a, b| {
         b.sojourn_ms
             .mean
-            .partial_cmp(&a.sojourn_ms.mean)
-            .expect("finite means")
+            .total_cmp(&a.sojourn_ms.mean)
             .then(a.node.cmp(&b.node))
     });
     DelayReport { nodes }
@@ -220,8 +216,7 @@ pub fn compare_windows(
     shifts.sort_by(|x, y| {
         y.delta_ms()
             .abs()
-            .partial_cmp(&x.delta_ms().abs())
-            .expect("finite deltas")
+            .total_cmp(&x.delta_ms().abs())
             .then(x.node.cmp(&y.node))
     });
     shifts
@@ -317,8 +312,7 @@ mod tests {
                 until: SimTime::MAX,
             },
         );
-        let count =
-            |r: &DelayReport| r.nodes.iter().map(|n| n.samples).sum::<usize>();
+        let count = |r: &DelayReport| r.nodes.iter().map(|n| n.samples).sum::<usize>();
         assert_eq!(count(&before) + count(&after), count(&full));
     }
 

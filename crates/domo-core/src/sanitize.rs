@@ -1,0 +1,390 @@
+//! Trace sanitation: validate collected packets before reconstruction.
+//!
+//! Real sinks receive malformed records — truncated paths from mid-route
+//! losses, duplicated link-layer retransmissions, saturated 2-byte
+//! fields, clock steps that invert timestamps. Feeding those straight
+//! into [`crate::view::TraceView`] silently corrupts candidate sets and
+//! constraint rows (or worse, panics downstream). This module checks
+//! every [`CollectedPacket`] against the structural invariants the
+//! reconstruction relies on and **quarantines** offenders with a typed
+//! [`TraceError`] instead of aborting, so one bad record costs one
+//! record, not the whole trace.
+//!
+//! Faults the sanitizer cannot see — a rebooted accumulator that still
+//! yields a plausible `S(p)`, a clock jump too small to invert time —
+//! are absorbed further down the pipeline: candidate-set pruning drops
+//! inconsistent sum constraints and the solvers fall back to
+//! interval-propagation bounds on infeasible windows (see DESIGN.md,
+//! "Failure model & degradation semantics").
+
+use domo_net::{CollectedPacket, PacketId};
+use std::collections::HashSet;
+
+/// Why a record was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Path has fewer than two nodes (no source→sink hop at all).
+    PathTooShort {
+        /// Number of nodes present.
+        len: usize,
+    },
+    /// The first path element is not the packet's origin.
+    PathFirstNotOrigin,
+    /// The last path element is not the sink (node 0) — the record was
+    /// truncated in flight.
+    PathLastNotSink,
+    /// A node appears twice in the path (routing loops never reach the
+    /// sink's collected trace; this is corruption).
+    LoopedPath {
+        /// Index of the repeated node id.
+        node: u16,
+    },
+    /// Sink arrival precedes generation — a clock jump inverted time.
+    TimeInversion,
+    /// A second record with the same `(origin, seq)` id was seen.
+    DuplicateId,
+    /// The 2-byte `S(p)` accumulator is pinned at `u16::MAX`.
+    SaturatedSum,
+    /// The 2-byte end-to-end field is pinned at `u16::MAX`.
+    SaturatedE2e,
+    /// The on-air end-to-end field disagrees with the delay derived
+    /// from sink-side timestamps beyond drift + quantization slack.
+    ///
+    /// No analogous check exists for `S(p)`: it sums the sojourn
+    /// delays of the packet's whole *candidate set*, so no sink-side
+    /// quantity bounds it record-locally. Corrupted `S(p)` values are
+    /// absorbed downstream (candidate-set consistency pruning, solver
+    /// fallback ladder).
+    E2eMismatch {
+        /// The on-air field value (ms).
+        field_ms: u16,
+        /// `sink_arrival − gen_time` (ms).
+        derived_ms: f64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PathTooShort { len } => {
+                write!(f, "path has {len} node(s), need at least source and sink")
+            }
+            Self::PathFirstNotOrigin => write!(f, "path does not start at the origin"),
+            Self::PathLastNotSink => write!(f, "path does not end at the sink (truncated?)"),
+            Self::LoopedPath { node } => write!(f, "node {node} appears twice in the path"),
+            Self::TimeInversion => write!(f, "sink arrival precedes generation time"),
+            Self::DuplicateId => write!(f, "duplicate (origin, seq) record"),
+            Self::SaturatedSum => write!(f, "S(p) accumulator saturated at u16::MAX"),
+            Self::SaturatedE2e => write!(f, "end-to-end field saturated at u16::MAX"),
+            Self::E2eMismatch {
+                field_ms,
+                derived_ms,
+            } => write!(f, "e2e field {field_ms} ms vs derived {derived_ms:.1} ms"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One rejected record: where it sat in the input, who it claimed to
+/// be, and why it was pulled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedPacket {
+    /// Index of the record in the *input* packet slice.
+    pub index: usize,
+    /// The record's claimed packet id.
+    pub pid: PacketId,
+    /// The first invariant it violated.
+    pub error: TraceError,
+}
+
+/// Knobs for [`sanitize_packets`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizeConfig {
+    /// Allowed gap between the on-air e2e field and the delay derived
+    /// from sink-side timestamps. Clean traces stay within ~1 ms per
+    /// hop (clock drift + ms quantization); the default leaves an
+    /// order of magnitude of slack over the longest simulated paths.
+    pub e2e_tolerance_ms: f64,
+}
+
+impl Default for SanitizeConfig {
+    fn default() -> Self {
+        Self {
+            e2e_tolerance_ms: 100.0,
+        }
+    }
+}
+
+/// Checks one record against every invariant except id uniqueness
+/// (which needs cross-record state — see [`sanitize_packets`]).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn check_packet(p: &CollectedPacket, cfg: &SanitizeConfig) -> Result<(), TraceError> {
+    if p.path.len() < 2 {
+        return Err(TraceError::PathTooShort { len: p.path.len() });
+    }
+    if p.path[0] != p.pid.origin {
+        return Err(TraceError::PathFirstNotOrigin);
+    }
+    if !p.path[p.path.len() - 1].is_sink() {
+        return Err(TraceError::PathLastNotSink);
+    }
+    let mut seen_nodes: HashSet<usize> = HashSet::with_capacity(p.path.len());
+    for n in &p.path {
+        if !seen_nodes.insert(n.index()) {
+            return Err(TraceError::LoopedPath {
+                node: n.index() as u16,
+            });
+        }
+    }
+    if p.sink_arrival < p.gen_time {
+        return Err(TraceError::TimeInversion);
+    }
+    if p.sum_of_delays_ms == u16::MAX {
+        return Err(TraceError::SaturatedSum);
+    }
+    if p.e2e_ms == u16::MAX {
+        return Err(TraceError::SaturatedE2e);
+    }
+    let derived_ms = p.e2e_delay().as_millis_f64();
+    if (f64::from(p.e2e_ms) - derived_ms).abs() > cfg.e2e_tolerance_ms {
+        return Err(TraceError::E2eMismatch {
+            field_ms: p.e2e_ms,
+            derived_ms,
+        });
+    }
+    Ok(())
+}
+
+/// Splits a packet list into (clean, quarantined).
+///
+/// Clean packets are re-sorted by `(sink_arrival, pid)` — the same key
+/// the simulator's trace assembly uses — so a trace that was clean to
+/// begin with passes through **bit-identically**, and reordered records
+/// are repaired rather than rejected. For duplicate ids the first
+/// occurrence (in sink-arrival order) is kept and later ones
+/// quarantined.
+///
+/// # Examples
+///
+/// ```
+/// use domo_core::sanitize::{sanitize_packets, SanitizeConfig};
+///
+/// let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 1));
+/// let (clean, bad) = sanitize_packets(trace.packets.clone(), &SanitizeConfig::default());
+/// assert_eq!(clean, trace.packets);
+/// assert!(bad.is_empty());
+/// ```
+pub fn sanitize_packets(
+    packets: Vec<CollectedPacket>,
+    cfg: &SanitizeConfig,
+) -> (Vec<CollectedPacket>, Vec<QuarantinedPacket>) {
+    let mut indexed: Vec<(usize, CollectedPacket)> = packets.into_iter().enumerate().collect();
+    // Sort first so duplicate resolution keeps the earliest arrival and
+    // the clean output is in canonical trace order.
+    indexed.sort_by(|(ai, a), (bi, b)| {
+        (a.sink_arrival, a.pid, *ai).cmp(&(b.sink_arrival, b.pid, *bi))
+    });
+
+    let mut clean = Vec::with_capacity(indexed.len());
+    let mut quarantined = Vec::new();
+    let mut seen_ids: HashSet<PacketId> = HashSet::with_capacity(indexed.len());
+    for (index, p) in indexed {
+        match check_packet(&p, cfg) {
+            Err(error) => quarantined.push(QuarantinedPacket {
+                index,
+                pid: p.pid,
+                error,
+            }),
+            Ok(()) => {
+                if seen_ids.insert(p.pid) {
+                    clean.push(p);
+                } else {
+                    quarantined.push(QuarantinedPacket {
+                        index,
+                        pid: p.pid,
+                        error: TraceError::DuplicateId,
+                    });
+                }
+            }
+        }
+    }
+    // Report quarantines in input order, not sort order.
+    quarantined.sort_by_key(|q| q.index);
+    (clean, quarantined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_net::{run_simulation, FaultConfig, NetworkConfig, NodeId};
+    use domo_util::time::{SimDuration, SimTime};
+
+    fn packet(origin: u16, seq: u32) -> CollectedPacket {
+        CollectedPacket {
+            pid: PacketId::new(NodeId::new(origin), seq),
+            gen_time: SimTime::from_micros(1_000_000),
+            sink_arrival: SimTime::from_micros(1_030_000),
+            path: vec![NodeId::new(origin), NodeId::new(3), NodeId::new(0)],
+            sum_of_delays_ms: 12,
+            e2e_ms: 30,
+        }
+    }
+
+    #[test]
+    fn clean_simulated_trace_is_untouched() {
+        let trace = run_simulation(&NetworkConfig::small(16, 500));
+        let (clean, bad) = sanitize_packets(trace.packets.clone(), &SanitizeConfig::default());
+        assert!(bad.is_empty(), "clean trace quarantined: {bad:?}");
+        assert_eq!(
+            clean, trace.packets,
+            "clean trace must pass bit-identically"
+        );
+    }
+
+    #[test]
+    fn each_invariant_is_caught() {
+        let cfg = SanitizeConfig::default();
+        let mut p = packet(5, 0);
+        p.path.truncate(1);
+        assert_eq!(
+            check_packet(&p, &cfg),
+            Err(TraceError::PathTooShort { len: 1 })
+        );
+
+        let mut p = packet(5, 0);
+        p.path[0] = NodeId::new(7);
+        assert_eq!(check_packet(&p, &cfg), Err(TraceError::PathFirstNotOrigin));
+
+        let mut p = packet(5, 0);
+        p.path.truncate(2);
+        assert_eq!(check_packet(&p, &cfg), Err(TraceError::PathLastNotSink));
+
+        let mut p = packet(5, 0);
+        p.path = vec![
+            NodeId::new(5),
+            NodeId::new(3),
+            NodeId::new(5),
+            NodeId::new(0),
+        ];
+        assert_eq!(
+            check_packet(&p, &cfg),
+            Err(TraceError::LoopedPath { node: 5 })
+        );
+
+        let mut p = packet(5, 0);
+        p.gen_time = p.sink_arrival + SimDuration::from_millis(1);
+        assert_eq!(check_packet(&p, &cfg), Err(TraceError::TimeInversion));
+
+        let mut p = packet(5, 0);
+        p.sum_of_delays_ms = u16::MAX;
+        assert_eq!(check_packet(&p, &cfg), Err(TraceError::SaturatedSum));
+
+        let mut p = packet(5, 0);
+        p.e2e_ms = u16::MAX;
+        assert_eq!(check_packet(&p, &cfg), Err(TraceError::SaturatedE2e));
+
+        let mut p = packet(5, 0);
+        p.e2e_ms = 5_000;
+        assert!(matches!(
+            check_packet(&p, &cfg),
+            Err(TraceError::E2eMismatch {
+                field_ms: 5_000,
+                ..
+            })
+        ));
+
+        // S(p) larger than the packet's own e2e delay is LEGAL: the
+        // field sums the whole candidate set's delays.
+        let mut p = packet(5, 0);
+        p.sum_of_delays_ms = 5_000;
+        assert_eq!(check_packet(&p, &cfg), Ok(()));
+
+        assert_eq!(check_packet(&packet(5, 0), &cfg), Ok(()));
+    }
+
+    #[test]
+    fn duplicates_keep_first_arrival() {
+        let a = packet(5, 0);
+        let mut b = packet(5, 0);
+        b.sink_arrival = a.sink_arrival + SimDuration::from_millis(4);
+        b.e2e_ms = 34;
+        // Input order is (later, earlier): the earlier arrival wins.
+        let (clean, bad) = sanitize_packets(vec![b, a.clone()], &SanitizeConfig::default());
+        assert_eq!(clean, vec![a]);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].index, 0);
+        assert_eq!(bad[0].error, TraceError::DuplicateId);
+    }
+
+    #[test]
+    fn reordered_records_are_repaired_not_rejected() {
+        let trace = run_simulation(&NetworkConfig::small(9, 501));
+        let mut shuffled = trace.packets.clone();
+        shuffled.reverse();
+        let (clean, bad) = sanitize_packets(shuffled, &SanitizeConfig::default());
+        assert!(bad.is_empty());
+        assert_eq!(clean, trace.packets, "sanitizer restores canonical order");
+    }
+
+    #[test]
+    fn injected_faults_are_quarantined_by_class() {
+        let mut cfg = NetworkConfig::small(16, 502);
+        cfg.faults = Some(FaultConfig {
+            saturate_rate: 0.1,
+            truncate_path_rate: 0.1,
+            duplicate_rate: 0.1,
+            ..FaultConfig::default()
+        });
+        let faulty = run_simulation(&cfg);
+        let (clean, bad) = sanitize_packets(faulty.packets.clone(), &SanitizeConfig::default());
+        assert!(!bad.is_empty(), "aggressive faults must quarantine records");
+        assert_eq!(clean.len() + bad.len(), faulty.packets.len());
+        for p in &clean {
+            assert_eq!(check_packet(p, &SanitizeConfig::default()), Ok(()));
+        }
+        let saturated = bad
+            .iter()
+            .filter(|q| q.error == TraceError::SaturatedSum || q.error == TraceError::SaturatedE2e)
+            .count();
+        let truncated = bad
+            .iter()
+            .filter(|q| {
+                matches!(
+                    q.error,
+                    TraceError::PathLastNotSink | TraceError::PathTooShort { .. }
+                )
+            })
+            .count();
+        let duplicated = bad
+            .iter()
+            .filter(|q| q.error == TraceError::DuplicateId)
+            .count();
+        assert!(saturated > 0, "saturation faults should be caught");
+        assert!(truncated > 0, "truncation faults should be caught");
+        assert!(duplicated > 0, "duplicate faults should be caught");
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let msgs = [
+            TraceError::PathTooShort { len: 1 }.to_string(),
+            TraceError::PathLastNotSink.to_string(),
+            TraceError::TimeInversion.to_string(),
+            TraceError::SaturatedSum.to_string(),
+            TraceError::E2eMismatch {
+                field_ms: 9,
+                derived_ms: 1000.0,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("source and sink"));
+        assert!(msgs[1].contains("sink"));
+        assert!(msgs[2].contains("precedes"));
+        assert!(msgs[3].contains("u16::MAX"));
+        assert!(msgs[4].contains("1000.0"));
+    }
+}

@@ -12,8 +12,9 @@
 //! constraints that would have arrived *after* a packet's flush — the
 //! accuracy cost is bounded and measured in this module's tests.
 
-use crate::estimator::{estimate, EstimatorConfig};
+use crate::estimator::{try_estimate, EstimatorConfig};
 use crate::view::{TimeRef, TraceView};
+use crate::DomoError;
 use domo_net::{CollectedPacket, PacketId};
 
 /// One emitted reconstruction: a packet and its full arrival-time
@@ -77,30 +78,67 @@ impl StreamingEstimator {
 
     /// Pushes one packet (in sink-arrival order); returns any packets
     /// whose reconstruction became final.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped estimator's configuration is invalid
+    /// ([`StreamingEstimator::try_push`] reports that as an error).
     pub fn push(&mut self, packet: CollectedPacket) -> Vec<ReconstructedPacket> {
+        match self.try_push(packet) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`StreamingEstimator::push`].
+    ///
+    /// # Errors
+    ///
+    /// [`DomoError::Estimator`] when the configuration is invalid. On
+    /// error the packet stays buffered; a later flush may still emit it.
+    pub fn try_push(
+        &mut self,
+        packet: CollectedPacket,
+    ) -> Result<Vec<ReconstructedPacket>, DomoError> {
         self.buffer.push(packet);
         if self.buffer.len() >= self.high_water {
             self.flush(self.buffer.len() / 2)
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
 
     /// Flushes everything still buffered (end of stream).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StreamingEstimator::push`].
     pub fn finish(&mut self) -> Vec<ReconstructedPacket> {
+        match self.try_finish() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking variant of [`StreamingEstimator::finish`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingEstimator::try_push`].
+    pub fn try_finish(&mut self) -> Result<Vec<ReconstructedPacket>, DomoError> {
         let n = self.buffer.len();
         self.flush(n)
     }
 
     /// Solves over the whole buffer and emits the `commit` oldest
     /// packets (by generation time).
-    fn flush(&mut self, commit: usize) -> Vec<ReconstructedPacket> {
+    fn flush(&mut self, commit: usize) -> Result<Vec<ReconstructedPacket>, DomoError> {
         if commit == 0 || self.buffer.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Solve with the full buffer as context.
         let view = TraceView::new(self.buffer.clone());
-        let est = estimate(&view, &self.cfg);
+        let est = try_estimate(&view, &self.cfg)?;
 
         // Pick the oldest `commit` packets by generation time.
         let mut order: Vec<usize> = (0..view.num_packets()).collect();
@@ -110,14 +148,16 @@ impl StreamingEstimator {
         let mut out = Vec::with_capacity(committed.len());
         for &pi in &committed {
             let p = view.packet(pi);
-            let hop_times_ms: Vec<f64> = (0..p.path.len())
-                .map(|hop| match view.time_ref(pi, hop) {
+            let mut hop_times_ms = Vec::with_capacity(p.path.len());
+            for hop in 0..p.path.len() {
+                let t = match view.time_ref(pi, hop) {
                     TimeRef::Known(t) => t,
                     TimeRef::Var(v) => est
                         .time_of(v)
-                        .expect("full-buffer estimation commits every variable"),
-                })
-                .collect();
+                        .ok_or(DomoError::MissingEstimate { var: v })?,
+                };
+                hop_times_ms.push(t);
+            }
             out.push(ReconstructedPacket {
                 pid: p.pid,
                 hop_times_ms,
@@ -129,13 +169,14 @@ impl StreamingEstimator {
             out.iter().map(|r| r.pid).collect();
         self.buffer.retain(|p| !committed_set.contains(&p.pid));
         self.emitted += out.len();
-        out
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimator::estimate;
     use domo_net::{run_simulation, NetworkConfig, NetworkTrace};
 
     fn online_errors(trace: &NetworkTrace, emitted: &[ReconstructedPacket]) -> Vec<f64> {
@@ -178,8 +219,7 @@ mod tests {
         let offline_err: f64 = {
             let mut errs = Vec::new();
             for (v, hr) in view.vars().iter().enumerate() {
-                let t = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
-                    .as_millis_f64();
+                let t = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
                 errs.push((offline.time_of(v).unwrap() - t).abs());
             }
             errs.iter().sum::<f64>() / errs.len() as f64
@@ -249,6 +289,25 @@ mod tests {
     fn empty_stream_is_fine() {
         let mut online = StreamingEstimator::new(EstimatorConfig::default());
         assert!(online.finish().is_empty());
+        assert_eq!(online.emitted(), 0);
+    }
+
+    #[test]
+    fn try_push_surfaces_bad_config_instead_of_panicking() {
+        let trace = run_simulation(&NetworkConfig::small(9, 304));
+        let bad = EstimatorConfig {
+            window_packets: 0,
+            ..EstimatorConfig::default()
+        };
+        let mut online = StreamingEstimator::new(bad);
+        let mut saw_error = false;
+        for p in trace.packets.iter().take(12) {
+            if online.try_push(p.clone()).is_err() {
+                saw_error = true;
+            }
+        }
+        assert!(saw_error, "the flush must report the bad config");
+        assert!(online.try_finish().is_err());
         assert_eq!(online.emitted(), 0);
     }
 }

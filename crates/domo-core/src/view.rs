@@ -18,7 +18,6 @@ use domo_net::{CollectedPacket, NodeId};
 use domo_util::time::SimTime;
 use std::collections::HashMap;
 
-
 /// Reference to one hop of one packet (`hop` indexes into `path`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HopRef {
@@ -75,9 +74,12 @@ impl TraceView {
         for (pi, p) in packets.iter().enumerate() {
             let len = p.path.len();
             let mut slots = vec![None; len];
-            for hop in 1..len.saturating_sub(1) {
-                slots[hop] = Some(vars.len());
-                vars.push(HopRef { packet: pi, hop });
+            let interior = 1..len.saturating_sub(1);
+            for (hop, slot) in slots.iter_mut().enumerate() {
+                if interior.contains(&hop) {
+                    *slot = Some(vars.len());
+                    vars.push(HopRef { packet: pi, hop });
+                }
             }
             var_of.push(slots);
             for hop in 0..len.saturating_sub(1) {
@@ -277,9 +279,9 @@ mod tests {
 
     fn three_packet_view() -> TraceView {
         TraceView::new(vec![
-            packet(5, 0, &[5, 3, 1, 0], 0, 10),   // p0: gen 0, sink 30
-            packet(5, 1, &[5, 3, 0], 100, 10),    // p1: gen 100, sink 120
-            packet(3, 0, &[3, 1, 0], 50, 10),     // p2: gen 50, sink 70
+            packet(5, 0, &[5, 3, 1, 0], 0, 10), // p0: gen 0, sink 30
+            packet(5, 1, &[5, 3, 0], 100, 10),  // p1: gen 100, sink 120
+            packet(3, 0, &[3, 1, 0], 50, 10),   // p2: gen 50, sink 70
         ])
     }
 

@@ -13,6 +13,7 @@
 //!   table1   overhead comparison (plus measured PC-side cost)
 //!   ablation quality ablations (FIFO mode, BLP, bound method, MNT oracle)
 //!   workload trace/topology characterization + constraint diagnostics
+//!   robust   the fault-injection sweep (all fault classes, rising rates)
 //!   all      everything above, in order
 //! ```
 
@@ -112,16 +113,17 @@ fn run(experiment: &str, args: &Args) {
             if let Some(profile) = domo_net::TraceProfile::from_trace(&run.trace) {
                 println!("{}", profile.render());
             }
-            let diag = domo_core::diagnose(
-                run.domo.view(),
-                &run.scenario.estimator.constraints,
-            );
+            let diag = domo_core::diagnose(run.domo.view(), &run.scenario.estimator.constraints);
             println!("{}", diag.render());
+        }
+        "robust" => {
+            let points = figures::fault_sweep(base_scenario(args), &[0.0, 0.05, 0.1, 0.2]);
+            println!("{}", figures::render_fault_sweep(&points));
         }
         "all" => {
             for exp in [
-                "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
-                "ablation",
+                "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
+                "robust",
             ] {
                 run(exp, args);
             }
@@ -139,7 +141,7 @@ fn main() {
         Err(msg) => {
             eprintln!("domo-exp: {msg}");
             eprintln!(
-                "usage: domo-exp <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|all> \
+                "usage: domo-exp <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|robust|all> \
                  [--nodes N] [--seed S] [--fast K]"
             );
             std::process::exit(2);

@@ -19,10 +19,12 @@ pub fn absolute_errors(
     let mut errors = Vec::new();
     for (var, hr) in view.vars().iter().enumerate() {
         let pid = view.packet(hr.packet).pid;
-        let truth = trace
-            .truth(pid)
-            .expect("delivered packets have ground truth")[hr.hop]
-            .as_millis_f64();
+        // A sanitized view can hold fault-corrupted records the ground
+        // truth never saw; those variables are unscorable — skip them.
+        let Some(truth) = trace.truth(pid) else {
+            continue;
+        };
+        let truth = truth[hr.hop].as_millis_f64();
         if let Some(v) = value_of(var) {
             errors.push((v - truth).abs());
         }
@@ -49,7 +51,10 @@ pub fn coverage(
             continue;
         };
         let pid = view.packet(hr.packet).pid;
-        let truth = trace.truth(pid).expect("truth")[hr.hop].as_millis_f64();
+        let Some(truth) = trace.truth(pid) else {
+            continue;
+        };
+        let truth = truth[hr.hop].as_millis_f64();
         total += 1;
         if truth >= lo - tol && truth <= hi + tol {
             inside += 1;
@@ -102,7 +107,13 @@ impl Series {
     pub fn render_cdf(&self, points: usize) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "# CDF of {} (n={}, mean={:.2})", self.name, self.values.len(), self.mean());
+        let _ = writeln!(
+            out,
+            "# CDF of {} (n={}, mean={:.2})",
+            self.name,
+            self.values.len(),
+            self.mean()
+        );
         for (x, p) in self.ecdf().curve(points) {
             let _ = writeln!(out, "{x:10.3}  {p:7.4}");
         }
@@ -175,7 +186,12 @@ mod tests {
         let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 83));
         let view = TraceView::new(trace.packets.clone());
         // Infinite bounds: full coverage.
-        let c = coverage(&view, &trace, |_| Some((f64::NEG_INFINITY, f64::INFINITY)), 0.0);
+        let c = coverage(
+            &view,
+            &trace,
+            |_| Some((f64::NEG_INFINITY, f64::INFINITY)),
+            0.0,
+        );
         assert_eq!(c, 1.0);
         // Impossible bounds: zero coverage.
         let c = coverage(&view, &trace, |_| Some((0.0, 0.0)), 0.0);
@@ -215,10 +231,7 @@ mod tests {
 
     #[test]
     fn bound_widths_skip_missing() {
-        let widths = bound_widths(
-            |v| if v == 1 { Some((0.0, 5.0)) } else { None },
-            3,
-        );
+        let widths = bound_widths(|v| if v == 1 { Some((0.0, 5.0)) } else { None }, 3);
         assert_eq!(widths, vec![5.0]);
     }
 }

@@ -97,7 +97,10 @@ pub fn refine(graph: &Graph, sub: &mut Subgraph, options: &BlpOptions) -> BlpSta
         graph.num_vertices(),
         "sub-graph mask does not match graph"
     );
-    assert!(sub.contains(sub.target), "sub-graph must contain its target");
+    assert!(
+        sub.contains(sub.target),
+        "sub-graph must contain its target"
+    );
 
     let cut_before = graph.cut_weight(&sub.in_set);
     let mut stats = BlpStats {
@@ -166,7 +169,9 @@ pub fn refine(graph: &Graph, sub: &mut Subgraph, options: &BlpOptions) -> BlpSta
 
     // Rebuild the vertex list from the mask (discovery order is no
     // longer meaningful after swaps; use ascending ids).
-    sub.vertices = (0..graph.num_vertices()).filter(|&v| sub.in_set[v]).collect();
+    sub.vertices = (0..graph.num_vertices())
+        .filter(|&v| sub.in_set[v])
+        .collect();
     stats.cut_after = graph.cut_weight(&sub.in_set);
     stats
 }

@@ -151,7 +151,10 @@ mod tests {
             let sub = extract_ball(&g, 12, budget);
             assert!(sub.contains(12));
             assert_eq!(sub.len(), budget.min(25));
-            assert_eq!(sub.vertices.len(), sub.in_set.iter().filter(|&&b| b).count());
+            assert_eq!(
+                sub.vertices.len(),
+                sub.in_set.iter().filter(|&&b| b).count()
+            );
         }
     }
 
@@ -163,9 +166,9 @@ mod tests {
         let max_in: usize = sub.vertices.iter().map(|&v| dist[v]).max().unwrap();
         // No vertex outside the ball may be strictly closer than an
         // interior (non-frontier) vertex of the ball.
-        for v in 0..g.num_vertices() {
+        for (v, &d) in dist.iter().enumerate() {
             if !sub.contains(v) {
-                assert!(dist[v] + 1 >= max_in, "outside vertex {v} too close");
+                assert!(d + 1 >= max_in, "outside vertex {v} too close");
             }
         }
     }

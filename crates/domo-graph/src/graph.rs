@@ -63,7 +63,10 @@ impl Graph {
     /// Panics if either endpoint is out of range.
     pub fn add_edge_weighted(&mut self, u: usize, v: usize, w: u32) {
         let n = self.num_vertices();
-        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u},{v}) out of range for {n} vertices"
+        );
         if u == v || w == 0 {
             return;
         }
@@ -82,7 +85,10 @@ impl Graph {
     /// Panics if either endpoint is out of range.
     pub fn edge_weight(&self, u: usize, v: usize) -> u32 {
         let n = self.num_vertices();
-        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u},{v}) out of range for {n} vertices"
+        );
         self.adjacency[u].get(&v).copied().unwrap_or(0)
     }
 
@@ -157,7 +163,11 @@ impl Graph {
     ///
     /// Panics if `in_set.len() != self.num_vertices()`.
     pub fn cut_weight(&self, in_set: &[bool]) -> u64 {
-        assert_eq!(in_set.len(), self.num_vertices(), "membership mask has wrong length");
+        assert_eq!(
+            in_set.len(),
+            self.num_vertices(),
+            "membership mask has wrong length"
+        );
         let mut cut = 0u64;
         for u in 0..self.num_vertices() {
             if !in_set[u] {

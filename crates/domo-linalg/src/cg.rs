@@ -175,7 +175,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
         let sol = cg_solve(&a, &b, &CgOptions::default());
         assert!(sol.converged);
-        assert!(sol.iterations < n, "CG should beat dimension bound: {}", sol.iterations);
+        assert!(
+            sol.iterations < n,
+            "CG should beat dimension bound: {}",
+            sol.iterations
+        );
     }
 
     #[test]

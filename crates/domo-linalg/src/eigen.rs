@@ -119,7 +119,7 @@ pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
     // Sort eigenpairs ascending by eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| diag[i].total_cmp(&diag[j]));
 
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);

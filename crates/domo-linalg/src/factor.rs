@@ -30,7 +30,10 @@ impl std::fmt::Display for FactorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FactorError::NotSquare { rows, cols } => {
-                write!(f, "matrix is {rows}x{cols}, factorization requires square input")
+                write!(
+                    f,
+                    "matrix is {rows}x{cols}, factorization requires square input"
+                )
             }
             FactorError::BadPivot { index, value } => {
                 write!(f, "pivot {index} has invalid value {value}")
@@ -89,7 +92,10 @@ impl Cholesky {
                 diag -= l[(j, k)] * l[(j, k)];
             }
             if diag <= 0.0 || !diag.is_finite() {
-                return Err(FactorError::BadPivot { index: j, value: diag });
+                return Err(FactorError::BadPivot {
+                    index: j,
+                    value: diag,
+                });
             }
             let ljj = diag.sqrt();
             l[(j, j)] = ljj;
@@ -197,7 +203,10 @@ impl Ldlt {
                 dj -= l[(j, k)] * l[(j, k)] * d[k];
             }
             if dj.abs() < Self::PIVOT_EPS || !dj.is_finite() {
-                return Err(FactorError::BadPivot { index: j, value: dj });
+                return Err(FactorError::BadPivot {
+                    index: j,
+                    value: dj,
+                });
             }
             d[j] = dj;
             for i in (j + 1)..n {
@@ -232,8 +241,8 @@ impl Ldlt {
             }
         }
         // D z = y.
-        for i in 0..n {
-            y[i] /= self.d[i];
+        for (yi, &di) in y.iter_mut().zip(&self.d) {
+            *yi /= di;
         }
         // Lᵀ x = z.
         for i in (0..n).rev() {
@@ -325,14 +334,20 @@ mod tests {
     #[test]
     fn ldlt_rejects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
-        assert!(matches!(Ldlt::factor(&a), Err(FactorError::BadPivot { .. })));
+        assert!(matches!(
+            Ldlt::factor(&a),
+            Err(FactorError::BadPivot { .. })
+        ));
     }
 
     #[test]
     fn errors_format_usefully() {
         let e = FactorError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2x3"));
-        let e = FactorError::BadPivot { index: 4, value: -0.5 };
+        let e = FactorError::BadPivot {
+            index: 4,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("pivot 4"));
     }
 

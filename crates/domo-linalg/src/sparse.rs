@@ -38,7 +38,10 @@ impl CsrMatrix {
     /// Panics if any triplet is out of bounds.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of bounds for {rows}x{cols}"
+            );
         }
         let mut sorted = triplets.to_vec();
         sorted.sort_by_key(|&(r, c, _)| (r, c));
@@ -47,10 +50,13 @@ impl CsrMatrix {
         let mut col_idx = Vec::with_capacity(sorted.len());
         let mut values = Vec::with_capacity(sorted.len());
         for &(r, c, v) in &sorted {
-            if let (Some(&last_c), true) = (col_idx.last(), row_ptr[r + 1] > 0) {
-                // Merge duplicates within the current row.
-                if last_c == c && col_idx.len() > row_ptr_start(&row_ptr, r) {
-                    *values.last_mut().expect("values nonempty when col_idx nonempty") += v;
+            // Merge duplicates within the current row.
+            let same_cell = row_ptr[r + 1] > 0
+                && col_idx.len() > row_ptr_start(&row_ptr, r)
+                && col_idx.last() == Some(&c);
+            if same_cell {
+                if let Some(last_v) = values.last_mut() {
+                    *last_v += v;
                     continue;
                 }
             }
@@ -116,12 +122,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in matvec");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for i in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[i] * x[self.col_idx[i]];
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -134,8 +140,7 @@ impl CsrMatrix {
     pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "dimension mismatch in matvec_t");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let yr = y[r];
+        for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {
                 continue;
             }
@@ -220,7 +225,13 @@ mod tests {
 
     #[test]
     fn matvec_matches_dense() {
-        let triplets = [(0, 0, 1.0), (0, 2, 3.0), (1, 1, -2.0), (2, 0, 0.5), (2, 2, 4.0)];
+        let triplets = [
+            (0, 0, 1.0),
+            (0, 2, 3.0),
+            (1, 1, -2.0),
+            (2, 0, 0.5),
+            (2, 2, 4.0),
+        ];
         let m = CsrMatrix::from_triplets(3, 3, &triplets);
         let d = m.to_dense();
         let x = [1.0, 2.0, -1.0];

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultConfig;
 use domo_util::time::SimDuration;
 
 /// Parent-selection strategy of the collection protocol.
@@ -119,6 +120,12 @@ pub struct NetworkConfig {
     /// receiver's recorded arrival — the real-hardware measurement skew
     /// the constraint slack has to absorb.
     pub ack_reliability: f64,
+    /// Optional sink-side fault injection applied to the finished trace
+    /// (see [`crate::faults`]): record drops and bursts, duplicates,
+    /// reordering, corrupted/saturated `S(p)`/e2e fields, clock jumps,
+    /// accumulator-resetting reboots, truncated paths. `None` (the
+    /// default) leaves the trace exactly as simulated.
+    pub faults: Option<FaultConfig>,
     /// RNG seed; every run with the same config is bit-identical.
     pub seed: u64,
 }
@@ -163,6 +170,7 @@ impl Default for NetworkConfig {
             mac_mode: MacMode::AlwaysOn,
             event_bursts: None,
             ack_reliability: 1.0,
+            faults: None,
             seed: 1,
         }
     }
@@ -240,6 +248,9 @@ impl NetworkConfig {
         if !(0.0..=1.0).contains(&self.ack_reliability) {
             return Err("ack reliability must be in [0, 1]".into());
         }
+        if let Some(f) = &self.faults {
+            f.validate()?;
+        }
         Ok(())
     }
 
@@ -262,25 +273,31 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = NetworkConfig::default();
-        c.num_nodes = 1;
-        assert!(c.validate().is_err());
-
-        let mut c = NetworkConfig::default();
-        c.duration = SimDuration::ZERO;
-        assert!(c.validate().is_err());
-
-        let mut c = NetworkConfig::default();
-        c.backoff = (SimDuration::from_millis(5), SimDuration::from_millis(1));
-        assert!(c.validate().is_err());
-
-        let mut c = NetworkConfig::default();
-        c.queue_capacity = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = NetworkConfig::default();
-        c.max_hops = 1;
-        assert!(c.validate().is_err());
+        let bad = [
+            NetworkConfig {
+                num_nodes: 1,
+                ..NetworkConfig::default()
+            },
+            NetworkConfig {
+                duration: SimDuration::ZERO,
+                ..NetworkConfig::default()
+            },
+            NetworkConfig {
+                backoff: (SimDuration::from_millis(5), SimDuration::from_millis(1)),
+                ..NetworkConfig::default()
+            },
+            NetworkConfig {
+                queue_capacity: 0,
+                ..NetworkConfig::default()
+            },
+            NetworkConfig {
+                max_hops: 1,
+                ..NetworkConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]

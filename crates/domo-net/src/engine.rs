@@ -113,7 +113,7 @@ enum Event {
     /// Periodic routing beacon.
     Beacon,
     /// An environmental event: nearby nodes burst extra packets.
-    EnvironmentEvent,
+    Environment,
     /// One extra packet of a node's burst.
     BurstPacket { node: usize },
 }
@@ -186,7 +186,11 @@ impl std::fmt::Debug for Simulator {
 pub fn run_simulation(config: &NetworkConfig) -> NetworkTrace {
     let mut sim = Simulator::new(config.clone());
     sim.run_to_completion();
-    sim.into_trace()
+    let trace = sim.into_trace();
+    match &config.faults {
+        Some(f) if !f.is_quiet() => crate::faults::inject_faults(&trace, f).0,
+        _ => trace,
+    }
 }
 
 impl Simulator {
@@ -197,7 +201,9 @@ impl Simulator {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: NetworkConfig) -> Self {
-        config.validate().expect("invalid network configuration");
+        if let Err(e) = config.validate() {
+            panic!("invalid network configuration: {e}");
+        }
         let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
         let links = LinkModel::build(&config, &mut rng);
         let mut routing = Routing::with_protocol(
@@ -245,9 +251,10 @@ impl Simulator {
         if let Some(bursts) = sim.config.event_bursts {
             let first = SimTime::ZERO
                 + SimDuration::from_millis_f64(
-                    sim.rng.exponential(1.0 / bursts.mean_interval.as_millis_f64()),
+                    sim.rng
+                        .exponential(1.0 / bursts.mean_interval.as_millis_f64()),
                 );
-            sim.schedule(first, Event::EnvironmentEvent);
+            sim.schedule(first, Event::Environment);
         }
         sim
     }
@@ -297,7 +304,7 @@ impl Simulator {
                 packet,
             } => self.on_tx_result(node, receiver, data_arrived, delivery_time, *packet),
             Event::Beacon => self.on_beacon(),
-            Event::EnvironmentEvent => self.on_environment_event(),
+            Event::Environment => self.on_environment_event(),
             Event::BurstPacket { node } => self.generate_packet(node),
         }
     }
@@ -323,10 +330,11 @@ impl Simulator {
         }
         let next = self.now
             + SimDuration::from_millis_f64(
-                self.rng.exponential(1.0 / bursts.mean_interval.as_millis_f64()),
+                self.rng
+                    .exponential(1.0 / bursts.mean_interval.as_millis_f64()),
             );
         if next <= SimTime::ZERO + self.config.duration {
-            self.schedule(next, Event::EnvironmentEvent);
+            self.schedule(next, Event::Environment);
         }
     }
 
@@ -429,17 +437,19 @@ impl Simulator {
 
         // Hop-budget guard (routing loops during re-convergence).
         if head.rec.hops.len() >= self.config.max_hops {
-            let dropped = self.nodes[node].queue.pop_front().expect("head exists");
-            self.stats.dropped_ttl += 1;
-            self.commit_forwarded_if_needed(node, &dropped, self.now);
+            if let Some(dropped) = self.nodes[node].queue.pop_front() {
+                self.stats.dropped_ttl += 1;
+                self.commit_forwarded_if_needed(node, &dropped, self.now);
+            }
             self.continue_service(node);
             return;
         }
 
         let Some(parent) = self.routing.parent(NodeId::new(node as u16)) else {
-            let dropped = self.nodes[node].queue.pop_front().expect("head exists");
-            self.stats.dropped_no_route += 1;
-            self.commit_forwarded_if_needed(node, &dropped, self.now);
+            if let Some(dropped) = self.nodes[node].queue.pop_front() {
+                self.stats.dropped_no_route += 1;
+                self.commit_forwarded_if_needed(node, &dropped, self.now);
+            }
             self.continue_service(node);
             return;
         };
@@ -451,13 +461,14 @@ impl Simulator {
         let wake_penalty = match self.config.mac_mode {
             crate::config::MacMode::AlwaysOn => SimDuration::ZERO,
             crate::config::MacMode::LowPowerListening { wake_interval } => {
-                SimDuration::from_micros(
-                    self.rng.range_u64(0..wake_interval.as_micros().max(1)),
-                )
+                SimDuration::from_micros(self.rng.range_u64(0..wake_interval.as_micros().max(1)))
             }
         };
         let delivery_time = self.now + wake_penalty + FRAME_TIME;
-        let head = self.nodes[node].queue.front().expect("head exists");
+        let Some(head) = self.nodes[node].queue.front() else {
+            self.nodes[node].serving = false;
+            return;
+        };
         let own_delay_us = self.measured_delay_us(node, head.arrival, delivery_time);
         let mut on_air = head.rec.clone();
         let is_local = on_air.pid.origin.index() == node;
@@ -475,9 +486,7 @@ impl Simulator {
             .saturating_add(own_delay_us.round().max(0.0) as u64);
 
         let data_arrived = {
-            let prr = self
-                .links
-                .prr(NodeId::new(node as u16), parent, self.now);
+            let prr = self.links.prr(NodeId::new(node as u16), parent, self.now);
             self.rng.bernoulli(prr)
         };
         self.schedule(
@@ -585,7 +594,10 @@ impl Simulator {
 
         if ack_ok {
             // ---- Sender side: the packet leaves this node. ----
-            let sent = self.nodes[node].queue.pop_front().expect("head in flight");
+            let Some(sent) = self.nodes[node].queue.pop_front() else {
+                self.continue_service(node);
+                return;
+            };
             let is_local = sent.rec.pid.origin.index() == node;
             let delay_us = self.measured_delay_us(node, sent.arrival, delivery_time);
             if is_local {
@@ -603,21 +615,24 @@ impl Simulator {
         } else {
             // Failed attempt (data lost, receiver full, or ACK lost):
             // retransmit or give up.
-            let give_up = {
-                let head = self.nodes[node].queue.front_mut().expect("head in flight");
-                head.attempts += 1;
-                head.attempts > self.config.max_retries
+            let give_up = match self.nodes[node].queue.front_mut() {
+                Some(head) => {
+                    head.attempts += 1;
+                    head.attempts > self.config.max_retries
+                }
+                None => true,
             };
             if give_up {
-                let dropped = self.nodes[node].queue.pop_front().expect("head in flight");
-                self.stats.dropped_retx += 1;
-                self.commit_forwarded_if_needed(node, &dropped, delivery_time);
-                // The radio did transmit the final copy; the local log
-                // records the send even though no ACK arrived.
-                self.nodes[node].log.push(LogEvent {
-                    kind: LogEventKind::Send,
-                    pid: dropped.rec.pid,
-                });
+                if let Some(dropped) = self.nodes[node].queue.pop_front() {
+                    self.stats.dropped_retx += 1;
+                    self.commit_forwarded_if_needed(node, &dropped, delivery_time);
+                    // The radio did transmit the final copy; the local log
+                    // records the send even though no ACK arrived.
+                    self.nodes[node].log.push(LogEvent {
+                        kind: LogEventKind::Send,
+                        pid: dropped.rec.pid,
+                    });
+                }
                 self.continue_service(node);
             } else {
                 let backoff = self.sample_backoff(self.config.congestion_backoff);

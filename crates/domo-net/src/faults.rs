@@ -1,0 +1,448 @@
+//! Post-hoc fault injection on collected traces.
+//!
+//! Real deployments hand the sink a trace that is *worse* than anything
+//! the simulator produces on its own: serial-forwarder glitches duplicate
+//! and reorder records, the 2-byte `S(p)` and e2e fields saturate or get
+//! corrupted on the air, node reboots reset the sum-of-delays
+//! accumulator mid-flight, time-sync hiccups jump reconstructed
+//! generation times, and path reconstruction can truncate a route. This
+//! module injects exactly those pathologies into a finished
+//! [`NetworkTrace`], deterministically from a seed, so the
+//! reconstruction pipeline can be driven through every failure mode it
+//! must degrade gracefully under.
+//!
+//! Injection is purely sink-side: ground truth, node logs and simulator
+//! statistics are untouched, mirroring how the paper's own loss
+//! experiment (§VI.B) removes packets from the *original* trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use domo_net::{run_simulation, FaultConfig, NetworkConfig};
+//!
+//! let clean = run_simulation(&NetworkConfig::small(16, 7));
+//! let faults = FaultConfig {
+//!     drop_rate: 0.1,
+//!     duplicate_rate: 0.05,
+//!     ..FaultConfig::default()
+//! };
+//! let (faulty, report) = domo_net::inject_faults(&clean, &faults);
+//! assert!(faulty.packets.len() <= clean.packets.len() + report.duplicated);
+//! ```
+
+use crate::trace::{CollectedPacket, NetworkTrace};
+use domo_util::rng::Xoshiro256pp;
+use domo_util::time::SimDuration;
+
+/// Fault-injection knobs, all expressed as independent per-packet
+/// probabilities (0 disables a fault class).
+///
+/// The default configuration injects nothing, so
+/// `NetworkConfig { faults: Some(FaultConfig::default()), .. }` is
+/// byte-identical to a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a delivered record is lost uniformly at random
+    /// (on top of the simulator's own link losses).
+    pub drop_rate: f64,
+    /// Probability that a *burst* of consecutive losses starts at a
+    /// record; the burst removes up to [`FaultConfig::burst_len`]
+    /// records in a row (sink outage / serial-forwarder gap).
+    pub burst_drop_rate: f64,
+    /// Length of each drop burst.
+    pub burst_len: usize,
+    /// Probability that a record is duplicated in the trace with the
+    /// same `(origin, seq)` id.
+    pub duplicate_rate: f64,
+    /// Probability that a record is swapped with its successor,
+    /// breaking the sink-arrival sort order downstream code expects.
+    pub reorder_rate: f64,
+    /// Probability that a record's `S(p)` field is replaced by a
+    /// uniformly random u16 (on-air corruption that slipped the CRC).
+    pub corrupt_sum_rate: f64,
+    /// Probability that a record's 2-byte `S(p)` *and* e2e fields pin to
+    /// `u16::MAX` (accumulator overflow on a congested path).
+    pub saturate_rate: f64,
+    /// Probability that a record's generation time jumps forward
+    /// (time-sync glitch); a jump past the sink arrival yields a
+    /// causality inversion the sanitizer must catch.
+    pub clock_jump_rate: f64,
+    /// Magnitude bound of each clock jump (ms); the actual jump is
+    /// uniform in `[1, clock_jump_ms]`.
+    pub clock_jump_ms: u64,
+    /// Probability that a record's origin node "rebooted" while the
+    /// packet was queued: the sum-of-delays accumulator resets, so the
+    /// recorded `S(p)` only covers a random suffix of the true sum.
+    pub reboot_rate: f64,
+    /// Probability that a record's reconstructed path is truncated to a
+    /// strict prefix (no longer ending at the sink).
+    pub truncate_path_rate: f64,
+    /// Seed of the injection RNG; independent of the simulation seed so
+    /// the same trace can be stressed many ways.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_rate: 0.0,
+            burst_drop_rate: 0.0,
+            burst_len: 8,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            corrupt_sum_rate: 0.0,
+            saturate_rate: 0.0,
+            clock_jump_rate: 0.0,
+            clock_jump_ms: 5_000,
+            reboot_rate: 0.0,
+            truncate_path_rate: 0.0,
+            seed: 0xD0_50,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A configuration that exercises *every* fault class at the given
+    /// per-class rate — the adversarial setting robustness tests use.
+    pub fn all(rate: f64, seed: u64) -> Self {
+        Self {
+            drop_rate: rate,
+            burst_drop_rate: rate / 4.0,
+            burst_len: 4,
+            duplicate_rate: rate,
+            reorder_rate: rate,
+            corrupt_sum_rate: rate,
+            saturate_rate: rate,
+            clock_jump_rate: rate,
+            clock_jump_ms: 5_000,
+            reboot_rate: rate,
+            truncate_path_rate: rate,
+            seed,
+        }
+    }
+
+    /// True when every rate is zero (injection is the identity).
+    pub fn is_quiet(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.burst_drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.reorder_rate == 0.0
+            && self.corrupt_sum_rate == 0.0
+            && self.saturate_rate == 0.0
+            && self.clock_jump_rate == 0.0
+            && self.reboot_rate == 0.0
+            && self.truncate_path_rate == 0.0
+    }
+
+    /// Validates that every rate is a probability and structural knobs
+    /// are non-degenerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("drop_rate", self.drop_rate),
+            ("burst_drop_rate", self.burst_drop_rate),
+            ("duplicate_rate", self.duplicate_rate),
+            ("reorder_rate", self.reorder_rate),
+            ("corrupt_sum_rate", self.corrupt_sum_rate),
+            ("saturate_rate", self.saturate_rate),
+            ("clock_jump_rate", self.clock_jump_rate),
+            ("reboot_rate", self.reboot_rate),
+            ("truncate_path_rate", self.truncate_path_rate),
+        ];
+        for (name, r) in rates {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("fault {name} must be in [0, 1], got {r}"));
+            }
+        }
+        if self.burst_drop_rate > 0.0 && self.burst_len == 0 {
+            return Err("burst_len must be positive when bursts are enabled".into());
+        }
+        if self.clock_jump_rate > 0.0 && self.clock_jump_ms == 0 {
+            return Err("clock_jump_ms must be positive when jumps are enabled".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counters of what [`inject_faults`] actually did to a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Records removed by uniform drops.
+    pub dropped: usize,
+    /// Records removed by drop bursts.
+    pub burst_dropped: usize,
+    /// Duplicate records appended.
+    pub duplicated: usize,
+    /// Adjacent record swaps performed.
+    pub reordered: usize,
+    /// `S(p)` fields replaced with random values.
+    pub corrupted_sum: usize,
+    /// Records with `S(p)`/e2e pinned to `u16::MAX`.
+    pub saturated: usize,
+    /// Generation times jumped forward.
+    pub clock_jumps: usize,
+    /// Records whose `S(p)` was reset by a simulated reboot.
+    pub reboots: usize,
+    /// Paths truncated to a strict prefix.
+    pub truncated_paths: usize,
+}
+
+impl FaultReport {
+    /// Total number of individual faults injected.
+    pub fn total(&self) -> usize {
+        self.dropped
+            + self.burst_dropped
+            + self.duplicated
+            + self.reordered
+            + self.corrupted_sum
+            + self.saturated
+            + self.clock_jumps
+            + self.reboots
+            + self.truncated_paths
+    }
+}
+
+/// Applies every enabled fault class to a copy of `trace`, returning the
+/// corrupted trace and a report of what was injected.
+///
+/// Deterministic in `(trace, cfg)`: the injection RNG is seeded from
+/// `cfg.seed` alone. When `cfg.is_quiet()` the input packets are
+/// returned unchanged (bit-identical).
+pub fn inject_faults(trace: &NetworkTrace, cfg: &FaultConfig) -> (NetworkTrace, FaultReport) {
+    let mut report = FaultReport::default();
+    if cfg.is_quiet() {
+        return (trace.clone(), report);
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    let mut packets: Vec<CollectedPacket> = Vec::with_capacity(trace.packets.len());
+
+    // Pass 1: drops (uniform and bursty).
+    let mut burst_left = 0usize;
+    for p in &trace.packets {
+        if burst_left > 0 {
+            burst_left -= 1;
+            report.burst_dropped += 1;
+            continue;
+        }
+        if cfg.burst_drop_rate > 0.0 && rng.bernoulli(cfg.burst_drop_rate) {
+            burst_left = cfg.burst_len.saturating_sub(1);
+            report.burst_dropped += 1;
+            continue;
+        }
+        if cfg.drop_rate > 0.0 && rng.bernoulli(cfg.drop_rate) {
+            report.dropped += 1;
+            continue;
+        }
+        packets.push(p.clone());
+    }
+
+    // Pass 2: per-record field corruption on the survivors.
+    let mut duplicates: Vec<CollectedPacket> = Vec::new();
+    for p in &mut packets {
+        if cfg.reboot_rate > 0.0 && rng.bernoulli(cfg.reboot_rate) {
+            // The accumulator restarted mid-queue: S(p) keeps only a
+            // random suffix of the true sum.
+            p.sum_of_delays_ms = (f64::from(p.sum_of_delays_ms) * rng.f64()) as u16;
+            report.reboots += 1;
+        }
+        if cfg.corrupt_sum_rate > 0.0 && rng.bernoulli(cfg.corrupt_sum_rate) {
+            p.sum_of_delays_ms = rng.range_u64(0..u16::MAX as u64 + 1) as u16;
+            report.corrupted_sum += 1;
+        }
+        if cfg.saturate_rate > 0.0 && rng.bernoulli(cfg.saturate_rate) {
+            p.sum_of_delays_ms = u16::MAX;
+            p.e2e_ms = u16::MAX;
+            report.saturated += 1;
+        }
+        if cfg.clock_jump_rate > 0.0 && rng.bernoulli(cfg.clock_jump_rate) {
+            let jump_ms = rng.range_u64(1..cfg.clock_jump_ms.max(1) + 1);
+            p.gen_time += SimDuration::from_millis(jump_ms);
+            report.clock_jumps += 1;
+        }
+        if cfg.truncate_path_rate > 0.0 && p.path.len() > 1 && rng.bernoulli(cfg.truncate_path_rate)
+        {
+            let keep = rng.range_usize(1..p.path.len());
+            p.path.truncate(keep);
+            report.truncated_paths += 1;
+        }
+        if cfg.duplicate_rate > 0.0 && rng.bernoulli(cfg.duplicate_rate) {
+            duplicates.push(p.clone());
+            report.duplicated += 1;
+        }
+    }
+    // Duplicates land at the end of the trace, out of arrival order —
+    // the serial-forwarder replay pathology.
+    packets.extend(duplicates);
+
+    // Pass 3: local reordering (adjacent swaps).
+    if cfg.reorder_rate > 0.0 && packets.len() > 1 {
+        for i in 0..packets.len() - 1 {
+            if rng.bernoulli(cfg.reorder_rate) {
+                packets.swap(i, i + 1);
+                report.reordered += 1;
+            }
+        }
+    }
+
+    (
+        NetworkTrace {
+            packets,
+            ..trace.clone()
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::engine::run_simulation;
+
+    fn base_trace() -> NetworkTrace {
+        run_simulation(&NetworkConfig::small(16, 3))
+    }
+
+    #[test]
+    fn quiet_config_is_identity() {
+        let t = base_trace();
+        let (out, report) = inject_faults(&t, &FaultConfig::default());
+        assert_eq!(out.packets, t.packets);
+        assert_eq!(report.total(), 0);
+        assert!(FaultConfig::default().is_quiet());
+        assert!(!FaultConfig::all(0.1, 1).is_quiet());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let t = base_trace();
+        let cfg = FaultConfig::all(0.2, 42);
+        let (a, ra) = inject_faults(&t, &cfg);
+        let (b, rb) = inject_faults(&t, &cfg);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn drops_shrink_and_duplicates_grow_the_trace() {
+        let t = base_trace();
+        let (dropped, r) = inject_faults(
+            &t,
+            &FaultConfig {
+                drop_rate: 0.5,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(dropped.packets.len() < t.packets.len());
+        assert_eq!(t.packets.len(), dropped.packets.len() + r.dropped);
+
+        let (duped, r) = inject_faults(
+            &t,
+            &FaultConfig {
+                duplicate_rate: 0.5,
+                ..FaultConfig::default()
+            },
+        );
+        assert_eq!(duped.packets.len(), t.packets.len() + r.duplicated);
+        assert!(r.duplicated > 0);
+    }
+
+    #[test]
+    fn burst_drops_remove_consecutive_records() {
+        let t = base_trace();
+        let cfg = FaultConfig {
+            burst_drop_rate: 0.05,
+            burst_len: 4,
+            ..FaultConfig::default()
+        };
+        let (out, r) = inject_faults(&t, &cfg);
+        assert_eq!(t.packets.len(), out.packets.len() + r.burst_dropped);
+    }
+
+    #[test]
+    fn saturation_pins_both_two_byte_fields() {
+        let t = base_trace();
+        let (out, r) = inject_faults(
+            &t,
+            &FaultConfig {
+                saturate_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        assert_eq!(r.saturated, out.packets.len());
+        assert!(out
+            .packets
+            .iter()
+            .all(|p| p.sum_of_delays_ms == u16::MAX && p.e2e_ms == u16::MAX));
+    }
+
+    #[test]
+    fn clock_jumps_move_generation_forward() {
+        let t = base_trace();
+        let (out, r) = inject_faults(
+            &t,
+            &FaultConfig {
+                clock_jump_rate: 1.0,
+                clock_jump_ms: 60_000,
+                ..FaultConfig::default()
+            },
+        );
+        assert_eq!(r.clock_jumps, out.packets.len());
+        for (a, b) in out.packets.iter().zip(&t.packets) {
+            assert!(a.gen_time > b.gen_time);
+        }
+    }
+
+    #[test]
+    fn truncated_paths_no_longer_end_at_sink() {
+        let t = base_trace();
+        let (out, r) = inject_faults(
+            &t,
+            &FaultConfig {
+                truncate_path_rate: 1.0,
+                ..FaultConfig::default()
+            },
+        );
+        assert!(r.truncated_paths > 0);
+        assert!(out
+            .packets
+            .iter()
+            .any(|p| p.path.last().is_some_and(|n| !n.is_sink())));
+    }
+
+    #[test]
+    fn ground_truth_and_stats_are_untouched() {
+        let t = base_trace();
+        let (out, _) = inject_faults(&t, &FaultConfig::all(0.3, 9));
+        assert_eq!(out.ground_truth.len(), t.ground_truth.len());
+        assert_eq!(out.stats, t.stats);
+        assert_eq!(out.num_nodes, t.num_nodes);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        assert_eq!(FaultConfig::default().validate(), Ok(()));
+        let bad = [
+            FaultConfig {
+                drop_rate: 1.5,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                burst_drop_rate: 0.1,
+                burst_len: 0,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                clock_jump_rate: 0.1,
+                clock_jump_ms: 0,
+                ..FaultConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod routing;
 pub mod topology;
@@ -39,6 +40,7 @@ pub mod types;
 
 pub use config::{EventBursts, MacMode, NetworkConfig, Placement, RoutingProtocol};
 pub use engine::{run_simulation, Simulator};
+pub use faults::{inject_faults, FaultConfig, FaultReport};
 pub use link::LinkModel;
 pub use routing::Routing;
 pub use topology::TraceProfile;

@@ -44,7 +44,9 @@ impl LinkModel {
     /// Panics if the configuration is invalid (call
     /// [`NetworkConfig::validate`] first).
     pub fn build(config: &NetworkConfig, rng: &mut Xoshiro256pp) -> Self {
-        config.validate().expect("invalid network configuration");
+        if let Err(e) = config.validate() {
+            panic!("invalid network configuration: {e}");
+        }
         let n = config.num_nodes;
         let side = config.area_side();
 
@@ -158,8 +160,7 @@ impl LinkModel {
         match self.links.get(&key) {
             None => 0.0,
             Some(p) => {
-                let angle = std::f64::consts::TAU * t.as_micros() as f64
-                    / self.variation_period_us
+                let angle = std::f64::consts::TAU * t.as_micros() as f64 / self.variation_period_us
                     + p.phase;
                 (p.base_prr + self.variation_amplitude * angle.sin()).clamp(0.0, 1.0)
             }
@@ -239,7 +240,11 @@ mod tests {
             }
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        assert!(avg(&near) > 0.7, "near links should be strong: {}", avg(&near));
+        assert!(
+            avg(&near) > 0.7,
+            "near links should be strong: {}",
+            avg(&near)
+        );
         if !far.is_empty() {
             assert!(avg(&near) > avg(&far));
         }

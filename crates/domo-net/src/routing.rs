@@ -118,20 +118,20 @@ impl Routing {
 
         // Cache the noisy estimates so both sweep directions agree.
         let mut est: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        for u in 1..n {
+        for (u, est_u) in est.iter_mut().enumerate().skip(1) {
             let nu = NodeId::new(u as u16);
             for &v in links.neighbors(nu) {
-                est[u].push((v.index(), link_etx(nu, v, rng)));
+                est_u.push((v.index(), link_etx(nu, v, rng)));
             }
         }
 
         for _ in 0..SWEEPS_PER_BEACON {
             let mut changed = false;
-            for u in 1..n {
+            for (u, est_u) in est.iter().enumerate().skip(1) {
                 let mut best: Option<(f64, usize)> = None;
-                for &(v, le) in &est[u] {
+                for &(v, le) in est_u {
                     let cand = self.etx[v] + le;
-                    if cand.is_finite() && best.map_or(true, |(b, _)| cand < b) {
+                    if cand.is_finite() && best.is_none_or(|(b, _)| cand < b) {
                         best = Some((cand, v));
                     }
                 }
@@ -142,7 +142,7 @@ impl Routing {
                 // Refresh own ETX through the current parent if still valid.
                 let current_etx = current
                     .and_then(|p| {
-                        est[u]
+                        est_u
                             .iter()
                             .find(|&&(v, _)| v == p.index())
                             .map(|&(v, le)| self.etx[v] + le)

@@ -144,8 +144,7 @@ impl NetworkTrace {
             (0.0..1.0).contains(&fraction),
             "loss fraction must be in [0, 1)"
         );
-        let keep = self.packets.len()
-            - ((self.packets.len() as f64) * fraction).round() as usize;
+        let keep = self.packets.len() - ((self.packets.len() as f64) * fraction).round() as usize;
         let kept_idx = rng.sample_indices(self.packets.len(), keep.min(self.packets.len()));
         let packets: Vec<CollectedPacket> =
             kept_idx.iter().map(|&i| self.packets[i].clone()).collect();
@@ -178,8 +177,9 @@ mod tests {
     }
 
     fn dummy_trace(n_packets: usize) -> NetworkTrace {
-        let packets: Vec<CollectedPacket> =
-            (0..n_packets).map(|i| dummy_packet(5, i as u32, 4)).collect();
+        let packets: Vec<CollectedPacket> = (0..n_packets)
+            .map(|i| dummy_packet(5, i as u32, 4))
+            .collect();
         NetworkTrace {
             num_nodes: 10,
             seed: 1,

@@ -23,6 +23,7 @@
 use crate::trace::CollectedPacket;
 use crate::types::{NodeId, PacketId};
 use domo_util::time::SimTime;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Errors produced while parsing a trace file.
@@ -81,9 +82,11 @@ pub fn packets_to_string(packets: &[CollectedPacket]) -> String {
 ///
 /// Returns a [`ParseTraceError`] naming the first malformed line: wrong
 /// field count, non-numeric fields, empty or inconsistent paths
-/// (the first path element must be the origin; ids must fit `u16`).
+/// (the first path element must be the origin, the last must be the
+/// sink; ids must fit `u16`), or a duplicated `(origin, seq)` id.
 pub fn packets_from_str(text: &str) -> Result<Vec<CollectedPacket>, ParseTraceError> {
     let mut packets = Vec::new();
+    let mut seen: HashSet<PacketId> = HashSet::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
@@ -101,22 +104,14 @@ pub fn packets_from_str(text: &str) -> Result<Vec<CollectedPacket>, ParseTraceEr
             line: line_no,
             message,
         };
-        let origin: u16 = fields[0]
-            .parse()
-            .map_err(|e| err(format!("origin: {e}")))?;
+        let origin: u16 = fields[0].parse().map_err(|e| err(format!("origin: {e}")))?;
         let seq: u32 = fields[1].parse().map_err(|e| err(format!("seq: {e}")))?;
-        let gen_us: u64 = fields[2]
-            .parse()
-            .map_err(|e| err(format!("gen_us: {e}")))?;
+        let gen_us: u64 = fields[2].parse().map_err(|e| err(format!("gen_us: {e}")))?;
         let sink_us: u64 = fields[3]
             .parse()
             .map_err(|e| err(format!("sink_us: {e}")))?;
-        let sum_ms: u16 = fields[4]
-            .parse()
-            .map_err(|e| err(format!("sum_ms: {e}")))?;
-        let e2e_ms: u16 = fields[5]
-            .parse()
-            .map_err(|e| err(format!("e2e_ms: {e}")))?;
+        let sum_ms: u16 = fields[4].parse().map_err(|e| err(format!("sum_ms: {e}")))?;
+        let e2e_ms: u16 = fields[5].parse().map_err(|e| err(format!("e2e_ms: {e}")))?;
         if sink_us < gen_us {
             return Err(err("sink arrival precedes generation".into()));
         }
@@ -134,8 +129,15 @@ pub fn packets_from_str(text: &str) -> Result<Vec<CollectedPacket>, ParseTraceEr
         if path[0] != NodeId::new(origin) {
             return Err(err("path must start at the origin".into()));
         }
+        if path.last().is_some_and(|n| !n.is_sink()) {
+            return Err(err("path must end at the sink (node 0)".into()));
+        }
+        let pid = PacketId::new(NodeId::new(origin), seq);
+        if !seen.insert(pid) {
+            return Err(err(format!("duplicate packet id {origin},{seq}")));
+        }
         packets.push(CollectedPacket {
-            pid: PacketId::new(NodeId::new(origin), seq),
+            pid,
             gen_time: SimTime::from_micros(gen_us),
             sink_arrival: SimTime::from_micros(sink_us),
             path,
@@ -164,8 +166,7 @@ pub fn write_packets(path: &std::path::Path, packets: &[CollectedPacket]) -> std
 /// `InvalidData` kind.
 pub fn read_packets(path: &std::path::Path) -> std::io::Result<Vec<CollectedPacket>> {
     let text = std::fs::read_to_string(path)?;
-    packets_from_str(&text)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    packets_from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -201,6 +202,9 @@ mod tests {
             ("5,0,1000,2000,1,1,5", "at least source and sink"),
             ("5,0,2000,1000,1,1,5-0", "precedes generation"),
             ("5,0,1000,2000,1,1,5-zz-0", "path element"),
+            ("5,0,1000,2000,1,1,5-7", "end at the sink"),
+            ("5,0,1000,2000,65536,1,5-0", "sum_ms"),
+            ("5,0,1000,2000,1,65536,5-0", "e2e_ms"),
         ];
         for (line, needle) in cases {
             let text = format!("# hdr\n{line}\n");
@@ -212,6 +216,56 @@ mod tests {
                 e.message
             );
             assert!(e.to_string().contains("line 2"));
+        }
+    }
+
+    #[test]
+    fn saturated_two_byte_fields_parse_at_the_limit() {
+        // u16::MAX is a *legal* wire value (a saturated accumulator);
+        // only 65536 and beyond are parse errors.
+        let text = "5,0,1000,2000,65535,65535,5-0\n";
+        let packets = packets_from_str(text).unwrap();
+        assert_eq!(packets[0].sum_of_delays_ms, u16::MAX);
+        assert_eq!(packets[0].e2e_ms, u16::MAX);
+    }
+
+    #[test]
+    fn duplicate_packet_ids_are_rejected() {
+        let text = "5,0,1000,2000,1,1,5-0\n5,0,3000,4000,2,1,5-0\n";
+        let e = packets_from_str(text).expect_err("duplicate id");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate packet id 5,0"));
+        // Same origin with a different seq is fine.
+        let ok = "5,0,1000,2000,1,1,5-0\n5,1,3000,4000,2,1,5-0\n";
+        assert_eq!(packets_from_str(ok).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes() {
+        // Hand-rolled fuzz loop (proptest lives outside the offline
+        // workspace): random byte soup, random mutations of a valid
+        // record, and adversarial near-valid lines must all return
+        // Ok/Err — never panic.
+        use domo_util::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::seed_from_u64(0xF00D);
+        let alphabet: &[u8] = b"0123456789,-#x \t\n.eE+";
+        for _ in 0..2_000 {
+            let len = rng.range_usize(0..64);
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| alphabet[rng.range_usize(0..alphabet.len())])
+                .collect();
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            let _ = packets_from_str(&text);
+        }
+        let valid = "5,0,1000,2000,1,1,5-3-0";
+        for _ in 0..2_000 {
+            let mut line: Vec<u8> = valid.as_bytes().to_vec();
+            for _ in 0..rng.range_usize(1..4) {
+                let pos = rng.range_usize(0..line.len());
+                line[pos] = alphabet[rng.range_usize(0..alphabet.len())];
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            let _ = packets_from_str(&text);
         }
     }
 

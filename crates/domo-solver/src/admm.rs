@@ -65,6 +65,42 @@ impl Default for Settings {
     }
 }
 
+/// Structural failures that prevent a solve from running at all — as
+/// opposed to a [`Status`], which describes how a *completed* solve
+/// terminated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// A setting is out of range (ρ ≤ 0, σ ≤ 0, α ∉ (0, 2), …).
+    BadSettings(String),
+    /// The warm-start vector has the wrong length.
+    BadWarmStart {
+        /// Number of variables of the problem.
+        expected: usize,
+        /// Length of the supplied warm start.
+        got: usize,
+    },
+    /// The regularized KKT matrix could not be Cholesky-factored. This
+    /// indicates non-finite problem data (a NaN/∞ coefficient) — for
+    /// finite data the σ-shift keeps the matrix positive definite.
+    FactorizationFailed,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::BadSettings(msg) => write!(f, "bad solver settings: {msg}"),
+            SolverError::BadWarmStart { expected, got } => {
+                write!(f, "warm start has length {got}, expected {expected}")
+            }
+            SolverError::FactorizationFailed => {
+                write!(f, "KKT factorization failed (non-finite problem data?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 /// Why the solver stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -128,6 +164,16 @@ pub fn solve(problem: &ConeQp, settings: &Settings) -> Solution {
     solve_warm(problem, settings, None)
 }
 
+/// Non-panicking variant of [`solve`].
+///
+/// # Errors
+///
+/// Returns a [`SolverError`] for out-of-range settings or a failed KKT
+/// factorization (non-finite problem data).
+pub fn try_solve(problem: &ConeQp, settings: &Settings) -> Result<Solution, SolverError> {
+    try_solve_warm(problem, settings, None)
+}
+
 /// Solves a [`ConeQp`], optionally warm-starting from a previous primal
 /// point (duals are reset).
 ///
@@ -136,14 +182,35 @@ pub fn solve(problem: &ConeQp, settings: &Settings) -> Solution {
 /// Panics if the warm-start vector has the wrong length, if a setting is
 /// out of range (ρ ≤ 0, σ ≤ 0, α ∉ (0,2)), or if the (regularized) KKT
 /// matrix cannot be factored, which cannot happen for a valid [`ConeQp`]
-/// with finite data.
+/// with finite data. Use [`try_solve_warm`] to get these conditions as
+/// a [`SolverError`] instead.
 pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>) -> Solution {
-    assert!(settings.rho > 0.0, "rho must be positive");
-    assert!(settings.sigma > 0.0, "sigma must be positive");
-    assert!(
-        settings.alpha > 0.0 && settings.alpha < 2.0,
-        "alpha must lie in (0, 2)"
-    );
+    match try_solve_warm(problem, settings, warm_x) {
+        Ok(sol) => sol,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Non-panicking variant of [`solve_warm`].
+///
+/// # Errors
+///
+/// Returns a [`SolverError`] for out-of-range settings, a wrong-length
+/// warm start, or a failed KKT factorization (non-finite problem data).
+pub fn try_solve_warm(
+    problem: &ConeQp,
+    settings: &Settings,
+    warm_x: Option<&[f64]>,
+) -> Result<Solution, SolverError> {
+    if settings.rho.is_nan() || settings.rho <= 0.0 {
+        return Err(SolverError::BadSettings("rho must be positive".into()));
+    }
+    if settings.sigma.is_nan() || settings.sigma <= 0.0 {
+        return Err(SolverError::BadSettings("sigma must be positive".into()));
+    }
+    if !(settings.alpha > 0.0 && settings.alpha < 2.0) {
+        return Err(SolverError::BadSettings("alpha must lie in (0, 2)".into()));
+    }
 
     let start = Instant::now();
     let n = problem.num_vars();
@@ -176,7 +243,7 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
     let m = CsrMatrix::from_triplets(m_total, n, &m_triplets);
 
     if n == 0 {
-        return Solution {
+        return Ok(Solution {
             x: Vec::new(),
             y: vec![0.0; m_total],
             status: Status::Solved,
@@ -185,7 +252,7 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
             dual_residual: 0.0,
             objective: 0.0,
             solve_time: start.elapsed(),
-        };
+        });
     }
 
     let mut rho = settings.rho;
@@ -196,18 +263,19 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
         p.symmetrize();
         p
     };
-    let factor_kkt = |rho: f64| -> Cholesky {
+    let factor_kkt = |rho: f64| -> Result<Cholesky, SolverError> {
         let mut k = m.gram_with_shift(&vec![0.0; n]).scale(rho);
         k = &k + &p_dense;
         k.shift_diagonal(settings.sigma);
-        Cholesky::factor(&k).expect("KKT matrix is SPD by construction")
+        Cholesky::factor(&k).map_err(|_| SolverError::FactorizationFailed)
     };
-    let mut kkt = factor_kkt(rho);
+    let mut kkt = factor_kkt(rho)?;
 
     // ---- Projection onto C = [l,u] × PSD × … ----
     let project = |v: &mut [f64]| {
-        for i in 0..m_box {
-            v[i] = v[i].clamp(problem.l[i], problem.u[i]);
+        // `l`/`u` have `m_box` entries, so the zip stops at the box rows.
+        for ((vi, &lo), &hi) in v.iter_mut().zip(&problem.l).zip(&problem.u) {
+            *vi = vi.clamp(lo, hi);
         }
         for &(seg_start, dim) in &block_segments {
             let len = crate::svec::svec_len(dim);
@@ -220,7 +288,12 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
     // ---- Iterate. ----
     let mut x = match warm_x {
         Some(w) => {
-            assert_eq!(w.len(), n, "warm start has wrong length");
+            if w.len() != n {
+                return Err(SolverError::BadWarmStart {
+                    expected: n,
+                    got: w.len(),
+                });
+            }
             w.to_vec()
         }
         None => vec![0.0; n],
@@ -285,11 +358,9 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
                 r_dual = r_dual.max((px[i] + problem.q[i] + mty[i]).abs());
             }
 
-            let eps_prim = settings.eps_abs
-                + settings.eps_rel * norm_inf(&mx).max(norm_inf(&z));
+            let eps_prim = settings.eps_abs + settings.eps_rel * norm_inf(&mx).max(norm_inf(&z));
             let eps_dual = settings.eps_abs
-                + settings.eps_rel
-                    * norm_inf(&px).max(norm_inf(&mty)).max(norm_inf(&problem.q));
+                + settings.eps_rel * norm_inf(&px).max(norm_inf(&mty)).max(norm_inf(&problem.q));
 
             primal_residual = r_prim;
             dual_residual = r_dual;
@@ -302,29 +373,24 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
             // a dual direction δy with Mᵀδy ≈ 0 whose support function
             // over the boxes is strictly negative proves emptiness.
             if problem.psd_blocks.is_empty() {
-                let dy: Vec<f64> = y
-                    .iter()
-                    .zip(&y_at_last_check)
-                    .map(|(a, b)| a - b)
-                    .collect();
+                let dy: Vec<f64> = y.iter().zip(&y_at_last_check).map(|(a, b)| a - b).collect();
                 let dy_norm = norm_inf(&dy);
                 if dy_norm > settings.eps_abs {
                     let mt_dy = m.matvec_t(&dy);
                     if norm_inf(&mt_dy) <= 1e-6 * dy_norm {
                         let mut support = 0.0;
                         let mut certifiable = true;
-                        for i in 0..m_box {
-                            let d = dy[i];
+                        for ((&d, &lo), &hi) in dy.iter().zip(&problem.l).zip(&problem.u) {
                             if d > 1e-9 * dy_norm {
-                                if problem.u[i].is_finite() {
-                                    support += problem.u[i] * d;
+                                if hi.is_finite() {
+                                    support += hi * d;
                                 } else {
                                     certifiable = false;
                                     break;
                                 }
                             } else if d < -1e-9 * dy_norm {
-                                if problem.l[i].is_finite() {
-                                    support += problem.l[i] * d;
+                                if lo.is_finite() {
+                                    support += lo * d;
                                 } else {
                                     certifiable = false;
                                     break;
@@ -344,7 +410,7 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
             // Simple adaptive ρ: equalize the residual magnitudes.
             if settings.adaptive_rho && iter % (settings.check_interval * 8) == 0 {
                 let ratio = ((r_prim + 1e-30) / (r_dual + 1e-30)).sqrt();
-                if ratio > 5.0 || ratio < 0.2 {
+                if !(0.2..=5.0).contains(&ratio) {
                     let new_rho = (rho * ratio).clamp(1e-6, 1e6);
                     if (new_rho / rho - 1.0).abs() > 1e-9 {
                         // Rescale duals so y/ρ stays consistent.
@@ -352,7 +418,7 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
                             *yi *= new_rho / rho;
                         }
                         rho = new_rho;
-                        kkt = factor_kkt(rho);
+                        kkt = factor_kkt(rho)?;
                     }
                 }
             }
@@ -377,7 +443,7 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
         }
     }
 
-    Solution {
+    Ok(Solution {
         objective: problem.objective(&x),
         x,
         y,
@@ -386,18 +452,13 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
         primal_residual,
         dual_residual,
         solve_time: start.elapsed(),
-    }
+    })
 }
 
 /// Solves the equality-constrained KKT system over the rows the ADMM
 /// iterate marks active (duals pushing against a bound, or equality
 /// rows). Returns `None` when the system is singular or trivially empty.
-fn polish_active_set(
-    problem: &ConeQp,
-    x: &[f64],
-    y: &[f64],
-    z: &[f64],
-) -> Option<Vec<f64>> {
+fn polish_active_set(problem: &ConeQp, x: &[f64], y: &[f64], z: &[f64]) -> Option<Vec<f64>> {
     let n = problem.num_vars();
     let m_box = problem.num_box_rows();
     const ACT_TOL: f64 = 1e-6;
@@ -406,9 +467,7 @@ fn polish_active_set(
     let mut active: Vec<(usize, f64)> = Vec::new();
     for i in 0..m_box {
         let (l, u) = (problem.l[i], problem.u[i]);
-        if l == u {
-            active.push((i, l));
-        } else if y[i] < -ACT_TOL && l.is_finite() && (z[i] - l).abs() < 1e-3 {
+        if l == u || (y[i] < -ACT_TOL && l.is_finite() && (z[i] - l).abs() < 1e-3) {
             active.push((i, l));
         } else if y[i] > ACT_TOL && u.is_finite() && (z[i] - u).abs() < 1e-3 {
             active.push((i, u));
@@ -441,8 +500,8 @@ fn polish_active_set(
         kkt[(n + row_idx, n + row_idx)] = -DELTA;
     }
     let mut rhs = vec![0.0; n + k];
-    for i in 0..n {
-        rhs[i] = -problem.q[i];
+    for (r, &qi) in rhs.iter_mut().zip(&problem.q) {
+        *r = -qi;
     }
     for (row_idx, &(_, b)) in active.iter().enumerate() {
         rhs[n + row_idx] = b;
@@ -481,22 +540,18 @@ fn polish_active_set(
 /// # Panics
 ///
 /// Panics if the dimensions of `q`, `a`, `l`, `u` are inconsistent.
-pub fn solve_lp(
-    q: &[f64],
-    a: &CsrMatrix,
-    l: &[f64],
-    u: &[f64],
-    settings: &Settings,
-) -> Solution {
+pub fn solve_lp(q: &[f64], a: &CsrMatrix, l: &[f64], u: &[f64], settings: &Settings) -> Solution {
     let n = q.len();
-    let problem = ConeQp::new(
+    let problem = match ConeQp::new(
         CsrMatrix::zeros(n, n),
         q.to_vec(),
         a.clone(),
         l.to_vec(),
         u.to_vec(),
-    )
-    .expect("solve_lp arguments must be dimensionally consistent");
+    ) {
+        Ok(p) => p,
+        Err(e) => panic!("solve_lp arguments must be dimensionally consistent: {e}"),
+    };
     solve(&problem, settings)
 }
 
@@ -583,7 +638,12 @@ mod tests {
         b.add_row(&[(0, 1.0)], 0.0, 3.0);
         b.add_row(&[(1, 1.0)], 0.0, 3.0);
         let sol = solve(&b.build().unwrap(), &settings());
-        assert!(sol.is_solved(), "residuals {} {}", sol.primal_residual, sol.dual_residual);
+        assert!(
+            sol.is_solved(),
+            "residuals {} {}",
+            sol.primal_residual,
+            sol.dual_residual
+        );
         let value = sol.x[0] + 2.0 * sol.x[1];
         assert!((value - 7.0).abs() < 1e-3, "value {value}");
     }
@@ -719,7 +779,13 @@ mod tests {
             ..settings()
         };
         let rough = solve(&build(), &loose);
-        let polished = solve(&build(), &Settings { polish: true, ..loose });
+        let polished = solve(
+            &build(),
+            &Settings {
+                polish: true,
+                ..loose
+            },
+        );
         let err = |s: &Solution| (s.x[0] - 1.0).abs() + (s.x[1] - 3.0).abs();
         assert!(err(&polished) < 1e-6, "polished error {}", err(&polished));
         assert!(err(&polished) <= err(&rough) + 1e-12);
@@ -771,6 +837,76 @@ mod tests {
         let sol = solve(&problem, &settings());
         assert!(sol.is_solved());
         assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    fn try_solve_reports_bad_settings_as_errors() {
+        let problem = ConeQp::new(
+            CsrMatrix::zeros(1, 1),
+            vec![0.0],
+            CsrMatrix::zeros(0, 1),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        for bad in [
+            Settings {
+                alpha: 2.5,
+                ..settings()
+            },
+            Settings {
+                rho: 0.0,
+                ..settings()
+            },
+            Settings {
+                sigma: -1.0,
+                ..settings()
+            },
+        ] {
+            let e = try_solve(&problem, &bad).expect_err("settings must be rejected");
+            assert!(matches!(e, SolverError::BadSettings(_)), "{e}");
+            assert!(e.to_string().contains("bad solver settings"));
+        }
+    }
+
+    #[test]
+    fn try_solve_warm_rejects_wrong_length_warm_start() {
+        let mut b = QpBuilder::new(2);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_quadratic(1, 1, 2.0);
+        let problem = b.build().unwrap();
+        let e = try_solve_warm(&problem, &settings(), Some(&[1.0]));
+        assert_eq!(
+            e,
+            Err(SolverError::BadWarmStart {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn try_solve_reports_failed_factorization_on_nan_data() {
+        // A NaN quadratic coefficient poisons the KKT matrix; the
+        // panicking API would abort, the try API reports it.
+        let mut b = QpBuilder::new(1);
+        b.add_quadratic(0, 0, f64::NAN);
+        b.add_row(&[(0, 1.0)], 0.0, 1.0);
+        let e = try_solve(&b.build().unwrap(), &settings());
+        assert_eq!(e, Err(SolverError::FactorizationFailed));
+    }
+
+    #[test]
+    fn try_solve_matches_solve_on_clean_problems() {
+        let mut b = QpBuilder::new(1);
+        b.add_quadratic(0, 0, 2.0);
+        b.add_linear(0, -6.0);
+        b.add_row(&[(0, 1.0)], 0.0, 2.0);
+        let problem = b.build().unwrap();
+        let a = solve(&problem, &settings());
+        let b2 = try_solve(&problem, &settings()).unwrap();
+        assert_eq!(a.x, b2.x);
+        assert_eq!(a.status, b2.status);
     }
 
     #[test]

@@ -44,5 +44,8 @@ pub mod admm;
 pub mod problem;
 pub mod svec;
 
-pub use admm::{psd_infeasibility, solve, solve_lp, solve_warm, Settings, Solution, Status};
+pub use admm::{
+    psd_infeasibility, solve, solve_lp, solve_warm, try_solve, try_solve_warm, Settings, Solution,
+    SolverError, Status,
+};
 pub use problem::{ConeQp, ProblemError, PsdBlock, QpBuilder};

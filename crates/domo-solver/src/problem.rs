@@ -131,7 +131,10 @@ impl std::fmt::Display for ProblemError {
                 write!(f, "objective matrix is {rows}x{cols}, expected {n}x{n}")
             }
             ProblemError::BadConstraintShape { n, detail } => {
-                write!(f, "constraint shapes inconsistent for {n} variables: {detail}")
+                write!(
+                    f,
+                    "constraint shapes inconsistent for {n} variables: {detail}"
+                )
             }
             ProblemError::EmptyBox { row } => write!(f, "row {row} has l > u"),
             ProblemError::BadPsdBlock { dim, expected, got } => {
@@ -397,7 +400,11 @@ mod tests {
         assert!(PsdBlock::new(2, vec![0, 1, 2]).is_ok());
         assert!(matches!(
             PsdBlock::new(2, vec![0, 1]),
-            Err(ProblemError::BadPsdBlock { expected: 3, got: 2, .. })
+            Err(ProblemError::BadPsdBlock {
+                expected: 3,
+                got: 2,
+                ..
+            })
         ));
     }
 
@@ -414,7 +421,13 @@ mod tests {
         ));
 
         assert!(matches!(
-            ConeQp::new(p.clone(), vec![0.0; 2], a.clone(), vec![0.0, 0.0], vec![1.0]),
+            ConeQp::new(
+                p.clone(),
+                vec![0.0; 2],
+                a.clone(),
+                vec![0.0, 0.0],
+                vec![1.0]
+            ),
             Err(ProblemError::BadConstraintShape { .. })
         ));
 

@@ -139,7 +139,10 @@ impl Xoshiro256pp {
     ///
     /// Panics if the range is empty.
     pub fn range_u64(&mut self, range: Range<u64>) -> u64 {
-        assert!(range.start < range.end, "range_u64 requires a non-empty range");
+        assert!(
+            range.start < range.end,
+            "range_u64 requires a non-empty range"
+        );
         let span = range.end - range.start;
         // Rejection sampling over the top bits; loop terminates with
         // probability 1 and in practice after ~1 iteration.
@@ -256,7 +259,11 @@ mod tests {
         let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
         assert_eq!(
             got,
-            vec![6457827717110365317, 3203168211198807973, 9817491932198370423]
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
         );
     }
 
@@ -318,7 +325,10 @@ mod tests {
             assert!((5..15).contains(&v));
             seen[(v - 5) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values should appear in 1000 draws"
+        );
     }
 
     #[test]
@@ -363,7 +373,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move something"
+        );
     }
 
     #[test]

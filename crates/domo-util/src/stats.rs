@@ -42,17 +42,19 @@ pub fn std_dev(values: &[f64]) -> Option<f64> {
 
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` using linear
 /// interpolation between order statistics, or `None` if empty.
+/// NaN values sort last (IEEE total order), so a NaN-polluted sample
+/// skews the upper quantiles rather than panicking.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile requires q in [0, 1]");
     if values.is_empty() {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -135,14 +137,11 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
-    /// Builds an ECDF from a sample.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any value is NaN.
+    /// Builds an ECDF from a sample. NaN values sort last (IEEE total
+    /// order).
     pub fn from_values(values: &[f64]) -> Self {
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ECDF input must not contain NaN"));
+        sorted.sort_by(f64::total_cmp);
         Self { sorted }
     }
 
@@ -178,7 +177,7 @@ impl Ecdf {
             return Vec::new();
         }
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty checked above");
+        let hi = self.sorted[self.sorted.len() - 1];
         if points == 1 || hi == lo {
             return vec![(hi, 1.0)];
         }
@@ -219,7 +218,10 @@ impl Ecdf {
 pub fn average_displacement<T: Eq + Hash>(truth: &[T], reconstructed: &[T]) -> Option<f64> {
     let mut truth_pos: HashMap<&T, usize> = HashMap::with_capacity(truth.len());
     for (i, t) in truth.iter().enumerate() {
-        assert!(truth_pos.insert(t, i).is_none(), "duplicate element in truth sequence");
+        assert!(
+            truth_pos.insert(t, i).is_none(),
+            "duplicate element in truth sequence"
+        );
     }
     let mut seen: HashMap<&T, usize> = HashMap::with_capacity(reconstructed.len());
     let mut total = 0usize;
@@ -232,7 +234,10 @@ pub fn average_displacement<T: Eq + Hash>(truth: &[T], reconstructed: &[T]) -> O
         .filter(|e| truth_pos.contains_key(e))
         .collect();
     for (i, e) in common.iter().enumerate() {
-        assert!(seen.insert(e, i).is_none(), "duplicate element in reconstructed sequence");
+        assert!(
+            seen.insert(e, i).is_none(),
+            "duplicate element in reconstructed sequence"
+        );
     }
     let mut truth_rank = 0usize;
     for t in truth {

@@ -1,0 +1,5 @@
+//! Property-based test suites for the Domo workspace.
+//!
+//! This crate is intentionally empty: every test lives under `tests/`.
+//! It is excluded from the workspace so that resolving `proptest` (which
+//! needs a registry) never blocks the offline tier-1 build.

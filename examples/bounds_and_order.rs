@@ -39,15 +39,19 @@ fn main() {
         domo_widths.push(hi - lo);
         mnt_widths.push(mnt_result.ub[t] - mnt_result.lb[t]);
         let hr = view.vars()[t];
-        let truth = trace.truth(view.packet(hr.packet).pid).expect("truth")[hr.hop]
-            .as_millis_f64();
+        let truth = trace.truth(view.packet(hr.packet).pid).expect("truth")[hr.hop].as_millis_f64();
         if truth >= lo - 0.5 && truth <= hi + 0.5 {
             inside += 1;
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     println!("\nbound accuracy over {} sampled unknowns:", targets.len());
-    println!("  Domo  mean width {:>7.2} ms  (truth inside {}/{} bounds)", mean(&domo_widths), inside, targets.len());
+    println!(
+        "  Domo  mean width {:>7.2} ms  (truth inside {}/{} bounds)",
+        mean(&domo_widths),
+        inside,
+        targets.len()
+    );
     println!("  MNT   mean width {:>7.2} ms", mean(&mnt_widths));
     println!(
         "  (sub-graphs: {} LP solves, {} cut edges → {} after BLP tuning)",
@@ -57,12 +61,11 @@ fn main() {
     // ---- Event order: Domo estimates vs MessageTracing logs. ----
     let estimates = domo.estimate(&EstimatorConfig::default());
     let truth = message_tracing::truth_order(&trace, view);
-    let domo_order = message_tracing::order_by_estimates(view, |pi, hop| {
-        match view.time_ref(pi, hop) {
+    let domo_order =
+        message_tracing::order_by_estimates(view, |pi, hop| match view.time_ref(pi, hop) {
             domo::core::TimeRef::Known(t) => Some(t),
             domo::core::TimeRef::Var(v) => estimates.time_of(v),
-        }
-    });
+        });
     let tracing = message_tracing::reconstruct_order(&trace, view);
 
     let domo_disp = average_displacement(&truth, &domo_order).unwrap_or(0.0);

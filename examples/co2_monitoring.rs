@@ -33,7 +33,11 @@ fn main() {
     let mut first_half: HashMap<usize, Vec<f64>> = HashMap::new();
     let mut second_half: HashMap<usize, Vec<f64>> = HashMap::new();
     for p in &trace.packets {
-        let bucket = if p.gen_time < half { &mut first_half } else { &mut second_half };
+        let bucket = if p.gen_time < half {
+            &mut first_half
+        } else {
+            &mut second_half
+        };
         bucket
             .entry(p.pid.origin.index())
             .or_default()
@@ -53,9 +57,15 @@ fn main() {
         dy.partial_cmp(&dx).expect("finite deltas")
     });
     println!("\nnodes whose end-to-end delay shifted most between the two halves:");
-    println!("{:>6} {:>12} {:>12} {:>9}", "node", "t1 e2e (ms)", "t2 e2e (ms)", "shift");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "node", "t1 e2e (ms)", "t2 e2e (ms)", "shift"
+    );
     for &(node, a, b) in shifted.iter().take(5) {
-        println!("{node:>6} {a:>12.1} {b:>12.1} {:>8.1}%", 100.0 * (b - a).abs() / a.max(1.0));
+        println!(
+            "{node:>6} {a:>12.1} {b:>12.1} {:>8.1}%",
+            100.0 * (b - a).abs() / a.max(1.0)
+        );
     }
     println!("(end-to-end delays flag *sources*, but the slow hop may be elsewhere)");
 
@@ -116,7 +126,10 @@ fn main() {
         mean(&all)
     };
     println!("\nbottleneck check (second half, vs ground truth):");
-    println!("{:>6} {:>16} {:>14}", "node", "Domo mean (ms)", "true mean (ms)");
+    println!(
+        "{:>6} {:>16} {:>14}",
+        "node", "Domo mean (ms)", "true mean (ms)"
+    );
     for n in second_half_report.bottlenecks(3, 5) {
         println!(
             "{:>6} {:>16.2} {:>14.2}",

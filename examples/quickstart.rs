@@ -40,7 +40,10 @@ fn main() {
     }
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
     let under_4ms = errors.iter().filter(|&&e| e < 4.0).count() as f64 / errors.len() as f64;
-    println!("mean reconstruction error: {mean:.2} ms ({:.0}% of errors < 4 ms)", under_4ms * 100.0);
+    println!(
+        "mean reconstruction error: {mean:.2} ms ({:.0}% of errors < 4 ms)",
+        under_4ms * 100.0
+    );
 
     // Decompose one multi-hop packet's end-to-end delay.
     let longest = (0..view.num_packets())

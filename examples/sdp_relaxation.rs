@@ -18,8 +18,7 @@ fn mean_error(trace: &NetworkTrace, domo: &Domo, est: &domo::core::Estimates) ->
     let view = domo.view();
     let mut errors = Vec::new();
     for (var, hr) in view.vars().iter().enumerate() {
-        let truth = trace.truth(view.packet(hr.packet).pid).expect("truth")[hr.hop]
-            .as_millis_f64();
+        let truth = trace.truth(view.packet(hr.packet).pid).expect("truth")[hr.hop].as_millis_f64();
         if let Some(t) = est.time_of(var) {
             errors.push((t - truth).abs());
         }
@@ -62,7 +61,11 @@ fn main() {
         ..base
     };
 
-    for (label, cfg) in [("FIFO off", off), ("linearized FIFO", linearized), ("SDP-relaxed FIFO", sdp)] {
+    for (label, cfg) in [
+        ("FIFO off", off),
+        ("linearized FIFO", linearized),
+        ("SDP-relaxed FIFO", sdp),
+    ] {
         let start = std::time::Instant::now();
         let est = domo.estimate(&cfg);
         println!(

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate. Run from the repository root:
+#
+#     scripts/check.sh
+#
+# Gates, in order:
+#   1. formatting        cargo fmt --all --check
+#   2. lints             clippy with -D warnings on every target, plus a
+#                        stricter pass over library code only that also
+#                        denies unwrap()/expect() — panics in the
+#                        reconstruction pipeline must be typed errors or
+#                        documented invariant panics (tests may unwrap)
+#   3. tier-1 tests      release build + the facade crate's test binaries
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy --workspace --lib (deny unwrap/expect in library code)"
+cargo clippy --workspace --lib -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "All checks passed."

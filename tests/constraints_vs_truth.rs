@@ -2,17 +2,13 @@
 //! domo-net traces must hold at the simulator's ground truth, across
 //! seeds and network shapes.
 
-use domo::core::{
-    build_constraints, propagate, ConstraintKind, ConstraintOptions, TraceView,
-};
+use domo::core::{build_constraints, propagate, ConstraintKind, ConstraintOptions, TraceView};
 use domo::prelude::*;
 
 fn truth_point(trace: &NetworkTrace, view: &TraceView) -> Vec<f64> {
     view.vars()
         .iter()
-        .map(|hr| {
-            trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64()
-        })
+        .map(|hr| trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64())
         .collect()
 }
 
@@ -66,10 +62,7 @@ fn candidate_sets_certain_subset_of_possible() {
     for p in 0..view.num_packets() {
         if let Some(sets) = view.candidate_sets(p) {
             for c in &sets.certain {
-                assert!(
-                    sets.possible.contains(c),
-                    "C*(p) must be a subset of C(p)"
-                );
+                assert!(sets.possible.contains(c), "C*(p) must be a subset of C(p)");
             }
             any = true;
         }
@@ -133,5 +126,8 @@ fn fifo_order_decided_pairs_match_truth() {
             }
         }
     }
-    assert!(decided > 100, "oracle must decide plenty of pairs: {decided}");
+    assert!(
+        decided > 100,
+        "oracle must decide plenty of pairs: {decided}"
+    );
 }

@@ -16,8 +16,7 @@ fn estimate_errors(trace: &NetworkTrace, domo: &Domo, est: &Estimates) -> Vec<f6
         .iter()
         .enumerate()
         .map(|(var, hr)| {
-            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
-                .as_millis_f64();
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
             (est.time_of(var).unwrap() - truth).abs()
         })
         .collect()
@@ -34,7 +33,11 @@ fn full_pipeline_reaches_paper_accuracy_regime() {
     // for a different substrate, but stay in the single-digit regime.
     assert!(avg < 8.0, "average error {avg:.2} ms out of regime");
     let under4 = errors.iter().filter(|&&e| e < 4.0).count() as f64 / errors.len() as f64;
-    assert!(under4 > 0.5, "only {:.0}% of errors under 4 ms", under4 * 100.0);
+    assert!(
+        under4 > 0.5,
+        "only {:.0}% of errors under 4 ms",
+        under4 * 100.0
+    );
 }
 
 #[test]
@@ -53,8 +56,8 @@ fn domo_beats_both_baselines_on_their_own_metric() {
             .iter()
             .enumerate()
             .map(|(var, hr)| {
-                let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
-                    .as_millis_f64();
+                let truth =
+                    trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
                 (mnt_res.estimate[var] - truth).abs()
             })
             .collect();
@@ -64,16 +67,18 @@ fn domo_beats_both_baselines_on_their_own_metric() {
 
     // vs MessageTracing on event order.
     let truth_ord = message_tracing::truth_order(&trace, view);
-    let domo_ord = message_tracing::order_by_estimates(view, |pi, hop| {
-        match view.time_ref(pi, hop) {
+    let domo_ord =
+        message_tracing::order_by_estimates(view, |pi, hop| match view.time_ref(pi, hop) {
             TimeRef::Known(t) => Some(t),
             TimeRef::Var(v) => est.time_of(v),
-        }
-    });
+        });
     let mt_ord = message_tracing::reconstruct_order(&trace, view);
     let d_domo = average_displacement(&truth_ord, &domo_ord).unwrap();
     let d_mt = average_displacement(&truth_ord, &mt_ord.order).unwrap();
-    assert!(d_domo < d_mt, "Domo {d_domo:.3} vs MessageTracing {d_mt:.3}");
+    assert!(
+        d_domo < d_mt,
+        "Domo {d_domo:.3} vs MessageTracing {d_mt:.3}"
+    );
 }
 
 #[test]

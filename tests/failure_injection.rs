@@ -13,8 +13,7 @@ fn mean_error(trace: &NetworkTrace, domo: &Domo, est: &Estimates) -> f64 {
         .iter()
         .enumerate()
         .map(|(v, hr)| {
-            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
-                .as_millis_f64();
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
             (est.time_of(v).unwrap() - truth).abs()
         })
         .collect();
@@ -30,7 +29,10 @@ fn saturated_queues_still_reconstruct() {
     cfg.traffic_period = SimDuration::from_millis(600);
     cfg.traffic_jitter = SimDuration::from_millis(200);
     let trace = run_simulation(&cfg);
-    assert!(trace.stats.dropped_queue > 0, "the scenario must overflow queues");
+    assert!(
+        trace.stats.dropped_queue > 0,
+        "the scenario must overflow queues"
+    );
     assert!(trace.stats.delivered > 30, "and still deliver something");
 
     let domo = Domo::from_trace(&trace);
@@ -110,7 +112,10 @@ fn retransmission_storms_accounted() {
     cfg.radio_d50 = 10.0; // marginal links everywhere
     cfg.max_retries = 2;
     let trace = run_simulation(&cfg);
-    assert!(trace.stats.dropped_retx > 0, "scenario must drop on retries");
+    assert!(
+        trace.stats.dropped_retx > 0,
+        "scenario must drop on retries"
+    );
     let view = TraceView::new(trace.packets.clone());
     for p in 0..view.num_packets() {
         let packet = view.packet(p);

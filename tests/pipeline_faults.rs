@@ -1,0 +1,179 @@
+//! Full-pipeline robustness: simulate → inject faults → sanitize →
+//! estimate → bounds, across every fault class at aggressive rates.
+//!
+//! These tests assert three things the fault-injection work promises:
+//! the pipeline never panics no matter what the network delivers,
+//! quarantined records are surfaced through [`SystemDiagnostics`],
+//! and on a clean trace the sanitized pipeline is bit-identical to
+//! the as-is pipeline.
+
+use domo::core::{ConstraintOptions, SanitizeConfig};
+use domo::net::FaultConfig;
+use domo::prelude::*;
+
+fn bound_targets(domo: &Domo, want: usize) -> Vec<usize> {
+    let n = domo.view().num_vars();
+    let want = want.min(n);
+    if want == 0 {
+        return Vec::new();
+    }
+    (0..n).step_by((n / want).max(1)).take(want).collect()
+}
+
+/// Runs the sanitized pipeline end to end and checks the outputs are
+/// well-formed (everything committed, everything finite, lb ≤ ub).
+fn assert_pipeline_survives(trace: &NetworkTrace, label: &str) -> Domo {
+    let domo = Domo::sanitized_from_trace(trace, &SanitizeConfig::default());
+    let est = domo
+        .try_estimate(&EstimatorConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: estimator rejected config: {e}"));
+    for v in 0..domo.view().num_vars() {
+        let t = est
+            .time_of(v)
+            .unwrap_or_else(|| panic!("{label}: var {v} not committed"));
+        assert!(t.is_finite(), "{label}: var {v} estimate not finite");
+    }
+    let targets = bound_targets(&domo, 6);
+    let b = domo
+        .try_bounds(&BoundsConfig::default(), &targets)
+        .unwrap_or_else(|e| panic!("{label}: bounds rejected inputs: {e}"));
+    for &t in &targets {
+        if let Some((lo, hi)) = b.of(t) {
+            assert!(
+                lo.is_finite() && hi.is_finite() && lo <= hi + 1e-9,
+                "{label}: bad bracket [{lo}, {hi}] for var {t}"
+            );
+        }
+    }
+    domo
+}
+
+#[test]
+fn all_fault_classes_at_aggressive_rates_never_panic() {
+    let mut cfg = NetworkConfig::small(16, 77);
+    cfg.faults = Some(FaultConfig::all(0.25, 0xBAD));
+    let trace = run_simulation(&cfg);
+    assert!(!trace.packets.is_empty(), "faulty net must still deliver");
+
+    let domo = assert_pipeline_survives(&trace, "all-faults");
+    assert!(
+        !domo.quarantine().is_empty(),
+        "aggressive corruption must quarantine some records"
+    );
+    // The quarantine count is surfaced through the diagnostics report.
+    let diag = domo.diagnostics(&ConstraintOptions::default());
+    assert_eq!(diag.quarantined_packets, domo.quarantine().len());
+    assert!(diag.render().contains("quarantined"));
+}
+
+#[test]
+fn each_fault_class_individually_survives_the_pipeline() {
+    let quiet = FaultConfig {
+        seed: 0xF0F0,
+        ..FaultConfig::default()
+    };
+    let classes: Vec<(&str, FaultConfig)> = vec![
+        (
+            "drop",
+            FaultConfig {
+                drop_rate: 0.3,
+                ..quiet
+            },
+        ),
+        (
+            "burst-drop",
+            FaultConfig {
+                burst_drop_rate: 0.1,
+                burst_len: 4,
+                ..quiet
+            },
+        ),
+        (
+            "duplicate",
+            FaultConfig {
+                duplicate_rate: 0.3,
+                ..quiet
+            },
+        ),
+        (
+            "reorder",
+            FaultConfig {
+                reorder_rate: 0.3,
+                ..quiet
+            },
+        ),
+        (
+            "corrupt-sum",
+            FaultConfig {
+                corrupt_sum_rate: 0.3,
+                ..quiet
+            },
+        ),
+        (
+            "saturate",
+            FaultConfig {
+                saturate_rate: 0.3,
+                ..quiet
+            },
+        ),
+        (
+            "clock-jump",
+            FaultConfig {
+                clock_jump_rate: 0.3,
+                clock_jump_ms: 5000,
+                ..quiet
+            },
+        ),
+        (
+            "reboot",
+            FaultConfig {
+                reboot_rate: 0.3,
+                ..quiet
+            },
+        ),
+        (
+            "truncate-path",
+            FaultConfig {
+                truncate_path_rate: 0.3,
+                ..quiet
+            },
+        ),
+    ];
+    for (label, faults) in classes {
+        let mut cfg = NetworkConfig::small(9, 901);
+        cfg.faults = Some(faults);
+        let trace = run_simulation(&cfg);
+        assert_pipeline_survives(&trace, label);
+    }
+}
+
+#[test]
+fn clean_trace_pipeline_is_bit_identical_to_unsanitized() {
+    let trace = run_simulation(&NetworkConfig::small(16, 78));
+    let asis = Domo::from_trace(&trace);
+    let sanitized = Domo::sanitized_from_trace(&trace, &SanitizeConfig::default());
+    assert!(sanitized.quarantine().is_empty(), "clean trace, no rejects");
+    assert_eq!(asis.view().num_vars(), sanitized.view().num_vars());
+
+    let cfg = EstimatorConfig::default();
+    let est_a = asis.estimate(&cfg);
+    let est_b = sanitized.estimate(&cfg);
+    for v in 0..asis.view().num_vars() {
+        assert_eq!(
+            est_a.time_of(v),
+            est_b.time_of(v),
+            "estimate for var {v} must be bit-identical"
+        );
+    }
+
+    let targets = bound_targets(&asis, 8);
+    let b_a = asis.bounds(&BoundsConfig::default(), &targets);
+    let b_b = sanitized.bounds(&BoundsConfig::default(), &targets);
+    for &t in &targets {
+        assert_eq!(
+            b_a.of(t),
+            b_b.of(t),
+            "bounds for var {t} must be bit-identical"
+        );
+    }
+}

@@ -13,8 +13,7 @@ fn mean_error(trace: &NetworkTrace, domo: &Domo, est: &Estimates) -> f64 {
         .iter()
         .enumerate()
         .map(|(v, hr)| {
-            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop]
-                .as_millis_f64();
+            let truth = trace.truth(view.packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
             (est.time_of(v).unwrap() - truth).abs()
         })
         .collect();
@@ -46,14 +45,17 @@ fn reconstruction_works_under_low_power_listening() {
             .iter()
             .enumerate()
             .map(|(v, hr)| {
-                let truth = trace.truth(domo.view().packet(hr.packet).pid).unwrap()[hr.hop]
-                    .as_millis_f64();
+                let truth =
+                    trace.truth(domo.view().packet(hr.packet).pid).unwrap()[hr.hop].as_millis_f64();
                 (iv.midpoint(v) - truth).abs()
             })
             .collect();
         errs.iter().sum::<f64>() / errs.len().max(1) as f64
     };
-    assert!(err < mid_err, "Domo {err:.1} vs midpoint {mid_err:.1} under LPL");
+    assert!(
+        err < mid_err,
+        "Domo {err:.1} vs midpoint {mid_err:.1} under LPL"
+    );
 }
 
 #[test]
