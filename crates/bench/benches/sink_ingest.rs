@@ -1,0 +1,57 @@
+//! Ingestion-path micro-benchmarks for the online sink service: wire
+//! encode/decode of `CollectedPacket` frames, and end-to-end in-process
+//! ingest (sanitize → shard → streaming solve) at several shard counts.
+//!
+//! For an offline-friendly throughput number (no criterion), run
+//! `domo-sink bench` instead — it writes `BENCH_sink.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use domo_net::{run_simulation, NetworkConfig};
+use domo_sink::service::{SinkConfig, SinkService};
+use domo_sink::wire::{decode_packets, encode_packets};
+use std::hint::black_box;
+
+fn ingest(c: &mut Criterion) {
+    let trace = run_simulation(&NetworkConfig::small(25, 71));
+    let packets = trace.packets;
+    let bytes = encode_packets(&packets).expect("encodes");
+
+    let mut group = c.benchmark_group("sink_wire");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| encode_packets(black_box(&packets)).expect("encodes"))
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| decode_packets(black_box(&bytes)).expect("decodes"))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sink_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("in_process", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let service = SinkService::start(SinkConfig {
+                        shards,
+                        ..SinkConfig::default()
+                    });
+                    for p in &packets {
+                        black_box(service.ingest(p.clone()));
+                    }
+                    service.drain();
+                    let stats = service.stats();
+                    service.shutdown();
+                    stats
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ingest);
+criterion_main!(benches);

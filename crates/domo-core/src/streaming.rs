@@ -53,9 +53,10 @@ pub struct StreamingEstimator {
 }
 
 impl StreamingEstimator {
-    /// Creates an online estimator. The flush threshold is four windows
-    /// of the wrapped estimator, so each flushed packet is solved with
-    /// at least one window of future context.
+    /// Creates an online estimator. The default flush threshold is four
+    /// windows of the wrapped estimator, so each flushed packet is
+    /// solved with at least one window of future context; override it
+    /// with [`StreamingEstimator::with_high_water`].
     pub fn new(cfg: EstimatorConfig) -> Self {
         let high_water = (cfg.window_packets * 4).max(8);
         Self {
@@ -66,14 +67,56 @@ impl StreamingEstimator {
         }
     }
 
+    /// Builder-style override of the flush threshold.
+    ///
+    /// The threshold trades accuracy for latency and memory: a *larger*
+    /// value buffers more future packets before committing the oldest
+    /// half, giving each committed packet more constraint context (the
+    /// overlap of §IV.B's improved time windows) at the cost of a longer
+    /// wait before its reconstruction is final and a bigger resident
+    /// buffer. A *smaller* value emits sooner with less context and a
+    /// measurable accuracy cost. Values below 2 are clamped to 2 (a
+    /// threshold of 1 would commit every packet with no context at all).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use domo_core::streaming::StreamingEstimator;
+    ///
+    /// let online = StreamingEstimator::new(Default::default()).with_high_water(64);
+    /// assert_eq!(online.high_water(), 64);
+    /// ```
+    #[must_use]
+    pub fn with_high_water(mut self, high_water: usize) -> Self {
+        self.high_water = high_water.max(2);
+        self
+    }
+
+    /// The current flush threshold (packets buffered before a flush).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Number of packets buffered but not yet emitted.
     pub fn pending(&self) -> usize {
         self.buffer.len()
     }
 
-    /// Total packets emitted so far.
+    /// Total packets emitted so far (cumulative across streams; see
+    /// [`StreamingEstimator::reset`]).
     pub fn emitted(&self) -> usize {
         self.emitted
+    }
+
+    /// Discards any buffered packets and zeroes the emission counter,
+    /// returning the estimator to its freshly-constructed state (the
+    /// configured flush threshold is kept). Use this between streams
+    /// when the cumulative [`StreamingEstimator::emitted`] count should
+    /// restart; [`StreamingEstimator::finish`] alone already leaves the
+    /// estimator reusable but keeps counting.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.emitted = 0;
     }
 
     /// Pushes one packet (in sink-arrival order); returns any packets
@@ -110,6 +153,13 @@ impl StreamingEstimator {
 
     /// Flushes everything still buffered (end of stream).
     ///
+    /// On success the estimator is left empty and immediately reusable
+    /// for a new stream: later pushes buffer and flush exactly as on a
+    /// fresh instance. The [`StreamingEstimator::emitted`] counter is
+    /// deliberately *not* reset — it accumulates across streams so a
+    /// long-running sink can report lifetime totals; call
+    /// [`StreamingEstimator::reset`] to zero it.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`StreamingEstimator::push`].
@@ -124,10 +174,28 @@ impl StreamingEstimator {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`StreamingEstimator::try_push`].
+    /// Same conditions as [`StreamingEstimator::try_push`]. On error the
+    /// buffer is left intact (nothing is emitted or lost); call
+    /// [`StreamingEstimator::reset`] to abandon it.
     pub fn try_finish(&mut self) -> Result<Vec<ReconstructedPacket>, DomoError> {
         let n = self.buffer.len();
         self.flush(n)
+    }
+
+    /// Commits the oldest half of the buffer *now*, without waiting for
+    /// the high-water mark — the emission hook a long-running sink uses
+    /// to bound reconstruction latency on quiet streams (e.g. from an
+    /// idle timer or an operator's flush request). The newer half stays
+    /// buffered as future context, so accuracy degrades no further than
+    /// a regular high-water flush; an early flush simply solves with
+    /// less context than waiting would have gathered.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingEstimator::try_push`].
+    pub fn try_flush_now(&mut self) -> Result<Vec<ReconstructedPacket>, DomoError> {
+        let n = self.buffer.len();
+        self.flush(n.div_ceil(2))
     }
 
     /// Solves over the whole buffer and emits the `commit` oldest
@@ -290,6 +358,96 @@ mod tests {
         let mut online = StreamingEstimator::new(EstimatorConfig::default());
         assert!(online.finish().is_empty());
         assert_eq!(online.emitted(), 0);
+    }
+
+    #[test]
+    fn push_after_finish_reuses_the_estimator() {
+        // Regression: `finish()` must leave the estimator in a clean,
+        // reusable state — a second stream through the same instance
+        // behaves exactly like a fresh one.
+        let trace = run_simulation(&NetworkConfig::small(9, 305));
+        let mut online = StreamingEstimator::new(EstimatorConfig::default());
+        let mut first = Vec::new();
+        for p in &trace.packets {
+            first.extend(online.push(p.clone()));
+        }
+        first.extend(online.finish());
+        assert_eq!(first.len(), trace.packets.len());
+        assert_eq!(online.pending(), 0);
+
+        // Second stream: same trace again (ids repeat — the estimator
+        // holds no cross-stream state, so that must not matter).
+        let mut second = Vec::new();
+        for p in &trace.packets {
+            second.extend(online.push(p.clone()));
+        }
+        second.extend(online.finish());
+        assert_eq!(second.len(), trace.packets.len());
+        assert_eq!(online.pending(), 0);
+        // The counter documents cumulative totals across streams…
+        assert_eq!(online.emitted(), 2 * trace.packets.len());
+        // …and both streams reconstruct identically.
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a, b, "reused estimator must match a fresh run");
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let trace = run_simulation(&NetworkConfig::small(9, 306));
+        let mut online = StreamingEstimator::new(EstimatorConfig::default()).with_high_water(16);
+        for p in trace.packets.iter().take(20) {
+            let _ = online.push(p.clone());
+        }
+        assert!(online.emitted() > 0 || online.pending() > 0);
+        online.reset();
+        assert_eq!(online.pending(), 0);
+        assert_eq!(online.emitted(), 0);
+        assert_eq!(online.high_water(), 16, "reset keeps the configuration");
+        assert!(online.finish().is_empty());
+    }
+
+    #[test]
+    fn high_water_override_controls_flush_cadence() {
+        let trace = run_simulation(&NetworkConfig::small(9, 307));
+        assert!(trace.packets.len() > 12);
+        let default_hw = StreamingEstimator::new(EstimatorConfig::default()).high_water();
+        assert_eq!(
+            default_hw,
+            EstimatorConfig::default().window_packets * 4,
+            "default threshold is documented as four windows"
+        );
+        let mut online = StreamingEstimator::new(EstimatorConfig::default()).with_high_water(12);
+        let mut first_flush_at = None;
+        for (i, p) in trace.packets.iter().enumerate() {
+            if !online.push(p.clone()).is_empty() && first_flush_at.is_none() {
+                first_flush_at = Some(i + 1);
+            }
+        }
+        assert_eq!(first_flush_at, Some(12), "flush fires at the threshold");
+        // Degenerate thresholds are clamped, never panic.
+        assert_eq!(
+            StreamingEstimator::new(EstimatorConfig::default())
+                .with_high_water(0)
+                .high_water(),
+            2
+        );
+    }
+
+    #[test]
+    fn flush_now_commits_the_oldest_half_early() {
+        let trace = run_simulation(&NetworkConfig::small(9, 308));
+        let mut online = StreamingEstimator::new(EstimatorConfig::default());
+        let take = 10.min(trace.packets.len());
+        for p in trace.packets.iter().take(take) {
+            assert!(online.push(p.clone()).is_empty(), "below high water");
+        }
+        let early = online.try_flush_now().expect("valid config");
+        assert_eq!(early.len(), take.div_ceil(2));
+        assert_eq!(online.pending(), take - early.len());
+        // An empty estimator flushes to nothing.
+        online.reset();
+        assert!(online.try_flush_now().expect("valid config").is_empty());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!   ablation quality ablations (FIFO mode, BLP, bound method, MNT oracle)
 //!   workload trace/topology characterization + constraint diagnostics
 //!   robust   the fault-injection sweep (all fault classes, rising rates)
+//!   online   the domo-sink online service vs the offline pipeline
 //!   all      everything above, in order
 //! ```
 
@@ -120,10 +121,14 @@ fn run(experiment: &str, args: &Args) {
             let points = figures::fault_sweep(base_scenario(args), &[0.0, 0.05, 0.1, 0.2]);
             println!("{}", figures::render_fault_sweep(&points));
         }
+        "online" => {
+            let cmp = figures::online_comparison(base_scenario(args), &[1, 2, 4]);
+            println!("{}", figures::render_online(&cmp));
+        }
         "all" => {
             for exp in [
                 "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
-                "robust",
+                "robust", "online",
             ] {
                 run(exp, args);
             }
@@ -141,7 +146,8 @@ fn main() {
         Err(msg) => {
             eprintln!("domo-exp: {msg}");
             eprintln!(
-                "usage: domo-exp <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|robust|all> \
+                "usage: domo-exp \
+                 <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|all> \
                  [--nodes N] [--seed S] [--fast K]"
             );
             std::process::exit(2);

@@ -11,6 +11,7 @@ use crate::metrics::{bound_widths, coverage, domo_errors, render_table, Series};
 use crate::scenario::{Scenario, ScenarioRun};
 use domo_baselines::{message_tracing, mnt::run_mnt, overhead, ArrivalEvent};
 use domo_core::TimeRef;
+use domo_sink::service::{SinkConfig, SinkService};
 use domo_util::stats::average_displacement;
 
 /// The joint evaluation of one scenario against both baselines — the
@@ -765,6 +766,139 @@ pub fn delay_map(scenario: Scenario) -> String {
     )
 }
 
+/// One shard-count row of the online-service comparison (`domo-exp
+/// online`). No paper analogue: the experiment checks that the
+/// `domo-sink` service — windowed shard estimators behind bounded
+/// queues — holds the offline pipeline's accuracy while running live.
+#[derive(Debug, Clone)]
+pub struct OnlinePoint {
+    /// Worker shards the service ran with.
+    pub shards: usize,
+    /// Mean absolute interior-hop error vs ground truth (ms).
+    pub error_ms: f64,
+    /// Reconstructions the service emitted.
+    pub emitted: u64,
+    /// Records quarantined by the sanitize path.
+    pub quarantined: u64,
+    /// Records dropped by queue backpressure.
+    pub dropped: u64,
+    /// Wall-clock seconds from first ingest through drain.
+    pub seconds: f64,
+}
+
+/// The full online-vs-offline accuracy comparison.
+#[derive(Debug, Clone)]
+pub struct OnlineComparison {
+    /// Mean absolute error of the offline whole-trace estimator (ms).
+    pub offline_error_ms: f64,
+    /// Packets the simulated trace delivered.
+    pub delivered: usize,
+    /// One row per shard count.
+    pub points: Vec<OnlinePoint>,
+}
+
+/// Feeds the scenario's trace through an in-process [`SinkService`] at
+/// each shard count and scores the stored reconstructions against
+/// ground truth, next to the offline estimator on the same trace.
+///
+/// Only interior hops are scored (generation and sink arrival are
+/// observed, not estimated), matching [`domo_errors`]'s variable set on
+/// a fault-free trace.
+pub fn online_comparison(scenario: Scenario, shard_counts: &[usize]) -> OnlineComparison {
+    let run = ScenarioRun::execute(scenario);
+    let trace = &run.trace;
+    let offline = Series::new(
+        "offline error",
+        domo_errors(run.domo.view(), trace, &run.estimates),
+    );
+    let points = shard_counts
+        .iter()
+        .map(|&shards| {
+            let service = SinkService::start(SinkConfig {
+                shards,
+                estimator: run.scenario.estimator.clone(),
+                // Retain every reconstruction so all of them are scorable.
+                max_retained_packets: trace.packets.len().max(1),
+                ..SinkConfig::default()
+            });
+            let start = std::time::Instant::now();
+            for p in &trace.packets {
+                service.ingest(p.clone());
+            }
+            service.drain();
+            let seconds = start.elapsed().as_secs_f64();
+            let mut errors = Vec::new();
+            for p in &trace.packets {
+                let (Some(r), Some(truth)) = (service.reconstruction(p.pid), trace.truth(p.pid))
+                else {
+                    continue;
+                };
+                for (est, truth) in r
+                    .hop_times_ms
+                    .iter()
+                    .zip(truth)
+                    .skip(1)
+                    .take(r.hop_times_ms.len().saturating_sub(2))
+                {
+                    errors.push((est - truth.as_millis_f64()).abs());
+                }
+            }
+            let stats = service.stats();
+            service.shutdown();
+            OnlinePoint {
+                shards,
+                error_ms: Series::new("online error", errors).mean(),
+                emitted: stats.emitted,
+                quarantined: stats.quarantined,
+                dropped: stats.backpressure_dropped,
+                seconds,
+            }
+        })
+        .collect();
+    OnlineComparison {
+        offline_error_ms: offline.mean(),
+        delivered: trace.packets.len(),
+        points,
+    }
+}
+
+/// Renders the online-vs-offline comparison table.
+pub fn render_online(cmp: &OnlineComparison) -> String {
+    let mut rows = vec![vec![
+        "offline (whole trace)".to_string(),
+        format!("{:.2}", cmp.offline_error_ms),
+        cmp.delivered.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]];
+    for p in &cmp.points {
+        rows.push(vec![
+            format!("online, {} shard(s)", p.shards),
+            format!("{:.2}", p.error_ms),
+            p.emitted.to_string(),
+            p.quarantined.to_string(),
+            p.dropped.to_string(),
+            format!("{:.2}", p.seconds),
+        ]);
+    }
+    render_table(
+        &format!(
+            "Online sink service vs offline pipeline ({} delivered packets)",
+            cmp.delivered
+        ),
+        &[
+            "pipeline",
+            "err (ms)",
+            "emitted",
+            "quarantined",
+            "dropped",
+            "secs",
+        ],
+        &rows,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,6 +972,27 @@ mod tests {
         // LP tolerance).
         assert!(pts[1].width_ms <= pts[0].width_ms + 0.5);
         assert!(render_cut_size_sweep(&pts).contains("Fig 10"));
+    }
+
+    #[test]
+    fn online_comparison_tracks_the_offline_pipeline() {
+        let cmp = online_comparison(Scenario::smoke(100), &[1, 4]);
+        assert_eq!(cmp.points.len(), 2);
+        assert!(cmp.delivered > 0);
+        for p in &cmp.points {
+            assert_eq!(p.emitted, cmp.delivered as u64);
+            assert_eq!(p.dropped, 0);
+            assert!(p.error_ms.is_finite());
+            // The windowed online estimators degrade gracefully, not
+            // catastrophically, relative to the whole-trace solve.
+            assert!(
+                p.error_ms <= cmp.offline_error_ms * 4.0 + 5.0,
+                "online err {} vs offline {}",
+                p.error_ms,
+                cmp.offline_error_ms
+            );
+        }
+        assert!(render_online(&cmp).contains("Online sink service"));
     }
 
     #[test]

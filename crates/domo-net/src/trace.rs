@@ -42,6 +42,22 @@ impl CollectedPacket {
     pub fn e2e_delay(&self) -> domo_util::time::SimDuration {
         self.sink_arrival.saturating_sub(self.gen_time)
     }
+
+    /// Number of interior (unknown) arrival times this packet
+    /// contributes to the reconstruction: `max(|p| − 2, 0)`.
+    pub fn num_interior(&self) -> usize {
+        self.path.len().saturating_sub(2)
+    }
+
+    /// The sink's child whose subtree delivered this packet — the
+    /// second-to-last path node. Packets from the same subtree share
+    /// forwarding nodes (and therefore constraint structure), which
+    /// makes this the natural shard key for a partitioned online sink.
+    /// `None` when the path has fewer than two nodes (malformed; the
+    /// sanitizer rejects such records).
+    pub fn subtree_root(&self) -> Option<NodeId> {
+        (self.path.len() >= 2).then(|| self.path[self.path.len() - 2])
+    }
 }
 
 /// What a node wrote to its local log (the MessageTracing baseline reads
@@ -120,10 +136,7 @@ impl NetworkTrace {
     /// Total number of unknown interior arrival times across the trace —
     /// the quantity Domo must reconstruct (`Σ max(|p| − 2, 0)`).
     pub fn num_unknowns(&self) -> usize {
-        self.packets
-            .iter()
-            .map(|p| p.path_len().saturating_sub(2))
-            .sum()
+        self.packets.iter().map(CollectedPacket::num_interior).sum()
     }
 
     /// Returns a copy of the trace with `fraction` of the delivered
@@ -199,6 +212,20 @@ mod tests {
         let p = dummy_packet(3, 0, 3);
         assert_eq!(p.e2e_delay(), SimDuration::from_millis(30));
         assert_eq!(p.path_len(), 3);
+        assert_eq!(p.num_interior(), 1);
+    }
+
+    #[test]
+    fn subtree_root_is_the_sinks_child() {
+        let p = dummy_packet(3, 0, 3);
+        assert_eq!(p.subtree_root(), Some(p.path[p.path.len() - 2]));
+        // A one-hop path's subtree root is the source itself.
+        let direct = dummy_packet(3, 1, 2);
+        assert_eq!(direct.subtree_root(), Some(direct.path[0]));
+        // Malformed single-node paths have no subtree.
+        let mut broken = dummy_packet(3, 2, 3);
+        broken.path.truncate(1);
+        assert_eq!(broken.subtree_root(), None);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! `domo-sink` — run, feed, and probe the online sink service.
+//!
+//! ```text
+//! domo-sink serve  [--ingest-port P] [--query-port Q] [--shards N]
+//!                  [--queue-cap C] [--high-water H]
+//! domo-sink replay --ingest HOST:PORT [--query HOST:PORT] [--nodes N]
+//!                  [--seed S] [--rate PPS] [--garbage G] [--drain]
+//! domo-sink smoke  [--nodes N] [--seed S] [--shards K]
+//! domo-sink bench  [--nodes N] [--seed S] [--out PATH]
+//! ```
+//!
+//! `serve` runs the service until killed. `replay` simulates a trace
+//! and streams it to a running service. `smoke` is the self-contained
+//! end-to-end check used by `scripts/check.sh`: it binds loopback
+//! ports, replays a small trace (plus deliberate garbage), drains,
+//! queries a snapshot, and exits nonzero unless every delivered packet
+//! was reconstructed and the garbage was counted. `bench` measures
+//! codec and ingestion throughput without criterion and writes the
+//! numbers to `BENCH_sink.json` (override with `--out`).
+
+use domo_net::{run_simulation, NetworkConfig};
+use domo_sink::client::{parse_stats, replay_packets, QueryClient, ReplayOptions};
+use domo_sink::server::SinkServer;
+use domo_sink::service::{SinkConfig, SinkService};
+use domo_sink::wire::{decode_packets, encode_packets};
+use std::time::{Duration, Instant};
+
+struct Flags {
+    ingest_port: u16,
+    query_port: u16,
+    shards: usize,
+    queue_cap: usize,
+    high_water: Option<usize>,
+    ingest: Option<String>,
+    query: Option<String>,
+    nodes: usize,
+    seed: u64,
+    rate: f64,
+    garbage: usize,
+    drain: bool,
+    out: String,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Self {
+            ingest_port: 7401,
+            query_port: 7402,
+            shards: 2,
+            queue_cap: 4096,
+            high_water: None,
+            ingest: None,
+            query: None,
+            nodes: 9,
+            seed: 1,
+            rate: 0.0,
+            garbage: 0,
+            drain: false,
+            out: "BENCH_sink.json".into(),
+        }
+    }
+}
+
+fn parse_flags(argv: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--drain" {
+            f.drain = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let num = |name: &str| -> Result<u64, String> {
+            value.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--ingest-port" => f.ingest_port = num(flag)? as u16,
+            "--query-port" => f.query_port = num(flag)? as u16,
+            "--shards" => f.shards = num(flag)? as usize,
+            "--queue-cap" => f.queue_cap = num(flag)? as usize,
+            "--high-water" => f.high_water = Some(num(flag)? as usize),
+            "--nodes" => f.nodes = num(flag)? as usize,
+            "--seed" => f.seed = num(flag)?,
+            "--garbage" => f.garbage = num(flag)? as usize,
+            "--rate" => f.rate = value.parse().map_err(|e| format!("--rate: {e}"))?,
+            "--ingest" => f.ingest = Some(value.clone()),
+            "--query" => f.query = Some(value.clone()),
+            "--out" => f.out = value.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(f)
+}
+
+fn sink_config(f: &Flags) -> SinkConfig {
+    SinkConfig {
+        shards: f.shards,
+        queue_capacity: f.queue_cap,
+        high_water: f.high_water,
+        ..SinkConfig::default()
+    }
+}
+
+fn serve(f: &Flags) -> Result<(), String> {
+    let server = SinkServer::bind(
+        ("0.0.0.0", f.ingest_port),
+        ("0.0.0.0", f.query_port),
+        sink_config(f),
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    println!("domo-sink: ingest on {}", server.ingest_addr());
+    println!("domo-sink: query  on {}", server.query_addr());
+    println!("domo-sink: {} shard(s); ^C to stop", f.shards);
+    loop {
+        std::thread::park();
+    }
+}
+
+fn replay(f: &Flags) -> Result<(), String> {
+    let ingest = f
+        .ingest
+        .as_deref()
+        .ok_or("replay needs --ingest HOST:PORT")?;
+    let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
+    println!(
+        "domo-sink: replaying {} packets ({} nodes, seed {})",
+        trace.packets.len(),
+        f.nodes,
+        f.seed
+    );
+    let report = replay_packets(
+        ingest,
+        &trace.packets,
+        &ReplayOptions {
+            rate_pps: f.rate,
+            garbage_frames: f.garbage,
+        },
+    )
+    .map_err(|e| format!("replay: {e}"))?;
+    println!(
+        "domo-sink: sent {} frames / {} bytes in {:.3} s ({:.0} pkt/s)",
+        report.frames,
+        report.bytes,
+        report.seconds,
+        report.frames as f64 / report.seconds.max(1e-9)
+    );
+    if let Some(query) = f.query.as_deref() {
+        let mut q = QueryClient::connect(query).map_err(|e| format!("query connect: {e}"))?;
+        if f.drain {
+            q.request("DRAIN").map_err(|e| format!("drain: {e}"))?;
+        }
+        let stats = q.request("STATS").map_err(|e| format!("stats: {e}"))?;
+        for line in stats {
+            println!("domo-sink: {line}");
+        }
+    }
+    Ok(())
+}
+
+fn stat(stats: &[(String, u64)], name: &str) -> u64 {
+    stats.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+}
+
+fn smoke(f: &Flags) -> Result<(), String> {
+    let server = SinkServer::bind("127.0.0.1:0", "127.0.0.1:0", sink_config(f))
+        .map_err(|e| format!("bind: {e}"))?;
+    let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
+    let delivered = trace.packets.len();
+    if delivered == 0 {
+        return Err("simulated trace delivered nothing".into());
+    }
+    println!(
+        "smoke: serving on {} / {}, replaying {} packets + garbage",
+        server.ingest_addr(),
+        server.query_addr(),
+        delivered
+    );
+    let report = replay_packets(
+        server.ingest_addr(),
+        &trace.packets,
+        &ReplayOptions {
+            rate_pps: f.rate,
+            garbage_frames: 3,
+        },
+    )
+    .map_err(|e| format!("replay: {e}"))?;
+    if report.frames != delivered {
+        return Err(format!(
+            "sent {} frames, expected {delivered}",
+            report.frames
+        ));
+    }
+
+    // The replay connection is closed; wait for the handler to drain it.
+    let mut q =
+        QueryClient::connect(server.query_addr()).map_err(|e| format!("query connect: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = parse_stats(&q.request("STATS").map_err(|e| format!("stats: {e}"))?);
+        if stat(&stats, "ingested") == delivered as u64 && stat(&stats, "malformed_frames") >= 1 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!("ingest stalled: {stats:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    q.request("DRAIN").map_err(|e| format!("drain: {e}"))?;
+    let stats = parse_stats(&q.request("STATS").map_err(|e| format!("stats: {e}"))?);
+    let emitted = stat(&stats, "emitted");
+    println!(
+        "smoke: ingested {} emitted {} malformed {} quarantined {} dropped {}",
+        stat(&stats, "ingested"),
+        emitted,
+        stat(&stats, "malformed_frames"),
+        stat(&stats, "quarantined"),
+        stat(&stats, "backpressure_dropped"),
+    );
+    if emitted == 0 {
+        return Err("no reconstructions emitted".into());
+    }
+    if emitted + stat(&stats, "backpressure_dropped") != delivered as u64 {
+        return Err(format!(
+            "accounting broken: emitted {emitted} + dropped {} != delivered {delivered}",
+            stat(&stats, "backpressure_dropped")
+        ));
+    }
+    // A concrete per-packet lookup must answer.
+    let pid = trace.packets[0].pid;
+    let lines = q
+        .request(&format!("PACKET {} {}", pid.origin.index(), pid.seq))
+        .map_err(|e| format!("packet query: {e}"))?;
+    if !lines.first().is_some_and(|l| l.starts_with("packet ")) {
+        return Err(format!("per-packet lookup failed: {lines:?}"));
+    }
+    let nodes = q.request("NODES").map_err(|e| format!("nodes: {e}"))?;
+    if nodes.is_empty() {
+        return Err("no per-node summaries".into());
+    }
+    server.shutdown();
+    println!("smoke: OK");
+    Ok(())
+}
+
+/// Mean seconds per call of `f`, repeated until the measurement is at
+/// least 200 ms long (and at least 3 iterations).
+fn time_per_iter(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < 3 || start.elapsed() < Duration::from_millis(200) {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_secs_f64() / f64::from(iters)
+}
+
+fn bench(f: &Flags) -> Result<(), String> {
+    let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
+    let packets = trace.packets;
+    if packets.is_empty() {
+        return Err("simulated trace delivered nothing".into());
+    }
+    let n = packets.len() as f64;
+    let bytes = encode_packets(&packets).map_err(|e| format!("encode: {e}"))?;
+
+    let encode_s = time_per_iter(|| {
+        let _ = encode_packets(&packets);
+    });
+    let decode_s = time_per_iter(|| {
+        let _ = decode_packets(&bytes);
+    });
+    println!(
+        "bench: {} packets / {} wire bytes; encode {:.0} pkt/s, decode {:.0} pkt/s",
+        packets.len(),
+        bytes.len(),
+        n / encode_s,
+        n / decode_s
+    );
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let service = SinkService::start(SinkConfig {
+            shards,
+            ..SinkConfig::default()
+        });
+        let start = Instant::now();
+        for p in &packets {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        let seconds = start.elapsed().as_secs_f64();
+        let stats = service.stats();
+        service.shutdown();
+        println!(
+            "bench: {shards} shard(s): {:.0} pkt/s ({} emitted, {} dropped)",
+            n / seconds,
+            stats.emitted,
+            stats.backpressure_dropped
+        );
+        rows.push(format!(
+            "    {{\"shards\": {shards}, \"seconds\": {seconds:.6}, \"pkts_per_sec\": {:.1}, \
+             \"emitted\": {}, \"dropped\": {}}}",
+            n / seconds,
+            stats.emitted,
+            stats.backpressure_dropped
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sink_ingest\",\n  \"nodes\": {},\n  \"seed\": {},\n  \
+         \"packets\": {},\n  \"wire_bytes\": {},\n  \"encode_pkts_per_sec\": {:.1},\n  \
+         \"decode_pkts_per_sec\": {:.1},\n  \"ingest\": [\n{}\n  ]\n}}\n",
+        f.nodes,
+        f.seed,
+        packets.len(),
+        bytes.len(),
+        n / encode_s,
+        n / decode_s,
+        rows.join(",\n")
+    );
+    std::fs::write(&f.out, json).map_err(|e| format!("write {}: {e}", f.out))?;
+    println!("bench: wrote {}", f.out);
+    Ok(())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: domo-sink <serve|replay|smoke|bench> [flags] (see module docs)";
+    let Some(command) = argv.first() else {
+        eprintln!("domo-sink: missing command\n{usage}");
+        std::process::exit(2);
+    };
+    let result = match parse_flags(&argv[1..]) {
+        Err(msg) => Err(msg),
+        Ok(flags) => match command.as_str() {
+            "serve" => serve(&flags),
+            "replay" => replay(&flags),
+            "smoke" => smoke(&flags),
+            "bench" => bench(&flags),
+            other => Err(format!("unknown command {other}\n{usage}")),
+        },
+    };
+    if let Err(msg) = result {
+        eprintln!("domo-sink: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Client-side pieces: a query-protocol client and the trace replay
+//! driver that feeds a simulated (or recorded) trace to a running sink
+//! over the wire — the whole service is testable end-to-end without
+//! real hardware.
+
+use crate::wire::{encode_packet, encoded_len};
+use domo_net::CollectedPacket;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A persistent connection to the sink's query port.
+pub struct QueryClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl QueryClient {
+    /// Connects to the query listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one command line and collects the response lines up to the
+    /// terminating `END` (which is not included).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `UnexpectedEof` if the server closes mid-reply.
+    pub fn request(&mut self, command: &str) -> std::io::Result<Vec<String>> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-reply",
+                ));
+            }
+            let line = line.trim_end().to_string();
+            if line == "END" {
+                return Ok(lines);
+            }
+            lines.push(line);
+        }
+    }
+}
+
+/// One-shot convenience: connect, send one command, return the reply.
+///
+/// # Errors
+///
+/// Same conditions as [`QueryClient::request`].
+pub fn query_request<A: ToSocketAddrs>(addr: A, command: &str) -> std::io::Result<Vec<String>> {
+    QueryClient::connect(addr)?.request(command)
+}
+
+/// Parses a `STATS` reply into `(name, value)` pairs, skipping
+/// malformed lines.
+pub fn parse_stats(lines: &[String]) -> Vec<(String, u64)> {
+    lines
+        .iter()
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next()?.to_string();
+            let value = it.next()?.parse().ok()?;
+            Some((name, value))
+        })
+        .collect()
+}
+
+/// Knobs of [`replay_packets`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReplayOptions {
+    /// Target send rate in packets per second; `0.0` floods as fast as
+    /// the socket accepts.
+    pub rate_pps: f64,
+    /// After the clean stream, open a separate connection and send this
+    /// many garbage frames (exercises the server's malformed-frame
+    /// path; a corrupt frame poisons its own connection, so they never
+    /// share the stream with real records).
+    pub garbage_frames: usize,
+}
+
+/// What a replay run did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayReport {
+    /// Valid frames sent.
+    pub frames: usize,
+    /// Bytes of valid frames sent.
+    pub bytes: usize,
+    /// Garbage frames sent on the side connection.
+    pub garbage_frames: usize,
+    /// Wall-clock seconds spent sending the valid stream.
+    pub seconds: f64,
+}
+
+/// Streams `packets` to a sink's ingest listener as wire frames, pacing
+/// to `rate_pps` when nonzero.
+///
+/// # Errors
+///
+/// Propagates connect/write failures; records whose paths exceed the
+/// wire cap are skipped (they could never have been collected — the
+/// simulator's deepest paths are an order of magnitude shorter).
+pub fn replay_packets<A: ToSocketAddrs + Copy>(
+    addr: A,
+    packets: &[CollectedPacket],
+    opts: &ReplayOptions,
+) -> std::io::Result<ReplayReport> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut out = BufWriter::new(stream);
+    let start = Instant::now();
+    let mut frame = Vec::with_capacity(packets.first().map_or(64, encoded_len));
+    let mut frames = 0usize;
+    let mut bytes = 0usize;
+    for (i, p) in packets.iter().enumerate() {
+        frame.clear();
+        if encode_packet(p, &mut frame).is_err() {
+            continue;
+        }
+        out.write_all(&frame)?;
+        frames += 1;
+        bytes += frame.len();
+        if opts.rate_pps > 0.0 {
+            // Pace against the schedule, not the previous send, so
+            // jitter does not accumulate.
+            let due = start + Duration::from_secs_f64((i + 1) as f64 / opts.rate_pps);
+            let now = Instant::now();
+            if due > now {
+                out.flush()?;
+                std::thread::sleep(due - now);
+            }
+        }
+    }
+    out.flush()?;
+    drop(out); // close the clean stream at a frame boundary
+    let seconds = start.elapsed().as_secs_f64();
+
+    if opts.garbage_frames > 0 {
+        let mut side = TcpStream::connect(addr)?;
+        let noise = vec![0x99u8; 16 * opts.garbage_frames];
+        // The server drops the connection at the first bad frame; any
+        // write error after that is the expected reset, not a failure.
+        let _ = side.write_all(&noise);
+    }
+
+    Ok(ReplayReport {
+        frames,
+        bytes,
+        garbage_frames: opts.garbage_frames,
+        seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SinkServer;
+    use crate::service::SinkConfig;
+    use domo_net::{run_simulation, NetworkConfig};
+
+    #[test]
+    fn paced_replay_respects_the_rate_and_arrives_whole() {
+        let trace = run_simulation(&NetworkConfig::small(9, 930));
+        let server =
+            SinkServer::bind("127.0.0.1:0", "127.0.0.1:0", SinkConfig::default()).expect("bind");
+        let take = 30.min(trace.packets.len());
+        let report = replay_packets(
+            server.ingest_addr(),
+            &trace.packets[..take],
+            &ReplayOptions {
+                rate_pps: 600.0,
+                garbage_frames: 2,
+            },
+        )
+        .expect("replay");
+        assert_eq!(report.frames, take);
+        assert!(
+            report.seconds >= (take - 1) as f64 / 600.0,
+            "pacing must slow the stream: {} s",
+            report.seconds
+        );
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let s = server.service().stats();
+            if s.ingested == take as u64 && s.malformed_frames >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_parsing_reads_the_reply_shape() {
+        let lines = vec![
+            "ingested 42".to_string(),
+            "emitted 40".to_string(),
+            "not-a-counter".to_string(),
+        ];
+        let parsed = parse_stats(&lines);
+        assert_eq!(
+            parsed,
+            vec![("ingested".to_string(), 42), ("emitted".to_string(), 40)]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! The online sink service: Domo's reconstruction pipeline as a
+//! long-running network daemon.
+//!
+//! The paper's pipeline is offline — collect the whole trace at the
+//! sink, then solve. `domo_core::streaming` already showed the windowed
+//! solver works online; this crate puts a service in front of it:
+//!
+//! * [`wire`] — a compact, versioned, checksummed binary frame format
+//!   for [`domo_net::CollectedPacket`] records (the paper's 4-byte
+//!   in-packet overhead plus the sink-side metadata), with a total
+//!   decoder that maps every malformed input to a typed error.
+//! * [`service`] — [`service::SinkService`]: N shard workers, each
+//!   wrapping a `StreamingEstimator`, fed through bounded drop-oldest
+//!   queues. Records are sanitized and deduplicated on the way in;
+//!   overload, malformed input, and quarantines are counters, never
+//!   panics.
+//! * [`server`] — [`server::SinkServer`]: a TCP ingestion listener
+//!   (thread-per-connection, binary frames) and a line-delimited query
+//!   listener (`STATS` / `NODES` / `PACKET` / `DRAIN` / `FLUSH`).
+//! * [`client`] — the query client and a replay driver that streams a
+//!   simulated [`domo_net::NetworkTrace`] over the wire at a
+//!   configurable rate, so the whole service is testable end-to-end
+//!   without real hardware.
+//!
+//! # Examples
+//!
+//! In-process, no sockets:
+//!
+//! ```
+//! use domo_sink::service::{SinkConfig, SinkService};
+//!
+//! let trace = domo_net::run_simulation(&domo_net::NetworkConfig::small(9, 1));
+//! let service = SinkService::start(SinkConfig::default());
+//! for p in &trace.packets {
+//!     service.ingest(p.clone());
+//! }
+//! service.drain();
+//! let snapshot = service.snapshot();
+//! assert_eq!(snapshot.stats.emitted, trace.packets.len() as u64);
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{query_request, replay_packets, QueryClient, ReplayOptions, ReplayReport};
+pub use server::SinkServer;
+pub use service::{
+    IngestOutcome, NodeDelaySummary, SinkConfig, SinkService, SinkSnapshot, SinkStatsSnapshot,
+    StoredReconstruction,
+};
+pub use wire::{decode_packet, encode_packet, encode_packets, WireError};

@@ -1,0 +1,347 @@
+//! TCP front-end: a binary ingestion listener and a line-delimited
+//! query listener in front of one [`SinkService`].
+//!
+//! **Ingestion** is thread-per-connection: each accepted socket streams
+//! [`crate::wire`] frames; every decoded record goes through the
+//! service's sanitize → shard path. A structurally invalid frame loses
+//! the stream's frame alignment, so the connection is counted
+//! (`malformed_frames`) and dropped — the service itself keeps running.
+//!
+//! **Queries** are plain text, one request per line, every response
+//! terminated by a line `END`:
+//!
+//! ```text
+//! STATS                  counters (ingested, emitted, quarantined, …)
+//! NODES                  per-node sojourn summaries
+//! PACKET <origin> <seq>  one packet's reconstructed hop times
+//! DRAIN                  flush every shard estimator, then respond
+//! FLUSH                  early-commit the oldest half of each shard
+//! QUIT                   close the connection
+//! ```
+//!
+//! Errors are lines starting `ERR`; the connection survives them.
+
+use crate::service::{SinkConfig, SinkService, SinkSnapshot};
+use crate::wire::{read_frame, FrameReadError};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running sink server: the service plus its two listeners.
+pub struct SinkServer {
+    service: Arc<SinkService>,
+    ingest_addr: SocketAddr,
+    query_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SinkServer {
+    /// Binds both listeners (use port `0` for an OS-assigned loopback
+    /// port) and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind<A: ToSocketAddrs, B: ToSocketAddrs>(
+        ingest: A,
+        query: B,
+        cfg: SinkConfig,
+    ) -> std::io::Result<Self> {
+        let ingest_listener = TcpListener::bind(ingest)?;
+        let query_listener = TcpListener::bind(query)?;
+        let ingest_addr = ingest_listener.local_addr()?;
+        let query_addr = query_listener.local_addr()?;
+        let service = Arc::new(SinkService::start(cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::with_capacity(2);
+        {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                accept_loop(&ingest_listener, &stop, move |stream| {
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || handle_ingest(stream, &service));
+                });
+            }));
+        }
+        {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                accept_loop(&query_listener, &stop, move |stream| {
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || {
+                        let _ = handle_query(stream, &service);
+                    });
+                });
+            }));
+        }
+        Ok(Self {
+            service,
+            ingest_addr,
+            query_addr,
+            stop,
+            accept_handles: Mutex::new(handles),
+        })
+    }
+
+    /// Address of the binary ingestion listener.
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// Address of the text query listener.
+    pub fn query_addr(&self) -> SocketAddr {
+        self.query_addr
+    }
+
+    /// The service behind the listeners (for in-process inspection).
+    pub fn service(&self) -> &Arc<SinkService> {
+        &self.service
+    }
+
+    /// Stops accepting connections, drains the shards, and returns the
+    /// final snapshot.
+    pub fn shutdown(&self) -> SinkSnapshot {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() calls with throwaway connections.
+        let _ = TcpStream::connect(self.ingest_addr);
+        let _ = TcpStream::connect(self.query_addr);
+        let handles: Vec<JoinHandle<()>> = self
+            .accept_handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        self.service.shutdown()
+    }
+}
+
+fn accept_loop<F: FnMut(TcpStream)>(listener: &TcpListener, stop: &AtomicBool, mut spawn: F) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                spawn(stream);
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, aborted handshake):
+                // keep serving.
+            }
+        }
+    }
+}
+
+fn handle_ingest(stream: TcpStream, service: &SinkService) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(packet)) => {
+                let _ = service.ingest(packet);
+            }
+            Ok(None) => return, // clean close at a frame boundary
+            Err(FrameReadError::Wire(_)) => {
+                // Frame alignment is lost; count it and drop the
+                // connection, keeping the service up.
+                service.note_malformed_frame();
+                return;
+            }
+            Err(FrameReadError::Io(_)) => return,
+        }
+    }
+}
+
+fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("").to_ascii_uppercase();
+        match cmd.as_str() {
+            "" => {}
+            "STATS" => {
+                let s = service.stats();
+                writeln!(out, "ingested {}", s.ingested)?;
+                writeln!(out, "emitted {}", s.emitted)?;
+                writeln!(out, "quarantined {}", s.quarantined)?;
+                writeln!(out, "malformed_frames {}", s.malformed_frames)?;
+                writeln!(out, "backpressure_dropped {}", s.backpressure_dropped)?;
+                writeln!(out, "estimator_errors {}", s.estimator_errors)?;
+                writeln!(out, "END")?;
+            }
+            "NODES" => {
+                let snap = service.snapshot();
+                for n in &snap.nodes {
+                    writeln!(
+                        out,
+                        "node {} count {} mean {:.3} min {:.3} max {:.3}",
+                        n.node.index(),
+                        n.count,
+                        n.mean_ms,
+                        n.min_ms,
+                        n.max_ms
+                    )?;
+                }
+                writeln!(out, "END")?;
+            }
+            "PACKET" => {
+                let origin = parts.next().and_then(|t| t.parse::<u16>().ok());
+                let seq = parts.next().and_then(|t| t.parse::<u32>().ok());
+                match (origin, seq) {
+                    (Some(origin), Some(seq)) => {
+                        let pid = domo_net::PacketId::new(domo_net::NodeId::new(origin), seq);
+                        match service.reconstruction(pid) {
+                            Some(r) => {
+                                let path: Vec<String> =
+                                    r.path.iter().map(|n| n.index().to_string()).collect();
+                                let times: Vec<String> =
+                                    r.hop_times_ms.iter().map(|t| format!("{t:.3}")).collect();
+                                writeln!(
+                                    out,
+                                    "packet {pid} path {} times {}",
+                                    path.join("-"),
+                                    times.join(" ")
+                                )?;
+                            }
+                            None => writeln!(out, "ERR no reconstruction for {pid}")?,
+                        }
+                        writeln!(out, "END")?;
+                    }
+                    _ => {
+                        writeln!(out, "ERR usage: PACKET <origin> <seq>")?;
+                        writeln!(out, "END")?;
+                    }
+                }
+            }
+            "DRAIN" => {
+                service.drain();
+                writeln!(out, "OK")?;
+                writeln!(out, "END")?;
+            }
+            "FLUSH" => {
+                service.flush_partial();
+                writeln!(out, "OK")?;
+                writeln!(out, "END")?;
+            }
+            "QUIT" => {
+                writeln!(out, "OK")?;
+                writeln!(out, "END")?;
+                out.flush()?;
+                return Ok(());
+            }
+            other => {
+                writeln!(out, "ERR unknown command {other}")?;
+                writeln!(out, "END")?;
+            }
+        }
+        out.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{query_request, QueryClient};
+    use crate::wire::encode_packets;
+    use domo_net::{run_simulation, NetworkConfig};
+
+    fn local_server(cfg: SinkConfig) -> SinkServer {
+        SinkServer::bind("127.0.0.1:0", "127.0.0.1:0", cfg).expect("loopback bind")
+    }
+
+    #[test]
+    fn full_round_trip_over_tcp() {
+        let trace = run_simulation(&NetworkConfig::small(9, 920));
+        let server = local_server(SinkConfig {
+            shards: 1,
+            ..SinkConfig::default()
+        });
+
+        let bytes = encode_packets(&trace.packets).expect("encodes");
+        {
+            let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect");
+            conn.write_all(&bytes).expect("send");
+        } // close → server finishes reading
+
+        // Wait for the ingest handler to finish consuming the stream.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if server.service().stats().ingested == trace.packets.len() as u64 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+        assert_eq!(q.request("DRAIN").expect("drain"), vec!["OK".to_string()]);
+        let stats = q.request("STATS").expect("stats");
+        assert!(stats.contains(&format!("emitted {}", trace.packets.len())));
+
+        let pid = trace.packets[0].pid;
+        let lines = q
+            .request(&format!("PACKET {} {}", pid.origin.index(), pid.seq))
+            .expect("packet");
+        assert!(lines[0].starts_with(&format!("packet {pid} path ")));
+
+        let nodes = q.request("NODES").expect("nodes");
+        assert!(!nodes.is_empty());
+
+        // One-shot helper and unknown-command handling.
+        let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
+        assert_eq!(oneshot.len(), 6);
+        let err = q.request("BOGUS").expect("err reply");
+        assert!(err[0].starts_with("ERR unknown command"));
+
+        let snap = server.shutdown();
+        assert_eq!(snap.stats.emitted, trace.packets.len() as u64);
+        assert_eq!(snap.stats.malformed_frames, 0);
+    }
+
+    #[test]
+    fn garbage_on_the_ingest_port_is_survived_and_counted() {
+        let trace = run_simulation(&NetworkConfig::small(9, 921));
+        let server = local_server(SinkConfig::default());
+
+        // Pure garbage on its own connection.
+        {
+            let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect");
+            conn.write_all(b"this is not a frame at all")
+                .expect("send garbage");
+        }
+        // A valid stream afterwards still works.
+        let bytes = encode_packets(&trace.packets).expect("encodes");
+        {
+            let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect");
+            conn.write_all(&bytes).expect("send");
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let s = server.service().stats();
+            if s.ingested == trace.packets.len() as u64 && s.malformed_frames >= 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let snap = server.shutdown();
+        assert!(snap.stats.malformed_frames >= 1);
+        assert_eq!(snap.stats.emitted, trace.packets.len() as u64);
+    }
+}

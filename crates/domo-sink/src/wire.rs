@@ -1,0 +1,563 @@
+//! The binary wire format carrying [`CollectedPacket`] records from a
+//! deployment's sink node (or a replayed trace) to the online service.
+//!
+//! One record per frame, little-endian throughout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic      0xD0
+//! 1       1     version    0x01
+//! 2       2     payload_len (bytes, excludes header and checksum)
+//! 4       len   payload
+//! 4+len   4     checksum   FNV-1a-32 over header + payload
+//!
+//! payload: origin u16 | seq u32 | gen_us u64 | sink_us u64 |
+//!          sum_ms u16 | e2e_ms u16 | path_len u16 | path_len × u16
+//! ```
+//!
+//! The `sum_ms`/`e2e_ms` pair is the paper's 4-byte in-packet overhead;
+//! everything else is sink-side metadata (identity, trusted endpoint
+//! timestamps, the reconstructed path) that never travels over the air.
+//! Times are microseconds on the collection axis, so a decode is
+//! bit-identical to the encoded record — there is no quantization step
+//! in the codec.
+//!
+//! Decoding is total: every malformed input maps to a typed
+//! [`WireError`], never a panic. The codec checks *structure* only
+//! (framing, lengths, checksum); semantic validation of the decoded
+//! record is the service's job, via `domo_core::sanitize`.
+
+use domo_net::{CollectedPacket, NodeId, PacketId};
+use domo_util::time::SimTime;
+use std::io::Read;
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xD0;
+/// Wire-format version this build speaks.
+pub const VERSION: u8 = 1;
+/// Frame header: magic, version, payload length.
+pub const HEADER_LEN: usize = 4;
+/// Trailing checksum length.
+pub const CHECKSUM_LEN: usize = 4;
+/// Payload bytes before the path array.
+const FIXED_PAYLOAD: usize = 2 + 4 + 8 + 8 + 2 + 2 + 2;
+/// Longest encodable path. Generous (the simulator's deepest trees are
+/// well under 20 hops) while bounding what a hostile frame can make the
+/// decoder allocate.
+pub const MAX_PATH_NODES: usize = 512;
+/// Largest legal `payload_len`, implied by [`MAX_PATH_NODES`].
+pub const MAX_PAYLOAD: usize = FIXED_PAYLOAD + 2 * MAX_PATH_NODES;
+
+/// Why a frame failed to encode or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first byte is not [`MAGIC`].
+    BadMagic {
+        /// The byte found instead.
+        found: u8,
+    },
+    /// The version byte names a format this build does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u8,
+    },
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes the frame needs.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// `payload_len` exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge {
+        /// The declared length.
+        len: usize,
+    },
+    /// `payload_len` is smaller than the fixed fields.
+    PayloadTooSmall {
+        /// The declared length.
+        len: usize,
+    },
+    /// `path_len` disagrees with `payload_len`.
+    PathLengthMismatch {
+        /// Nodes the path field declares.
+        declared: usize,
+        /// Nodes the payload has room for.
+        capacity: usize,
+    },
+    /// The record's path exceeds [`MAX_PATH_NODES`] (encode side).
+    PathTooLong {
+        /// Nodes in the path.
+        len: usize,
+    },
+    /// The trailing checksum disagrees with the frame contents.
+    ChecksumMismatch {
+        /// Checksum computed over the received bytes.
+        computed: u32,
+        /// Checksum carried by the frame.
+        carried: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic { found } => write!(f, "bad magic byte {found:#04x}"),
+            Self::UnsupportedVersion { found } => write!(f, "unsupported wire version {found}"),
+            Self::Truncated { needed, available } => {
+                write!(f, "truncated frame: need {needed} bytes, have {available}")
+            }
+            Self::PayloadTooLarge { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+                )
+            }
+            Self::PayloadTooSmall { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes is below the {FIXED_PAYLOAD}-byte minimum"
+                )
+            }
+            Self::PathLengthMismatch { declared, capacity } => {
+                write!(
+                    f,
+                    "path declares {declared} nodes, payload holds {capacity}"
+                )
+            }
+            Self::PathTooLong { len } => {
+                write!(
+                    f,
+                    "path of {len} nodes exceeds the {MAX_PATH_NODES}-node cap"
+                )
+            }
+            Self::ChecksumMismatch { computed, carried } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {computed:#010x}, carried {carried:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a, 32-bit. Not cryptographic — it guards against truncation and
+/// line noise, not an adversary — but any single-byte change anywhere in
+/// the frame always changes the digest (each round is a bijection of the
+/// running state).
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Encoded size of one record, including header and checksum.
+pub fn encoded_len(p: &CollectedPacket) -> usize {
+    HEADER_LEN + FIXED_PAYLOAD + 2 * p.path.len() + CHECKSUM_LEN
+}
+
+/// Appends one record as a frame.
+///
+/// # Errors
+///
+/// [`WireError::PathTooLong`] when the record's path exceeds
+/// [`MAX_PATH_NODES`]; nothing is written in that case.
+pub fn encode_packet(p: &CollectedPacket, out: &mut Vec<u8>) -> Result<(), WireError> {
+    if p.path.len() > MAX_PATH_NODES {
+        return Err(WireError::PathTooLong { len: p.path.len() });
+    }
+    let payload_len = FIXED_PAYLOAD + 2 * p.path.len();
+    let start = out.len();
+    out.reserve(HEADER_LEN + payload_len + CHECKSUM_LEN);
+    out.push(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(payload_len as u16).to_le_bytes());
+    out.extend_from_slice(&(p.pid.origin.index() as u16).to_le_bytes());
+    out.extend_from_slice(&p.pid.seq.to_le_bytes());
+    out.extend_from_slice(&p.gen_time.as_micros().to_le_bytes());
+    out.extend_from_slice(&p.sink_arrival.as_micros().to_le_bytes());
+    out.extend_from_slice(&p.sum_of_delays_ms.to_le_bytes());
+    out.extend_from_slice(&p.e2e_ms.to_le_bytes());
+    out.extend_from_slice(&(p.path.len() as u16).to_le_bytes());
+    for n in &p.path {
+        out.extend_from_slice(&(n.index() as u16).to_le_bytes());
+    }
+    let checksum = fnv1a32(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(())
+}
+
+/// Encodes a whole trace as a contiguous frame stream.
+///
+/// # Errors
+///
+/// Fails on the first record [`encode_packet`] rejects.
+pub fn encode_packets(packets: &[CollectedPacket]) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(packets.iter().map(encoded_len).sum());
+    for p in packets {
+        encode_packet(p, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Decodes the frame at the start of `buf`, returning the record and the
+/// number of bytes consumed (so a contiguous stream decodes by slicing
+/// forward).
+///
+/// # Errors
+///
+/// A typed [`WireError`] for any structural defect; `buf` is never
+/// indexed out of bounds and the function never panics.
+pub fn decode_packet(buf: &[u8]) -> Result<(CollectedPacket, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            available: buf.len(),
+        });
+    }
+    if buf[0] != MAGIC {
+        return Err(WireError::BadMagic { found: buf[0] });
+    }
+    if buf[1] != VERSION {
+        return Err(WireError::UnsupportedVersion { found: buf[1] });
+    }
+    let payload_len = read_u16(buf, 2) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::PayloadTooLarge { len: payload_len });
+    }
+    if payload_len < FIXED_PAYLOAD {
+        return Err(WireError::PayloadTooSmall { len: payload_len });
+    }
+    let frame_len = HEADER_LEN + payload_len + CHECKSUM_LEN;
+    if buf.len() < frame_len {
+        return Err(WireError::Truncated {
+            needed: frame_len,
+            available: buf.len(),
+        });
+    }
+    let computed = fnv1a32(&buf[..HEADER_LEN + payload_len]);
+    let carried = read_u32(buf, HEADER_LEN + payload_len);
+    if computed != carried {
+        return Err(WireError::ChecksumMismatch { computed, carried });
+    }
+    let p = HEADER_LEN;
+    let origin = read_u16(buf, p);
+    let seq = read_u32(buf, p + 2);
+    let gen_us = read_u64(buf, p + 6);
+    let sink_us = read_u64(buf, p + 14);
+    let sum_ms = read_u16(buf, p + 22);
+    let e2e_ms = read_u16(buf, p + 24);
+    let path_len = read_u16(buf, p + 26) as usize;
+    let capacity = (payload_len - FIXED_PAYLOAD) / 2;
+    if path_len != capacity || payload_len != FIXED_PAYLOAD + 2 * path_len {
+        return Err(WireError::PathLengthMismatch {
+            declared: path_len,
+            capacity,
+        });
+    }
+    let path: Vec<NodeId> = (0..path_len)
+        .map(|i| NodeId::new(read_u16(buf, p + FIXED_PAYLOAD + 2 * i)))
+        .collect();
+    Ok((
+        CollectedPacket {
+            pid: PacketId::new(NodeId::new(origin), seq),
+            gen_time: SimTime::from_micros(gen_us),
+            sink_arrival: SimTime::from_micros(sink_us),
+            path,
+            sum_of_delays_ms: sum_ms,
+            e2e_ms,
+        },
+        frame_len,
+    ))
+}
+
+/// Decodes every frame of a contiguous stream.
+///
+/// # Errors
+///
+/// Fails on the first malformed frame, reporting its byte offset.
+pub fn decode_packets(buf: &[u8]) -> Result<Vec<CollectedPacket>, (usize, WireError)> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < buf.len() {
+        let (p, used) = decode_packet(&buf[at..]).map_err(|e| (at, e))?;
+        out.push(p);
+        at += used;
+    }
+    Ok(out)
+}
+
+/// How reading one frame from a byte stream ended.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The transport failed mid-frame.
+    Io(std::io::Error),
+    /// The bytes arrived but did not form a valid frame. The stream's
+    /// frame alignment is lost after this; callers should drop the
+    /// connection.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Wire(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+/// Reads one frame from a blocking byte stream. `Ok(None)` is a clean
+/// end of stream at a frame boundary.
+///
+/// # Errors
+///
+/// [`FrameReadError::Io`] on transport failure (including EOF inside a
+/// frame) and [`FrameReadError::Wire`] on a structurally invalid frame.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<CollectedPacket>, FrameReadError> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish clean EOF (no bytes at all) from a torn frame.
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match reader
+            .read(&mut header[got..])
+            .map_err(FrameReadError::Io)?
+        {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(FrameReadError::Wire(WireError::Truncated {
+                    needed: HEADER_LEN,
+                    available: got,
+                }))
+            }
+            n => got += n,
+        }
+    }
+    if header[0] != MAGIC {
+        return Err(FrameReadError::Wire(WireError::BadMagic {
+            found: header[0],
+        }));
+    }
+    if header[1] != VERSION {
+        return Err(FrameReadError::Wire(WireError::UnsupportedVersion {
+            found: header[1],
+        }));
+    }
+    let payload_len = u16::from_le_bytes([header[2], header[3]]) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(FrameReadError::Wire(WireError::PayloadTooLarge {
+            len: payload_len,
+        }));
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload_len + CHECKSUM_LEN);
+    frame.extend_from_slice(&header);
+    frame.resize(HEADER_LEN + payload_len + CHECKSUM_LEN, 0);
+    reader
+        .read_exact(&mut frame[HEADER_LEN..])
+        .map_err(FrameReadError::Io)?;
+    let (packet, _) = decode_packet(&frame).map_err(FrameReadError::Wire)?;
+    Ok(Some(packet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domo_net::{run_simulation, NetworkConfig};
+
+    fn sample_packet() -> CollectedPacket {
+        CollectedPacket {
+            pid: PacketId::new(NodeId::new(7), 42),
+            gen_time: SimTime::from_micros(1_500_000),
+            sink_arrival: SimTime::from_micros(1_534_001),
+            path: vec![NodeId::new(7), NodeId::new(3), NodeId::new(0)],
+            sum_of_delays_ms: 12,
+            e2e_ms: 34,
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let trace = run_simulation(&NetworkConfig::small(16, 900));
+        let bytes = encode_packets(&trace.packets).expect("paths fit");
+        let back = decode_packets(&bytes).expect("clean stream");
+        assert_eq!(back, trace.packets);
+    }
+
+    #[test]
+    fn encoded_len_matches_reality() {
+        let p = sample_packet();
+        let mut out = Vec::new();
+        encode_packet(&p, &mut out).unwrap();
+        assert_eq!(out.len(), encoded_len(&p));
+        let (_, used) = decode_packet(&out).unwrap();
+        assert_eq!(used, out.len());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut out = Vec::new();
+        encode_packet(&sample_packet(), &mut out).unwrap();
+        for cut in 0..out.len() {
+            let e = decode_packet(&out[..cut]).expect_err("prefix is torn");
+            assert!(
+                matches!(e, WireError::Truncated { .. }),
+                "cut at {cut} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let mut clean = Vec::new();
+        encode_packet(&sample_packet(), &mut clean).unwrap();
+        for at in 0..clean.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = clean.clone();
+                bad[at] ^= flip;
+                assert!(
+                    decode_packet(&bad).is_err(),
+                    "corrupting byte {at} with {flip:#04x} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn header_defects_are_typed() {
+        let mut out = Vec::new();
+        encode_packet(&sample_packet(), &mut out).unwrap();
+
+        let mut bad = out.clone();
+        bad[0] = 0x7f;
+        assert_eq!(
+            decode_packet(&bad).unwrap_err(),
+            WireError::BadMagic { found: 0x7f }
+        );
+
+        let mut bad = out.clone();
+        bad[1] = 9;
+        assert_eq!(
+            decode_packet(&bad).unwrap_err(),
+            WireError::UnsupportedVersion { found: 9 }
+        );
+
+        let mut bad = out.clone();
+        bad[2] = 0xff;
+        bad[3] = 0xff;
+        assert!(matches!(
+            decode_packet(&bad).unwrap_err(),
+            WireError::PayloadTooLarge { .. }
+        ));
+
+        let mut bad = out;
+        bad[2] = 1;
+        bad[3] = 0;
+        assert!(matches!(
+            decode_packet(&bad).unwrap_err(),
+            WireError::PayloadTooSmall { len: 1 }
+        ));
+    }
+
+    #[test]
+    fn oversized_paths_fail_to_encode() {
+        let mut p = sample_packet();
+        p.path = (0..=MAX_PATH_NODES as u16).map(NodeId::new).collect();
+        let mut out = Vec::new();
+        assert_eq!(
+            encode_packet(&p, &mut out),
+            Err(WireError::PathTooLong {
+                len: MAX_PATH_NODES + 1
+            })
+        );
+        assert!(out.is_empty(), "failed encode writes nothing");
+    }
+
+    #[test]
+    fn stream_reader_round_trips_and_flags_torn_tails() {
+        let trace = run_simulation(&NetworkConfig::small(9, 901));
+        let bytes = encode_packets(&trace.packets).unwrap();
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let mut back = Vec::new();
+        while let Some(p) = read_frame(&mut cursor).expect("clean stream") {
+            back.push(p);
+        }
+        assert_eq!(back, trace.packets);
+
+        // A stream ending mid-frame is an error, not a silent drop.
+        let torn = &bytes[..bytes.len() - 3];
+        let mut cursor = std::io::Cursor::new(torn);
+        let mut err = None;
+        loop {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(err.is_some(), "torn tail must surface an error");
+    }
+
+    #[test]
+    fn decode_stream_reports_offsets() {
+        let mut bytes = encode_packets(&[sample_packet()]).unwrap();
+        let good_len = bytes.len();
+        bytes.extend_from_slice(&[0x99; 4]); // garbage after a valid frame
+        let (offset, e) = decode_packets(&bytes).unwrap_err();
+        assert_eq!(offset, good_len);
+        assert_eq!(e, WireError::BadMagic { found: 0x99 });
+        // A lone trailing byte is a torn frame, reported as truncation.
+        let torn = &bytes[..good_len + 1];
+        let (_, e) = decode_packets(torn).unwrap_err();
+        assert!(matches!(e, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let msgs = [
+            WireError::BadMagic { found: 1 }.to_string(),
+            WireError::Truncated {
+                needed: 8,
+                available: 3,
+            }
+            .to_string(),
+            WireError::ChecksumMismatch {
+                computed: 1,
+                carried: 2,
+            }
+            .to_string(),
+            WireError::PathLengthMismatch {
+                declared: 3,
+                capacity: 4,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("magic"));
+        assert!(msgs[1].contains("need 8"));
+        assert!(msgs[2].contains("checksum"));
+        assert!(msgs[3].contains("3 nodes"));
+    }
+}

@@ -11,6 +11,11 @@
 #                        reconstruction pipeline must be typed errors or
 #                        documented invariant panics (tests may unwrap)
 #   3. tier-1 tests      release build + the facade crate's test binaries
+#   4. e2e smoke         domo-sink serve/replay/query over loopback TCP
+#                        (exits nonzero unless every delivered packet is
+#                        reconstructed and garbage frames are counted),
+#                        plus the ingestion-throughput bench, which
+#                        refreshes BENCH_sink.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,5 +34,11 @@ cargo build --release
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q
+
+echo "==> domo-sink smoke (end-to-end over loopback TCP)"
+./target/release/domo-sink smoke --nodes 9 --seed 7
+
+echo "==> domo-sink bench (writes BENCH_sink.json)"
+./target/release/domo-sink bench --nodes 16 --seed 7
 
 echo "All checks passed."

@@ -1,0 +1,156 @@
+//! Acceptance for the online sink service: replaying a simulated trace
+//! through a *live TCP service* must reconstruct every delivered
+//! packet, matching the in-process streaming estimator bit-for-bit
+//! (same solver, same order), and the service must survive malformed
+//! frames and queue saturation without panicking — reporting both in
+//! its stats.
+
+use domo::core::{EstimatorConfig, StreamingEstimator};
+use domo::net::{run_simulation, NetworkConfig};
+use domo::sink::client::{parse_stats, replay_packets, QueryClient, ReplayOptions};
+use domo::sink::server::SinkServer;
+use domo::sink::service::SinkConfig;
+use std::time::{Duration, Instant};
+
+/// Polls the service stats until `done` says so (ingest has no ack).
+fn await_stats(server: &SinkServer, done: impl Fn(&domo::sink::SinkStatsSnapshot) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if done(&server.service().stats()) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "ingest stalled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn live_replay_matches_the_in_process_estimator() {
+    let trace = run_simulation(&NetworkConfig::small(9, 4101));
+    let delivered = trace.packets.len();
+    assert!(delivered > 0, "trace delivered nothing");
+
+    // One shard + in-order TCP delivery = the shard estimator sees the
+    // exact packet sequence an in-process estimator would.
+    let server = SinkServer::bind(
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        SinkConfig {
+            shards: 1,
+            max_retained_packets: delivered,
+            ..SinkConfig::default()
+        },
+    )
+    .expect("bind");
+    let report = replay_packets(
+        server.ingest_addr(),
+        &trace.packets,
+        &ReplayOptions::default(),
+    )
+    .expect("replay");
+    assert_eq!(report.frames, delivered);
+
+    await_stats(&server, |s| s.ingested == delivered as u64);
+    server.service().drain();
+
+    // The reference: the same streaming pipeline, run in-process.
+    let mut reference = StreamingEstimator::new(EstimatorConfig::default());
+    let mut expected = Vec::new();
+    for p in &trace.packets {
+        expected.extend(reference.push(p.clone()));
+    }
+    expected.extend(reference.finish());
+    assert_eq!(expected.len(), delivered);
+
+    let stats = server.service().stats();
+    assert_eq!(stats.emitted, delivered as u64, "not every packet emitted");
+    assert_eq!(stats.backpressure_dropped, 0);
+    for want in &expected {
+        let got = server
+            .service()
+            .reconstruction(want.pid)
+            .unwrap_or_else(|| panic!("no reconstruction for {:?}", want.pid));
+        assert_eq!(got.hop_times_ms.len(), want.hop_times_ms.len());
+        for (g, w) in got.hop_times_ms.iter().zip(&want.hop_times_ms) {
+            assert!(
+                (g - w).abs() < 1e-9,
+                "hop time diverged for {:?}: {g} vs {w}",
+                want.pid
+            );
+        }
+    }
+
+    // The same answer must be reachable over the query wire.
+    let pid = expected[0].pid;
+    let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+    let lines = q
+        .request(&format!("PACKET {} {}", pid.origin.index(), pid.seq))
+        .expect("packet query");
+    assert!(
+        lines.first().is_some_and(|l| l.starts_with("packet ")),
+        "bad reply {lines:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturation_and_garbage_are_survived_and_reported() {
+    let trace = run_simulation(&NetworkConfig::small(16, 4102));
+    let delivered = trace.packets.len();
+    assert!(delivered > 50, "need a flood, got {delivered} packets");
+
+    // A 2-slot queue behind a worker that runs a solve every 4 packets:
+    // the TCP flood lands in microseconds, each flush takes
+    // milliseconds, so the drop-oldest path must engage.
+    let server = SinkServer::bind(
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        SinkConfig {
+            shards: 1,
+            queue_capacity: 2,
+            high_water: Some(4),
+            ..SinkConfig::default()
+        },
+    )
+    .expect("bind");
+    replay_packets(
+        server.ingest_addr(),
+        &trace.packets,
+        &ReplayOptions {
+            rate_pps: 0.0,
+            garbage_frames: 4,
+        },
+    )
+    .expect("replay");
+
+    await_stats(&server, |s| {
+        s.ingested == delivered as u64 && s.malformed_frames >= 1
+    });
+    server.service().drain();
+    let stats = server.service().stats();
+    assert!(stats.malformed_frames >= 1, "garbage not reported");
+    assert!(
+        stats.backpressure_dropped > 0,
+        "flood through a 2-slot queue must drop: {stats:?}"
+    );
+    assert!(stats.emitted > 0, "overloaded service still makes progress");
+    assert_eq!(
+        stats.emitted + stats.backpressure_dropped,
+        stats.ingested,
+        "accounting must balance exactly"
+    );
+
+    // And the wire-level stats agree with the in-process view.
+    let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+    let wire_stats = parse_stats(&q.request("STATS").expect("stats"));
+    let wire = |name: &str| {
+        wire_stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    assert_eq!(wire("ingested"), stats.ingested);
+    assert_eq!(wire("emitted"), stats.emitted);
+    assert_eq!(wire("backpressure_dropped"), stats.backpressure_dropped);
+    server.shutdown();
+}
