@@ -1,0 +1,51 @@
+//! Estimator window-solve throughput: the parallel chain scheduler
+//! (`EstimatorConfig::threads`) across thread counts, and the warm-start
+//! handoff between overlapping windows within a chain, on vs off.
+//!
+//! The in-workspace counterpart (`domo-exp bench`) emits the committed
+//! `BENCH_estimator.json` that `scripts/check.sh` gates on; this
+//! criterion harness gives the detailed statistical view when crates.io
+//! is reachable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domo_bench::{bench_trace, bench_view};
+use domo_core::{estimate, EstimatorConfig};
+use std::hint::black_box;
+
+fn estimator_threads(c: &mut Criterion) {
+    let trace = bench_trace(31);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("estimator_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = EstimatorConfig {
+            threads,
+            ..EstimatorConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("estimate", threads), &cfg, |b, cfg| {
+            b.iter(|| estimate(black_box(&view), cfg))
+        });
+    }
+    group.finish();
+}
+
+fn estimator_warm_start(c: &mut Criterion) {
+    let trace = bench_trace(32);
+    let view = bench_view(&trace);
+    let mut group = c.benchmark_group("estimator_warm_start");
+    group.sample_size(10);
+    for warm_start in [true, false] {
+        let cfg = EstimatorConfig {
+            warm_start,
+            ..EstimatorConfig::default()
+        };
+        let label = if warm_start { "warm" } else { "cold" };
+        group.bench_with_input(BenchmarkId::new("estimate", label), &cfg, |b, cfg| {
+            b.iter(|| estimate(black_box(&view), cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimator_threads, estimator_warm_start);
+criterion_main!(benches);

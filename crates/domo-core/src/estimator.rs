@@ -18,6 +18,18 @@
 //!   variance objective becomes linear in `(U, u)`, and every undecided
 //!   FIFO product constraint becomes linear in `U`. Exact per the paper
 //!   but cubically more expensive; intended for small windows.
+//!
+//! # Parallel window execution
+//!
+//! Every window is an independent solve with a disjoint commit zone, so
+//! the slide schedule is partitioned into **chains** of
+//! [`EstimatorConfig::chain_windows`] consecutive windows. Warm starts
+//! flow only *within* a chain (each window's solution seeds its
+//! overlapping successor); chains never exchange state, so they can run
+//! on [`EstimatorConfig::threads`] scoped worker threads and the merged
+//! result is **bit-identical for every thread count** — the chain
+//! boundaries depend on the configuration alone, never on the
+//! scheduling. See `DESIGN.md` §10 for the full determinism argument.
 
 use crate::constraints::{
     build_constraints, ConstraintKind, ConstraintOptions, ConstraintSystem, FifoPair,
@@ -67,6 +79,20 @@ pub struct EstimatorConfig {
     /// Windows with more unknowns than this fall back to the linearized
     /// FIFO treatment even in [`FifoMode::SdpRelaxation`].
     pub max_sdp_unknowns: usize,
+    /// Worker threads for the window chains. Chains are independent and
+    /// merge by window index, so the estimates are bit-identical for
+    /// any thread count (mirrors `BoundsConfig::threads`).
+    pub threads: usize,
+    /// Reuse each window's solution as the ADMM warm start of its
+    /// overlapping successor (within a chain). Warm starts change the
+    /// iterate path, so estimates may differ from a cold run in the
+    /// last solver-tolerance digits — but never across thread counts.
+    pub warm_start: bool,
+    /// Consecutive windows per scheduling chain, the unit both of
+    /// parallel scheduling and of warm-start flow. Larger chains reuse
+    /// more warm starts but cap the usable parallelism at
+    /// `ceil(windows / chain_windows)` threads.
+    pub chain_windows: usize,
     /// ADMM settings.
     pub solver: Settings,
 }
@@ -82,6 +108,9 @@ impl Default for EstimatorConfig {
             pairs_per_packet: 4,
             anchor_weight: 1e-4,
             max_sdp_unknowns: 24,
+            threads: 1,
+            warm_start: true,
+            chain_windows: 4,
             solver: Settings {
                 max_iterations: 2500,
                 eps_abs: 1e-4,
@@ -110,10 +139,37 @@ pub struct EstimatorStats {
     /// Solve attempts the solver refused outright (failed factorization,
     /// malformed window problem) rather than merely not converging.
     pub solver_errors: usize,
+    /// Scheduling chains executed (`ceil(windows / chain_windows)`).
+    pub chains: usize,
+    /// Windows whose solve was seeded from the previous window's
+    /// solution (only possible with `warm_start` and overlapping
+    /// windows inside one chain).
+    pub warm_hits: usize,
+    /// Worker threads that panicked; their chains' commit zones fell
+    /// back to interval midpoints instead of aborting the run.
+    pub failed_workers: usize,
     /// Total ADMM iterations.
     pub total_iterations: usize,
     /// Wall-clock solver time.
     pub solve_time: Duration,
+}
+
+impl EstimatorStats {
+    /// Accumulates another run's counters into `self` (used when
+    /// merging per-chain statistics; counters add, times add).
+    fn absorb(&mut self, other: &EstimatorStats) {
+        self.windows += other.windows;
+        self.sdp_windows += other.sdp_windows;
+        self.relaxed_retries += other.relaxed_retries;
+        self.fifo_relaxed_windows += other.fifo_relaxed_windows;
+        self.unsolved_windows += other.unsolved_windows;
+        self.solver_errors += other.solver_errors;
+        self.chains += other.chains;
+        self.warm_hits += other.warm_hits;
+        self.failed_workers += other.failed_workers;
+        self.total_iterations += other.total_iterations;
+        self.solve_time += other.solve_time;
+    }
 }
 
 /// Estimated arrival times, indexed like [`TraceView::vars`].
@@ -184,7 +240,7 @@ pub fn estimate(view: &TraceView, cfg: &EstimatorConfig) -> Estimates {
 /// # Errors
 ///
 /// [`EstimatorError::BadConfig`] when `effective_window_ratio` is
-/// outside `(0, 1]` or `window_packets == 0`.
+/// outside `(0, 1]`, `window_packets == 0`, or `chain_windows == 0`.
 pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates, EstimatorError> {
     if !(cfg.effective_window_ratio > 0.0 && cfg.effective_window_ratio <= 1.0) {
         return Err(EstimatorError::BadConfig(
@@ -196,6 +252,11 @@ pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates
             "window must hold at least one packet".into(),
         ));
     }
+    if cfg.chain_windows == 0 {
+        return Err(EstimatorError::BadConfig(
+            "chain must hold at least one window".into(),
+        ));
+    }
 
     let intervals = propagate(
         view,
@@ -205,23 +266,91 @@ pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates
     let mut times_ms: Vec<Option<f64>> = vec![None; view.num_vars()];
     let mut stats = EstimatorStats::default();
 
+    let jobs = plan_windows(view, cfg);
+    if jobs.is_empty() {
+        return Ok(Estimates { times_ms, stats });
+    }
+
+    // Chains: the unit of scheduling AND of warm-start flow. Their
+    // boundaries depend on the config alone, so any thread count
+    // produces the same per-window solves and the same merged result.
+    let chains: Vec<&[WindowJob]> = jobs.chunks(cfg.chain_windows).collect();
+    let threads = cfg.threads.max(1).min(chains.len());
+    let results: Vec<ChainResult> = if threads <= 1 {
+        chains
+            .iter()
+            .map(|c| run_chain(view, cfg, &intervals, c))
+            .collect()
+    } else {
+        let per_worker = chains.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in chains.chunks(per_worker) {
+                let intervals = &intervals;
+                let handle = scope.spawn(move || {
+                    part.iter()
+                        .map(|c| run_chain(view, cfg, intervals, c))
+                        .collect::<Vec<_>>()
+                });
+                handles.push((part, handle));
+            }
+            let mut results = Vec::with_capacity(chains.len());
+            for (part, h) in handles {
+                match h.join() {
+                    Ok(rs) => results.extend(rs),
+                    Err(_) => {
+                        // A panicking worker loses its solves, not the
+                        // run: its chains' commit zones degrade to the
+                        // propagated interval midpoints.
+                        stats.failed_workers += 1;
+                        results.extend(part.iter().map(|c| chain_fallback(view, &intervals, c)));
+                    }
+                }
+            }
+            results
+        })
+    };
+
+    for r in results {
+        for (v, t) in r.commits {
+            times_ms[v] = Some(t);
+        }
+        stats.absorb(&r.stats);
+    }
+    stats.chains = chains.len();
+
+    Ok(Estimates { times_ms, stats })
+}
+
+/// One window's solve unit: the packets it sees and the disjoint slice
+/// of the slide schedule it commits.
+#[derive(Debug, Clone)]
+struct WindowJob {
+    window: Vec<usize>,
+    commit: Vec<usize>,
+}
+
+/// Partitions the slide schedule of §IV.B into independent
+/// (window, commit-zone) jobs. Commit zones are disjoint and cover
+/// every packet exactly once.
+fn plan_windows(view: &TraceView, cfg: &EstimatorConfig) -> Vec<WindowJob> {
     // Packets in generation order; windows slide over this order.
     let mut order: Vec<usize> = (0..view.num_packets()).collect();
     order.sort_by_key(|&i| (view.packet(i).gen_time, view.packet(i).pid));
 
     let n = order.len();
     if n == 0 {
-        return Ok(Estimates { times_ms, stats });
+        return Vec::new();
     }
     let w = cfg.window_packets.min(n);
     let keep = ((w as f64 * cfg.effective_window_ratio).round() as usize).clamp(1, w);
     let lead = (w - keep) / 2;
 
+    let mut jobs = Vec::new();
     let mut next_commit = 0usize;
     let mut start = 0usize;
     while next_commit < n {
         let end = (start + w).min(n);
-        let window: Vec<usize> = order[start..end].to_vec();
         // Commit zone: the middle `keep` of the window, stretched to the
         // trace edges for the first and last windows.
         let commit_hi = if end == n {
@@ -229,24 +358,77 @@ pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates
         } else {
             (start + lead + keep).min(n)
         };
-        let commit: Vec<usize> = order[next_commit..commit_hi].to_vec();
-
-        solve_window(
-            view,
-            cfg,
-            &intervals,
-            &window,
-            &commit,
-            &mut times_ms,
-            &mut stats,
-        );
-
+        jobs.push(WindowJob {
+            window: order[start..end].to_vec(),
+            commit: order[next_commit..commit_hi].to_vec(),
+        });
         next_commit = commit_hi;
         start += keep;
+    }
+    jobs
+}
+
+/// Committed `(variable, estimate)` pairs plus statistics of one chain.
+struct ChainResult {
+    commits: Vec<(usize, f64)>,
+    stats: EstimatorStats,
+}
+
+/// Runs one chain sequentially, threading each window's solution into
+/// its successor as a warm start (when enabled).
+fn run_chain(
+    view: &TraceView,
+    cfg: &EstimatorConfig,
+    intervals: &Intervals,
+    jobs: &[WindowJob],
+) -> ChainResult {
+    let mut commits = Vec::new();
+    let mut stats = EstimatorStats::default();
+    let mut warm: Option<HashMap<usize, f64>> = None;
+    for job in jobs {
+        let seed = if cfg.warm_start { warm.as_ref() } else { None };
+        warm = solve_window(
+            view,
+            cfg,
+            intervals,
+            &job.window,
+            &job.commit,
+            seed,
+            &mut commits,
+            &mut stats,
+        );
         stats.windows += 1;
     }
+    ChainResult { commits, stats }
+}
 
-    Ok(Estimates { times_ms, stats })
+/// The degraded result of a chain whose worker panicked: every commit
+/// variable falls back to its propagated interval midpoint.
+fn chain_fallback(view: &TraceView, intervals: &Intervals, jobs: &[WindowJob]) -> ChainResult {
+    let mut commits = Vec::new();
+    let mut stats = EstimatorStats::default();
+    for job in jobs {
+        for v in commit_vars(view, &job.commit) {
+            commits.push((v, intervals.midpoint(v)));
+        }
+        stats.windows += 1;
+        stats.unsolved_windows += 1;
+    }
+    ChainResult { commits, stats }
+}
+
+/// The unknown variables of a commit zone's packets.
+fn commit_vars(view: &TraceView, commit: &[usize]) -> Vec<usize> {
+    commit
+        .iter()
+        .flat_map(|&p| {
+            let len = view.packet(p).path.len();
+            (1..len.saturating_sub(1)).filter_map(move |hop| match view.time_ref(p, hop) {
+                crate::view::TimeRef::Var(v) => Some(v),
+                crate::view::TimeRef::Known(_) => None,
+            })
+        })
+        .collect()
 }
 
 /// The variance-objective terms (paper Eq. 8) among `subset`: one
@@ -292,6 +474,9 @@ pub(crate) fn variance_terms(
     terms
 }
 
+/// Solves one window and appends its committed estimates. Returns the
+/// full window solution (ms, by global variable) for the successor's
+/// warm start, or `None` when the window fell back to midpoints.
 #[allow(clippy::too_many_arguments)]
 fn solve_window(
     view: &TraceView,
@@ -299,9 +484,10 @@ fn solve_window(
     intervals: &Intervals,
     window: &[usize],
     commit: &[usize],
-    times_ms: &mut [Option<f64>],
+    warm_seed: Option<&HashMap<usize, f64>>,
+    commits: &mut Vec<(usize, f64)>,
     stats: &mut EstimatorStats,
-) {
+) -> Option<HashMap<usize, f64>> {
     let mut system = build_constraints(view, window, intervals, &cfg.constraints);
 
     // Local variable space: the window packets' own unknowns only. Rows
@@ -343,6 +529,13 @@ fn solve_window(
     let local = LocalProblem::new(&vars, t_ref);
     let objective = variance_terms(view, window, cfg.epsilon_ms, cfg.pairs_per_packet);
 
+    // A warm seed only counts when it actually covers part of this
+    // window (overlapping successor windows share `w − keep` packets).
+    let warm_seed = warm_seed.filter(|m| vars.iter().any(|v| m.contains_key(v)));
+    if warm_seed.is_some() {
+        stats.warm_hits += 1;
+    }
+
     let use_sdp = cfg.fifo_mode == FifoMode::SdpRelaxation
         && !system.undecided_pairs.is_empty()
         && local.num_vars() <= cfg.max_sdp_unknowns;
@@ -358,6 +551,7 @@ fn solve_window(
             &objective,
             true,
             Relax::None,
+            warm_seed,
             stats,
         )
     } else {
@@ -370,6 +564,7 @@ fn solve_window(
             &objective,
             false,
             Relax::None,
+            warm_seed,
             stats,
         )
     };
@@ -390,6 +585,7 @@ fn solve_window(
                 &objective,
                 use_sdp,
                 Relax::UpperSum,
+                warm_seed,
                 stats,
             )
         }
@@ -409,21 +605,13 @@ fn solve_window(
                 &objective,
                 false,
                 Relax::UpperSumAndFifo,
+                warm_seed,
                 stats,
             )
         }
     };
 
-    let committed_vars: Vec<usize> = commit
-        .iter()
-        .flat_map(|&p| {
-            let len = view.packet(p).path.len();
-            (1..len.saturating_sub(1)).filter_map(move |hop| match view.time_ref(p, hop) {
-                crate::view::TimeRef::Var(v) => Some(v),
-                crate::view::TimeRef::Known(_) => None,
-            })
-        })
-        .collect();
+    let committed_vars = commit_vars(view, commit);
 
     match solution {
         Some(x) => {
@@ -431,17 +619,26 @@ fn solve_window(
                 // A commit var missing from the window's local space
                 // would be a bookkeeping bug; degrade that variable to
                 // its interval midpoint rather than aborting the run.
-                times_ms[v] = match local.local(v) {
-                    Some(lv) => Some(local.to_ms(x[lv]).clamp(intervals.lb[v], intervals.ub[v])),
-                    None => Some(intervals.midpoint(v)),
+                let t = match local.local(v) {
+                    Some(lv) => local.to_ms(x[lv]).clamp(intervals.lb[v], intervals.ub[v]),
+                    None => intervals.midpoint(v),
                 };
+                commits.push((v, t));
             }
+            // The full window solution seeds the successor's warm start.
+            let mut sol_ms = HashMap::with_capacity(local.num_vars());
+            for (lv, &xv) in x.iter().enumerate() {
+                let g = local.global(lv);
+                sol_ms.insert(g, local.to_ms(xv).clamp(intervals.lb[g], intervals.ub[g]));
+            }
+            Some(sol_ms)
         }
         None => {
             stats.unsolved_windows += 1;
             for v in committed_vars {
-                times_ms[v] = Some(intervals.midpoint(v));
+                commits.push((v, intervals.midpoint(v)));
             }
+            None
         }
     }
 }
@@ -469,6 +666,7 @@ fn attempt(
     objective: &[LinExpr],
     use_sdp: bool,
     relax: Relax,
+    warm_seed: Option<&HashMap<usize, f64>>,
     stats: &mut EstimatorStats,
 ) -> Option<Vec<f64>> {
     let m = local.num_vars();
@@ -567,11 +765,16 @@ fn attempt(
             return None;
         }
     };
-    // Warm-start the arrival-time block at the interval midpoints (the
+    // Warm-start the arrival-time block at the predecessor window's
+    // solution where it overlaps, interval midpoints elsewhere (the
     // lifted block, when present, starts at zero).
     let mut warm = vec![0.0; total_vars];
     for (lv, w) in warm.iter_mut().take(m).enumerate() {
-        *w = local.from_ms(intervals.midpoint(local.global(lv)));
+        let g = local.global(lv);
+        let ms = warm_seed
+            .and_then(|m| m.get(&g).copied())
+            .unwrap_or_else(|| intervals.midpoint(g));
+        *w = local.from_ms(ms);
     }
     let sol = match try_solve_warm(&problem, &cfg.solver, Some(&warm)) {
         Ok(sol) => sol,
@@ -789,6 +992,108 @@ mod tests {
         // by the ladder. Either way there must be no panic and no
         // outright solver refusal.
         assert_eq!(est.stats.solver_errors, 0, "{:?}", est.stats);
+    }
+
+    #[test]
+    fn threaded_estimates_match_sequential_bitwise() {
+        // Mirror of `threaded_bounds_match_sequential`: the chain
+        // partition fixes every solve's inputs, so the thread count must
+        // not change a single bit of the output.
+        let trace = run_simulation(&NetworkConfig::small(25, 29));
+        let view = TraceView::new(trace.packets.clone());
+        let seq = estimate(&view, &EstimatorConfig::default());
+        assert!(seq.stats.chains > 1, "trace must span several chains");
+        for threads in [2, 3, 4, 8] {
+            let par = estimate(
+                &view,
+                &EstimatorConfig {
+                    threads,
+                    ..EstimatorConfig::default()
+                },
+            );
+            for v in 0..view.num_vars() {
+                let a = seq.time_of(v).unwrap();
+                let b = par.time_of(v).unwrap();
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "threads={threads} var {v}: {a} != {b}"
+                );
+            }
+            assert_eq!(seq.stats.windows, par.stats.windows);
+            assert_eq!(seq.stats.chains, par.stats.chains);
+            assert_eq!(seq.stats.warm_hits, par.stats.warm_hits);
+            assert_eq!(seq.stats.unsolved_windows, par.stats.unsolved_windows);
+        }
+    }
+
+    #[test]
+    fn warm_start_reuses_solutions_and_matches_cold_closely() {
+        let trace = run_simulation(&NetworkConfig::small(25, 30));
+        let view = TraceView::new(trace.packets.clone());
+        let warm = estimate(&view, &EstimatorConfig::default());
+        assert!(
+            warm.stats.warm_hits > 0,
+            "overlapping windows in a chain must reuse solutions: {:?}",
+            warm.stats
+        );
+        let cold = estimate(
+            &view,
+            &EstimatorConfig {
+                warm_start: false,
+                ..EstimatorConfig::default()
+            },
+        );
+        assert_eq!(cold.stats.warm_hits, 0);
+        // Warm starts change the ADMM iterate path, not the problem:
+        // both runs stop inside the same solver tolerance, so the
+        // estimates agree to well below the paper's ms resolution.
+        let mut max_diff = 0.0f64;
+        for v in 0..view.num_vars() {
+            let d = (warm.time_of(v).unwrap() - cold.time_of(v).unwrap()).abs();
+            max_diff = max_diff.max(d);
+        }
+        assert!(
+            max_diff < 0.5,
+            "warm vs cold estimates diverged by {max_diff:.4} ms"
+        );
+        // And warm starts must not hurt accuracy.
+        let err_warm = mean_abs_error(&view, &trace, &warm);
+        let err_cold = mean_abs_error(&view, &trace, &cold);
+        assert!(
+            err_warm < err_cold + 0.5,
+            "warm {err_warm:.2} ms vs cold {err_cold:.2} ms"
+        );
+    }
+
+    #[test]
+    fn zero_chain_windows_is_rejected() {
+        let view = TraceView::new(Vec::new());
+        let bad = EstimatorConfig {
+            chain_windows: 0,
+            ..EstimatorConfig::default()
+        };
+        assert!(matches!(
+            try_estimate(&view, &bad),
+            Err(EstimatorError::BadConfig(msg)) if msg.contains("chain")
+        ));
+    }
+
+    #[test]
+    fn chain_length_bounds_warm_flow() {
+        // chain_windows = 1 disables warm reuse entirely (every window
+        // is its own chain) without changing coverage.
+        let trace = run_simulation(&NetworkConfig::small(16, 37));
+        let view = TraceView::new(trace.packets.clone());
+        let est = estimate(
+            &view,
+            &EstimatorConfig {
+                chain_windows: 1,
+                ..EstimatorConfig::default()
+            },
+        );
+        assert_eq!(est.stats.warm_hits, 0);
+        assert_eq!(est.stats.chains, est.stats.windows);
+        assert!(est.times_ms.iter().all(|t| t.is_some()));
     }
 
     #[test]

@@ -46,10 +46,13 @@ pub struct ReconstructedPacket {
 #[derive(Debug, Clone)]
 pub struct StreamingEstimator {
     cfg: EstimatorConfig,
+    /// Buffered packets, kept sorted by `(gen_time, pid)` at all times
+    /// (insertion keeps the order, so a flush never re-sorts).
     buffer: Vec<CollectedPacket>,
     /// Flush when the buffer reaches this many packets.
     high_water: usize,
     emitted: usize,
+    overflow_dropped: u64,
 }
 
 impl StreamingEstimator {
@@ -58,12 +61,27 @@ impl StreamingEstimator {
     /// solved with at least one window of future context; override it
     /// with [`StreamingEstimator::with_high_water`].
     pub fn new(cfg: EstimatorConfig) -> Self {
-        let high_water = (cfg.window_packets * 4).max(8);
+        let high_water = Self::effective_high_water(&cfg, None);
         Self {
             cfg,
             buffer: Vec::new(),
             high_water,
             emitted: 0,
+            overflow_dropped: 0,
+        }
+    }
+
+    /// The flush threshold an estimator built from `cfg` actually uses:
+    /// the override clamped exactly as [`StreamingEstimator::with_high_water`]
+    /// clamps it, or the [`StreamingEstimator::new`] default of four
+    /// windows when no override is given. Services that accept an
+    /// operator-supplied threshold should surface this value (not the
+    /// raw configured one) in their stats, so a clamped override is
+    /// never silently misleading.
+    pub fn effective_high_water(cfg: &EstimatorConfig, override_hw: Option<usize>) -> usize {
+        match override_hw {
+            Some(hw) => hw.max(2),
+            None => (cfg.window_packets * 4).max(8),
         }
     }
 
@@ -75,8 +93,16 @@ impl StreamingEstimator {
     /// overlap of §IV.B's improved time windows) at the cost of a longer
     /// wait before its reconstruction is final and a bigger resident
     /// buffer. A *smaller* value emits sooner with less context and a
-    /// measurable accuracy cost. Values below 2 are clamped to 2 (a
-    /// threshold of 1 would commit every packet with no context at all).
+    /// measurable accuracy cost.
+    ///
+    /// **Clamping:** values below 2 are silently raised to 2 — a
+    /// threshold of 1 would commit every packet with no context at all,
+    /// and 0 would never flush. The clamped value is what
+    /// [`StreamingEstimator::high_water`] (and the sink service's STATS
+    /// `high_water` line) reports, so always read the effective value
+    /// back rather than assuming the configured one was kept;
+    /// [`StreamingEstimator::effective_high_water`] computes it without
+    /// constructing an estimator.
     ///
     /// # Examples
     ///
@@ -85,10 +111,13 @@ impl StreamingEstimator {
     ///
     /// let online = StreamingEstimator::new(Default::default()).with_high_water(64);
     /// assert_eq!(online.high_water(), 64);
+    /// // Degenerate thresholds are clamped, and the getter tells you so.
+    /// let clamped = StreamingEstimator::new(Default::default()).with_high_water(0);
+    /// assert_eq!(clamped.high_water(), 2);
     /// ```
     #[must_use]
     pub fn with_high_water(mut self, high_water: usize) -> Self {
-        self.high_water = high_water.max(2);
+        self.high_water = Self::effective_high_water(&self.cfg, Some(high_water));
         self
     }
 
@@ -108,6 +137,14 @@ impl StreamingEstimator {
         self.emitted
     }
 
+    /// Packets discarded, unreconstructed, because a failing flush left
+    /// the buffer at its bound (see [`StreamingEstimator::try_push`]).
+    /// Nonzero only while the configuration is invalid; cleared by
+    /// [`StreamingEstimator::reset`].
+    pub fn overflow_dropped(&self) -> u64 {
+        self.overflow_dropped
+    }
+
     /// Discards any buffered packets and zeroes the emission counter,
     /// returning the estimator to its freshly-constructed state (the
     /// configured flush threshold is kept). Use this between streams
@@ -117,6 +154,7 @@ impl StreamingEstimator {
     pub fn reset(&mut self) {
         self.buffer.clear();
         self.emitted = 0;
+        self.overflow_dropped = 0;
     }
 
     /// Pushes one packet (in sink-arrival order); returns any packets
@@ -138,17 +176,40 @@ impl StreamingEstimator {
     /// # Errors
     ///
     /// [`DomoError::Estimator`] when the configuration is invalid. On
-    /// error the packet stays buffered; a later flush may still emit it.
+    /// error the packet stays buffered, but the buffer is then trimmed
+    /// to the high-water mark: the configuration is fixed at
+    /// construction, so a failing flush would otherwise fail on *every*
+    /// subsequent push and grow the buffer without bound. The oldest
+    /// packets beyond the mark are dropped unreconstructed and counted
+    /// in [`StreamingEstimator::overflow_dropped`].
+    ///
+    /// **Recovery:** an invalid configuration cannot heal in place —
+    /// build a new `StreamingEstimator` with a valid
+    /// [`EstimatorConfig`] (validate it up front with
+    /// [`crate::estimator::try_estimate`] on an empty view if needed),
+    /// or call [`StreamingEstimator::reset`] to discard the stream.
+    /// Until then the newest `high_water` packets stay buffered, so a
+    /// replacement estimator loses only the dropped prefix.
     pub fn try_push(
         &mut self,
         packet: CollectedPacket,
     ) -> Result<Vec<ReconstructedPacket>, DomoError> {
-        self.buffer.push(packet);
-        if self.buffer.len() >= self.high_water {
-            self.flush(self.buffer.len() / 2)
-        } else {
-            Ok(Vec::new())
+        // Keep the buffer sorted by (gen_time, pid): packets usually
+        // arrive nearly in generation order, so this is an append or a
+        // short shift, and flushes never have to sort.
+        let key = (packet.gen_time, packet.pid);
+        let at = self.buffer.partition_point(|q| (q.gen_time, q.pid) <= key);
+        self.buffer.insert(at, packet);
+        if self.buffer.len() < self.high_water {
+            return Ok(Vec::new());
         }
+        let result = self.flush(self.buffer.len() / 2);
+        if result.is_err() && self.buffer.len() > self.high_water {
+            let excess = self.buffer.len() - self.high_water;
+            self.buffer.drain(..excess);
+            self.overflow_dropped += excess as u64;
+        }
+        result
     }
 
     /// Flushes everything still buffered (end of stream).
@@ -200,21 +261,46 @@ impl StreamingEstimator {
 
     /// Solves over the whole buffer and emits the `commit` oldest
     /// packets (by generation time).
+    ///
+    /// The buffer is moved — not cloned — into the solve: it is already
+    /// sorted by `(gen_time, pid)`, so the oldest `commit` packets are
+    /// exactly the prefix, and [`TraceView::into_packets`] hands the
+    /// storage back afterwards. On error the buffer is restored intact.
     fn flush(&mut self, commit: usize) -> Result<Vec<ReconstructedPacket>, DomoError> {
         if commit == 0 || self.buffer.is_empty() {
             return Ok(Vec::new());
         }
+        let commit = commit.min(self.buffer.len());
         // Solve with the full buffer as context.
-        let view = TraceView::new(self.buffer.clone());
-        let est = try_estimate(&view, &self.cfg)?;
+        let view = TraceView::new(std::mem::take(&mut self.buffer));
+        let result = Self::reconstruct_prefix(&view, &self.cfg, commit);
+        let mut packets = view.into_packets();
+        match result {
+            Ok(out) => {
+                // Drop the committed prefix in place; the tail keeps its
+                // allocation and stays sorted.
+                packets.drain(..commit);
+                self.buffer = packets;
+                self.emitted += out.len();
+                Ok(out)
+            }
+            Err(e) => {
+                self.buffer = packets;
+                Err(e)
+            }
+        }
+    }
 
-        // Pick the oldest `commit` packets by generation time.
-        let mut order: Vec<usize> = (0..view.num_packets()).collect();
-        order.sort_by_key(|&i| (view.packet(i).gen_time, view.packet(i).pid));
-        let committed: Vec<usize> = order.into_iter().take(commit).collect();
-
-        let mut out = Vec::with_capacity(committed.len());
-        for &pi in &committed {
+    /// Reconstructs the first `commit` packets of `view` (which holds
+    /// the buffer in `(gen_time, pid)` order).
+    fn reconstruct_prefix(
+        view: &TraceView,
+        cfg: &EstimatorConfig,
+        commit: usize,
+    ) -> Result<Vec<ReconstructedPacket>, DomoError> {
+        let est = try_estimate(view, cfg)?;
+        let mut out = Vec::with_capacity(commit);
+        for pi in 0..commit {
             let p = view.packet(pi);
             let mut hop_times_ms = Vec::with_capacity(p.path.len());
             for hop in 0..p.path.len() {
@@ -231,12 +317,6 @@ impl StreamingEstimator {
                 hop_times_ms,
             });
         }
-
-        // Retain the rest of the buffer.
-        let committed_set: std::collections::HashSet<PacketId> =
-            out.iter().map(|r| r.pid).collect();
-        self.buffer.retain(|p| !committed_set.contains(&p.pid));
-        self.emitted += out.len();
         Ok(out)
     }
 }
@@ -448,6 +528,59 @@ mod tests {
         // An empty estimator flushes to nothing.
         online.reset();
         assert!(online.try_flush_now().expect("valid config").is_empty());
+    }
+
+    #[test]
+    fn bad_config_bounds_the_buffer() {
+        // Regression: a persistently invalid config used to grow the
+        // buffer without bound (try_push inserted, flush failed, repeat).
+        let trace = run_simulation(&NetworkConfig::small(16, 309));
+        let bad = EstimatorConfig {
+            window_packets: 0,
+            ..EstimatorConfig::default()
+        };
+        let mut online = StreamingEstimator::new(bad);
+        let hw = online.high_water();
+        assert!(trace.packets.len() > 2 * hw, "need enough overflow");
+        for p in &trace.packets {
+            let _ = online.try_push(p.clone());
+            assert!(online.pending() <= hw, "buffer must stay bounded");
+        }
+        assert_eq!(online.pending(), hw, "newest packets are retained");
+        assert_eq!(
+            online.overflow_dropped() as usize,
+            trace.packets.len() - hw,
+            "every dropped packet is accounted for"
+        );
+        assert_eq!(online.emitted(), 0);
+        online.reset();
+        assert_eq!(online.overflow_dropped(), 0, "reset clears the counter");
+    }
+
+    #[test]
+    fn arrival_order_does_not_affect_a_full_buffer_solve() {
+        // The buffer is kept sorted by (gen_time, pid) on insert, so two
+        // streams with the same packets in different arrival orders see
+        // identical views at flush time.
+        let trace = run_simulation(&NetworkConfig::small(9, 310));
+        let hw = trace.packets.len() + 1;
+        let mut forward = StreamingEstimator::new(EstimatorConfig::default()).with_high_water(hw);
+        for p in &trace.packets {
+            assert!(forward.push(p.clone()).is_empty(), "below high water");
+        }
+        let emitted_fwd = forward.finish();
+
+        let mut reversed: Vec<_> = trace.packets.clone();
+        reversed.reverse();
+        let mut backward = StreamingEstimator::new(EstimatorConfig::default()).with_high_water(hw);
+        for p in &reversed {
+            assert!(backward.push(p.clone()).is_empty(), "below high water");
+        }
+        let emitted_bwd = backward.finish();
+        assert_eq!(
+            emitted_fwd, emitted_bwd,
+            "sorted buffer makes emissions arrival-order independent"
+        );
     }
 
     #[test]

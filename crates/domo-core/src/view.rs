@@ -130,6 +130,13 @@ impl TraceView {
         &self.packets
     }
 
+    /// Consumes the view and returns the packets it was built from, in
+    /// their original order (lets a caller that moved a buffer into
+    /// [`TraceView::new`] recover it without cloning).
+    pub fn into_packets(self) -> Vec<CollectedPacket> {
+        self.packets
+    }
+
     /// Borrow one packet.
     ///
     /// # Panics

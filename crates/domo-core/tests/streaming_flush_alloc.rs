@@ -1,0 +1,136 @@
+//! Regression test for the cost of `StreamingEstimator` flushes.
+//!
+//! The original implementation cloned the entire buffer into the
+//! `TraceView` and re-sorted it on every flush — O(n²) allocation and
+//! work over the life of a stream. The fix keeps the buffer sorted on
+//! insert and *moves* it into the view, recovering the storage with
+//! `TraceView::into_packets` afterwards.
+//!
+//! This test pins that down with a counting global allocator: it
+//! measures the bytes allocated by a real flush and by an inline
+//! re-implementation of the old clone-and-sort flush on the same
+//! buffer, and asserts the real flush allocates at least a
+//! buffer-clone's worth less. Both paths run the identical estimate on
+//! the identical view, so the solver's (large, deterministic)
+//! allocations cancel and the margin isolates the buffer management.
+//! The file is its own test binary with a single test, so no other
+//! test's allocations can race the counter.
+
+use domo_core::estimator::{try_estimate, EstimatorConfig};
+use domo_core::streaming::{ReconstructedPacket, StreamingEstimator};
+use domo_core::view::{TimeRef, TraceView};
+use domo_net::{run_simulation, CollectedPacket, NetworkConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocated_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let value = f();
+    (ALLOCATED.load(Ordering::Relaxed) - before, value)
+}
+
+/// The pre-fix flush, verbatim in spirit: clone the buffer into the
+/// view, estimate, sort an index vector to find the oldest `commit`
+/// packets, and rebuild the retained buffer.
+fn clone_and_sort_flush(
+    buffer: &mut Vec<CollectedPacket>,
+    cfg: &EstimatorConfig,
+    commit: usize,
+) -> Vec<ReconstructedPacket> {
+    let view = TraceView::new(buffer.clone());
+    let est = try_estimate(&view, cfg).expect("valid config");
+    let mut order: Vec<usize> = (0..view.num_packets()).collect();
+    order.sort_by_key(|&i| (view.packet(i).gen_time, view.packet(i).pid));
+    let committed: Vec<usize> = order.into_iter().take(commit).collect();
+    let mut out = Vec::with_capacity(committed.len());
+    for &pi in &committed {
+        let p = view.packet(pi);
+        let mut hop_times_ms = Vec::with_capacity(p.path.len());
+        for hop in 0..p.path.len() {
+            let t = match view.time_ref(pi, hop) {
+                TimeRef::Known(t) => t,
+                TimeRef::Var(v) => est.time_of(v).expect("estimated"),
+            };
+            hop_times_ms.push(t);
+        }
+        out.push(ReconstructedPacket {
+            pid: p.pid,
+            hop_times_ms,
+        });
+    }
+    let committed_set: std::collections::HashSet<_> = out.iter().map(|r| r.pid).collect();
+    buffer.retain(|p| !committed_set.contains(&p.pid));
+    out
+}
+
+#[test]
+fn flush_does_not_clone_the_buffer() {
+    let trace = run_simulation(&NetworkConfig::small(9, 401));
+    let n = trace.packets.len();
+    assert!(n >= 8, "trace too small to measure");
+    let cfg = EstimatorConfig::default();
+
+    // Sorted arrival order so both paths see the identical view (the
+    // streaming estimator sorts on insert; the old path sorted late).
+    let mut sorted = trace.packets.clone();
+    sorted.sort_by_key(|p| (p.gen_time, p.pid));
+    let commit = n.div_ceil(2); // matches try_flush_now
+
+    // Old semantics, measured.
+    let mut old_buffer = sorted.clone();
+    let (clone_bytes, _) = allocated_during(|| {
+        let copy = old_buffer.clone();
+        drop(copy);
+    });
+    let (old_bytes, old_out) =
+        allocated_during(|| clone_and_sort_flush(&mut old_buffer, &cfg, commit));
+
+    // Real streaming flush, measured.
+    let mut online = StreamingEstimator::new(cfg).with_high_water(n + 1);
+    for p in &sorted {
+        assert!(online.push(p.clone()).is_empty(), "below high water");
+    }
+    let (new_bytes, new_out) = allocated_during(|| online.try_flush_now().expect("valid config"));
+
+    // Identical emissions (same view, same estimate, same commit set) —
+    // the fix changes cost, not results.
+    assert_eq!(old_out, new_out, "flush semantics must be unchanged");
+    assert_eq!(online.pending(), n - commit);
+
+    // The real flush must be cheaper than the clone-and-sort path by at
+    // least half a buffer clone (the solver allocations on both sides
+    // are identical and cancel; half-a-clone of slack absorbs
+    // incidental differences while still failing if the full clone or
+    // the sort scratch ever comes back).
+    assert!(clone_bytes > 0, "clone measurement must see the buffer");
+    assert!(
+        new_bytes + clone_bytes / 2 <= old_bytes,
+        "flush allocated {new_bytes} B vs clone-and-sort {old_bytes} B \
+         (buffer clone is {clone_bytes} B) — the zero-clone fix regressed"
+    );
+}

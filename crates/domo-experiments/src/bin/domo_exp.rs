@@ -1,7 +1,8 @@
 //! `domo-exp` — regenerate the Domo paper's tables and figures.
 //!
 //! ```text
-//! domo-exp <experiment> [--nodes N] [--seed S] [--fast K]
+//! domo-exp <experiment> [--nodes N] [--seed S] [--fast K] [--threads T]
+//! domo-exp bench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //!
 //! experiments:
 //!   fig1     per-node delay map at two times
@@ -15,17 +16,31 @@
 //!   workload trace/topology characterization + constraint diagnostics
 //!   robust   the fault-injection sweep (all fault classes, rising rates)
 //!   online   the domo-sink online service vs the offline pipeline
-//!   all      everything above, in order
+//!   bench    estimator window-solve throughput across thread counts and
+//!            warm-start settings; gates on --baseline (fails if
+//!            single-thread throughput regressed >20%), then writes the
+//!            fresh numbers to --out (default BENCH_estimator.json)
+//!   all      every figure/table above, in order
 //! ```
+//!
+//! `--threads T` sets `EstimatorConfig::threads` (parallel window
+//! chains) for every experiment; results are bit-identical for any `T`.
 
+use domo_core::estimator::{try_estimate, EstimatorConfig};
+use domo_core::TraceView;
 use domo_experiments::figures;
 use domo_experiments::scenario::Scenario;
+use domo_net::{run_simulation, NetworkConfig};
+use std::time::Instant;
 
 struct Args {
     experiment: String,
     nodes: usize,
     seed: u64,
     fast: u64,
+    threads: usize,
+    out: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +49,9 @@ fn parse_args() -> Result<Args, String> {
         nodes: 100,
         seed: 1,
         fast: 1,
+        threads: 1,
+        out: "BENCH_estimator.json".into(),
+        baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -41,6 +59,11 @@ fn parse_args() -> Result<Args, String> {
         return Err("missing experiment name".into());
     };
     args.experiment = exp.clone();
+    // The bench works a much smaller trace than the paper scenarios.
+    if args.experiment == "bench" {
+        args.nodes = 25;
+        args.seed = 7;
+    }
     while let Some(flag) = it.next() {
         let value = it
             .next()
@@ -49,17 +72,152 @@ fn parse_args() -> Result<Args, String> {
             "--nodes" => args.nodes = value.parse().map_err(|e| format!("--nodes: {e}"))?,
             "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--fast" => args.fast = value.parse().map_err(|e| format!("--fast: {e}"))?,
+            "--threads" => args.threads = value.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--out" => args.out = value.clone(),
+            "--baseline" => args.baseline = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.fast == 0 {
         return Err("--fast must be positive".into());
     }
+    if args.threads == 0 {
+        return Err("--threads must be positive".into());
+    }
     Ok(args)
 }
 
 fn base_scenario(args: &Args) -> Scenario {
-    Scenario::paper(args.nodes, args.seed).scaled_down(args.fast)
+    let mut scenario = Scenario::paper(args.nodes, args.seed).scaled_down(args.fast);
+    scenario.estimator.threads = args.threads;
+    scenario
+}
+
+/// Seconds of the *fastest* call of `f`, repeated until the
+/// measurement is at least 200 ms long (and at least 3 iterations).
+/// The minimum, not the mean, is what the regression gate compares:
+/// transient load on a shared machine only ever slows iterations down,
+/// so the fastest one is the most reproducible estimate of the code's
+/// own cost.
+fn time_per_iter(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    let mut best = f64::INFINITY;
+    while iters < 3 || start.elapsed().as_millis() < 200 {
+        let one = Instant::now();
+        f();
+        best = best.min(one.elapsed().as_secs_f64());
+        iters += 1;
+    }
+    best
+}
+
+/// Pulls `"single_thread_windows_per_sec": <float>` out of a previously
+/// committed bench file (the JSON is flat and machine-written, so a
+/// substring scan is enough — no JSON dependency needed).
+fn baseline_throughput(json: &str) -> Option<f64> {
+    let key = "\"single_thread_windows_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Estimator window-solve throughput across thread counts and
+/// warm-start settings. Gates on `--baseline`, then writes `--out`.
+fn bench(args: &Args) -> Result<(), String> {
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    if trace.packets.is_empty() {
+        return Err("simulated trace delivered nothing".into());
+    }
+    let view = TraceView::new(trace.packets.clone());
+    let reference = try_estimate(&view, &EstimatorConfig::default()).map_err(|e| e.to_string())?;
+    println!(
+        "bench: {} packets, {} unknowns, {} windows ({} nodes, seed {})",
+        trace.packets.len(),
+        view.vars().len(),
+        reference.stats.windows,
+        args.nodes,
+        args.seed
+    );
+
+    let mut rows = Vec::new();
+    let mut single_thread_wps = None;
+    for warm_start in [true, false] {
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = EstimatorConfig {
+                threads,
+                warm_start,
+                ..EstimatorConfig::default()
+            };
+            let seconds = time_per_iter(|| {
+                let _ = try_estimate(&view, &cfg);
+            });
+            let est = try_estimate(&view, &cfg).map_err(|e| e.to_string())?;
+            let wps = est.stats.windows as f64 / seconds;
+            if threads == 1 && warm_start {
+                single_thread_wps = Some(wps);
+            }
+            println!(
+                "bench: threads {threads} warm {warm_start:5}: {seconds:.3} s/solve, \
+                 {wps:.1} windows/s ({} warm hits)",
+                est.stats.warm_hits
+            );
+            rows.push(format!(
+                "    {{\"threads\": {threads}, \"warm_start\": {warm_start}, \
+                 \"seconds_per_solve\": {seconds:.6}, \"windows_per_sec\": {wps:.1}, \
+                 \"warm_hits\": {}}}",
+                est.stats.warm_hits
+            ));
+        }
+    }
+    let single = single_thread_wps.ok_or("missing single-thread row")?;
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                let committed = baseline_throughput(&json)
+                    .ok_or_else(|| format!("{path}: no single_thread_windows_per_sec"))?;
+                let floor = committed * 0.8;
+                if single < floor {
+                    return Err(format!(
+                        "single-thread throughput regressed >20%: {single:.1} windows/s \
+                         vs committed {committed:.1} (floor {floor:.1}) in {path}"
+                    ));
+                }
+                println!(
+                    "bench: single-thread {single:.1} windows/s vs committed \
+                     {committed:.1} — within the 20% regression budget"
+                );
+            }
+            Err(e) => {
+                // A missing baseline is the bootstrap case, not a failure.
+                println!("bench: no baseline at {path} ({e}); writing a fresh one");
+            }
+        }
+    }
+
+    // Thread-count scaling is only meaningful relative to the cores the
+    // measuring host actually had; record it so a flat curve from a
+    // small box isn't misread as a scheduler regression.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"estimator_windows\",\n  \"nodes\": {},\n  \"seed\": {},\n  \
+         \"host_cpus\": {cpus},\n  \
+         \"packets\": {},\n  \"unknowns\": {},\n  \"windows\": {},\n  \
+         \"single_thread_windows_per_sec\": {single:.1},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        args.nodes,
+        args.seed,
+        trace.packets.len(),
+        view.vars().len(),
+        reference.stats.windows,
+        rows.join(",\n")
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("bench: wrote {}", args.out);
+    Ok(())
 }
 
 fn run(experiment: &str, args: &Args) {
@@ -125,6 +283,12 @@ fn run(experiment: &str, args: &Args) {
             let cmp = figures::online_comparison(base_scenario(args), &[1, 2, 4]);
             println!("{}", figures::render_online(&cmp));
         }
+        "bench" => {
+            if let Err(msg) = bench(args) {
+                eprintln!("domo-exp: bench: {msg}");
+                std::process::exit(1);
+            }
+        }
         "all" => {
             for exp in [
                 "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
@@ -147,10 +311,27 @@ fn main() {
             eprintln!("domo-exp: {msg}");
             eprintln!(
                 "usage: domo-exp \
-                 <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|all> \
-                 [--nodes N] [--seed S] [--fast K]"
+                 <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|bench|all> \
+                 [--nodes N] [--seed S] [--fast K] [--threads T] [--out PATH] [--baseline PATH]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::baseline_throughput;
+
+    #[test]
+    fn baseline_parser_reads_the_committed_number() {
+        let json = "{\n  \"bench\": \"estimator_windows\",\n  \
+                    \"single_thread_windows_per_sec\": 123.4,\n  \"rows\": []\n}";
+        assert_eq!(baseline_throughput(json), Some(123.4));
+        assert_eq!(baseline_throughput("{}"), None);
+        assert_eq!(
+            baseline_throughput("{\"single_thread_windows_per_sec\": bad}"),
+            None
+        );
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! domo-sink serve  [--ingest-port P] [--query-port Q] [--shards N]
-//!                  [--queue-cap C] [--high-water H]
+//!                  [--queue-cap C] [--high-water H] [--threads T]
 //! domo-sink replay --ingest HOST:PORT [--query HOST:PORT] [--nodes N]
 //!                  [--seed S] [--rate PPS] [--garbage G] [--drain]
 //! domo-sink smoke  [--nodes N] [--seed S] [--shards K]
@@ -31,6 +31,7 @@ struct Flags {
     shards: usize,
     queue_cap: usize,
     high_water: Option<usize>,
+    threads: usize,
     ingest: Option<String>,
     query: Option<String>,
     nodes: usize,
@@ -49,6 +50,7 @@ impl Default for Flags {
             shards: 2,
             queue_cap: 4096,
             high_water: None,
+            threads: 1,
             ingest: None,
             query: None,
             nodes: 9,
@@ -81,6 +83,7 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
             "--shards" => f.shards = num(flag)? as usize,
             "--queue-cap" => f.queue_cap = num(flag)? as usize,
             "--high-water" => f.high_water = Some(num(flag)? as usize),
+            "--threads" => f.threads = num(flag)? as usize,
             "--nodes" => f.nodes = num(flag)? as usize,
             "--seed" => f.seed = num(flag)?,
             "--garbage" => f.garbage = num(flag)? as usize,
@@ -95,12 +98,16 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
 }
 
 fn sink_config(f: &Flags) -> SinkConfig {
-    SinkConfig {
+    let mut cfg = SinkConfig {
         shards: f.shards,
         queue_capacity: f.queue_cap,
         high_water: f.high_water,
         ..SinkConfig::default()
-    }
+    };
+    // Solver threads *within* each shard's estimator (shards already
+    // run concurrently with each other).
+    cfg.estimator.threads = f.threads.max(1);
+    cfg
 }
 
 fn serve(f: &Flags) -> Result<(), String> {

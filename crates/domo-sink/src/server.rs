@@ -182,6 +182,9 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 writeln!(out, "malformed_frames {}", s.malformed_frames)?;
                 writeln!(out, "backpressure_dropped {}", s.backpressure_dropped)?;
                 writeln!(out, "estimator_errors {}", s.estimator_errors)?;
+                // Effective (post-clamp) flush threshold, so operators
+                // see the value the shards actually use.
+                writeln!(out, "high_water {}", service.effective_high_water())?;
                 writeln!(out, "END")?;
             }
             "NODES" => {
@@ -305,7 +308,13 @@ mod tests {
 
         // One-shot helper and unknown-command handling.
         let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
-        assert_eq!(oneshot.len(), 6);
+        assert_eq!(oneshot.len(), 7);
+        // The effective flush threshold is surfaced, post-clamp.
+        let default_hw = domo_core::StreamingEstimator::effective_high_water(
+            &domo_core::EstimatorConfig::default(),
+            None,
+        );
+        assert!(oneshot.contains(&format!("high_water {default_hw}")));
         let err = q.request("BOGUS").expect("err reply");
         assert!(err[0].starts_with("ERR unknown command"));
 

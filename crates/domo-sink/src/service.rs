@@ -39,7 +39,12 @@ pub struct SinkConfig {
     /// Configuration of every shard's wrapped estimator.
     pub estimator: EstimatorConfig,
     /// Flush-threshold override for the shard estimators (`None` keeps
-    /// the [`StreamingEstimator::new`] default of four windows).
+    /// the [`StreamingEstimator::new`] default of four windows). Values
+    /// below 2 are clamped exactly as
+    /// [`StreamingEstimator::with_high_water`] clamps them; the value
+    /// the shards actually use is
+    /// [`SinkService::effective_high_water`] and is reported on the
+    /// query protocol's STATS `high_water` line.
     pub high_water: Option<usize>,
     /// Record-validation knobs (the PR 1 sanitize path).
     pub sanitize: SanitizeConfig,
@@ -284,6 +289,7 @@ pub struct SinkService {
     store: Arc<Mutex<Store>>,
     seen: Mutex<HashSet<PacketId>>,
     sanitize: SanitizeConfig,
+    effective_high_water: usize,
 }
 
 impl std::fmt::Debug for SinkService {
@@ -323,12 +329,25 @@ impl SinkService {
             store,
             seen: Mutex::new(HashSet::new()),
             sanitize: cfg.sanitize,
+            effective_high_water: StreamingEstimator::effective_high_water(
+                &cfg.estimator,
+                cfg.high_water,
+            ),
         }
     }
 
     /// Number of shard workers.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The flush threshold every shard estimator actually runs with —
+    /// the configured [`SinkConfig::high_water`] after clamping, or the
+    /// default derived from the estimator config. Operators should read
+    /// this (it is the STATS `high_water` line), not their configured
+    /// value, which may have been clamped.
+    pub fn effective_high_water(&self) -> usize {
+        self.effective_high_water
     }
 
     /// Validates, deduplicates, and routes one record.
@@ -710,6 +729,24 @@ mod tests {
         assert_eq!(stats.emitted, trace.packets.len() as u64);
         assert_eq!(stats.malformed_frames, 1);
         service.shutdown();
+    }
+
+    #[test]
+    fn effective_high_water_reports_the_clamp() {
+        // An operator configuring 0 must be able to see the value the
+        // shards actually use (with_high_water clamps to 2).
+        let service = SinkService::start(SinkConfig {
+            high_water: Some(0),
+            ..SinkConfig::default()
+        });
+        assert_eq!(service.effective_high_water(), 2);
+        service.shutdown();
+        let default_service = SinkService::start(SinkConfig::default());
+        assert_eq!(
+            default_service.effective_high_water(),
+            StreamingEstimator::effective_high_water(&EstimatorConfig::default(), None)
+        );
+        default_service.shutdown();
     }
 
     #[test]

@@ -16,6 +16,9 @@
 #                        reconstructed and garbage frames are counted),
 #                        plus the ingestion-throughput bench, which
 #                        refreshes BENCH_sink.json
+#   5. estimator bench   domo-exp bench: fails if single-thread window
+#                        throughput regressed >20% vs the committed
+#                        BENCH_estimator.json, then refreshes the file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,5 +43,8 @@ echo "==> domo-sink smoke (end-to-end over loopback TCP)"
 
 echo "==> domo-sink bench (writes BENCH_sink.json)"
 ./target/release/domo-sink bench --nodes 16 --seed 7
+
+echo "==> domo-exp bench (gates on BENCH_estimator.json, then refreshes it)"
+./target/release/domo-exp bench --baseline BENCH_estimator.json
 
 echo "All checks passed."
