@@ -14,8 +14,13 @@ use crate::interval::{propagate, Intervals};
 use crate::lowering::LocalProblem;
 use crate::view::TraceView;
 use domo_graph::{extract_ball, refine, BlpOptions, Graph};
+use domo_obs::LazyCounter;
 use domo_solver::{try_solve_warm, QpBuilder, Settings};
 use std::time::Duration;
+
+// Bound-solver telemetry, cumulative across runs.
+static OBS_LP_SOLVES: LazyCounter = LazyCounter::new("domo_bounds_lp_solves_total", &[]);
+static OBS_UNCONVERGED: LazyCounter = LazyCounter::new("domo_bounds_unconverged_lps_total", &[]);
 
 /// How the per-target bounds are computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,6 +312,8 @@ pub fn try_bounds_for(
         stats.lp_solves += 2;
         stats.targets += 1;
         stats.unconverged_lps += r.unconverged;
+        OBS_LP_SOLVES.add(2);
+        OBS_UNCONVERGED.add(r.unconverged as u64);
         lb[r.target] = Some(r.lb);
         ub[r.target] = Some(r.ub);
     }
@@ -341,6 +348,7 @@ fn solve_target(
     rows_of_var: &[Vec<usize>],
     target: usize,
 ) -> TargetResult {
+    let _span = domo_obs::span!("domo_bounds_target_seconds");
     let n = view.num_vars();
     let mut sub = extract_ball(graph, target, cfg.graph_cut_size.min(n));
     let (cut_before, cut_after) = if cfg.use_blp {

@@ -152,6 +152,28 @@ mod tests {
         diagnose(&view, &ConstraintOptions::default())
     }
 
+    /// Builds a packet along `nodes` with evenly spaced hop times.
+    fn packet(
+        origin: u16,
+        seq: u32,
+        nodes: &[u16],
+        gen_ms: u64,
+        hop_ms: u64,
+    ) -> domo_net::CollectedPacket {
+        let path: Vec<domo_net::NodeId> = nodes.iter().map(|&n| domo_net::NodeId::new(n)).collect();
+        let gen = domo_util::time::SimTime::from_millis(gen_ms);
+        let arrival =
+            domo_util::time::SimTime::from_millis(gen_ms + hop_ms * (nodes.len() as u64 - 1));
+        domo_net::CollectedPacket {
+            pid: domo_net::PacketId::new(domo_net::NodeId::new(origin), seq),
+            gen_time: gen,
+            sink_arrival: arrival,
+            path,
+            sum_of_delays_ms: (hop_ms * (nodes.len() as u64 - 1)) as u16,
+            e2e_ms: (hop_ms * (nodes.len() as u64 - 1)) as u16,
+        }
+    }
+
     #[test]
     fn counts_are_internally_consistent() {
         let d = diag(401);
@@ -219,5 +241,43 @@ mod tests {
         assert_eq!(d.packets, 0);
         assert_eq!(d.unknowns, 0);
         assert_eq!(d.decided_ratio, 1.0);
+    }
+
+    #[test]
+    fn single_packet_has_no_fifo_pairs() {
+        // One packet, one interior hop: nothing to order, every ratio
+        // well-defined, every mean finite.
+        let view = TraceView::new(vec![packet(5, 0, &[5, 3, 0], 0, 10)]);
+        let d = diagnose(&view, &ConstraintOptions::default());
+        assert_eq!(d.packets, 1);
+        assert_eq!(d.unknowns, 1);
+        assert_eq!(d.mean_path_len, 3.0);
+        assert_eq!(d.fifo_rows, 0);
+        assert_eq!(d.undecided_pairs, 0);
+        assert_eq!(d.decided_ratio, 1.0, "no pairs counts as fully decided");
+        assert!(d.mean_interval_width_ms.is_finite());
+        assert!(d.rows_per_unknown.is_finite());
+        let text = d.render();
+        assert!(text.contains("1 packets"));
+    }
+
+    #[test]
+    fn fully_overlapping_intervals_leave_all_pairs_undecided() {
+        // Two packets cross at forwarder 3 but continue to different
+        // next hops, so both the arrival and the departure times at the
+        // shared node are unknowns with near-identical intervals — the
+        // ordering oracle must refuse to decide, leaving zero FIFO rows
+        // and a decided ratio of exactly 0.
+        let view = TraceView::new(vec![
+            packet(5, 0, &[5, 3, 1, 0], 0, 33),
+            packet(6, 0, &[6, 3, 2, 0], 1, 33),
+        ]);
+        let d = diagnose(&view, &ConstraintOptions::default());
+        assert_eq!(d.packets, 2);
+        assert!(d.undecided_pairs > 0, "overlap must defeat the oracle");
+        assert_eq!(d.fifo_rows, 0, "no pair decided, so no FIFO rows");
+        assert_eq!(d.decided_ratio, 0.0);
+        let text = d.render();
+        assert!(text.contains("decided 0.0%"));
     }
 }

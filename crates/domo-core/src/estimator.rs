@@ -38,10 +38,30 @@ use crate::expr::LinExpr;
 use crate::interval::{propagate, Intervals};
 use crate::lowering::LocalProblem;
 use crate::view::TraceView;
+use domo_obs::LazyCounter;
 use domo_solver::svec::svec_index;
 use domo_solver::{try_solve_warm, QpBuilder, Settings};
 use std::collections::HashMap;
 use std::time::Duration;
+
+// Pipeline telemetry mirroring the per-run `EstimatorStats`, but
+// cumulative across runs and scrapeable while a service is live.
+static OBS_WINDOWS: LazyCounter = LazyCounter::new("domo_estimator_windows_total", &[]);
+static OBS_CHAINS: LazyCounter = LazyCounter::new("domo_estimator_chains_total", &[]);
+static OBS_WARM_HITS: LazyCounter = LazyCounter::new("domo_estimator_warm_hits_total", &[]);
+static OBS_LADDER_UPPER_SUM: LazyCounter = LazyCounter::new(
+    "domo_estimator_ladder_fallbacks_total",
+    &[("rung", "upper_sum")],
+);
+static OBS_LADDER_FIFO: LazyCounter =
+    LazyCounter::new("domo_estimator_ladder_fallbacks_total", &[("rung", "fifo")]);
+static OBS_LADDER_MIDPOINT: LazyCounter = LazyCounter::new(
+    "domo_estimator_ladder_fallbacks_total",
+    &[("rung", "midpoint")],
+);
+static OBS_SOLVER_ERRORS: LazyCounter = LazyCounter::new("domo_estimator_solver_errors_total", &[]);
+static OBS_FAILED_WORKERS: LazyCounter =
+    LazyCounter::new("domo_estimator_failed_workers_total", &[]);
 
 /// How FIFO constraints enter the optimization.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -303,6 +323,7 @@ pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates
                         // run: its chains' commit zones degrade to the
                         // propagated interval midpoints.
                         stats.failed_workers += 1;
+                        OBS_FAILED_WORKERS.inc();
                         results.extend(part.iter().map(|c| chain_fallback(view, &intervals, c)));
                     }
                 }
@@ -318,6 +339,7 @@ pub fn try_estimate(view: &TraceView, cfg: &EstimatorConfig) -> Result<Estimates
         stats.absorb(&r.stats);
     }
     stats.chains = chains.len();
+    OBS_CHAINS.add(chains.len() as u64);
 
     Ok(Estimates { times_ms, stats })
 }
@@ -398,6 +420,7 @@ fn run_chain(
             &mut stats,
         );
         stats.windows += 1;
+        OBS_WINDOWS.inc();
     }
     ChainResult { commits, stats }
 }
@@ -413,6 +436,7 @@ fn chain_fallback(view: &TraceView, intervals: &Intervals, jobs: &[WindowJob]) -
         }
         stats.windows += 1;
         stats.unsolved_windows += 1;
+        OBS_WINDOWS.inc();
     }
     ChainResult { commits, stats }
 }
@@ -488,6 +512,7 @@ fn solve_window(
     commits: &mut Vec<(usize, f64)>,
     stats: &mut EstimatorStats,
 ) -> Option<HashMap<usize, f64>> {
+    let _span = domo_obs::span!("domo_estimator_window_solve_seconds");
     let mut system = build_constraints(view, window, intervals, &cfg.constraints);
 
     // Local variable space: the window packets' own unknowns only. Rows
@@ -534,6 +559,7 @@ fn solve_window(
     let warm_seed = warm_seed.filter(|m| vars.iter().any(|v| m.contains_key(v)));
     if warm_seed.is_some() {
         stats.warm_hits += 1;
+        OBS_WARM_HITS.inc();
     }
 
     let use_sdp = cfg.fifo_mode == FifoMode::SdpRelaxation
@@ -576,6 +602,7 @@ fn solve_window(
         Some(x) => Some(x),
         None => {
             stats.relaxed_retries += 1;
+            OBS_LADDER_UPPER_SUM.inc();
             attempt(
                 view,
                 cfg,
@@ -594,6 +621,7 @@ fn solve_window(
         Some(x) => Some(x),
         None => {
             stats.fifo_relaxed_windows += 1;
+            OBS_LADDER_FIFO.inc();
             // No lifting on the last rung: the lifted rows *are* the
             // undecided FIFO constraints being dropped.
             attempt(
@@ -635,6 +663,7 @@ fn solve_window(
         }
         None => {
             stats.unsolved_windows += 1;
+            OBS_LADDER_MIDPOINT.inc();
             for v in committed_vars {
                 commits.push((v, intervals.midpoint(v)));
             }
@@ -749,6 +778,7 @@ fn attempt(
             // Block sized by construction; if that invariant ever broke,
             // fall through the ladder instead of aborting the run.
             stats.solver_errors += 1;
+            OBS_SOLVER_ERRORS.inc();
             return None;
         }
     } else {
@@ -762,6 +792,7 @@ fn attempt(
         Ok(p) => p,
         Err(_) => {
             stats.solver_errors += 1;
+            OBS_SOLVER_ERRORS.inc();
             return None;
         }
     };
@@ -780,6 +811,7 @@ fn attempt(
         Ok(sol) => sol,
         Err(_) => {
             stats.solver_errors += 1;
+            OBS_SOLVER_ERRORS.inc();
             return None;
         }
     };

@@ -18,7 +18,12 @@
 //! "Failure model & degradation semantics").
 
 use domo_net::{CollectedPacket, PacketId};
+use domo_obs::LazyCounter;
 use std::collections::HashSet;
+
+// Every record rejected by an invariant check or the duplicate-id
+// screen, cumulative across the process.
+static OBS_QUARANTINED: LazyCounter = LazyCounter::new("domo_sanitize_quarantined_total", &[]);
 
 /// Why a record was quarantined.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +128,14 @@ impl Default for SanitizeConfig {
 ///
 /// Returns the first violated invariant.
 pub fn check_packet(p: &CollectedPacket, cfg: &SanitizeConfig) -> Result<(), TraceError> {
+    let r = check_packet_inner(p, cfg);
+    if r.is_err() {
+        OBS_QUARANTINED.inc();
+    }
+    r
+}
+
+fn check_packet_inner(p: &CollectedPacket, cfg: &SanitizeConfig) -> Result<(), TraceError> {
     if p.path.len() < 2 {
         return Err(TraceError::PathTooShort { len: p.path.len() });
     }
@@ -203,6 +216,7 @@ pub fn sanitize_packets(
                 if seen_ids.insert(p.pid) {
                     clean.push(p);
                 } else {
+                    OBS_QUARANTINED.inc();
                     quarantined.push(QuarantinedPacket {
                         index,
                         pid: p.pid,

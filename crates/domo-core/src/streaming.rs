@@ -16,6 +16,14 @@ use crate::estimator::{try_estimate, EstimatorConfig};
 use crate::view::{TimeRef, TraceView};
 use crate::DomoError;
 use domo_net::{CollectedPacket, PacketId};
+use domo_obs::{LazyCounter, LazyHistogram};
+
+// Streaming-layer telemetry, cumulative across every estimator in the
+// process (a sharded sink runs several).
+static OBS_FLUSH_PACKETS: LazyHistogram = LazyHistogram::new("domo_streaming_flush_packets", &[]);
+static OBS_EMITTED: LazyCounter = LazyCounter::new("domo_streaming_emitted_total", &[]);
+static OBS_OVERFLOW_DROPPED: LazyCounter =
+    LazyCounter::new("domo_streaming_overflow_dropped_total", &[]);
 
 /// One emitted reconstruction: a packet and its full arrival-time
 /// sequence (generation, interior estimates, sink arrival; ms).
@@ -208,6 +216,7 @@ impl StreamingEstimator {
             let excess = self.buffer.len() - self.high_water;
             self.buffer.drain(..excess);
             self.overflow_dropped += excess as u64;
+            OBS_OVERFLOW_DROPPED.add(excess as u64);
         }
         result
     }
@@ -282,6 +291,8 @@ impl StreamingEstimator {
                 packets.drain(..commit);
                 self.buffer = packets;
                 self.emitted += out.len();
+                OBS_FLUSH_PACKETS.observe(out.len() as f64);
+                OBS_EMITTED.add(out.len() as u64);
                 Ok(out)
             }
             Err(e) => {

@@ -1,0 +1,338 @@
+//! Leveled structured events: `DOMO_LOG`-filtered, rendered as one
+//! JSON object per line on stderr.
+//!
+//! The filter grammar mirrors the familiar `RUST_LOG` subset:
+//!
+//! ```text
+//! DOMO_LOG = level [ "," target "=" level ]*
+//! level    = "trace" | "debug" | "info" | "warn" | "error" | "off"
+//! ```
+//!
+//! e.g. `DOMO_LOG=warn,domo_sink=debug` keeps everything at `warn`+
+//! except targets starting with `domo_sink`, which log from `debug`.
+//! The default (unset or unparsable) is `info`.
+//!
+//! Events are emitted through the [`crate::event!`] family of macros,
+//! which check [`log_enabled`] before building any fields, so a
+//! filtered-out event costs one comparison.
+
+use std::io::Write as _;
+use std::sync::{OnceLock, RwLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::metrics::json_string;
+
+/// Event severity, ordered `Trace < Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Finest-grained tracing.
+    Trace = 0,
+    /// Developer diagnostics.
+    Debug = 1,
+    /// Normal operational events.
+    Info = 2,
+    /// Something degraded but handled.
+    Warn = 3,
+    /// Something failed.
+    Error = 4,
+}
+
+impl Level {
+    /// Lower-case name used in filters and rendered output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// Numeric threshold one past [`Level::Error`], meaning "log nothing".
+const OFF: u8 = 5;
+
+fn parse_level(s: &str) -> Option<u8> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "trace" => Some(Level::Trace as u8),
+        "debug" => Some(Level::Debug as u8),
+        "info" => Some(Level::Info as u8),
+        "warn" | "warning" => Some(Level::Warn as u8),
+        "error" => Some(Level::Error as u8),
+        "off" | "none" => Some(OFF),
+        _ => None,
+    }
+}
+
+#[derive(Debug)]
+struct Filter {
+    default: u8,
+    /// `(target prefix, minimum level)` overrides; longest matching
+    /// prefix wins.
+    targets: Vec<(String, u8)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut default = Level::Info as u8;
+        let mut targets: Vec<(String, u8)> = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((target, lvl)) = part.split_once('=') {
+                if let Some(l) = parse_level(lvl) {
+                    targets.push((target.trim().to_string(), l));
+                }
+            } else if let Some(l) = parse_level(part) {
+                default = l;
+            }
+        }
+        // Longest prefix first so the first match is the best match.
+        targets.sort_by_key(|t| std::cmp::Reverse(t.0.len()));
+        Filter { default, targets }
+    }
+
+    fn min_level(&self, target: &str) -> u8 {
+        for (prefix, lvl) in &self.targets {
+            if target.starts_with(prefix.as_str()) {
+                return *lvl;
+            }
+        }
+        self.default
+    }
+}
+
+fn filter() -> &'static RwLock<Filter> {
+    static FILTER: OnceLock<RwLock<Filter>> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        let spec = std::env::var("DOMO_LOG").unwrap_or_default();
+        RwLock::new(Filter::parse(&spec))
+    })
+}
+
+/// Replaces the active filter with one parsed from `spec` (same
+/// grammar as `DOMO_LOG`). Mainly for binaries that take a log flag
+/// and for tests.
+pub fn set_log_filter(spec: &str) {
+    let parsed = Filter::parse(spec);
+    *filter().write().unwrap_or_else(|p| p.into_inner()) = parsed;
+}
+
+/// Whether an event at `level` for `target` would be emitted.
+pub fn log_enabled(level: Level, target: &str) -> bool {
+    let f = filter().read().unwrap_or_else(|p| p.into_inner());
+    level as u8 >= f.min_level(target)
+}
+
+/// A dynamically typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite renders as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(_) => out.push_str("null"),
+            FieldValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::Str(s) => out.push_str(&json_string(s)),
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<u16> for FieldValue {
+    fn from(v: u16) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+/// Renders one event as a single JSON line (no trailing newline).
+/// Field keys land at the top level after the reserved
+/// `ts_ms`/`level`/`target`/`msg` keys.
+pub fn render_event(
+    ts_ms: u128,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + msg.len());
+    let _ = write!(
+        out,
+        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"target\":{},\"msg\":{}",
+        level.as_str(),
+        json_string(target),
+        json_string(msg)
+    );
+    for (k, v) in fields {
+        let _ = write!(out, ",{}:", json_string(k));
+        v.render_into(&mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one event to stderr if the active filter admits it. Binaries
+/// normally go through the [`crate::event!`] macros instead of calling
+/// this directly.
+pub fn emit(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    if !log_enabled(level, target) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let mut line = render_event(ts_ms, level, target, msg, fields);
+    line.push('\n');
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = lock.write_all(line.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing_and_matching() {
+        let f = Filter::parse("warn,domo_sink=debug,domo_sink::server=trace");
+        assert_eq!(f.min_level("domo_core::estimator"), Level::Warn as u8);
+        assert_eq!(f.min_level("domo_sink::service"), Level::Debug as u8);
+        // Longest prefix wins.
+        assert_eq!(f.min_level("domo_sink::server"), Level::Trace as u8);
+    }
+
+    #[test]
+    fn filter_defaults_to_info() {
+        let f = Filter::parse("");
+        assert_eq!(f.min_level("anything"), Level::Info as u8);
+        let f = Filter::parse("garbage");
+        assert_eq!(f.min_level("anything"), Level::Info as u8);
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let f = Filter::parse("off");
+        assert!((Level::Error as u8) < f.min_level("x"));
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn render_event_is_valid_shape() {
+        let line = render_event(
+            1234,
+            Level::Warn,
+            "domo_sink::server",
+            "malformed frame",
+            &[
+                ("bytes", FieldValue::from(17u64)),
+                ("peer", FieldValue::from("127.0.0.1:9")),
+                ("fatal", FieldValue::from(false)),
+                ("rate", FieldValue::from(0.5)),
+                ("delta", FieldValue::from(-3i64)),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ts_ms\":1234,\"level\":\"warn\",\"target\":\"domo_sink::server\",\
+             \"msg\":\"malformed frame\",\"bytes\":17,\"peer\":\"127.0.0.1:9\",\
+             \"fatal\":false,\"rate\":0.5,\"delta\":-3}"
+        );
+    }
+
+    #[test]
+    fn render_event_escapes_and_nulls() {
+        let line = render_event(
+            0,
+            Level::Info,
+            "t",
+            "say \"hi\"\n",
+            &[("nan", FieldValue::from(f64::NAN))],
+        );
+        assert!(line.contains("\"msg\":\"say \\\"hi\\\"\\n\""));
+        assert!(line.contains("\"nan\":null"));
+    }
+}

@@ -1,0 +1,171 @@
+//! # domo-obs — zero-dependency observability for the Domo pipeline
+//!
+//! Hand-rolled metrics and structured events, `std`-only so tier-1
+//! verify stays offline. Three pieces:
+//!
+//! * **Metrics** ([`Recorder`], [`Counter`], [`Gauge`], [`Histogram`])
+//!   — a process-wide registry with cheap atomic handles and a master
+//!   enable switch. Disabled, every operation is one relaxed load and
+//!   a branch. Exposition: [`Recorder::render_prometheus`] (text
+//!   format, served by `domo-sink`'s `METRICS` query command) and
+//!   [`Recorder::render_jsonl`] (one JSON object per metric, written
+//!   by `domo-exp --metrics-json`).
+//! * **Spans** ([`span!`], [`SpanTimer`]) — RAII timers feeding
+//!   log-bucketed latency histograms:
+//!
+//!   ```
+//!   fn solve_window() {
+//!       let _span = domo_obs::span!("domo_estimator_window_solve_seconds");
+//!       // ... timed work; elapsed seconds recorded on scope exit ...
+//!   }
+//!   solve_window();
+//!   ```
+//! * **Events** ([`event!`], [`info!`], [`warn!`], [`error!`], …) —
+//!   leveled, `DOMO_LOG`-filtered, rendered as JSON lines on stderr.
+//!   These replace raw `eprintln!` in the binaries (library crates
+//!   emit metrics, not prose; `scripts/check.sh` enforces this).
+//!
+//! Hot paths declare [`LazyCounter`] / [`LazyGauge`] /
+//! [`LazyHistogram`] statics that register against
+//! [`Recorder::global`] on first touch and are lock-free afterwards:
+//!
+//! ```
+//! use domo_obs::LazyCounter;
+//!
+//! static WINDOWS: LazyCounter =
+//!     LazyCounter::new("domo_estimator_windows_total", &[]);
+//!
+//! WINDOWS.inc();
+//! assert!(domo_obs::Recorder::global()
+//!     .render_prometheus()
+//!     .contains("domo_estimator_windows_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod metrics;
+
+pub use events::{emit, log_enabled, render_event, set_log_filter, FieldValue, Level};
+pub use metrics::{
+    bucket_bounds, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, Recorder,
+    SpanTimer,
+};
+
+/// Times the enclosing scope into a histogram registered under the
+/// given name (a `&'static str` literal) with optional static labels.
+///
+/// Expands to a hidden `static LazyHistogram` plus a [`SpanTimer`]
+/// start, so the histogram is registered once and the per-call cost is
+/// one enabled-check (plus two clock reads when enabled). Bind the
+/// result to a named `_span`-style variable — binding to `_` drops
+/// immediately and records nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static SPAN_HIST: $crate::LazyHistogram = $crate::LazyHistogram::new($name, &[]);
+        $crate::SpanTimer::start(&SPAN_HIST)
+    }};
+    ($name:literal, $labels:expr) => {{
+        static SPAN_HIST: $crate::LazyHistogram = $crate::LazyHistogram::new($name, $labels);
+        $crate::SpanTimer::start(&SPAN_HIST)
+    }};
+}
+
+/// Emits a structured event at an explicit [`Level`].
+///
+/// ```
+/// domo_obs::event!(domo_obs::Level::Info, "replay finished",
+///     frames = 128usize, seconds = 0.25);
+/// domo_obs::event!(domo_obs::Level::Warn, target: "domo_sink::server",
+///     "malformed frame", bytes = 17usize);
+/// ```
+///
+/// The target defaults to `module_path!()`. Field values go through
+/// [`FieldValue::from`], so integers, floats, bools, and strings work
+/// directly. Nothing is evaluated unless the filter admits the event.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, target: $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level = $level;
+        let target = $target;
+        if $crate::log_enabled(level, target) {
+            $crate::emit(
+                level,
+                target,
+                &$msg,
+                &[$((stringify!($key), $crate::FieldValue::from($value)),)*],
+            );
+        }
+    }};
+    ($level:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::event!($level, target: module_path!(), $msg $(, $key = $value)*)
+    };
+}
+
+/// [`event!`] at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Trace, $($tt)*) };
+}
+
+/// [`event!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Debug, $($tt)*) };
+}
+
+/// [`event!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Info, $($tt)*) };
+}
+
+/// [`event!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Warn, $($tt)*) };
+}
+
+/// [`event!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($tt:tt)*) => { $crate::event!($crate::Level::Error, $($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    #[test]
+    fn span_macro_registers_and_records() {
+        {
+            let _span = crate::span!("obs_test_span_seconds");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let text = Recorder::global().render_prometheus();
+        assert!(text.contains("# TYPE obs_test_span_seconds histogram"));
+        assert!(text.contains("obs_test_span_seconds_count 1"));
+    }
+
+    #[test]
+    fn span_macro_with_labels() {
+        {
+            let _span = crate::span!("obs_test_labeled_seconds", &[("stage", "verify")]);
+        }
+        let text = Recorder::global().render_prometheus();
+        assert!(text.contains("obs_test_labeled_seconds_count{stage=\"verify\"} 1"));
+    }
+
+    #[test]
+    fn event_macros_compile_with_and_without_fields() {
+        crate::set_log_filter("off");
+        crate::info!("plain message");
+        crate::warn!("with fields", a = 1u64, b = "x", c = 1.5);
+        crate::error!(target: "custom::target", "explicit target", ok = true);
+        crate::debug!("trailing comma", n = 3usize,);
+        crate::trace!("trace");
+        crate::set_log_filter("info");
+    }
+}

@@ -1,0 +1,919 @@
+//! Process-wide metric recorder: counters, gauges, and log-bucketed
+//! histograms behind cheap atomic handles.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero disabled cost.** Every handle carries an
+//!    `Arc<AtomicBool>` cloned from its recorder; a disabled recorder
+//!    turns every operation into one relaxed load and a branch.
+//! 2. **Zero dependencies.** Everything here is `std` only so tier-1
+//!    verify stays offline.
+//! 3. **Deterministic exposition.** The registry is a `BTreeMap` keyed
+//!    by `(name, canonical label string)`, so renders are byte-stable
+//!    across runs regardless of registration order.
+//!
+//! Instrumented code holds [`LazyCounter`] / [`LazyGauge`] /
+//! [`LazyHistogram`] statics that resolve against the global recorder
+//! on first touch, so hot paths never take the registry lock after the
+//! first call.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+/// Shared histogram bucket upper bounds: `{1, 2.5, 5} × 10^k` for
+/// `k ∈ [-6, 5]`, in seconds-friendly units (1 µs … 500 ks), plus an
+/// implicit `+Inf` bucket. One log-spaced ladder serves every
+/// histogram; per-metric bounds are not worth the registry complexity
+/// at Domo's metric count.
+const BUCKET_BOUNDS: [f64; 36] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 1e1, 2.5e1, 5e1, 1e2, 2.5e2, 5e2, 1e3, 2.5e3, 5e3,
+    1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5,
+];
+
+/// Upper bounds (exclusive of the `+Inf` bucket) used by every
+/// histogram, in ascending order.
+pub fn bucket_bounds() -> &'static [f64] {
+    &BUCKET_BOUNDS
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+#[derive(Debug, Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    /// `f64` bits; gauges are read-modify-written with a CAS loop since
+    /// there is no atomic f64 in std.
+    bits: AtomicU64,
+}
+
+impl GaugeCell {
+    fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    /// One slot per entry of [`BUCKET_BOUNDS`] plus a final `+Inf` slot.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observed values as `f64` bits (CAS-updated).
+    sum_bits: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..=BUCKET_BOUNDS.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        HistogramCell {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = BUCKET_BOUNDS.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<CounterCell>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// A monotonically increasing `u64` metric handle. Cloning is cheap;
+/// clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (reads ignore the enabled flag).
+    pub fn get(&self) -> u64 {
+        self.cell.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` metric handle. Cloning is cheap; clones share the
+/// same cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.set(v);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.add(delta);
+        }
+    }
+
+    /// Current value (reads ignore the enabled flag).
+    pub fn get(&self) -> f64 {
+        self.cell.get()
+    }
+}
+
+/// A log-bucketed distribution handle. Cloning is cheap; clones share
+/// the same cell.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one observation (NaN is dropped).
+    pub fn observe(&self, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.observe(v);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Canonical label rendering: `k1="v1",k2="v2"` with keys in the order
+/// given (call sites use a fixed order, so no sort is imposed here).
+fn canon_labels(labels: &[(&str, &str)]) -> String {
+    let mut s = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", escape_label(v));
+    }
+    s
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A registry of named metrics plus the master enable switch their
+/// handles observe.
+///
+/// Most code uses the process-wide instance via [`Recorder::global`];
+/// standalone recorders exist for tests and for [`Recorder::disabled`].
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: Arc<AtomicBool>,
+    registry: RwLock<BTreeMap<(String, String), Entry>>,
+    started: Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+impl Recorder {
+    /// A fresh, enabled recorder.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: Arc::new(AtomicBool::new(true)),
+            registry: RwLock::new(BTreeMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// A fresh recorder whose handles are all no-ops until
+    /// [`Recorder::set_enabled`] flips it on.
+    pub fn disabled() -> Self {
+        let r = Recorder::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// The process-wide recorder (created enabled on first use).
+    pub fn global() -> &'static Recorder {
+        GLOBAL.get_or_init(Recorder::new)
+    }
+
+    /// Flips recording on or off. Handles already handed out observe
+    /// the change immediately (they share the flag).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether handles currently record.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Seconds since this recorder was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn register<F, G, H>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: F,
+        extract: G,
+        detached: H,
+    ) -> H::Output
+    where
+        F: FnOnce() -> Cell,
+        G: Fn(&Cell) -> Option<H::Output>,
+        H: DetachedHandle,
+    {
+        let key = (name.to_string(), canon_labels(labels));
+        {
+            let reg = read_lock(&self.registry);
+            if let Some(entry) = reg.get(&key) {
+                if let Some(h) = extract(&entry.cell) {
+                    return h;
+                }
+                return detached.make(self.enabled.clone());
+            }
+        }
+        let mut reg = write_lock(&self.registry);
+        let entry = reg.entry(key).or_insert_with(|| Entry {
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+            cell: make(),
+        });
+        match extract(&entry.cell) {
+            Some(h) => h,
+            // Same (name, labels) was first registered as a different
+            // kind: hand back a detached cell rather than panicking;
+            // it records but is never rendered.
+            None => detached.make(self.enabled.clone()),
+        }
+    }
+
+    /// Returns (registering if needed) the counter `name{labels}`. If
+    /// the key is already registered as a different metric kind, the
+    /// returned handle is detached: it works but is not rendered.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.register(
+            name,
+            labels,
+            || Cell::Counter(Arc::new(CounterCell::default())),
+            |cell| match cell {
+                Cell::Counter(c) => Some(Counter {
+                    enabled: self.enabled.clone(),
+                    cell: c.clone(),
+                }),
+                _ => None,
+            },
+            DetachedCounter,
+        )
+    }
+
+    /// Returns (registering if needed) the gauge `name{labels}`; same
+    /// mismatch semantics as [`Recorder::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.register(
+            name,
+            labels,
+            || Cell::Gauge(Arc::new(GaugeCell::default())),
+            |cell| match cell {
+                Cell::Gauge(g) => Some(Gauge {
+                    enabled: self.enabled.clone(),
+                    cell: g.clone(),
+                }),
+                _ => None,
+            },
+            DetachedGauge,
+        )
+    }
+
+    /// Returns (registering if needed) the histogram `name{labels}`;
+    /// same mismatch semantics as [`Recorder::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.register(
+            name,
+            labels,
+            || Cell::Histogram(Arc::new(HistogramCell::new())),
+            |cell| match cell {
+                Cell::Histogram(h) => Some(Histogram {
+                    enabled: self.enabled.clone(),
+                    cell: h.clone(),
+                }),
+                _ => None,
+            },
+            DetachedHistogram,
+        )
+    }
+
+    /// Zeroes every registered metric, keeping registrations and
+    /// handles valid. Intended for benchmarks and tests.
+    pub fn reset(&self) {
+        let reg = read_lock(&self.registry);
+        for entry in reg.values() {
+            match &entry.cell {
+                Cell::Counter(c) => c.value.store(0, Ordering::Relaxed),
+                Cell::Gauge(g) => g.set(0.0),
+                Cell::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders every registered metric as Prometheus text exposition
+    /// format (`# TYPE` headers, cumulative `_bucket`/`_sum`/`_count`
+    /// series for histograms). Output is byte-stable for a given state.
+    pub fn render_prometheus(&self) -> String {
+        let reg = read_lock(&self.registry);
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, label_str), entry) in reg.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", entry.cell.kind());
+                last_name = Some(name.as_str());
+            }
+            match &entry.cell {
+                Cell::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        braced(label_str),
+                        c.value.load(Ordering::Relaxed)
+                    );
+                }
+                Cell::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", braced(label_str), fmt_f64(g.get()));
+                }
+                Cell::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+                        cum += h.buckets[i].load(Ordering::Relaxed);
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            braced(&join_labels(label_str, &format!("le=\"{bound}\"")))
+                        );
+                    }
+                    cum += h.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cum}",
+                        braced(&join_labels(label_str, "le=\"+Inf\""))
+                    );
+                    let sum = f64::from_bits(h.sum_bits.load(Ordering::Relaxed));
+                    let _ = writeln!(out, "{name}_sum{} {}", braced(label_str), fmt_f64(sum));
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {}",
+                        braced(label_str),
+                        h.count.load(Ordering::Relaxed)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every registered metric as JSON Lines: one object per
+    /// metric with `name`, `type`, `labels`, and the value(s).
+    /// Histogram buckets are cumulative, matching the Prometheus view.
+    pub fn render_jsonl(&self) -> String {
+        let reg = read_lock(&self.registry);
+        let mut out = String::new();
+        for ((name, _), entry) in reg.iter() {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{{\"name\":{},\"type\":\"{}\",\"labels\":{{",
+                json_string(name),
+                entry.cell.kind()
+            );
+            for (i, (k, v)) in entry.labels.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "{}:{}", json_string(k), json_string(v));
+            }
+            line.push('}');
+            match &entry.cell {
+                Cell::Counter(c) => {
+                    let _ = write!(line, ",\"value\":{}", c.value.load(Ordering::Relaxed));
+                }
+                Cell::Gauge(g) => {
+                    let _ = write!(line, ",\"value\":{}", json_f64(g.get()));
+                }
+                Cell::Histogram(h) => {
+                    let sum = f64::from_bits(h.sum_bits.load(Ordering::Relaxed));
+                    let _ = write!(
+                        line,
+                        ",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count.load(Ordering::Relaxed),
+                        json_f64(sum)
+                    );
+                    let mut cum = 0u64;
+                    for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+                        cum += h.buckets[i].load(Ordering::Relaxed);
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        let _ = write!(line, "{{\"le\":{bound},\"count\":{cum}}}");
+                    }
+                    cum += h.buckets[BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+                    let _ = write!(line, ",{{\"le\":\"+Inf\",\"count\":{cum}}}]");
+                }
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn braced(label_str: &str) -> String {
+    if label_str.is_empty() {
+        String::new()
+    } else {
+        format!("{{{label_str}}}")
+    }
+}
+
+fn join_labels(existing: &str, extra: &str) -> String {
+    if existing.is_empty() {
+        extra.to_string()
+    } else {
+        format!("{existing},{extra}")
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Factory for handles backed by an unregistered cell (used when a
+/// metric key is re-registered with a conflicting kind).
+trait DetachedHandle {
+    /// The handle type produced.
+    type Output;
+    fn make(&self, enabled: Arc<AtomicBool>) -> Self::Output;
+}
+
+struct DetachedCounter;
+impl DetachedHandle for DetachedCounter {
+    type Output = Counter;
+    fn make(&self, enabled: Arc<AtomicBool>) -> Counter {
+        Counter {
+            enabled,
+            cell: Arc::new(CounterCell::default()),
+        }
+    }
+}
+
+struct DetachedGauge;
+impl DetachedHandle for DetachedGauge {
+    type Output = Gauge;
+    fn make(&self, enabled: Arc<AtomicBool>) -> Gauge {
+        Gauge {
+            enabled,
+            cell: Arc::new(GaugeCell::default()),
+        }
+    }
+}
+
+struct DetachedHistogram;
+impl DetachedHandle for DetachedHistogram {
+    type Output = Histogram;
+    fn make(&self, enabled: Arc<AtomicBool>) -> Histogram {
+        Histogram {
+            enabled,
+            cell: Arc::new(HistogramCell::new()),
+        }
+    }
+}
+
+/// A counter static that resolves against [`Recorder::global`] on
+/// first touch. `const`-constructible, so instrumented modules can
+/// declare `static FOO: LazyCounter = LazyCounter::new(...)`.
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    labels: &'static [(&'static str, &'static str)],
+    handle: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    /// Declares a counter named `name` with fixed `labels`.
+    pub const fn new(name: &'static str, labels: &'static [(&'static str, &'static str)]) -> Self {
+        LazyCounter {
+            name,
+            labels,
+            handle: OnceLock::new(),
+        }
+    }
+
+    /// The underlying handle (registers on first call).
+    pub fn handle(&self) -> &Counter {
+        self.handle
+            .get_or_init(|| Recorder::global().counter(self.name, self.labels))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.handle().inc();
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.handle().add(n);
+    }
+}
+
+/// A gauge static that resolves against [`Recorder::global`] on first
+/// touch; see [`LazyCounter`].
+#[derive(Debug)]
+pub struct LazyGauge {
+    name: &'static str,
+    labels: &'static [(&'static str, &'static str)],
+    handle: OnceLock<Gauge>,
+}
+
+impl LazyGauge {
+    /// Declares a gauge named `name` with fixed `labels`.
+    pub const fn new(name: &'static str, labels: &'static [(&'static str, &'static str)]) -> Self {
+        LazyGauge {
+            name,
+            labels,
+            handle: OnceLock::new(),
+        }
+    }
+
+    /// The underlying handle (registers on first call).
+    pub fn handle(&self) -> &Gauge {
+        self.handle
+            .get_or_init(|| Recorder::global().gauge(self.name, self.labels))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.handle().set(v);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        self.handle().add(delta);
+    }
+}
+
+/// A histogram static that resolves against [`Recorder::global`] on
+/// first touch; see [`LazyCounter`].
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    labels: &'static [(&'static str, &'static str)],
+    handle: OnceLock<Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares a histogram named `name` with fixed `labels`.
+    pub const fn new(name: &'static str, labels: &'static [(&'static str, &'static str)]) -> Self {
+        LazyHistogram {
+            name,
+            labels,
+            handle: OnceLock::new(),
+        }
+    }
+
+    /// The underlying handle (registers on first call).
+    pub fn handle(&self) -> &Histogram {
+        self.handle
+            .get_or_init(|| Recorder::global().histogram(self.name, self.labels))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.handle().observe(v);
+    }
+}
+
+/// RAII timer feeding a [`LazyHistogram`] with elapsed seconds on
+/// drop. When the global recorder is disabled at start, no clock is
+/// read and drop is free.
+#[derive(Debug)]
+#[must_use = "a span timer records on drop; binding it to _ drops immediately"]
+pub struct SpanTimer<'a> {
+    live: Option<(&'a LazyHistogram, Instant)>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing into `hist` (no-op if recording is disabled).
+    pub fn start(hist: &'a LazyHistogram) -> Self {
+        if Recorder::global().is_enabled() {
+            SpanTimer {
+                live: Some((hist, Instant::now())),
+            }
+        } else {
+            SpanTimer { live: None }
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some((hist, started)) = self.live.take() {
+            hist.observe(started.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_round_trip() {
+        let r = Recorder::new();
+        let c = r.counter("requests_total", &[("kind", "query")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = r.gauge("queue_depth", &[("shard", "0")]);
+        g.set(3.0);
+        g.add(-1.0);
+        assert_eq!(g.get(), 2.0);
+
+        let h = r.histogram("solve_seconds", &[]);
+        h.observe(0.003);
+        h.observe(0.2);
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 0.203).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        let c = r.counter("x_total", &[]);
+        let g = r.gauge("x", &[]);
+        let h = r.histogram("x_seconds", &[]);
+        c.add(7);
+        g.set(1.0);
+        h.observe(1.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn handles_share_cells() {
+        let r = Recorder::new();
+        let a = r.counter("shared_total", &[]);
+        let b = r.counter("shared_total", &[]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let r = Recorder::new();
+        let c = r.counter("thing", &[]);
+        c.inc();
+        // Re-registering as a gauge must not panic and must not clobber.
+        let g = r.gauge("thing", &[]);
+        g.set(9.0);
+        assert_eq!(c.get(), 1);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE thing counter"));
+        assert!(text.contains("thing 1"));
+        assert!(!text.contains("thing 9"));
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let r = Recorder::new();
+        r.counter("a_total", &[("k", "v")]).add(2);
+        r.gauge("b", &[]).set(1.5);
+        let h = r.histogram("c_seconds", &[]);
+        h.observe(0.0004); // → le="0.0005" bucket
+        h.observe(3.0); // → le="5" bucket
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE a_total counter"));
+        assert!(text.contains("a_total{k=\"v\"} 2"));
+        assert!(text.contains("# TYPE b gauge"));
+        assert!(text.contains("b 1.5"));
+        assert!(text.contains("# TYPE c_seconds histogram"));
+        assert!(text.contains("c_seconds_bucket{le=\"0.0005\"} 1"));
+        assert!(text.contains("c_seconds_bucket{le=\"5\"} 2"));
+        assert!(text.contains("c_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("c_seconds_count 2"));
+        // Cumulative: every later bucket ≥ earlier.
+        assert!(text.contains("c_seconds_sum 3.0004"));
+    }
+
+    #[test]
+    fn jsonl_render_is_one_object_per_line() {
+        let r = Recorder::new();
+        r.counter("a_total", &[("k", "v")]).inc();
+        r.histogram("h_seconds", &[]).observe(0.1);
+        let text = r.render_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"name\":\"a_total\""));
+        assert!(lines[0].contains("\"labels\":{\"k\":\"v\"}"));
+        assert!(lines[1].contains("\"type\":\"histogram\""));
+        assert!(lines[1].contains("\"le\":\"+Inf\""));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let r = Recorder::new();
+        let c = r.counter("n_total", &[]);
+        c.add(5);
+        let h = r.histogram("t_seconds", &[]);
+        h.observe(1.0);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        assert!(r.render_prometheus().contains("# TYPE t_seconds histogram"));
+    }
+
+    #[test]
+    fn observe_edge_values() {
+        let r = Recorder::new();
+        let h = r.histogram("edge", &[]);
+        h.observe(0.0); // below smallest bound → first bucket
+        h.observe(f64::NAN); // dropped
+        h.observe(1e9); // above largest bound → +Inf bucket
+        assert_eq!(h.count(), 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("edge_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("edge_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn bounds_are_sorted_ascending() {
+        let b = bucket_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.len(), 36);
+    }
+}

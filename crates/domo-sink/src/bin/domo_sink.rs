@@ -17,6 +17,12 @@
 //! was reconstructed and the garbage was counted. `bench` measures
 //! codec and ingestion throughput without criterion and writes the
 //! numbers to `BENCH_sink.json` (override with `--out`).
+//!
+//! Operational messages are structured events on stderr (JSON lines),
+//! filterable with `DOMO_LOG` (e.g. `DOMO_LOG=warn` or
+//! `DOMO_LOG=off`); command *results* (smoke/bench summaries, queried
+//! stats) stay on stdout. Live metrics are scrapeable from the query
+//! port: `echo METRICS | nc HOST QUERY_PORT`.
 
 use domo_net::{run_simulation, NetworkConfig};
 use domo_sink::client::{parse_stats, replay_packets, QueryClient, ReplayOptions};
@@ -117,9 +123,13 @@ fn serve(f: &Flags) -> Result<(), String> {
         sink_config(f),
     )
     .map_err(|e| format!("bind: {e}"))?;
-    println!("domo-sink: ingest on {}", server.ingest_addr());
-    println!("domo-sink: query  on {}", server.query_addr());
-    println!("domo-sink: {} shard(s); ^C to stop", f.shards);
+    domo_obs::info!(
+        target: "domo_sink",
+        "serving; ^C to stop",
+        ingest = server.ingest_addr().to_string(),
+        query = server.query_addr().to_string(),
+        shards = f.shards,
+    );
     loop {
         std::thread::park();
     }
@@ -131,11 +141,12 @@ fn replay(f: &Flags) -> Result<(), String> {
         .as_deref()
         .ok_or("replay needs --ingest HOST:PORT")?;
     let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
-    println!(
-        "domo-sink: replaying {} packets ({} nodes, seed {})",
-        trace.packets.len(),
-        f.nodes,
-        f.seed
+    domo_obs::info!(
+        target: "domo_sink",
+        "replaying simulated trace",
+        packets = trace.packets.len(),
+        nodes = f.nodes,
+        seed = f.seed,
     );
     let report = replay_packets(
         ingest,
@@ -146,12 +157,13 @@ fn replay(f: &Flags) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("replay: {e}"))?;
-    println!(
-        "domo-sink: sent {} frames / {} bytes in {:.3} s ({:.0} pkt/s)",
-        report.frames,
-        report.bytes,
-        report.seconds,
-        report.frames as f64 / report.seconds.max(1e-9)
+    domo_obs::info!(
+        target: "domo_sink",
+        "replay sent",
+        frames = report.frames,
+        bytes = report.bytes,
+        seconds = report.seconds,
+        pkts_per_sec = report.frames as f64 / report.seconds.max(1e-9),
     );
     if let Some(query) = f.query.as_deref() {
         let mut q = QueryClient::connect(query).map_err(|e| format!("query connect: {e}"))?;
@@ -246,6 +258,23 @@ fn smoke(f: &Flags) -> Result<(), String> {
     if nodes.is_empty() {
         return Err("no per-node summaries".into());
     }
+    // The acceptance bar for the observability layer: a METRICS scrape
+    // after live traffic must expose telemetry from every pipeline
+    // layer (solver, estimator, streaming, sink).
+    let metrics = q.request("METRICS").map_err(|e| format!("metrics: {e}"))?;
+    for family in [
+        "# TYPE domo_solver_iterations histogram",
+        "# TYPE domo_estimator_window_solve_seconds histogram",
+        "# TYPE domo_streaming_flush_packets histogram",
+        "# TYPE domo_sink_queue_depth gauge",
+        "# TYPE domo_sink_ingested_total counter",
+        "# TYPE domo_sink_malformed_frames_total counter",
+    ] {
+        if !metrics.iter().any(|l| l == family) {
+            return Err(format!("METRICS scrape is missing `{family}`"));
+        }
+    }
+    println!("smoke: METRICS exposes {} lines", metrics.len());
     server.shutdown();
     println!("smoke: OK");
     Ok(())
@@ -336,7 +365,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: domo-sink <serve|replay|smoke|bench> [flags] (see module docs)";
     let Some(command) = argv.first() else {
-        eprintln!("domo-sink: missing command\n{usage}");
+        domo_obs::error!(target: "domo_sink", "missing command", usage = usage);
         std::process::exit(2);
     };
     let result = match parse_flags(&argv[1..]) {
@@ -350,7 +379,7 @@ fn main() {
         },
     };
     if let Err(msg) = result {
-        eprintln!("domo-sink: {msg}");
+        domo_obs::error!(target: "domo_sink", "command failed", error = msg);
         std::process::exit(1);
     }
 }

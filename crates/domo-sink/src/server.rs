@@ -14,6 +14,8 @@
 //! STATS                  counters (ingested, emitted, quarantined, …)
 //! NODES                  per-node sojourn summaries
 //! PACKET <origin> <seq>  one packet's reconstructed hop times
+//! METRICS [JSON]         every registered metric, Prometheus text
+//!                        exposition format (or JSON Lines)
 //! DRAIN                  flush every shard estimator, then respond
 //! FLUSH                  early-commit the oldest half of each shard
 //! QUIT                   close the connection
@@ -144,7 +146,30 @@ fn accept_loop<F: FnMut(TcpStream)>(listener: &TcpListener, stop: &AtomicBool, m
     }
 }
 
+/// Decrements a live-connection gauge on scope exit, so early returns
+/// and `?` exits all balance the increment.
+struct ConnGuard(domo_obs::Gauge);
+
+impl ConnGuard {
+    fn enter(kind: &str) -> Self {
+        let gauge = domo_obs::Recorder::global().gauge("domo_sink_connections", &[("kind", kind)]);
+        gauge.add(1.0);
+        ConnGuard(gauge)
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.add(-1.0);
+    }
+}
+
 fn handle_ingest(stream: TcpStream, service: &SinkService) {
+    let _conn = ConnGuard::enter("ingest");
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream);
     loop {
@@ -157,6 +182,11 @@ fn handle_ingest(stream: TcpStream, service: &SinkService) {
                 // Frame alignment is lost; count it and drop the
                 // connection, keeping the service up.
                 service.note_malformed_frame();
+                domo_obs::warn!(
+                    target: "domo_sink::server",
+                    "malformed frame; dropping ingest connection",
+                    peer = peer.as_str(),
+                );
                 return;
             }
             Err(FrameReadError::Io(_)) => return,
@@ -165,6 +195,7 @@ fn handle_ingest(stream: TcpStream, service: &SinkService) {
 }
 
 fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()> {
+    let _conn = ConnGuard::enter("query");
     let _ = stream.set_nodelay(true);
     let reader = BufReader::new(stream.try_clone()?);
     let mut out = BufWriter::new(stream);
@@ -185,6 +216,16 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 // Effective (post-clamp) flush threshold, so operators
                 // see the value the shards actually use.
                 writeln!(out, "high_water {}", service.effective_high_water())?;
+                writeln!(out, "uptime_ms {}", service.uptime_ms())?;
+                writeln!(out, "version {}", env!("CARGO_PKG_VERSION"))?;
+                writeln!(out, "END")?;
+            }
+            "METRICS" => {
+                let body = match parts.next().map(str::to_ascii_uppercase).as_deref() {
+                    Some("JSON") => domo_obs::Recorder::global().render_jsonl(),
+                    _ => domo_obs::Recorder::global().render_prometheus(),
+                };
+                out.write_all(body.as_bytes())?;
                 writeln!(out, "END")?;
             }
             "NODES" => {
@@ -306,9 +347,29 @@ mod tests {
         let nodes = q.request("NODES").expect("nodes");
         assert!(!nodes.is_empty());
 
+        // METRICS exposes pipeline telemetry from every layer: the
+        // solver and estimator ran during DRAIN, the sink counted the
+        // ingest, and the shard gauges were registered at startup.
+        let metrics = q.request("METRICS").expect("metrics");
+        assert!(metrics.contains(&"# TYPE domo_solver_iterations histogram".to_string()));
+        assert!(
+            metrics.contains(&"# TYPE domo_estimator_window_solve_seconds histogram".to_string())
+        );
+        assert!(metrics
+            .iter()
+            .any(|l| l.starts_with("domo_sink_queue_depth{shard=\"0\"}")));
+        assert!(metrics
+            .iter()
+            .any(|l| l.starts_with("domo_sink_ingested_total")));
+        let json = q.request("METRICS JSON").expect("metrics json");
+        assert!(!json.is_empty());
+        assert!(json.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+
         // One-shot helper and unknown-command handling.
         let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
-        assert_eq!(oneshot.len(), 7);
+        assert_eq!(oneshot.len(), 9);
+        assert!(oneshot.iter().any(|l| l.starts_with("uptime_ms ")));
+        assert!(oneshot.contains(&format!("version {}", env!("CARGO_PKG_VERSION"))));
         // The effective flush threshold is surfaced, post-clamp.
         let default_hw = domo_core::StreamingEstimator::effective_high_water(
             &domo_core::EstimatorConfig::default(),

@@ -21,6 +21,7 @@ use domo_core::sanitize::{check_packet, SanitizeConfig, TraceError};
 use domo_core::streaming::{ReconstructedPacket, StreamingEstimator};
 use domo_core::EstimatorConfig;
 use domo_net::{CollectedPacket, NodeId, PacketId};
+use domo_obs::LazyCounter;
 use domo_util::running::RunningStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,6 +139,17 @@ pub struct SinkSnapshot {
     pub retained_packets: usize,
 }
 
+// Scrapeable mirrors of the `StatsCells` counters (process-cumulative,
+// where the snapshot below is per-service), plus per-shard queue
+// telemetry registered in `SinkService::start`.
+static OBS_INGESTED: LazyCounter = LazyCounter::new("domo_sink_ingested_total", &[]);
+static OBS_EMITTED: LazyCounter = LazyCounter::new("domo_sink_emitted_total", &[]);
+static OBS_QUARANTINED: LazyCounter = LazyCounter::new("domo_sink_quarantined_total", &[]);
+static OBS_MALFORMED: LazyCounter = LazyCounter::new("domo_sink_malformed_frames_total", &[]);
+static OBS_BACKPRESSURE: LazyCounter =
+    LazyCounter::new("domo_sink_backpressure_dropped_total", &[]);
+static OBS_EST_ERRORS: LazyCounter = LazyCounter::new("domo_sink_estimator_errors_total", &[]);
+
 #[derive(Debug, Default)]
 struct StatsCells {
     ingested: AtomicU64,
@@ -187,6 +199,10 @@ struct ShardQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
     capacity: usize,
+    /// Live queued-packet count, as `domo_sink_queue_depth{shard=…}`.
+    depth: domo_obs::Gauge,
+    /// Oldest-packet drops, as `domo_sink_queue_dropped_total{shard=…}`.
+    dropped: domo_obs::Counter,
 }
 
 enum PushOutcome {
@@ -202,11 +218,18 @@ fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl ShardQueue {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, shard: usize) -> Self {
+        // Registering here (not on first traffic) makes the gauges
+        // visible to a `METRICS` scrape the moment the service is up.
+        let recorder = domo_obs::Recorder::global();
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard_label.as_str())];
         Self {
             state: Mutex::new(QueueState::default()),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            depth: recorder.gauge("domo_sink_queue_depth", labels),
+            dropped: recorder.counter("domo_sink_queue_dropped_total", labels),
         }
     }
 
@@ -231,6 +254,10 @@ impl ShardQueue {
         }
         st.msgs.push_back(ShardMsg::Packet(p));
         st.queued_packets += 1;
+        self.depth.set(st.queued_packets as f64);
+        if dropped {
+            self.dropped.inc();
+        }
         drop(st);
         self.ready.notify_one();
         if dropped {
@@ -261,6 +288,7 @@ impl ShardQueue {
             if let Some(msg) = st.msgs.pop_front() {
                 if matches!(msg, ShardMsg::Packet(_)) {
                     st.queued_packets -= 1;
+                    self.depth.set(st.queued_packets as f64);
                 }
                 return Some(msg);
             }
@@ -290,6 +318,7 @@ pub struct SinkService {
     seen: Mutex<HashSet<PacketId>>,
     sanitize: SanitizeConfig,
     effective_high_water: usize,
+    started: std::time::Instant,
 }
 
 impl std::fmt::Debug for SinkService {
@@ -304,11 +333,25 @@ impl std::fmt::Debug for SinkService {
 impl SinkService {
     /// Spawns the shard workers and returns the running service.
     pub fn start(cfg: SinkConfig) -> Self {
+        // Touch the service counters so a METRICS scrape lists every
+        // family at zero from the moment the service is up, not only
+        // after the first matching event (same rationale as the
+        // per-shard gauges in `ShardQueue::new`).
+        for c in [
+            &OBS_INGESTED,
+            &OBS_EMITTED,
+            &OBS_QUARANTINED,
+            &OBS_MALFORMED,
+            &OBS_BACKPRESSURE,
+            &OBS_EST_ERRORS,
+        ] {
+            c.add(0);
+        }
         let shards = cfg.shards.max(1);
         let stats = Arc::new(StatsCells::default());
         let store = Arc::new(Mutex::new(Store::default()));
         let queues: Vec<Arc<ShardQueue>> = (0..shards)
-            .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
+            .map(|shard| Arc::new(ShardQueue::new(cfg.queue_capacity, shard)))
             .collect();
         let mut workers = Vec::with_capacity(shards);
         for queue in &queues {
@@ -333,7 +376,14 @@ impl SinkService {
                 &cfg.estimator,
                 cfg.high_water,
             ),
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// Milliseconds since this service was started (the STATS
+    /// `uptime_ms` line).
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
     /// Number of shard workers.
@@ -354,28 +404,34 @@ impl SinkService {
     pub fn ingest(&self, p: CollectedPacket) -> IngestOutcome {
         if let Err(e) = check_packet(&p, &self.sanitize) {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            OBS_QUARANTINED.inc();
             return IngestOutcome::Quarantined(e);
         }
         if !lock_or_recover(&self.seen).insert(p.pid) {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            OBS_QUARANTINED.inc();
             return IngestOutcome::Quarantined(TraceError::DuplicateId);
         }
         // Sanitized records always have ≥ 2 path nodes.
         let Some(root) = p.subtree_root() else {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            OBS_QUARANTINED.inc();
             return IngestOutcome::Quarantined(TraceError::PathTooShort { len: p.path.len() });
         };
         let shard = root.index() % self.shards.len();
         match self.shards[shard].push_packet(p) {
             PushOutcome::Queued => {
                 self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                OBS_INGESTED.inc();
                 IngestOutcome::Accepted
             }
             PushOutcome::DroppedOldest => {
                 self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                OBS_INGESTED.inc();
                 self.stats
                     .backpressure_dropped
                     .fetch_add(1, Ordering::Relaxed);
+                OBS_BACKPRESSURE.inc();
                 IngestOutcome::AcceptedDroppingOldest
             }
             PushOutcome::Closed => IngestOutcome::Closed,
@@ -403,6 +459,7 @@ impl SinkService {
     /// TCP server, whose framing errors never construct a record).
     pub fn note_malformed_frame(&self) {
         self.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+        OBS_MALFORMED.inc();
     }
 
     /// Barrier: flushes every shard estimator (`try_finish`) and returns
@@ -531,6 +588,7 @@ fn record_batch(
     stats
         .emitted
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    OBS_EMITTED.add(batch.len() as u64);
 }
 
 fn worker_loop(
@@ -556,6 +614,7 @@ fn worker_loop(
                     }
                     Err(_) => {
                         stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+                        OBS_EST_ERRORS.inc();
                     }
                 }
             }
@@ -566,6 +625,7 @@ fn worker_loop(
                     }
                     Err(_) => {
                         stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+                        OBS_EST_ERRORS.inc();
                     }
                 }
                 let _ = ack.send(());
@@ -577,6 +637,7 @@ fn worker_loop(
                     }
                     Err(_) => {
                         stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+                        OBS_EST_ERRORS.inc();
                     }
                 }
                 let _ = ack.send(());
@@ -588,6 +649,7 @@ fn worker_loop(
         Ok(batch) => record_batch(&batch, &mut pending_paths, max_retained, stats, store),
         Err(_) => {
             stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+            OBS_EST_ERRORS.inc();
         }
     }
 }

@@ -20,7 +20,27 @@
 use crate::problem::ConeQp;
 use crate::svec::{project_psd_svec, svec_index, SQRT2};
 use domo_linalg::{norm_inf, Cholesky, CsrMatrix, Matrix};
+use domo_obs::{LazyCounter, LazyHistogram};
 use std::time::{Duration, Instant};
+
+// Per-solve telemetry; free when the global recorder is disabled.
+static OBS_SOLVE_SECONDS: LazyHistogram = LazyHistogram::new("domo_solver_solve_seconds", &[]);
+static OBS_ITERATIONS: LazyHistogram = LazyHistogram::new("domo_solver_iterations", &[]);
+static OBS_PRIMAL_RESIDUAL: LazyHistogram = LazyHistogram::new("domo_solver_primal_residual", &[]);
+static OBS_DUAL_RESIDUAL: LazyHistogram = LazyHistogram::new("domo_solver_dual_residual", &[]);
+static OBS_SOLVES_SOLVED: LazyCounter =
+    LazyCounter::new("domo_solver_solves_total", &[("status", "solved")]);
+static OBS_SOLVES_MAXITER: LazyCounter =
+    LazyCounter::new("domo_solver_solves_total", &[("status", "max_iterations")]);
+static OBS_SOLVES_INFEASIBLE: LazyCounter = LazyCounter::new(
+    "domo_solver_solves_total",
+    &[("status", "primal_infeasible")],
+);
+static OBS_ERRORS: LazyCounter = LazyCounter::new("domo_solver_errors_total", &[]);
+static OBS_POLISH_ACCEPTED: LazyCounter =
+    LazyCounter::new("domo_solver_polish_total", &[("outcome", "accepted")]);
+static OBS_POLISH_REJECTED: LazyCounter =
+    LazyCounter::new("domo_solver_polish_total", &[("outcome", "rejected")]);
 
 /// Solver configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +218,33 @@ pub fn solve_warm(problem: &ConeQp, settings: &Settings, warm_x: Option<&[f64]>)
 /// Returns a [`SolverError`] for out-of-range settings, a wrong-length
 /// warm start, or a failed KKT factorization (non-finite problem data).
 pub fn try_solve_warm(
+    problem: &ConeQp,
+    settings: &Settings,
+    warm_x: Option<&[f64]>,
+) -> Result<Solution, SolverError> {
+    let result = try_solve_warm_inner(problem, settings, warm_x);
+    match &result {
+        Ok(sol) => {
+            OBS_SOLVE_SECONDS.observe(sol.solve_time.as_secs_f64());
+            OBS_ITERATIONS.observe(sol.iterations as f64);
+            if sol.primal_residual.is_finite() {
+                OBS_PRIMAL_RESIDUAL.observe(sol.primal_residual);
+            }
+            if sol.dual_residual.is_finite() {
+                OBS_DUAL_RESIDUAL.observe(sol.dual_residual);
+            }
+            match sol.status {
+                Status::Solved => OBS_SOLVES_SOLVED.inc(),
+                Status::MaxIterations => OBS_SOLVES_MAXITER.inc(),
+                Status::PrimalInfeasible => OBS_SOLVES_INFEASIBLE.inc(),
+            }
+        }
+        Err(_) => OBS_ERRORS.inc(),
+    }
+    result
+}
+
+fn try_solve_warm_inner(
     problem: &ConeQp,
     settings: &Settings,
     warm_x: Option<&[f64]>,
@@ -439,7 +486,12 @@ pub fn try_solve_warm(
                 x = xp;
                 status = Status::Solved;
                 primal_residual = problem.box_violation(&x);
+                OBS_POLISH_ACCEPTED.inc();
+            } else {
+                OBS_POLISH_REJECTED.inc();
             }
+        } else {
+            OBS_POLISH_REJECTED.inc();
         }
     }
 

@@ -19,6 +19,13 @@
 #   5. estimator bench   domo-exp bench: fails if single-thread window
 #                        throughput regressed >20% vs the committed
 #                        BENCH_estimator.json, then refreshes the file
+#   6. print hygiene     library crates must route diagnostics through
+#                        domo-obs events, not println!/eprintln! (binaries
+#                        under src/bin/ are exempt; comments ignored)
+#   7. metrics overhead  domo-exp obsbench: compares estimator throughput
+#                        with the recorder enabled vs disabled, fails if
+#                        the disabled path costs >5%, refreshes
+#                        BENCH_obs.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,5 +53,25 @@ echo "==> domo-sink bench (writes BENCH_sink.json)"
 
 echo "==> domo-exp bench (gates on BENCH_estimator.json, then refreshes it)"
 ./target/release/domo-exp bench --baseline BENCH_estimator.json
+
+echo "==> print hygiene (library code must use domo-obs events)"
+# Scan library sources only: everything under crates/*/src except the
+# src/bin/ binaries. The bench and proptests helper crates are outside
+# the workspace and exempt. Comment-only lines (e.g. doc examples that
+# mention println!) are ignored.
+viol="$(grep -rn --include='*.rs' -E '\b(println|eprintln)!' crates/*/src \
+    | grep -v '/src/bin/' \
+    | grep -v '^crates/bench/' \
+    | grep -v '^crates/proptests/' \
+    | grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' \
+    || true)"
+if [ -n "$viol" ]; then
+    echo "library code must emit domo-obs events, not println!/eprintln!:" >&2
+    echo "$viol" >&2
+    exit 1
+fi
+
+echo "==> domo-exp obsbench (metrics overhead gate, writes BENCH_obs.json)"
+./target/release/domo-exp obsbench --max-delta 5
 
 echo "All checks passed."
