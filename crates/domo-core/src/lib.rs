@@ -65,7 +65,7 @@ pub use estimator::{
 pub use interval::{propagate, propagate_from_seed, Intervals};
 pub use report::{build_report, compare_windows, DelayReport, NodeShift, ReportOptions};
 pub use sanitize::{check_packet, sanitize_packets, QuarantinedPacket, SanitizeConfig, TraceError};
-pub use streaming::{ReconstructedPacket, StreamingEstimator};
+pub use streaming::{ReconstructedPacket, StreamingEstimator, StreamingSnapshot};
 pub use view::{CandidateSets, HopRef, TimeRef, TraceView};
 
 use domo_net::NetworkTrace;

@@ -35,6 +35,28 @@ pub struct ReconstructedPacket {
     pub hop_times_ms: Vec<f64>,
 }
 
+/// A point-in-time capture of a [`StreamingEstimator`]'s mutable state,
+/// for checkpointing. The wrapped [`EstimatorConfig`] is *not* part of
+/// the snapshot — configuration belongs to whoever constructs the
+/// estimator, and [`StreamingEstimator::from_snapshot`] takes it
+/// explicitly so a restore can never silently resurrect a stale config.
+///
+/// The fields are public so callers can serialize them with their own
+/// codec (the sink reuses its wire framing for the buffered packets);
+/// restoring through [`StreamingEstimator::from_snapshot`] re-sorts the
+/// buffer, so a serializer need not preserve order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSnapshot {
+    /// Packets buffered but not yet flushed.
+    pub buffer: Vec<CollectedPacket>,
+    /// The effective flush threshold at capture time.
+    pub high_water: usize,
+    /// Cumulative emission count at capture time.
+    pub emitted: u64,
+    /// Cumulative overflow-drop count at capture time.
+    pub overflow_dropped: u64,
+}
+
 /// A rolling-buffer online estimator.
 ///
 /// # Examples
@@ -163,6 +185,40 @@ impl StreamingEstimator {
         self.buffer.clear();
         self.emitted = 0;
         self.overflow_dropped = 0;
+    }
+
+    /// Captures the estimator's mutable state for checkpointing.
+    ///
+    /// The capture is exact: an estimator rebuilt from the snapshot via
+    /// [`StreamingEstimator::from_snapshot`] (with the same
+    /// [`EstimatorConfig`]) produces bit-identical emissions for any
+    /// subsequent input — flush boundaries depend only on the buffer
+    /// contents and the threshold, both of which are captured, and the
+    /// solve itself is deterministic.
+    pub fn snapshot(&self) -> StreamingSnapshot {
+        StreamingSnapshot {
+            buffer: self.buffer.clone(),
+            high_water: self.high_water,
+            emitted: self.emitted as u64,
+            overflow_dropped: self.overflow_dropped,
+        }
+    }
+
+    /// Rebuilds an estimator from a [`StreamingSnapshot`] and the
+    /// configuration it should run with. The buffer is re-sorted by
+    /// `(gen_time, pid)` — the invariant every other method relies on —
+    /// so snapshots that crossed a serializer that reordered records
+    /// restore correctly.
+    pub fn from_snapshot(cfg: EstimatorConfig, snap: StreamingSnapshot) -> Self {
+        let mut buffer = snap.buffer;
+        buffer.sort_by_key(|a| (a.gen_time, a.pid));
+        Self {
+            cfg,
+            buffer,
+            high_water: snap.high_water.max(2),
+            emitted: snap.emitted as usize,
+            overflow_dropped: snap.overflow_dropped,
+        }
     }
 
     /// Pushes one packet (in sink-arrival order); returns any packets
@@ -592,6 +648,55 @@ mod tests {
             emitted_fwd, emitted_bwd,
             "sorted buffer makes emissions arrival-order independent"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        // Checkpoint/recovery contract: an estimator restored from a
+        // mid-stream snapshot must emit *bit-identical* reconstructions
+        // for the rest of the stream — compared via to_bits, not a
+        // tolerance, because recovery equality is exact or it is wrong.
+        let trace = run_simulation(&NetworkConfig::small(16, 311));
+        let cut = trace.packets.len() / 2;
+        let mut reference = StreamingEstimator::new(EstimatorConfig::default());
+        for p in trace.packets.iter().take(cut) {
+            let _ = reference.push(p.clone());
+        }
+        let snap = reference.snapshot();
+        assert_eq!(snap.buffer.len(), reference.pending());
+        assert_eq!(snap.emitted as usize, reference.emitted());
+
+        // A shuffled snapshot buffer must restore identically: the
+        // constructor re-sorts.
+        let mut shuffled = snap.clone();
+        shuffled.buffer.reverse();
+        let mut restored = StreamingEstimator::from_snapshot(EstimatorConfig::default(), shuffled);
+        assert_eq!(restored.pending(), reference.pending());
+        assert_eq!(restored.emitted(), reference.emitted());
+        assert_eq!(restored.high_water(), reference.high_water());
+
+        let mut ref_tail = Vec::new();
+        let mut res_tail = Vec::new();
+        for p in trace.packets.iter().skip(cut) {
+            ref_tail.extend(reference.push(p.clone()));
+            res_tail.extend(restored.push(p.clone()));
+        }
+        ref_tail.extend(reference.finish());
+        res_tail.extend(restored.finish());
+        assert_eq!(ref_tail.len(), res_tail.len());
+        for (a, b) in ref_tail.iter().zip(&res_tail) {
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.hop_times_ms.len(), b.hop_times_ms.len());
+            for (x, y) in a.hop_times_ms.iter().zip(&b.hop_times_ms) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "restored estimate diverged for {:?}",
+                    a.pid
+                );
+            }
+        }
+        assert_eq!(reference.emitted(), restored.emitted());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!          [--metrics-json PATH]
 //! domo-exp bench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //! domo-exp obsbench [--nodes N] [--seed S] [--out PATH] [--max-delta PCT]
+//! domo-exp storebench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //!
 //! experiments:
 //!   fig1     per-node delay map at two times
@@ -26,6 +27,12 @@
 //!            disabled; fails if the enabled run is more than
 //!            --max-delta percent slower (default 5), then writes the
 //!            numbers to --out (default BENCH_obs.json)
+//!   storebench
+//!            durable-store write-path throughput: WAL appends per
+//!            second under each fsync policy plus result-log appends;
+//!            gates on --baseline (fails if `fsync interval` WAL
+//!            throughput regressed >20%), then writes the fresh
+//!            numbers to --out (default BENCH_store.json)
 //!   all      every figure/table above, in order
 //! ```
 //!
@@ -72,12 +79,18 @@ fn parse_args() -> Result<Args, String> {
     };
     args.experiment = exp.clone();
     // The benches work a much smaller trace than the paper scenarios.
-    if args.experiment == "bench" || args.experiment == "obsbench" {
+    if args.experiment == "bench"
+        || args.experiment == "obsbench"
+        || args.experiment == "storebench"
+    {
         args.nodes = 25;
         args.seed = 7;
     }
     if args.experiment == "obsbench" {
         args.out = "BENCH_obs.json".into();
+    }
+    if args.experiment == "storebench" {
+        args.out = "BENCH_store.json".into();
     }
     while let Some(flag) = it.next() {
         let value = it
@@ -254,6 +267,178 @@ fn bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Pulls `"wal_interval_appends_per_sec": <float>` out of a previously
+/// committed storebench file (flat machine-written JSON, substring scan
+/// — same approach as [`baseline_throughput`]).
+fn store_baseline_throughput(json: &str) -> Option<f64> {
+    let key = "\"wal_interval_appends_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Durable-store write-path throughput: how fast the sink can journal
+/// wire frames into the WAL under each fsync policy, and how fast the
+/// result log absorbs reconstruction records. `fsync interval` is the
+/// shipping default, so that number is the regression gate.
+fn store_bench(args: &Args) -> Result<(), String> {
+    use domo_store::wal::WalConfig;
+    use domo_store::{FsyncPolicy, ResultStore, ResultStoreConfig, Wal};
+
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    if trace.packets.is_empty() {
+        return Err("simulated trace delivered nothing".into());
+    }
+    // The journaled unit is the wire frame, exactly what SinkService
+    // appends at ingest.
+    let mut frames: Vec<Vec<u8>> = Vec::with_capacity(trace.packets.len());
+    for p in &trace.packets {
+        let mut f = Vec::new();
+        domo_sink::encode_packet(p, &mut f).map_err(|e| format!("encode: {e}"))?;
+        frames.push(f);
+    }
+    let frame_bytes: usize = frames.iter().map(Vec::len).sum();
+    // Repeat the trace until a batch is big enough to time meaningfully
+    // (fsync=always is gated per-append, so it gets a smaller batch).
+    let target = 4096usize.max(frames.len());
+    let batch: Vec<&[u8]> = frames
+        .iter()
+        .map(Vec::as_slice)
+        .cycle()
+        .take(target)
+        .collect();
+    let always_batch: Vec<&[u8]> = frames
+        .iter()
+        .map(Vec::as_slice)
+        .cycle()
+        .take(256.min(target))
+        .collect();
+    println!(
+        "storebench: {} packets -> {} wire bytes/frame avg, batches of {} (always: {})",
+        frames.len(),
+        frame_bytes / frames.len().max(1),
+        batch.len(),
+        always_batch.len()
+    );
+
+    let scratch = std::env::temp_dir().join(format!("domo-storebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut rows = Vec::new();
+    let mut interval_aps = None;
+    for (label, policy, batch) in [
+        ("never", FsyncPolicy::Never, &batch),
+        ("interval:64", FsyncPolicy::Interval(64), &batch),
+        ("always", FsyncPolicy::Always, &always_batch),
+    ] {
+        let mut round = 0u32;
+        let seconds = time_per_iter(|| {
+            // A fresh directory per iteration: append cost must include
+            // rotation, not amortize a warm segment forever.
+            let dir = scratch.join(format!("wal-{label}-{round}"));
+            round += 1;
+            let (mut wal, _) = Wal::open(
+                &dir,
+                WalConfig {
+                    fsync: policy,
+                    segment_bytes: 1 << 20,
+                },
+            )
+            .expect("open bench wal");
+            for frame in batch.iter() {
+                wal.append(frame).expect("append");
+            }
+            wal.sync().expect("final sync");
+        });
+        let aps = batch.len() as f64 / seconds;
+        let mbps = aps * (frame_bytes as f64 / frames.len() as f64) / 1e6;
+        if label == "interval:64" {
+            interval_aps = Some(aps);
+        }
+        println!(
+            "storebench: wal fsync {label:>11}: {seconds:.4} s/batch, \
+             {aps:.0} appends/s ({mbps:.1} MB/s)"
+        );
+        rows.push(format!(
+            "    {{\"sink\": \"wal\", \"fsync\": \"{label}\", \"appends\": {}, \
+             \"seconds_per_batch\": {seconds:.6}, \"appends_per_sec\": {aps:.1}}}",
+            batch.len()
+        ));
+    }
+
+    // Result-log appends: a synthetic reconstruction payload of typical
+    // size (pid + 4-hop path + 4 f64 hop times ≈ what record_batch
+    // persists), keyed by a monotonically increasing time.
+    let payload = vec![0u8; 54];
+    let mut round = 0u32;
+    let seconds = time_per_iter(|| {
+        let dir = scratch.join(format!("res-{round}"));
+        round += 1;
+        let (mut store, _) = ResultStore::open(
+            &dir,
+            ResultStoreConfig {
+                segment_bytes: 1 << 20,
+                max_sealed_segments: 0,
+            },
+        )
+        .expect("open bench result store");
+        for (i, _) in batch.iter().enumerate() {
+            store.append(i as f64, &payload).expect("append");
+        }
+        store.sync().expect("final sync");
+    });
+    let res_aps = batch.len() as f64 / seconds;
+    println!("storebench: result log: {seconds:.4} s/batch, {res_aps:.0} appends/s");
+    rows.push(format!(
+        "    {{\"sink\": \"results\", \"fsync\": \"never\", \"appends\": {}, \
+         \"seconds_per_batch\": {seconds:.6}, \"appends_per_sec\": {res_aps:.1}}}",
+        batch.len()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let interval = interval_aps.ok_or("missing interval row")?;
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                let committed = store_baseline_throughput(&json)
+                    .ok_or_else(|| format!("{path}: no wal_interval_appends_per_sec"))?;
+                let floor = committed * 0.8;
+                if interval < floor {
+                    return Err(format!(
+                        "WAL append throughput (fsync interval) regressed >20%: \
+                         {interval:.0} appends/s vs committed {committed:.0} \
+                         (floor {floor:.0}) in {path}"
+                    ));
+                }
+                println!(
+                    "storebench: interval WAL {interval:.0} appends/s vs committed \
+                     {committed:.0} — within the 20% regression budget"
+                );
+            }
+            Err(e) => {
+                // A missing baseline is the bootstrap case, not a failure.
+                println!("storebench: no baseline at {path} ({e}); writing a fresh one");
+            }
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"store_write_path\",\n  \"nodes\": {},\n  \"seed\": {},\n  \
+         \"host_cpus\": {cpus},\n  \"packets\": {},\n  \
+         \"wal_interval_appends_per_sec\": {interval:.1},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        args.nodes,
+        args.seed,
+        frames.len(),
+        rows.join(",\n")
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("storebench: wrote {}", args.out);
+    Ok(())
+}
+
 /// Measures what the observability layer costs the estimator: the same
 /// workload with the global recorder enabled vs disabled
 /// (`Recorder::set_enabled`), alternated per solve and judged on the
@@ -411,6 +596,12 @@ fn run(experiment: &str, args: &Args) {
                 std::process::exit(1);
             }
         }
+        "storebench" => {
+            if let Err(msg) = store_bench(args) {
+                domo_obs::error!(target: "domo_exp", "storebench failed", error = msg);
+                std::process::exit(1);
+            }
+        }
         "all" => {
             for exp in [
                 "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
@@ -465,8 +656,8 @@ fn main() {
         Err(msg) => {
             let usage = "usage: domo-exp \
                  <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|bench|\
-                 obsbench|all> [--nodes N] [--seed S] [--fast K] [--threads T] [--out PATH] \
-                 [--baseline PATH] [--metrics-json PATH] [--max-delta PCT]";
+                 obsbench|storebench|all> [--nodes N] [--seed S] [--fast K] [--threads T] \
+                 [--out PATH] [--baseline PATH] [--metrics-json PATH] [--max-delta PCT]";
             domo_obs::error!(target: "domo_exp", "bad invocation", error = msg, usage = usage);
             std::process::exit(2);
         }
@@ -475,7 +666,7 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::baseline_throughput;
+    use super::{baseline_throughput, store_baseline_throughput};
 
     #[test]
     fn baseline_parser_reads_the_committed_number() {
@@ -487,5 +678,13 @@ mod tests {
             baseline_throughput("{\"single_thread_windows_per_sec\": bad}"),
             None
         );
+    }
+
+    #[test]
+    fn store_baseline_parser_reads_the_committed_number() {
+        let json = "{\n  \"bench\": \"store_write_path\",\n  \
+                    \"wal_interval_appends_per_sec\": 98765.4,\n  \"rows\": []\n}";
+        assert_eq!(store_baseline_throughput(json), Some(98765.4));
+        assert_eq!(store_baseline_throughput("{}"), None);
     }
 }

@@ -1,20 +1,36 @@
 //! `domo-sink` — run, feed, and probe the online sink service.
 //!
 //! ```text
-//! domo-sink serve  [--ingest-port P] [--query-port Q] [--shards N]
-//!                  [--queue-cap C] [--high-water H] [--threads T]
-//! domo-sink replay --ingest HOST:PORT [--query HOST:PORT] [--nodes N]
-//!                  [--seed S] [--rate PPS] [--garbage G] [--drain]
-//! domo-sink smoke  [--nodes N] [--seed S] [--shards K]
-//! domo-sink bench  [--nodes N] [--seed S] [--out PATH]
+//! domo-sink serve      [--ingest-port P] [--query-port Q] [--shards N]
+//!                      [--queue-cap C] [--high-water H] [--threads T]
+//!                      [--data-dir D] [--fsync always|interval[:N]|never]
+//!                      [--checkpoint-every K] [--max-result-segments M]
+//!                      [--addr-file PATH]
+//! domo-sink replay     --ingest HOST:PORT [--query HOST:PORT] [--nodes N]
+//!                      [--seed S] [--rate PPS] [--garbage G] [--drain]
+//!                      [--reconnects R]
+//! domo-sink smoke      [--nodes N] [--seed S] [--shards K]
+//! domo-sink crashsmoke [--nodes N] [--seed S] [--shards K] [--data-dir D]
+//! domo-sink bench      [--nodes N] [--seed S] [--out PATH]
 //! ```
 //!
-//! `serve` runs the service until killed. `replay` simulates a trace
-//! and streams it to a running service. `smoke` is the self-contained
-//! end-to-end check used by `scripts/check.sh`: it binds loopback
-//! ports, replays a small trace (plus deliberate garbage), drains,
-//! queries a snapshot, and exits nonzero unless every delivered packet
-//! was reconstructed and the garbage was counted. `bench` measures
+//! `serve` runs the service until killed; with `--data-dir` every
+//! ingested record is journaled to a WAL and reconstructions land in a
+//! durable result log, so a restart recovers exactly where the previous
+//! process died (`--fsync` picks the durability/throughput trade-off;
+//! `--addr-file` writes the two bound addresses to a file, one per
+//! line, for scripts that bind port 0). `replay` simulates a trace and
+//! streams it to a running service, surviving `--reconnects R` sink
+//! restarts with capped exponential backoff. `smoke` is the
+//! self-contained end-to-end check used by `scripts/check.sh`: it binds
+//! loopback ports, replays a small trace (plus deliberate garbage),
+//! drains, queries a snapshot, and exits nonzero unless every delivered
+//! packet was reconstructed and the garbage was counted. `crashsmoke`
+//! is the crash-recovery gate: it spawns a durable `serve` child,
+//! replays half a trace, SIGKILLs the child mid-ingest, respawns it on
+//! the same data dir, replays the full trace, and exits nonzero unless
+//! the recovered state matches an uninterrupted in-process run
+//! packet-for-packet with no double-emitted results. `bench` measures
 //! codec and ingestion throughput without criterion and writes the
 //! numbers to `BENCH_sink.json` (override with `--out`).
 //!
@@ -29,6 +45,8 @@ use domo_sink::client::{parse_stats, replay_packets, QueryClient, ReplayOptions}
 use domo_sink::server::SinkServer;
 use domo_sink::service::{SinkConfig, SinkService};
 use domo_sink::wire::{decode_packets, encode_packets};
+use domo_sink::StoreConfig;
+use domo_store::FsyncPolicy;
 use std::time::{Duration, Instant};
 
 struct Flags {
@@ -46,6 +64,12 @@ struct Flags {
     garbage: usize,
     drain: bool,
     out: String,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
+    checkpoint_every: u64,
+    max_result_segments: usize,
+    addr_file: Option<String>,
+    reconnects: usize,
 }
 
 impl Default for Flags {
@@ -65,6 +89,12 @@ impl Default for Flags {
             garbage: 0,
             drain: false,
             out: "BENCH_sink.json".into(),
+            data_dir: None,
+            fsync: FsyncPolicy::Interval(64),
+            checkpoint_every: 4096,
+            max_result_segments: 0,
+            addr_file: None,
+            reconnects: 0,
         }
     }
 }
@@ -97,6 +127,14 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
             "--ingest" => f.ingest = Some(value.clone()),
             "--query" => f.query = Some(value.clone()),
             "--out" => f.out = value.clone(),
+            "--data-dir" => f.data_dir = Some(value.clone()),
+            "--fsync" => {
+                f.fsync = FsyncPolicy::parse(value).map_err(|e| format!("--fsync: {e}"))?
+            }
+            "--checkpoint-every" => f.checkpoint_every = num(flag)?,
+            "--max-result-segments" => f.max_result_segments = num(flag)? as usize,
+            "--addr-file" => f.addr_file = Some(value.clone()),
+            "--reconnects" => f.reconnects = num(flag)? as usize,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -108,6 +146,12 @@ fn sink_config(f: &Flags) -> SinkConfig {
         shards: f.shards,
         queue_capacity: f.queue_cap,
         high_water: f.high_water,
+        store: f.data_dir.as_ref().map(|dir| StoreConfig {
+            data_dir: dir.into(),
+            fsync: f.fsync,
+            checkpoint_every: f.checkpoint_every,
+            max_result_segments: f.max_result_segments,
+        }),
         ..SinkConfig::default()
     };
     // Solver threads *within* each shard's estimator (shards already
@@ -123,12 +167,24 @@ fn serve(f: &Flags) -> Result<(), String> {
         sink_config(f),
     )
     .map_err(|e| format!("bind: {e}"))?;
+    if let Some(path) = f.addr_file.as_deref() {
+        // Written atomically (tmp + rename) so a polling script never
+        // reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(
+            &tmp,
+            format!("{}\n{}\n", server.ingest_addr(), server.query_addr()),
+        )
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| format!("addr-file {path}: {e}"))?;
+    }
     domo_obs::info!(
         target: "domo_sink",
         "serving; ^C to stop",
         ingest = server.ingest_addr().to_string(),
         query = server.query_addr().to_string(),
         shards = f.shards,
+        durable = f.data_dir.is_some(),
     );
     loop {
         std::thread::park();
@@ -154,6 +210,8 @@ fn replay(f: &Flags) -> Result<(), String> {
         &ReplayOptions {
             rate_pps: f.rate,
             garbage_frames: f.garbage,
+            max_reconnects: f.reconnects,
+            ..ReplayOptions::default()
         },
     )
     .map_err(|e| format!("replay: {e}"))?;
@@ -202,6 +260,7 @@ fn smoke(f: &Flags) -> Result<(), String> {
         &ReplayOptions {
             rate_pps: f.rate,
             garbage_frames: 3,
+            ..ReplayOptions::default()
         },
     )
     .map_err(|e| format!("replay: {e}"))?;
@@ -278,6 +337,218 @@ fn smoke(f: &Flags) -> Result<(), String> {
     server.shutdown();
     println!("smoke: OK");
     Ok(())
+}
+
+/// Spawns `domo-sink serve` as a child on OS-assigned loopback ports
+/// and polls its `--addr-file` until both addresses appear.
+fn spawn_durable_serve(
+    data_dir: &str,
+    shards: usize,
+    addr_file: &std::path::Path,
+) -> Result<(std::process::Child, String, String), String> {
+    let _ = std::fs::remove_file(addr_file);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--ingest-port",
+            "0",
+            "--query-port",
+            "0",
+            "--shards",
+            &shards.to_string(),
+            "--data-dir",
+            data_dir,
+            "--fsync",
+            "interval:8",
+            "--checkpoint-every",
+            "32",
+            "--addr-file",
+            &addr_file.display().to_string(),
+        ])
+        .spawn()
+        .map_err(|e| format!("spawn serve: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            let mut lines = text.lines();
+            if let (Some(ingest), Some(query)) = (lines.next(), lines.next()) {
+                return Ok((child, ingest.to_string(), query.to_string()));
+            }
+        }
+        if Instant::now() > deadline {
+            return Err("serve child never published its addresses".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The crash-recovery acceptance gate: SIGKILL a durable sink
+/// mid-ingest, restart it on the same data dir, and require the final
+/// queryable state to match an uninterrupted in-process run exactly.
+fn crashsmoke(f: &Flags) -> Result<(), String> {
+    let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
+    let total = trace.packets.len();
+    if total < 4 {
+        return Err("trace too small for a meaningful crash test".into());
+    }
+    let scratch;
+    let data_dir = match f.data_dir.as_deref() {
+        Some(d) => d.to_string(),
+        None => {
+            scratch = std::env::temp_dir().join(format!("domo-crashsmoke-{}", std::process::id()));
+            scratch.display().to_string()
+        }
+    };
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let addr_file =
+        std::env::temp_dir().join(format!("domo-crashsmoke-addr-{}", std::process::id()));
+
+    // Phase 1: serve, ingest half the trace, and SIGKILL the process
+    // once the half is acknowledged in STATS — the WAL holds it, the
+    // result log and checkpoints hold whatever the shards got to.
+    let (mut child, ingest, query) = spawn_durable_serve(&data_dir, f.shards, &addr_file)?;
+    let half = total / 2;
+    println!("crashsmoke: phase 1 serving at {ingest} / {query}, replaying {half}/{total} packets");
+    replay_packets(
+        &ingest as &str,
+        &trace.packets[..half],
+        &ReplayOptions {
+            max_reconnects: 4,
+            ..ReplayOptions::default()
+        },
+    )
+    .map_err(|e| format!("phase-1 replay: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats =
+            parse_stats(&query_lines(&query, "STATS").map_err(|e| format!("phase-1 stats: {e}"))?);
+        if stat(&stats, "ingested") >= half as u64 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err("phase-1 ingest stalled".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().map_err(|e| format!("kill: {e}"))?;
+    let _ = child.wait();
+    println!("crashsmoke: SIGKILLed the sink after {half} acknowledged packets");
+
+    // Phase 2: restart on the same data dir. Recovery replays the WAL
+    // tail; the full replay then fills in the unsent half (the already
+    // durable prefix is deduplicated, never double-stored).
+    let (mut child, ingest, query) = spawn_durable_serve(&data_dir, f.shards, &addr_file)?;
+    replay_packets(
+        &ingest as &str,
+        &trace.packets,
+        &ReplayOptions {
+            max_reconnects: 4,
+            ..ReplayOptions::default()
+        },
+    )
+    .map_err(|e| format!("phase-2 replay: {e}"))?;
+
+    // Uninterrupted reference with the same shard layout: identical
+    // per-shard ingest order makes the estimates bit-identical, so the
+    // %.3f-formatted query lines must match verbatim.
+    let reference = SinkService::start(SinkConfig {
+        shards: f.shards,
+        ..SinkConfig::default()
+    });
+    for p in &trace.packets {
+        reference.ingest(p.clone());
+    }
+    reference.drain();
+    let mut expected: Vec<String> = trace
+        .packets
+        .iter()
+        .map(|p| {
+            let r = reference
+                .reconstruction(p.pid)
+                .ok_or_else(|| format!("reference lost {}", p.pid))?;
+            let path: Vec<String> = r.path.iter().map(|n| n.index().to_string()).collect();
+            let times: Vec<String> = r.hop_times_ms.iter().map(|t| format!("{t:.3}")).collect();
+            Ok(format!(
+                "packet {} path {} times {}",
+                p.pid,
+                path.join("-"),
+                times.join(" ")
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    reference.shutdown();
+    expected.sort();
+
+    // Drain and poll until every packet is durably queryable.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut got: Vec<String>;
+    loop {
+        query_lines(&query, "DRAIN").map_err(|e| format!("phase-2 drain: {e}"))?;
+        let mut lines = query_lines(&query, "RANGE -inf inf").map_err(|e| format!("range: {e}"))?;
+        let count_line = lines.pop().unwrap_or_default();
+        if count_line == format!("count {total}") {
+            got = lines;
+            break;
+        }
+        if lines.len() > total {
+            return Err(format!(
+                "double-emit: RANGE returned {} records for {total} packets",
+                lines.len()
+            ));
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "recovery stalled: {count_line} (want count {total})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    got.sort();
+    if got != expected {
+        let diff = got
+            .iter()
+            .zip(&expected)
+            .find(|(g, e)| g != e)
+            .map(|(g, e)| format!("got `{g}` want `{e}`"))
+            .unwrap_or_else(|| "length mismatch".into());
+        return Err(format!("recovered state diverges from clean run: {diff}"));
+    }
+    // Spot-check the PACKET command path against the same truth.
+    let pid = trace.packets[total - 1].pid;
+    let lines = query_lines(
+        &query,
+        &format!("PACKET {} {}", pid.origin.index(), pid.seq),
+    )
+    .map_err(|e| format!("packet query: {e}"))?;
+    if lines.first().map(String::as_str)
+        != expected.iter().find_map(|l| {
+            l.starts_with(&format!("packet {pid} path "))
+                .then_some(l.as_str())
+        })
+    {
+        return Err(format!("PACKET after recovery diverges: {lines:?}"));
+    }
+    // The durability posture must be visible to operators.
+    let stats = query_lines(&query, "STATS").map_err(|e| format!("stats: {e}"))?;
+    if !stats.iter().any(|l| l.starts_with("data_dir ")) {
+        return Err("STATS does not report data_dir".into());
+    }
+    let store = query_lines(&query, "STORE STATS").map_err(|e| format!("store stats: {e}"))?;
+    println!("crashsmoke: recovered {total}/{total} packets bit-identically");
+    for line in store.iter().filter(|l| l.starts_with("recovery_")) {
+        println!("crashsmoke: {line}");
+    }
+    child.kill().map_err(|e| format!("kill: {e}"))?;
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let _ = std::fs::remove_file(&addr_file);
+    println!("crashsmoke: OK");
+    Ok(())
+}
+
+fn query_lines(addr: &str, command: &str) -> std::io::Result<Vec<String>> {
+    QueryClient::connect(addr)?.request(command)
 }
 
 /// Mean seconds per call of `f`, repeated until the measurement is at
@@ -363,7 +634,7 @@ fn bench(f: &Flags) -> Result<(), String> {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: domo-sink <serve|replay|smoke|bench> [flags] (see module docs)";
+    let usage = "usage: domo-sink <serve|replay|smoke|crashsmoke|bench> [flags] (see module docs)";
     let Some(command) = argv.first() else {
         domo_obs::error!(target: "domo_sink", "missing command", usage = usage);
         std::process::exit(2);
@@ -374,6 +645,7 @@ fn main() {
             "serve" => serve(&flags),
             "replay" => replay(&flags),
             "smoke" => smoke(&flags),
+            "crashsmoke" => crashsmoke(&flags),
             "bench" => bench(&flags),
             other => Err(format!("unknown command {other}\n{usage}")),
         },

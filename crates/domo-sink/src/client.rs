@@ -82,7 +82,7 @@ pub fn parse_stats(lines: &[String]) -> Vec<(String, u64)> {
 }
 
 /// Knobs of [`replay_packets`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplayOptions {
     /// Target send rate in packets per second; `0.0` floods as fast as
     /// the socket accepts.
@@ -92,61 +92,172 @@ pub struct ReplayOptions {
     /// path; a corrupt frame poisons its own connection, so they never
     /// share the stream with real records).
     pub garbage_frames: usize,
+    /// Connection failures tolerated across the whole run before the
+    /// error propagates (`0` = fail on the first, the old behavior).
+    /// After each reconnect the stream restarts from the first frame:
+    /// TCP gives no application-level acknowledgement, so anything sent
+    /// on the dead connection is in doubt — the sink deduplicates, so a
+    /// retransmitted prefix is quarantined, never double-counted.
+    pub max_reconnects: usize,
+    /// First retry delay; doubles per consecutive failure.
+    pub backoff_start_ms: u64,
+    /// Ceiling on the exponential backoff delay.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        Self {
+            rate_pps: 0.0,
+            garbage_frames: 0,
+            max_reconnects: 0,
+            backoff_start_ms: 50,
+            backoff_cap_ms: 2_000,
+        }
+    }
+}
+
+impl ReplayOptions {
+    fn backoff(&self, consecutive_failures: u32) -> Duration {
+        let start = self.backoff_start_ms.max(1);
+        let cap = self.backoff_cap_ms.max(start);
+        let delay = start.saturating_mul(1u64 << consecutive_failures.min(16));
+        Duration::from_millis(delay.min(cap))
+    }
 }
 
 /// What a replay run did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplayReport {
-    /// Valid frames sent.
+    /// Valid frames written, including any resent after a reconnect.
     pub frames: usize,
-    /// Bytes of valid frames sent.
+    /// Bytes of valid frames written.
     pub bytes: usize,
     /// Garbage frames sent on the side connection.
     pub garbage_frames: usize,
     /// Wall-clock seconds spent sending the valid stream.
     pub seconds: f64,
+    /// Connections re-established after a failure.
+    pub reconnects: usize,
+}
+
+fn connect_with_backoff<A: ToSocketAddrs + Copy>(
+    addr: A,
+    opts: &ReplayOptions,
+    reconnects: &mut usize,
+    consecutive: &mut u32,
+) -> std::io::Result<BufWriter<TcpStream>> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(BufWriter::new(stream));
+            }
+            Err(e) => {
+                if *reconnects >= opts.max_reconnects {
+                    return Err(e);
+                }
+                *reconnects += 1;
+                std::thread::sleep(opts.backoff(*consecutive));
+                *consecutive += 1;
+            }
+        }
+    }
 }
 
 /// Streams `packets` to a sink's ingest listener as wire frames, pacing
 /// to `rate_pps` when nonzero.
 ///
+/// With a nonzero [`ReplayOptions::max_reconnects`] the driver survives
+/// a sink restart mid-stream: it reconnects with capped exponential
+/// backoff and restarts the frame stream from the beginning (the sink
+/// deduplicates the prefix). [`ReplayReport::reconnects`] counts the
+/// re-established connections.
+///
 /// # Errors
 ///
-/// Propagates connect/write failures; records whose paths exceed the
-/// wire cap are skipped (they could never have been collected — the
-/// simulator's deepest paths are an order of magnitude shorter).
+/// Propagates connect/write failures once the reconnect budget is
+/// spent; records whose paths exceed the wire cap are skipped (they
+/// could never have been collected — the simulator's deepest paths are
+/// an order of magnitude shorter).
 pub fn replay_packets<A: ToSocketAddrs + Copy>(
     addr: A,
     packets: &[CollectedPacket],
     opts: &ReplayOptions,
 ) -> std::io::Result<ReplayReport> {
-    let stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    let mut out = BufWriter::new(stream);
+    let mut reconnects = 0usize;
+    let mut consecutive = 0u32;
+    let mut out = connect_with_backoff(addr, opts, &mut reconnects, &mut consecutive)?;
     let start = Instant::now();
     let mut frame = Vec::with_capacity(packets.first().map_or(64, encoded_len));
     let mut frames = 0usize;
     let mut bytes = 0usize;
-    for (i, p) in packets.iter().enumerate() {
+    let mut i = 0usize;
+    while i < packets.len() {
         frame.clear();
-        if encode_packet(p, &mut frame).is_err() {
+        if encode_packet(&packets[i], &mut frame).is_err() {
+            i += 1;
             continue;
         }
-        out.write_all(&frame)?;
-        frames += 1;
-        bytes += frame.len();
-        if opts.rate_pps > 0.0 {
-            // Pace against the schedule, not the previous send, so
-            // jitter does not accumulate.
-            let due = start + Duration::from_secs_f64((i + 1) as f64 / opts.rate_pps);
-            let now = Instant::now();
-            if due > now {
-                out.flush()?;
-                std::thread::sleep(due - now);
+        let wrote = out.write_all(&frame).and_then(|()| {
+            if opts.rate_pps > 0.0 {
+                // Paced mode flushes every frame: errors surface at the
+                // frame that hit them, and the socket stays interactive.
+                out.flush()
+            } else {
+                Ok(())
+            }
+        });
+        match wrote {
+            Ok(()) => {
+                frames += 1;
+                bytes += frame.len();
+                consecutive = 0;
+                if opts.rate_pps > 0.0 {
+                    // Pace against the schedule, not the previous send,
+                    // so jitter does not accumulate.
+                    let due = start + Duration::from_secs_f64((i + 1) as f64 / opts.rate_pps);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                i += 1;
+            }
+            Err(e) => {
+                if reconnects >= opts.max_reconnects {
+                    return Err(e);
+                }
+                reconnects += 1;
+                std::thread::sleep(opts.backoff(consecutive));
+                consecutive += 1;
+                out = connect_with_backoff(addr, opts, &mut reconnects, &mut consecutive)?;
+                i = 0; // restart: delivery on the dead socket is in doubt
             }
         }
     }
-    out.flush()?;
+    // The final flush is subject to the same reconnect budget — a crash
+    // during the flood-mode tail otherwise silently drops the buffer.
+    while let Err(e) = out.flush() {
+        if reconnects >= opts.max_reconnects {
+            return Err(e);
+        }
+        reconnects += 1;
+        std::thread::sleep(opts.backoff(consecutive));
+        consecutive += 1;
+        out = connect_with_backoff(addr, opts, &mut reconnects, &mut consecutive)?;
+        // Resend everything on the fresh connection, then fall through
+        // to retry the flush.
+        for p in packets {
+            frame.clear();
+            if encode_packet(p, &mut frame).is_err() {
+                continue;
+            }
+            out.write_all(&frame)?;
+            frames += 1;
+            bytes += frame.len();
+        }
+    }
     drop(out); // close the clean stream at a frame boundary
     let seconds = start.elapsed().as_secs_f64();
 
@@ -163,6 +274,7 @@ pub fn replay_packets<A: ToSocketAddrs + Copy>(
         bytes,
         garbage_frames: opts.garbage_frames,
         seconds,
+        reconnects,
     })
 }
 
@@ -185,6 +297,7 @@ mod tests {
             &ReplayOptions {
                 rate_pps: 600.0,
                 garbage_frames: 2,
+                ..ReplayOptions::default()
             },
         )
         .expect("replay");
@@ -204,6 +317,65 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn replay_reconnects_after_a_dropped_connection() {
+        use std::io::Read;
+        let trace = run_simulation(&NetworkConfig::small(9, 931));
+        let take = 30.min(trace.packets.len());
+        let packets = trace.packets[..take].to_vec();
+        let total_bytes: usize = packets.iter().map(encoded_len).sum();
+
+        // A hostile "sink": the first connection is dropped on accept
+        // (the queued client data forces an RST), the second is read to
+        // completion. Deterministic — no real server, no timing games
+        // beyond the RST surfacing mid-stream, which paced mode's
+        // per-frame flush guarantees long before 30 frames pass.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sink = std::thread::spawn(move || {
+            let (first, _) = listener.accept().expect("first accept");
+            drop(first);
+            let (mut second, _) = listener.accept().expect("second accept");
+            let mut buf = Vec::new();
+            second.read_to_end(&mut buf).expect("drain");
+            buf.len()
+        });
+
+        let report = replay_packets(
+            addr,
+            &packets,
+            &ReplayOptions {
+                rate_pps: 400.0,
+                max_reconnects: 8,
+                backoff_start_ms: 1,
+                backoff_cap_ms: 20,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("replay survives the drop");
+        assert!(report.reconnects >= 1, "must have reconnected");
+        assert!(report.frames >= take, "the full stream is resent");
+        // The surviving connection received the complete stream.
+        let received = sink.join().expect("sink thread");
+        assert_eq!(received, total_bytes);
+    }
+
+    #[test]
+    fn replay_fails_fast_with_no_reconnect_budget() {
+        // Nothing listens here: bind, learn the port, drop the socket.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let trace = run_simulation(&NetworkConfig::small(9, 932));
+        let err = replay_packets(
+            addr,
+            &trace.packets[..1],
+            &ReplayOptions::default(), // max_reconnects: 0
+        );
+        assert!(err.is_err(), "no budget means the first failure is fatal");
     }
 
     #[test]

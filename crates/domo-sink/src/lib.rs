@@ -44,14 +44,16 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod persist;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use client::{query_request, replay_packets, QueryClient, ReplayOptions, ReplayReport};
+pub use persist::{RecoveryReport, StoreConfig};
 pub use server::SinkServer;
 pub use service::{
     IngestOutcome, NodeDelaySummary, SinkConfig, SinkService, SinkSnapshot, SinkStatsSnapshot,
-    StoredReconstruction,
+    StoreStatus, StoredReconstruction,
 };
 pub use wire::{decode_packet, encode_packet, encode_packets, WireError};

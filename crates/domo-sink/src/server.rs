@@ -14,6 +14,10 @@
 //! STATS                  counters (ingested, emitted, quarantined, …)
 //! NODES                  per-node sojourn summaries
 //! PACKET <origin> <seq>  one packet's reconstructed hop times
+//! RANGE <lo_ms> <hi_ms>  durable reconstructions whose first hop time
+//!                        falls in [lo, hi] (requires --data-dir)
+//! STORE STATS            WAL / checkpoint / result-log accounting
+//! CHECKPOINT             force a checkpoint now, reply with its cut
 //! METRICS [JSON]         every registered metric, Prometheus text
 //!                        exposition format (or JSON Lines)
 //! DRAIN                  flush every shard estimator, then respond
@@ -22,6 +26,21 @@
 //! ```
 //!
 //! Errors are lines starting `ERR`; the connection survives them.
+//!
+//! # Durability in `STATS`
+//!
+//! When the service runs with a [`crate::StoreConfig`] (`--data-dir`),
+//! `STATS` includes two extra lines so an operator can confirm *where*
+//! state lands and *when* it reaches stable storage:
+//!
+//! ```text
+//! data_dir /var/lib/domo
+//! fsync interval:64
+//! ```
+//!
+//! Without a store the single line `store disabled` appears instead —
+//! the line count differs by exactly one between the two modes, and
+//! scripts can key off the `store disabled` marker.
 
 use crate::service::{SinkConfig, SinkService, SinkSnapshot};
 use crate::wire::{read_frame, FrameReadError};
@@ -46,7 +65,8 @@ impl SinkServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind failures and, when the configuration
+    /// enables a durable store, storage open/recovery failures.
     pub fn bind<A: ToSocketAddrs, B: ToSocketAddrs>(
         ingest: A,
         query: B,
@@ -56,7 +76,7 @@ impl SinkServer {
         let query_listener = TcpListener::bind(query)?;
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
-        let service = Arc::new(SinkService::start(cfg));
+        let service = Arc::new(SinkService::open(cfg)?);
         let stop = Arc::new(AtomicBool::new(false));
 
         let mut handles = Vec::with_capacity(2);
@@ -218,6 +238,16 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 writeln!(out, "high_water {}", service.effective_high_water())?;
                 writeln!(out, "uptime_ms {}", service.uptime_ms())?;
                 writeln!(out, "version {}", env!("CARGO_PKG_VERSION"))?;
+                // Durability posture (see the module docs): where state
+                // lands and when it is fsynced, or an explicit marker
+                // that nothing is persisted.
+                match service.store_status() {
+                    Some(status) => {
+                        writeln!(out, "data_dir {}", status.data_dir.display())?;
+                        writeln!(out, "fsync {}", status.fsync)?;
+                    }
+                    None => writeln!(out, "store disabled")?,
+                }
                 writeln!(out, "END")?;
             }
             "METRICS" => {
@@ -271,6 +301,75 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                         writeln!(out, "END")?;
                     }
                 }
+            }
+            "RANGE" => {
+                let lo = parts.next().and_then(|t| t.parse::<f64>().ok());
+                let hi = parts.next().and_then(|t| t.parse::<f64>().ok());
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) => match service.range(lo, hi) {
+                        Ok(records) => {
+                            for (pid, r) in &records {
+                                let path: Vec<String> =
+                                    r.path.iter().map(|n| n.index().to_string()).collect();
+                                let times: Vec<String> =
+                                    r.hop_times_ms.iter().map(|t| format!("{t:.3}")).collect();
+                                writeln!(
+                                    out,
+                                    "packet {pid} path {} times {}",
+                                    path.join("-"),
+                                    times.join(" ")
+                                )?;
+                            }
+                            writeln!(out, "count {}", records.len())?;
+                        }
+                        Err(e) => writeln!(out, "ERR {e}")?,
+                    },
+                    _ => writeln!(out, "ERR usage: RANGE <lo_ms> <hi_ms>")?,
+                }
+                writeln!(out, "END")?;
+            }
+            "STORE" => {
+                // Only `STORE STATS` exists today; tolerate the bare
+                // form too.
+                match parts.next().map(str::to_ascii_uppercase).as_deref() {
+                    None | Some("STATS") => match service.store_status() {
+                        Some(s) => {
+                            writeln!(out, "data_dir {}", s.data_dir.display())?;
+                            writeln!(out, "fsync {}", s.fsync)?;
+                            writeln!(out, "wal_next_lsn {}", s.wal.next_lsn)?;
+                            writeln!(out, "wal_segments {}", s.wal.segments)?;
+                            writeln!(out, "wal_bytes {}", s.wal.bytes)?;
+                            writeln!(out, "wal_unsynced {}", s.wal.unsynced)?;
+                            writeln!(out, "result_records {}", s.results.records)?;
+                            writeln!(out, "result_segments {}", s.results.segments)?;
+                            writeln!(out, "result_bytes {}", s.results.bytes)?;
+                            writeln!(
+                                out,
+                                "result_retired_segments {}",
+                                s.results.retired_segments
+                            )?;
+                            writeln!(out, "last_checkpoint_lsn {}", s.last_checkpoint_lsn)?;
+                            writeln!(out, "recovery_checkpoint_lsn {}", s.recovery.checkpoint_lsn)?;
+                            writeln!(out, "recovery_replayed {}", s.recovery.replayed)?;
+                            writeln!(
+                                out,
+                                "recovery_wal_bytes_discarded {}",
+                                s.recovery.wal_bytes_discarded
+                            )?;
+                            writeln!(out, "recovery_result_records {}", s.recovery.result_records)?;
+                        }
+                        None => writeln!(out, "ERR store disabled")?,
+                    },
+                    Some(other) => writeln!(out, "ERR unknown STORE subcommand {other}")?,
+                }
+                writeln!(out, "END")?;
+            }
+            "CHECKPOINT" => {
+                match service.checkpoint_now() {
+                    Ok(lsn) => writeln!(out, "OK lsn {lsn}")?,
+                    Err(e) => writeln!(out, "ERR {e}")?,
+                }
+                writeln!(out, "END")?;
             }
             "DRAIN" => {
                 service.drain();
@@ -365,9 +464,11 @@ mod tests {
         assert!(!json.is_empty());
         assert!(json.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
 
-        // One-shot helper and unknown-command handling.
+        // One-shot helper and unknown-command handling. 9 counter lines
+        // plus the `store disabled` durability marker.
         let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
-        assert_eq!(oneshot.len(), 9);
+        assert_eq!(oneshot.len(), 10);
+        assert!(oneshot.contains(&"store disabled".to_string()));
         assert!(oneshot.iter().any(|l| l.starts_with("uptime_ms ")));
         assert!(oneshot.contains(&format!("version {}", env!("CARGO_PKG_VERSION"))));
         // The effective flush threshold is surfaced, post-clamp.
@@ -382,6 +483,75 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(snap.stats.emitted, trace.packets.len() as u64);
         assert_eq!(snap.stats.malformed_frames, 0);
+    }
+
+    #[test]
+    fn durable_server_exposes_store_commands() {
+        let trace = run_simulation(&NetworkConfig::small(9, 925));
+        let dir = std::env::temp_dir().join(format!("domo-server-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = local_server(SinkConfig {
+            shards: 1,
+            store: Some(crate::StoreConfig::at(&dir)),
+            ..SinkConfig::default()
+        });
+
+        let bytes = encode_packets(&trace.packets).expect("encodes");
+        {
+            let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect");
+            conn.write_all(&bytes).expect("send");
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if server.service().stats().ingested == trace.packets.len() as u64 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+        q.request("DRAIN").expect("drain");
+
+        // STATS advertises the durability posture.
+        let stats = q.request("STATS").expect("stats");
+        assert!(stats.contains(&format!("data_dir {}", dir.display())));
+        assert!(stats.contains(&"fsync interval:64".to_string()));
+        assert!(!stats.contains(&"store disabled".to_string()));
+
+        // STORE STATS shows the WAL holding every ingested record and
+        // the result log holding every emission.
+        let store = q.request("STORE STATS").expect("store stats");
+        assert!(store.contains(&format!("wal_next_lsn {}", trace.packets.len())));
+        assert!(store.contains(&format!("result_records {}", trace.packets.len())));
+
+        // CHECKPOINT returns the covered cut; RANGE then serves every
+        // durable reconstruction.
+        let ckpt = q.request("CHECKPOINT").expect("checkpoint");
+        assert_eq!(ckpt, vec![format!("OK lsn {}", trace.packets.len())]);
+        let range = q.request("RANGE -inf inf").expect("range");
+        assert!(range.contains(&format!("count {}", trace.packets.len())));
+        assert_eq!(range.len(), trace.packets.len() + 1);
+        let none = q.request("RANGE -5 -1").expect("empty range");
+        assert_eq!(none, vec!["count 0".to_string()]);
+        let bad = q.request("RANGE a b").expect("bad args");
+        assert!(bad[0].starts_with("ERR usage"));
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_commands_err_cleanly_when_disabled() {
+        let server = local_server(SinkConfig::default());
+        let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+        let store = q.request("STORE STATS").expect("reply");
+        assert!(store[0].starts_with("ERR"));
+        let range = q.request("RANGE 0 1").expect("reply");
+        assert!(range[0].starts_with("ERR"));
+        let ckpt = q.request("CHECKPOINT").expect("reply");
+        assert!(ckpt[0].starts_with("ERR"));
+        server.shutdown();
     }
 
     #[test]

@@ -16,16 +16,20 @@
 //! solver (which already tolerates missing records) but never silently
 //! for the operator, and never with a panic.
 
+use crate::persist::{self, CheckpointState, RecoveryReport, StoreConfig};
 use crate::wire::{self, WireError};
 use domo_core::sanitize::{check_packet, SanitizeConfig, TraceError};
-use domo_core::streaming::{ReconstructedPacket, StreamingEstimator};
+use domo_core::streaming::{ReconstructedPacket, StreamingEstimator, StreamingSnapshot};
 use domo_core::EstimatorConfig;
 use domo_net::{CollectedPacket, NodeId, PacketId};
 use domo_obs::LazyCounter;
+use domo_store::results::ResultStoreStats;
+use domo_store::wal::{WalConfig, WalStats};
+use domo_store::{CheckpointStore, FsyncPolicy, ResultStore, ResultStoreConfig, Wal};
 use domo_util::running::RunningStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::SyncSender;
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -53,6 +57,12 @@ pub struct SinkConfig {
     /// retains (oldest evicted first); per-node summaries are unbounded
     /// running statistics and never evict.
     pub max_retained_packets: usize,
+    /// Durability configuration. `None` (the default) runs fully
+    /// in-memory, exactly as before this field existed; `Some` journals
+    /// every accepted record to a WAL, checkpoints shard state, and
+    /// persists every emitted reconstruction — see
+    /// [`SinkService::open`].
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for SinkConfig {
@@ -64,6 +74,7 @@ impl Default for SinkConfig {
             high_water: None,
             sanitize: SanitizeConfig::default(),
             max_retained_packets: 65_536,
+            store: None,
         }
     }
 }
@@ -149,6 +160,10 @@ static OBS_MALFORMED: LazyCounter = LazyCounter::new("domo_sink_malformed_frames
 static OBS_BACKPRESSURE: LazyCounter =
     LazyCounter::new("domo_sink_backpressure_dropped_total", &[]);
 static OBS_EST_ERRORS: LazyCounter = LazyCounter::new("domo_sink_estimator_errors_total", &[]);
+static OBS_RECOVERIES: LazyCounter = LazyCounter::new("domo_sink_recoveries_total", &[]);
+static OBS_REPLAYED: LazyCounter = LazyCounter::new("domo_sink_wal_replayed_total", &[]);
+static OBS_PERSIST_ERRORS: LazyCounter = LazyCounter::new("domo_sink_persist_errors_total", &[]);
+static OBS_CHECKPOINTS: LazyCounter = LazyCounter::new("domo_sink_checkpoints_total", &[]);
 
 #[derive(Debug, Default)]
 struct StatsCells {
@@ -186,6 +201,12 @@ enum ShardMsg {
     Drain(SyncSender<()>),
     /// Flush the oldest half early (`try_flush_now`), then ack.
     Flush(SyncSender<()>),
+    /// Checkpoint barrier: send the estimator's snapshot, then block
+    /// until the checkpointer releases the worker. While every shard is
+    /// parked here the service's mutable state is frozen, so the
+    /// captured snapshots, counters, and node summaries are all
+    /// consistent with one WAL cut.
+    Snapshot(SyncSender<StreamingSnapshot>, Receiver<()>),
 }
 
 #[derive(Default)]
@@ -267,6 +288,22 @@ impl ShardQueue {
         }
     }
 
+    /// Enqueues a packet without the capacity bound — recovery replay
+    /// only. Backpressure exists to shed *live* load; records already
+    /// acknowledged into the WAL must never be shed on the way back in.
+    fn push_packet_unbounded(&self, p: CollectedPacket) -> bool {
+        let mut st = lock_or_recover(&self.state);
+        if st.closed {
+            return false;
+        }
+        st.msgs.push_back(ShardMsg::Packet(p));
+        st.queued_packets += 1;
+        self.depth.set(st.queued_packets as f64);
+        drop(st);
+        self.ready.notify_one();
+        true
+    }
+
     /// Enqueues a control message (exempt from the capacity bound).
     /// Returns `false` when the queue is closed.
     fn push_control(&self, msg: ShardMsg) -> bool {
@@ -308,6 +345,216 @@ impl ShardQueue {
     }
 }
 
+/// Durable state guarded by one mutex: holding it serializes WAL
+/// appends with shard pushes, so **WAL order equals queue order** — the
+/// invariant that makes a checkpoint's WAL cut exact.
+struct WalState {
+    wal: Wal,
+    /// Ids of every packet journaled so far (below compacted history,
+    /// restored from the checkpoint). This — not the in-memory fast
+    /// path — is the dedup set checkpoints persist: a pid is only here
+    /// once its WAL append succeeded, so recovery never remembers a
+    /// packet it cannot replay.
+    seen: HashSet<PacketId>,
+    appends_since_ckpt: u64,
+}
+
+/// Result-log state: the store plus the ids already persisted, which
+/// gates appends so recovery replay can never double-emit.
+struct ResultState {
+    store: ResultStore,
+    persisted: HashSet<PacketId>,
+}
+
+/// Everything durability adds to a running service.
+struct Persistence {
+    cfg: StoreConfig,
+    walstate: Mutex<WalState>,
+    checkpoints: CheckpointStore,
+    results: Mutex<ResultState>,
+    /// Serializes checkpoints (the auto-trigger try-locks and skips).
+    ckpt_guard: Mutex<()>,
+    last_checkpoint_lsn: AtomicU64,
+    /// Finalized once, at the end of `open` (the replay count arrives
+    /// after the struct is built).
+    recovery: Mutex<RecoveryReport>,
+}
+
+/// Operator-facing durability status (the `STORE STATS` / STATS lines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStatus {
+    /// The configured data directory.
+    pub data_dir: std::path::PathBuf,
+    /// The configured fsync policy.
+    pub fsync: FsyncPolicy,
+    /// WAL position/size summary.
+    pub wal: WalStats,
+    /// Result-log size summary.
+    pub results: ResultStoreStats,
+    /// WAL cut of the newest checkpoint written this run (0 before the
+    /// first; restored from the recovery checkpoint at open).
+    pub last_checkpoint_lsn: u64,
+    /// What recovery found at open.
+    pub recovery: RecoveryReport,
+}
+
+/// Durable state reloaded by [`SinkService::open`] before the workers
+/// start: the persistence handle, the per-shard estimator snapshots
+/// from the checkpoint, and the WAL tail awaiting replay.
+struct Recovered {
+    persistence: Arc<Persistence>,
+    shard_snapshots: Vec<Option<StreamingSnapshot>>,
+    tail_records: Vec<(u64, Vec<u8>)>,
+}
+
+impl Recovered {
+    fn load(
+        sc: &StoreConfig,
+        shards: usize,
+        stats: &StatsCells,
+        store: &Mutex<Store>,
+        cfg: &SinkConfig,
+    ) -> std::io::Result<Self> {
+        let (wal, tail) = Wal::open(
+            sc.data_dir.join("wal"),
+            WalConfig {
+                fsync: sc.fsync,
+                ..WalConfig::default()
+            },
+        )?;
+        let checkpoints = CheckpointStore::open(sc.data_dir.join("ckpt"))?;
+        let (rstore, result_bytes_discarded) = ResultStore::open(
+            sc.data_dir.join("results"),
+            ResultStoreConfig {
+                max_sealed_segments: sc.max_result_segments,
+                ..ResultStoreConfig::default()
+            },
+        )?;
+        let mut report = RecoveryReport {
+            wal_records: tail.records,
+            wal_bytes_discarded: tail.bytes_discarded,
+            wal_segments_discarded: tail.segments_discarded,
+            result_bytes_discarded,
+            ..RecoveryReport::default()
+        };
+
+        // Seed from the newest valid checkpoint, if any. A checkpoint
+        // that passes the store's checksum but fails our decode is
+        // treated like a corrupt one: skipped, counted, recovered past.
+        let mut shard_snapshots: Vec<Option<StreamingSnapshot>> =
+            (0..shards).map(|_| None).collect();
+        let mut seen: HashSet<PacketId> = HashSet::new();
+        let mut covered = 0u64;
+        if let Some(loaded) = checkpoints.latest()? {
+            match persist::decode_checkpoint(&loaded.payload) {
+                Ok(state) => {
+                    if state.shards.len() != shards {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "checkpoint was written with {} shards but the service is \
+                                 configured with {shards}; estimator state cannot be \
+                                 re-partitioned — reuse the original shard count or start \
+                                 a fresh data directory",
+                                state.shards.len()
+                            ),
+                        ));
+                    }
+                    covered = loaded.covered;
+                    for (slot, snap) in shard_snapshots.iter_mut().zip(state.shards) {
+                        *slot = Some(snap);
+                    }
+                    stats.ingested.store(state.counters[0], Ordering::Relaxed);
+                    stats.emitted.store(state.counters[1], Ordering::Relaxed);
+                    stats
+                        .quarantined
+                        .store(state.counters[2], Ordering::Relaxed);
+                    stats
+                        .malformed_frames
+                        .store(state.counters[3], Ordering::Relaxed);
+                    stats
+                        .backpressure_dropped
+                        .store(state.counters[4], Ordering::Relaxed);
+                    stats
+                        .estimator_errors
+                        .store(state.counters[5], Ordering::Relaxed);
+                    seen.extend(state.seen);
+                    lock_or_recover(store).node_stats =
+                        persist::node_stats_from_parts(&state.node_stats);
+                }
+                Err(e) => {
+                    report.checkpoints_skipped += 1;
+                    OBS_PERSIST_ERRORS.inc();
+                    domo_obs::warn!(
+                        target: "domo_sink::recovery",
+                        "checkpoint payload failed decode; recovering without it",
+                        covered = loaded.covered,
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
+        report.checkpoint_lsn = covered;
+
+        // Rebuild the reconstruction cache and the persisted-pid index
+        // from the result log (append order == emission order).
+        let mut persisted: HashSet<PacketId> = HashSet::new();
+        {
+            let mut st = lock_or_recover(store);
+            for (_t, bytes) in rstore.scan_all()? {
+                match persist::decode_result(&bytes) {
+                    Ok((pid, rec)) => {
+                        report.result_records += 1;
+                        persisted.insert(pid);
+                        if st.packets.insert(pid, rec).is_none() {
+                            st.insertion_order.push_back(pid);
+                        }
+                        while st.packets.len() > cfg.max_retained_packets.max(1) {
+                            let Some(old) = st.insertion_order.pop_front() else {
+                                break;
+                            };
+                            st.packets.remove(&old);
+                        }
+                    }
+                    Err(_) => OBS_PERSIST_ERRORS.inc(),
+                }
+            }
+        }
+
+        // The WAL tail past the checkpoint replays through the shards;
+        // its pids enter the dedup set now so a client re-sending the
+        // same input is quarantined, not double-processed.
+        let tail_records = wal.records_from(covered)?;
+        for (_, payload) in &tail_records {
+            if let Ok((p, _)) = wire::decode_packet(payload) {
+                seen.insert(p.pid);
+            }
+        }
+
+        let persistence = Arc::new(Persistence {
+            cfg: sc.clone(),
+            walstate: Mutex::new(WalState {
+                wal,
+                seen,
+                appends_since_ckpt: 0,
+            }),
+            checkpoints,
+            results: Mutex::new(ResultState {
+                store: rstore,
+                persisted,
+            }),
+            ckpt_guard: Mutex::new(()),
+            last_checkpoint_lsn: AtomicU64::new(covered),
+            recovery: Mutex::new(report),
+        });
+        Ok(Self {
+            persistence,
+            shard_snapshots,
+            tail_records,
+        })
+    }
+}
+
 /// The long-running sharded reconstruction service. Cheap to share
 /// behind an [`Arc`]; every method takes `&self`.
 pub struct SinkService {
@@ -319,6 +566,7 @@ pub struct SinkService {
     sanitize: SanitizeConfig,
     effective_high_water: usize,
     started: std::time::Instant,
+    persist: Option<Arc<Persistence>>,
 }
 
 impl std::fmt::Debug for SinkService {
@@ -332,7 +580,38 @@ impl std::fmt::Debug for SinkService {
 
 impl SinkService {
     /// Spawns the shard workers and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SinkConfig::store`] is set and the data directory
+    /// cannot be initialized — the panic-free variant is
+    /// [`SinkService::open`]. With `store: None` this never panics.
     pub fn start(cfg: SinkConfig) -> Self {
+        match Self::open(cfg) {
+            Ok(service) => service,
+            Err(e) => panic!("sink storage initialization failed: {e}"),
+        }
+    }
+
+    /// Opens the service, recovering durable state when
+    /// [`SinkConfig::store`] is set: loads the newest valid checkpoint,
+    /// restores every shard estimator, the dedup set, the counters and
+    /// the per-node summaries from it, rebuilds the reconstruction
+    /// cache from the result log, replays the WAL tail through the
+    /// shards, and truncates torn tails — with the exact accounting
+    /// available from [`SinkService::recovery_report`]. With
+    /// `store: None` this is identical to [`SinkService::start`] and
+    /// never fails.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, or a checkpoint whose shard count differs
+    /// from [`SinkConfig::shards`] (re-sharding a data directory is not
+    /// supported — estimator state cannot be re-partitioned). On-disk
+    /// *corruption* is never an error: torn tails are truncated,
+    /// corrupt checkpoints skipped, and the report says exactly what
+    /// was lost.
+    pub fn open(cfg: SinkConfig) -> std::io::Result<Self> {
         // Touch the service counters so a METRICS scrape lists every
         // family at zero from the moment the service is up, not only
         // after the first matching event (same rationale as the
@@ -350,22 +629,44 @@ impl SinkService {
         let shards = cfg.shards.max(1);
         let stats = Arc::new(StatsCells::default());
         let store = Arc::new(Mutex::new(Store::default()));
+
+        // Recover durable state before any worker runs.
+        let mut recovered = match &cfg.store {
+            Some(sc) => Some(Recovered::load(sc, shards, &stats, &store, &cfg)?),
+            None => None,
+        };
+
         let queues: Vec<Arc<ShardQueue>> = (0..shards)
             .map(|shard| Arc::new(ShardQueue::new(cfg.queue_capacity, shard)))
             .collect();
+        let persist = recovered.as_mut().map(|r| Arc::clone(&r.persistence));
         let mut workers = Vec::with_capacity(shards);
-        for queue in &queues {
+        for (i, queue) in queues.iter().enumerate() {
             let queue = Arc::clone(queue);
             let stats = Arc::clone(&stats);
             let store = Arc::clone(&store);
             let est_cfg = cfg.estimator.clone();
             let high_water = cfg.high_water;
             let max_retained = cfg.max_retained_packets;
+            let persist = persist.clone();
+            let initial = recovered
+                .as_mut()
+                .and_then(|r| r.shard_snapshots.get_mut(i).and_then(Option::take));
             workers.push(std::thread::spawn(move || {
-                worker_loop(&queue, est_cfg, high_water, max_retained, &stats, &store);
+                worker_loop(
+                    &queue,
+                    est_cfg,
+                    high_water,
+                    initial,
+                    max_retained,
+                    &stats,
+                    &store,
+                    persist.as_deref(),
+                );
             }));
         }
-        Self {
+
+        let service = Self {
             shards: queues,
             workers: Mutex::new(workers),
             stats,
@@ -377,7 +678,59 @@ impl SinkService {
                 cfg.high_water,
             ),
             started: std::time::Instant::now(),
+            persist,
+        };
+        if let Some(r) = recovered {
+            service.replay_wal_tail(r)?;
         }
+        Ok(service)
+    }
+
+    /// Pushes the recovered WAL tail through the shards, in WAL order,
+    /// bypassing both dedup (the WAL never holds duplicate pids) and
+    /// the queue capacity (acknowledged records are never shed).
+    fn replay_wal_tail(&self, r: Recovered) -> std::io::Result<()> {
+        let mut replayed = 0u64;
+        for (lsn, payload) in &r.tail_records {
+            let Ok((p, _)) = wire::decode_packet(payload) else {
+                // The record passed the WAL checksum but not the wire
+                // decoder: count it, keep going — recovery never gives
+                // up on later records for an earlier one.
+                OBS_PERSIST_ERRORS.inc();
+                domo_obs::warn!(
+                    target: "domo_sink::recovery",
+                    "wal record failed wire decode",
+                    lsn = *lsn,
+                );
+                continue;
+            };
+            let Some(root) = p.subtree_root() else {
+                OBS_PERSIST_ERRORS.inc();
+                continue;
+            };
+            let shard = root.index() % self.shards.len();
+            if self.shards[shard].push_packet_unbounded(p) {
+                replayed += 1;
+                self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                OBS_INGESTED.inc();
+                OBS_REPLAYED.inc();
+            }
+        }
+        if let Some(persist) = &self.persist {
+            let mut report = lock_or_recover(&persist.recovery);
+            report.replayed = replayed;
+            domo_obs::info!(
+                target: "domo_sink::recovery",
+                "recovery complete",
+                checkpoint_lsn = report.checkpoint_lsn,
+                wal_records = report.wal_records,
+                replayed = replayed,
+                wal_bytes_discarded = report.wal_bytes_discarded,
+                result_records = report.result_records,
+            );
+        }
+        OBS_RECOVERIES.inc();
+        Ok(())
     }
 
     /// Milliseconds since this service was started (the STATS
@@ -400,17 +753,13 @@ impl SinkService {
         self.effective_high_water
     }
 
-    /// Validates, deduplicates, and routes one record.
+    /// Validates, deduplicates, journals (when durability is on), and
+    /// routes one record.
     pub fn ingest(&self, p: CollectedPacket) -> IngestOutcome {
         if let Err(e) = check_packet(&p, &self.sanitize) {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
             OBS_QUARANTINED.inc();
             return IngestOutcome::Quarantined(e);
-        }
-        if !lock_or_recover(&self.seen).insert(p.pid) {
-            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-            OBS_QUARANTINED.inc();
-            return IngestOutcome::Quarantined(TraceError::DuplicateId);
         }
         // Sanitized records always have ≥ 2 path nodes.
         let Some(root) = p.subtree_root() else {
@@ -419,6 +768,60 @@ impl SinkService {
             return IngestOutcome::Quarantined(TraceError::PathTooShort { len: p.path.len() });
         };
         let shard = root.index() % self.shards.len();
+        let Some(persist) = self.persist.clone() else {
+            if !lock_or_recover(&self.seen).insert(p.pid) {
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                OBS_QUARANTINED.inc();
+                return IngestOutcome::Quarantined(TraceError::DuplicateId);
+            }
+            return self.push_to_shard(shard, p);
+        };
+        // Durable path: dedup, WAL append, and shard push all under
+        // the WAL lock, so the journal's record order is exactly the
+        // queue order — the invariant a checkpoint's cut relies on. A
+        // pid enters the dedup set only alongside its journal record:
+        // a crash between the two can never "remember" a packet the
+        // WAL cannot replay.
+        let outcome;
+        let checkpoint_due;
+        {
+            let mut ws = lock_or_recover(&persist.walstate);
+            if !ws.seen.insert(p.pid) {
+                drop(ws);
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                OBS_QUARANTINED.inc();
+                return IngestOutcome::Quarantined(TraceError::DuplicateId);
+            }
+            let mut frame = Vec::new();
+            let journaled = wire::encode_packet(&p, &mut frame).is_ok()
+                && match ws.wal.append(&frame) {
+                    Ok(_) => true,
+                    Err(e) => {
+                        // Disk trouble degrades durability, not service:
+                        // the record still reconstructs in memory, the
+                        // failure is counted and logged.
+                        OBS_PERSIST_ERRORS.inc();
+                        domo_obs::warn!(
+                            target: "domo_sink::persist",
+                            "wal append failed; record continues un-journaled",
+                            error = e.to_string(),
+                        );
+                        false
+                    }
+                };
+            if journaled {
+                ws.appends_since_ckpt += 1;
+            }
+            checkpoint_due = ws.appends_since_ckpt >= persist.cfg.checkpoint_every.max(1);
+            outcome = self.push_to_shard(shard, p);
+        }
+        if checkpoint_due {
+            self.maybe_checkpoint(&persist);
+        }
+        outcome
+    }
+
+    fn push_to_shard(&self, shard: usize, p: CollectedPacket) -> IngestOutcome {
         match self.shards[shard].push_packet(p) {
             PushOutcome::Queued => {
                 self.stats.ingested.fetch_add(1, Ordering::Relaxed);
@@ -522,11 +925,209 @@ impl SinkService {
         lock_or_recover(&self.store).packets.get(&pid).cloned()
     }
 
+    /// Durability status, or `None` when the service runs in-memory.
+    pub fn store_status(&self) -> Option<StoreStatus> {
+        self.persist.as_ref().map(|p| {
+            let wal = lock_or_recover(&p.walstate).wal.stats();
+            let results = lock_or_recover(&p.results).store.stats();
+            StoreStatus {
+                data_dir: p.cfg.data_dir.clone(),
+                fsync: p.cfg.fsync,
+                wal,
+                results,
+                last_checkpoint_lsn: p.last_checkpoint_lsn.load(Ordering::Relaxed),
+                recovery: *lock_or_recover(&p.recovery),
+            }
+        })
+    }
+
+    /// What recovery found when this service was opened, or `None` when
+    /// durability is disabled.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.persist.as_ref().map(|p| *lock_or_recover(&p.recovery))
+    }
+
+    /// Every persisted reconstruction whose generation time (ms) falls
+    /// in `[lo_ms, hi_ms]`, in emission order — served from the result
+    /// log's sparse time index, so it includes history from before the
+    /// last restart and survives cache eviction.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` when durability is disabled; filesystem failures
+    /// otherwise. Persisted records that fail decode are skipped and
+    /// counted, never fatal.
+    pub fn range(
+        &self,
+        lo_ms: f64,
+        hi_ms: f64,
+    ) -> std::io::Result<Vec<(PacketId, StoredReconstruction)>> {
+        let Some(p) = &self.persist else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "durability is disabled (no data dir); RANGE needs --data-dir",
+            ));
+        };
+        let rs = lock_or_recover(&p.results);
+        let mut out = Vec::new();
+        for (_t, bytes) in rs.store.range(lo_ms, hi_ms)? {
+            match persist::decode_result(&bytes) {
+                Ok((pid, rec)) => out.push((pid, rec)),
+                Err(_) => OBS_PERSIST_ERRORS.inc(),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Forces a checkpoint right now and returns the WAL cut it covers.
+    /// Serialized against concurrent checkpoints (including the
+    /// automatic every-N-appends trigger).
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` when durability is disabled; filesystem failures,
+    /// or an aborted barrier if a shard worker has died.
+    pub fn checkpoint_now(&self) -> std::io::Result<u64> {
+        let Some(persist) = self.persist.clone() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "durability is disabled (no data dir); CHECKPOINT needs --data-dir",
+            ));
+        };
+        let _guard = lock_or_recover(&persist.ckpt_guard);
+        self.checkpoint_locked(&persist)
+    }
+
+    /// The automatic trigger: skips (rather than queues) when another
+    /// checkpoint is already running.
+    fn maybe_checkpoint(&self, persist: &Persistence) {
+        let Ok(_guard) = persist.ckpt_guard.try_lock() else {
+            return;
+        };
+        if let Err(e) = self.checkpoint_locked(persist) {
+            OBS_PERSIST_ERRORS.inc();
+            domo_obs::warn!(
+                target: "domo_sink::persist",
+                "checkpoint failed",
+                error = e.to_string(),
+            );
+        }
+    }
+
+    /// The checkpoint protocol. Caller holds `ckpt_guard`.
+    ///
+    /// Phase 1 takes the WAL lock, syncs, fixes the cut `C`, captures
+    /// the dedup set and counters, and enqueues a snapshot barrier on
+    /// every shard — all before any further append can interleave, so
+    /// everything captured corresponds exactly to records with
+    /// `lsn < C`. Phase 2 collects the shard snapshots; each worker
+    /// parks after answering, freezing emissions. Phase 3 captures the
+    /// per-node summaries (frozen, since only workers write them) and
+    /// serializes. Phase 4 releases the workers. Phase 5 syncs the
+    /// result log, atomically persists the checkpoint, and compacts the
+    /// WAL below `C`.
+    fn checkpoint_locked(&self, persist: &Persistence) -> std::io::Result<u64> {
+        let (cut, seen, counters, barriers) = {
+            let mut ws = lock_or_recover(&persist.walstate);
+            ws.wal.sync()?;
+            let cut = ws.wal.next_lsn();
+            let seen: Vec<PacketId> = ws.seen.iter().copied().collect();
+            let s = self.stats.snapshot();
+            let counters = [
+                s.ingested,
+                s.emitted,
+                s.quarantined,
+                s.malformed_frames,
+                s.backpressure_dropped,
+                s.estimator_errors,
+            ];
+            let mut barriers = Vec::with_capacity(self.shards.len());
+            for q in &self.shards {
+                let (snap_tx, snap_rx) = std::sync::mpsc::sync_channel(1);
+                let (rel_tx, rel_rx) = std::sync::mpsc::sync_channel::<()>(1);
+                if q.push_control(ShardMsg::Snapshot(snap_tx, rel_rx)) {
+                    barriers.push((snap_rx, rel_tx));
+                }
+            }
+            ws.appends_since_ckpt = 0;
+            (cut, seen, counters, barriers)
+        };
+
+        let mut snaps = Vec::with_capacity(barriers.len());
+        let mut releases = Vec::with_capacity(barriers.len());
+        for (snap_rx, rel_tx) in barriers {
+            if let Ok(s) = snap_rx.recv() {
+                snaps.push(s);
+            }
+            releases.push(rel_tx);
+        }
+        let payload = if snaps.len() == self.shards.len() {
+            let node_stats: Vec<(NodeId, domo_util::running::RunningParts)> = {
+                let st = lock_or_recover(&self.store);
+                st.node_stats
+                    .iter()
+                    .map(|(&node, s)| (node, s.to_parts()))
+                    .collect()
+            };
+            let state = CheckpointState {
+                shards: snaps,
+                counters,
+                seen,
+                node_stats,
+            };
+            persist::encode_checkpoint(&state)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        } else {
+            Err(std::io::Error::other(
+                "a shard worker is gone; checkpoint aborted",
+            ))
+        };
+        // Workers resume whatever the outcome — the barrier must never
+        // outlive its reason.
+        for rel in releases {
+            let _ = rel.send(());
+        }
+        let payload = payload?;
+
+        // Results the checkpoint claims emitted must be durable before
+        // the checkpoint itself is.
+        lock_or_recover(&persist.results).store.sync()?;
+        persist.checkpoints.save(cut, &payload)?;
+        lock_or_recover(&persist.walstate).wal.compact_upto(cut)?;
+        persist.last_checkpoint_lsn.store(cut, Ordering::Relaxed);
+        OBS_CHECKPOINTS.inc();
+        domo_obs::info!(
+            target: "domo_sink::persist",
+            "checkpoint written",
+            covered = cut,
+            bytes = payload.len(),
+        );
+        Ok(cut)
+    }
+
     /// Closes the shard queues (records already queued are still
     /// reconstructed, each shard runs a final flush) and joins the
-    /// workers. Idempotent; later `ingest` calls return
+    /// workers. With durability on, a final checkpoint is written first
+    /// (while the workers can still answer the barrier) and the WAL and
+    /// result log are synced after the last flush, so a clean shutdown
+    /// restarts with only the post-checkpoint tail to replay.
+    /// Idempotent; later `ingest` calls return
     /// [`IngestOutcome::Closed`].
     pub fn shutdown(&self) -> SinkSnapshot {
+        let have_workers = !lock_or_recover(&self.workers).is_empty();
+        if have_workers {
+            if let Some(persist) = self.persist.clone() {
+                let _guard = lock_or_recover(&persist.ckpt_guard);
+                if let Err(e) = self.checkpoint_locked(&persist) {
+                    OBS_PERSIST_ERRORS.inc();
+                    domo_obs::warn!(
+                        target: "domo_sink::persist",
+                        "shutdown checkpoint failed",
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
         for q in &self.shards {
             q.close();
         }
@@ -534,7 +1135,30 @@ impl SinkService {
         for h in handles {
             let _ = h.join();
         }
+        self.sync_storage();
         self.snapshot()
+    }
+
+    /// Best-effort final fsync of the WAL and result log.
+    fn sync_storage(&self) {
+        if let Some(persist) = &self.persist {
+            if let Err(e) = lock_or_recover(&persist.walstate).wal.sync() {
+                OBS_PERSIST_ERRORS.inc();
+                domo_obs::warn!(
+                    target: "domo_sink::persist",
+                    "final wal sync failed",
+                    error = e.to_string(),
+                );
+            }
+            if let Err(e) = lock_or_recover(&persist.results).store.sync() {
+                OBS_PERSIST_ERRORS.inc();
+                domo_obs::warn!(
+                    target: "domo_sink::persist",
+                    "final result sync failed",
+                    error = e.to_string(),
+                );
+            }
+        }
     }
 }
 
@@ -547,6 +1171,10 @@ impl Drop for SinkService {
         for h in handles {
             let _ = h.join();
         }
+        // No checkpoint here — the barrier needs live workers, and
+        // `shutdown` is the graceful path. Recovery replays whatever a
+        // drop-without-shutdown left in the WAL.
+        self.sync_storage();
     }
 }
 
@@ -556,6 +1184,7 @@ fn record_batch(
     max_retained: usize,
     stats: &StatsCells,
     store: &Mutex<Store>,
+    persist: Option<&Persistence>,
 ) {
     if batch.is_empty() {
         return;
@@ -571,19 +1200,38 @@ fn record_batch(
                 st.node_stats.entry(path[i]).or_default().push(sojourn);
             }
         }
-        if st.packets.len() >= max_retained {
+        let rec = StoredReconstruction {
+            path,
+            hop_times_ms: r.hop_times_ms.clone(),
+        };
+        if let Some(p) = persist {
+            // The persisted-pid index gates the append: a recovery
+            // replay re-emits deterministically identical results for
+            // packets that were already persisted before the crash, and
+            // those must not be written twice.
+            let mut rs = lock_or_recover(&p.results);
+            if rs.persisted.insert(r.pid) {
+                let t = r.hop_times_ms.first().copied().unwrap_or(0.0);
+                let bytes = persist::encode_result(r.pid, &rec);
+                if let Err(e) = rs.store.append(t, &bytes) {
+                    rs.persisted.remove(&r.pid);
+                    OBS_PERSIST_ERRORS.inc();
+                    domo_obs::warn!(
+                        target: "domo_sink::persist",
+                        "result append failed",
+                        error = e.to_string(),
+                    );
+                }
+            }
+        }
+        if st.packets.len() >= max_retained && !st.packets.contains_key(&r.pid) {
             if let Some(old) = st.insertion_order.pop_front() {
                 st.packets.remove(&old);
             }
         }
-        st.insertion_order.push_back(r.pid);
-        st.packets.insert(
-            r.pid,
-            StoredReconstruction {
-                path,
-                hop_times_ms: r.hop_times_ms.clone(),
-            },
-        );
+        if st.packets.insert(r.pid, rec).is_none() {
+            st.insertion_order.push_back(r.pid);
+        }
     }
     stats
         .emitted
@@ -591,27 +1239,48 @@ fn record_batch(
     OBS_EMITTED.add(batch.len() as u64);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     queue: &ShardQueue,
     est_cfg: EstimatorConfig,
     high_water: Option<usize>,
+    initial: Option<StreamingSnapshot>,
     max_retained: usize,
     stats: &StatsCells,
     store: &Mutex<Store>,
+    persist: Option<&Persistence>,
 ) {
-    let mut est = StreamingEstimator::new(est_cfg);
-    if let Some(hw) = high_water {
-        est = est.with_high_water(hw);
-    }
     let mut pending_paths: HashMap<PacketId, Vec<NodeId>> = HashMap::new();
+    let mut est = match initial {
+        Some(snap) => {
+            // Buffered-but-unflushed packets need their paths back for
+            // sojourn attribution when they eventually emit.
+            for p in &snap.buffer {
+                pending_paths.insert(p.pid, p.path.clone());
+            }
+            StreamingEstimator::from_snapshot(est_cfg, snap)
+        }
+        None => {
+            let mut e = StreamingEstimator::new(est_cfg);
+            if let Some(hw) = high_water {
+                e = e.with_high_water(hw);
+            }
+            e
+        }
+    };
     while let Some(msg) = queue.pop() {
         match msg {
             ShardMsg::Packet(p) => {
                 pending_paths.insert(p.pid, p.path.clone());
                 match est.try_push(p) {
-                    Ok(batch) => {
-                        record_batch(&batch, &mut pending_paths, max_retained, stats, store)
-                    }
+                    Ok(batch) => record_batch(
+                        &batch,
+                        &mut pending_paths,
+                        max_retained,
+                        stats,
+                        store,
+                        persist,
+                    ),
                     Err(_) => {
                         stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
@@ -620,9 +1289,14 @@ fn worker_loop(
             }
             ShardMsg::Drain(ack) => {
                 match est.try_finish() {
-                    Ok(batch) => {
-                        record_batch(&batch, &mut pending_paths, max_retained, stats, store)
-                    }
+                    Ok(batch) => record_batch(
+                        &batch,
+                        &mut pending_paths,
+                        max_retained,
+                        stats,
+                        store,
+                        persist,
+                    ),
                     Err(_) => {
                         stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
@@ -632,9 +1306,14 @@ fn worker_loop(
             }
             ShardMsg::Flush(ack) => {
                 match est.try_flush_now() {
-                    Ok(batch) => {
-                        record_batch(&batch, &mut pending_paths, max_retained, stats, store)
-                    }
+                    Ok(batch) => record_batch(
+                        &batch,
+                        &mut pending_paths,
+                        max_retained,
+                        stats,
+                        store,
+                        persist,
+                    ),
                     Err(_) => {
                         stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
@@ -642,11 +1321,25 @@ fn worker_loop(
                 }
                 let _ = ack.send(());
             }
+            ShardMsg::Snapshot(tx, release) => {
+                // Answer the checkpoint barrier, then park until the
+                // checkpointer has captured everything it needs. A
+                // dropped release sender (checkpointer died) unparks.
+                let _ = tx.send(est.snapshot());
+                let _ = release.recv();
+            }
         }
     }
     // Queue closed: flush whatever the shard still buffers.
     match est.try_finish() {
-        Ok(batch) => record_batch(&batch, &mut pending_paths, max_retained, stats, store),
+        Ok(batch) => record_batch(
+            &batch,
+            &mut pending_paths,
+            max_retained,
+            stats,
+            store,
+            persist,
+        ),
         Err(_) => {
             stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
             OBS_EST_ERRORS.inc();
@@ -828,5 +1521,169 @@ mod tests {
         assert!(matches!(service.ingest(fresh), IngestOutcome::Closed));
         let again = service.shutdown();
         assert_eq!(again.stats.emitted, snap.stats.emitted);
+    }
+
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("domo-sink-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_cfg(dir: &std::path::Path, shards: usize) -> SinkConfig {
+        SinkConfig {
+            shards,
+            store: Some(StoreConfig::at(dir)),
+            ..SinkConfig::default()
+        }
+    }
+
+    /// Bit-exact baseline: the same trace through a volatile service
+    /// with the same shard count.
+    fn baseline(trace: &domo_net::NetworkTrace, shards: usize) -> SinkService {
+        let service = SinkService::start(SinkConfig {
+            shards,
+            ..SinkConfig::default()
+        });
+        for p in &trace.packets {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        service
+    }
+
+    #[test]
+    fn clean_shutdown_checkpoint_makes_reopen_instant() {
+        let trace = run_simulation(&NetworkConfig::small(9, 920));
+        let dir = store_dir("clean");
+        let first = SinkService::open(durable_cfg(&dir, 2)).expect("opens");
+        for p in &trace.packets {
+            assert!(matches!(first.ingest(p.clone()), IngestOutcome::Accepted));
+        }
+        first.drain();
+        first.shutdown();
+
+        // Shutdown checkpointed, so reopening replays nothing and the
+        // result cache comes straight from the result log.
+        let second = SinkService::open(durable_cfg(&dir, 2)).expect("reopens");
+        let report = second.recovery_report().expect("store enabled");
+        assert_eq!(report.replayed, 0, "checkpoint must cover the whole WAL");
+        assert!(report.checkpoint_lsn >= trace.packets.len() as u64);
+        assert_eq!(report.result_records, trace.packets.len() as u64);
+        assert_eq!(report.wal_bytes_discarded, 0);
+
+        let reference = baseline(&trace, 2);
+        for p in &trace.packets {
+            let got = second.reconstruction(p.pid).expect("recovered from disk");
+            let want = reference.reconstruction(p.pid).expect("baseline");
+            assert_eq!(got.path, want.path);
+            let a: Vec<u64> = got.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = want.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "recovered estimates must be bit-identical");
+        }
+        // The durable counters survive the restart too.
+        assert_eq!(second.stats().emitted, trace.packets.len() as u64);
+        reference.shutdown();
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_replay_resolves_without_double_emit() {
+        let trace = run_simulation(&NetworkConfig::small(9, 921));
+        let dir = store_dir("replay");
+        // Never checkpoint: recovery must come entirely from WAL replay.
+        let mut store = StoreConfig::at(&dir);
+        store.checkpoint_every = u64::MAX;
+        let first = SinkService::open(SinkConfig {
+            shards: 2,
+            store: Some(store.clone()),
+            ..SinkConfig::default()
+        })
+        .expect("opens");
+        for p in &trace.packets {
+            first.ingest(p.clone());
+        }
+        first.drain();
+        let persisted_before = first.store_status().expect("store enabled").results.records;
+        assert_eq!(persisted_before, trace.packets.len() as u64);
+        // Drop without shutdown(): queues close and workers flush, but
+        // no checkpoint lands — the WAL is the only ingest record.
+        drop(first);
+
+        let second = SinkService::open(SinkConfig {
+            shards: 2,
+            store: Some(store),
+            ..SinkConfig::default()
+        })
+        .expect("reopens");
+        let report = second.recovery_report().expect("store enabled");
+        assert_eq!(report.checkpoint_lsn, 0);
+        assert_eq!(report.replayed, trace.packets.len() as u64);
+        second.drain();
+
+        // Replay re-solved every packet, but the result log gained no
+        // duplicates: the persisted-pid index gates re-appends.
+        let status = second.store_status().expect("store enabled");
+        assert_eq!(status.results.records, trace.packets.len() as u64);
+
+        let reference = baseline(&trace, 2);
+        for p in &trace.packets {
+            let got = second.reconstruction(p.pid).expect("replayed");
+            let want = reference.reconstruction(p.pid).expect("baseline");
+            let a: Vec<u64> = got.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = want.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "replayed estimates must be bit-identical");
+        }
+        reference.shutdown();
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn range_query_prunes_by_generation_time() {
+        let trace = run_simulation(&NetworkConfig::small(9, 922));
+        let dir = store_dir("range");
+        let service = SinkService::open(durable_cfg(&dir, 1)).expect("opens");
+        for p in &trace.packets {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        let all = service
+            .range(f64::NEG_INFINITY, f64::INFINITY)
+            .expect("range");
+        assert_eq!(all.len(), trace.packets.len());
+        // A window that excludes everything.
+        let none = service.range(-2.0, -1.0).expect("range");
+        assert!(none.is_empty());
+        // A half-window: every returned record's first hop time is in
+        // range, and the count matches a manual scan.
+        let times: Vec<f64> = all
+            .iter()
+            .map(|(_, r)| r.hop_times_ms.first().copied().unwrap_or(0.0))
+            .collect();
+        let mid = times.iter().copied().fold(f64::NEG_INFINITY, f64::max) / 2.0;
+        let some = service.range(f64::NEG_INFINITY, mid).expect("range");
+        let expected = times.iter().filter(|t| **t <= mid).count();
+        assert_eq!(some.len(), expected);
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_with_different_shard_count_is_rejected() {
+        let trace = run_simulation(&NetworkConfig::small(9, 923));
+        let dir = store_dir("reshard");
+        let first = SinkService::open(durable_cfg(&dir, 2)).expect("opens");
+        for p in &trace.packets {
+            first.ingest(p.clone());
+        }
+        first.drain();
+        first.shutdown();
+        let err = match SinkService::open(durable_cfg(&dir, 3)) {
+            Ok(_) => panic!("re-sharding a data dir must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

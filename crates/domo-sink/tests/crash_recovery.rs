@@ -1,0 +1,34 @@
+//! Out-of-process crash-recovery acceptance test: SIGKILL a durable
+//! sink mid-ingest, restart it on the same data dir, and require the
+//! recovered state to match an uninterrupted run exactly.
+//!
+//! The whole protocol (spawn → replay half → SIGKILL → respawn →
+//! replay full → compare RANGE/PACKET against an in-process reference)
+//! lives in the binary's `crashsmoke` command so `scripts/check.sh`
+//! can run the identical gate; this test just drives it.
+
+use std::process::Command;
+
+#[test]
+fn sigkill_mid_ingest_recovers_bit_identically() {
+    let out = Command::new(env!("CARGO_BIN_EXE_domo-sink"))
+        .args(["crashsmoke", "--nodes", "9", "--seed", "13"])
+        .env("DOMO_LOG", "off")
+        .output()
+        .expect("run crashsmoke");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "crashsmoke failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(
+        stdout.contains("crashsmoke: OK"),
+        "missing OK marker\n{stdout}"
+    );
+    assert!(
+        stdout.contains("recovered 94/94 packets bit-identically")
+            || stdout.contains("bit-identically"),
+        "missing recovery line\n{stdout}"
+    );
+}

@@ -1,0 +1,512 @@
+//! Append-only, time-indexed result log.
+//!
+//! Stores `(t, payload)` records — for the sink, `t` is a packet's
+//! generation time in seconds and the payload its reconstructed per-hop
+//! delays — in segment files `res-<seq:08x>.log` that reuse the WAL's
+//! record framing (magic, length, FNV-1a-32) with an 8-byte `f64` time
+//! prefix inside each payload.
+//!
+//! Two structures make range queries cheap without a general index:
+//!
+//! * a per-segment record count and `[min_t, max_t]` extent, and
+//! * a **sparse block index**: every [`BLOCK_RECORDS`] records, the
+//!   byte offset and time extent of that block.
+//!
+//! [`ResultStore::range`] prunes whole segments, then whole blocks,
+//! whose extents miss the query window, and only then scans records.
+//! Records are *not* assumed time-sorted (shards emit out of order), so
+//! pruning is by extent, and yielded order is append order.
+//!
+//! Retention: once the active segment exceeds
+//! [`ResultStoreConfig::segment_bytes`] it is sealed and a new one
+//! started; when sealed segments exceed
+//! [`ResultStoreConfig::max_sealed_segments`], the oldest are deleted.
+//! Opening truncates a torn tail exactly like the WAL does.
+
+use crate::fnv1a32;
+use crate::wal::{parse_record, FILE_MAGIC as WAL_FILE_MAGIC, RECORD_MAGIC, RECORD_OVERHEAD};
+use domo_obs::{LazyCounter, LazyGauge};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Records per sparse-index block.
+pub const BLOCK_RECORDS: usize = 64;
+/// 8-byte magic opening every result segment.
+pub const FILE_MAGIC: &[u8; 8] = b"DOMORES1";
+
+static OBS_APPENDS: LazyCounter = LazyCounter::new("domo_store_results_appends_total", &[]);
+static OBS_BYTES: LazyCounter = LazyCounter::new("domo_store_results_bytes_total", &[]);
+static OBS_SEGMENTS: LazyGauge = LazyGauge::new("domo_store_results_segments", &[]);
+static OBS_RETIRED: LazyCounter =
+    LazyCounter::new("domo_store_results_retired_segments_total", &[]);
+
+/// Knobs of a [`ResultStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultStoreConfig {
+    /// Seal the active segment once it exceeds this many bytes
+    /// (clamped to at least 4 KiB).
+    pub segment_bytes: u64,
+    /// Keep at most this many sealed segments; older ones are deleted
+    /// (0 = unlimited).
+    pub max_sealed_segments: usize,
+}
+
+impl Default for ResultStoreConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 4 << 20,
+            max_sealed_segments: 0,
+        }
+    }
+}
+
+/// Summary counters for STATS output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultStoreStats {
+    /// Records currently on disk.
+    pub records: u64,
+    /// Segment files (sealed + active).
+    pub segments: usize,
+    /// Total bytes on disk.
+    pub bytes: u64,
+    /// Sealed segments deleted by retention since open.
+    pub retired_segments: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    offset: u64,
+    records: u32,
+    min_t: f64,
+    max_t: f64,
+}
+
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    seq: u64,
+    bytes: u64,
+    records: u64,
+    min_t: f64,
+    max_t: f64,
+    blocks: Vec<Block>,
+    /// Open block being filled (becomes a `Block` at BLOCK_RECORDS).
+    open_offset: u64,
+    open_records: u32,
+    open_min_t: f64,
+    open_max_t: f64,
+}
+
+impl Segment {
+    fn fresh(path: PathBuf, seq: u64) -> Self {
+        Self {
+            path,
+            seq,
+            bytes: FILE_MAGIC.len() as u64,
+            records: 0,
+            min_t: f64::INFINITY,
+            max_t: f64::NEG_INFINITY,
+            blocks: Vec::new(),
+            open_offset: FILE_MAGIC.len() as u64,
+            open_records: 0,
+            open_min_t: f64::INFINITY,
+            open_max_t: f64::NEG_INFINITY,
+        }
+    }
+
+    fn note_record(&mut self, offset: u64, len: u64, t: f64) {
+        if self.open_records == 0 {
+            self.open_offset = offset;
+            self.open_min_t = f64::INFINITY;
+            self.open_max_t = f64::NEG_INFINITY;
+        }
+        self.open_records += 1;
+        self.open_min_t = self.open_min_t.min(t);
+        self.open_max_t = self.open_max_t.max(t);
+        self.records += 1;
+        self.bytes = offset + len;
+        self.min_t = self.min_t.min(t);
+        self.max_t = self.max_t.max(t);
+        if self.open_records as usize >= BLOCK_RECORDS {
+            self.seal_block();
+        }
+    }
+
+    fn seal_block(&mut self) {
+        if self.open_records > 0 {
+            self.blocks.push(Block {
+                offset: self.open_offset,
+                records: self.open_records,
+                min_t: self.open_min_t,
+                max_t: self.open_max_t,
+            });
+            self.open_records = 0;
+        }
+    }
+
+    /// Blocks (sealed + the open remainder) overlapping `[lo, hi]`.
+    fn overlapping_blocks(&self, lo: f64, hi: f64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            if b.min_t <= hi && b.max_t >= lo {
+                out.push((b.offset, b.records));
+            }
+        }
+        if self.open_records > 0 && self.open_min_t <= hi && self.open_max_t >= lo {
+            out.push((self.open_offset, self.open_records));
+        }
+        out
+    }
+}
+
+/// The append-only result log.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    cfg: ResultStoreConfig,
+    sealed: Vec<Segment>,
+    active: Segment,
+    file: File,
+    retired: u64,
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("res-{seq:08x}.log"))
+}
+
+fn encode(t: f64, payload: &[u8]) -> Vec<u8> {
+    let mut inner = Vec::with_capacity(8 + payload.len());
+    inner.extend_from_slice(&t.to_le_bytes());
+    inner.extend_from_slice(payload);
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + inner.len());
+    out.push(RECORD_MAGIC);
+    out.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+    out.extend_from_slice(&inner);
+    let sum = fnv1a32(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+fn decode_time(payload: &[u8]) -> Option<(f64, &[u8])> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let mut t = [0u8; 8];
+    t.copy_from_slice(&payload[..8]);
+    Some((f64::from_le_bytes(t), &payload[8..]))
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the result log in `dir`, rebuilding
+    /// the sparse index by scanning segments and truncating any torn
+    /// tail on the newest one.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures only — corruption is truncated, not errored.
+    pub fn open<P: AsRef<Path>>(dir: P, cfg: ResultStoreConfig) -> std::io::Result<(Self, u64)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let cfg = ResultStoreConfig {
+            segment_bytes: cfg.segment_bytes.max(4096),
+            ..cfg
+        };
+        let mut names: Vec<(u64, PathBuf)> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter_map(|p| {
+                let name = p.file_name()?.to_str()?;
+                let hex = name.strip_prefix("res-")?.strip_suffix(".log")?;
+                Some((u64::from_str_radix(hex, 16).ok()?, p.clone()))
+            })
+            .collect();
+        names.sort();
+
+        let mut discarded = 0u64;
+        let mut segments: Vec<Segment> = Vec::new();
+        let last = names.len().saturating_sub(1);
+        for (i, (seq, path)) in names.iter().enumerate() {
+            let mut buf = Vec::new();
+            File::open(path)?.read_to_end(&mut buf)?;
+            if buf.len() < FILE_MAGIC.len() || &buf[..FILE_MAGIC.len()] != FILE_MAGIC {
+                // A sealed segment with a bad header is unrecoverable
+                // rot; results are derived data, so drop it and go on.
+                discarded += buf.len() as u64;
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            let mut seg = Segment::fresh(path.clone(), *seq);
+            let mut at = FILE_MAGIC.len();
+            while let Some((payload, next)) = parse_record(&buf, at) {
+                if let Some((t, _)) = decode_time(&buf[payload]) {
+                    seg.note_record(at as u64, (next - at) as u64, t);
+                } else {
+                    break;
+                }
+                at = next;
+            }
+            if (at as u64) < buf.len() as u64 {
+                discarded += buf.len() as u64 - at as u64;
+                if i == last {
+                    // Torn tail on the newest segment: truncate in place.
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(at as u64)?;
+                    f.sync_data()?;
+                } else {
+                    // Corruption inside a sealed segment: keep the valid
+                    // prefix, truncate the rest.
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(at as u64)?;
+                    f.sync_data()?;
+                }
+            }
+            segments.push(seg);
+        }
+
+        let next_seq = segments.last().map(|s| s.seq + 1).unwrap_or(0);
+        let (active, file) = match segments.pop() {
+            Some(seg) => {
+                let file = OpenOptions::new().append(true).open(&seg.path)?;
+                (seg, file)
+            }
+            None => {
+                let path = segment_path(&dir, next_seq);
+                let mut file = OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .write(true)
+                    .open(&path)?;
+                file.write_all(FILE_MAGIC)?;
+                (Segment::fresh(path, next_seq), file)
+            }
+        };
+        let store = Self {
+            dir,
+            cfg,
+            sealed: segments,
+            active,
+            file,
+            retired: 0,
+        };
+        OBS_SEGMENTS.set(store.stats().segments as f64);
+        Ok((store, discarded))
+    }
+
+    /// Appends one `(t, payload)` record, sealing/rotating/retiring
+    /// segments as configured.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures; a torn record left by a crash is truncated
+    /// by the next `open`.
+    pub fn append(&mut self, t: f64, payload: &[u8]) -> std::io::Result<()> {
+        if self.active.bytes >= self.cfg.segment_bytes && self.active.records > 0 {
+            self.rotate()?;
+        }
+        let rec = encode(t, payload);
+        let offset = self.active.bytes;
+        self.file.write_all(&rec)?;
+        self.active.note_record(offset, rec.len() as u64, t);
+        OBS_APPENDS.inc();
+        OBS_BYTES.add(rec.len() as u64);
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        let seq = self.active.seq + 1;
+        let path = segment_path(&self.dir, seq);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)?;
+        file.write_all(FILE_MAGIC)?;
+        let mut old = std::mem::replace(&mut self.active, Segment::fresh(path, seq));
+        old.seal_block();
+        self.file = file;
+        self.sealed.push(old);
+        if self.cfg.max_sealed_segments > 0 {
+            while self.sealed.len() > self.cfg.max_sealed_segments {
+                let seg = self.sealed.remove(0);
+                std::fs::remove_file(&seg.path)?;
+                self.retired += 1;
+                OBS_RETIRED.inc();
+            }
+        }
+        OBS_SEGMENTS.set(self.stats().segments as f64);
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// All `(t, payload)` records with `lo <= t <= hi`, in append
+    /// order, via the sparse index (segment extents → block extents →
+    /// record scan).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures reading pruned-in blocks.
+    pub fn range(&self, lo: f64, hi: f64) -> std::io::Result<Vec<(f64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for seg in self.sealed.iter().chain(std::iter::once(&self.active)) {
+            if seg.records == 0 || seg.min_t > hi || seg.max_t < lo {
+                continue;
+            }
+            let blocks = seg.overlapping_blocks(lo, hi);
+            if blocks.is_empty() {
+                continue;
+            }
+            let mut buf = Vec::new();
+            File::open(&seg.path)?.read_to_end(&mut buf)?;
+            for (offset, records) in blocks {
+                let mut at = offset as usize;
+                for _ in 0..records {
+                    let Some((payload, next)) = parse_record(&buf, at) else {
+                        break;
+                    };
+                    if let Some((t, body)) = decode_time(&buf[payload]) {
+                        if lo <= t && t <= hi {
+                            out.push((t, body.to_vec()));
+                        }
+                    }
+                    at = next;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every record on disk, in append order (used to rebuild the
+    /// dedup index at recovery).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn scan_all(&self) -> std::io::Result<Vec<(f64, Vec<u8>)>> {
+        self.range(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// Current on-disk summary.
+    pub fn stats(&self) -> ResultStoreStats {
+        ResultStoreStats {
+            records: self.sealed.iter().map(|s| s.records).sum::<u64>() + self.active.records,
+            segments: self.sealed.len() + 1,
+            bytes: self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active.bytes,
+            retired_segments: self.retired,
+        }
+    }
+}
+
+// Result segments deliberately reuse the WAL's *record* framing but
+// not its *file* magic; assert the two stay distinct so a misplaced
+// file can never be mistaken for the other log.
+const _: () = assert!(WAL_FILE_MAGIC.len() == FILE_MAGIC.len());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("domo-res-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn range_queries_prune_by_block_and_match_a_linear_scan() {
+        let dir = tmp("range");
+        let (mut store, discarded) = ResultStore::open(&dir, ResultStoreConfig::default()).unwrap();
+        assert_eq!(discarded, 0);
+        // Out-of-order times, like shards emit them.
+        let times: Vec<f64> = (0..500u32)
+            .map(|i| f64::from((i.wrapping_mul(7919)) % 500) / 10.0)
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            store.append(t, format!("r{i}").as_bytes()).unwrap();
+        }
+        let (lo, hi) = (10.0, 20.0);
+        let got = store.range(lo, hi).unwrap();
+        let want: Vec<(f64, Vec<u8>)> = times
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| lo <= t && t <= hi)
+            .map(|(i, &t)| (t, format!("r{i}").into_bytes()))
+            .collect();
+        assert_eq!(got, want, "append order preserved inside the window");
+        // Empty window, window before all data, window after all data.
+        assert!(store.range(1000.0, 2000.0).unwrap().is_empty());
+        assert!(store.range(-5.0, -1.0).unwrap().is_empty());
+        assert_eq!(store.scan_all().unwrap().len(), 500);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_rebuilds_the_index_and_truncates_torn_tails() {
+        let dir = tmp("reopen");
+        let cfg = ResultStoreConfig {
+            segment_bytes: 4096,
+            max_sealed_segments: 0,
+        };
+        {
+            let (mut store, _) = ResultStore::open(&dir, cfg).unwrap();
+            for i in 0..300u32 {
+                store.append(f64::from(i), &[0xAB; 64]).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.stats().segments > 1);
+        }
+        // Tear the newest segment mid-record.
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        names.sort();
+        let newest = names.last().unwrap();
+        let len = std::fs::metadata(newest).unwrap().len();
+        let f = OpenOptions::new().write(true).open(newest).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let (store, discarded) = ResultStore::open(&dir, cfg).unwrap();
+        assert!(discarded > 0);
+        let stats = store.stats();
+        assert_eq!(stats.records, 299);
+        let all = store.scan_all().unwrap();
+        assert_eq!(all.len(), 299);
+        assert_eq!(all[298].0, 298.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_drops_the_oldest_sealed_segments() {
+        let dir = tmp("retain");
+        let cfg = ResultStoreConfig {
+            segment_bytes: 4096,
+            max_sealed_segments: 2,
+        };
+        let (mut store, _) = ResultStore::open(&dir, cfg).unwrap();
+        for i in 0..1000u32 {
+            store.append(f64::from(i), &[0xCD; 64]).unwrap();
+        }
+        let stats = store.stats();
+        assert!(stats.segments <= 3, "2 sealed + 1 active");
+        assert!(stats.retired_segments > 0);
+        // Early times were retired with their segments; recent ones
+        // answer.
+        assert!(store.range(0.0, 1.0).unwrap().is_empty());
+        assert!(!store.range(990.0, 999.0).unwrap().is_empty());
+        // Appending continues across reopen with retention applied.
+        drop(store);
+        let (mut store, _) = ResultStore::open(&dir, cfg).unwrap();
+        store.append(1000.0, b"after").unwrap();
+        assert_eq!(store.range(1000.0, 1000.0).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -31,6 +31,12 @@ pub struct RunningStats {
     max: f64,
 }
 
+/// Raw `(count, mean, m2, min, max)` decomposition of a
+/// [`RunningStats`] accumulator, as produced by
+/// [`RunningStats::to_parts`] and consumed by
+/// [`RunningStats::from_parts`].
+pub type RunningParts = (u64, f64, f64, f64, f64);
+
 impl RunningStats {
     /// An empty accumulator.
     pub fn new() -> Self {
@@ -121,6 +127,31 @@ impl RunningStats {
     pub fn max(&self) -> Option<f64> {
         (self.count > 0).then_some(self.max)
     }
+
+    /// Decomposes the accumulator into its raw fields
+    /// `(count, mean, m2, min, max)` for serialization
+    /// (checkpointing). Round-trips exactly through
+    /// [`RunningStats::from_parts`].
+    pub fn to_parts(&self) -> RunningParts {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`RunningStats::to_parts`] output.
+    /// Fields are taken as-is; an empty accumulator (`count == 0`)
+    /// normalizes to [`RunningStats::new`] so `min`/`max` sentinels
+    /// stay consistent.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if count == 0 {
+            return Self::new();
+        }
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 impl Extend<f64> for RunningStats {
@@ -194,6 +225,19 @@ mod tests {
         assert_eq!(one.population_variance(), 0.0);
         assert_eq!(one.sample_variance(), 0.0);
         assert_eq!(one.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn parts_round_trip_exactly() {
+        let s: RunningStats = [3.5, -1.25, 8.0, 0.5].iter().copied().collect();
+        let (count, mean, m2, min, max) = s.to_parts();
+        let back = RunningStats::from_parts(count, mean, m2, min, max);
+        assert_eq!(back, s, "round trip must be bit-exact");
+        // Empty stays canonical through the round trip.
+        let (c, m, q, lo, hi) = RunningStats::new().to_parts();
+        let empty = RunningStats::from_parts(c, m, q, lo, hi);
+        assert_eq!(empty, RunningStats::new());
+        assert_eq!(empty.min(), None);
     }
 
     #[test]

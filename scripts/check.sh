@@ -26,6 +26,16 @@
 #                        with the recorder enabled vs disabled, fails if
 #                        the disabled path costs >5%, refreshes
 #                        BENCH_obs.json
+#   8. crash recovery    domo-sink crashsmoke: spawns a durable serve
+#                        child, SIGKILLs it mid-ingest, restarts it on
+#                        the same data dir, and fails unless the
+#                        recovered RANGE/PACKET state matches an
+#                        uninterrupted run bit-for-bit with no
+#                        double-emitted results
+#   9. store bench       domo-exp storebench: fails if WAL append
+#                        throughput at the default fsync interval policy
+#                        regressed >20% vs the committed
+#                        BENCH_store.json, then refreshes the file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,5 +83,11 @@ fi
 
 echo "==> domo-exp obsbench (metrics overhead gate, writes BENCH_obs.json)"
 ./target/release/domo-exp obsbench --max-delta 5
+
+echo "==> domo-sink crashsmoke (SIGKILL + recovery over loopback TCP)"
+./target/release/domo-sink crashsmoke --nodes 9 --seed 7
+
+echo "==> domo-exp storebench (gates on BENCH_store.json, then refreshes it)"
+./target/release/domo-exp storebench --baseline BENCH_store.json
 
 echo "All checks passed."

@@ -13,6 +13,7 @@
 //! | [`core`] | `domo-core` | the paper's contribution: constraints, windowed QP/SDP estimator, sub-graph bound LPs |
 //! | [`net`] | `domo-net` | discrete-event wireless collection network (CSMA MAC, CTP-style routing, Algorithm 1 on-node) |
 //! | [`sink`] | `domo-sink` | online sink service: wire codec, sharded streaming reconstruction, TCP ingest/query |
+//! | [`store`] | `domo-store` | durable storage: segmented WAL, atomic checkpoints, time-indexed result log |
 //! | [`obs`] | `domo-obs` | zero-dep metrics, spans, and structured events across the pipeline |
 //! | [`baselines`] | `domo-baselines` | MNT and MessageTracing comparators |
 //! | [`solver`] | `domo-solver` | from-scratch ADMM QP/LP/SDP solver |
@@ -50,6 +51,7 @@ pub use domo_net as net;
 pub use domo_obs as obs;
 pub use domo_sink as sink;
 pub use domo_solver as solver;
+pub use domo_store as store;
 pub use domo_util as util;
 
 /// The most common imports in one place.

@@ -119,6 +119,7 @@ fn saturation_and_garbage_are_survived_and_reported() {
         &ReplayOptions {
             rate_pps: 0.0,
             garbage_frames: 4,
+            ..ReplayOptions::default()
         },
     )
     .expect("replay");
