@@ -6,6 +6,7 @@
 //! domo-exp bench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //! domo-exp obsbench [--nodes N] [--seed S] [--out PATH] [--max-delta PCT]
 //! domo-exp storebench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
+//! domo-exp chaos [--quick] [--nodes N] [--seed S] [--sink-bin PATH]
 //!
 //! experiments:
 //!   fig1     per-node delay map at two times
@@ -33,6 +34,16 @@
 //!            gates on --baseline (fails if `fsync interval` WAL
 //!            throughput regressed >20%), then writes the fresh
 //!            numbers to --out (default BENCH_store.json)
+//!   chaos    the survival soak: spawns a durable `domo-sink serve`
+//!            child with an injected storage fault storm AND a
+//!            scheduled shard-worker panic, streams a trace at it over
+//!            TCP, and gates on (1) the child never exiting on its
+//!            own, (2) exact accounting — emitted + dropped ==
+//!            ingested, (3) the post-heal, post-SIGKILL recovered
+//!            state matching an undisturbed in-process run
+//!            bit-identically. `--quick` shrinks the trace and storm
+//!            for CI (`scripts/check.sh` gate 10); `--sink-bin` (or
+//!            `$DOMO_SINK_BIN`) overrides the sibling-binary lookup
 //!   all      every figure/table above, in order
 //! ```
 //!
@@ -58,6 +69,8 @@ struct Args {
     baseline: Option<String>,
     metrics_json: Option<String>,
     max_delta: f64,
+    quick: bool,
+    sink_bin: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         metrics_json: None,
         max_delta: 5.0,
+        quick: false,
+        sink_bin: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -92,7 +107,18 @@ fn parse_args() -> Result<Args, String> {
     if args.experiment == "storebench" {
         args.out = "BENCH_store.json".into();
     }
+    if args.experiment == "chaos" {
+        args.nodes = 16;
+        args.seed = 5;
+    }
     while let Some(flag) = it.next() {
+        if flag == "--quick" {
+            args.quick = true;
+            if args.experiment == "chaos" {
+                args.nodes = 9;
+            }
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -107,6 +133,7 @@ fn parse_args() -> Result<Args, String> {
             "--max-delta" => {
                 args.max_delta = value.parse().map_err(|e| format!("--max-delta: {e}"))?;
             }
+            "--sink-bin" => args.sink_bin = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -521,6 +548,331 @@ fn obs_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Kills the wrapped `serve` child on scope exit so no error path can
+/// leak a background sink process.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Locates the `domo-sink` binary: `--sink-bin`, then `$DOMO_SINK_BIN`,
+/// then a sibling of the running `domo-exp` executable (both land in
+/// the same cargo target directory).
+fn sink_binary(args: &Args) -> Result<std::path::PathBuf, String> {
+    if let Some(p) = args.sink_bin.as_deref() {
+        return Ok(p.into());
+    }
+    if let Ok(p) = std::env::var("DOMO_SINK_BIN") {
+        return Ok(p.into());
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let sibling = exe.with_file_name("domo-sink");
+    if sibling.exists() {
+        return Ok(sibling);
+    }
+    Err(format!(
+        "domo-sink binary not found at {}; build it (`cargo build -p domo-sink`) \
+         or pass --sink-bin / set DOMO_SINK_BIN",
+        sibling.display()
+    ))
+}
+
+/// Spawns `domo-sink serve` on OS-assigned loopback ports and waits for
+/// the addr file. Child stdio goes to null: the soak's verdict comes
+/// from the query protocol, not from scraping the child's logs.
+fn spawn_soak_serve(
+    bin: &std::path::Path,
+    data_dir: &str,
+    addr_file: &std::path::Path,
+    chaos_flags: &[&str],
+) -> Result<(ChildGuard, String, String), String> {
+    let _ = std::fs::remove_file(addr_file);
+    let mut cmd = std::process::Command::new(bin);
+    cmd.args([
+        "serve",
+        "--ingest-port",
+        "0",
+        "--query-port",
+        "0",
+        "--shards",
+        "1",
+        "--data-dir",
+        data_dir,
+        "--fsync",
+        "interval:8",
+        "--probe-every",
+        "64",
+        "--on-store-error",
+        "degrade",
+        "--idle-timeout",
+        "120",
+        "--addr-file",
+        &addr_file.display().to_string(),
+    ])
+    .args(chaos_flags)
+    .stdout(std::process::Stdio::null())
+    .stderr(std::process::Stdio::null());
+    let child = ChildGuard(cmd.spawn().map_err(|e| format!("spawn serve: {e}"))?);
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            let mut lines = text.lines();
+            if let (Some(ingest), Some(query)) = (lines.next(), lines.next()) {
+                return Ok((child, ingest.to_string(), query.to_string()));
+            }
+        }
+        if Instant::now() > deadline {
+            return Err("serve child never published its addresses".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// Reads `name value` out of a raw query reply, 0 when absent.
+fn reply_stat(lines: &[String], name: &str) -> u64 {
+    lines
+        .iter()
+        .filter_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+        .next()
+        .unwrap_or(0)
+}
+
+/// The survival soak (see the module docs): a durable sink child under
+/// an injected fault storm plus a shard-worker panic must keep exact
+/// accounting, heal, and recover bit-identically after a SIGKILL.
+fn chaos(args: &Args) -> Result<(), String> {
+    use domo_sink::client::{query_request, replay_packets, ReplayOptions};
+    use domo_sink::service::{SinkConfig, SinkService};
+
+    let bin = sink_binary(args)?;
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    let total = trace.packets.len();
+    if total < 40 {
+        return Err(format!("trace too small for a soak: {total} packets"));
+    }
+    // The fault storm arms after the first ~30 journal writes and, in
+    // full mode, runs long enough to force several failed heal probes.
+    // The shard panic lands at packet 10 — early enough that everything
+    // the dying worker consumed is already journaled, so the watchdog
+    // restart must lose nothing.
+    let storm = if args.quick {
+        "eio=1,fsync=1,after=30,for=40,seed=5"
+    } else {
+        "eio=1,fsync=1,torn=0.5,after=30,for=90,seed=5"
+    };
+    println!(
+        "chaos: soak over {total} packets (storm {storm}, worker panic at 10, quick={})",
+        args.quick
+    );
+
+    // The undisturbed truth: the same trace through an in-process,
+    // volatile, single-shard service.
+    let reference = SinkService::start(SinkConfig {
+        shards: 1,
+        ..SinkConfig::default()
+    });
+    for p in &trace.packets {
+        reference.ingest(p.clone());
+    }
+    reference.drain();
+    let mut expected: Vec<String> = trace
+        .packets
+        .iter()
+        .map(|p| {
+            let r = reference
+                .reconstruction(p.pid)
+                .ok_or_else(|| format!("reference lost {}", p.pid))?;
+            let path: Vec<String> = r.path.iter().map(|n| n.index().to_string()).collect();
+            let times: Vec<String> = r.hop_times_ms.iter().map(|t| format!("{t:.3}")).collect();
+            Ok(format!(
+                "packet {} path {} times {}",
+                p.pid,
+                path.join("-"),
+                times.join(" ")
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    reference.shutdown();
+    expected.sort();
+
+    let scratch = std::env::temp_dir().join(format!("domo-chaos-{}", std::process::id()));
+    let data_dir = scratch.display().to_string();
+    let _ = std::fs::remove_dir_all(&scratch);
+    let addr_file = std::env::temp_dir().join(format!("domo-chaos-addr-{}", std::process::id()));
+
+    // Phase 1: the storm. Faults + panic armed; stream the full trace.
+    let (mut child, ingest, query) = spawn_soak_serve(
+        &bin,
+        &data_dir,
+        &addr_file,
+        &["--store-faults", storm, "--chaos-panic", "0:10"],
+    )?;
+    replay_packets(
+        &ingest as &str,
+        &trace.packets,
+        &ReplayOptions::default(), // no reconnect budget: the sink must not die
+    )
+    .map_err(|e| format!("storm replay: {e}"))?;
+
+    // Wait for the socket to be fully consumed before draining —
+    // every frame lands in exactly one of ingested/quarantined.
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let stats = query_request(&query as &str, "STATS").map_err(|e| format!("stats: {e}"))?;
+        if reply_stat(&stats, "ingested ") + reply_stat(&stats, "quarantined ") >= total as u64 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err("storm ingest stalled".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    // Drain and heal until every packet answers a durable RANGE scan.
+    // Emission is asynchronous behind the drain barrier, and while the
+    // sink is degraded the emitted records sit in the in-memory backlog
+    // rather than the result log — so each round also attempts the
+    // healing checkpoint. Every failed attempt burns at least one
+    // faulted I/O op, so the storm window is guaranteed to pass.
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    let mut got;
+    loop {
+        query_request(&query as &str, "DRAIN").map_err(|e| format!("drain: {e}"))?;
+        query_request(&query as &str, "CHECKPOINT").map_err(|e| format!("checkpoint: {e}"))?;
+        let mut lines =
+            query_request(&query as &str, "RANGE -inf inf").map_err(|e| format!("range: {e}"))?;
+        let count_line = lines.pop().unwrap_or_default();
+        if count_line == format!("count {total}") {
+            got = lines;
+            break;
+        }
+        if lines.len() > total {
+            return Err(format!(
+                "double-emit under storm: {} records for {total} packets",
+                lines.len()
+            ));
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "storm drain stalled: {count_line} (want count {total})"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // The storm is spent and the backlog is flushed: a checkpoint must
+    // now succeed outright.
+    let reply =
+        query_request(&query as &str, "CHECKPOINT").map_err(|e| format!("checkpoint: {e}"))?;
+    if !reply.first().is_some_and(|l| l.starts_with("OK lsn ")) {
+        return Err(format!("post-heal checkpoint still failing: {reply:?}"));
+    }
+
+    // Gate 1: the child survived the whole storm on its own.
+    if let Some(status) = child.0.try_wait().map_err(|e| format!("try_wait: {e}"))? {
+        return Err(format!("sink exited during the storm: {status}"));
+    }
+
+    // Gate 2: exact accounting and a healed, storm-marked state.
+    let stats = query_request(&query as &str, "STATS").map_err(|e| format!("stats: {e}"))?;
+    let ingested = reply_stat(&stats, "ingested ");
+    let emitted = reply_stat(&stats, "emitted ");
+    let dropped =
+        reply_stat(&stats, "backpressure_dropped ") + reply_stat(&stats, "watchdog_dropped ");
+    if emitted + dropped != ingested {
+        return Err(format!(
+            "accounting broken: emitted {emitted} + dropped {dropped} != ingested {ingested}"
+        ));
+    }
+    if ingested != total as u64 || dropped != 0 {
+        return Err(format!(
+            "lossless soak violated: ingested {ingested}/{total}, dropped {dropped}"
+        ));
+    }
+    if !stats.iter().any(|l| l == "health healthy") {
+        return Err(format!("sink did not heal: {stats:?}"));
+    }
+    for (counter, why) in [
+        (
+            "degraded_entries ",
+            "the fault storm never degraded the sink",
+        ),
+        ("heals ", "the sink never re-armed durability"),
+        (
+            "watchdog_restarts ",
+            "the worker panic never tripped the watchdog",
+        ),
+    ] {
+        if reply_stat(&stats, counter) == 0 {
+            return Err(format!("soak did not exercise its target: {why}"));
+        }
+    }
+    let store = query_request(&query as &str, "STORE STATS").map_err(|e| format!("store: {e}"))?;
+    if reply_stat(&store, "result_records ") != total as u64 {
+        return Err(format!(
+            "result log diverged: {} records for {total} packets (re-emissions must dedup)",
+            reply_stat(&store, "result_records ")
+        ));
+    }
+    if reply_stat(&store, "checkpoints_on_disk ") > 2 {
+        return Err("checkpoint retention leak".into());
+    }
+    println!(
+        "chaos: storm survived — degraded {}x, healed {}x, watchdog restarts {}, store errors {}",
+        reply_stat(&stats, "degraded_entries "),
+        reply_stat(&stats, "heals "),
+        reply_stat(&stats, "watchdog_restarts "),
+        reply_stat(&stats, "store_errors "),
+    );
+
+    // Gate 3a: post-heal state is already bit-identical while serving.
+    got.sort();
+    if got != expected {
+        let diff = got
+            .iter()
+            .zip(&expected)
+            .find(|(g, e)| g != e)
+            .map(|(g, e)| format!("got `{g}` want `{e}`"))
+            .unwrap_or_else(|| "length mismatch".into());
+        return Err(format!("post-heal state diverges: {diff}"));
+    }
+
+    // Phase 2: SIGKILL, restart with a clean store, and require the
+    // recovered state to match the same truth.
+    drop(child);
+    let (child, _ingest, query) = spawn_soak_serve(&bin, &data_dir, &addr_file, &[])?;
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    let mut got;
+    loop {
+        let mut lines =
+            query_request(&query as &str, "RANGE -inf inf").map_err(|e| format!("range: {e}"))?;
+        let count_line = lines.pop().unwrap_or_default();
+        if count_line == format!("count {total}") {
+            got = lines;
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "recovery lost records: {count_line} (want count {total})"
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    }
+    got.sort();
+    if got != expected {
+        return Err("recovered state diverges from the undisturbed run".into());
+    }
+    println!("chaos: recovered {total}/{total} packets bit-identically after SIGKILL");
+    drop(child);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let _ = std::fs::remove_file(&addr_file);
+    println!("chaos: OK");
+    Ok(())
+}
+
 fn run(experiment: &str, args: &Args) {
     match experiment {
         "fig1" => println!("{}", figures::delay_map(base_scenario(args))),
@@ -602,6 +954,12 @@ fn run(experiment: &str, args: &Args) {
                 std::process::exit(1);
             }
         }
+        "chaos" => {
+            if let Err(msg) = chaos(args) {
+                domo_obs::error!(target: "domo_exp", "chaos failed", error = msg);
+                std::process::exit(1);
+            }
+        }
         "all" => {
             for exp in [
                 "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
@@ -656,8 +1014,9 @@ fn main() {
         Err(msg) => {
             let usage = "usage: domo-exp \
                  <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|bench|\
-                 obsbench|storebench|all> [--nodes N] [--seed S] [--fast K] [--threads T] \
-                 [--out PATH] [--baseline PATH] [--metrics-json PATH] [--max-delta PCT]";
+                 obsbench|storebench|chaos|all> [--nodes N] [--seed S] [--fast K] [--threads T] \
+                 [--out PATH] [--baseline PATH] [--metrics-json PATH] [--max-delta PCT] \
+                 [--quick] [--sink-bin PATH]";
             domo_obs::error!(target: "domo_exp", "bad invocation", error = msg, usage = usage);
             std::process::exit(2);
         }

@@ -5,7 +5,10 @@
 //!                      [--queue-cap C] [--high-water H] [--threads T]
 //!                      [--data-dir D] [--fsync always|interval[:N]|never]
 //!                      [--checkpoint-every K] [--max-result-segments M]
-//!                      [--addr-file PATH]
+//!                      [--addr-file PATH] [--idle-timeout SECS]
+//!                      [--on-store-error fail|degrade|drop-durability]
+//!                      [--probe-every N] [--store-faults SPEC]
+//!                      [--chaos-panic SHARD:AFTER]
 //! domo-sink replay     --ingest HOST:PORT [--query HOST:PORT] [--nodes N]
 //!                      [--seed S] [--rate PPS] [--garbage G] [--drain]
 //!                      [--reconnects R]
@@ -34,6 +37,17 @@
 //! codec and ingestion throughput without criterion and writes the
 //! numbers to `BENCH_sink.json` (override with `--out`).
 //!
+//! The chaos-injection flags exist for soak testing (`domo-exp chaos`
+//! drives them): `--store-faults` arms a seeded fault window inside the
+//! storage I/O layer (`key=value` pairs: `seed`, `eio`, `enospc`,
+//! `torn`, `fsync`, `stall`, `stall_ms` as probabilities/millis, plus
+//! `after`/`for` bounding the op window), `--chaos-panic SHARD:AFTER`
+//! kills one shard worker after it consumes AFTER packets, and
+//! `--on-store-error` picks the degradation policy. `--idle-timeout`
+//! (default 60 s, `0` disables) sheds silent or wedged connections on
+//! both listeners. `serve` exits nonzero if the service ever reaches
+//! the `failed` health state.
+//!
 //! Operational messages are structured events on stderr (JSON lines),
 //! filterable with `DOMO_LOG` (e.g. `DOMO_LOG=warn` or
 //! `DOMO_LOG=off`); command *results* (smoke/bench summaries, queried
@@ -43,10 +57,10 @@
 use domo_net::{run_simulation, NetworkConfig};
 use domo_sink::client::{parse_stats, replay_packets, QueryClient, ReplayOptions};
 use domo_sink::server::SinkServer;
-use domo_sink::service::{SinkConfig, SinkService};
+use domo_sink::service::{SinkConfig, SinkHealth, SinkService};
 use domo_sink::wire::{decode_packets, encode_packets};
-use domo_sink::StoreConfig;
-use domo_store::FsyncPolicy;
+use domo_sink::{StoreConfig, StoreErrorPolicy};
+use domo_store::{FaultPlan, FsyncPolicy};
 use std::time::{Duration, Instant};
 
 struct Flags {
@@ -70,6 +84,11 @@ struct Flags {
     max_result_segments: usize,
     addr_file: Option<String>,
     reconnects: usize,
+    on_store_error: StoreErrorPolicy,
+    probe_every: u64,
+    store_faults: Option<FaultPlan>,
+    idle_timeout_secs: u64,
+    chaos_panic: Option<(usize, u64)>,
 }
 
 impl Default for Flags {
@@ -95,8 +114,63 @@ impl Default for Flags {
             max_result_segments: 0,
             addr_file: None,
             reconnects: 0,
+            on_store_error: StoreErrorPolicy::Degrade,
+            probe_every: 256,
+            store_faults: None,
+            idle_timeout_secs: 60,
+            chaos_panic: None,
         }
     }
+}
+
+/// Parses a `--store-faults` spec: comma-separated `key=value` pairs
+/// over [`FaultPlan`]'s fields (`seed`, `eio`, `enospc`, `torn`,
+/// `fsync`, `stall`, `stall_ms`, `after`, `for`).
+fn parse_fault_plan(spec: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--store-faults: `{pair}` is not key=value"))?;
+        let fnum = || -> Result<f64, String> {
+            value
+                .parse()
+                .map_err(|e| format!("--store-faults {key}: {e}"))
+        };
+        let unum = || -> Result<u64, String> {
+            value
+                .parse()
+                .map_err(|e| format!("--store-faults {key}: {e}"))
+        };
+        match key {
+            "seed" => plan.seed = unum()?,
+            "eio" => plan.eio = fnum()?,
+            "enospc" => plan.enospc = fnum()?,
+            "torn" => plan.torn = fnum()?,
+            "fsync" => plan.fsync = fnum()?,
+            "stall" => plan.stall = fnum()?,
+            "stall_ms" => plan.stall_ms = unum()?,
+            "after" => plan.after_ops = unum()?,
+            "for" => plan.for_ops = unum()?,
+            other => return Err(format!("--store-faults: unknown key `{other}`")),
+        }
+    }
+    Ok(plan)
+}
+
+/// Parses `--chaos-panic SHARD:AFTER`.
+fn parse_chaos_panic(spec: &str) -> Result<(usize, u64), String> {
+    let (shard, after) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--chaos-panic: `{spec}` is not SHARD:AFTER"))?;
+    Ok((
+        shard
+            .parse()
+            .map_err(|e| format!("--chaos-panic shard: {e}"))?,
+        after
+            .parse()
+            .map_err(|e| format!("--chaos-panic after: {e}"))?,
+    ))
 }
 
 fn parse_flags(argv: &[String]) -> Result<Flags, String> {
@@ -135,6 +209,14 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
             "--max-result-segments" => f.max_result_segments = num(flag)? as usize,
             "--addr-file" => f.addr_file = Some(value.clone()),
             "--reconnects" => f.reconnects = num(flag)? as usize,
+            "--on-store-error" => {
+                f.on_store_error =
+                    StoreErrorPolicy::parse(value).map_err(|e| format!("--on-store-error: {e}"))?
+            }
+            "--probe-every" => f.probe_every = num(flag)?,
+            "--store-faults" => f.store_faults = Some(parse_fault_plan(value)?),
+            "--idle-timeout" => f.idle_timeout_secs = num(flag)?,
+            "--chaos-panic" => f.chaos_panic = Some(parse_chaos_panic(value)?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -142,6 +224,7 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
 }
 
 fn sink_config(f: &Flags) -> SinkConfig {
+    let idle = (f.idle_timeout_secs > 0).then(|| Duration::from_secs(f.idle_timeout_secs));
     let mut cfg = SinkConfig {
         shards: f.shards,
         queue_capacity: f.queue_cap,
@@ -151,7 +234,12 @@ fn sink_config(f: &Flags) -> SinkConfig {
             fsync: f.fsync,
             checkpoint_every: f.checkpoint_every,
             max_result_segments: f.max_result_segments,
+            on_error: f.on_store_error,
+            probe_every: f.probe_every,
+            faults: f.store_faults,
         }),
+        ingest_idle_timeout: idle,
+        query_idle_timeout: idle,
         ..SinkConfig::default()
     };
     // Solver threads *within* each shard's estimator (shards already
@@ -178,6 +266,15 @@ fn serve(f: &Flags) -> Result<(), String> {
         .and_then(|()| std::fs::rename(&tmp, path))
         .map_err(|e| format!("addr-file {path}: {e}"))?;
     }
+    if let Some((shard, after)) = f.chaos_panic {
+        server.service().chaos_panic_shard(shard, after);
+        domo_obs::warn!(
+            target: "domo_sink",
+            "chaos panic armed",
+            shard = shard,
+            after = after,
+        );
+    }
     domo_obs::info!(
         target: "domo_sink",
         "serving; ^C to stop",
@@ -186,8 +283,14 @@ fn serve(f: &Flags) -> Result<(), String> {
         shards = f.shards,
         durable = f.data_dir.is_some(),
     );
+    // Watch the health state machine: `failed` is terminal (the
+    // operator chose --on-store-error fail), so exit nonzero rather
+    // than serve a sink whose durability contract is void.
     loop {
-        std::thread::park();
+        std::thread::park_timeout(Duration::from_secs(1));
+        if server.service().health() == SinkHealth::Failed {
+            return Err("store failed and --on-store-error is `fail`; exiting".into());
+        }
     }
 }
 
@@ -328,6 +431,10 @@ fn smoke(f: &Flags) -> Result<(), String> {
         "# TYPE domo_sink_queue_depth gauge",
         "# TYPE domo_sink_ingested_total counter",
         "# TYPE domo_sink_malformed_frames_total counter",
+        "# TYPE domo_sink_degraded gauge",
+        "# TYPE domo_sink_degraded_total counter",
+        "# TYPE domo_store_io_faults_total counter",
+        "# TYPE domo_store_io_faults_armed gauge",
     ] {
         if !metrics.iter().any(|l| l == family) {
             return Err(format!("METRICS scrape is missing `{family}`"));
@@ -339,13 +446,33 @@ fn smoke(f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Kills the wrapped child on scope exit, so an error path can never
+/// leak a `serve` process — a leaked child inherits the parent's stdio
+/// pipes and wedges any harness waiting for them to close.
+struct ChildGuard(std::process::Child);
+
+impl ChildGuard {
+    fn kill(&mut self) -> Result<(), String> {
+        self.0.kill().map_err(|e| format!("kill: {e}"))?;
+        let _ = self.0.wait();
+        Ok(())
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
 /// Spawns `domo-sink serve` as a child on OS-assigned loopback ports
 /// and polls its `--addr-file` until both addresses appear.
 fn spawn_durable_serve(
     data_dir: &str,
     shards: usize,
     addr_file: &std::path::Path,
-) -> Result<(std::process::Child, String, String), String> {
+) -> Result<(ChildGuard, String, String), String> {
     let _ = std::fs::remove_file(addr_file);
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let child = std::process::Command::new(exe)
@@ -368,6 +495,7 @@ fn spawn_durable_serve(
         ])
         .spawn()
         .map_err(|e| format!("spawn serve: {e}"))?;
+    let child = ChildGuard(child);
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         if let Ok(text) = std::fs::read_to_string(addr_file) {
@@ -431,14 +559,18 @@ fn crashsmoke(f: &Flags) -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    child.kill().map_err(|e| format!("kill: {e}"))?;
-    let _ = child.wait();
+    child.kill()?;
     println!("crashsmoke: SIGKILLed the sink after {half} acknowledged packets");
 
     // Phase 2: restart on the same data dir. Recovery replays the WAL
     // tail; the full replay then fills in the unsent half (the already
     // durable prefix is deduplicated, never double-stored).
     let (mut child, ingest, query) = spawn_durable_serve(&data_dir, f.shards, &addr_file)?;
+    // Counter baseline before the replay: every phase-2 frame lands in
+    // exactly one of ingested/quarantined, so the delta reaching the
+    // trace size means the socket is fully consumed.
+    let base = parse_stats(&query_lines(&query, "STATS").map_err(|e| format!("base stats: {e}"))?);
+    let base_seen = stat(&base, "ingested") + stat(&base, "quarantined");
     replay_packets(
         &ingest as &str,
         &trace.packets,
@@ -448,6 +580,22 @@ fn crashsmoke(f: &Flags) -> Result<(), String> {
         },
     )
     .map_err(|e| format!("phase-2 replay: {e}"))?;
+    // Wait for ingest to finish before the first DRAIN: draining while
+    // frames are still in flight would flush the estimator mid-stream,
+    // legitimately changing window boundaries (and thus estimates)
+    // relative to the uninterrupted reference.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats =
+            parse_stats(&query_lines(&query, "STATS").map_err(|e| format!("phase-2 stats: {e}"))?);
+        if stat(&stats, "ingested") + stat(&stats, "quarantined") >= base_seen + total as u64 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err("phase-2 ingest stalled".into());
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
 
     // Uninterrupted reference with the same shard layout: identical
     // per-shard ingest order makes the estimates bit-identical, so the
@@ -539,8 +687,7 @@ fn crashsmoke(f: &Flags) -> Result<(), String> {
     for line in store.iter().filter(|l| l.starts_with("recovery_")) {
         println!("crashsmoke: {line}");
     }
-    child.kill().map_err(|e| format!("kill: {e}"))?;
-    let _ = child.wait();
+    child.kill()?;
     let _ = std::fs::remove_dir_all(&data_dir);
     let _ = std::fs::remove_file(&addr_file);
     println!("crashsmoke: OK");

@@ -103,6 +103,17 @@ pub struct ReplayOptions {
     pub backoff_start_ms: u64,
     /// Ceiling on the exponential backoff delay.
     pub backoff_cap_ms: u64,
+    /// Jitter fraction applied to each backoff delay: the sleep is
+    /// drawn deterministically from `[(1-jitter)·d, (1+jitter)·d]`
+    /// around the exponential delay `d`, so a fleet of replayers
+    /// reconnecting after the same sink restart does not stampede in
+    /// lockstep. Clamped to `[0, 1]`; `0.0` restores exact exponential
+    /// delays.
+    pub jitter: f64,
+    /// Seed for the jitter draw — the whole backoff schedule is a pure
+    /// function of `(seed, consecutive_failures)`, so runs are
+    /// reproducible.
+    pub seed: u64,
 }
 
 impl Default for ReplayOptions {
@@ -113,16 +124,33 @@ impl Default for ReplayOptions {
             max_reconnects: 0,
             backoff_start_ms: 50,
             backoff_cap_ms: 2_000,
+            jitter: 0.25,
+            seed: 1,
         }
     }
+}
+
+/// SplitMix64: a tiny, high-quality mixer — one draw per backoff.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl ReplayOptions {
     fn backoff(&self, consecutive_failures: u32) -> Duration {
         let start = self.backoff_start_ms.max(1);
         let cap = self.backoff_cap_ms.max(start);
-        let delay = start.saturating_mul(1u64 << consecutive_failures.min(16));
-        Duration::from_millis(delay.min(cap))
+        let base = start
+            .saturating_mul(1u64 << consecutive_failures.min(16))
+            .min(cap);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // Uniform in [-1, 1], deterministic per (seed, attempt).
+        let unit = splitmix64(self.seed.wrapping_add(u64::from(consecutive_failures))) as f64
+            / u64::MAX as f64;
+        let factor = 1.0 + jitter * (2.0 * unit - 1.0);
+        Duration::from_secs_f64(base as f64 * factor / 1_000.0)
     }
 }
 
@@ -376,6 +404,38 @@ mod tests {
             &ReplayOptions::default(), // max_reconnects: 0
         );
         assert!(err.is_err(), "no budget means the first failure is fatal");
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_bounds() {
+        let opts = ReplayOptions {
+            backoff_start_ms: 50,
+            backoff_cap_ms: 2_000,
+            jitter: 0.25,
+            seed: 7,
+            ..ReplayOptions::default()
+        };
+        for attempt in 0..20u32 {
+            let base = 50u64.saturating_mul(1 << attempt.min(16)).min(2_000) as f64;
+            let ms = opts.backoff(attempt).as_secs_f64() * 1_000.0;
+            assert!(
+                ms >= 0.75 * base - 1e-6 && ms <= 1.25 * base + 1e-6,
+                "attempt {attempt}: {ms} ms outside [{}, {}]",
+                0.75 * base,
+                1.25 * base
+            );
+        }
+        // The schedule is deterministic per seed, varies across seeds,
+        // and zero jitter restores exact exponential delays.
+        assert_eq!(opts.backoff(5), opts.backoff(5));
+        let other = ReplayOptions { seed: 8, ..opts };
+        assert_ne!(opts.backoff(5), other.backoff(5));
+        let exact = ReplayOptions {
+            jitter: 0.0,
+            ..ReplayOptions::default()
+        };
+        assert_eq!(exact.backoff(0), Duration::from_millis(50));
+        assert_eq!(exact.backoff(2), Duration::from_millis(200));
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub mod service;
 pub mod wire;
 
 pub use client::{query_request, replay_packets, QueryClient, ReplayOptions, ReplayReport};
-pub use persist::{RecoveryReport, StoreConfig};
+pub use persist::{RecoveryReport, StoreConfig, StoreErrorPolicy};
 pub use server::SinkServer;
 pub use service::{
-    IngestOutcome, NodeDelaySummary, SinkConfig, SinkService, SinkSnapshot, SinkStatsSnapshot,
-    StoreStatus, StoredReconstruction,
+    HealthStatus, IngestOutcome, NodeDelaySummary, SinkConfig, SinkHealth, SinkService,
+    SinkSnapshot, SinkStatsSnapshot, StoreStatus, StoredReconstruction,
 };
 pub use wire::{decode_packet, encode_packet, encode_packets, WireError};

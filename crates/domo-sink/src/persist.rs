@@ -26,6 +26,59 @@ use domo_store::FsyncPolicy;
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+/// What the sink does when the durable store fails at runtime (a WAL
+/// append, a checkpoint, a result append — anything past `open`).
+///
+/// The operator spelling (`--on-store-error`) round-trips through
+/// [`StoreErrorPolicy::parse`] / `Display`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreErrorPolicy {
+    /// Stop the service: health goes `failed` and the `serve` binary
+    /// exits nonzero. For deployments where silent durability loss is
+    /// worse than downtime.
+    Fail,
+    /// Suspend durability but keep reconstructing (the default): health
+    /// goes `degraded`, accepted records continue un-journaled (and are
+    /// counted), emitted results are backlogged in memory, and every
+    /// [`StoreConfig::probe_every`] ingests the sink re-probes the
+    /// store with a full checkpoint — success flushes the backlog and
+    /// re-arms durability.
+    #[default]
+    Degrade,
+    /// Give up on durability for the rest of the process: like
+    /// `Degrade` but permanent — no heal probes, no backlog.
+    DropDurability,
+}
+
+impl StoreErrorPolicy {
+    /// Parses the operator spelling: `fail`, `degrade`, or
+    /// `drop-durability`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the accepted forms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fail" => Ok(Self::Fail),
+            "degrade" => Ok(Self::Degrade),
+            "drop-durability" => Ok(Self::DropDurability),
+            other => Err(format!(
+                "unknown store-error policy {other:?} (use fail | degrade | drop-durability)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreErrorPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail => write!(f, "fail"),
+            Self::Degrade => write!(f, "degrade"),
+            Self::DropDurability => write!(f, "drop-durability"),
+        }
+    }
+}
+
 /// Operator-facing durability configuration of a [`crate::SinkService`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreConfig {
@@ -39,18 +92,31 @@ pub struct StoreConfig {
     /// Result-log retention: sealed segments beyond this many are
     /// deleted, oldest first (0 = unlimited).
     pub max_result_segments: usize,
+    /// What a runtime store failure does to the service.
+    pub on_error: StoreErrorPolicy,
+    /// While degraded, attempt a heal (a full checkpoint through the
+    /// failing store) every this many accepted records (clamped ≥ 1).
+    pub probe_every: u64,
+    /// Deterministic I/O fault injection (chaos testing only): when
+    /// set, every filesystem operation of the WAL, checkpoint store and
+    /// result log goes through a seeded [`domo_store::FaultPlan`].
+    pub faults: Option<domo_store::FaultPlan>,
 }
 
 impl StoreConfig {
     /// A configuration rooted at `data_dir` with the default policy:
     /// `fsync interval:64`, checkpoint every 4096 appends, unlimited
-    /// result retention.
+    /// result retention, degrade on store errors (heal probe every 256
+    /// records), no fault injection.
     pub fn at<P: Into<PathBuf>>(data_dir: P) -> Self {
         Self {
             data_dir: data_dir.into(),
             fsync: FsyncPolicy::Interval(64),
             checkpoint_every: 4096,
             max_result_segments: 0,
+            on_error: StoreErrorPolicy::Degrade,
+            probe_every: 256,
+            faults: None,
         }
     }
 }
@@ -83,8 +149,9 @@ pub struct CheckpointState {
     /// One snapshot per shard, in shard order.
     pub shards: Vec<StreamingSnapshot>,
     /// Service counters at the cut: ingested, emitted, quarantined,
-    /// malformed_frames, backpressure_dropped, estimator_errors.
-    pub counters: [u64; 6],
+    /// malformed_frames, backpressure_dropped, estimator_errors,
+    /// watchdog_dropped.
+    pub counters: [u64; 7],
     /// Ids of every packet journaled with `lsn <` the cut. Restores the
     /// dedup set for history the WAL has compacted away.
     pub seen: Vec<PacketId>,
@@ -125,7 +192,10 @@ impl From<WireError> for PersistError {
     }
 }
 
-const CHECKPOINT_VERSION: u32 = 1;
+// v2 added the watchdog_dropped counter (6 → 7 counter slots). A v1
+// checkpoint fails decode and is skipped like a corrupt one: recovery
+// falls back to full WAL replay, losing no data.
+const CHECKPOINT_VERSION: u32 = 2;
 
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -252,7 +322,7 @@ pub fn decode_checkpoint(buf: &[u8]) -> Result<CheckpointState, PersistError> {
             overflow_dropped,
         });
     }
-    let mut counters = [0u64; 6];
+    let mut counters = [0u64; 7];
     for slot in &mut counters {
         *slot = c.u64()?;
     }
@@ -364,7 +434,7 @@ mod tests {
                     overflow_dropped: 3,
                 },
             ],
-            counters: [10, 9, 1, 0, 2, 0],
+            counters: [10, 9, 1, 0, 2, 0, 1],
             seen: trace.packets.iter().take(10).map(|p| p.pid).collect(),
             node_stats: vec![
                 (NodeId::new(3), (4, 2.5, 1.25, 0.5, 4.0)),
@@ -412,5 +482,24 @@ mod tests {
         assert_eq!(cfg.fsync, FsyncPolicy::Interval(64));
         assert_eq!(cfg.checkpoint_every, 4096);
         assert_eq!(cfg.max_result_segments, 0);
+        assert_eq!(cfg.on_error, StoreErrorPolicy::Degrade);
+        assert_eq!(cfg.probe_every, 256);
+        assert_eq!(cfg.faults, None);
+    }
+
+    #[test]
+    fn store_error_policy_round_trips_through_the_operator_spelling() {
+        for (text, policy) in [
+            ("fail", StoreErrorPolicy::Fail),
+            ("degrade", StoreErrorPolicy::Degrade),
+            ("drop-durability", StoreErrorPolicy::DropDurability),
+        ] {
+            assert_eq!(StoreErrorPolicy::parse(text).unwrap(), policy);
+            assert_eq!(
+                StoreErrorPolicy::parse(&policy.to_string()).unwrap(),
+                policy
+            );
+        }
+        assert!(StoreErrorPolicy::parse("explode").is_err());
     }
 }

@@ -25,7 +25,19 @@
 //! QUIT                   close the connection
 //! ```
 //!
-//! Errors are lines starting `ERR`; the connection survives them.
+//! Errors are lines starting `ERR`; the connection survives them, and
+//! every `ERR` reply is counted in `domo_sink_query_errors_total` so a
+//! misbehaving client is visible from a METRICS scrape.
+//!
+//! # Connection deadlines
+//!
+//! When the service is configured with idle timeouts (`--idle-timeout`
+//! on the CLI), both listeners arm a socket read deadline per
+//! connection. A connection that trips the deadline is shed with a
+//! typed reason — `idle` (no bytes pending: a silent peer) or
+//! `stalled` (a partial frame or line was underway: a wedged peer) —
+//! counted in `domo_sink_shed_total{reason=...}`. Shedding closes only
+//! that connection; the service keeps running.
 //!
 //! # Durability in `STATS`
 //!
@@ -44,11 +56,17 @@
 
 use crate::service::{SinkConfig, SinkService, SinkSnapshot};
 use crate::wire::{read_frame, FrameReadError};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use domo_obs::LazyCounter;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+static OBS_QUERY_ERRORS: LazyCounter = LazyCounter::new("domo_sink_query_errors_total", &[]);
+static OBS_SHED_IDLE: LazyCounter = LazyCounter::new("domo_sink_shed_total", &[("reason", "idle")]);
+static OBS_SHED_STALLED: LazyCounter =
+    LazyCounter::new("domo_sink_shed_total", &[("reason", "stalled")]);
 
 /// A running sink server: the service plus its two listeners.
 pub struct SinkServer {
@@ -184,6 +202,50 @@ impl Drop for ConnGuard {
     }
 }
 
+/// Counts bytes pulled off the underlying socket, so a read deadline
+/// can be classified: no progress since the last mark means an idle
+/// peer, progress means a peer that stalled mid-message.
+struct CountingReader<R> {
+    inner: R,
+    bytes: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+/// True when an I/O error is a tripped socket read deadline (the two
+/// kinds differ by platform).
+fn is_read_deadline(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Sheds a deadline-tripped connection with a typed reason counter and
+/// a warning; `progressed` distinguishes a wedged peer from a silent
+/// one.
+fn shed_connection(kind: &str, peer: &str, progressed: bool) {
+    let reason = if progressed { "stalled" } else { "idle" };
+    if progressed {
+        OBS_SHED_STALLED.inc();
+    } else {
+        OBS_SHED_IDLE.inc();
+    }
+    domo_obs::warn!(
+        target: "domo_sink::server",
+        "read deadline tripped; shedding connection",
+        kind = kind,
+        reason = reason,
+        peer = peer,
+    );
+}
+
 fn handle_ingest(stream: TcpStream, service: &SinkService) {
     let _conn = ConnGuard::enter("ingest");
     let peer = stream
@@ -191,8 +253,17 @@ fn handle_ingest(stream: TcpStream, service: &SinkService) {
         .map(|a| a.to_string())
         .unwrap_or_default();
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
+    let deadline_armed = service.ingest_idle_timeout();
+    if let Some(timeout) = deadline_armed {
+        let _ = stream.set_read_timeout(Some(timeout));
+    }
+    let mut reader = BufReader::new(CountingReader {
+        inner: stream,
+        bytes: 0,
+    });
     loop {
+        // Socket-level progress mark: bytes pulled before this frame.
+        let mark = reader.get_ref().bytes;
         match read_frame(&mut reader) {
             Ok(Some(packet)) => {
                 let _ = service.ingest(packet);
@@ -209,18 +280,52 @@ fn handle_ingest(stream: TcpStream, service: &SinkService) {
                 );
                 return;
             }
-            Err(FrameReadError::Io(_)) => return,
+            Err(FrameReadError::Io(e)) => {
+                if deadline_armed.is_some() && is_read_deadline(&e) {
+                    shed_connection("ingest", &peer, reader.get_ref().bytes > mark);
+                }
+                return;
+            }
         }
     }
 }
 
+/// Writes an `ERR <reason>` reply line and counts it, so protocol
+/// misuse is visible in METRICS, not only to the offending client.
+fn err_reply(out: &mut impl Write, reason: &str) -> std::io::Result<()> {
+    OBS_QUERY_ERRORS.inc();
+    writeln!(out, "ERR {reason}")
+}
+
 fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()> {
     let _conn = ConnGuard::enter("query");
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
     let _ = stream.set_nodelay(true);
-    let reader = BufReader::new(stream.try_clone()?);
+    let deadline_armed = service.query_idle_timeout();
+    if let Some(timeout) = deadline_armed {
+        let _ = stream.set_read_timeout(Some(timeout));
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // clean close
+            Ok(_) => {}
+            Err(e) => {
+                if deadline_armed.is_some() && is_read_deadline(&e) {
+                    // Bytes already buffered into `line` mean the peer
+                    // stalled mid-request rather than going silent.
+                    shed_connection("query", &peer, !line.is_empty());
+                    return Ok(());
+                }
+                return Err(e);
+            }
+        }
         let mut parts = line.split_whitespace();
         let cmd = parts.next().unwrap_or("").to_ascii_uppercase();
         match cmd.as_str() {
@@ -233,6 +338,15 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 writeln!(out, "malformed_frames {}", s.malformed_frames)?;
                 writeln!(out, "backpressure_dropped {}", s.backpressure_dropped)?;
                 writeln!(out, "estimator_errors {}", s.estimator_errors)?;
+                writeln!(out, "watchdog_dropped {}", s.watchdog_dropped)?;
+                // Degradation posture: the health state machine plus
+                // its alarm counters (see DESIGN.md §8).
+                let hs = service.health_status();
+                writeln!(out, "health {}", hs.health)?;
+                writeln!(out, "degraded_entries {}", hs.degraded_entries)?;
+                writeln!(out, "store_errors {}", hs.store_errors)?;
+                writeln!(out, "heals {}", hs.heals)?;
+                writeln!(out, "watchdog_restarts {}", hs.watchdog_restarts)?;
                 // Effective (post-clamp) flush threshold, so operators
                 // see the value the shards actually use.
                 writeln!(out, "high_water {}", service.effective_high_water())?;
@@ -292,12 +406,12 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                                     times.join(" ")
                                 )?;
                             }
-                            None => writeln!(out, "ERR no reconstruction for {pid}")?,
+                            None => err_reply(&mut out, &format!("no reconstruction for {pid}"))?,
                         }
                         writeln!(out, "END")?;
                     }
                     _ => {
-                        writeln!(out, "ERR usage: PACKET <origin> <seq>")?;
+                        err_reply(&mut out, "usage: PACKET <origin> <seq>")?;
                         writeln!(out, "END")?;
                     }
                 }
@@ -322,9 +436,9 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                             }
                             writeln!(out, "count {}", records.len())?;
                         }
-                        Err(e) => writeln!(out, "ERR {e}")?,
+                        Err(e) => err_reply(&mut out, &e.to_string())?,
                     },
-                    _ => writeln!(out, "ERR usage: RANGE <lo_ms> <hi_ms>")?,
+                    _ => err_reply(&mut out, "usage: RANGE <lo_ms> <hi_ms>")?,
                 }
                 writeln!(out, "END")?;
             }
@@ -349,6 +463,8 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                                 s.results.retired_segments
                             )?;
                             writeln!(out, "last_checkpoint_lsn {}", s.last_checkpoint_lsn)?;
+                            writeln!(out, "checkpoints_on_disk {}", s.checkpoints_on_disk)?;
+                            writeln!(out, "dedup_pids {}", s.dedup_pids)?;
                             writeln!(out, "recovery_checkpoint_lsn {}", s.recovery.checkpoint_lsn)?;
                             writeln!(out, "recovery_replayed {}", s.recovery.replayed)?;
                             writeln!(
@@ -358,16 +474,18 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                             )?;
                             writeln!(out, "recovery_result_records {}", s.recovery.result_records)?;
                         }
-                        None => writeln!(out, "ERR store disabled")?,
+                        None => err_reply(&mut out, "store disabled")?,
                     },
-                    Some(other) => writeln!(out, "ERR unknown STORE subcommand {other}")?,
+                    Some(other) => {
+                        err_reply(&mut out, &format!("unknown STORE subcommand {other}"))?
+                    }
                 }
                 writeln!(out, "END")?;
             }
             "CHECKPOINT" => {
                 match service.checkpoint_now() {
                     Ok(lsn) => writeln!(out, "OK lsn {lsn}")?,
-                    Err(e) => writeln!(out, "ERR {e}")?,
+                    Err(e) => err_reply(&mut out, &e.to_string())?,
                 }
                 writeln!(out, "END")?;
             }
@@ -388,13 +506,12 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 return Ok(());
             }
             other => {
-                writeln!(out, "ERR unknown command {other}")?;
+                err_reply(&mut out, &format!("unknown command {other}"))?;
                 writeln!(out, "END")?;
             }
         }
         out.flush()?;
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -464,11 +581,14 @@ mod tests {
         assert!(!json.is_empty());
         assert!(json.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
 
-        // One-shot helper and unknown-command handling. 9 counter lines
+        // One-shot helper and unknown-command handling. 15 status lines
         // plus the `store disabled` durability marker.
         let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
-        assert_eq!(oneshot.len(), 10);
+        assert_eq!(oneshot.len(), 16);
         assert!(oneshot.contains(&"store disabled".to_string()));
+        assert!(oneshot.contains(&"health healthy".to_string()));
+        assert!(oneshot.contains(&"watchdog_restarts 0".to_string()));
+        assert!(oneshot.contains(&"watchdog_dropped 0".to_string()));
         assert!(oneshot.iter().any(|l| l.starts_with("uptime_ms ")));
         assert!(oneshot.contains(&format!("version {}", env!("CARGO_PKG_VERSION"))));
         // The effective flush threshold is surfaced, post-clamp.
@@ -551,6 +671,46 @@ mod tests {
         assert!(range[0].starts_with("ERR"));
         let ckpt = q.request("CHECKPOINT").expect("reply");
         assert!(ckpt[0].starts_with("ERR"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_ingest_connections_are_shed_and_err_replies_are_counted() {
+        let server = local_server(SinkConfig {
+            ingest_idle_timeout: Some(std::time::Duration::from_millis(100)),
+            ..SinkConfig::default()
+        });
+
+        // A silent ingest connection must trip the deadline and land in
+        // the typed shed counter; the query listener (no timeout here)
+        // keeps answering throughout.
+        let _silent = TcpStream::connect(server.ingest_addr()).expect("connect");
+        let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let metrics = q.request("METRICS").expect("metrics");
+            if metrics
+                .iter()
+                .any(|l| l.starts_with("domo_sink_shed_total{reason=\"idle\"}"))
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "shed never counted");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        // Every ERR reply increments the query-error counter (the
+        // global recorder is shared across tests, so only require that
+        // the family exists and is nonzero after a provoked error).
+        let err = q.request("BOGUS").expect("err reply");
+        assert!(err[0].starts_with("ERR unknown command"));
+        let metrics = q.request("METRICS").expect("metrics");
+        let errors = metrics
+            .iter()
+            .find_map(|l| l.strip_prefix("domo_sink_query_errors_total "))
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("query error counter exposed");
+        assert!(errors >= 1.0);
         server.shutdown();
     }
 

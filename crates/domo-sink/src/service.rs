@@ -15,23 +15,53 @@
 //! sheds load the way the paper's sink sheds packets: silently for the
 //! solver (which already tolerates missing records) but never silently
 //! for the operator, and never with a panic.
+//!
+//! Two more failure domains are survived the same way (counted,
+//! degraded, never fatal):
+//!
+//! * **Store errors.** A runtime failure of the WAL, checkpoint store
+//!   or result log moves the durability state machine
+//!   ([`SinkHealth`], DESIGN.md §8) per the configured
+//!   [`crate::StoreErrorPolicy`] — by default the service *degrades*:
+//!   records continue un-journaled (counted), emitted results are
+//!   backlogged in memory, and a periodic heal probe (a full
+//!   checkpoint) re-arms durability when the store recovers.
+//! * **Dead shard workers.** A watchdog thread monitors per-worker
+//!   heartbeats; a worker that panics is restarted from the last
+//!   checkpoint snapshot, replaying the WAL suffix for its shard so the
+//!   estimator sees the exact same push sequence (re-emissions are
+//!   deduplicated, losses are counted as `watchdog_dropped`).
 
-use crate::persist::{self, CheckpointState, RecoveryReport, StoreConfig};
+use crate::persist::{self, CheckpointState, RecoveryReport, StoreConfig, StoreErrorPolicy};
 use crate::wire::{self, WireError};
 use domo_core::sanitize::{check_packet, SanitizeConfig, TraceError};
 use domo_core::streaming::{ReconstructedPacket, StreamingEstimator, StreamingSnapshot};
 use domo_core::EstimatorConfig;
 use domo_net::{CollectedPacket, NodeId, PacketId};
-use domo_obs::LazyCounter;
+use domo_obs::{LazyCounter, LazyGauge};
 use domo_store::results::ResultStoreStats;
 use domo_store::wal::{WalConfig, WalStats};
-use domo_store::{CheckpointStore, FsyncPolicy, ResultStore, ResultStoreConfig, Wal};
+use domo_store::{
+    CheckpointStore, FaultyIo, FsyncPolicy, RealIo, ResultStore, ResultStoreConfig, StoreIo, Wal,
+};
 use domo_util::running::RunningStats;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the watchdog thread wakes to check worker liveness.
+const WATCHDOG_POLL: Duration = Duration::from_millis(50);
+/// A worker whose heartbeat is unchanged for this long *with work
+/// queued* is reported stalled (gauge + one warning; never killed —
+/// a slow solve is not a dead worker).
+const STALL_AFTER: Duration = Duration::from_secs(1);
+/// Poll interval for barriers that must notice a dead worker.
+const BARRIER_POLL: Duration = Duration::from_millis(100);
+/// Sentinel: no injected panic armed for this shard.
+const CHAOS_DISARMED: u64 = u64::MAX;
 
 /// Configuration of the online service.
 #[derive(Debug, Clone)]
@@ -63,6 +93,14 @@ pub struct SinkConfig {
     /// persists every emitted reconstruction — see
     /// [`SinkService::open`].
     pub store: Option<StoreConfig>,
+    /// Ingest-connection deadline: a connection that delivers no bytes
+    /// for this long is shed by the TCP server (`None` disables the
+    /// deadline). Sheds are typed: `idle` when the peer sent nothing
+    /// since the last frame, `stalled` mid-frame.
+    pub ingest_idle_timeout: Option<Duration>,
+    /// Query-connection deadline, same semantics as
+    /// [`SinkConfig::ingest_idle_timeout`] (`None` disables).
+    pub query_idle_timeout: Option<Duration>,
 }
 
 impl Default for SinkConfig {
@@ -75,6 +113,8 @@ impl Default for SinkConfig {
             sanitize: SanitizeConfig::default(),
             max_retained_packets: 65_536,
             store: None,
+            ingest_idle_timeout: None,
+            query_idle_timeout: None,
         }
     }
 }
@@ -93,6 +133,84 @@ pub enum IngestOutcome {
     Closed,
 }
 
+/// Durability health — the degradation state machine of DESIGN.md §8.
+///
+/// `Healthy → Degraded ⇄ Healing → Healthy`, with two sticky terminal
+/// states (`Dropped`, `Failed`) selected by
+/// [`crate::StoreErrorPolicy`]. A volatile service (no data dir) is
+/// always `Healthy`. The `Display` spelling (lowercase) is the STATS
+/// `health` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinkHealth {
+    /// Durability active (or nothing to degrade: volatile service).
+    #[default]
+    Healthy = 0,
+    /// A store error suspended durability: records continue
+    /// un-journaled (counted), results are backlogged, heal probes run
+    /// every [`StoreConfig::probe_every`] accepted records.
+    Degraded = 1,
+    /// A heal probe (a full checkpoint through the failing store) is
+    /// running right now; success returns to `Healthy`.
+    Healing = 2,
+    /// Durability permanently abandoned
+    /// (`--on-store-error drop-durability`). Sticky.
+    Dropped = 3,
+    /// The service refused to continue without durability
+    /// (`--on-store-error fail`); the serve binary exits nonzero when
+    /// it observes this. Sticky.
+    Failed = 4,
+}
+
+impl SinkHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Self::Degraded,
+            2 => Self::Healing,
+            3 => Self::Dropped,
+            4 => Self::Failed,
+            _ => Self::Healthy,
+        }
+    }
+}
+
+impl std::fmt::Display for SinkHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Healthy => write!(f, "healthy"),
+            Self::Degraded => write!(f, "degraded"),
+            Self::Healing => write!(f, "healing"),
+            Self::Dropped => write!(f, "dropped"),
+            Self::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// Point-in-time view of the degradation machinery
+/// ([`SinkService::health_status`]). All zeros on a volatile service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthStatus {
+    /// Current state of the durability state machine.
+    pub health: SinkHealth,
+    /// Times the service left `Healthy` (distinct degradation events,
+    /// not individual store errors).
+    pub degraded_entries: u64,
+    /// Successful heals (`Degraded`/`Healing` → `Healthy`).
+    pub heals: u64,
+    /// Store operations that failed at runtime (post-open).
+    pub store_errors: u64,
+    /// Records accepted while durability was suspended (they
+    /// reconstruct, but only a later checkpoint makes them durable).
+    pub unjournaled: u64,
+    /// Emitted results currently waiting in the in-memory backlog for
+    /// the store to heal.
+    pub backlogged: usize,
+    /// Shard workers restarted by the watchdog.
+    pub watchdog_restarts: u64,
+    /// In-flight records lost to worker deaths (see
+    /// [`SinkStatsSnapshot::watchdog_dropped`]).
+    pub watchdog_dropped: u64,
+}
+
 /// A point-in-time copy of the service counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SinkStatsSnapshot {
@@ -109,6 +227,10 @@ pub struct SinkStatsSnapshot {
     /// `try_push`/`try_finish` errors from shard estimators (only
     /// possible with an invalid estimator configuration).
     pub estimator_errors: u64,
+    /// Records lost when the watchdog restarted a dead shard worker
+    /// and neither the last checkpoint, the WAL, nor the queue held a
+    /// copy to replay.
+    pub watchdog_dropped: u64,
 }
 
 /// Per-node sojourn-delay summary over every emitted reconstruction.
@@ -164,6 +286,14 @@ static OBS_RECOVERIES: LazyCounter = LazyCounter::new("domo_sink_recoveries_tota
 static OBS_REPLAYED: LazyCounter = LazyCounter::new("domo_sink_wal_replayed_total", &[]);
 static OBS_PERSIST_ERRORS: LazyCounter = LazyCounter::new("domo_sink_persist_errors_total", &[]);
 static OBS_CHECKPOINTS: LazyCounter = LazyCounter::new("domo_sink_checkpoints_total", &[]);
+// Degradation state machine + watchdog telemetry.
+static OBS_STORE_ERRORS: LazyCounter = LazyCounter::new("domo_sink_store_errors_total", &[]);
+static OBS_DEGRADED: LazyGauge = LazyGauge::new("domo_sink_degraded", &[]);
+static OBS_DEGRADED_TOTAL: LazyCounter = LazyCounter::new("domo_sink_degraded_total", &[]);
+static OBS_HEALS: LazyCounter = LazyCounter::new("domo_sink_heals_total", &[]);
+static OBS_UNJOURNALED: LazyCounter = LazyCounter::new("domo_sink_unjournaled_total", &[]);
+static OBS_WD_RESTARTS: LazyCounter = LazyCounter::new("domo_sink_watchdog_restarts_total", &[]);
+static OBS_WD_DROPPED: LazyCounter = LazyCounter::new("domo_sink_watchdog_dropped_total", &[]);
 
 #[derive(Debug, Default)]
 struct StatsCells {
@@ -173,6 +303,7 @@ struct StatsCells {
     malformed_frames: AtomicU64,
     backpressure_dropped: AtomicU64,
     estimator_errors: AtomicU64,
+    watchdog_dropped: AtomicU64,
 }
 
 impl StatsCells {
@@ -184,6 +315,7 @@ impl StatsCells {
             malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
             backpressure_dropped: self.backpressure_dropped.load(Ordering::Relaxed),
             estimator_errors: self.estimator_errors.load(Ordering::Relaxed),
+            watchdog_dropped: self.watchdog_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +325,13 @@ struct Store {
     node_stats: HashMap<NodeId, RunningStats>,
     packets: HashMap<PacketId, StoredReconstruction>,
     insertion_order: VecDeque<PacketId>,
+    /// Every pid ever counted as emitted. A watchdog restart replays
+    /// the full WAL suffix through a fresh estimator to keep the push
+    /// sequence bit-identical, so re-emissions of already-counted
+    /// packets are expected — this set makes them idempotent (node
+    /// stats, the result log, and the `emitted` counter each advance
+    /// exactly once per pid).
+    emitted_pids: HashSet<PacketId>,
 }
 
 enum ShardMsg {
@@ -228,7 +367,8 @@ struct ShardQueue {
 
 enum PushOutcome {
     Queued,
-    DroppedOldest,
+    /// The queue was saturated; this (oldest) packet was evicted.
+    DroppedOldest(PacketId),
     Closed,
 }
 
@@ -259,7 +399,7 @@ impl ShardQueue {
         if st.closed {
             return PushOutcome::Closed;
         }
-        let mut dropped = false;
+        let mut dropped = None;
         if st.queued_packets >= self.capacity {
             // Drop the oldest *packet*; control messages keep their slot
             // (losing a drain ack would wedge the caller).
@@ -268,23 +408,23 @@ impl ShardQueue {
                 .iter()
                 .position(|m| matches!(m, ShardMsg::Packet(_)))
             {
-                st.msgs.remove(at);
-                st.queued_packets -= 1;
-                dropped = true;
+                if let Some(ShardMsg::Packet(old)) = st.msgs.remove(at) {
+                    st.queued_packets -= 1;
+                    dropped = Some(old.pid);
+                }
             }
         }
         st.msgs.push_back(ShardMsg::Packet(p));
         st.queued_packets += 1;
         self.depth.set(st.queued_packets as f64);
-        if dropped {
+        if dropped.is_some() {
             self.dropped.inc();
         }
         drop(st);
         self.ready.notify_one();
-        if dropped {
-            PushOutcome::DroppedOldest
-        } else {
-            PushOutcome::Queued
+        match dropped {
+            Some(old) => PushOutcome::DroppedOldest(old),
+            None => PushOutcome::Queued,
         }
     }
 
@@ -339,6 +479,46 @@ impl ShardQueue {
         }
     }
 
+    /// Current queued-packet count (watchdog stall detection).
+    fn queued(&self) -> usize {
+        lock_or_recover(&self.state).queued_packets
+    }
+
+    /// Removes every queued *packet* (control messages keep their
+    /// relative order and position at the front), returning the packets
+    /// in queue order — watchdog restart only.
+    fn purge_packets(&self) -> Vec<CollectedPacket> {
+        let mut st = lock_or_recover(&self.state);
+        let mut out = Vec::with_capacity(st.queued_packets);
+        let mut rest = VecDeque::with_capacity(st.msgs.len());
+        for msg in st.msgs.drain(..) {
+            match msg {
+                ShardMsg::Packet(p) => out.push(p),
+                other => rest.push_back(other),
+            }
+        }
+        st.msgs = rest;
+        st.queued_packets = 0;
+        self.depth.set(0.0);
+        out
+    }
+
+    /// Requeues packets at the *front* of the queue, before any pending
+    /// control message, preserving their order — watchdog restart only
+    /// (a barrier queued behind the dead worker must see the replayed
+    /// history first).
+    fn prepend_packets(&self, packets: Vec<CollectedPacket>) {
+        let mut st = lock_or_recover(&self.state);
+        let n = packets.len();
+        for p in packets.into_iter().rev() {
+            st.msgs.push_front(ShardMsg::Packet(p));
+        }
+        st.queued_packets += n;
+        self.depth.set(st.queued_packets as f64);
+        drop(st);
+        self.ready.notify_all();
+    }
+
     fn close(&self) {
         lock_or_recover(&self.state).closed = true;
         self.ready.notify_all();
@@ -354,7 +534,9 @@ struct WalState {
     /// restored from the checkpoint). This — not the in-memory fast
     /// path — is the dedup set checkpoints persist: a pid is only here
     /// once its WAL append succeeded, so recovery never remembers a
-    /// packet it cannot replay.
+    /// packet it cannot replay. (Degraded-mode records are the one
+    /// exception: accepted un-journaled, they stay visible here and are
+    /// made durable by the next checkpoint instead.)
     seen: HashSet<PacketId>,
     appends_since_ckpt: u64,
 }
@@ -364,6 +546,10 @@ struct WalState {
 struct ResultState {
     store: ResultStore,
     persisted: HashSet<PacketId>,
+    /// Results emitted while durability was suspended, waiting for a
+    /// heal. Flushed (in emission order) at the front of every
+    /// checkpoint; their pids are already in `persisted`.
+    backlog: VecDeque<(PacketId, f64, Vec<u8>)>,
 }
 
 /// Everything durability adds to a running service.
@@ -378,6 +564,117 @@ struct Persistence {
     /// Finalized once, at the end of `open` (the replay count arrives
     /// after the struct is built).
     recovery: Mutex<RecoveryReport>,
+    /// The durability state machine (a `SinkHealth` discriminant).
+    health: AtomicU8,
+    /// Accepted records since the last heal probe (degraded mode only).
+    since_probe: AtomicU64,
+    degraded_entries: AtomicU64,
+    heals: AtomicU64,
+    store_errors: AtomicU64,
+    unjournaled: AtomicU64,
+}
+
+impl Persistence {
+    fn health(&self) -> SinkHealth {
+        SinkHealth::from_u8(self.health.load(Ordering::Relaxed))
+    }
+
+    fn durability_active(&self) -> bool {
+        matches!(self.health(), SinkHealth::Healthy)
+    }
+
+    fn cas_health(&self, from: SinkHealth, to: SinkHealth) -> bool {
+        self.health
+            .compare_exchange(from as u8, to as u8, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Moves the machine to a non-healthy state. Terminal states stick;
+    /// a distinct degradation event is counted only on leaving
+    /// `Healthy`.
+    fn mark_unhealthy(&self, to: SinkHealth) {
+        loop {
+            let cur = self.health();
+            if matches!(cur, SinkHealth::Failed | SinkHealth::Dropped) || cur == to {
+                return;
+            }
+            if self.cas_health(cur, to) {
+                if cur == SinkHealth::Healthy {
+                    self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+                    OBS_DEGRADED_TOTAL.inc();
+                }
+                OBS_DEGRADED.set(1.0);
+                domo_obs::warn!(
+                    target: "domo_sink::health",
+                    "durability suspended",
+                    health = to.to_string(),
+                );
+                return;
+            }
+        }
+    }
+
+    /// `Degraded`/`Healing` → `Healthy` (no-op from any other state).
+    /// Every successfully completed checkpoint calls this: a checkpoint
+    /// is exactly the proof the store works end to end.
+    fn mark_healed(&self) {
+        loop {
+            let cur = self.health();
+            if !matches!(cur, SinkHealth::Degraded | SinkHealth::Healing) {
+                return;
+            }
+            if self.cas_health(cur, SinkHealth::Healthy) {
+                self.heals.fetch_add(1, Ordering::Relaxed);
+                OBS_HEALS.inc();
+                OBS_DEGRADED.set(0.0);
+                domo_obs::info!(
+                    target: "domo_sink::health",
+                    "store healed; durability re-armed",
+                );
+                return;
+            }
+        }
+    }
+
+    /// Counts a runtime store failure and applies the configured
+    /// policy. Never panics, never blocks.
+    fn note_store_error(&self, what: &str, e: &std::io::Error) {
+        self.store_errors.fetch_add(1, Ordering::Relaxed);
+        OBS_STORE_ERRORS.inc();
+        OBS_PERSIST_ERRORS.inc();
+        domo_obs::warn!(
+            target: "domo_sink::persist",
+            "store operation failed",
+            op = what,
+            error = e.to_string(),
+            policy = self.cfg.on_error.to_string(),
+        );
+        match self.cfg.on_error {
+            StoreErrorPolicy::Fail => self.mark_unhealthy(SinkHealth::Failed),
+            StoreErrorPolicy::Degrade => self.mark_unhealthy(SinkHealth::Degraded),
+            StoreErrorPolicy::DropDurability => self.mark_unhealthy(SinkHealth::Dropped),
+        }
+    }
+}
+
+/// Routes a failed checkpoint: `Unsupported` (durability already
+/// dropped) and `Interrupted` (barrier aborted — a worker died; the
+/// watchdog handles it) are not store verdicts, everything else engages
+/// the store-error policy.
+fn note_checkpoint_failure(persist: &Persistence, e: &std::io::Error) {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::Unsupported | std::io::ErrorKind::Interrupted
+    ) {
+        OBS_PERSIST_ERRORS.inc();
+        domo_obs::warn!(
+            target: "domo_sink::persist",
+            "checkpoint skipped",
+            error = e.to_string(),
+        );
+    } else {
+        persist.note_store_error("checkpoint", e);
+    }
 }
 
 /// Operator-facing durability status (the `STORE STATS` / STATS lines).
@@ -394,6 +691,10 @@ pub struct StoreStatus {
     /// WAL cut of the newest checkpoint written this run (0 before the
     /// first; restored from the recovery checkpoint at open).
     pub last_checkpoint_lsn: u64,
+    /// Checkpoint files currently on disk (retention keeps ≤ 2).
+    pub checkpoints_on_disk: usize,
+    /// Size of the durable dedup set (journaled pids).
+    pub dedup_pids: usize,
     /// What recovery found at open.
     pub recovery: RecoveryReport,
 }
@@ -403,6 +704,7 @@ pub struct StoreStatus {
 /// from the checkpoint, and the WAL tail awaiting replay.
 struct Recovered {
     persistence: Arc<Persistence>,
+    covered: u64,
     shard_snapshots: Vec<Option<StreamingSnapshot>>,
     tail_records: Vec<(u64, Vec<u8>)>,
 }
@@ -415,20 +717,29 @@ impl Recovered {
         store: &Mutex<Store>,
         cfg: &SinkConfig,
     ) -> std::io::Result<Self> {
-        let (wal, tail) = Wal::open(
+        // Chaos only: route every filesystem call of every store
+        // component through one shared seeded fault plan, so `after_ops`
+        // windows count operations across the whole data directory.
+        let io: Arc<dyn StoreIo> = match sc.faults {
+            Some(plan) => Arc::new(FaultyIo::new(plan)),
+            None => Arc::new(RealIo),
+        };
+        let (wal, tail) = Wal::open_with_io(
             sc.data_dir.join("wal"),
             WalConfig {
                 fsync: sc.fsync,
                 ..WalConfig::default()
             },
+            Arc::clone(&io),
         )?;
-        let checkpoints = CheckpointStore::open(sc.data_dir.join("ckpt"))?;
-        let (rstore, result_bytes_discarded) = ResultStore::open(
+        let checkpoints = CheckpointStore::open_with_io(sc.data_dir.join("ckpt"), Arc::clone(&io))?;
+        let (rstore, result_bytes_discarded) = ResultStore::open_with_io(
             sc.data_dir.join("results"),
             ResultStoreConfig {
                 max_sealed_segments: sc.max_result_segments,
                 ..ResultStoreConfig::default()
             },
+            io,
         )?;
         let mut report = RecoveryReport {
             wal_records: tail.records,
@@ -478,6 +789,9 @@ impl Recovered {
                     stats
                         .estimator_errors
                         .store(state.counters[5], Ordering::Relaxed);
+                    stats
+                        .watchdog_dropped
+                        .store(state.counters[6], Ordering::Relaxed);
                     seen.extend(state.seen);
                     lock_or_recover(store).node_stats =
                         persist::node_stats_from_parts(&state.node_stats);
@@ -497,7 +811,9 @@ impl Recovered {
         report.checkpoint_lsn = covered;
 
         // Rebuild the reconstruction cache and the persisted-pid index
-        // from the result log (append order == emission order).
+        // from the result log (append order == emission order). A pid
+        // in the result log has, by definition, been emitted — seed the
+        // emission-dedup set so replay cannot re-count it.
         let mut persisted: HashSet<PacketId> = HashSet::new();
         {
             let mut st = lock_or_recover(store);
@@ -542,38 +858,456 @@ impl Recovered {
             results: Mutex::new(ResultState {
                 store: rstore,
                 persisted,
+                backlog: VecDeque::new(),
             }),
             ckpt_guard: Mutex::new(()),
             last_checkpoint_lsn: AtomicU64::new(covered),
             recovery: Mutex::new(report),
+            health: AtomicU8::new(SinkHealth::Healthy as u8),
+            since_probe: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            unjournaled: AtomicU64::new(0),
         });
         Ok(Self {
             persistence,
+            covered,
             shard_snapshots,
             tail_records,
         })
     }
 }
 
+/// Shared inner state: everything the public handle, the shard workers
+/// and the watchdog thread need. One `Arc<Core>` is cloned into every
+/// thread; the public [`SinkService`] is a thin wrapper.
+struct Core {
+    shards: Vec<Arc<ShardQueue>>,
+    /// One slot per shard; `None` while the watchdog is mid-restart.
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    stats: StatsCells,
+    store: Mutex<Store>,
+    seen: Mutex<HashSet<PacketId>>,
+    sanitize: SanitizeConfig,
+    est_cfg: EstimatorConfig,
+    high_water: Option<usize>,
+    max_retained: usize,
+    effective_high_water: usize,
+    started: Instant,
+    persist: Option<Arc<Persistence>>,
+    /// Monotonic per-worker liveness counters (bumped per message).
+    heartbeats: Vec<AtomicU64>,
+    /// Chaos hook: worker panics after dequeuing this many more
+    /// packets ([`CHAOS_DISARMED`] = off).
+    chaos_panics: Vec<AtomicU64>,
+    /// Pids pushed to each shard and not yet through `record_batch` —
+    /// the watchdog's loss ledger.
+    inflight: Vec<Mutex<HashSet<PacketId>>>,
+    /// Pids shed by drop-oldest backpressure since open (durable mode
+    /// only): a watchdog WAL replay must not resurrect them, or the
+    /// restarted estimator would see a different sequence than the
+    /// original worker did. Never pruned (same precedent as `seen`).
+    dropped_pids: Mutex<HashSet<PacketId>>,
+    /// WAL cut + per-shard snapshots of the last completed checkpoint —
+    /// the watchdog's restart baseline.
+    last_ckpt: Mutex<(u64, Vec<Option<StreamingSnapshot>>)>,
+    closing: AtomicBool,
+    watchdog_restarts: AtomicU64,
+    ingest_idle: Option<Duration>,
+    query_idle: Option<Duration>,
+}
+
+impl Core {
+    fn ingest(&self, p: CollectedPacket) -> IngestOutcome {
+        if let Err(e) = check_packet(&p, &self.sanitize) {
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            OBS_QUARANTINED.inc();
+            return IngestOutcome::Quarantined(e);
+        }
+        // Sanitized records always have ≥ 2 path nodes.
+        let Some(root) = p.subtree_root() else {
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            OBS_QUARANTINED.inc();
+            return IngestOutcome::Quarantined(TraceError::PathTooShort { len: p.path.len() });
+        };
+        let shard = root.index() % self.shards.len();
+        let Some(persist) = self.persist.clone() else {
+            if !lock_or_recover(&self.seen).insert(p.pid) {
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                OBS_QUARANTINED.inc();
+                return IngestOutcome::Quarantined(TraceError::DuplicateId);
+            }
+            return self.push_to_shard(shard, p);
+        };
+        // Durable path: dedup, WAL append, and shard push all under
+        // the WAL lock, so the journal's record order is exactly the
+        // queue order — the invariant a checkpoint's cut relies on. A
+        // pid enters the dedup set only alongside its journal record:
+        // a crash between the two can never "remember" a packet the
+        // WAL cannot replay.
+        let outcome;
+        let mut checkpoint_due = false;
+        let mut probe_due = false;
+        {
+            let mut ws = lock_or_recover(&persist.walstate);
+            if !ws.seen.insert(p.pid) {
+                drop(ws);
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                OBS_QUARANTINED.inc();
+                return IngestOutcome::Quarantined(TraceError::DuplicateId);
+            }
+            if persist.durability_active() {
+                let mut frame = Vec::new();
+                let journaled = wire::encode_packet(&p, &mut frame).is_ok()
+                    && match ws.wal.append(&frame) {
+                        Ok(_) => true,
+                        Err(e) => {
+                            // Disk trouble degrades durability, not
+                            // service: the record still reconstructs in
+                            // memory, the failure engages the policy.
+                            persist.note_store_error("wal append", &e);
+                            false
+                        }
+                    };
+                if journaled {
+                    ws.appends_since_ckpt += 1;
+                    checkpoint_due = ws.appends_since_ckpt >= persist.cfg.checkpoint_every.max(1);
+                } else {
+                    persist.unjournaled.fetch_add(1, Ordering::Relaxed);
+                    OBS_UNJOURNALED.inc();
+                }
+            } else {
+                // Degraded (or dropped/failed): accepted un-journaled.
+                // The record reconstructs normally; only its crash
+                // durability is suspended until the next checkpoint.
+                persist.unjournaled.fetch_add(1, Ordering::Relaxed);
+                OBS_UNJOURNALED.inc();
+                if persist.health() == SinkHealth::Degraded {
+                    let n = persist.since_probe.fetch_add(1, Ordering::Relaxed) + 1;
+                    if n >= persist.cfg.probe_every.max(1) {
+                        persist.since_probe.store(0, Ordering::Relaxed);
+                        probe_due = true;
+                    }
+                }
+            }
+            outcome = self.push_to_shard(shard, p);
+        }
+        if checkpoint_due {
+            self.maybe_checkpoint(&persist);
+        } else if probe_due {
+            self.try_heal(&persist);
+        }
+        outcome
+    }
+
+    fn push_to_shard(&self, shard: usize, p: CollectedPacket) -> IngestOutcome {
+        let pid = p.pid;
+        // The inflight ledger is updated under the same lock window as
+        // the queue push, so a watchdog restart (which locks inflight
+        // before purging the queue) always sees a consistent pair.
+        let mut infl = lock_or_recover(&self.inflight[shard]);
+        match self.shards[shard].push_packet(p) {
+            PushOutcome::Queued => {
+                infl.insert(pid);
+                drop(infl);
+                self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                OBS_INGESTED.inc();
+                IngestOutcome::Accepted
+            }
+            PushOutcome::DroppedOldest(old) => {
+                infl.insert(pid);
+                infl.remove(&old);
+                drop(infl);
+                if self.persist.is_some() {
+                    // Remember the shed pid forever: a watchdog WAL
+                    // replay must reproduce the post-shed sequence.
+                    lock_or_recover(&self.dropped_pids).insert(old);
+                }
+                self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                OBS_INGESTED.inc();
+                self.stats
+                    .backpressure_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                OBS_BACKPRESSURE.inc();
+                IngestOutcome::AcceptedDroppingOldest
+            }
+            PushOutcome::Closed => IngestOutcome::Closed,
+        }
+    }
+
+    fn worker_finished(&self, shard: usize) -> bool {
+        lock_or_recover(&self.workers)
+            .get(shard)
+            .and_then(|slot| slot.as_ref())
+            .is_some_and(JoinHandle::is_finished)
+    }
+
+    fn barrier(&self, make: fn(SyncSender<()>) -> ShardMsg) {
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for (shard, q) in self.shards.iter().enumerate() {
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            if q.push_control(make(tx)) {
+                acks.push((shard, rx));
+            }
+        }
+        for (shard, rx) in acks {
+            loop {
+                match rx.recv_timeout(BARRIER_POLL) {
+                    Ok(()) => break,
+                    // The worker died *holding* the message (the sender
+                    // is gone): nothing will ever ack it — give up. A
+                    // message still queued keeps its sender alive, and
+                    // the watchdog's replacement worker answers it.
+                    Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // During shutdown no watchdog will replace a
+                        // finished worker; waiting longer is hopeless.
+                        if self.closing.load(Ordering::Relaxed) && self.worker_finished(shard) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The automatic trigger: skips (rather than queues) when another
+    /// checkpoint is already running.
+    fn maybe_checkpoint(&self, persist: &Persistence) {
+        let Ok(_guard) = persist.ckpt_guard.try_lock() else {
+            return;
+        };
+        if let Err(e) = self.checkpoint_locked(persist) {
+            note_checkpoint_failure(persist, &e);
+        }
+    }
+
+    /// A degraded-mode heal probe: one full checkpoint through the
+    /// failing store. Success re-arms durability (and flushed the
+    /// result backlog on the way); failure keeps the service degraded
+    /// until the next probe.
+    fn try_heal(&self, persist: &Persistence) {
+        let Ok(_guard) = persist.ckpt_guard.try_lock() else {
+            return;
+        };
+        if !persist.cas_health(SinkHealth::Degraded, SinkHealth::Healing) {
+            return;
+        }
+        match self.checkpoint_locked(persist) {
+            Ok(_) => {} // checkpoint_locked already marked the heal
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                // Barrier aborted (a worker died mid-probe) — not a
+                // store verdict; stay degraded, probe again later.
+                persist.mark_unhealthy(SinkHealth::Degraded);
+                OBS_PERSIST_ERRORS.inc();
+                domo_obs::warn!(
+                    target: "domo_sink::persist",
+                    "heal probe aborted",
+                    error = e.to_string(),
+                );
+            }
+            Err(e) => persist.note_store_error("heal probe", &e),
+        }
+    }
+
+    /// The checkpoint protocol. Caller holds `ckpt_guard`.
+    ///
+    /// Phase 1 takes the WAL lock, syncs, fixes the cut `C`, captures
+    /// the dedup set and counters, and enqueues a snapshot barrier on
+    /// every shard — all before any further append can interleave, so
+    /// everything captured corresponds exactly to records with
+    /// `lsn < C`. Phase 2 collects the shard snapshots; each worker
+    /// parks after answering, freezing emissions. Phase 3 captures the
+    /// per-node summaries (frozen, since only workers write them) and
+    /// serializes. Phase 4 releases the workers. Phase 5 flushes the
+    /// degraded-mode result backlog, syncs the result log, atomically
+    /// persists the checkpoint, and compacts the WAL below `C`. A
+    /// completed checkpoint proves the whole store works, so it also
+    /// heals a degraded service.
+    fn checkpoint_locked(&self, persist: &Persistence) -> std::io::Result<u64> {
+        if matches!(persist.health(), SinkHealth::Dropped | SinkHealth::Failed) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "durability has been dropped for this process; checkpointing is disabled",
+            ));
+        }
+        let (cut, seen, counters, barriers) = {
+            let mut ws = lock_or_recover(&persist.walstate);
+            ws.wal.sync()?;
+            let cut = ws.wal.next_lsn();
+            let seen: Vec<PacketId> = ws.seen.iter().copied().collect();
+            let s = self.stats.snapshot();
+            let counters = [
+                s.ingested,
+                s.emitted,
+                s.quarantined,
+                s.malformed_frames,
+                s.backpressure_dropped,
+                s.estimator_errors,
+                s.watchdog_dropped,
+            ];
+            let mut barriers = Vec::with_capacity(self.shards.len());
+            for (shard, q) in self.shards.iter().enumerate() {
+                let (snap_tx, snap_rx) = std::sync::mpsc::sync_channel(1);
+                let (rel_tx, rel_rx) = std::sync::mpsc::sync_channel::<()>(1);
+                if q.push_control(ShardMsg::Snapshot(snap_tx, rel_rx)) {
+                    barriers.push((shard, snap_rx, rel_tx));
+                }
+            }
+            ws.appends_since_ckpt = 0;
+            (cut, seen, counters, barriers)
+        };
+
+        let mut snaps = Vec::with_capacity(barriers.len());
+        let mut releases = Vec::with_capacity(barriers.len());
+        let mut aborted = false;
+        for (shard, snap_rx, rel_tx) in barriers {
+            loop {
+                match snap_rx.recv_timeout(BARRIER_POLL) {
+                    Ok(s) => {
+                        snaps.push(s);
+                        break;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        aborted = true;
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.worker_finished(shard) || self.closing.load(Ordering::Relaxed) {
+                            aborted = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            releases.push(rel_tx);
+        }
+        let outcome = if !aborted && snaps.len() == self.shards.len() {
+            let node_stats: Vec<(NodeId, domo_util::running::RunningParts)> = {
+                let st = lock_or_recover(&self.store);
+                st.node_stats
+                    .iter()
+                    .map(|(&node, s)| (node, s.to_parts()))
+                    .collect()
+            };
+            let state = CheckpointState {
+                shards: snaps,
+                counters,
+                seen,
+                node_stats,
+            };
+            match persist::encode_checkpoint(&state) {
+                Ok(payload) => {
+                    let snaps_for_restart: Vec<Option<StreamingSnapshot>> =
+                        state.shards.into_iter().map(Some).collect();
+                    Ok((payload, snaps_for_restart))
+                }
+                Err(e) => Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                )),
+            }
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "a shard worker is gone; checkpoint aborted",
+            ))
+        };
+        // Workers resume whatever the outcome — the barrier must never
+        // outlive its reason.
+        for rel in releases {
+            let _ = rel.send(());
+        }
+        let (payload, snaps_for_restart) = outcome?;
+
+        // Results the checkpoint claims emitted must be durable before
+        // the checkpoint itself is — including everything the degraded
+        // window backlogged.
+        {
+            let mut rs = lock_or_recover(&persist.results);
+            let rsm = &mut *rs;
+            while let Some((_pid, t, bytes)) = rsm.backlog.front() {
+                match rsm.store.append(*t, bytes) {
+                    Ok(()) => {
+                        rsm.backlog.pop_front();
+                    }
+                    // Keep the failed entry (and everything behind it)
+                    // for the next probe.
+                    Err(e) => return Err(e),
+                }
+            }
+            rs.store.sync()?;
+        }
+        persist.checkpoints.save(cut, &payload)?;
+        // Update the watchdog's restart baseline after the checkpoint
+        // committed but before compaction: a restart pairs this cut
+        // with `records_from(cut)`, so the cut must never run ahead of
+        // the snapshots or behind the compaction floor.
+        *lock_or_recover(&self.last_ckpt) = (cut, snaps_for_restart);
+        lock_or_recover(&persist.walstate).wal.compact_upto(cut)?;
+        persist.last_checkpoint_lsn.store(cut, Ordering::Relaxed);
+        OBS_CHECKPOINTS.inc();
+        persist.mark_healed();
+        domo_obs::info!(
+            target: "domo_sink::persist",
+            "checkpoint written",
+            covered = cut,
+            bytes = payload.len(),
+        );
+        Ok(cut)
+    }
+
+    fn snapshot(&self) -> SinkSnapshot {
+        let store = lock_or_recover(&self.store);
+        let mut nodes: Vec<NodeDelaySummary> = store
+            .node_stats
+            .iter()
+            .map(|(&node, s)| NodeDelaySummary {
+                node,
+                count: s.count(),
+                mean_ms: s.mean(),
+                min_ms: s.min().unwrap_or(0.0),
+                max_ms: s.max().unwrap_or(0.0),
+            })
+            .collect();
+        nodes.sort_by_key(|n| n.node);
+        SinkSnapshot {
+            stats: self.stats.snapshot(),
+            retained_packets: store.packets.len(),
+            nodes,
+        }
+    }
+
+    /// Best-effort final fsync of the WAL and result log.
+    fn sync_storage(&self) {
+        if let Some(persist) = &self.persist {
+            if persist.health() != SinkHealth::Healthy {
+                return; // nothing to promise; the store is suspect
+            }
+            if let Err(e) = lock_or_recover(&persist.walstate).wal.sync() {
+                persist.note_store_error("final wal sync", &e);
+            }
+            if let Err(e) = lock_or_recover(&persist.results).store.sync() {
+                persist.note_store_error("final result sync", &e);
+            }
+        }
+    }
+}
+
 /// The long-running sharded reconstruction service. Cheap to share
 /// behind an [`Arc`]; every method takes `&self`.
 pub struct SinkService {
-    shards: Vec<Arc<ShardQueue>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
-    stats: Arc<StatsCells>,
-    store: Arc<Mutex<Store>>,
-    seen: Mutex<HashSet<PacketId>>,
-    sanitize: SanitizeConfig,
-    effective_high_water: usize,
-    started: std::time::Instant,
-    persist: Option<Arc<Persistence>>,
+    core: Arc<Core>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for SinkService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SinkService")
-            .field("shards", &self.shards.len())
-            .field("stats", &self.stats.snapshot())
+            .field("shards", &self.core.shards.len())
+            .field("stats", &self.core.stats.snapshot())
+            .field("health", &self.health())
             .finish()
     }
 }
@@ -603,6 +1337,9 @@ impl SinkService {
     /// `store: None` this is identical to [`SinkService::start`] and
     /// never fails.
     ///
+    /// Also spawns the watchdog thread that restarts dead shard
+    /// workers (see [`SinkStatsSnapshot::watchdog_dropped`]).
+    ///
     /// # Errors
     ///
     /// Filesystem failures, or a checkpoint whose shard count differs
@@ -623,75 +1360,91 @@ impl SinkService {
             &OBS_MALFORMED,
             &OBS_BACKPRESSURE,
             &OBS_EST_ERRORS,
+            &OBS_STORE_ERRORS,
+            &OBS_DEGRADED_TOTAL,
+            &OBS_HEALS,
+            &OBS_UNJOURNALED,
+            &OBS_WD_RESTARTS,
+            &OBS_WD_DROPPED,
         ] {
             c.add(0);
         }
+        OBS_DEGRADED.set(0.0);
+        // The fault-injection families register even when no faults are
+        // configured, so a METRICS scrape always lists them.
+        domo_store::vfs::register_fault_metrics();
         let shards = cfg.shards.max(1);
-        let stats = Arc::new(StatsCells::default());
-        let store = Arc::new(Mutex::new(Store::default()));
+        let stats = StatsCells::default();
+        let store = Mutex::new(Store::default());
 
         // Recover durable state before any worker runs.
-        let mut recovered = match &cfg.store {
+        let recovered = match &cfg.store {
             Some(sc) => Some(Recovered::load(sc, shards, &stats, &store, &cfg)?),
             None => None,
+        };
+        let (persist, covered, mut initial, tail) = match recovered {
+            Some(r) => (
+                Some(r.persistence),
+                r.covered,
+                r.shard_snapshots,
+                r.tail_records,
+            ),
+            None => (None, 0, (0..shards).map(|_| None).collect(), Vec::new()),
         };
 
         let queues: Vec<Arc<ShardQueue>> = (0..shards)
             .map(|shard| Arc::new(ShardQueue::new(cfg.queue_capacity, shard)))
             .collect();
-        let persist = recovered.as_mut().map(|r| Arc::clone(&r.persistence));
-        let mut workers = Vec::with_capacity(shards);
-        for (i, queue) in queues.iter().enumerate() {
-            let queue = Arc::clone(queue);
-            let stats = Arc::clone(&stats);
-            let store = Arc::clone(&store);
-            let est_cfg = cfg.estimator.clone();
-            let high_water = cfg.high_water;
-            let max_retained = cfg.max_retained_packets;
-            let persist = persist.clone();
-            let initial = recovered
-                .as_mut()
-                .and_then(|r| r.shard_snapshots.get_mut(i).and_then(Option::take));
-            workers.push(std::thread::spawn(move || {
-                worker_loop(
-                    &queue,
-                    est_cfg,
-                    high_water,
-                    initial,
-                    max_retained,
-                    &stats,
-                    &store,
-                    persist.as_deref(),
-                );
-            }));
-        }
-
-        let service = Self {
+        let core = Arc::new(Core {
             shards: queues,
-            workers: Mutex::new(workers),
+            workers: Mutex::new((0..shards).map(|_| None).collect()),
             stats,
             store,
             seen: Mutex::new(HashSet::new()),
             sanitize: cfg.sanitize,
+            est_cfg: cfg.estimator.clone(),
+            high_water: cfg.high_water,
+            max_retained: cfg.max_retained_packets,
             effective_high_water: StreamingEstimator::effective_high_water(
                 &cfg.estimator,
                 cfg.high_water,
             ),
-            started: std::time::Instant::now(),
+            started: Instant::now(),
             persist,
-        };
-        if let Some(r) = recovered {
-            service.replay_wal_tail(r)?;
+            heartbeats: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            chaos_panics: (0..shards)
+                .map(|_| AtomicU64::new(CHAOS_DISARMED))
+                .collect(),
+            inflight: (0..shards).map(|_| Mutex::new(HashSet::new())).collect(),
+            dropped_pids: Mutex::new(HashSet::new()),
+            last_ckpt: Mutex::new((covered, initial.clone())),
+            closing: AtomicBool::new(false),
+            watchdog_restarts: AtomicU64::new(0),
+            ingest_idle: cfg.ingest_idle_timeout,
+            query_idle: cfg.query_idle_timeout,
+        });
+        for (shard, slot) in initial.iter_mut().enumerate() {
+            spawn_worker(&core, shard, slot.take());
         }
+        let watchdog = {
+            let c = Arc::clone(&core);
+            std::thread::spawn(move || watchdog_loop(&c))
+        };
+        let service = Self {
+            core,
+            watchdog: Mutex::new(Some(watchdog)),
+        };
+        service.replay_wal_tail(tail);
         Ok(service)
     }
 
     /// Pushes the recovered WAL tail through the shards, in WAL order,
     /// bypassing both dedup (the WAL never holds duplicate pids) and
     /// the queue capacity (acknowledged records are never shed).
-    fn replay_wal_tail(&self, r: Recovered) -> std::io::Result<()> {
+    fn replay_wal_tail(&self, tail: Vec<(u64, Vec<u8>)>) {
+        let core = &self.core;
         let mut replayed = 0u64;
-        for (lsn, payload) in &r.tail_records {
+        for (lsn, payload) in &tail {
             let Ok((p, _)) = wire::decode_packet(payload) else {
                 // The record passed the WAL checksum but not the wire
                 // decoder: count it, keep going — recovery never gives
@@ -708,15 +1461,19 @@ impl SinkService {
                 OBS_PERSIST_ERRORS.inc();
                 continue;
             };
-            let shard = root.index() % self.shards.len();
-            if self.shards[shard].push_packet_unbounded(p) {
+            let shard = root.index() % core.shards.len();
+            let pid = p.pid;
+            let mut infl = lock_or_recover(&core.inflight[shard]);
+            if core.shards[shard].push_packet_unbounded(p) {
+                infl.insert(pid);
+                drop(infl);
                 replayed += 1;
-                self.stats.ingested.fetch_add(1, Ordering::Relaxed);
+                core.stats.ingested.fetch_add(1, Ordering::Relaxed);
                 OBS_INGESTED.inc();
                 OBS_REPLAYED.inc();
             }
         }
-        if let Some(persist) = &self.persist {
+        if let Some(persist) = &core.persist {
             let mut report = lock_or_recover(&persist.recovery);
             report.replayed = replayed;
             domo_obs::info!(
@@ -730,18 +1487,17 @@ impl SinkService {
             );
         }
         OBS_RECOVERIES.inc();
-        Ok(())
     }
 
     /// Milliseconds since this service was started (the STATS
     /// `uptime_ms` line).
     pub fn uptime_ms(&self) -> u64 {
-        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+        u64::try_from(self.core.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
     /// Number of shard workers.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// The flush threshold every shard estimator actually runs with —
@@ -750,95 +1506,23 @@ impl SinkService {
     /// this (it is the STATS `high_water` line), not their configured
     /// value, which may have been clamped.
     pub fn effective_high_water(&self) -> usize {
-        self.effective_high_water
+        self.core.effective_high_water
+    }
+
+    /// The configured ingest-connection deadline, if any.
+    pub fn ingest_idle_timeout(&self) -> Option<Duration> {
+        self.core.ingest_idle
+    }
+
+    /// The configured query-connection deadline, if any.
+    pub fn query_idle_timeout(&self) -> Option<Duration> {
+        self.core.query_idle
     }
 
     /// Validates, deduplicates, journals (when durability is on), and
     /// routes one record.
     pub fn ingest(&self, p: CollectedPacket) -> IngestOutcome {
-        if let Err(e) = check_packet(&p, &self.sanitize) {
-            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-            OBS_QUARANTINED.inc();
-            return IngestOutcome::Quarantined(e);
-        }
-        // Sanitized records always have ≥ 2 path nodes.
-        let Some(root) = p.subtree_root() else {
-            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-            OBS_QUARANTINED.inc();
-            return IngestOutcome::Quarantined(TraceError::PathTooShort { len: p.path.len() });
-        };
-        let shard = root.index() % self.shards.len();
-        let Some(persist) = self.persist.clone() else {
-            if !lock_or_recover(&self.seen).insert(p.pid) {
-                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                OBS_QUARANTINED.inc();
-                return IngestOutcome::Quarantined(TraceError::DuplicateId);
-            }
-            return self.push_to_shard(shard, p);
-        };
-        // Durable path: dedup, WAL append, and shard push all under
-        // the WAL lock, so the journal's record order is exactly the
-        // queue order — the invariant a checkpoint's cut relies on. A
-        // pid enters the dedup set only alongside its journal record:
-        // a crash between the two can never "remember" a packet the
-        // WAL cannot replay.
-        let outcome;
-        let checkpoint_due;
-        {
-            let mut ws = lock_or_recover(&persist.walstate);
-            if !ws.seen.insert(p.pid) {
-                drop(ws);
-                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                OBS_QUARANTINED.inc();
-                return IngestOutcome::Quarantined(TraceError::DuplicateId);
-            }
-            let mut frame = Vec::new();
-            let journaled = wire::encode_packet(&p, &mut frame).is_ok()
-                && match ws.wal.append(&frame) {
-                    Ok(_) => true,
-                    Err(e) => {
-                        // Disk trouble degrades durability, not service:
-                        // the record still reconstructs in memory, the
-                        // failure is counted and logged.
-                        OBS_PERSIST_ERRORS.inc();
-                        domo_obs::warn!(
-                            target: "domo_sink::persist",
-                            "wal append failed; record continues un-journaled",
-                            error = e.to_string(),
-                        );
-                        false
-                    }
-                };
-            if journaled {
-                ws.appends_since_ckpt += 1;
-            }
-            checkpoint_due = ws.appends_since_ckpt >= persist.cfg.checkpoint_every.max(1);
-            outcome = self.push_to_shard(shard, p);
-        }
-        if checkpoint_due {
-            self.maybe_checkpoint(&persist);
-        }
-        outcome
-    }
-
-    fn push_to_shard(&self, shard: usize, p: CollectedPacket) -> IngestOutcome {
-        match self.shards[shard].push_packet(p) {
-            PushOutcome::Queued => {
-                self.stats.ingested.fetch_add(1, Ordering::Relaxed);
-                OBS_INGESTED.inc();
-                IngestOutcome::Accepted
-            }
-            PushOutcome::DroppedOldest => {
-                self.stats.ingested.fetch_add(1, Ordering::Relaxed);
-                OBS_INGESTED.inc();
-                self.stats
-                    .backpressure_dropped
-                    .fetch_add(1, Ordering::Relaxed);
-                OBS_BACKPRESSURE.inc();
-                IngestOutcome::AcceptedDroppingOldest
-            }
-            PushOutcome::Closed => IngestOutcome::Closed,
-        }
+        self.core.ingest(p)
     }
 
     /// Decodes the frame at the start of `buf` and ingests it, returning
@@ -850,7 +1534,7 @@ impl SinkService {
     /// `malformed_frames`).
     pub fn ingest_frame(&self, buf: &[u8]) -> Result<(IngestOutcome, usize), WireError> {
         match wire::decode_packet(buf) {
-            Ok((p, used)) => Ok((self.ingest(p), used)),
+            Ok((p, used)) => Ok((self.core.ingest(p), used)),
             Err(e) => {
                 self.note_malformed_frame();
                 Err(e)
@@ -861,74 +1545,96 @@ impl SinkService {
     /// Counts a frame the transport layer failed to decode (used by the
     /// TCP server, whose framing errors never construct a record).
     pub fn note_malformed_frame(&self) {
-        self.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .stats
+            .malformed_frames
+            .fetch_add(1, Ordering::Relaxed);
         OBS_MALFORMED.inc();
     }
 
     /// Barrier: flushes every shard estimator (`try_finish`) and returns
     /// once all queued records before the barrier are reconstructed.
     pub fn drain(&self) {
-        self.barrier(ShardMsg::Drain);
+        self.core.barrier(ShardMsg::Drain);
     }
 
     /// Early-emission hook: asks every shard to commit the oldest half
     /// of its buffer now (`try_flush_now`) and waits for the acks.
     pub fn flush_partial(&self) {
-        self.barrier(ShardMsg::Flush);
-    }
-
-    fn barrier(&self, make: fn(SyncSender<()>) -> ShardMsg) {
-        let mut acks = Vec::with_capacity(self.shards.len());
-        for q in &self.shards {
-            let (tx, rx) = std::sync::mpsc::sync_channel(1);
-            if q.push_control(make(tx)) {
-                acks.push(rx);
-            }
-        }
-        for rx in acks {
-            // A worker that died (poisoned panic) drops its sender; the
-            // barrier then returns instead of hanging.
-            let _ = rx.recv();
-        }
+        self.core.barrier(ShardMsg::Flush);
     }
 
     /// Current counter values.
     pub fn stats(&self) -> SinkStatsSnapshot {
-        self.stats.snapshot()
+        self.core.stats.snapshot()
     }
 
     /// Point-in-time service view: counters plus per-node summaries.
     pub fn snapshot(&self) -> SinkSnapshot {
-        let store = lock_or_recover(&self.store);
-        let mut nodes: Vec<NodeDelaySummary> = store
-            .node_stats
-            .iter()
-            .map(|(&node, s)| NodeDelaySummary {
-                node,
-                count: s.count(),
-                mean_ms: s.mean(),
-                min_ms: s.min().unwrap_or(0.0),
-                max_ms: s.max().unwrap_or(0.0),
-            })
-            .collect();
-        nodes.sort_by_key(|n| n.node);
-        SinkSnapshot {
-            stats: self.stats.snapshot(),
-            retained_packets: store.packets.len(),
-            nodes,
+        self.core.snapshot()
+    }
+
+    /// Current durability health (always `Healthy` on a volatile
+    /// service — there is nothing to degrade).
+    pub fn health(&self) -> SinkHealth {
+        self.core
+            .persist
+            .as_deref()
+            .map(Persistence::health)
+            .unwrap_or_default()
+    }
+
+    /// Full degradation/watchdog accounting (see [`HealthStatus`]).
+    pub fn health_status(&self) -> HealthStatus {
+        let core = &self.core;
+        let (health, degraded_entries, heals, store_errors, unjournaled, backlogged) =
+            match core.persist.as_deref() {
+                Some(p) => (
+                    p.health(),
+                    p.degraded_entries.load(Ordering::Relaxed),
+                    p.heals.load(Ordering::Relaxed),
+                    p.store_errors.load(Ordering::Relaxed),
+                    p.unjournaled.load(Ordering::Relaxed),
+                    lock_or_recover(&p.results).backlog.len(),
+                ),
+                None => (SinkHealth::Healthy, 0, 0, 0, 0, 0),
+            };
+        HealthStatus {
+            health,
+            degraded_entries,
+            heals,
+            store_errors,
+            unjournaled,
+            backlogged,
+            watchdog_restarts: core.watchdog_restarts.load(Ordering::Relaxed),
+            watchdog_dropped: core.stats.watchdog_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Chaos hook (tests and the `domo-exp chaos` soak): the next
+    /// `after` packets dequeued by shard `shard`'s worker pass through,
+    /// then the worker panics — exercising the watchdog restart path
+    /// deterministically. Out-of-range shards are ignored.
+    #[doc(hidden)]
+    pub fn chaos_panic_shard(&self, shard: usize, after: u64) {
+        if let Some(cell) = self.core.chaos_panics.get(shard) {
+            cell.store(after.min(CHAOS_DISARMED - 1), Ordering::Relaxed);
         }
     }
 
     /// The retained reconstruction of one packet, if it has been emitted
     /// and not yet evicted.
     pub fn reconstruction(&self, pid: PacketId) -> Option<StoredReconstruction> {
-        lock_or_recover(&self.store).packets.get(&pid).cloned()
+        lock_or_recover(&self.core.store).packets.get(&pid).cloned()
     }
 
     /// Durability status, or `None` when the service runs in-memory.
     pub fn store_status(&self) -> Option<StoreStatus> {
-        self.persist.as_ref().map(|p| {
-            let wal = lock_or_recover(&p.walstate).wal.stats();
+        self.core.persist.as_ref().map(|p| {
+            let (wal, dedup_pids) = {
+                let ws = lock_or_recover(&p.walstate);
+                (ws.wal.stats(), ws.seen.len())
+            };
             let results = lock_or_recover(&p.results).store.stats();
             StoreStatus {
                 data_dir: p.cfg.data_dir.clone(),
@@ -936,6 +1642,8 @@ impl SinkService {
                 wal,
                 results,
                 last_checkpoint_lsn: p.last_checkpoint_lsn.load(Ordering::Relaxed),
+                checkpoints_on_disk: p.checkpoints.count().unwrap_or(0),
+                dedup_pids,
                 recovery: *lock_or_recover(&p.recovery),
             }
         })
@@ -944,7 +1652,10 @@ impl SinkService {
     /// What recovery found when this service was opened, or `None` when
     /// durability is disabled.
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
-        self.persist.as_ref().map(|p| *lock_or_recover(&p.recovery))
+        self.core
+            .persist
+            .as_ref()
+            .map(|p| *lock_or_recover(&p.recovery))
     }
 
     /// Every persisted reconstruction whose generation time (ms) falls
@@ -962,7 +1673,7 @@ impl SinkService {
         lo_ms: f64,
         hi_ms: f64,
     ) -> std::io::Result<Vec<(PacketId, StoredReconstruction)>> {
-        let Some(p) = &self.persist else {
+        let Some(p) = &self.core.persist else {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Unsupported,
                 "durability is disabled (no data dir); RANGE needs --data-dir",
@@ -981,275 +1692,214 @@ impl SinkService {
 
     /// Forces a checkpoint right now and returns the WAL cut it covers.
     /// Serialized against concurrent checkpoints (including the
-    /// automatic every-N-appends trigger).
+    /// automatic every-N-appends trigger and the watchdog).
     ///
     /// # Errors
     ///
-    /// `Unsupported` when durability is disabled; filesystem failures,
-    /// or an aborted barrier if a shard worker has died.
+    /// `Unsupported` when durability is disabled or dropped; filesystem
+    /// failures (which engage the store-error policy); `Interrupted`
+    /// when the barrier aborted because a shard worker died.
     pub fn checkpoint_now(&self) -> std::io::Result<u64> {
-        let Some(persist) = self.persist.clone() else {
+        let Some(persist) = self.core.persist.clone() else {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::Unsupported,
                 "durability is disabled (no data dir); CHECKPOINT needs --data-dir",
             ));
         };
         let _guard = lock_or_recover(&persist.ckpt_guard);
-        self.checkpoint_locked(&persist)
-    }
-
-    /// The automatic trigger: skips (rather than queues) when another
-    /// checkpoint is already running.
-    fn maybe_checkpoint(&self, persist: &Persistence) {
-        let Ok(_guard) = persist.ckpt_guard.try_lock() else {
-            return;
-        };
-        if let Err(e) = self.checkpoint_locked(persist) {
-            OBS_PERSIST_ERRORS.inc();
-            domo_obs::warn!(
-                target: "domo_sink::persist",
-                "checkpoint failed",
-                error = e.to_string(),
-            );
+        let out = self.core.checkpoint_locked(&persist);
+        if let Err(e) = &out {
+            note_checkpoint_failure(&persist, e);
         }
-    }
-
-    /// The checkpoint protocol. Caller holds `ckpt_guard`.
-    ///
-    /// Phase 1 takes the WAL lock, syncs, fixes the cut `C`, captures
-    /// the dedup set and counters, and enqueues a snapshot barrier on
-    /// every shard — all before any further append can interleave, so
-    /// everything captured corresponds exactly to records with
-    /// `lsn < C`. Phase 2 collects the shard snapshots; each worker
-    /// parks after answering, freezing emissions. Phase 3 captures the
-    /// per-node summaries (frozen, since only workers write them) and
-    /// serializes. Phase 4 releases the workers. Phase 5 syncs the
-    /// result log, atomically persists the checkpoint, and compacts the
-    /// WAL below `C`.
-    fn checkpoint_locked(&self, persist: &Persistence) -> std::io::Result<u64> {
-        let (cut, seen, counters, barriers) = {
-            let mut ws = lock_or_recover(&persist.walstate);
-            ws.wal.sync()?;
-            let cut = ws.wal.next_lsn();
-            let seen: Vec<PacketId> = ws.seen.iter().copied().collect();
-            let s = self.stats.snapshot();
-            let counters = [
-                s.ingested,
-                s.emitted,
-                s.quarantined,
-                s.malformed_frames,
-                s.backpressure_dropped,
-                s.estimator_errors,
-            ];
-            let mut barriers = Vec::with_capacity(self.shards.len());
-            for q in &self.shards {
-                let (snap_tx, snap_rx) = std::sync::mpsc::sync_channel(1);
-                let (rel_tx, rel_rx) = std::sync::mpsc::sync_channel::<()>(1);
-                if q.push_control(ShardMsg::Snapshot(snap_tx, rel_rx)) {
-                    barriers.push((snap_rx, rel_tx));
-                }
-            }
-            ws.appends_since_ckpt = 0;
-            (cut, seen, counters, barriers)
-        };
-
-        let mut snaps = Vec::with_capacity(barriers.len());
-        let mut releases = Vec::with_capacity(barriers.len());
-        for (snap_rx, rel_tx) in barriers {
-            if let Ok(s) = snap_rx.recv() {
-                snaps.push(s);
-            }
-            releases.push(rel_tx);
-        }
-        let payload = if snaps.len() == self.shards.len() {
-            let node_stats: Vec<(NodeId, domo_util::running::RunningParts)> = {
-                let st = lock_or_recover(&self.store);
-                st.node_stats
-                    .iter()
-                    .map(|(&node, s)| (node, s.to_parts()))
-                    .collect()
-            };
-            let state = CheckpointState {
-                shards: snaps,
-                counters,
-                seen,
-                node_stats,
-            };
-            persist::encode_checkpoint(&state)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
-        } else {
-            Err(std::io::Error::other(
-                "a shard worker is gone; checkpoint aborted",
-            ))
-        };
-        // Workers resume whatever the outcome — the barrier must never
-        // outlive its reason.
-        for rel in releases {
-            let _ = rel.send(());
-        }
-        let payload = payload?;
-
-        // Results the checkpoint claims emitted must be durable before
-        // the checkpoint itself is.
-        lock_or_recover(&persist.results).store.sync()?;
-        persist.checkpoints.save(cut, &payload)?;
-        lock_or_recover(&persist.walstate).wal.compact_upto(cut)?;
-        persist.last_checkpoint_lsn.store(cut, Ordering::Relaxed);
-        OBS_CHECKPOINTS.inc();
-        domo_obs::info!(
-            target: "domo_sink::persist",
-            "checkpoint written",
-            covered = cut,
-            bytes = payload.len(),
-        );
-        Ok(cut)
+        out
     }
 
     /// Closes the shard queues (records already queued are still
-    /// reconstructed, each shard runs a final flush) and joins the
-    /// workers. With durability on, a final checkpoint is written first
-    /// (while the workers can still answer the barrier) and the WAL and
-    /// result log are synced after the last flush, so a clean shutdown
-    /// restarts with only the post-checkpoint tail to replay.
-    /// Idempotent; later `ingest` calls return
-    /// [`IngestOutcome::Closed`].
+    /// reconstructed, each shard runs a final flush), stops the
+    /// watchdog, and joins the workers. With durability on, a final
+    /// checkpoint is written first (while the workers can still answer
+    /// the barrier) and the WAL and result log are synced after the
+    /// last flush, so a clean shutdown restarts with only the
+    /// post-checkpoint tail to replay. Idempotent; later `ingest` calls
+    /// return [`IngestOutcome::Closed`].
     pub fn shutdown(&self) -> SinkSnapshot {
-        let have_workers = !lock_or_recover(&self.workers).is_empty();
+        let core = &self.core;
+        let have_workers = lock_or_recover(&core.workers).iter().any(Option::is_some);
         if have_workers {
-            if let Some(persist) = self.persist.clone() {
+            if let Some(persist) = core.persist.clone() {
                 let _guard = lock_or_recover(&persist.ckpt_guard);
-                if let Err(e) = self.checkpoint_locked(&persist) {
-                    OBS_PERSIST_ERRORS.inc();
-                    domo_obs::warn!(
-                        target: "domo_sink::persist",
-                        "shutdown checkpoint failed",
-                        error = e.to_string(),
-                    );
+                if let Err(e) = core.checkpoint_locked(&persist) {
+                    note_checkpoint_failure(&persist, &e);
                 }
             }
         }
-        for q in &self.shards {
-            q.close();
-        }
-        let handles: Vec<JoinHandle<()>> = lock_or_recover(&self.workers).drain(..).collect();
-        for h in handles {
-            let _ = h.join();
-        }
-        self.sync_storage();
-        self.snapshot()
+        self.stop_threads();
+        core.sync_storage();
+        core.snapshot()
     }
 
-    /// Best-effort final fsync of the WAL and result log.
-    fn sync_storage(&self) {
-        if let Some(persist) = &self.persist {
-            if let Err(e) = lock_or_recover(&persist.walstate).wal.sync() {
-                OBS_PERSIST_ERRORS.inc();
-                domo_obs::warn!(
-                    target: "domo_sink::persist",
-                    "final wal sync failed",
-                    error = e.to_string(),
-                );
-            }
-            if let Err(e) = lock_or_recover(&persist.results).store.sync() {
-                OBS_PERSIST_ERRORS.inc();
-                domo_obs::warn!(
-                    target: "domo_sink::persist",
-                    "final result sync failed",
-                    error = e.to_string(),
-                );
-            }
+    /// Stops the watchdog (first, so a naturally-exiting worker is not
+    /// "restarted"), closes the queues, and joins every worker.
+    fn stop_threads(&self) {
+        let core = &self.core;
+        core.closing.store(true, Ordering::Relaxed);
+        if let Some(wd) = lock_or_recover(&self.watchdog).take() {
+            wd.thread().unpark();
+            let _ = wd.join();
+        }
+        for q in &core.shards {
+            q.close();
+        }
+        let handles: Vec<JoinHandle<()>> = lock_or_recover(&core.workers)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for h in handles {
+            let _ = h.join();
         }
     }
 }
 
 impl Drop for SinkService {
     fn drop(&mut self) {
-        for q in &self.shards {
-            q.close();
-        }
-        let handles: Vec<JoinHandle<()>> = lock_or_recover(&self.workers).drain(..).collect();
-        for h in handles {
-            let _ = h.join();
-        }
+        self.stop_threads();
         // No checkpoint here — the barrier needs live workers, and
         // `shutdown` is the graceful path. Recovery replays whatever a
         // drop-without-shutdown left in the WAL.
-        self.sync_storage();
+        self.core.sync_storage();
     }
 }
 
+/// Folds one emission batch into the shared state. Re-emissions (a
+/// watchdog replay re-solving already-counted packets) are idempotent:
+/// `emitted_pids` gates the node-stat attribution, the persisted
+/// result, and the `emitted` counter; the reconstruction cache is
+/// simply overwritten with the identical value.
 fn record_batch(
+    core: &Core,
+    shard: usize,
     batch: &[ReconstructedPacket],
     pending_paths: &mut HashMap<PacketId, Vec<NodeId>>,
-    max_retained: usize,
-    stats: &StatsCells,
-    store: &Mutex<Store>,
-    persist: Option<&Persistence>,
 ) {
     if batch.is_empty() {
         return;
     }
-    let mut st = lock_or_recover(store);
-    for r in batch {
-        let Some(path) = pending_paths.remove(&r.pid) else {
-            continue; // foreign emission; nothing to attribute
-        };
-        for (i, w) in r.hop_times_ms.windows(2).enumerate() {
-            let sojourn = (w[1] - w[0]).max(0.0);
-            if sojourn.is_finite() {
-                st.node_stats.entry(path[i]).or_default().push(sojourn);
+    let mut fresh_emissions = 0u64;
+    {
+        let mut st = lock_or_recover(&core.store);
+        for r in batch {
+            let Some(path) = pending_paths.remove(&r.pid) else {
+                continue; // foreign emission; nothing to attribute
+            };
+            let fresh = st.emitted_pids.insert(r.pid);
+            if fresh {
+                for (i, w) in r.hop_times_ms.windows(2).enumerate() {
+                    let sojourn = (w[1] - w[0]).max(0.0);
+                    if sojourn.is_finite() {
+                        st.node_stats.entry(path[i]).or_default().push(sojourn);
+                    }
+                }
+            }
+            let rec = StoredReconstruction {
+                path,
+                hop_times_ms: r.hop_times_ms.clone(),
+            };
+            if fresh {
+                if let Some(p) = core.persist.as_deref() {
+                    persist_result(p, r.pid, &rec);
+                }
+                fresh_emissions += 1;
+            }
+            if st.packets.len() >= core.max_retained && !st.packets.contains_key(&r.pid) {
+                if let Some(old) = st.insertion_order.pop_front() {
+                    st.packets.remove(&old);
+                }
+            }
+            if st.packets.insert(r.pid, rec).is_none() {
+                st.insertion_order.push_back(r.pid);
             }
         }
-        let rec = StoredReconstruction {
-            path,
-            hop_times_ms: r.hop_times_ms.clone(),
-        };
-        if let Some(p) = persist {
-            // The persisted-pid index gates the append: a recovery
-            // replay re-emits deterministically identical results for
-            // packets that were already persisted before the crash, and
-            // those must not be written twice.
+    }
+    // Separate lock window: the watchdog takes inflight before store,
+    // so holding both here would invert the order.
+    {
+        let mut infl = lock_or_recover(&core.inflight[shard]);
+        for r in batch {
+            infl.remove(&r.pid);
+        }
+    }
+    core.stats
+        .emitted
+        .fetch_add(fresh_emissions, Ordering::Relaxed);
+    OBS_EMITTED.add(fresh_emissions);
+}
+
+/// Persists one freshly emitted reconstruction, honoring the
+/// durability state machine: healthy appends directly (an append
+/// failure engages the policy and falls back to the backlog),
+/// degraded/healing backlogs in memory, dropped/failed discards. The
+/// `persisted` index gates every path so no pid is ever written twice.
+fn persist_result(p: &Persistence, pid: PacketId, rec: &StoredReconstruction) {
+    let t = rec.hop_times_ms.first().copied().unwrap_or(0.0);
+    match p.health() {
+        SinkHealth::Healthy => {
             let mut rs = lock_or_recover(&p.results);
-            if rs.persisted.insert(r.pid) {
-                let t = r.hop_times_ms.first().copied().unwrap_or(0.0);
-                let bytes = persist::encode_result(r.pid, &rec);
+            if rs.persisted.insert(pid) {
+                let bytes = persist::encode_result(pid, rec);
                 if let Err(e) = rs.store.append(t, &bytes) {
-                    rs.persisted.remove(&r.pid);
-                    OBS_PERSIST_ERRORS.inc();
-                    domo_obs::warn!(
-                        target: "domo_sink::persist",
-                        "result append failed",
-                        error = e.to_string(),
-                    );
+                    p.note_store_error("result append", &e);
+                    if matches!(p.health(), SinkHealth::Degraded | SinkHealth::Healing) {
+                        // Keep the pid reserved; the checkpoint backlog
+                        // flush writes it once the store heals.
+                        rs.backlog.push_back((pid, t, bytes));
+                    } else {
+                        rs.persisted.remove(&pid);
+                    }
                 }
             }
         }
-        if st.packets.len() >= max_retained && !st.packets.contains_key(&r.pid) {
-            if let Some(old) = st.insertion_order.pop_front() {
-                st.packets.remove(&old);
+        SinkHealth::Degraded | SinkHealth::Healing => {
+            let mut rs = lock_or_recover(&p.results);
+            if rs.persisted.insert(pid) {
+                rs.backlog
+                    .push_back((pid, t, persist::encode_result(pid, rec)));
             }
         }
-        if st.packets.insert(r.pid, rec).is_none() {
-            st.insertion_order.push_back(r.pid);
-        }
+        SinkHealth::Dropped | SinkHealth::Failed => {}
     }
-    stats
-        .emitted
-        .fetch_add(batch.len() as u64, Ordering::Relaxed);
-    OBS_EMITTED.add(batch.len() as u64);
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    queue: &ShardQueue,
-    est_cfg: EstimatorConfig,
-    high_water: Option<usize>,
-    initial: Option<StreamingSnapshot>,
-    max_retained: usize,
-    stats: &StatsCells,
-    store: &Mutex<Store>,
-    persist: Option<&Persistence>,
-) {
+/// Chaos hook: decrements the shard's armed countdown and panics when
+/// it hits zero. Called with **no locks held**, immediately after the
+/// dequeue, so an injected panic poisons nothing and models a worker
+/// dying mid-record (the in-hand packet is lost with it).
+fn chaos_maybe_panic(core: &Core, shard: usize) {
+    let cell = &core.chaos_panics[shard];
+    loop {
+        let v = cell.load(Ordering::Relaxed);
+        if v == CHAOS_DISARMED {
+            return;
+        }
+        if v == 0 {
+            panic!("chaos: injected shard-{shard} worker panic");
+        }
+        if cell
+            .compare_exchange(v, v - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+    }
+}
+
+fn spawn_worker(core: &Arc<Core>, shard: usize, initial: Option<StreamingSnapshot>) {
+    let c = Arc::clone(core);
+    let handle = std::thread::spawn(move || worker_loop(&c, shard, initial));
+    lock_or_recover(&core.workers)[shard] = Some(handle);
+}
+
+fn worker_loop(core: &Arc<Core>, shard: usize, initial: Option<StreamingSnapshot>) {
+    let queue = Arc::clone(&core.shards[shard]);
     let mut pending_paths: HashMap<PacketId, Vec<NodeId>> = HashMap::new();
     let mut est = match initial {
         Some(snap) => {
@@ -1258,47 +1908,35 @@ fn worker_loop(
             for p in &snap.buffer {
                 pending_paths.insert(p.pid, p.path.clone());
             }
-            StreamingEstimator::from_snapshot(est_cfg, snap)
+            StreamingEstimator::from_snapshot(core.est_cfg.clone(), snap)
         }
         None => {
-            let mut e = StreamingEstimator::new(est_cfg);
-            if let Some(hw) = high_water {
+            let mut e = StreamingEstimator::new(core.est_cfg.clone());
+            if let Some(hw) = core.high_water {
                 e = e.with_high_water(hw);
             }
             e
         }
     };
     while let Some(msg) = queue.pop() {
+        core.heartbeats[shard].fetch_add(1, Ordering::Relaxed);
         match msg {
             ShardMsg::Packet(p) => {
+                chaos_maybe_panic(core, shard);
                 pending_paths.insert(p.pid, p.path.clone());
                 match est.try_push(p) {
-                    Ok(batch) => record_batch(
-                        &batch,
-                        &mut pending_paths,
-                        max_retained,
-                        stats,
-                        store,
-                        persist,
-                    ),
+                    Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
                     Err(_) => {
-                        stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+                        core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
                     }
                 }
             }
             ShardMsg::Drain(ack) => {
                 match est.try_finish() {
-                    Ok(batch) => record_batch(
-                        &batch,
-                        &mut pending_paths,
-                        max_retained,
-                        stats,
-                        store,
-                        persist,
-                    ),
+                    Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
                     Err(_) => {
-                        stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+                        core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
                     }
                 }
@@ -1306,16 +1944,9 @@ fn worker_loop(
             }
             ShardMsg::Flush(ack) => {
                 match est.try_flush_now() {
-                    Ok(batch) => record_batch(
-                        &batch,
-                        &mut pending_paths,
-                        max_retained,
-                        stats,
-                        store,
-                        persist,
-                    ),
+                    Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
                     Err(_) => {
-                        stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+                        core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
                     }
                 }
@@ -1332,17 +1963,174 @@ fn worker_loop(
     }
     // Queue closed: flush whatever the shard still buffers.
     match est.try_finish() {
-        Ok(batch) => record_batch(
-            &batch,
-            &mut pending_paths,
-            max_retained,
-            stats,
-            store,
-            persist,
-        ),
+        Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
         Err(_) => {
-            stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
+            core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
             OBS_EST_ERRORS.inc();
+        }
+    }
+}
+
+/// Rebuilds a dead shard from the last checkpoint and restarts its
+/// worker. The estimator must see the **exact** push sequence the dead
+/// worker saw since that checkpoint — sequence determinism is what
+/// makes restarted output bit-identical — so the replay is the full
+/// WAL suffix for this shard (minus backpressure-shed pids), followed
+/// by whatever was still queued un-journaled. Packets the dead worker
+/// consumed that exist nowhere durable are counted `watchdog_dropped`.
+fn restart_shard(core: &Arc<Core>, shard: usize) {
+    if core.closing.load(Ordering::Relaxed) {
+        return;
+    }
+    // Reap the dead worker before touching state (its panic already
+    // happened; join cannot block).
+    if let Some(h) = lock_or_recover(&core.workers)[shard].take() {
+        let _ = h.join();
+    }
+    // Freeze checkpoints and (durable) ingest while state is rebuilt;
+    // lock order matches ingest: ckpt_guard → walstate → inflight.
+    let persist = core.persist.as_deref();
+    let _ckpt_guard = persist.map(|p| lock_or_recover(&p.ckpt_guard));
+    let ws_guard = persist.map(|p| lock_or_recover(&p.walstate));
+    let mut infl = lock_or_recover(&core.inflight[shard]);
+    if core.closing.load(Ordering::Relaxed) {
+        return;
+    }
+    let purged = core.shards[shard].purge_packets();
+    let (cut, snap) = {
+        let lc = lock_or_recover(&core.last_ckpt);
+        (lc.0, lc.1.get(shard).cloned().flatten())
+    };
+    // `covered` = pids the restart resurrects: the snapshot buffer, the
+    // WAL suffix, the purged queue. Insertion order into `requeue` is
+    // WAL order (== original push order), then un-journaled stragglers.
+    let mut covered: HashSet<PacketId> = snap
+        .iter()
+        .flat_map(|s| s.buffer.iter().map(|p| p.pid))
+        .collect();
+    let mut requeue: Vec<CollectedPacket> = Vec::new();
+    if let (Some(p), Some(ws)) = (persist, ws_guard.as_ref()) {
+        match ws.wal.records_from(cut) {
+            Ok(records) => {
+                let dropped = lock_or_recover(&core.dropped_pids);
+                for (_lsn, payload) in &records {
+                    let Ok((pkt, _)) = wire::decode_packet(payload) else {
+                        continue;
+                    };
+                    let Some(root) = pkt.subtree_root() else {
+                        continue;
+                    };
+                    if root.index() % core.shards.len() != shard {
+                        continue;
+                    }
+                    if dropped.contains(&pkt.pid) {
+                        continue;
+                    }
+                    if covered.insert(pkt.pid) {
+                        requeue.push(pkt);
+                    }
+                }
+            }
+            Err(e) => p.note_store_error("watchdog wal replay", &e),
+        }
+    }
+    for pkt in purged {
+        // Journaled queued packets are already in the WAL requeue
+        // above; only un-journaled (degraded-mode or volatile) queue
+        // residents land here.
+        if covered.insert(pkt.pid) {
+            requeue.push(pkt);
+        }
+    }
+    // Anything in flight that neither the snapshot, the WAL, nor the
+    // queue can resurrect died with the worker — count it (unless it
+    // already emitted, in which case nothing was lost).
+    let mut lost = 0u64;
+    {
+        let st = lock_or_recover(&core.store);
+        infl.retain(|pid| {
+            if covered.contains(pid) {
+                true
+            } else {
+                if !st.emitted_pids.contains(pid) {
+                    lost += 1;
+                }
+                false
+            }
+        });
+    }
+    if lost > 0 {
+        core.stats
+            .watchdog_dropped
+            .fetch_add(lost, Ordering::Relaxed);
+        OBS_WD_DROPPED.add(lost);
+    }
+    let replay_len = requeue.len();
+    core.shards[shard].prepend_packets(requeue);
+    core.chaos_panics[shard].store(CHAOS_DISARMED, Ordering::Relaxed);
+    core.watchdog_restarts.fetch_add(1, Ordering::Relaxed);
+    OBS_WD_RESTARTS.inc();
+    domo_obs::warn!(
+        target: "domo_sink::watchdog",
+        "shard worker died; restarted from last checkpoint",
+        shard = shard,
+        replayed = replay_len,
+        lost = lost,
+    );
+    drop(infl);
+    drop(ws_guard);
+    spawn_worker(core, shard, snap);
+}
+
+/// The watchdog thread: polls worker liveness, exports heartbeat and
+/// stall gauges, and restarts dead workers. Stalls (heartbeat frozen
+/// with work queued) are reported, never killed — only an actually
+/// finished (panicked) worker thread is replaced.
+fn watchdog_loop(core: &Arc<Core>) {
+    let recorder = domo_obs::Recorder::global();
+    let shards = core.shards.len();
+    let mut hb_gauges = Vec::with_capacity(shards);
+    let mut stall_gauges = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+        hb_gauges.push(recorder.gauge("domo_sink_worker_heartbeat", labels));
+        stall_gauges.push(recorder.gauge("domo_sink_worker_stalled", labels));
+    }
+    let mut last: Vec<(u64, Instant)> = (0..shards)
+        .map(|i| (core.heartbeats[i].load(Ordering::Relaxed), Instant::now()))
+        .collect();
+    let mut was_stalled = vec![false; shards];
+    loop {
+        std::thread::park_timeout(WATCHDOG_POLL);
+        if core.closing.load(Ordering::Relaxed) {
+            return;
+        }
+        for shard in 0..shards {
+            let hb = core.heartbeats[shard].load(Ordering::Relaxed);
+            hb_gauges[shard].set(hb as f64);
+            if hb != last[shard].0 {
+                last[shard] = (hb, Instant::now());
+            }
+            let stalled = last[shard].1.elapsed() >= STALL_AFTER && core.shards[shard].queued() > 0;
+            stall_gauges[shard].set(if stalled { 1.0 } else { 0.0 });
+            if stalled && !was_stalled[shard] {
+                domo_obs::warn!(
+                    target: "domo_sink::watchdog",
+                    "shard worker appears stalled",
+                    shard = shard,
+                    queued = core.shards[shard].queued(),
+                );
+            }
+            was_stalled[shard] = stalled;
+            if core.worker_finished(shard) {
+                restart_shard(core, shard);
+                last[shard] = (
+                    core.heartbeats[shard].load(Ordering::Relaxed),
+                    Instant::now(),
+                );
+                was_stalled[shard] = false;
+            }
         }
     }
 }
@@ -1684,6 +2472,221 @@ mod tests {
             Err(e) => e,
         };
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn volatile_service_reports_healthy_zeros() {
+        let service = SinkService::start(SinkConfig::default());
+        assert_eq!(service.health(), SinkHealth::Healthy);
+        assert_eq!(service.health_status(), HealthStatus::default());
+        assert_eq!(service.stats().watchdog_dropped, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn store_faults_degrade_then_heal_without_losing_results() {
+        let trace = run_simulation(&NetworkConfig::small(9, 924));
+        let dir = store_dir("degrade");
+        let mut store = StoreConfig::at(&dir);
+        store.checkpoint_every = u64::MAX; // only heal probes checkpoint
+        store.probe_every = 1;
+        // Every mutating op in the window [20, 40) fails — the service
+        // must degrade, keep reconstructing, probe, and heal once the
+        // window passes.
+        store.faults = Some(domo_store::FaultPlan {
+            eio: 1.0,
+            fsync: 1.0,
+            after_ops: 20,
+            for_ops: 20,
+            ..domo_store::FaultPlan::default()
+        });
+        let service = SinkService::open(SinkConfig {
+            shards: 1,
+            store: Some(store),
+            ..SinkConfig::default()
+        })
+        .expect("opens clean (fault window starts later)");
+        for p in &trace.packets {
+            match service.ingest(p.clone()) {
+                IngestOutcome::Accepted | IngestOutcome::AcceptedDroppingOldest => {}
+                other => panic!("faults must never reject ingest: {other:?}"),
+            }
+        }
+        service.drain();
+        let hs = service.health_status();
+        assert_eq!(hs.health, SinkHealth::Healthy, "must heal: {hs:?}");
+        assert!(hs.degraded_entries >= 1, "must have degraded: {hs:?}");
+        assert!(hs.heals >= 1, "must have healed: {hs:?}");
+        assert!(hs.store_errors >= 1);
+        assert!(hs.unjournaled >= 1, "degraded records are un-journaled");
+        assert_eq!(service.stats().emitted, trace.packets.len() as u64);
+        // Healing flushed the backlog: every result is on disk.
+        service.checkpoint_now().expect("healthy checkpoint");
+        assert_eq!(service.health_status().backlogged, 0);
+        let status = service.store_status().expect("store enabled");
+        assert_eq!(status.results.records, trace.packets.len() as u64);
+        service.shutdown();
+
+        // Reopen without faults: recovered state is complete (the heal
+        // checkpoint covered the un-journaled hole) and bit-identical.
+        let second = SinkService::open(durable_cfg(&dir, 1)).expect("reopens");
+        let reference = baseline(&trace, 1);
+        for p in &trace.packets {
+            let got = second.reconstruction(p.pid).expect("recovered");
+            let want = reference.reconstruction(p.pid).expect("baseline");
+            let a: Vec<u64> = got.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = want.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "post-heal recovery must be bit-identical");
+        }
+        reference.shutdown();
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_restarts_a_panicked_shard_and_accounts_for_losses() {
+        let trace = run_simulation(&NetworkConfig::small(9, 925));
+        // Volatile, one shard, no flushing before the panic: the 10
+        // buffered packets plus the one in hand die with the worker and
+        // nothing can resurrect them.
+        let service = SinkService::start(SinkConfig {
+            shards: 1,
+            high_water: Some(10 * trace.packets.len()),
+            ..SinkConfig::default()
+        });
+        service.chaos_panic_shard(0, 10);
+        for p in &trace.packets {
+            match service.ingest(p.clone()) {
+                IngestOutcome::Accepted | IngestOutcome::AcceptedDroppingOldest => {}
+                other => panic!("a dead worker must not reject ingest: {other:?}"),
+            }
+        }
+        service.drain();
+        let stats = service.stats();
+        let hs = service.health_status();
+        assert!(hs.watchdog_restarts >= 1, "watchdog must restart: {hs:?}");
+        assert_eq!(stats.watchdog_dropped, 11, "10 buffered + 1 in hand");
+        assert_eq!(stats.backpressure_dropped, 0);
+        assert_eq!(
+            stats.emitted,
+            trace.packets.len() as u64 - 11,
+            "everything the dead worker did not consume must emit"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn durable_watchdog_restart_replays_the_wal_bit_identically() {
+        let trace = run_simulation(&NetworkConfig::small(9, 926));
+        let half = trace.packets.len() / 2;
+        let dir = store_dir("wdreplay");
+        let mut store = StoreConfig::at(&dir);
+        store.checkpoint_every = u64::MAX; // checkpoints only on demand
+        let service = SinkService::open(SinkConfig {
+            shards: 1,
+            store: Some(store),
+            ..SinkConfig::default()
+        })
+        .expect("opens");
+        for p in &trace.packets[..half] {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        service.checkpoint_now().expect("mid-stream checkpoint");
+        // Kill the worker 5 packets into the second half: everything it
+        // consumed is journaled past the checkpoint cut, so the restart
+        // replays it and loses nothing.
+        service.chaos_panic_shard(0, 5);
+        for p in &trace.packets[half..] {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        let stats = service.stats();
+        let hs = service.health_status();
+        assert!(hs.watchdog_restarts >= 1, "watchdog must restart: {hs:?}");
+        assert_eq!(stats.watchdog_dropped, 0, "journaled packets never die");
+        assert_eq!(stats.emitted, trace.packets.len() as u64);
+        let status = service.store_status().expect("store enabled");
+        assert_eq!(
+            status.results.records,
+            trace.packets.len() as u64,
+            "re-emissions must not duplicate results"
+        );
+
+        // Reference replicates the mid-stream drain (it changes the
+        // estimator's window sequence).
+        let reference = SinkService::start(SinkConfig {
+            shards: 1,
+            ..SinkConfig::default()
+        });
+        for p in &trace.packets[..half] {
+            reference.ingest(p.clone());
+        }
+        reference.drain();
+        for p in &trace.packets[half..] {
+            reference.ingest(p.clone());
+        }
+        reference.drain();
+        for p in &trace.packets {
+            let got = service.reconstruction(p.pid).expect("emitted");
+            let want = reference.reconstruction(p.pid).expect("baseline");
+            let a: Vec<u64> = got.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = want.hop_times_ms.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "watchdog replay must be bit-identical");
+        }
+        reference.shutdown();
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_retention_and_dedup_stay_bounded_under_replay() {
+        let trace = run_simulation(&NetworkConfig::small(9, 927));
+        let dir = store_dir("bounded");
+        let mut store = StoreConfig::at(&dir);
+        store.checkpoint_every = 8; // many checkpoints per run
+        let service = SinkService::open(SinkConfig {
+            shards: 1,
+            store: Some(store),
+            ..SinkConfig::default()
+        })
+        .expect("opens");
+        for p in &trace.packets {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        service.checkpoint_now().expect("checkpoint");
+        let status = service.store_status().expect("store enabled");
+        assert!(
+            status.checkpoints_on_disk <= 2,
+            "retention must prune beyond KEEP=2, found {}",
+            status.checkpoints_on_disk
+        );
+        assert_eq!(status.dedup_pids, trace.packets.len());
+
+        // Sustained duplicate replay: the dedup set must not grow, and
+        // checkpoint retention must hold across repeated cycles.
+        for round in 0..3 {
+            for p in &trace.packets {
+                assert!(
+                    matches!(
+                        service.ingest(p.clone()),
+                        IngestOutcome::Quarantined(TraceError::DuplicateId)
+                    ),
+                    "round {round}: replayed duplicates must be quarantined"
+                );
+            }
+            service.checkpoint_now().expect("checkpoint");
+            let status = service.store_status().expect("store enabled");
+            assert_eq!(
+                status.dedup_pids,
+                trace.packets.len(),
+                "round {round}: dedup set must not grow under replay"
+            );
+            assert!(status.checkpoints_on_disk <= 2, "round {round}");
+        }
+        service.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -21,10 +21,10 @@
 //! falls back to its predecessor instead of failing recovery.
 
 use crate::fnv1a32;
+use crate::vfs::{RealIo, StoreIo};
 use domo_obs::LazyCounter;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// 8-byte magic opening every checkpoint file.
 pub const FILE_MAGIC: &[u8; 8] = b"DOMOCKP1";
@@ -49,15 +49,17 @@ pub struct LoadedCheckpoint {
 #[derive(Debug)]
 pub struct CheckpointStore {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
 }
 
 fn ckpt_path(dir: &Path, covered: u64) -> PathBuf {
     dir.join(format!("ckpt-{covered:016x}.bin"))
 }
 
-fn list(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
-    let mut out: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
+fn list(io: &dyn StoreIo, dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out: Vec<(u64, PathBuf)> = io
+        .list_dir(dir)?
+        .into_iter()
         .filter_map(|p| {
             let name = p.file_name()?.to_str()?;
             let hex = name.strip_prefix("ckpt-")?.strip_suffix(".bin")?;
@@ -75,16 +77,24 @@ impl CheckpointStore {
     ///
     /// Filesystem failures.
     pub fn open<P: AsRef<Path>>(dir: P) -> std::io::Result<Self> {
+        Self::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// [`CheckpointStore::open`] with an explicit I/O backend.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn open_with_io<P: AsRef<Path>>(dir: P, io: Arc<dyn StoreIo>) -> std::io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         // Leftover temp files are checkpoints that never committed.
-        for entry in std::fs::read_dir(&dir)? {
-            let p = entry?.path();
+        for p in io.list_dir(&dir)? {
             if p.extension().is_some_and(|e| e == "tmp") {
-                std::fs::remove_file(&p)?;
+                io.remove_file(&p)?;
             }
         }
-        Ok(Self { dir })
+        Ok(Self { dir, io })
     }
 
     /// Atomically persists `payload` as the checkpoint covering
@@ -103,25 +113,21 @@ impl CheckpointStore {
 
         let tmp = self.dir.join(format!("ckpt-{covered:016x}.tmp"));
         {
-            let mut f = OpenOptions::new()
-                .create(true)
-                .truncate(true)
-                .write(true)
-                .open(&tmp)?;
+            let mut f = self.io.create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_data()?;
         }
-        std::fs::rename(&tmp, ckpt_path(&self.dir, covered))?;
+        self.io.rename(&tmp, &ckpt_path(&self.dir, covered))?;
         // Persist the rename itself (directory entry) before claiming
         // durability.
-        File::open(&self.dir)?.sync_all()?;
+        self.io.sync_dir(&self.dir)?;
         OBS_SAVED.inc();
         OBS_BYTES.add(bytes.len() as u64);
 
-        let all = list(&self.dir)?;
+        let all = list(self.io.as_ref(), &self.dir)?;
         if all.len() > KEEP {
             for (_, path) in &all[..all.len() - KEEP] {
-                std::fs::remove_file(path)?;
+                self.io.remove_file(path)?;
             }
         }
         Ok(())
@@ -135,9 +141,8 @@ impl CheckpointStore {
     ///
     /// Filesystem failures while listing/reading.
     pub fn latest(&self) -> std::io::Result<Option<LoadedCheckpoint>> {
-        for (covered, path) in list(&self.dir)?.into_iter().rev() {
-            let mut bytes = Vec::new();
-            File::open(&path)?.read_to_end(&mut bytes)?;
+        for (covered, path) in list(self.io.as_ref(), &self.dir)?.into_iter().rev() {
+            let bytes = self.io.read(&path)?;
             if let Some(loaded) = validate(covered, &bytes) {
                 return Ok(Some(loaded));
             }
@@ -152,7 +157,7 @@ impl CheckpointStore {
     ///
     /// Filesystem failures while listing.
     pub fn count(&self) -> std::io::Result<usize> {
-        Ok(list(&self.dir)?.len())
+        Ok(list(self.io.as_ref(), &self.dir)?.len())
     }
 }
 

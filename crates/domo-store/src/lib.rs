@@ -22,12 +22,19 @@
 //!   time-range queries, and retention that drops the oldest sealed
 //!   segments.
 //!
+//! All three building blocks reach the filesystem through the [`vfs`]
+//! layer: a [`vfs::StoreIo`] trait with a real implementation and a
+//! seeded fault injector ([`vfs::FaultyIo`]) that turns EIO, ENOSPC,
+//! torn writes, failed fsyncs and latency stalls into deterministic,
+//! replayable storms — the substrate of the sink's degraded-mode state
+//! machine and the `domo-exp chaos` soak.
+//!
 //! The records themselves are opaque `&[u8]` payloads: this crate knows
 //! framing, durability, and indexing; the *meaning* of a record (wire
 //! frames, estimator snapshots, reconstructed hop times) belongs to the
-//! caller. That keeps the crate dependency-free (only `domo-obs`, for
-//! wal/checkpoint/compaction metrics) and reusable by any layer that
-//! needs journal-then-apply durability.
+//! caller. That keeps the crate nearly dependency-free (`domo-obs` for
+//! metrics, `domo-util` for the injector's seeded RNG) and reusable by
+//! any layer that needs journal-then-apply durability.
 //!
 //! # Example: journal, crash, recover
 //!
@@ -55,10 +62,12 @@
 
 pub mod checkpoint;
 pub mod results;
+pub mod vfs;
 pub mod wal;
 
 pub use checkpoint::CheckpointStore;
 pub use results::{ResultStore, ResultStoreConfig};
+pub use vfs::{FaultPlan, FaultyIo, RealIo, StoreIo};
 pub use wal::{Wal, WalConfig};
 
 /// FNV-1a, 32-bit — the same integrity check the sink's wire codec

@@ -24,11 +24,11 @@
 //! Opening truncates a torn tail exactly like the WAL does.
 
 use crate::fnv1a32;
+use crate::vfs::{RealIo, StoreFile, StoreIo};
 use crate::wal::{parse_record, FILE_MAGIC as WAL_FILE_MAGIC, RECORD_MAGIC, RECORD_OVERHEAD};
 use domo_obs::{LazyCounter, LazyGauge};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Records per sparse-index block.
 pub const BLOCK_RECORDS: usize = 64;
@@ -165,9 +165,10 @@ impl Segment {
 pub struct ResultStore {
     dir: PathBuf,
     cfg: ResultStoreConfig,
+    io: Arc<dyn StoreIo>,
     sealed: Vec<Segment>,
     active: Segment,
-    file: File,
+    file: Box<dyn StoreFile>,
     retired: u64,
 }
 
@@ -206,14 +207,28 @@ impl ResultStore {
     ///
     /// Filesystem failures only — corruption is truncated, not errored.
     pub fn open<P: AsRef<Path>>(dir: P, cfg: ResultStoreConfig) -> std::io::Result<(Self, u64)> {
+        Self::open_with_io(dir, cfg, Arc::new(RealIo))
+    }
+
+    /// [`ResultStore::open`] with an explicit I/O backend.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures only — corruption is truncated, not errored.
+    pub fn open_with_io<P: AsRef<Path>>(
+        dir: P,
+        cfg: ResultStoreConfig,
+        io: Arc<dyn StoreIo>,
+    ) -> std::io::Result<(Self, u64)> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        io.create_dir_all(&dir)?;
         let cfg = ResultStoreConfig {
             segment_bytes: cfg.segment_bytes.max(4096),
             ..cfg
         };
-        let mut names: Vec<(u64, PathBuf)> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
+        let mut names: Vec<(u64, PathBuf)> = io
+            .list_dir(&dir)?
+            .into_iter()
             .filter_map(|p| {
                 let name = p.file_name()?.to_str()?;
                 let hex = name.strip_prefix("res-")?.strip_suffix(".log")?;
@@ -224,15 +239,13 @@ impl ResultStore {
 
         let mut discarded = 0u64;
         let mut segments: Vec<Segment> = Vec::new();
-        let last = names.len().saturating_sub(1);
-        for (i, (seq, path)) in names.iter().enumerate() {
-            let mut buf = Vec::new();
-            File::open(path)?.read_to_end(&mut buf)?;
+        for (seq, path) in names.iter() {
+            let buf = io.read(path)?;
             if buf.len() < FILE_MAGIC.len() || &buf[..FILE_MAGIC.len()] != FILE_MAGIC {
                 // A sealed segment with a bad header is unrecoverable
                 // rot; results are derived data, so drop it and go on.
                 discarded += buf.len() as u64;
-                std::fs::remove_file(path)?;
+                io.remove_file(path)?;
                 continue;
             }
             let mut seg = Segment::fresh(path.clone(), *seq);
@@ -246,19 +259,11 @@ impl ResultStore {
                 at = next;
             }
             if (at as u64) < buf.len() as u64 {
+                // Torn tail on the newest segment, or corruption inside
+                // a sealed one: keep the valid prefix, truncate the
+                // rest.
                 discarded += buf.len() as u64 - at as u64;
-                if i == last {
-                    // Torn tail on the newest segment: truncate in place.
-                    let f = OpenOptions::new().write(true).open(path)?;
-                    f.set_len(at as u64)?;
-                    f.sync_data()?;
-                } else {
-                    // Corruption inside a sealed segment: keep the valid
-                    // prefix, truncate the rest.
-                    let f = OpenOptions::new().write(true).open(path)?;
-                    f.set_len(at as u64)?;
-                    f.sync_data()?;
-                }
+                io.truncate(path, at as u64)?;
             }
             segments.push(seg);
         }
@@ -266,16 +271,12 @@ impl ResultStore {
         let next_seq = segments.last().map(|s| s.seq + 1).unwrap_or(0);
         let (active, file) = match segments.pop() {
             Some(seg) => {
-                let file = OpenOptions::new().append(true).open(&seg.path)?;
+                let file = io.open_append(&seg.path)?;
                 (seg, file)
             }
             None => {
                 let path = segment_path(&dir, next_seq);
-                let mut file = OpenOptions::new()
-                    .create(true)
-                    .truncate(true)
-                    .write(true)
-                    .open(&path)?;
+                let mut file = io.create(&path)?;
                 file.write_all(FILE_MAGIC)?;
                 (Segment::fresh(path, next_seq), file)
             }
@@ -283,6 +284,7 @@ impl ResultStore {
         let store = Self {
             dir,
             cfg,
+            io,
             sealed: segments,
             active,
             file,
@@ -316,11 +318,7 @@ impl ResultStore {
         self.file.sync_data()?;
         let seq = self.active.seq + 1;
         let path = segment_path(&self.dir, seq);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .truncate(true)
-            .write(true)
-            .open(&path)?;
+        let mut file = self.io.create(&path)?;
         file.write_all(FILE_MAGIC)?;
         let mut old = std::mem::replace(&mut self.active, Segment::fresh(path, seq));
         old.seal_block();
@@ -329,7 +327,7 @@ impl ResultStore {
         if self.cfg.max_sealed_segments > 0 {
             while self.sealed.len() > self.cfg.max_sealed_segments {
                 let seg = self.sealed.remove(0);
-                std::fs::remove_file(&seg.path)?;
+                self.io.remove_file(&seg.path)?;
                 self.retired += 1;
                 OBS_RETIRED.inc();
             }
@@ -364,8 +362,7 @@ impl ResultStore {
             if blocks.is_empty() {
                 continue;
             }
-            let mut buf = Vec::new();
-            File::open(&seg.path)?.read_to_end(&mut buf)?;
+            let buf = self.io.read(&seg.path)?;
             for (offset, records) in blocks {
                 let mut at = offset as usize;
                 for _ in 0..records {
@@ -413,6 +410,7 @@ const _: () = assert!(WAL_FILE_MAGIC.len() == FILE_MAGIC.len());
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("domo-res-{name}-{}", std::process::id()));

@@ -1,0 +1,621 @@
+//! Pluggable filesystem access for the durability layer.
+//!
+//! Every byte the store writes — WAL records, checkpoint files, result
+//! segments — goes through a [`StoreIo`], so the whole durability stack
+//! can run against either the real filesystem ([`RealIo`]) or a
+//! deterministic fault injector ([`FaultyIo`]). The injector is how the
+//! sink's degraded-mode state machine and the `domo-exp chaos` soak
+//! exercise the paths a healthy disk never takes: `EIO` mid-append,
+//! `ENOSPC` on a checkpoint temp file, a torn write that leaves a
+//! half-record on disk, an fsync that lies, a device that stalls.
+//!
+//! Faults are *seeded and windowed*: a [`FaultPlan`] names per-kind
+//! probabilities plus an `[after, after+for)` window in mutating-op
+//! ordinals during which they fire. Outside the window the injector is
+//! byte-for-byte the real filesystem, which is what lets a chaos run
+//! assert "the store heals and recovery is bit-identical" — the storm
+//! deterministically ends.
+//!
+//! Read paths (directory listing, whole-file reads) are deliberately
+//! never faulted: recovery correctness under *corrupt bytes* is covered
+//! by the WAL/checkpoint torture tests; this layer targets the *live
+//! write* paths that feed the sink's degradation policies.
+
+use domo_obs::{LazyCounter, LazyGauge};
+use domo_util::rng::Xoshiro256pp;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+static OBS_FAULT_EIO: LazyCounter =
+    LazyCounter::new("domo_store_io_faults_total", &[("kind", "eio")]);
+static OBS_FAULT_ENOSPC: LazyCounter =
+    LazyCounter::new("domo_store_io_faults_total", &[("kind", "enospc")]);
+static OBS_FAULT_TORN: LazyCounter =
+    LazyCounter::new("domo_store_io_faults_total", &[("kind", "torn")]);
+static OBS_FAULT_FSYNC: LazyCounter =
+    LazyCounter::new("domo_store_io_faults_total", &[("kind", "fsync")]);
+static OBS_FAULT_STALL: LazyCounter =
+    LazyCounter::new("domo_store_io_faults_total", &[("kind", "stall")]);
+static OBS_ARMED: LazyGauge = LazyGauge::new("domo_store_io_faults_armed", &[]);
+
+/// Touches every fault metric so a scrape shows the families at zero
+/// even before (or without) any injection. The sink calls this at open.
+pub fn register_fault_metrics() {
+    OBS_FAULT_EIO.add(0);
+    OBS_FAULT_ENOSPC.add(0);
+    OBS_FAULT_TORN.add(0);
+    OBS_FAULT_FSYNC.add(0);
+    OBS_FAULT_STALL.add(0);
+    OBS_ARMED.set(0.0);
+}
+
+/// An open, append-position file handle owned by the store.
+pub trait StoreFile: Send + std::fmt::Debug {
+    /// Writes the whole buffer at the current position.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (or injected ones). A failure may leave a
+    /// *prefix* of `buf` on disk — exactly like a real torn write —
+    /// and the caller's recovery path must cope.
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()>;
+
+    /// Forces written data to stable storage (`fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (or injected ones).
+    fn sync_data(&mut self) -> std::io::Result<()>;
+}
+
+/// The filesystem surface the store needs. Object-safe so the WAL,
+/// checkpoint and result-log modules can share one `Arc<dyn StoreIo>`.
+pub trait StoreIo: Send + Sync + std::fmt::Debug {
+    /// `mkdir -p`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+
+    /// Paths of every entry directly under `dir` (callers filter).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>>;
+
+    /// Reads a whole file into memory.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+
+    /// Size of the file in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn file_len(&self, path: &Path) -> std::io::Result<u64>;
+
+    /// Deletes a file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (or injected ones).
+    fn remove_file(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Atomically renames `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (or injected ones).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+
+    /// Truncates an existing file to `len` bytes and syncs it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn truncate(&self, path: &Path, len: u64) -> std::io::Result<()>;
+
+    /// Creates (truncating) a file for writing.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn StoreFile>>;
+
+    /// Opens an existing file for appending.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn StoreFile>>;
+
+    /// Fsyncs the directory entry table (after a rename).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (or injected ones).
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl StoreFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl StoreIo for RealIo {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        Ok(std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect())
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn file_len(&self, path: &Path) -> std::io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> std::io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn StoreFile>> {
+        let f = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+
+    fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn StoreFile>> {
+        let f = OpenOptions::new().append(true).open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// Seeded fault schedule for a [`FaultyIo`].
+///
+/// Probabilities are per mutating operation; the window `[after,
+/// after + for_ops)` counts mutating-op ordinals (writes, syncs,
+/// renames, removes) since the injector was built. `for_ops == 0`
+/// means "never disarm".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; the whole storm is a pure function of it.
+    pub seed: u64,
+    /// P(write fails with `EIO`, nothing written).
+    pub eio: f64,
+    /// P(write fails with `ENOSPC`, nothing written).
+    pub enospc: f64,
+    /// P(write fails with `EIO` *after* writing a random prefix).
+    pub torn: f64,
+    /// P(`sync_data`/`sync_dir` fails with `EIO`).
+    pub fsync: f64,
+    /// P(an op stalls for [`FaultPlan::stall_ms`] before proceeding).
+    pub stall: f64,
+    /// Injected latency per stall.
+    pub stall_ms: u64,
+    /// Mutating ops before the window arms.
+    pub after_ops: u64,
+    /// Window length in mutating ops (0 = forever).
+    pub for_ops: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            eio: 0.0,
+            enospc: 0.0,
+            torn: 0.0,
+            fsync: 0.0,
+            stall: 0.0,
+            stall_ms: 1,
+            after_ops: 0,
+            for_ops: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the operator spelling: a comma-separated `key=value` list
+    /// with keys `seed`, `eio`, `enospc`, `torn`, `fsync`, `stall`,
+    /// `stall_ms`, `after`, `for`. Omitted keys keep their defaults
+    /// (all probabilities zero).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending key or value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad fault spec item {part:?} (want key=value)"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad =
+                |e: &dyn std::fmt::Display| format!("bad fault spec value {key}={value}: {e}");
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|e| bad(&e))?,
+                "eio" => plan.eio = parse_prob(key, value)?,
+                "enospc" => plan.enospc = parse_prob(key, value)?,
+                "torn" => plan.torn = parse_prob(key, value)?,
+                "fsync" => plan.fsync = parse_prob(key, value)?,
+                "stall" => plan.stall = parse_prob(key, value)?,
+                "stall_ms" => plan.stall_ms = value.parse().map_err(|e| bad(&e))?,
+                "after" => plan.after_ops = value.parse().map_err(|e| bad(&e))?,
+                "for" => plan.for_ops = value.parse().map_err(|e| bad(&e))?,
+                other => {
+                    return Err(format!(
+                        "unknown fault spec key {other:?} \
+                         (use seed|eio|enospc|torn|fsync|stall|stall_ms|after|for)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_prob(key: &str, value: &str) -> Result<f64, String> {
+    let p: f64 = value
+        .parse()
+        .map_err(|e| format!("bad fault spec value {key}={value}: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("fault probability {key}={value} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed={},eio={},enospc={},torn={},fsync={},stall={},stall_ms={},after={},for={}",
+            self.seed,
+            self.eio,
+            self.enospc,
+            self.torn,
+            self.fsync,
+            self.stall,
+            self.stall_ms,
+            self.after_ops,
+            self.for_ops
+        )
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    rng: Xoshiro256pp,
+    ops: u64,
+}
+
+#[derive(Debug)]
+struct FaultCore {
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+}
+
+/// What a single mutating op should do.
+enum Verdict {
+    Clean,
+    Fail(std::io::ErrorKind, &'static str),
+    /// Write only this many bytes of the buffer, then fail with `EIO`.
+    Torn(usize),
+}
+
+impl FaultCore {
+    fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            state: Mutex::new(FaultState {
+                rng: Xoshiro256pp::seed_from_u64(plan.seed),
+                ops: 0,
+            }),
+        }
+    }
+
+    /// Counts one mutating op; rolls the dice if the window is armed.
+    /// `buf_len > 0` enables torn-write verdicts, `syncish` selects the
+    /// fsync probability instead of the write ones.
+    fn roll(&self, buf_len: usize, syncish: bool) -> Verdict {
+        let mut st = match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let op = st.ops;
+        st.ops += 1;
+        let armed = op >= self.plan.after_ops
+            && (self.plan.for_ops == 0 || op < self.plan.after_ops + self.plan.for_ops);
+        OBS_ARMED.set(if armed { 1.0 } else { 0.0 });
+        if !armed {
+            return Verdict::Clean;
+        }
+        if self.plan.stall > 0.0 && st.rng.bernoulli(self.plan.stall) {
+            OBS_FAULT_STALL.inc();
+            drop(st);
+            std::thread::sleep(std::time::Duration::from_millis(self.plan.stall_ms));
+            st = match self.state.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if syncish {
+            if self.plan.fsync > 0.0 && st.rng.bernoulli(self.plan.fsync) {
+                OBS_FAULT_FSYNC.inc();
+                return Verdict::Fail(std::io::ErrorKind::Other, "injected fsync failure");
+            }
+            return Verdict::Clean;
+        }
+        if self.plan.eio > 0.0 && st.rng.bernoulli(self.plan.eio) {
+            OBS_FAULT_EIO.inc();
+            return Verdict::Fail(std::io::ErrorKind::Other, "injected EIO");
+        }
+        if self.plan.enospc > 0.0 && st.rng.bernoulli(self.plan.enospc) {
+            OBS_FAULT_ENOSPC.inc();
+            return Verdict::Fail(std::io::ErrorKind::StorageFull, "injected ENOSPC");
+        }
+        if buf_len > 0 && self.plan.torn > 0.0 && st.rng.bernoulli(self.plan.torn) {
+            OBS_FAULT_TORN.inc();
+            return Verdict::Torn(st.rng.range_usize(0..buf_len));
+        }
+        Verdict::Clean
+    }
+}
+
+fn fault_err(kind: std::io::ErrorKind, msg: &'static str) -> std::io::Error {
+    std::io::Error::new(kind, msg)
+}
+
+/// A [`StoreIo`] that delegates to the real filesystem but injects
+/// seeded faults on mutating operations per its [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyIo {
+    inner: RealIo,
+    core: Arc<FaultCore>,
+}
+
+impl FaultyIo {
+    /// Builds an injector executing `plan` against the real filesystem.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            inner: RealIo,
+            core: Arc::new(FaultCore::new(plan)),
+        }
+    }
+
+    /// Mutating operations performed so far (for tests).
+    pub fn ops(&self) -> u64 {
+        match self.core.state.lock() {
+            Ok(g) => g.ops,
+            Err(p) => p.into_inner().ops,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultyFile {
+    inner: Box<dyn StoreFile>,
+    core: Arc<FaultCore>,
+}
+
+impl StoreFile for FaultyFile {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        match self.core.roll(buf.len(), false) {
+            Verdict::Clean => self.inner.write_all(buf),
+            Verdict::Fail(kind, msg) => Err(fault_err(kind, msg)),
+            Verdict::Torn(n) => {
+                // Land a real prefix on disk so the next recovery has a
+                // genuinely torn record to truncate.
+                self.inner.write_all(&buf[..n])?;
+                let _ = self.inner.sync_data();
+                Err(fault_err(std::io::ErrorKind::Other, "injected torn write"))
+            }
+        }
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        match self.core.roll(0, true) {
+            Verdict::Clean => self.inner.sync_data(),
+            Verdict::Fail(kind, msg) => Err(fault_err(kind, msg)),
+            Verdict::Torn(_) => self.inner.sync_data(),
+        }
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn list_dir(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(dir)
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> std::io::Result<u64> {
+        self.inner.file_len(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        match self.core.roll(0, false) {
+            Verdict::Clean | Verdict::Torn(_) => self.inner.remove_file(path),
+            Verdict::Fail(kind, msg) => Err(fault_err(kind, msg)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        match self.core.roll(0, false) {
+            Verdict::Clean | Verdict::Torn(_) => self.inner.rename(from, to),
+            Verdict::Fail(kind, msg) => Err(fault_err(kind, msg)),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> std::io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn StoreFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.create(path)?,
+            core: Arc::clone(&self.core),
+        }))
+    }
+
+    fn open_append(&self, path: &Path) -> std::io::Result<Box<dyn StoreFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.open_append(path)?,
+            core: Arc::clone(&self.core),
+        }))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        match self.core.roll(0, true) {
+            Verdict::Clean | Verdict::Torn(_) => self.inner.sync_dir(dir),
+            Verdict::Fail(kind, msg) => Err(fault_err(kind, msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_round_trips_through_the_operator_spelling() {
+        let plan = FaultPlan {
+            seed: 42,
+            eio: 0.25,
+            enospc: 0.5,
+            torn: 0.125,
+            fsync: 1.0,
+            stall: 0.0625,
+            stall_ms: 9,
+            after_ops: 100,
+            for_ops: 200,
+        };
+        let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+        assert_eq!(reparsed, plan);
+        // Partial specs keep defaults; whitespace tolerated.
+        let partial = FaultPlan::parse("eio=0.1, after=5").unwrap();
+        assert_eq!(partial.eio, 0.1);
+        assert_eq!(partial.after_ops, 5);
+        assert_eq!(partial.enospc, 0.0);
+        assert!(FaultPlan::parse("eio=2.0").is_err(), "prob outside [0,1]");
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("eio").is_err(), "missing value");
+    }
+
+    #[test]
+    fn the_window_arms_and_disarms_deterministically() {
+        let dir = std::env::temp_dir().join(format!("domo-vfs-window-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Certain EIO, but only for ops [2, 4).
+        let io = FaultyIo::new(FaultPlan {
+            eio: 1.0,
+            after_ops: 2,
+            for_ops: 2,
+            ..FaultPlan::default()
+        });
+        let mut f = io.create(&dir.join("a")).unwrap();
+        assert!(f.write_all(b"op0").is_ok());
+        assert!(f.write_all(b"op1").is_ok());
+        assert!(f.write_all(b"op2").is_err(), "window armed");
+        assert!(f.write_all(b"op3").is_err(), "window still armed");
+        assert!(f.write_all(b"op4").is_ok(), "window disarmed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_writes_leave_a_real_prefix_on_disk() {
+        let dir = std::env::temp_dir().join(format!("domo-vfs-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let io = FaultyIo::new(FaultPlan {
+            torn: 1.0,
+            seed: 3,
+            ..FaultPlan::default()
+        });
+        let path = dir.join("t");
+        let mut f = io.create(&path).unwrap();
+        let err = f.write_all(&[0xAB; 64]).unwrap_err();
+        assert!(err.to_string().contains("torn"));
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.len() < 64, "only a prefix landed");
+        assert!(on_disk.iter().all(|&b| b == 0xAB));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn same_seed_same_storm() {
+        let run = |seed| {
+            let core = FaultCore::new(FaultPlan {
+                seed,
+                eio: 0.3,
+                enospc: 0.2,
+                torn: 0.1,
+                ..FaultPlan::default()
+            });
+            (0..200)
+                .map(|_| match core.roll(16, false) {
+                    Verdict::Clean => 0u8,
+                    Verdict::Fail(std::io::ErrorKind::StorageFull, _) => 1,
+                    Verdict::Fail(..) => 2,
+                    Verdict::Torn(_) => 3,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let storm = run(7);
+        assert!(storm.iter().any(|&v| v != 0), "faults actually fire");
+        assert!(storm.contains(&0), "not every op faults");
+    }
+}

@@ -27,11 +27,11 @@
 //! panics and never silently skips: the surviving log is always a clean
 //! *prefix* of what was appended.
 
+use crate::vfs::{RealIo, StoreFile, StoreIo};
 use crate::{fnv1a32, FsyncPolicy};
 use domo_obs::{LazyCounter, LazyGauge};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// 8-byte file header of every segment.
 pub const FILE_MAGIC: &[u8; 8] = b"DOMOWAL1";
@@ -114,10 +114,11 @@ struct Segment {
 pub struct Wal {
     dir: PathBuf,
     cfg: WalConfig,
+    io: Arc<dyn StoreIo>,
     /// Sealed (read-only) segments, oldest first.
     sealed: Vec<Segment>,
     /// The active segment's open handle and metadata.
-    file: File,
+    file: Box<dyn StoreFile>,
     active: Segment,
     next_lsn: u64,
     unsynced: u64,
@@ -181,9 +182,8 @@ struct SegmentScan {
     header_bad: bool,
 }
 
-fn scan_segment(path: &Path) -> std::io::Result<SegmentScan> {
-    let mut buf = Vec::new();
-    File::open(path)?.read_to_end(&mut buf)?;
+fn scan_segment(io: &dyn StoreIo, path: &Path) -> std::io::Result<SegmentScan> {
+    let buf = io.read(path)?;
     if buf.len() < FILE_MAGIC.len() || &buf[..FILE_MAGIC.len()] != FILE_MAGIC {
         return Ok(SegmentScan {
             record_offsets: Vec::new(),
@@ -219,10 +219,25 @@ impl Wal {
     ///
     /// Filesystem failures only — corruption is handled, not errored.
     pub fn open<P: AsRef<Path>>(dir: P, cfg: WalConfig) -> std::io::Result<(Self, TailReport)> {
+        Self::open_with_io(dir, cfg, Arc::new(RealIo))
+    }
+
+    /// [`Wal::open`] with an explicit I/O backend — the hook the fault
+    /// injector plugs into.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures only — corruption is handled, not errored.
+    pub fn open_with_io<P: AsRef<Path>>(
+        dir: P,
+        cfg: WalConfig,
+        io: Arc<dyn StoreIo>,
+    ) -> std::io::Result<(Self, TailReport)> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
-        let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
+        io.create_dir_all(&dir)?;
+        let mut names: Vec<PathBuf> = io
+            .list_dir(&dir)?
+            .into_iter()
             .filter(|p| {
                 p.file_name()
                     .and_then(|n| n.to_str())
@@ -246,17 +261,17 @@ impl Wal {
             let valid_name = declared == Some(expected_lsn) || (segments.is_empty() && i == 0);
             if broken || !valid_name || declared.is_none() {
                 report.segments_discarded += 1;
-                report.bytes_discarded += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-                std::fs::remove_file(path)?;
+                report.bytes_discarded += io.file_len(path).unwrap_or(0);
+                io.remove_file(path)?;
                 continue;
             }
             let first_lsn = declared.unwrap_or(0);
             expected_lsn = expected_lsn.max(first_lsn);
-            let scan = scan_segment(path)?;
+            let scan = scan_segment(io.as_ref(), path)?;
             if scan.header_bad {
                 report.segments_discarded += 1;
                 report.bytes_discarded += scan.torn_bytes;
-                std::fs::remove_file(path)?;
+                io.remove_file(path)?;
                 broken = true;
                 continue;
             }
@@ -264,9 +279,7 @@ impl Wal {
                 // Truncate the torn tail in place; everything after this
                 // segment is no longer a contiguous log.
                 report.bytes_discarded += scan.torn_bytes;
-                let f = OpenOptions::new().write(true).open(path)?;
-                f.set_len(scan.valid_bytes)?;
-                f.sync_data()?;
+                io.truncate(path, scan.valid_bytes)?;
                 broken = true;
             }
             let records = scan.record_offsets.len() as u64;
@@ -288,10 +301,10 @@ impl Wal {
         // Continue the newest surviving segment, or start a fresh one.
         let (active, file) = match segments.pop() {
             Some(seg) => {
-                let file = OpenOptions::new().append(true).open(&seg.path)?;
+                let file = io.open_append(&seg.path)?;
                 (seg, file)
             }
-            None => Self::fresh_segment(&dir, next_lsn)?,
+            None => Self::fresh_segment(io.as_ref(), &dir, next_lsn)?,
         };
         report.segments = segments.len() + 1;
         let wal = Self {
@@ -300,6 +313,7 @@ impl Wal {
                 segment_bytes: cfg.segment_bytes.max(4096),
                 ..cfg
             },
+            io,
             sealed: segments,
             file,
             active,
@@ -310,13 +324,13 @@ impl Wal {
         Ok((wal, report))
     }
 
-    fn fresh_segment(dir: &Path, first_lsn: u64) -> std::io::Result<(Segment, File)> {
+    fn fresh_segment(
+        io: &dyn StoreIo,
+        dir: &Path,
+        first_lsn: u64,
+    ) -> std::io::Result<(Segment, Box<dyn StoreFile>)> {
         let path = segment_path(dir, first_lsn);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .truncate(true)
-            .write(true)
-            .open(&path)?;
+        let mut file = io.create(&path)?;
         file.write_all(FILE_MAGIC)?;
         Ok((
             Segment {
@@ -364,7 +378,7 @@ impl Wal {
 
     fn rotate(&mut self) -> std::io::Result<()> {
         self.file.sync_data()?;
-        let (active, file) = Self::fresh_segment(&self.dir, self.next_lsn)?;
+        let (active, file) = Self::fresh_segment(self.io.as_ref(), &self.dir, self.next_lsn)?;
         let old = std::mem::replace(&mut self.active, active);
         self.file = file;
         self.sealed.push(old);
@@ -404,8 +418,7 @@ impl Wal {
             if seg_end <= from {
                 continue;
             }
-            let mut buf = Vec::new();
-            File::open(&seg.path)?.read_to_end(&mut buf)?;
+            let buf = self.io.read(&seg.path)?;
             let mut at = FILE_MAGIC.len();
             let mut lsn = seg.first_lsn;
             while let Some((payload, next)) = parse_record(&buf, at) {
@@ -431,7 +444,7 @@ impl Wal {
         while let Some(first) = self.sealed.first() {
             if first.first_lsn + first.records <= upto {
                 let seg = self.sealed.remove(0);
-                std::fs::remove_file(&seg.path)?;
+                self.io.remove_file(&seg.path)?;
                 dropped += 1;
             } else {
                 break;
@@ -458,6 +471,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("domo-wal-{name}-{}", std::process::id()));

@@ -36,6 +36,12 @@
 #                        throughput at the default fsync interval policy
 #                        regressed >20% vs the committed
 #                        BENCH_store.json, then refreshes the file
+#  10. chaos soak        domo-exp chaos --quick: spawns a durable serve
+#                        child with an injected I/O fault storm plus a
+#                        shard-worker panic, and fails unless the sink
+#                        survives, degrades and heals without losing a
+#                        packet, and recovers bit-identically after a
+#                        SIGKILL
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,8 +55,12 @@ echo "==> cargo clippy --workspace --lib (deny unwrap/expect in library code)"
 cargo clippy --workspace --lib -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters: the root manifest is both the workspace and the
+# `domo` facade package, so a bare `cargo build` only builds the facade
+# and the smoke/crashsmoke/chaos gates below would run stale (or
+# missing) release binaries.
+cargo build --release --workspace
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q
@@ -89,5 +99,8 @@ echo "==> domo-sink crashsmoke (SIGKILL + recovery over loopback TCP)"
 
 echo "==> domo-exp storebench (gates on BENCH_store.json, then refreshes it)"
 ./target/release/domo-exp storebench --baseline BENCH_store.json
+
+echo "==> domo-exp chaos --quick (fault-storm survival soak)"
+./target/release/domo-exp chaos --quick
 
 echo "All checks passed."

@@ -40,10 +40,9 @@ fn durable_cfg(data_dir: &Path) -> SinkConfig {
     SinkConfig {
         shards: 2,
         store: Some(StoreConfig {
-            data_dir: data_dir.to_path_buf(),
             fsync: FsyncPolicy::Never,
             checkpoint_every: u64::MAX,
-            max_result_segments: 0,
+            ..StoreConfig::at(data_dir)
         }),
         ..SinkConfig::default()
     }
