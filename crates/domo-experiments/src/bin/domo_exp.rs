@@ -6,6 +6,7 @@
 //! domo-exp bench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //! domo-exp obsbench [--nodes N] [--seed S] [--out PATH] [--max-delta PCT]
 //! domo-exp storebench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
+//! domo-exp querybench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //! domo-exp chaos [--quick] [--nodes N] [--seed S] [--sink-bin PATH]
 //!
 //! experiments:
@@ -34,6 +35,12 @@
 //!            gates on --baseline (fails if `fsync interval` WAL
 //!            throughput regressed >20%), then writes the fresh
 //!            numbers to --out (default BENCH_store.json)
+//!   querybench
+//!            live-query path: SubHub fan-out throughput at 1/8/64
+//!            subscribers plus AGG latency for a sketch-served vs
+//!            backfilled window; gates on --baseline (fails if the
+//!            8-subscriber deliveries/s regressed >20%), then writes
+//!            the numbers to --out (default BENCH_query.json)
 //!   chaos    the survival soak: spawns a durable `domo-sink serve`
 //!            child with an injected storage fault storm AND a
 //!            scheduled shard-worker panic, streams a trace at it over
@@ -97,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
     if args.experiment == "bench"
         || args.experiment == "obsbench"
         || args.experiment == "storebench"
+        || args.experiment == "querybench"
     {
         args.nodes = 25;
         args.seed = 7;
@@ -106,6 +114,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.experiment == "storebench" {
         args.out = "BENCH_store.json".into();
+    }
+    if args.experiment == "querybench" {
+        args.out = "BENCH_query.json".into();
     }
     if args.experiment == "chaos" {
         args.nodes = 16;
@@ -463,6 +474,222 @@ fn store_bench(args: &Args) -> Result<(), String> {
     );
     std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out))?;
     println!("storebench: wrote {}", args.out);
+    Ok(())
+}
+
+/// Pulls `"fanout_8_deliveries_per_sec": <float>` out of a previously
+/// committed querybench file (flat machine-written JSON, substring
+/// scan — same approach as [`baseline_throughput`]).
+fn query_baseline_throughput(json: &str) -> Option<f64> {
+    let key = "\"fanout_8_deliveries_per_sec\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Live-query path throughput and latency: (1) `SubHub` fan-out —
+/// publishes per second and total deliveries per second at 1, 8, and
+/// 64 subscribers; (2) `AGG` latency for a window served entirely by
+/// retained sketches vs one old enough to force a result-log backfill
+/// (agg retention is shrunk so the trace outlives it). The 8-subscriber
+/// deliveries/s number is the regression gate.
+fn query_bench(args: &Args) -> Result<(), String> {
+    use domo_query::sub::{Event, SubFilter, SubHub, SubOptions};
+    use domo_query::AggConfig;
+    use domo_sink::service::{SinkConfig, SinkService};
+    use domo_sink::StoreConfig;
+
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    if trace.packets.is_empty() {
+        return Err("simulated trace delivered nothing".into());
+    }
+    // Fan-out works on synthetic `Event`s shaped like the trace (the
+    // hub never inspects hop times beyond cloning them): per-hop times
+    // interpolated between generation and sink arrival.
+    let events: Vec<Event> = trace
+        .packets
+        .iter()
+        .map(|p| {
+            let hops = p.path.len().max(2);
+            let t0 = p.gen_time.as_millis_f64();
+            let t1 = p.sink_arrival.as_millis_f64();
+            Event {
+                origin: p.pid.origin.index() as u16,
+                seq: p.pid.seq,
+                path: p.path.iter().map(|n| n.index() as u16).collect(),
+                hop_times_ms: (0..hops)
+                    .map(|i| t0 + (t1 - t0) * i as f64 / (hops - 1) as f64)
+                    .collect(),
+            }
+        })
+        .collect();
+    let target = 2048usize.max(events.len());
+    let batch: Vec<&Event> = events.iter().cycle().take(target).collect();
+    println!(
+        "querybench: {} packets -> fan-out batches of {}",
+        events.len(),
+        batch.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut gate_dps = None;
+    for subs in [1usize, 8, 64] {
+        let seconds = time_per_iter(|| {
+            let hub = SubHub::new();
+            // Queues sized for the whole batch with shedding off: this
+            // measures fan-out cost, not drop-oldest bookkeeping.
+            let open: Vec<_> = (0..subs)
+                .map(|_| {
+                    hub.subscribe(
+                        SubFilter::All,
+                        SubOptions {
+                            capacity: batch.len(),
+                            max_lagged: 0,
+                        },
+                    )
+                })
+                .collect();
+            for ev in &batch {
+                hub.publish((*ev).clone());
+            }
+            drop(open);
+        });
+        let eps = batch.len() as f64 / seconds;
+        let dps = eps * subs as f64;
+        if subs == 8 {
+            gate_dps = Some(dps);
+        }
+        println!(
+            "querybench: fan-out {subs:>2} subscribers: {seconds:.4} s/batch, \
+             {eps:.0} publishes/s, {dps:.0} deliveries/s"
+        );
+        rows.push(format!(
+            "    {{\"op\": \"fanout\", \"subscribers\": {subs}, \"events\": {}, \
+             \"seconds_per_batch\": {seconds:.6}, \"publishes_per_sec\": {eps:.1}, \
+             \"deliveries_per_sec\": {dps:.1}}}",
+            batch.len()
+        ));
+    }
+
+    // AGG latency against a real durable sink: retention of 16 buckets
+    // x 100 ms = 1.6 s, far shorter than the simulated run, so a
+    // whole-run window must backfill from the result log while a
+    // trailing window is served by the retained sketches alone.
+    let scratch = std::env::temp_dir().join(format!("domo-querybench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let service = SinkService::start(SinkConfig {
+        shards: 2,
+        store: Some(StoreConfig::at(&scratch)),
+        agg: AggConfig {
+            granularity_ms: 100,
+            retention_buckets: 16,
+        },
+        ..SinkConfig::default()
+    });
+    for p in &trace.packets {
+        service.ingest(p.clone());
+    }
+    // `drain()` returns only what this drain flushed — records past a
+    // window boundary were already emitted during ingest — so the
+    // completeness check reads the cumulative counter. The sink dedups
+    // retransmissions, so the expectation is distinct pids.
+    let unique: std::collections::HashSet<_> = trace.packets.iter().map(|p| p.pid).collect();
+    service.drain();
+    let emitted = service.snapshot().stats.emitted;
+    if emitted != unique.len() as u64 {
+        service.shutdown();
+        return Err(format!(
+            "sink emitted {emitted} of {} distinct packets",
+            unique.len()
+        ));
+    }
+    // The busiest forwarder has the most samples, so its sketches and
+    // backfill do the most work — the interesting case to time.
+    let mut per_node = std::collections::HashMap::new();
+    for p in &trace.packets {
+        let n = p.path.len();
+        for node in &p.path[..n.saturating_sub(1)] {
+            *per_node.entry(node.index() as u16).or_insert(0u64) += 1;
+        }
+    }
+    let (node, _) = per_node
+        .into_iter()
+        .max_by_key(|&(node, count)| (count, std::cmp::Reverse(node)))
+        .ok_or("no forwarding node in the trace")?;
+    let t_end = trace
+        .packets
+        .iter()
+        .map(|p| p.sink_arrival.as_millis_f64())
+        .fold(0.0f64, f64::max);
+    let sketch_secs = time_per_iter(|| {
+        service
+            .agg_query(node, t_end - 800.0, t_end, 400)
+            .expect("sketch-window AGG");
+    });
+    let backfill_secs = time_per_iter(|| {
+        service
+            .agg_query(node, 0.0, t_end, 10_000)
+            .expect("backfill-window AGG");
+    });
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!(
+        "querybench: AGG node {node}: sketch window {:.1} us, \
+         backfill window {:.1} us",
+        sketch_secs * 1e6,
+        backfill_secs * 1e6
+    );
+    rows.push(format!(
+        "    {{\"op\": \"agg_sketch\", \"node\": {node}, \"seconds_per_query\": {sketch_secs:.9}}}"
+    ));
+    rows.push(format!(
+        "    {{\"op\": \"agg_backfill\", \"node\": {node}, \
+         \"seconds_per_query\": {backfill_secs:.9}}}"
+    ));
+
+    let gate = gate_dps.ok_or("missing 8-subscriber row")?;
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                let committed = query_baseline_throughput(&json)
+                    .ok_or_else(|| format!("{path}: no fanout_8_deliveries_per_sec"))?;
+                let floor = committed * 0.8;
+                if gate < floor {
+                    return Err(format!(
+                        "fan-out throughput (8 subscribers) regressed >20%: \
+                         {gate:.0} deliveries/s vs committed {committed:.0} \
+                         (floor {floor:.0}) in {path}"
+                    ));
+                }
+                println!(
+                    "querybench: 8-subscriber fan-out {gate:.0} deliveries/s vs committed \
+                     {committed:.0} — within the 20% regression budget"
+                );
+            }
+            Err(e) => {
+                // A missing baseline is the bootstrap case, not a failure.
+                println!("querybench: no baseline at {path} ({e}); writing a fresh one");
+            }
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"query_path\",\n  \"nodes\": {},\n  \"seed\": {},\n  \
+         \"host_cpus\": {cpus},\n  \"packets\": {},\n  \
+         \"fanout_8_deliveries_per_sec\": {gate:.1},\n  \
+         \"agg_sketch_seconds\": {sketch_secs:.9},\n  \
+         \"agg_backfill_seconds\": {backfill_secs:.9},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        args.nodes,
+        args.seed,
+        events.len(),
+        rows.join(",\n")
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("querybench: wrote {}", args.out);
     Ok(())
 }
 
@@ -951,6 +1178,12 @@ fn run(experiment: &str, args: &Args) {
         "storebench" => {
             if let Err(msg) = store_bench(args) {
                 domo_obs::error!(target: "domo_exp", "storebench failed", error = msg);
+                std::process::exit(1);
+            }
+        }
+        "querybench" => {
+            if let Err(msg) = query_bench(args) {
+                domo_obs::error!(target: "domo_exp", "querybench failed", error = msg);
                 std::process::exit(1);
             }
         }

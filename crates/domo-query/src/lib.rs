@@ -1,0 +1,30 @@
+//! Live query layer for the Domo sink: subscription fan-out and
+//! time-series aggregation.
+//!
+//! The sink's query port is request/response; this crate supplies the
+//! two pieces that turn the result pipeline into a live monitoring
+//! product:
+//!
+//! | module | provides |
+//! |--------|----------|
+//! | [`sketch`] | [`DelaySketch`]: a log-bucketed delay histogram with exact count/sum/min/max and a documented quantile error bound |
+//! | [`series`] | [`AggStore`]: per-node time-bucketed sketches with retention, snapshot/restore, and windowed aggregation queries |
+//! | [`sub`]    | [`SubHub`]: bounded drop-oldest fan-out of emitted results to live subscribers with lag accounting and slow-consumer shedding |
+//!
+//! The crate is dependency-free (not even on the other workspace
+//! crates): events carry plain `u16` node ids and `f64` hop times, so
+//! the sink adapts its own types at the boundary. Everything here is
+//! deterministic and snapshot state round-trips bit-identically, which
+//! is what lets the sink's checkpoint/recovery machinery extend to the
+//! aggregation state without weakening its bit-exactness guarantees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod sketch;
+pub mod sub;
+
+pub use series::{render_buckets, AggBucket, AggConfig, AggParts, AggStore};
+pub use sketch::{DelaySketch, SketchParts};
+pub use sub::{Event, PublishOutcome, RecvOutcome, SubFilter, SubHub, SubOptions, Subscription};

@@ -1,0 +1,453 @@
+//! Bounded drop-oldest subscription fan-out.
+//!
+//! [`SubHub`] fans newly emitted reconstruction results out to live
+//! subscribers using the same queue discipline the sink's shard queues
+//! use: each subscriber owns a bounded ring; when it falls behind, the
+//! *oldest* undelivered event is dropped and counted in the
+//! subscriber's `lagged_dropped` tally (newest data wins, exactly as
+//! in the ingest path). A subscriber whose cumulative drops cross the
+//! configured shed threshold is closed outright — a slow consumer must
+//! not pin memory or wake-up work forever.
+//!
+//! Delivery ordering and exactly-once are the *caller's* contract:
+//! the sink publishes under the same lock that appends to its result
+//! store and registers subscribers under that lock too, so a
+//! subscriber's backfill plus live stream covers every emitted result
+//! exactly once (absent lag drops, which are counted and reported).
+//! The hub itself only guarantees per-subscriber FIFO of what it
+//! delivers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Hub state stays usable: counters and queues are always valid, at
+/// worst an event delivery raced the panic.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One emitted reconstruction result, flattened to plain data (node
+/// ids as `u16`, per-hop receive times in ms of trace time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Origin node id of the packet.
+    pub origin: u16,
+    /// Per-origin sequence number.
+    pub seq: u32,
+    /// Forwarding path, origin first.
+    pub path: Vec<u16>,
+    /// Per-hop receive times, one per path entry.
+    pub hop_times_ms: Vec<f64>,
+}
+
+/// Which emitted results a subscriber wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubFilter {
+    /// Every result.
+    All,
+    /// Results whose path *forwards through* the node: the node
+    /// appears at a non-terminal position, i.e. it recorded a sojourn.
+    Node(u16),
+    /// Results whose path starts at `src` and ends at `dst`.
+    Path {
+        /// First node of the path.
+        src: u16,
+        /// Last node of the path.
+        dst: u16,
+    },
+}
+
+impl SubFilter {
+    /// Does `ev` match this filter?
+    pub fn matches(&self, ev: &Event) -> bool {
+        match *self {
+            SubFilter::All => true,
+            SubFilter::Node(id) => {
+                let n = ev.path.len();
+                n > 1 && ev.path[..n - 1].contains(&id)
+            }
+            SubFilter::Path { src, dst } => {
+                ev.path.first() == Some(&src) && ev.path.last() == Some(&dst)
+            }
+        }
+    }
+}
+
+/// Per-subscriber queue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubOptions {
+    /// Queue bound; beyond it the oldest undelivered event is dropped.
+    pub capacity: usize,
+    /// Cumulative dropped-event threshold after which the subscriber
+    /// is shed (closed). `0` disables shedding.
+    pub max_lagged: u64,
+}
+
+impl Default for SubOptions {
+    fn default() -> Self {
+        Self {
+            capacity: 256,
+            max_lagged: 1024,
+        }
+    }
+}
+
+/// What one `publish` did, so the sink can feed its metrics without
+/// the hub depending on the obs crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishOutcome {
+    /// Events enqueued across subscribers.
+    pub delivered: u64,
+    /// Events dropped to make room (drop-oldest).
+    pub lagged: u64,
+    /// Subscribers shed (closed) by this publish.
+    pub shed: u64,
+}
+
+struct SubState {
+    queue: VecDeque<Arc<Event>>,
+    /// Cumulative dropped events.
+    lagged_total: u64,
+    /// Dropped events not yet reported via `take_lagged`.
+    lagged_unread: u64,
+    closed: bool,
+    /// Whether the close was a shed (threshold), vs a plain drop.
+    shed: bool,
+}
+
+struct SubInner {
+    filter: SubFilter,
+    opts: SubOptions,
+    state: Mutex<SubState>,
+    wake: Condvar,
+}
+
+/// What [`Subscription::recv`] yielded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvOutcome {
+    /// The next event in FIFO order.
+    Event(Arc<Event>),
+    /// The subscription is closed (dropped publisher side, or shed);
+    /// `shed` distinguishes the two. No further events will arrive
+    /// once the queue has drained.
+    Closed {
+        /// True when the hub shed this subscriber for lagging.
+        shed: bool,
+    },
+    /// Nothing arrived within the timeout.
+    Timeout,
+}
+
+/// A live subscription handle. Dropping it unregisters the subscriber
+/// (lazily, at the next publish).
+pub struct Subscription {
+    inner: Arc<SubInner>,
+}
+
+impl Subscription {
+    /// Waits up to `timeout` for the next event. Queued events are
+    /// delivered even after close (drain-then-close semantics), so a
+    /// shed subscriber still sees everything delivered before the
+    /// shed.
+    pub fn recv(&self, timeout: Duration) -> RecvOutcome {
+        let mut st = lock_or_recover(&self.inner.state);
+        loop {
+            if let Some(ev) = st.queue.pop_front() {
+                return RecvOutcome::Event(ev);
+            }
+            if st.closed {
+                return RecvOutcome::Closed { shed: st.shed };
+            }
+            let (next, res) = match self.inner.wake.wait_timeout(st, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let (g, res) = poisoned.into_inner();
+                    (g, res)
+                }
+            };
+            st = next;
+            if res.timed_out() && st.queue.is_empty() && !st.closed {
+                return RecvOutcome::Timeout;
+            }
+        }
+    }
+
+    /// Events dropped (drop-oldest) since the last call; resets the
+    /// unread tally. The cumulative count is [`Self::lagged_total`].
+    pub fn take_lagged(&self) -> u64 {
+        let mut st = lock_or_recover(&self.inner.state);
+        std::mem::take(&mut st.lagged_unread)
+    }
+
+    /// Cumulative events dropped for this subscriber.
+    pub fn lagged_total(&self) -> u64 {
+        lock_or_recover(&self.inner.state).lagged_total
+    }
+
+    /// The filter this subscription registered with.
+    pub fn filter(&self) -> SubFilter {
+        self.inner.filter
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        let mut st = lock_or_recover(&self.inner.state);
+        st.closed = true;
+    }
+}
+
+/// Fan-out hub. One per sink service; publishes are serialized by the
+/// caller (the sink publishes under its store lock, which is what
+/// makes backfill-plus-live exactly-once).
+#[derive(Default)]
+pub struct SubHub {
+    subs: Mutex<Vec<Arc<SubInner>>>,
+    delivered_total: AtomicU64,
+    lagged_total: AtomicU64,
+    shed_total: AtomicU64,
+}
+
+impl SubHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber. The returned handle's queue starts
+    /// empty: events published strictly after this call (and matching
+    /// the filter) will be delivered in order.
+    pub fn subscribe(&self, filter: SubFilter, opts: SubOptions) -> Subscription {
+        let inner = Arc::new(SubInner {
+            filter,
+            opts: SubOptions {
+                capacity: opts.capacity.max(1),
+                max_lagged: opts.max_lagged,
+            },
+            state: Mutex::new(SubState {
+                queue: VecDeque::new(),
+                lagged_total: 0,
+                lagged_unread: 0,
+                closed: false,
+                shed: false,
+            }),
+            wake: Condvar::new(),
+        });
+        lock_or_recover(&self.subs).push(Arc::clone(&inner));
+        Subscription { inner }
+    }
+
+    /// Fans one event out to every matching live subscriber, applying
+    /// the drop-oldest bound and the shed threshold. Closed
+    /// subscribers are purged from the registry here.
+    pub fn publish(&self, ev: Event) -> PublishOutcome {
+        let ev = Arc::new(ev);
+        let mut out = PublishOutcome::default();
+        let mut subs = lock_or_recover(&self.subs);
+        subs.retain(|sub| {
+            let mut st = lock_or_recover(&sub.state);
+            if st.closed {
+                // Wake a receiver that may be parked on an empty
+                // queue so it observes the close.
+                sub.wake.notify_all();
+                return false;
+            }
+            if !sub.filter.matches(&ev) {
+                return true;
+            }
+            st.queue.push_back(Arc::clone(&ev));
+            out.delivered += 1;
+            if st.queue.len() > sub.opts.capacity {
+                st.queue.pop_front();
+                st.lagged_total += 1;
+                st.lagged_unread += 1;
+                out.lagged += 1;
+                if sub.opts.max_lagged > 0 && st.lagged_total >= sub.opts.max_lagged {
+                    st.closed = true;
+                    st.shed = true;
+                    out.shed += 1;
+                }
+            }
+            let keep = !st.closed;
+            sub.wake.notify_all();
+            keep
+        });
+        self.delivered_total
+            .fetch_add(out.delivered, Ordering::Relaxed);
+        self.lagged_total.fetch_add(out.lagged, Ordering::Relaxed);
+        self.shed_total.fetch_add(out.shed, Ordering::Relaxed);
+        out
+    }
+
+    /// Live (registered, not yet purged) subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        let mut subs = lock_or_recover(&self.subs);
+        subs.retain(|sub| !lock_or_recover(&sub.state).closed);
+        subs.len()
+    }
+
+    /// Cumulative events enqueued across all subscribers.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative events dropped (drop-oldest) across all subscribers.
+    pub fn lagged_dropped_total(&self) -> u64 {
+        self.lagged_total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative subscribers shed for lagging.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ev(origin: u16, seq: u32, path: &[u16]) -> Event {
+        Event {
+            origin,
+            seq,
+            path: path.to_vec(),
+            hop_times_ms: path.iter().enumerate().map(|(i, _)| i as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn filters_match_forwarding_positions() {
+        let e = ev(1, 0, &[1, 2, 3]);
+        assert!(SubFilter::All.matches(&e));
+        assert!(SubFilter::Node(1).matches(&e));
+        assert!(SubFilter::Node(2).matches(&e));
+        // The terminal node records no sojourn: not a match.
+        assert!(!SubFilter::Node(3).matches(&e));
+        assert!(SubFilter::Path { src: 1, dst: 3 }.matches(&e));
+        assert!(!SubFilter::Path { src: 2, dst: 3 }.matches(&e));
+    }
+
+    #[test]
+    fn events_are_delivered_in_fifo_order() {
+        let hub = SubHub::new();
+        let sub = hub.subscribe(SubFilter::All, SubOptions::default());
+        for seq in 0..5 {
+            hub.publish(ev(1, seq, &[1, 2]));
+        }
+        for seq in 0..5 {
+            match sub.recv(Duration::from_millis(100)) {
+                RecvOutcome::Event(e) => assert_eq!(e.seq, seq),
+                other => panic!("expected event {seq}, got {other:?}"),
+            }
+        }
+        assert_eq!(sub.recv(Duration::from_millis(10)), RecvOutcome::Timeout);
+        assert_eq!(hub.delivered_total(), 5);
+    }
+
+    #[test]
+    fn node_filter_selects_subset() {
+        let hub = SubHub::new();
+        let sub = hub.subscribe(SubFilter::Node(7), SubOptions::default());
+        hub.publish(ev(1, 0, &[1, 7, 3]));
+        hub.publish(ev(1, 1, &[1, 2, 3]));
+        hub.publish(ev(1, 2, &[7, 2, 3]));
+        let mut seqs = Vec::new();
+        while let RecvOutcome::Event(e) = sub.recv(Duration::from_millis(20)) {
+            seqs.push(e.seq);
+        }
+        assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    fn drop_oldest_counts_lag_and_sheds() {
+        let hub = SubHub::new();
+        let sub = hub.subscribe(
+            SubFilter::All,
+            SubOptions {
+                capacity: 2,
+                max_lagged: 3,
+            },
+        );
+        for seq in 0..6 {
+            hub.publish(ev(1, seq, &[1, 2]));
+        }
+        // Capacity 2, 6 publishes → 4 would drop, but the shed
+        // threshold (3) closes the subscriber at the third drop.
+        assert_eq!(hub.shed_total(), 1);
+        assert_eq!(sub.lagged_total(), 3);
+        assert_eq!(sub.take_lagged(), 3);
+        assert_eq!(sub.take_lagged(), 0);
+        // Drain-then-close: the newest 2 events are still readable.
+        let mut seqs = Vec::new();
+        loop {
+            match sub.recv(Duration::from_millis(50)) {
+                RecvOutcome::Event(e) => seqs.push(e.seq),
+                RecvOutcome::Closed { shed } => {
+                    assert!(shed);
+                    break;
+                }
+                RecvOutcome::Timeout => panic!("expected close after drain"),
+            }
+        }
+        assert_eq!(seqs, vec![3, 4]);
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn dropping_the_handle_unregisters() {
+        let hub = SubHub::new();
+        let sub = hub.subscribe(SubFilter::All, SubOptions::default());
+        assert_eq!(hub.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(hub.subscriber_count(), 0);
+        let out = hub.publish(ev(1, 0, &[1, 2]));
+        assert_eq!(out.delivered, 0);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_publish() {
+        let hub = std::sync::Arc::new(SubHub::new());
+        let sub = hub.subscribe(SubFilter::All, SubOptions::default());
+        let h2 = std::sync::Arc::clone(&hub);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            h2.publish(ev(5, 9, &[5, 6]));
+        });
+        match sub.recv(Duration::from_secs(5)) {
+            RecvOutcome::Event(e) => {
+                assert_eq!(e.origin, 5);
+                assert_eq!(e.seq, 9);
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn zero_max_lagged_never_sheds() {
+        let hub = SubHub::new();
+        let sub = hub.subscribe(
+            SubFilter::All,
+            SubOptions {
+                capacity: 1,
+                max_lagged: 0,
+            },
+        );
+        for seq in 0..100 {
+            hub.publish(ev(1, seq, &[1, 2]));
+        }
+        assert_eq!(hub.shed_total(), 0);
+        assert_eq!(sub.lagged_total(), 99);
+        match sub.recv(Duration::from_millis(50)) {
+            RecvOutcome::Event(e) => assert_eq!(e.seq, 99),
+            other => panic!("expected newest event, got {other:?}"),
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //! domo-sink smoke      [--nodes N] [--seed S] [--shards K]
 //! domo-sink crashsmoke [--nodes N] [--seed S] [--shards K] [--data-dir D]
 //! domo-sink bench      [--nodes N] [--seed S] [--out PATH]
+//! domo-sink tail       --query HOST:PORT [--node N | --path SRC:DST]
+//!                      [--agg BUCKET_MS] [--replay] [--jsonl]
+//!                      [--max-events N] [--reconnects R]
+//! domo-sink subsmoke   [--nodes N] [--seed S] [--shards K]
 //! ```
 //!
 //! `serve` runs the service until killed; with `--data-dir` every
@@ -37,6 +41,20 @@
 //! codec and ingestion throughput without criterion and writes the
 //! numbers to `BENCH_sink.json` (override with `--out`).
 //!
+//! `tail` follows a running sink's `SUBSCRIBE` push stream: raw
+//! `packet` lines (or `bucket` aggregate lines with `--agg`), printed
+//! as-is or as JSON Lines with `--jsonl`, surviving `--reconnects R`
+//! sink restarts by re-subscribing with `REPLAY` and deduplicating
+//! packet ids. `subsmoke` is the live-query acceptance gate used by
+//! `scripts/check.sh`: against a durable in-process sink it checks
+//! that a live subscriber sees exactly the emitted set (no gaps, no
+//! duplicates) across a forced CHECKPOINT, that a NODE-filtered
+//! subscriber sees exactly the matching subset, that a
+//! disconnect-then-`REPLAY` reconnect stays exactly-once after
+//! client-side dedup, and that AGG percentiles stay within the
+//! sketch's documented relative error bound against an offline exact
+//! computation.
+//!
 //! The chaos-injection flags exist for soak testing (`domo-exp chaos`
 //! drives them): `--store-faults` arms a seeded fault window inside the
 //! storage I/O layer (`key=value` pairs: `seed`, `eio`, `enospc`,
@@ -55,12 +73,15 @@
 //! port: `echo METRICS | nc HOST QUERY_PORT`.
 
 use domo_net::{run_simulation, NetworkConfig};
-use domo_sink::client::{parse_stats, replay_packets, QueryClient, ReplayOptions};
+use domo_sink::client::{
+    parse_stats, replay_packets, tail_events, QueryClient, ReplayOptions, TailOptions,
+};
 use domo_sink::server::SinkServer;
 use domo_sink::service::{SinkConfig, SinkHealth, SinkService};
 use domo_sink::wire::{decode_packets, encode_packets};
 use domo_sink::{StoreConfig, StoreErrorPolicy};
 use domo_store::{FaultPlan, FsyncPolicy};
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 struct Flags {
@@ -89,6 +110,12 @@ struct Flags {
     store_faults: Option<FaultPlan>,
     idle_timeout_secs: u64,
     chaos_panic: Option<(usize, u64)>,
+    node: Option<u16>,
+    path_filter: Option<(u16, u16)>,
+    agg_bucket: Option<u64>,
+    sub_replay: bool,
+    jsonl: bool,
+    max_events: u64,
 }
 
 impl Default for Flags {
@@ -119,6 +146,12 @@ impl Default for Flags {
             store_faults: None,
             idle_timeout_secs: 60,
             chaos_panic: None,
+            node: None,
+            path_filter: None,
+            agg_bucket: None,
+            sub_replay: false,
+            jsonl: false,
+            max_events: 0,
         }
     }
 }
@@ -181,6 +214,14 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
             f.drain = true;
             continue;
         }
+        if flag == "--replay" {
+            f.sub_replay = true;
+            continue;
+        }
+        if flag == "--jsonl" {
+            f.jsonl = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
@@ -217,6 +258,18 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
             "--store-faults" => f.store_faults = Some(parse_fault_plan(value)?),
             "--idle-timeout" => f.idle_timeout_secs = num(flag)?,
             "--chaos-panic" => f.chaos_panic = Some(parse_chaos_panic(value)?),
+            "--node" => f.node = Some(num(flag)? as u16),
+            "--path" => {
+                let (src, dst) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("--path: `{value}` is not SRC:DST"))?;
+                f.path_filter = Some((
+                    src.parse().map_err(|e| format!("--path src: {e}"))?,
+                    dst.parse().map_err(|e| format!("--path dst: {e}"))?,
+                ));
+            }
+            "--agg" => f.agg_bucket = Some(num(flag)?),
+            "--max-events" => f.max_events = num(flag)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -779,9 +832,496 @@ fn bench(f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the SUBSCRIBE command line a `tail` run sends.
+fn subscribe_command(f: &Flags) -> Result<String, String> {
+    if f.node.is_some() && f.path_filter.is_some() {
+        return Err("--node and --path are mutually exclusive".into());
+    }
+    let mut cmd = String::from("SUBSCRIBE");
+    if let Some(n) = f.node {
+        cmd.push_str(&format!(" NODE {n}"));
+    }
+    if let Some((src, dst)) = f.path_filter {
+        cmd.push_str(&format!(" PATH {src} {dst}"));
+    }
+    if let Some(b) = f.agg_bucket {
+        cmd.push_str(&format!(" AGG {b}"));
+    }
+    if f.sub_replay {
+        cmd.push_str(" REPLAY");
+    }
+    Ok(cmd)
+}
+
+/// Renders one push-stream line as a JSON object for `--jsonl`.
+fn stream_line_json(l: &str) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut it = l.split_whitespace();
+    match it.next() {
+        Some("packet") => {
+            let pid = it.next().unwrap_or("");
+            let mut path = "[]".to_string();
+            let mut times = "[]".to_string();
+            let rest: Vec<&str> = it.collect();
+            if let Some(p) = rest.iter().position(|&t| t == "path") {
+                if let Some(raw) = rest.get(p + 1) {
+                    path = format!("[{}]", raw.split('-').collect::<Vec<_>>().join(","));
+                }
+            }
+            if let Some(p) = rest.iter().position(|&t| t == "times") {
+                times = format!("[{}]", rest[p + 1..].join(","));
+            }
+            format!(
+                "{{\"type\":\"packet\",\"pid\":\"{}\",\"path\":{path},\"times\":{times}}}",
+                esc(pid)
+            )
+        }
+        Some("bucket") => {
+            let fields: Vec<&str> = l.split_whitespace().collect();
+            let mut body = String::new();
+            // "bucket <start> count <n> mean <m> ..." → key/value pairs.
+            if let Some(start) = fields.get(1) {
+                body.push_str(&format!("\"start_ms\":{start}"));
+            }
+            for pair in fields[2..].chunks(2) {
+                if let [k, v] = pair {
+                    body.push_str(&format!(",\"{}\":{v}", esc(k)));
+                }
+            }
+            format!("{{\"type\":\"bucket\",{body}}}")
+        }
+        Some("lagged") => format!(
+            "{{\"type\":\"lagged\",\"dropped\":{}}}",
+            it.next().unwrap_or("0")
+        ),
+        Some("SHED") => format!("{{\"type\":\"shed\",\"line\":\"{}\"}}", esc(l)),
+        _ => format!("{{\"type\":\"line\",\"line\":\"{}\"}}", esc(l)),
+    }
+}
+
+fn tail(f: &Flags) -> Result<(), String> {
+    let query = f.query.as_deref().ok_or("tail needs --query HOST:PORT")?;
+    let cmd = subscribe_command(f)?;
+    domo_obs::info!(
+        target: "domo_sink",
+        "tailing",
+        query = query,
+        command = cmd.as_str(),
+    );
+    let jsonl = f.jsonl;
+    let report = tail_events(
+        query,
+        &cmd,
+        &TailOptions {
+            max_reconnects: f.reconnects,
+            max_events: f.max_events,
+            ..TailOptions::default()
+        },
+        |l| {
+            if jsonl {
+                println!("{}", stream_line_json(l));
+            } else {
+                println!("{l}");
+            }
+            true
+        },
+    )
+    .map_err(|e| format!("tail: {e}"))?;
+    domo_obs::info!(
+        target: "domo_sink",
+        "tail finished",
+        events = report.events,
+        duplicates = report.duplicates,
+        lagged = report.lagged,
+        reconnects = report.reconnects,
+        shed = report.shed,
+    );
+    Ok(())
+}
+
+/// Exact quantile at rank `⌈q·n⌉` of an ascending-sorted slice — the
+/// same rank convention `DelaySketch::quantile` estimates.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Parses the pid token out of a `packet <pid> …` line.
+fn pid_of(line: &str) -> Option<&str> {
+    line.split_whitespace().nth(1)
+}
+
+/// The live-query acceptance gate (check.sh gate 11); see the module
+/// docs for what it asserts.
+fn subsmoke(f: &Flags) -> Result<(), String> {
+    let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
+    let total = trace.packets.len();
+    if total < 4 {
+        return Err("trace too small for a meaningful subscription test".into());
+    }
+    let half = total / 2;
+    // Not every ingested packet reconstructs (retransmitted pids dedup,
+    // estimation can fail), so the expected emission sets come from a
+    // deterministic reference run of the same trace through an
+    // identical in-process sink — the same bit-identity crashsmoke
+    // already relies on.
+    let distinct_half = trace.packets[..half]
+        .iter()
+        .map(|p| p.pid)
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+    let distinct_total = trace
+        .packets
+        .iter()
+        .map(|p| p.pid)
+        .collect::<std::collections::HashSet<_>>()
+        .len() as u64;
+    let ref_dir = std::env::temp_dir().join(format!("domo-subsmoke-ref-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let reference = SinkService::start(SinkConfig {
+        shards: f.shards,
+        store: Some(StoreConfig::at(&ref_dir)),
+        ..SinkConfig::default()
+    });
+    for p in &trace.packets[..half] {
+        reference.ingest(p.clone());
+    }
+    reference.drain();
+    let phase1: BTreeSet<String> = reference
+        .range(f64::NEG_INFINITY, f64::INFINITY)
+        .map_err(|e| format!("reference range: {e}"))?
+        .iter()
+        .map(|(pid, _)| pid.to_string())
+        .collect();
+    for p in &trace.packets[half..] {
+        reference.ingest(p.clone());
+    }
+    reference.drain();
+    let recs = reference
+        .range(f64::NEG_INFINITY, f64::INFINITY)
+        .map_err(|e| format!("reference range: {e}"))?;
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let all_pids: BTreeSet<String> = recs.iter().map(|(pid, _)| pid.to_string()).collect();
+    if phase1.is_empty() || all_pids.len() <= phase1.len() {
+        return Err("reference run emitted too little to exercise both phases".into());
+    }
+    // The NODE filter target: the busiest forwarder (non-terminal path
+    // position) of the emitted set, so the subset is nonempty.
+    let mut per_node = std::collections::HashMap::new();
+    for (_, rec) in &recs {
+        let n = rec.path.len();
+        for node in &rec.path[..n.saturating_sub(1)] {
+            *per_node.entry(node.index() as u16).or_insert(0usize) += 1;
+        }
+    }
+    let (filter_node, node_total) = per_node
+        .into_iter()
+        .max_by_key(|&(node, count)| (count, std::cmp::Reverse(node)))
+        .ok_or("no forwarding node in the emitted set")?;
+    let node_pids: BTreeSet<String> = recs
+        .iter()
+        .filter(|(_, rec)| {
+            let n = rec.path.len();
+            rec.path[..n.saturating_sub(1)]
+                .iter()
+                .any(|nd| nd.index() as u16 == filter_node)
+        })
+        .map(|(pid, _)| pid.to_string())
+        .collect();
+
+    let data_dir = std::env::temp_dir().join(format!("domo-subsmoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let server = SinkServer::bind(
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+        SinkConfig {
+            shards: f.shards,
+            store: Some(StoreConfig::at(&data_dir)),
+            ..SinkConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let query_addr = server.query_addr();
+    println!(
+        "subsmoke: {} packets, {} reconstructions ({} through node {filter_node}), sink at {} / {}",
+        total,
+        all_pids.len(),
+        node_pids.len(),
+        server.ingest_addr(),
+        query_addr
+    );
+
+    // Three live subscribers registered before anything is emitted:
+    // B (ALL, follows to the end), C (NODE-filtered, follows to the
+    // end), D (ALL, deliberately disconnects after the first half).
+    let spawn_tail = |cmd: &'static str, max_events: u64| {
+        std::thread::spawn(move || {
+            let mut pids: Vec<String> = Vec::new();
+            let report = tail_events(
+                query_addr,
+                cmd,
+                &TailOptions {
+                    max_events,
+                    ..TailOptions::default()
+                },
+                |l| {
+                    if let Some(pid) = pid_of(l) {
+                        pids.push(pid.to_string());
+                    }
+                    true
+                },
+            );
+            (report, pids)
+        })
+    };
+    let sub_all = spawn_tail("SUBSCRIBE", all_pids.len() as u64);
+    let node_cmd: &'static str =
+        Box::leak(format!("SUBSCRIBE NODE {filter_node}").into_boxed_str());
+    let sub_node = spawn_tail(node_cmd, node_pids.len() as u64);
+    let sub_drop = spawn_tail("SUBSCRIBE", phase1.len() as u64);
+
+    // Wait until all three are registered, or emissions could slip
+    // out before the subscriptions exist.
+    let mut q = QueryClient::connect(query_addr).map_err(|e| format!("query connect: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = parse_stats(&q.request("STATS").map_err(|e| format!("stats: {e}"))?);
+        if stat(&stats, "subscribers") >= 3 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err("subscribers never registered".into());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Phase 1: half the trace, emitted by an explicit DRAIN, then a
+    // forced CHECKPOINT *while the subscribers live* — exactly-once
+    // must hold across it.
+    replay_packets(
+        server.ingest_addr(),
+        &trace.packets[..half],
+        &ReplayOptions::default(),
+    )
+    .map_err(|e| format!("phase-1 replay: {e}"))?;
+    wait_ingested(&mut q, distinct_half)?;
+    let drain = q.request("DRAIN").map_err(|e| format!("drain: {e}"))?;
+    if drain.first().map(|l| l.starts_with("OK emitted ")) != Some(true) {
+        return Err(format!("DRAIN did not report emissions: {drain:?}"));
+    }
+    let ckpt = q
+        .request("CHECKPOINT")
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    if ckpt.first().map(|l| l.starts_with("OK lsn ")) != Some(true) {
+        return Err(format!("CHECKPOINT failed: {ckpt:?}"));
+    }
+    println!(
+        "subsmoke: phase 1 drained ({} reconstructions) and checkpointed",
+        phase1.len()
+    );
+
+    // D saw the first phase's emissions, then hung up mid-stream.
+    let (drop_report, drop_pids) = sub_drop.join().map_err(|_| "drop subscriber panicked")?;
+    let drop_report = drop_report.map_err(|e| format!("drop subscriber: {e}"))?;
+    if drop_report.events != phase1.len() as u64 || drop_report.duplicates != 0 {
+        return Err(format!(
+            "pre-disconnect subscriber saw {} events ({} dup), want {}",
+            drop_report.events,
+            drop_report.duplicates,
+            phase1.len()
+        ));
+    }
+
+    // Phase 2: the rest of the trace, another DRAIN.
+    replay_packets(
+        server.ingest_addr(),
+        &trace.packets,
+        &ReplayOptions::default(),
+    )
+    .map_err(|e| format!("phase-2 replay: {e}"))?;
+    wait_ingested(&mut q, distinct_total)?;
+    q.request("DRAIN")
+        .map_err(|e| format!("phase-2 drain: {e}"))?;
+
+    // B: exactly the emitted set, no gaps, no duplicates, across the
+    // checkpoint.
+    let (all_report, got_all) = sub_all.join().map_err(|_| "ALL subscriber panicked")?;
+    let all_report = all_report.map_err(|e| format!("ALL subscriber: {e}"))?;
+    let got_all_set: BTreeSet<String> = got_all.iter().cloned().collect();
+    if all_report.duplicates != 0 || got_all_set.len() != got_all.len() {
+        return Err("ALL subscriber received duplicates".into());
+    }
+    if got_all_set != all_pids {
+        return Err(format!(
+            "ALL subscriber diverges: got {} pids, want {} (missing: {:?})",
+            got_all_set.len(),
+            all_pids.len(),
+            all_pids
+                .difference(&got_all_set)
+                .take(3)
+                .collect::<Vec<_>>()
+        ));
+    }
+    println!(
+        "subsmoke: live subscriber saw all {} emissions exactly once across CHECKPOINT",
+        all_pids.len()
+    );
+
+    // C: exactly the matching subset.
+    let (node_report, got_node) = sub_node.join().map_err(|_| "NODE subscriber panicked")?;
+    let node_report = node_report.map_err(|e| format!("NODE subscriber: {e}"))?;
+    let got_node_set: BTreeSet<String> = got_node.iter().cloned().collect();
+    if node_report.duplicates != 0 || got_node_set != node_pids {
+        return Err(format!(
+            "NODE {filter_node} subscriber diverges: got {}, want {}",
+            got_node_set.len(),
+            node_pids.len()
+        ));
+    }
+    println!(
+        "subsmoke: NODE {filter_node} subscriber saw exactly its {} matching emissions",
+        node_pids.len()
+    );
+
+    // D reconnects with REPLAY: the union of the pre-disconnect stream
+    // and the replayed stream, deduplicated client-side, is exactly
+    // the emitted set.
+    let mut rejoined: BTreeSet<String> = drop_pids.into_iter().collect();
+    let before = rejoined.len();
+    let replay_report = tail_events(
+        query_addr,
+        "SUBSCRIBE REPLAY",
+        &TailOptions {
+            max_events: all_pids.len() as u64,
+            ..TailOptions::default()
+        },
+        |l| {
+            if let Some(pid) = pid_of(l) {
+                rejoined.insert(pid.to_string());
+            }
+            true
+        },
+    )
+    .map_err(|e| format!("reconnect tail: {e}"))?;
+    if replay_report.events != all_pids.len() as u64 || rejoined != all_pids {
+        return Err(format!(
+            "reconnect not exactly-once: {} before + replay {} → {} unique, want {}",
+            before,
+            replay_report.events,
+            rejoined.len(),
+            all_pids.len()
+        ));
+    }
+    println!("subsmoke: disconnect + REPLAY reconnect converged to exactly-once");
+
+    // AGG vs offline exact: every sojourn sample of the filter node,
+    // one giant bucket, quantiles within the documented bound.
+    let range = q
+        .request("RANGE -inf inf")
+        .map_err(|e| format!("range: {e}"))?;
+    let mut sojourns: Vec<f64> = Vec::new();
+    for line in range.iter().filter(|l| l.starts_with("packet ")) {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let (Some(pp), Some(tp)) = (
+            fields.iter().position(|&t| t == "path"),
+            fields.iter().position(|&t| t == "times"),
+        ) else {
+            continue;
+        };
+        let path: Vec<u16> = fields[pp + 1]
+            .split('-')
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        let times: Vec<f64> = fields[tp + 1..]
+            .iter()
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        for (i, w) in times.windows(2).enumerate() {
+            if path.get(i) == Some(&filter_node) {
+                sojourns.push((w[1] - w[0]).max(0.0));
+            }
+        }
+    }
+    sojourns.sort_by(f64::total_cmp);
+    if sojourns.len() != node_total {
+        return Err(format!(
+            "offline sample count {} != expected {node_total}",
+            sojourns.len()
+        ));
+    }
+    let agg = q
+        .request(&format!("AGG {filter_node} 0 100000000 100000000"))
+        .map_err(|e| format!("agg: {e}"))?;
+    let bucket = agg
+        .iter()
+        .find(|l| l.starts_with("bucket "))
+        .ok_or_else(|| format!("AGG returned no bucket: {agg:?}"))?;
+    let fields: Vec<&str> = bucket.split_whitespace().collect();
+    let field = |name: &str| -> Result<f64, String> {
+        fields
+            .iter()
+            .position(|&t| t == name)
+            .and_then(|p| fields.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("AGG bucket missing `{name}`: {bucket}"))
+    };
+    let count = field("count")? as usize;
+    if count != sojourns.len() {
+        return Err(format!("AGG count {count} != offline {}", sojourns.len()));
+    }
+    // Documented sketch bound (DelaySketch::relative_error_bound is
+    // ≈5.93%, documented < 6.2%); the offline values carry the %.3f
+    // wire rounding, hence the small absolute slack.
+    let bound = 0.062;
+    for (name, q_frac) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        let est = field(name)?;
+        let exact = exact_quantile(&sojourns, q_frac);
+        let tol = bound * exact.abs() + 1e-2;
+        if (est - exact).abs() > tol {
+            return Err(format!(
+                "AGG {name} {est} vs exact {exact} exceeds the {bound} bound"
+            ));
+        }
+    }
+    let mean = field("mean")?;
+    let offline_mean = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+    if (mean - offline_mean).abs() > 1e-2 + 1e-3 * offline_mean.abs() {
+        return Err(format!("AGG mean {mean} vs offline {offline_mean}"));
+    }
+    println!(
+        "subsmoke: AGG over {} samples within the {:.1}% sketch bound (p50/p95/p99), mean exact",
+        count,
+        bound * 100.0
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    println!("subsmoke: OK");
+    Ok(())
+}
+
+/// Polls STATS until `ingested` reaches `want`.
+fn wait_ingested(q: &mut QueryClient, want: u64) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = parse_stats(&q.request("STATS").map_err(|e| format!("stats: {e}"))?);
+        if stat(&stats, "ingested") >= want {
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(format!("ingest stalled before {want}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: domo-sink <serve|replay|smoke|crashsmoke|bench> [flags] (see module docs)";
+    let usage = "usage: domo-sink <serve|replay|smoke|crashsmoke|bench|tail|subsmoke> [flags] (see module docs)";
     let Some(command) = argv.first() else {
         domo_obs::error!(target: "domo_sink", "missing command", usage = usage);
         std::process::exit(2);
@@ -794,6 +1334,8 @@ fn main() {
             "smoke" => smoke(&flags),
             "crashsmoke" => crashsmoke(&flags),
             "bench" => bench(&flags),
+            "tail" => tail(&flags),
+            "subsmoke" => subsmoke(&flags),
             other => Err(format!("unknown command {other}\n{usage}")),
         },
     };

@@ -1,10 +1,12 @@
-//! Client-side pieces: a query-protocol client and the trace replay
+//! Client-side pieces: a query-protocol client, the trace replay
 //! driver that feeds a simulated (or recorded) trace to a running sink
-//! over the wire — the whole service is testable end-to-end without
-//! real hardware.
+//! over the wire, and the `tail` follower that consumes a `SUBSCRIBE`
+//! push stream with reconnect — the whole service is testable
+//! end-to-end without real hardware.
 
 use crate::wire::{encode_packet, encoded_len};
 use domo_net::CollectedPacket;
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -138,19 +140,38 @@ fn splitmix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Capped exponential backoff with deterministic jitter, shared by the
+/// replay driver and the tail follower (see [`ReplayOptions::jitter`]
+/// for the schedule's contract).
+fn backoff_delay(
+    start_ms: u64,
+    cap_ms: u64,
+    jitter: f64,
+    seed: u64,
+    consecutive_failures: u32,
+) -> Duration {
+    let start = start_ms.max(1);
+    let cap = cap_ms.max(start);
+    let base = start
+        .saturating_mul(1u64 << consecutive_failures.min(16))
+        .min(cap);
+    let jitter = jitter.clamp(0.0, 1.0);
+    // Uniform in [-1, 1], deterministic per (seed, attempt).
+    let unit =
+        splitmix64(seed.wrapping_add(u64::from(consecutive_failures))) as f64 / u64::MAX as f64;
+    let factor = 1.0 + jitter * (2.0 * unit - 1.0);
+    Duration::from_secs_f64(base as f64 * factor / 1_000.0)
+}
+
 impl ReplayOptions {
     fn backoff(&self, consecutive_failures: u32) -> Duration {
-        let start = self.backoff_start_ms.max(1);
-        let cap = self.backoff_cap_ms.max(start);
-        let base = start
-            .saturating_mul(1u64 << consecutive_failures.min(16))
-            .min(cap);
-        let jitter = self.jitter.clamp(0.0, 1.0);
-        // Uniform in [-1, 1], deterministic per (seed, attempt).
-        let unit = splitmix64(self.seed.wrapping_add(u64::from(consecutive_failures))) as f64
-            / u64::MAX as f64;
-        let factor = 1.0 + jitter * (2.0 * unit - 1.0);
-        Duration::from_secs_f64(base as f64 * factor / 1_000.0)
+        backoff_delay(
+            self.backoff_start_ms,
+            self.backoff_cap_ms,
+            self.jitter,
+            self.seed,
+            consecutive_failures,
+        )
     }
 }
 
@@ -306,6 +327,192 @@ pub fn replay_packets<A: ToSocketAddrs + Copy>(
     })
 }
 
+/// Knobs of [`tail_events`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailOptions {
+    /// Reconnects tolerated across the whole follow (`0` = the first
+    /// broken connection ends the tail cleanly).
+    pub max_reconnects: usize,
+    /// First retry delay; doubles per consecutive failure.
+    pub backoff_start_ms: u64,
+    /// Ceiling on the exponential backoff delay.
+    pub backoff_cap_ms: u64,
+    /// Jitter fraction (see [`ReplayOptions::jitter`]).
+    pub jitter: f64,
+    /// Seed for the deterministic jitter draw.
+    pub seed: u64,
+    /// Stop after this many unique packet events (`0` = follow until
+    /// the server closes the stream or the budget is spent).
+    pub max_events: u64,
+}
+
+impl Default for TailOptions {
+    fn default() -> Self {
+        Self {
+            max_reconnects: 0,
+            backoff_start_ms: 50,
+            backoff_cap_ms: 2_000,
+            jitter: 0.25,
+            seed: 1,
+            max_events: 0,
+        }
+    }
+}
+
+/// What a tail run saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TailReport {
+    /// Unique packet events delivered to the callback.
+    pub events: u64,
+    /// Packet lines suppressed as duplicates (reconnect overlap).
+    pub duplicates: u64,
+    /// Server-reported dropped events, summed over `lagged` lines.
+    pub lagged: u64,
+    /// Connections re-established after a failure or server close.
+    pub reconnects: usize,
+    /// The server shed this subscriber for lagging.
+    pub shed: bool,
+}
+
+/// Ensures a reconnect's SUBSCRIBE asks for the retained backfill, so
+/// events emitted during the outage are re-offered (up to the server's
+/// retention) and the dedup set suppresses the overlap.
+fn with_replay(subscribe: &str) -> String {
+    if subscribe
+        .split_whitespace()
+        .any(|t| t.eq_ignore_ascii_case("REPLAY"))
+    {
+        subscribe.to_string()
+    } else {
+        format!("{subscribe} REPLAY")
+    }
+}
+
+/// Follows a `SUBSCRIBE` push stream, feeding each server line to
+/// `on_line` (return `false` to stop). Packet lines are deduplicated
+/// by packet id across the whole follow, so a reconnect — which
+/// re-subscribes with `REPLAY` to cover the outage — delivers each
+/// reconstruction at most once; exactly once when the outage stayed
+/// within the server's retention window. Non-packet lines (`lagged`,
+/// `bucket`, `SHED`) pass through undeduplicated. The dedup set grows
+/// with the stream; this is a client-side tool, not a server.
+///
+/// # Errors
+///
+/// Connect/read failures once the reconnect budget is spent, or an
+/// `ERR` reply to the SUBSCRIBE itself (`InvalidData` — retrying a
+/// rejected command would never succeed).
+pub fn tail_events<A: ToSocketAddrs + Copy>(
+    addr: A,
+    subscribe: &str,
+    opts: &TailOptions,
+    mut on_line: impl FnMut(&str) -> bool,
+) -> std::io::Result<TailReport> {
+    let mut report = TailReport::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut consecutive = 0u32;
+    let mut first = true;
+    let mut line = String::new();
+    'outer: loop {
+        let cmd = if first {
+            subscribe.to_string()
+        } else {
+            with_replay(subscribe)
+        };
+        let connected = TcpStream::connect(addr).and_then(|stream| {
+            let _ = stream.set_nodelay(true);
+            let mut w = stream.try_clone()?;
+            writeln!(w, "{cmd}")?;
+            w.flush()?;
+            Ok(BufReader::new(stream))
+        });
+        let mut reader = match connected {
+            Ok(r) => r,
+            Err(e) => {
+                if report.reconnects >= opts.max_reconnects {
+                    if first {
+                        return Err(e);
+                    }
+                    break 'outer;
+                }
+                report.reconnects += 1;
+                std::thread::sleep(backoff_delay(
+                    opts.backoff_start_ms,
+                    opts.backoff_cap_ms,
+                    opts.jitter,
+                    opts.seed,
+                    consecutive,
+                ));
+                consecutive += 1;
+                continue 'outer;
+            }
+        };
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+            let l = line.trim_end();
+            if let Some(reason) = l.strip_prefix("ERR ") {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("server rejected subscription: {reason}"),
+                ));
+            }
+            if l.starts_with("OK subscribed") {
+                consecutive = 0;
+                continue;
+            }
+            if l == "END" {
+                break;
+            }
+            if l.starts_with("packet ") {
+                let pid = l.split_whitespace().nth(1).unwrap_or("").to_string();
+                if !seen.insert(pid) {
+                    report.duplicates += 1;
+                    continue;
+                }
+                report.events += 1;
+                if !on_line(l) {
+                    break 'outer;
+                }
+                if opts.max_events > 0 && report.events >= opts.max_events {
+                    break 'outer;
+                }
+            } else if let Some(n) = l.strip_prefix("lagged ") {
+                report.lagged += n.parse::<u64>().unwrap_or(0);
+                if !on_line(l) {
+                    break 'outer;
+                }
+            } else if l.starts_with("SHED") {
+                report.shed = true;
+                let _ = on_line(l);
+                break 'outer;
+            } else if !on_line(l) {
+                break 'outer;
+            }
+        }
+        // The stream ended server-side (close, shutdown, or a broken
+        // socket): re-follow if the budget allows, else finish cleanly.
+        if report.reconnects >= opts.max_reconnects {
+            break 'outer;
+        }
+        report.reconnects += 1;
+        std::thread::sleep(backoff_delay(
+            opts.backoff_start_ms,
+            opts.backoff_cap_ms,
+            opts.jitter,
+            opts.seed,
+            consecutive,
+        ));
+        consecutive += 1;
+        first = false;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +643,61 @@ mod tests {
         };
         assert_eq!(exact.backoff(0), Duration::from_millis(50));
         assert_eq!(exact.backoff(2), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn tail_replays_the_retained_stream_exactly_once() {
+        let trace = run_simulation(&NetworkConfig::small(9, 933));
+        let server = SinkServer::bind(
+            "127.0.0.1:0",
+            "127.0.0.1:0",
+            SinkConfig {
+                shards: 1,
+                ..SinkConfig::default()
+            },
+        )
+        .expect("bind");
+        replay_packets(
+            server.ingest_addr(),
+            &trace.packets,
+            &ReplayOptions::default(),
+        )
+        .expect("replay");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if server.service().stats().ingested == trace.packets.len() as u64 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Emit everything, then subscribe with REPLAY: the whole set
+        // arrives as backfill, each packet exactly once.
+        crate::client::query_request(server.query_addr(), "DRAIN").expect("drain");
+        let want = server.service().stats().emitted;
+        assert!(want > 0);
+        let mut pids = Vec::new();
+        let report = tail_events(
+            server.query_addr(),
+            "SUBSCRIBE REPLAY",
+            &TailOptions {
+                max_events: want,
+                ..TailOptions::default()
+            },
+            |l| {
+                if let Some(pid) = l.split_whitespace().nth(1) {
+                    pids.push(pid.to_string());
+                }
+                true
+            },
+        )
+        .expect("tail");
+        assert_eq!(report.events, want);
+        assert_eq!(report.duplicates, 0);
+        assert!(!report.shed);
+        let unique: std::collections::HashSet<&String> = pids.iter().collect();
+        assert_eq!(unique.len(), pids.len(), "no duplicate pids delivered");
+        server.shutdown();
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!   panics.
 //! * [`server`] — [`server::SinkServer`]: a TCP ingestion listener
 //!   (thread-per-connection, binary frames) and a line-delimited query
-//!   listener (`STATS` / `NODES` / `PACKET` / `DRAIN` / `FLUSH`).
-//! * [`client`] — the query client and a replay driver that streams a
+//!   listener (`STATS` / `NODES` / `PACKET` / `RANGE` / `AGG` /
+//!   `SUBSCRIBE` / `DRAIN` / `FLUSH`), including the `SUBSCRIBE` push
+//!   streams backed by `domo_query`'s fan-out hub.
+//! * [`client`] — the query client, a replay driver that streams a
 //!   simulated [`domo_net::NetworkTrace`] over the wire at a
-//!   configurable rate, so the whole service is testable end-to-end
+//!   configurable rate, and the [`client::tail_events`] follower that
+//!   consumes a push stream with reconnect and packet-id
+//!   deduplication, so the whole service is testable end-to-end
 //!   without real hardware.
 //!
 //! # Examples
@@ -49,11 +53,14 @@ pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::{query_request, replay_packets, QueryClient, ReplayOptions, ReplayReport};
+pub use client::{
+    query_request, replay_packets, tail_events, QueryClient, ReplayOptions, ReplayReport,
+    TailOptions, TailReport,
+};
 pub use persist::{RecoveryReport, StoreConfig, StoreErrorPolicy};
 pub use server::SinkServer;
 pub use service::{
     HealthStatus, IngestOutcome, NodeDelaySummary, SinkConfig, SinkHealth, SinkService,
-    SinkSnapshot, SinkStatsSnapshot, StoreStatus, StoredReconstruction,
+    SinkSnapshot, SinkStatsSnapshot, StoreStatus, StoredReconstruction, SubTotals,
 };
 pub use wire::{decode_packet, encode_packet, encode_packets, WireError};

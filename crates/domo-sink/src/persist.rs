@@ -22,6 +22,8 @@ use crate::service::StoredReconstruction;
 use crate::wire::{self, WireError};
 use domo_core::streaming::StreamingSnapshot;
 use domo_net::{NodeId, PacketId};
+use domo_query::series::{AggParts, NodeSeriesParts};
+use domo_query::SketchParts;
 use domo_store::FsyncPolicy;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -158,6 +160,9 @@ pub struct CheckpointState {
     /// Per-node sojourn accumulators as
     /// [`domo_util::running::RunningStats::to_parts`] tuples.
     pub node_stats: Vec<(NodeId, domo_util::running::RunningParts)>,
+    /// The aggregation-sketch store behind `AGG` queries
+    /// ([`domo_query::AggStore::to_parts`]); restores bit-identically.
+    pub agg: AggParts,
 }
 
 /// A persisted format failed to decode.
@@ -192,10 +197,11 @@ impl From<WireError> for PersistError {
     }
 }
 
-// v2 added the watchdog_dropped counter (6 → 7 counter slots). A v1
-// checkpoint fails decode and is skipped like a corrupt one: recovery
-// falls back to full WAL replay, losing no data.
-const CHECKPOINT_VERSION: u32 = 2;
+// v2 added the watchdog_dropped counter (6 → 7 counter slots); v3
+// appended the AGG sketch store. An old-version checkpoint fails decode
+// and is skipped like a corrupt one: recovery falls back to full WAL
+// replay, losing no data (sketches rebuild from replay + backfill).
+const CHECKPOINT_VERSION: u32 = 3;
 
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -234,6 +240,108 @@ impl<'a> Cursor<'a> {
     fn f64(&mut self) -> Result<f64, PersistError> {
         Ok(f64::from_bits(self.u64()?))
     }
+
+    fn i32(&mut self) -> Result<i32, PersistError> {
+        Ok(self.u32()? as i32)
+    }
+
+    fn i64(&mut self) -> Result<i64, PersistError> {
+        Ok(self.u64()? as i64)
+    }
+}
+
+fn put_sketch(out: &mut Vec<u8>, s: &SketchParts) {
+    out.extend_from_slice(&s.count.to_le_bytes());
+    out.extend_from_slice(&s.zeros.to_le_bytes());
+    for v in [s.sum, s.min, s.max] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(s.buckets.len() as u32).to_le_bytes());
+    for &(idx, n) in &s.buckets {
+        out.extend_from_slice(&idx.to_le_bytes());
+        out.extend_from_slice(&n.to_le_bytes());
+    }
+}
+
+fn get_sketch(c: &mut Cursor<'_>) -> Result<SketchParts, PersistError> {
+    let count = c.u64()?;
+    let zeros = c.u64()?;
+    let sum = c.f64()?;
+    let min = c.f64()?;
+    let max = c.f64()?;
+    let bucket_count = c.u32()? as usize;
+    if bucket_count > 1 << 24 {
+        return Err(PersistError::Invalid("absurd sketch bucket count"));
+    }
+    let mut buckets = Vec::with_capacity(bucket_count.min(1 << 16));
+    for _ in 0..bucket_count {
+        let idx = c.i32()?;
+        let n = c.u64()?;
+        buckets.push((idx, n));
+    }
+    Ok(SketchParts {
+        count,
+        zeros,
+        sum,
+        min,
+        max,
+        buckets,
+    })
+}
+
+fn put_agg(out: &mut Vec<u8>, agg: &AggParts) {
+    out.extend_from_slice(&agg.granularity_ms.to_le_bytes());
+    out.extend_from_slice(&(agg.nodes.len() as u32).to_le_bytes());
+    for node in &agg.nodes {
+        out.extend_from_slice(&node.node.to_le_bytes());
+        match node.pruned_through {
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(node.buckets.len() as u32).to_le_bytes());
+        for (key, sketch) in &node.buckets {
+            out.extend_from_slice(&key.to_le_bytes());
+            put_sketch(out, sketch);
+        }
+    }
+}
+
+fn get_agg(c: &mut Cursor<'_>) -> Result<AggParts, PersistError> {
+    let granularity_ms = c.u64()?;
+    let node_count = c.u32()? as usize;
+    if node_count > 1 << 20 {
+        return Err(PersistError::Invalid("absurd agg node count"));
+    }
+    let mut nodes = Vec::with_capacity(node_count.min(1 << 16));
+    for _ in 0..node_count {
+        let node = c.u16()?;
+        let pruned_through = match c.take(1)?[0] {
+            0 => None,
+            1 => Some(c.i64()?),
+            _ => return Err(PersistError::Invalid("bad pruned-through flag")),
+        };
+        let bucket_count = c.u32()? as usize;
+        if bucket_count > 1 << 24 {
+            return Err(PersistError::Invalid("absurd agg bucket count"));
+        }
+        let mut buckets = Vec::with_capacity(bucket_count.min(1 << 16));
+        for _ in 0..bucket_count {
+            let key = c.i64()?;
+            buckets.push((key, get_sketch(c)?));
+        }
+        nodes.push(NodeSeriesParts {
+            node,
+            pruned_through,
+            buckets,
+        });
+    }
+    Ok(AggParts {
+        granularity_ms,
+        nodes,
+    })
 }
 
 fn put_pid(out: &mut Vec<u8>, pid: PacketId) {
@@ -283,6 +391,7 @@ pub fn encode_checkpoint(state: &CheckpointState) -> Result<Vec<u8>, PersistErro
             out.extend_from_slice(&v.to_bits().to_le_bytes());
         }
     }
+    put_agg(&mut out, &state.agg);
     Ok(out)
 }
 
@@ -342,6 +451,7 @@ pub fn decode_checkpoint(buf: &[u8]) -> Result<CheckpointState, PersistError> {
         let max = c.f64()?;
         node_stats.push((node, (count, mean, m2, min, max)));
     }
+    let agg = get_agg(&mut c)?;
     if c.at != buf.len() {
         return Err(PersistError::Invalid("trailing bytes after checkpoint"));
     }
@@ -350,6 +460,7 @@ pub fn decode_checkpoint(buf: &[u8]) -> Result<CheckpointState, PersistError> {
         counters,
         seen,
         node_stats,
+        agg,
     })
 }
 
@@ -443,6 +554,18 @@ mod tests {
                     (0, 0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY),
                 ),
             ],
+            agg: {
+                let mut agg = domo_query::AggStore::new(domo_query::AggConfig {
+                    granularity_ms: 100,
+                    retention_buckets: 2,
+                });
+                for i in 0..8 {
+                    agg.record(3, i as f64 * 70.0, 0.3 * i as f64);
+                    agg.record(7, i as f64 * 45.0, 1.0 / (i + 1) as f64);
+                }
+                agg.record(9, -0.5, 0.0); // negative-time + zeros bucket
+                agg.to_parts()
+            },
         };
         let bytes = encode_checkpoint(&state).unwrap();
         let back = decode_checkpoint(&bytes).unwrap();

@@ -16,18 +16,52 @@
 //! PACKET <origin> <seq>  one packet's reconstructed hop times
 //! RANGE <lo_ms> <hi_ms>  durable reconstructions whose first hop time
 //!                        falls in [lo, hi] (requires --data-dir)
+//! AGG <node> <start_ms> <end_ms> <bucket_ms>
+//!                        bucketed delay aggregates for one node:
+//!                        count/mean/p50/p95/p99/max per bucket, from
+//!                        the live sketches plus a result-log backfill
+//!                        for buckets older than sketch retention
+//! SUBSCRIBE [NODE <id>|PATH <src> <dst>] [AGG <bucket_ms>] [REPLAY]
+//!                        switch this connection to a live push stream
+//!                        (see below); REPLAY prefixes the retained
+//!                        matching reconstructions
 //! STORE STATS            WAL / checkpoint / result-log accounting
 //! CHECKPOINT             force a checkpoint now, reply with its cut
 //! METRICS [JSON]         every registered metric, Prometheus text
 //!                        exposition format (or JSON Lines)
-//! DRAIN                  flush every shard estimator, then respond
-//! FLUSH                  early-commit the oldest half of each shard
+//! DRAIN                  flush every shard estimator; replies
+//!                        `OK emitted <n>` with the fresh emissions
+//! FLUSH                  early-commit the oldest half of each shard;
+//!                        replies `OK emitted <n>`
 //! QUIT                   close the connection
 //! ```
 //!
 //! Errors are lines starting `ERR`; the connection survives them, and
 //! every `ERR` reply is counted in `domo_sink_query_errors_total` so a
 //! misbehaving client is visible from a METRICS scrape.
+//!
+//! # SUBSCRIBE streams
+//!
+//! `SUBSCRIBE` flips the connection into push mode: the server replies
+//! `OK subscribed <filter> backfill <n>` and from then on *writes*
+//! events as they are emitted, reading only for `QUIT` (or EOF). Each
+//! matching emission is one `packet <origin>#<seq> path a-b-c times
+//! t0 t1 …` line — the same shape `RANGE` uses. The per-subscriber
+//! queue is bounded ([`SinkConfig::queue_capacity`], drop-oldest):
+//! when the client falls behind, dropped events surface as a
+//! `lagged <n>` line at the next delivery, and a subscriber that
+//! accumulates 4× the queue bound in drops is shed with a terminal
+//! `SHED lagged <total>` line. Every stream ends with `END`.
+//!
+//! With `AGG <bucket_ms>` the stream folds matching events into
+//! `bucket_ms`-wide sketch buckets instead, emitting one
+//! `bucket <start_ms> count … mean … p50 … p95 … p99 … max …` line per
+//! bucket as soon as a strictly newer bucket opens (NODE filters fold
+//! the node's per-hop sojourns; other filters fold end-to-end delay).
+//! `REPLAY` seeds the stream — raw or folded — with the retained
+//! reconstructions, captured atomically with the registration so the
+//! backfill plus the live stream is exactly-once even across a
+//! concurrent CHECKPOINT.
 //!
 //! # Connection deadlines
 //!
@@ -57,11 +91,16 @@
 use crate::service::{SinkConfig, SinkService, SinkSnapshot};
 use crate::wire::{read_frame, FrameReadError};
 use domo_obs::LazyCounter;
+use domo_query::series::AggBucket;
+use domo_query::sub::{RecvOutcome, SubFilter};
+use domo_query::DelaySketch;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 static OBS_QUERY_ERRORS: LazyCounter = LazyCounter::new("domo_sink_query_errors_total", &[]);
 static OBS_SHED_IDLE: LazyCounter = LazyCounter::new("domo_sink_shed_total", &[("reason", "idle")]);
@@ -350,6 +389,7 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 // Effective (post-clamp) flush threshold, so operators
                 // see the value the shards actually use.
                 writeln!(out, "high_water {}", service.effective_high_water())?;
+                writeln!(out, "subscribers {}", service.sub_totals().subscribers)?;
                 writeln!(out, "uptime_ms {}", service.uptime_ms())?;
                 writeln!(out, "version {}", env!("CARGO_PKG_VERSION"))?;
                 // Durability posture (see the module docs): where state
@@ -420,6 +460,13 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 let lo = parts.next().and_then(|t| t.parse::<f64>().ok());
                 let hi = parts.next().and_then(|t| t.parse::<f64>().ok());
                 match (lo, hi) {
+                    // `parse::<f64>` happily accepts "NaN", and NaN
+                    // bounds make every comparison false — reject them
+                    // explicitly rather than hand back a surprising
+                    // (and historically scan-happy) empty window.
+                    (Some(lo), Some(hi)) if lo.is_nan() || hi.is_nan() => {
+                        err_reply(&mut out, "RANGE bounds must not be NaN")?
+                    }
                     (Some(lo), Some(hi)) => match service.range(lo, hi) {
                         Ok(records) => {
                             for (pid, r) in &records {
@@ -489,14 +536,45 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 }
                 writeln!(out, "END")?;
             }
+            "AGG" => {
+                let node = parts.next().and_then(|t| t.parse::<u16>().ok());
+                let start = parts.next().and_then(|t| t.parse::<f64>().ok());
+                let end = parts.next().and_then(|t| t.parse::<f64>().ok());
+                let bucket = parts.next().and_then(|t| t.parse::<u64>().ok());
+                match (node, start, end, bucket) {
+                    (Some(node), Some(start), Some(end), Some(bucket)) => {
+                        match service.agg_query(node, start, end, bucket) {
+                            Ok(buckets) => {
+                                for b in &buckets {
+                                    write_bucket(&mut out, b)?;
+                                }
+                                writeln!(out, "count {}", buckets.len())?;
+                            }
+                            Err(e) => err_reply(&mut out, &e.to_string())?,
+                        }
+                    }
+                    _ => err_reply(
+                        &mut out,
+                        "usage: AGG <node> <start_ms> <end_ms> <bucket_ms>",
+                    )?,
+                }
+                writeln!(out, "END")?;
+            }
+            "SUBSCRIBE" => match parse_subscribe(&mut parts) {
+                Ok(spec) => return stream_subscription(reader, out, service, spec),
+                Err(reason) => {
+                    err_reply(&mut out, &reason)?;
+                    writeln!(out, "END")?;
+                }
+            },
             "DRAIN" => {
-                service.drain();
-                writeln!(out, "OK")?;
+                let emitted = service.drain();
+                writeln!(out, "OK emitted {emitted}")?;
                 writeln!(out, "END")?;
             }
             "FLUSH" => {
-                service.flush_partial();
-                writeln!(out, "OK")?;
+                let emitted = service.flush_partial();
+                writeln!(out, "OK emitted {emitted}")?;
                 writeln!(out, "END")?;
             }
             "QUIT" => {
@@ -512,6 +590,278 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
         }
         out.flush()?;
     }
+}
+
+/// A parsed `SUBSCRIBE` request.
+struct SubscribeSpec {
+    filter: SubFilter,
+    /// `Some(bucket_ms)` folds the stream into AGG buckets.
+    agg_bucket_ms: Option<u64>,
+    /// Prefix the stream with the retained matching reconstructions.
+    replay: bool,
+}
+
+/// Parses the tokens after `SUBSCRIBE`:
+/// `[NODE <id> | PATH <src> <dst>] [AGG <bucket_ms>] [REPLAY]`.
+fn parse_subscribe<'a>(parts: &mut impl Iterator<Item = &'a str>) -> Result<SubscribeSpec, String> {
+    const USAGE: &str = "usage: SUBSCRIBE [NODE <id>|PATH <src> <dst>] [AGG <bucket_ms>] [REPLAY]";
+    let mut spec = SubscribeSpec {
+        filter: SubFilter::All,
+        agg_bucket_ms: None,
+        replay: false,
+    };
+    while let Some(tok) = parts.next() {
+        match tok.to_ascii_uppercase().as_str() {
+            "NODE" => {
+                let id = parts
+                    .next()
+                    .and_then(|t| t.parse::<u16>().ok())
+                    .ok_or_else(|| USAGE.to_string())?;
+                spec.filter = SubFilter::Node(id);
+            }
+            "PATH" => {
+                let src = parts.next().and_then(|t| t.parse::<u16>().ok());
+                let dst = parts.next().and_then(|t| t.parse::<u16>().ok());
+                match (src, dst) {
+                    (Some(src), Some(dst)) => spec.filter = SubFilter::Path { src, dst },
+                    _ => return Err(USAGE.to_string()),
+                }
+            }
+            "AGG" => {
+                let bucket = parts
+                    .next()
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .filter(|&b| b > 0)
+                    .ok_or_else(|| USAGE.to_string())?;
+                spec.agg_bucket_ms = Some(bucket);
+            }
+            "REPLAY" => spec.replay = true,
+            other => return Err(format!("unknown SUBSCRIBE option {other}")),
+        }
+    }
+    Ok(spec)
+}
+
+/// One `bucket …` reply line, shared by `AGG` and the streamed fold.
+fn write_bucket(out: &mut impl Write, b: &AggBucket) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "bucket {} count {} mean {:.3} p50 {:.3} p95 {:.3} p99 {:.3} max {:.3}",
+        b.start_ms, b.count, b.mean, b.p50, b.p95, b.p99, b.max
+    )
+}
+
+/// One `packet …` stream line — the exact shape `RANGE` replies use,
+/// so `tail` and `RANGE` output are interchangeable downstream.
+fn write_event_line(
+    out: &mut impl Write,
+    origin: u16,
+    seq: u32,
+    path: &[u16],
+    times: &[f64],
+) -> std::io::Result<()> {
+    let path_s: Vec<String> = path.iter().map(|n| n.to_string()).collect();
+    let times_s: Vec<String> = times.iter().map(|t| format!("{t:.3}")).collect();
+    writeln!(
+        out,
+        "packet n{origin}#{seq} path {} times {}",
+        path_s.join("-"),
+        times_s.join(" ")
+    )
+}
+
+/// The (timestamp, delay) samples one event contributes to a streamed
+/// AGG fold: the node's per-hop sojourns (keyed by arrival time there)
+/// under a NODE filter, the end-to-end delay keyed by generation time
+/// otherwise.
+fn fold_samples(filter: SubFilter, path: &[u16], times: &[f64], sink: &mut Vec<(f64, f64)>) {
+    match filter {
+        SubFilter::Node(id) => {
+            for (i, w) in times.windows(2).enumerate() {
+                if path.get(i) == Some(&id) {
+                    sink.push((w[0], (w[1] - w[0]).max(0.0)));
+                }
+            }
+        }
+        SubFilter::All | SubFilter::Path { .. } => {
+            if let (Some(&first), Some(&last)) = (times.first(), times.last()) {
+                sink.push((first, (last - first).max(0.0)));
+            }
+        }
+    }
+}
+
+/// Streaming AGG fold: per-bucket sketches held open until a strictly
+/// newer bucket appears, then flushed oldest-first. Emission order is
+/// near time order; a sample older than every open bucket after a
+/// flush re-opens its bucket (the client may see a bucket twice under
+/// heavy reordering — each line is still a correct partial aggregate).
+struct AggFold {
+    bucket_ms: u64,
+    open: BTreeMap<i64, DelaySketch>,
+    newest: Option<i64>,
+}
+
+impl AggFold {
+    fn new(bucket_ms: u64) -> Self {
+        Self {
+            bucket_ms,
+            open: BTreeMap::new(),
+            newest: None,
+        }
+    }
+
+    fn add(&mut self, t: f64, v: f64, out: &mut impl Write) -> std::io::Result<()> {
+        if !t.is_finite() || !v.is_finite() {
+            return Ok(());
+        }
+        let k = (t / self.bucket_ms as f64).floor() as i64;
+        self.open.entry(k).or_default().record(v);
+        let newest = self.newest.map_or(k, |n| n.max(k));
+        self.newest = Some(newest);
+        while self
+            .open
+            .first_key_value()
+            .is_some_and(|(&oldest, _)| oldest < newest)
+        {
+            if let Some((oldest, s)) = self.open.pop_first() {
+                self.emit(oldest, &s, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        while let Some((k, s)) = self.open.pop_first() {
+            self.emit(k, &s, out)?;
+        }
+        Ok(())
+    }
+
+    fn emit(&self, key: i64, s: &DelaySketch, out: &mut impl Write) -> std::io::Result<()> {
+        let start_ms = key.saturating_mul(self.bucket_ms as i64);
+        if let Some(b) = AggBucket::from_sketch(start_ms, s) {
+            write_bucket(out, &b)?;
+        }
+        Ok(())
+    }
+}
+
+/// Push-mode connection body: emits the backfill, then relays the live
+/// subscription until the client goes away (`QUIT` or EOF), the
+/// service closes, or the hub sheds the subscriber for lagging.
+fn stream_subscription(
+    mut reader: BufReader<TcpStream>,
+    mut out: BufWriter<TcpStream>,
+    service: &SinkService,
+    spec: SubscribeSpec,
+) -> std::io::Result<()> {
+    let (sub, backfill) = service.subscribe(spec.filter, spec.replay);
+    let desc = match spec.filter {
+        SubFilter::All => "all".to_string(),
+        SubFilter::Node(id) => format!("node {id}"),
+        SubFilter::Path { src, dst } => format!("path {src} {dst}"),
+    };
+    let agg_desc = spec
+        .agg_bucket_ms
+        .map(|b| format!(" agg {b}"))
+        .unwrap_or_default();
+    writeln!(
+        out,
+        "OK subscribed {desc}{agg_desc} backfill {}",
+        backfill.len()
+    )?;
+
+    let mut fold = spec.agg_bucket_ms.map(AggFold::new);
+    let mut samples = Vec::new();
+    let mut emit = |out: &mut BufWriter<TcpStream>,
+                    fold: &mut Option<AggFold>,
+                    origin: u16,
+                    seq: u32,
+                    path: &[u16],
+                    times: &[f64]|
+     -> std::io::Result<()> {
+        match fold {
+            Some(f) => {
+                samples.clear();
+                fold_samples(spec.filter, path, times, &mut samples);
+                for &(t, v) in &samples {
+                    f.add(t, v, out)?;
+                }
+                Ok(())
+            }
+            None => write_event_line(out, origin, seq, path, times),
+        }
+    };
+
+    let mut path_buf: Vec<u16> = Vec::new();
+    for (pid, rec) in &backfill {
+        path_buf.clear();
+        path_buf.extend(rec.path.iter().map(|n| n.index() as u16));
+        emit(
+            &mut out,
+            &mut fold,
+            pid.origin.index() as u16,
+            pid.seq,
+            &path_buf,
+            &rec.hop_times_ms,
+        )?;
+    }
+    out.flush()?;
+
+    // Poll the inbound half between receives so QUIT and EOF are
+    // honored promptly even while the stream is quiet.
+    reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(1)))?;
+    let mut line = String::new();
+    let mut shed = false;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {
+                if line.trim().eq_ignore_ascii_case("QUIT") {
+                    break;
+                }
+                // Any other inbound traffic mid-stream is ignored: the
+                // connection is in push mode.
+            }
+            Err(e) if is_read_deadline(&e) => {}
+            Err(e) => return Err(e),
+        }
+        match sub.recv(Duration::from_millis(100)) {
+            RecvOutcome::Event(ev) => {
+                emit(
+                    &mut out,
+                    &mut fold,
+                    ev.origin,
+                    ev.seq,
+                    &ev.path,
+                    &ev.hop_times_ms,
+                )?;
+                let lagged = sub.take_lagged();
+                if lagged > 0 {
+                    writeln!(out, "lagged {lagged}")?;
+                }
+                out.flush()?;
+            }
+            RecvOutcome::Timeout => out.flush()?,
+            RecvOutcome::Closed { shed: s } => {
+                shed = s;
+                break;
+            }
+        }
+    }
+    if let Some(f) = fold.as_mut() {
+        f.finish(&mut out)?;
+    }
+    if shed {
+        writeln!(out, "SHED lagged {}", sub.lagged_total())?;
+    }
+    writeln!(out, "END")?;
+    out.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -550,7 +900,9 @@ mod tests {
         }
 
         let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
-        assert_eq!(q.request("DRAIN").expect("drain"), vec!["OK".to_string()]);
+        let drain = q.request("DRAIN").expect("drain");
+        assert_eq!(drain.len(), 1);
+        assert!(drain[0].starts_with("OK emitted "));
         let stats = q.request("STATS").expect("stats");
         assert!(stats.contains(&format!("emitted {}", trace.packets.len())));
 
@@ -581,11 +933,12 @@ mod tests {
         assert!(!json.is_empty());
         assert!(json.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
 
-        // One-shot helper and unknown-command handling. 15 status lines
+        // One-shot helper and unknown-command handling. 16 status lines
         // plus the `store disabled` durability marker.
         let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
-        assert_eq!(oneshot.len(), 16);
+        assert_eq!(oneshot.len(), 17);
         assert!(oneshot.contains(&"store disabled".to_string()));
+        assert!(oneshot.contains(&"subscribers 0".to_string()));
         assert!(oneshot.contains(&"health healthy".to_string()));
         assert!(oneshot.contains(&"watchdog_restarts 0".to_string()));
         assert!(oneshot.contains(&"watchdog_dropped 0".to_string()));
@@ -654,8 +1007,33 @@ mod tests {
         assert_eq!(range.len(), trace.packets.len() + 1);
         let none = q.request("RANGE -5 -1").expect("empty range");
         assert_eq!(none, vec!["count 0".to_string()]);
+        // Degenerate windows: reversed bounds are a clean empty reply
+        // (no silent full scan), NaN bounds a structured error.
+        let reversed = q.request("RANGE 100 0").expect("reversed range");
+        assert_eq!(reversed, vec!["count 0".to_string()]);
+        let nan = q.request("RANGE NaN 5").expect("nan range");
+        assert!(nan[0].starts_with("ERR "));
         let bad = q.request("RANGE a b").expect("bad args");
         assert!(bad[0].starts_with("ERR usage"));
+
+        // AGG over the whole run: bucket lines plus a trailing count,
+        // totalling every per-hop sojourn recorded for the node.
+        let nodes = q.request("NODES").expect("nodes");
+        let first = nodes.first().and_then(|l| {
+            let mut it = l.split_whitespace();
+            (it.next() == Some("node")).then(|| it.next())?
+        });
+        let node: u16 = first.expect("a node line").parse().expect("node id");
+        let agg = q
+            .request(&format!("AGG {node} 0 1000000000 1000000000"))
+            .expect("agg");
+        assert!(agg.len() >= 2, "expected bucket + count lines: {agg:?}");
+        assert!(agg[0].starts_with("bucket "));
+        assert_eq!(agg[agg.len() - 1], format!("count {}", agg.len() - 1));
+        let bad_agg = q.request("AGG 0 10 0 100").expect("reversed agg");
+        assert!(bad_agg[0].starts_with("ERR "));
+        let bad_bucket = q.request("AGG 0 0 10 0").expect("zero bucket");
+        assert!(bad_bucket[0].starts_with("ERR "));
 
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

@@ -39,6 +39,8 @@ use domo_core::streaming::{ReconstructedPacket, StreamingEstimator, StreamingSna
 use domo_core::EstimatorConfig;
 use domo_net::{CollectedPacket, NodeId, PacketId};
 use domo_obs::{LazyCounter, LazyGauge};
+use domo_query::series::{self, AggBucket, AggConfig, AggStore};
+use domo_query::sub::{Event, SubFilter, SubHub, SubOptions, Subscription};
 use domo_store::results::ResultStoreStats;
 use domo_store::wal::{WalConfig, WalStats};
 use domo_store::{
@@ -101,6 +103,12 @@ pub struct SinkConfig {
     /// Query-connection deadline, same semantics as
     /// [`SinkConfig::ingest_idle_timeout`] (`None` disables).
     pub query_idle_timeout: Option<Duration>,
+    /// Aggregation-sketch configuration behind `AGG` queries
+    /// (granularity and per-node retention). Subscriber queues reuse
+    /// [`SinkConfig::queue_capacity`] as their bound (drop-oldest,
+    /// shed after 4× the bound in cumulative drops) — the same
+    /// discipline the shard queues apply.
+    pub agg: AggConfig,
 }
 
 impl Default for SinkConfig {
@@ -115,6 +123,7 @@ impl Default for SinkConfig {
             store: None,
             ingest_idle_timeout: None,
             query_idle_timeout: None,
+            agg: AggConfig::default(),
         }
     }
 }
@@ -261,6 +270,19 @@ pub struct StoredReconstruction {
     pub hop_times_ms: Vec<f64>,
 }
 
+/// Cumulative subscriber fan-out accounting for one service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubTotals {
+    /// Events enqueued to subscriber queues.
+    pub delivered: u64,
+    /// Events evicted by the per-subscriber drop-oldest bound.
+    pub lagged_dropped: u64,
+    /// Subscribers shed for persistently lagging.
+    pub shed: u64,
+    /// Subscribers currently registered.
+    pub subscribers: usize,
+}
+
 /// A point-in-time view of the whole service.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SinkSnapshot {
@@ -294,6 +316,13 @@ static OBS_HEALS: LazyCounter = LazyCounter::new("domo_sink_heals_total", &[]);
 static OBS_UNJOURNALED: LazyCounter = LazyCounter::new("domo_sink_unjournaled_total", &[]);
 static OBS_WD_RESTARTS: LazyCounter = LazyCounter::new("domo_sink_watchdog_restarts_total", &[]);
 static OBS_WD_DROPPED: LazyCounter = LazyCounter::new("domo_sink_watchdog_dropped_total", &[]);
+// Live query layer (SUBSCRIBE fan-out + AGG) telemetry.
+static OBS_SUB_DELIVERED: LazyCounter = LazyCounter::new("domo_sink_sub_delivered_total", &[]);
+static OBS_SUB_LAGGED: LazyCounter = LazyCounter::new("domo_sink_sub_lagged_dropped_total", &[]);
+static OBS_SUB_SHED: LazyCounter = LazyCounter::new("domo_sink_sub_shed_total", &[]);
+static OBS_SUBSCRIBERS: LazyGauge = LazyGauge::new("domo_sink_subscribers", &[]);
+static OBS_AGG_QUERIES: LazyCounter = LazyCounter::new("domo_sink_agg_queries_total", &[]);
+static OBS_AGG_BACKFILLS: LazyCounter = LazyCounter::new("domo_sink_agg_backfills_total", &[]);
 
 #[derive(Debug, Default)]
 struct StatsCells {
@@ -332,14 +361,20 @@ struct Store {
     /// stats, the result log, and the `emitted` counter each advance
     /// exactly once per pid).
     emitted_pids: HashSet<PacketId>,
+    /// Per-node time-bucketed delay sketches behind `AGG` queries, fed
+    /// under the same `fresh` gate as `node_stats` so every sojourn is
+    /// sketched exactly once.
+    agg: AggStore,
 }
 
 enum ShardMsg {
     Packet(CollectedPacket),
-    /// Flush everything (`try_finish`), then ack.
-    Drain(SyncSender<()>),
-    /// Flush the oldest half early (`try_flush_now`), then ack.
-    Flush(SyncSender<()>),
+    /// Flush everything (`try_finish`), then ack with the number of
+    /// *freshly* emitted reconstructions the flush produced.
+    Drain(SyncSender<u64>),
+    /// Flush the oldest half early (`try_flush_now`), then ack with the
+    /// fresh-emission count.
+    Flush(SyncSender<u64>),
     /// Checkpoint barrier: send the estimator's snapshot, then block
     /// until the checkpointer releases the worker. While every shard is
     /// parked here the service's mutable state is frozen, so the
@@ -793,8 +828,12 @@ impl Recovered {
                         .watchdog_dropped
                         .store(state.counters[6], Ordering::Relaxed);
                     seen.extend(state.seen);
-                    lock_or_recover(store).node_stats =
-                        persist::node_stats_from_parts(&state.node_stats);
+                    let mut st = lock_or_recover(store);
+                    st.node_stats = persist::node_stats_from_parts(&state.node_stats);
+                    // Bit-identical sketch restore; a granularity
+                    // change discards the snapshot (keys would not
+                    // translate) and AGG backfills from the result log.
+                    st.agg = AggStore::from_parts(cfg.agg, &state.agg);
                 }
                 Err(e) => {
                     report.checkpoints_skipped += 1;
@@ -916,6 +955,13 @@ struct Core {
     watchdog_restarts: AtomicU64,
     ingest_idle: Option<Duration>,
     query_idle: Option<Duration>,
+    /// Live-subscription fan-out. Published to under the `store` lock
+    /// (lock order store → hub registry), which makes a subscriber's
+    /// registration-plus-backfill atomic against emissions — the basis
+    /// of the exactly-once SUBSCRIBE contract.
+    hub: SubHub,
+    /// Queue policy applied to every subscriber.
+    sub_opts: SubOptions,
 }
 
 impl Core {
@@ -1043,7 +1089,10 @@ impl Core {
             .is_some_and(JoinHandle::is_finished)
     }
 
-    fn barrier(&self, make: fn(SyncSender<()>) -> ShardMsg) {
+    /// Runs a flush barrier on every shard and returns the summed
+    /// fresh-emission count the flushes produced (0 contributions from
+    /// shards whose worker died mid-barrier).
+    fn barrier(&self, make: fn(SyncSender<u64>) -> ShardMsg) -> u64 {
         let mut acks = Vec::with_capacity(self.shards.len());
         for (shard, q) in self.shards.iter().enumerate() {
             let (tx, rx) = std::sync::mpsc::sync_channel(1);
@@ -1051,10 +1100,14 @@ impl Core {
                 acks.push((shard, rx));
             }
         }
+        let mut emitted = 0u64;
         for (shard, rx) in acks {
             loop {
                 match rx.recv_timeout(BARRIER_POLL) {
-                    Ok(()) => break,
+                    Ok(n) => {
+                        emitted += n;
+                        break;
+                    }
                     // The worker died *holding* the message (the sender
                     // is gone): nothing will ever ack it — give up. A
                     // message still queued keeps its sender alive, and
@@ -1070,6 +1123,7 @@ impl Core {
                 }
             }
         }
+        emitted
     }
 
     /// The automatic trigger: skips (rather than queues) when another
@@ -1184,18 +1238,25 @@ impl Core {
             releases.push(rel_tx);
         }
         let outcome = if !aborted && snaps.len() == self.shards.len() {
-            let node_stats: Vec<(NodeId, domo_util::running::RunningParts)> = {
+            // Workers are parked, so node summaries *and* the agg
+            // sketches are frozen: both captures are consistent with
+            // the same WAL cut (and with the subscriber streams, which
+            // are only fed from the same worker emissions).
+            let (node_stats, agg) = {
                 let st = lock_or_recover(&self.store);
-                st.node_stats
+                let nodes: Vec<(NodeId, domo_util::running::RunningParts)> = st
+                    .node_stats
                     .iter()
                     .map(|(&node, s)| (node, s.to_parts()))
-                    .collect()
+                    .collect();
+                (nodes, st.agg.to_parts())
             };
             let state = CheckpointState {
                 shards: snaps,
                 counters,
                 seen,
                 node_stats,
+                agg,
             };
             match persist::encode_checkpoint(&state) {
                 Ok(payload) => {
@@ -1366,16 +1427,25 @@ impl SinkService {
             &OBS_UNJOURNALED,
             &OBS_WD_RESTARTS,
             &OBS_WD_DROPPED,
+            &OBS_SUB_DELIVERED,
+            &OBS_SUB_LAGGED,
+            &OBS_SUB_SHED,
+            &OBS_AGG_QUERIES,
+            &OBS_AGG_BACKFILLS,
         ] {
             c.add(0);
         }
         OBS_DEGRADED.set(0.0);
+        OBS_SUBSCRIBERS.set(0.0);
         // The fault-injection families register even when no faults are
         // configured, so a METRICS scrape always lists them.
         domo_store::vfs::register_fault_metrics();
         let shards = cfg.shards.max(1);
         let stats = StatsCells::default();
-        let store = Mutex::new(Store::default());
+        let store = Mutex::new(Store {
+            agg: AggStore::new(cfg.agg),
+            ..Store::default()
+        });
 
         // Recover durable state before any worker runs.
         let recovered = match &cfg.store {
@@ -1422,6 +1492,11 @@ impl SinkService {
             watchdog_restarts: AtomicU64::new(0),
             ingest_idle: cfg.ingest_idle_timeout,
             query_idle: cfg.query_idle_timeout,
+            hub: SubHub::new(),
+            sub_opts: SubOptions {
+                capacity: cfg.queue_capacity.max(1),
+                max_lagged: (cfg.queue_capacity.max(1) as u64).saturating_mul(4),
+            },
         });
         for (shard, slot) in initial.iter_mut().enumerate() {
             spawn_worker(&core, shard, slot.take());
@@ -1554,14 +1629,18 @@ impl SinkService {
 
     /// Barrier: flushes every shard estimator (`try_finish`) and returns
     /// once all queued records before the barrier are reconstructed.
-    pub fn drain(&self) {
-        self.core.barrier(ShardMsg::Drain);
+    /// The return value is the number of reconstructions freshly
+    /// emitted *because of* this drain (the DRAIN reply's
+    /// `OK emitted <n>` figure).
+    pub fn drain(&self) -> u64 {
+        self.core.barrier(ShardMsg::Drain)
     }
 
     /// Early-emission hook: asks every shard to commit the oldest half
     /// of its buffer now (`try_flush_now`) and waits for the acks.
-    pub fn flush_partial(&self) {
-        self.core.barrier(ShardMsg::Flush);
+    /// Returns the fresh-emission count the flush produced.
+    pub fn flush_partial(&self) -> u64 {
+        self.core.barrier(ShardMsg::Flush)
     }
 
     /// Current counter values.
@@ -1690,6 +1769,137 @@ impl SinkService {
         Ok(out)
     }
 
+    /// Registers a live subscriber on the emission stream.
+    ///
+    /// The returned [`Subscription`] receives every reconstruction
+    /// freshly emitted *after* this call that matches `filter`, in
+    /// emission order, through a bounded drop-oldest queue
+    /// ([`SinkConfig::queue_capacity`] deep; cumulative drops are
+    /// counted per subscriber and a subscriber that accumulates 4× the
+    /// bound in drops is shed). With `replay: true` the second return
+    /// value is every *retained* matching reconstruction (bounded by
+    /// [`SinkConfig::max_retained_packets`], in emission order),
+    /// captured atomically with the registration: an emission is in
+    /// the backfill or in the live stream, never both, never neither —
+    /// including emissions around a concurrent CHECKPOINT, whose
+    /// barrier parks the workers and therefore cannot emit mid-capture.
+    pub fn subscribe(
+        &self,
+        filter: SubFilter,
+        replay: bool,
+    ) -> (Subscription, Vec<(PacketId, StoredReconstruction)>) {
+        let core = &self.core;
+        let st = lock_or_recover(&core.store);
+        let sub = core.hub.subscribe(filter, core.sub_opts);
+        let mut backfill = Vec::new();
+        if replay {
+            for pid in &st.insertion_order {
+                if let Some(rec) = st.packets.get(pid) {
+                    if filter.matches(&rec_event(*pid, rec)) {
+                        backfill.push((*pid, rec.clone()));
+                    }
+                }
+            }
+        }
+        drop(st);
+        OBS_SUBSCRIBERS.set(core.hub.subscriber_count() as f64);
+        (sub, backfill)
+    }
+
+    /// Live fan-out accounting (STATS `subscribers` line, querybench).
+    /// Also refreshes the `domo_sink_subscribers` gauge, purging
+    /// subscribers whose handles were dropped.
+    pub fn sub_totals(&self) -> SubTotals {
+        let hub = &self.core.hub;
+        let subscribers = hub.subscriber_count();
+        OBS_SUBSCRIBERS.set(subscribers as f64);
+        SubTotals {
+            delivered: hub.delivered_total(),
+            lagged_dropped: hub.lagged_dropped_total(),
+            shed: hub.shed_total(),
+            subscribers,
+        }
+    }
+
+    /// Aggregates node `node`'s sojourn delays over
+    /// `[start_ms, end_ms)` into `bucket_ms`-wide buckets
+    /// (count/mean/p50/p95/p99/max per bucket; the window is widened
+    /// outward to `bucket_ms` alignment; empty buckets are omitted).
+    ///
+    /// Served from the incremental sketches; output buckets older than
+    /// the sketch retention floor are rebuilt by scanning the result
+    /// log ("cold" backfill, counted in
+    /// `domo_sink_agg_backfills_total`). On a volatile service there
+    /// is no log to backfill from: the reply covers only what the
+    /// sketches retain. Quantiles carry the sketch's documented
+    /// relative error bound
+    /// ([`domo_query::DelaySketch::relative_error_bound`], ≈ 5.93%);
+    /// count/mean/max are exact.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for malformed windows (non-finite bounds,
+    /// `start > end`, `bucket_ms` zero or not a multiple of the
+    /// configured granularity); filesystem failures from the backfill
+    /// scan otherwise.
+    pub fn agg_query(
+        &self,
+        node: u16,
+        start_ms: f64,
+        end_ms: f64,
+        bucket_ms: u64,
+    ) -> std::io::Result<Vec<AggBucket>> {
+        let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, m);
+        let (mut map, floor) = {
+            let st = lock_or_recover(&self.core.store);
+            let map = st
+                .agg
+                .query_sketches(node, start_ms, end_ms, bucket_ms)
+                .map_err(invalid)?;
+            (map, st.agg.retention_floor_ms(node))
+        };
+        OBS_AGG_QUERIES.inc();
+        if let Some(floor) = floor {
+            let b = bucket_ms as f64;
+            let qs = (start_ms / b).floor() * b;
+            let qe = (end_ms / b).ceil() * b;
+            let floor_f = floor as f64;
+            if qs < floor_f && qs < qe {
+                // Hop samples are keyed by the packet's arrival time at
+                // the node, which is ≥ the record's generation time (the
+                // log's index key) — so scanning everything generated
+                // below the floor covers every pruned sample; the
+                // per-hop `w[0] < floor` guard keeps retained samples
+                // (already in the sketches) out of the backfill.
+                match self.range(f64::NEG_INFINITY, floor_f.min(qe)) {
+                    Ok(records) => {
+                        let mut raw = Vec::new();
+                        for (_pid, rec) in &records {
+                            for (i, w) in rec.hop_times_ms.windows(2).enumerate() {
+                                if rec.path[i].index() as u16 != node {
+                                    continue;
+                                }
+                                let sojourn = (w[1] - w[0]).max(0.0);
+                                if sojourn.is_finite() && w[0] < floor_f {
+                                    raw.push((w[0], sojourn));
+                                }
+                            }
+                        }
+                        let cold =
+                            series::bucket_raw_records(raw, qs, qe, bucket_ms).map_err(invalid)?;
+                        series::merge_bucket_maps(&mut map, cold);
+                        OBS_AGG_BACKFILLS.inc();
+                    }
+                    // Volatile service: nothing durable to rebuild
+                    // from; serve the retained sketches.
+                    Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(series::render_buckets(&map))
+    }
+
     /// Forces a checkpoint right now and returns the WAL cut it covers.
     /// Serialized against concurrent checkpoints (including the
     /// automatic every-N-appends trigger and the watchdog).
@@ -1770,21 +1980,41 @@ impl Drop for SinkService {
     }
 }
 
-/// Folds one emission batch into the shared state. Re-emissions (a
-/// watchdog replay re-solving already-counted packets) are idempotent:
-/// `emitted_pids` gates the node-stat attribution, the persisted
-/// result, and the `emitted` counter; the reconstruction cache is
-/// simply overwritten with the identical value.
+/// A retained reconstruction in the shape subscription filters (and
+/// the SUBSCRIBE backfill) understand.
+fn rec_event(pid: PacketId, rec: &StoredReconstruction) -> Event {
+    Event {
+        origin: pid.origin.index() as u16,
+        seq: pid.seq,
+        path: rec.path.iter().map(|n| n.index() as u16).collect(),
+        hop_times_ms: rec.hop_times_ms.clone(),
+    }
+}
+
+/// Folds one emission batch into the shared state and returns the
+/// fresh-emission count. Re-emissions (a watchdog replay re-solving
+/// already-counted packets) are idempotent: `emitted_pids` gates the
+/// node-stat attribution, the AGG sketch feed, the subscriber publish,
+/// the persisted result, and the `emitted` counter; the reconstruction
+/// cache is simply overwritten with the identical value.
+///
+/// The subscriber publish happens *inside* the store-lock window, on
+/// purpose: `SinkService::subscribe` registers (and snapshots its
+/// backfill) under the same lock, so no emission can fall between a
+/// subscriber's backfill and its live stream — that is the whole
+/// exactly-once argument, including across a checkpoint (whose barrier
+/// parks the workers, so nothing emits mid-capture at all).
 fn record_batch(
     core: &Core,
     shard: usize,
     batch: &[ReconstructedPacket],
     pending_paths: &mut HashMap<PacketId, Vec<NodeId>>,
-) {
+) -> u64 {
     if batch.is_empty() {
-        return;
+        return 0;
     }
     let mut fresh_emissions = 0u64;
+    let mut published = domo_query::PublishOutcome::default();
     {
         let mut st = lock_or_recover(&core.store);
         for r in batch {
@@ -1797,8 +2027,20 @@ fn record_batch(
                     let sojourn = (w[1] - w[0]).max(0.0);
                     if sojourn.is_finite() {
                         st.node_stats.entry(path[i]).or_default().push(sojourn);
+                        // The sketch sample is keyed by the packet's
+                        // arrival time at the node.
+                        st.agg.record(path[i].index() as u16, w[0], sojourn);
                     }
                 }
+                let out = core.hub.publish(Event {
+                    origin: r.pid.origin.index() as u16,
+                    seq: r.pid.seq,
+                    path: path.iter().map(|n| n.index() as u16).collect(),
+                    hop_times_ms: r.hop_times_ms.clone(),
+                });
+                published.delivered += out.delivered;
+                published.lagged += out.lagged;
+                published.shed += out.shed;
             }
             let rec = StoredReconstruction {
                 path,
@@ -1832,6 +2074,13 @@ fn record_batch(
         .emitted
         .fetch_add(fresh_emissions, Ordering::Relaxed);
     OBS_EMITTED.add(fresh_emissions);
+    OBS_SUB_DELIVERED.add(published.delivered);
+    OBS_SUB_LAGGED.add(published.lagged);
+    OBS_SUB_SHED.add(published.shed);
+    if published.shed > 0 {
+        OBS_SUBSCRIBERS.set(core.hub.subscriber_count() as f64);
+    }
+    fresh_emissions
 }
 
 /// Persists one freshly emitted reconstruction, honoring the
@@ -1925,7 +2174,9 @@ fn worker_loop(core: &Arc<Core>, shard: usize, initial: Option<StreamingSnapshot
                 chaos_maybe_panic(core, shard);
                 pending_paths.insert(p.pid, p.path.clone());
                 match est.try_push(p) {
-                    Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
+                    Ok(batch) => {
+                        record_batch(core, shard, &batch, &mut pending_paths);
+                    }
                     Err(_) => {
                         core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
@@ -1933,24 +2184,26 @@ fn worker_loop(core: &Arc<Core>, shard: usize, initial: Option<StreamingSnapshot
                 }
             }
             ShardMsg::Drain(ack) => {
-                match est.try_finish() {
+                let emitted = match est.try_finish() {
                     Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
                     Err(_) => {
                         core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
+                        0
                     }
-                }
-                let _ = ack.send(());
+                };
+                let _ = ack.send(emitted);
             }
             ShardMsg::Flush(ack) => {
-                match est.try_flush_now() {
+                let emitted = match est.try_flush_now() {
                     Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
                     Err(_) => {
                         core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
                         OBS_EST_ERRORS.inc();
+                        0
                     }
-                }
-                let _ = ack.send(());
+                };
+                let _ = ack.send(emitted);
             }
             ShardMsg::Snapshot(tx, release) => {
                 // Answer the checkpoint barrier, then park until the
@@ -1963,7 +2216,9 @@ fn worker_loop(core: &Arc<Core>, shard: usize, initial: Option<StreamingSnapshot
     }
     // Queue closed: flush whatever the shard still buffers.
     match est.try_finish() {
-        Ok(batch) => record_batch(core, shard, &batch, &mut pending_paths),
+        Ok(batch) => {
+            record_batch(core, shard, &batch, &mut pending_paths);
+        }
         Err(_) => {
             core.stats.estimator_errors.fetch_add(1, Ordering::Relaxed);
             OBS_EST_ERRORS.inc();

@@ -347,12 +347,18 @@ impl ResultStore {
 
     /// All `(t, payload)` records with `lo <= t <= hi`, in append
     /// order, via the sparse index (segment extents → block extents →
-    /// record scan).
+    /// record scan). A window that can match nothing — reversed bounds
+    /// or a NaN bound — returns empty without touching the disk (NaN
+    /// defeats the extent comparisons below, which would otherwise
+    /// degrade into a silent full scan).
     ///
     /// # Errors
     ///
     /// Filesystem failures reading pruned-in blocks.
     pub fn range(&self, lo: f64, hi: f64) -> std::io::Result<Vec<(f64, Vec<u8>)>> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            return Ok(Vec::new());
+        }
         let mut out = Vec::new();
         for seg in self.sealed.iter().chain(std::iter::once(&self.active)) {
             if seg.records == 0 || seg.min_t > hi || seg.max_t < lo {
@@ -442,6 +448,17 @@ mod tests {
         // Empty window, window before all data, window after all data.
         assert!(store.range(1000.0, 2000.0).unwrap().is_empty());
         assert!(store.range(-5.0, -1.0).unwrap().is_empty());
+        // Degenerate windows answer empty without scanning: reversed
+        // bounds, NaN bounds, and the NaN-both case.
+        assert!(store.range(20.0, 10.0).unwrap().is_empty());
+        assert!(store.range(f64::NAN, 20.0).unwrap().is_empty());
+        assert!(store.range(10.0, f64::NAN).unwrap().is_empty());
+        assert!(store.range(f64::NAN, f64::NAN).unwrap().is_empty());
+        // Point window and infinite window still answer exactly.
+        assert_eq!(
+            store.range(f64::NEG_INFINITY, f64::INFINITY).unwrap().len(),
+            500
+        );
         assert_eq!(store.scan_all().unwrap().len(), 500);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -42,6 +42,14 @@
 #                        survives, degrades and heals without losing a
 #                        packet, and recovers bit-identically after a
 #                        SIGKILL
+#  11. live queries      domo-sink subsmoke: live SUBSCRIBE streams must
+#                        be exactly-once across a CHECKPOINT, a
+#                        disconnect + REPLAY reconnect, and a NODE
+#                        filter, and AGG quantiles must sit within the
+#                        documented sketch error bound of an offline
+#                        exact computation; then domo-exp querybench
+#                        gates fan-out throughput vs the committed
+#                        BENCH_query.json and refreshes the file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,5 +110,11 @@ echo "==> domo-exp storebench (gates on BENCH_store.json, then refreshes it)"
 
 echo "==> domo-exp chaos --quick (fault-storm survival soak)"
 ./target/release/domo-exp chaos --quick
+
+echo "==> domo-sink subsmoke (exactly-once live subscriptions + AGG accuracy)"
+./target/release/domo-sink subsmoke --nodes 16 --seed 7
+
+echo "==> domo-exp querybench (gates on BENCH_query.json, then refreshes it)"
+./target/release/domo-exp querybench --baseline BENCH_query.json
 
 echo "All checks passed."

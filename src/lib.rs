@@ -14,6 +14,7 @@
 //! | [`net`] | `domo-net` | discrete-event wireless collection network (CSMA MAC, CTP-style routing, Algorithm 1 on-node) |
 //! | [`sink`] | `domo-sink` | online sink service: wire codec, sharded streaming reconstruction, TCP ingest/query |
 //! | [`store`] | `domo-store` | durable storage: segmented WAL, atomic checkpoints, time-indexed result log |
+//! | [`query`] | `domo-query` | live query layer: subscription fan-out hub, log-bucketed delay sketches, time-series aggregation |
 //! | [`obs`] | `domo-obs` | zero-dep metrics, spans, and structured events across the pipeline |
 //! | [`baselines`] | `domo-baselines` | MNT and MessageTracing comparators |
 //! | [`solver`] | `domo-solver` | from-scratch ADMM QP/LP/SDP solver |
@@ -49,6 +50,7 @@ pub use domo_graph as graph;
 pub use domo_linalg as linalg;
 pub use domo_net as net;
 pub use domo_obs as obs;
+pub use domo_query as query;
 pub use domo_sink as sink;
 pub use domo_solver as solver;
 pub use domo_store as store;

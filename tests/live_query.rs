@@ -1,0 +1,181 @@
+//! Acceptance for the live-query layer: `SUBSCRIBE` push streams must
+//! deliver every emitted reconstruction exactly once — across a forced
+//! checkpoint, under a NODE filter, and with a retained-stream replay —
+//! and `AGG` time-series state must survive a checkpoint/recovery cycle
+//! bit-identically.
+
+use domo::net::{run_simulation, NetworkConfig};
+use domo::query::sub::{RecvOutcome, SubFilter};
+use domo::sink::service::{SinkConfig, SinkService};
+use domo::sink::StoreConfig;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("domo-live-query-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drains a subscription until `want` events arrived (or a timeout),
+/// returning the pid strings in arrival order.
+fn collect(sub: &domo::query::Subscription, want: usize) -> Vec<String> {
+    let mut got = Vec::new();
+    while got.len() < want {
+        match sub.recv(Duration::from_secs(10)) {
+            RecvOutcome::Event(ev) => got.push(format!("n{}#{}", ev.origin, ev.seq)),
+            RecvOutcome::Timeout => break,
+            RecvOutcome::Closed { .. } => break,
+        }
+    }
+    got
+}
+
+#[test]
+fn subscriptions_are_exactly_once_across_a_checkpoint() {
+    let trace = run_simulation(&NetworkConfig::small(9, 4207));
+    let total = trace.packets.len();
+    assert!(total > 4, "trace delivered nothing");
+    let half = total / 2;
+
+    let dir = scratch("ckpt");
+    let service = SinkService::start(SinkConfig {
+        shards: 2,
+        store: Some(StoreConfig::at(&dir)),
+        ..SinkConfig::default()
+    });
+    // Registered before the first emission: the stream must cover the
+    // whole run with no backfill.
+    let (sub, backfill) = service.subscribe(SubFilter::All, false);
+    assert!(backfill.is_empty(), "nothing was emitted yet");
+
+    for p in &trace.packets[..half] {
+        service.ingest(p.clone());
+    }
+    service.drain();
+    service
+        .checkpoint_now()
+        .expect("forced checkpoint mid-stream");
+    for p in &trace.packets[half..] {
+        service.ingest(p.clone());
+    }
+    service.drain();
+
+    let truth: BTreeSet<String> = service
+        .range(f64::NEG_INFINITY, f64::INFINITY)
+        .expect("durable range")
+        .iter()
+        .map(|(pid, _)| pid.to_string())
+        .collect();
+    assert!(!truth.is_empty());
+
+    let got = collect(&sub, truth.len());
+    let got_set: BTreeSet<String> = got.iter().cloned().collect();
+    assert_eq!(got.len(), got_set.len(), "a pid was delivered twice");
+    assert_eq!(got_set, truth, "stream diverges from the emitted set");
+    // And nothing extra is in flight.
+    assert!(matches!(
+        sub.recv(Duration::from_millis(50)),
+        RecvOutcome::Timeout
+    ));
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn node_filter_and_replay_backfill_select_exactly_the_matching_subset() {
+    let trace = run_simulation(&NetworkConfig::small(9, 4211));
+    let dir = scratch("node");
+    let service = SinkService::start(SinkConfig {
+        shards: 2,
+        store: Some(StoreConfig::at(&dir)),
+        ..SinkConfig::default()
+    });
+    for p in &trace.packets {
+        service.ingest(p.clone());
+    }
+    service.drain();
+
+    let recs = service
+        .range(f64::NEG_INFINITY, f64::INFINITY)
+        .expect("durable range");
+    // The busiest forwarder: guaranteed a nonempty, usually proper,
+    // subset.
+    let mut per_node = std::collections::HashMap::new();
+    for (_, rec) in &recs {
+        let n = rec.path.len();
+        for node in &rec.path[..n.saturating_sub(1)] {
+            *per_node.entry(node.index() as u16).or_insert(0usize) += 1;
+        }
+    }
+    let (&node, _) = per_node
+        .iter()
+        .max_by_key(|&(_, &c)| c)
+        .expect("no forwarding node");
+    let expected: BTreeSet<String> = recs
+        .iter()
+        .filter(|(_, rec)| {
+            let n = rec.path.len();
+            rec.path[..n.saturating_sub(1)]
+                .iter()
+                .any(|nd| nd.index() as u16 == node)
+        })
+        .map(|(pid, _)| pid.to_string())
+        .collect();
+    assert!(!expected.is_empty());
+
+    // `replay = true` snapshots the retained stream at subscribe time,
+    // already filtered.
+    let (_sub, backfill) = service.subscribe(SubFilter::Node(node), true);
+    let got: BTreeSet<String> = backfill.iter().map(|(pid, _)| pid.to_string()).collect();
+    assert_eq!(got.len(), backfill.len(), "backfill repeated a pid");
+    assert_eq!(got, expected, "NODE backfill diverges from the subset");
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn agg_series_survive_checkpoint_recovery_bit_identically() {
+    let trace = run_simulation(&NetworkConfig::small(9, 4219));
+    let dir = scratch("agg");
+    let cfg = || SinkConfig {
+        shards: 2,
+        store: Some(StoreConfig::at(&dir)),
+        ..SinkConfig::default()
+    };
+    let service = SinkService::start(cfg());
+    for p in &trace.packets {
+        service.ingest(p.clone());
+    }
+    service.drain();
+    let recs = service
+        .range(f64::NEG_INFINITY, f64::INFINITY)
+        .expect("durable range");
+    let node = recs
+        .iter()
+        .flat_map(|(_, rec)| {
+            let n = rec.path.len();
+            rec.path[..n.saturating_sub(1)].iter()
+        })
+        .next()
+        .expect("no forwarding node")
+        .index() as u16;
+    let before = service
+        .agg_query(node, 0.0, 1e9, 1_000)
+        .expect("AGG before recovery");
+    assert!(!before.is_empty(), "no buckets before recovery");
+    service.checkpoint_now().expect("checkpoint");
+    service.shutdown();
+
+    // A fresh service on the same directory restores the sketches from
+    // the checkpoint; the same query must reproduce every bucket field
+    // bit-for-bit (AggBucket is all exact integers and f64s — equality
+    // here is bitwise, not approximate).
+    let recovered = SinkService::start(cfg());
+    let after = recovered
+        .agg_query(node, 0.0, 1e9, 1_000)
+        .expect("AGG after recovery");
+    assert_eq!(before, after, "recovered AGG series diverge");
+    recovered.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
