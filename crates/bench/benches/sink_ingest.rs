@@ -31,7 +31,7 @@ fn ingest(c: &mut Criterion) {
     group.throughput(Throughput::Elements(packets.len() as u64));
     for shards in [1usize, 2, 4] {
         group.bench_with_input(
-            BenchmarkId::new("in_process", shards),
+            BenchmarkId::new("per_packet", shards),
             &shards,
             |b, &shards| {
                 b.iter(|| {
@@ -41,6 +41,27 @@ fn ingest(c: &mut Criterion) {
                     });
                     for p in &packets {
                         black_box(service.ingest(p.clone()));
+                    }
+                    service.drain();
+                    let stats = service.stats();
+                    service.shutdown();
+                    stats
+                })
+            },
+        );
+        // The reactor's submit path: whole sweep batches through one
+        // lock hold per batch instead of one per record.
+        group.bench_with_input(
+            BenchmarkId::new("batched", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let service = SinkService::start(SinkConfig {
+                        shards,
+                        ..SinkConfig::default()
+                    });
+                    for chunk in packets.chunks(512) {
+                        black_box(service.ingest_batch(chunk));
                     }
                     service.drain();
                     let stats = service.stats();

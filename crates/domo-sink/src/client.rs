@@ -116,6 +116,12 @@ pub struct ReplayOptions {
     /// function of `(seed, consecutive_failures)`, so runs are
     /// reproducible.
     pub seed: u64,
+    /// Socket write-buffer size in bytes. Flood mode (`rate_pps == 0`)
+    /// pipelines whole buffers of frames per `write(2)`, so the sink's
+    /// reactor decodes hundreds of frames per read instead of one;
+    /// paced mode still flushes per frame. Values below one frame are
+    /// rounded up to a working minimum.
+    pub write_buffer: usize,
 }
 
 impl Default for ReplayOptions {
@@ -128,6 +134,7 @@ impl Default for ReplayOptions {
             backoff_cap_ms: 2_000,
             jitter: 0.25,
             seed: 1,
+            write_buffer: 256 * 1024,
         }
     }
 }
@@ -200,7 +207,10 @@ fn connect_with_backoff<A: ToSocketAddrs + Copy>(
         match TcpStream::connect(addr) {
             Ok(stream) => {
                 let _ = stream.set_nodelay(true);
-                return Ok(BufWriter::new(stream));
+                return Ok(BufWriter::with_capacity(
+                    opts.write_buffer.max(4096),
+                    stream,
+                ));
             }
             Err(e) => {
                 if *reconnects >= opts.max_reconnects {

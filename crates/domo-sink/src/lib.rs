@@ -15,10 +15,12 @@
 //!   overload, malformed input, and quarantines are counters, never
 //!   panics.
 //! * [`server`] — [`server::SinkServer`]: a TCP ingestion listener
-//!   (thread-per-connection, binary frames) and a line-delimited query
-//!   listener (`STATS` / `NODES` / `PACKET` / `RANGE` / `AGG` /
-//!   `SUBSCRIBE` / `DRAIN` / `FLUSH`), including the `SUBSCRIBE` push
-//!   streams backed by `domo_query`'s fan-out hub.
+//!   (a bounded reactor: a fixed worker pool sweeps non-blocking
+//!   connections, decodes every complete frame per read, and submits
+//!   them through [`service::SinkService::ingest_batch`]) and a
+//!   line-delimited query listener (`STATS` / `NODES` / `PACKET` /
+//!   `RANGE` / `AGG` / `SUBSCRIBE` / `DRAIN` / `FLUSH`), including the
+//!   `SUBSCRIBE` push streams backed by `domo_query`'s fan-out hub.
 //! * [`client`] — the query client, a replay driver that streams a
 //!   simulated [`domo_net::NetworkTrace`] over the wire at a
 //!   configurable rate, and the [`client::tail_events`] follower that
@@ -49,6 +51,7 @@
 
 pub mod client;
 pub mod persist;
+mod reactor;
 pub mod server;
 pub mod service;
 pub mod wire;
@@ -60,7 +63,7 @@ pub use client::{
 pub use persist::{RecoveryReport, StoreConfig, StoreErrorPolicy};
 pub use server::SinkServer;
 pub use service::{
-    HealthStatus, IngestOutcome, NodeDelaySummary, SinkConfig, SinkHealth, SinkService,
-    SinkSnapshot, SinkStatsSnapshot, StoreStatus, StoredReconstruction, SubTotals,
+    BatchIngestReport, HealthStatus, IngestOutcome, NodeDelaySummary, SinkConfig, SinkHealth,
+    SinkService, SinkSnapshot, SinkStatsSnapshot, StoreStatus, StoredReconstruction, SubTotals,
 };
-pub use wire::{decode_packet, encode_packet, encode_packets, WireError};
+pub use wire::{decode_packet, encode_packet, encode_packets, FrameSplitter, WireError};

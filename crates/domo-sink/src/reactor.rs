@@ -1,0 +1,285 @@
+//! The bounded ingest reactor (DESIGN.md §15).
+//!
+//! A fixed pool of sweep workers owns every accepted ingest
+//! connection; there is no thread per connection and no blocking read.
+//! Sockets are switched to non-blocking at registration, and each
+//! sweep reads whatever the kernel has buffered (64 KiB per call),
+//! feeds it through an incremental [`FrameSplitter`], and submits
+//! *every complete frame the sweep produced* — across connections —
+//! through one `SinkService::ingest_batch` call, so the ingest-order
+//! lock, the multi-record WAL append, and the shard pushes are
+//! amortized over the whole read burst instead of paid per packet.
+//! Frames from one connection keep their stream order inside the
+//! batch; cross-connection interleaving is arbitrary, exactly as it
+//! was with one thread per connection.
+//!
+//! An idle sweep parks on its registration channel with exponential
+//! backoff (1–50 ms), so a fresh connection wakes its worker
+//! immediately and an idle server costs a few wakeups per second per
+//! worker — not a poll per connection per millisecond.
+//!
+//! The registry is bounded: `SinkConfig::max_conns` caps the live
+//! connections across all workers, and [`Reactor::register`] refuses
+//! the excess so the accept loop can shed it with a typed counter
+//! instead of exhausting file descriptors or threads.
+
+use crate::server::{shed_connection, ConnGuard};
+use crate::service::SinkService;
+use crate::wire::FrameSplitter;
+use domo_net::CollectedPacket;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Socket read size per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Largest batch handed to `ingest_batch` at once — bounds the
+/// ingest-lock hold time under a flood without hurting amortization.
+const MAX_BATCH: usize = 1024;
+/// Idle-sweep backoff bounds. The minimum keeps first-byte latency
+/// negligible after a quiet spell; the maximum bounds idle wakeups.
+const IDLE_SLEEP_MIN: Duration = Duration::from_millis(1);
+const IDLE_SLEEP_MAX: Duration = Duration::from_millis(50);
+
+/// The sweep-worker pool plus its bounded connection registry.
+pub(crate) struct Reactor {
+    inject: Vec<Sender<TcpStream>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    live: Arc<AtomicUsize>,
+    max_conns: usize,
+    next: AtomicUsize,
+}
+
+impl Reactor {
+    /// Spawns the sweep workers (one per CPU, capped at 4) and returns
+    /// the registry handle. Workers exit when `stop` goes true.
+    pub(crate) fn start(
+        service: Arc<SinkService>,
+        stop: Arc<AtomicBool>,
+        max_conns: usize,
+    ) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, 4);
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut inject = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel();
+            inject.push(tx);
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let live = Arc::clone(&live);
+            handles.push(std::thread::spawn(move || {
+                sweep_loop(w, &service, &stop, &rx, &live);
+            }));
+        }
+        Self {
+            inject,
+            handles: Mutex::new(handles),
+            live,
+            max_conns: max_conns.max(1),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Hands a fresh connection to a sweep worker (round-robin), or
+    /// returns `false` when the registry is at `max_conns` — the
+    /// caller sheds the connection with a typed counter.
+    pub(crate) fn register(&self, stream: TcpStream) -> bool {
+        if self.live.fetch_add(1, Ordering::SeqCst) >= self.max_conns {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.inject.len();
+        if self.inject[w].send(stream).is_err() {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Joins every sweep worker. Callers set the shared stop flag
+    /// first; a parked worker notices within [`IDLE_SLEEP_MAX`].
+    pub(crate) fn join(&self) {
+        let handles: Vec<JoinHandle<()>> = self
+            .handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One registered connection: its socket, the partial-frame buffer,
+/// and the progress mark the idle deadline is judged against.
+struct Conn {
+    stream: TcpStream,
+    splitter: FrameSplitter,
+    peer: String,
+    last_progress: Instant,
+    _guard: ConnGuard,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream) -> Self {
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        let _ = stream.set_nodelay(true);
+        Self {
+            stream,
+            splitter: FrameSplitter::new(),
+            peer,
+            last_progress: Instant::now(),
+            _guard: ConnGuard::enter("ingest"),
+        }
+    }
+}
+
+enum ConnFate {
+    Keep,
+    Done,
+}
+
+fn sweep_loop(
+    worker: usize,
+    service: &SinkService,
+    stop: &AtomicBool,
+    rx: &Receiver<TcpStream>,
+    live: &AtomicUsize,
+) {
+    let label = worker.to_string();
+    let recorder = domo_obs::Recorder::global();
+    let conns_gauge = recorder.gauge("domo_sink_reactor_connections", &[("worker", &label)]);
+    let backlog_gauge = recorder.gauge("domo_sink_reactor_backlog_bytes", &[("worker", &label)]);
+    let idle_timeout = service.ingest_idle_timeout();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; READ_CHUNK];
+    let mut batch: Vec<CollectedPacket> = Vec::new();
+    let mut nap = IDLE_SLEEP_MIN;
+    while !stop.load(Ordering::SeqCst) {
+        // Adopt whatever registrations queued since the last sweep.
+        while let Ok(s) = rx.try_recv() {
+            conns.push(Conn::adopt(s));
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let fate = pump(
+                &mut conns[i],
+                service,
+                &mut buf,
+                &mut batch,
+                idle_timeout,
+                &mut progressed,
+            );
+            match fate {
+                ConnFate::Keep => i += 1,
+                ConnFate::Done => {
+                    conns.swap_remove(i);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            if batch.len() >= MAX_BATCH {
+                submit(service, &mut batch);
+            }
+        }
+        // One batched submit covers every frame this sweep produced.
+        submit(service, &mut batch);
+        conns_gauge.set(conns.len() as f64);
+        backlog_gauge.set(conns.iter().map(|c| c.splitter.backlog()).sum::<usize>() as f64);
+        if progressed {
+            nap = IDLE_SLEEP_MIN;
+        } else {
+            // Park on the registration channel so a fresh connection
+            // wakes the sweep immediately instead of after the nap.
+            match rx.recv_timeout(nap) {
+                Ok(s) => conns.push(Conn::adopt(s)),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(nap),
+            }
+            nap = (nap * 2).min(IDLE_SLEEP_MAX);
+        }
+    }
+    conns_gauge.set(0.0);
+    backlog_gauge.set(0.0);
+    live.fetch_sub(conns.len(), Ordering::SeqCst);
+}
+
+/// Drains one connection's socket into the shared batch. Returns
+/// whether the connection stays registered; sets `progressed` when any
+/// bytes arrived (the signal that resets the sweep's idle backoff).
+fn pump(
+    conn: &mut Conn,
+    service: &SinkService,
+    buf: &mut [u8],
+    batch: &mut Vec<CollectedPacket>,
+    idle_timeout: Option<Duration>,
+    progressed: &mut bool,
+) -> ConnFate {
+    loop {
+        match conn.stream.read(buf) {
+            Ok(0) => {
+                if conn.splitter.backlog() > 0 {
+                    // EOF inside a frame: a torn tail, counted like
+                    // any other malformed frame.
+                    service.note_malformed_frame();
+                }
+                return ConnFate::Done;
+            }
+            Ok(n) => {
+                *progressed = true;
+                conn.last_progress = Instant::now();
+                conn.splitter.extend(&buf[..n]);
+                if conn.splitter.drain_frames(batch).is_err() {
+                    // Frame alignment is lost; count it and drop the
+                    // connection, keeping the frames decoded before
+                    // the defect. The service itself keeps running.
+                    service.note_malformed_frame();
+                    domo_obs::warn!(
+                        target: "domo_sink::reactor",
+                        "malformed frame; dropping ingest connection",
+                        peer = conn.peer.as_str(),
+                    );
+                    return ConnFate::Done;
+                }
+                if batch.len() >= MAX_BATCH {
+                    submit(service, batch);
+                }
+                if n < buf.len() {
+                    break; // socket drained
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ConnFate::Done,
+        }
+    }
+    if let Some(t) = idle_timeout {
+        if conn.last_progress.elapsed() >= t {
+            shed_connection("ingest", &conn.peer, conn.splitter.backlog() > 0);
+            return ConnFate::Done;
+        }
+    }
+    ConnFate::Keep
+}
+
+fn submit(service: &SinkService, batch: &mut Vec<CollectedPacket>) {
+    if !batch.is_empty() {
+        let _ = service.ingest_batch_owned(std::mem::take(batch));
+    }
+}

@@ -1,11 +1,17 @@
 //! TCP front-end: a binary ingestion listener and a line-delimited
 //! query listener in front of one [`SinkService`].
 //!
-//! **Ingestion** is thread-per-connection: each accepted socket streams
-//! [`crate::wire`] frames; every decoded record goes through the
-//! service's sanitize → shard path. A structurally invalid frame loses
-//! the stream's frame alignment, so the connection is counted
-//! (`malformed_frames`) and dropped — the service itself keeps running.
+//! **Ingestion** runs on a bounded reactor (see [`crate::wire`] frames
+//! and the `reactor` module): a fixed pool of sweep workers owns every
+//! accepted socket, reads whatever the kernel buffered, decodes *all*
+//! complete frames per read, and submits them through
+//! [`SinkService::ingest_batch`] so the ingest lock and the WAL append
+//! are paid once per batch. Live connections across both listeners are
+//! capped at [`SinkConfig::max_conns`]; the excess is shed with
+//! `domo_sink_shed_total{reason="overcap"}` instead of exhausting file
+//! descriptors. A structurally invalid frame loses the stream's frame
+//! alignment, so the connection is counted (`malformed_frames`) and
+//! dropped — the service itself keeps running.
 //!
 //! **Queries** are plain text, one request per line, every response
 //! terminated by a line `END`:
@@ -88,16 +94,16 @@
 //! the line count differs by exactly one between the two modes, and
 //! scripts can key off the `store disabled` marker.
 
+use crate::reactor::Reactor;
 use crate::service::{SinkConfig, SinkService, SinkSnapshot};
-use crate::wire::{read_frame, FrameReadError};
 use domo_obs::LazyCounter;
 use domo_query::series::AggBucket;
 use domo_query::sub::{RecvOutcome, SubFilter};
 use domo_query::DelaySketch;
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -106,14 +112,20 @@ static OBS_QUERY_ERRORS: LazyCounter = LazyCounter::new("domo_sink_query_errors_
 static OBS_SHED_IDLE: LazyCounter = LazyCounter::new("domo_sink_shed_total", &[("reason", "idle")]);
 static OBS_SHED_STALLED: LazyCounter =
     LazyCounter::new("domo_sink_shed_total", &[("reason", "stalled")]);
+static OBS_SHED_OVERCAP: LazyCounter =
+    LazyCounter::new("domo_sink_shed_total", &[("reason", "overcap")]);
+static OBS_SUB_IDLE_WAKEUPS: LazyCounter =
+    LazyCounter::new("domo_sink_sub_idle_wakeups_total", &[]);
 
-/// A running sink server: the service plus its two listeners.
+/// A running sink server: the service, the ingest reactor, and the two
+/// accept loops.
 pub struct SinkServer {
     service: Arc<SinkService>,
     ingest_addr: SocketAddr,
     query_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handles: Mutex<Vec<JoinHandle<()>>>,
+    reactor: Arc<Reactor>,
 }
 
 impl SinkServer {
@@ -133,28 +145,46 @@ impl SinkServer {
         let query_listener = TcpListener::bind(query)?;
         let ingest_addr = ingest_listener.local_addr()?;
         let query_addr = query_listener.local_addr()?;
+        let max_conns = cfg.max_conns.max(1);
         let service = Arc::new(SinkService::open(cfg)?);
         let stop = Arc::new(AtomicBool::new(false));
+        let reactor = Arc::new(Reactor::start(
+            Arc::clone(&service),
+            Arc::clone(&stop),
+            max_conns,
+        ));
 
         let mut handles = Vec::with_capacity(2);
         {
-            let service = Arc::clone(&service);
+            let reactor = Arc::clone(&reactor);
             let stop = Arc::clone(&stop);
             handles.push(std::thread::spawn(move || {
                 accept_loop(&ingest_listener, &stop, move |stream| {
-                    let service = Arc::clone(&service);
-                    std::thread::spawn(move || handle_ingest(stream, &service));
+                    if !reactor.register(stream) {
+                        shed_overcap("ingest");
+                    }
                 });
             }));
         }
         {
             let service = Arc::clone(&service);
             let stop = Arc::clone(&stop);
+            // Query threads share the same cap as the ingest registry
+            // conceptually, but count separately: a query flood can't
+            // starve ingest of its budget and vice versa.
+            let live = Arc::new(AtomicUsize::new(0));
             handles.push(std::thread::spawn(move || {
                 accept_loop(&query_listener, &stop, move |stream| {
+                    if live.fetch_add(1, Ordering::SeqCst) >= max_conns {
+                        live.fetch_sub(1, Ordering::SeqCst);
+                        shed_overcap("query");
+                        return;
+                    }
                     let service = Arc::clone(&service);
+                    let live = Arc::clone(&live);
                     std::thread::spawn(move || {
                         let _ = handle_query(stream, &service);
+                        live.fetch_sub(1, Ordering::SeqCst);
                     });
                 });
             }));
@@ -165,6 +195,7 @@ impl SinkServer {
             query_addr,
             stop,
             accept_handles: Mutex::new(handles),
+            reactor,
         })
     }
 
@@ -199,6 +230,10 @@ impl SinkServer {
         for h in handles {
             let _ = h.join();
         }
+        // The reactor's sweep workers see the same stop flag; joining
+        // them before the service drains guarantees no ingest batch is
+        // in flight when the shards shut down.
+        self.reactor.join();
         self.service.shutdown()
     }
 }
@@ -225,10 +260,10 @@ fn accept_loop<F: FnMut(TcpStream)>(listener: &TcpListener, stop: &AtomicBool, m
 
 /// Decrements a live-connection gauge on scope exit, so early returns
 /// and `?` exits all balance the increment.
-struct ConnGuard(domo_obs::Gauge);
+pub(crate) struct ConnGuard(domo_obs::Gauge);
 
 impl ConnGuard {
-    fn enter(kind: &str) -> Self {
+    pub(crate) fn enter(kind: &str) -> Self {
         let gauge = domo_obs::Recorder::global().gauge("domo_sink_connections", &[("kind", kind)]);
         gauge.add(1.0);
         ConnGuard(gauge)
@@ -238,22 +273,6 @@ impl ConnGuard {
 impl Drop for ConnGuard {
     fn drop(&mut self) {
         self.0.add(-1.0);
-    }
-}
-
-/// Counts bytes pulled off the underlying socket, so a read deadline
-/// can be classified: no progress since the last mark means an idle
-/// peer, progress means a peer that stalled mid-message.
-struct CountingReader<R> {
-    inner: R,
-    bytes: u64,
-}
-
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.bytes += n as u64;
-        Ok(n)
     }
 }
 
@@ -269,7 +288,7 @@ fn is_read_deadline(e: &std::io::Error) -> bool {
 /// Sheds a deadline-tripped connection with a typed reason counter and
 /// a warning; `progressed` distinguishes a wedged peer from a silent
 /// one.
-fn shed_connection(kind: &str, peer: &str, progressed: bool) {
+pub(crate) fn shed_connection(kind: &str, peer: &str, progressed: bool) {
     let reason = if progressed { "stalled" } else { "idle" };
     if progressed {
         OBS_SHED_STALLED.inc();
@@ -285,48 +304,15 @@ fn shed_connection(kind: &str, peer: &str, progressed: bool) {
     );
 }
 
-fn handle_ingest(stream: TcpStream, service: &SinkService) {
-    let _conn = ConnGuard::enter("ingest");
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_default();
-    let _ = stream.set_nodelay(true);
-    let deadline_armed = service.ingest_idle_timeout();
-    if let Some(timeout) = deadline_armed {
-        let _ = stream.set_read_timeout(Some(timeout));
-    }
-    let mut reader = BufReader::new(CountingReader {
-        inner: stream,
-        bytes: 0,
-    });
-    loop {
-        // Socket-level progress mark: bytes pulled before this frame.
-        let mark = reader.get_ref().bytes;
-        match read_frame(&mut reader) {
-            Ok(Some(packet)) => {
-                let _ = service.ingest(packet);
-            }
-            Ok(None) => return, // clean close at a frame boundary
-            Err(FrameReadError::Wire(_)) => {
-                // Frame alignment is lost; count it and drop the
-                // connection, keeping the service up.
-                service.note_malformed_frame();
-                domo_obs::warn!(
-                    target: "domo_sink::server",
-                    "malformed frame; dropping ingest connection",
-                    peer = peer.as_str(),
-                );
-                return;
-            }
-            Err(FrameReadError::Io(e)) => {
-                if deadline_armed.is_some() && is_read_deadline(&e) {
-                    shed_connection("ingest", &peer, reader.get_ref().bytes > mark);
-                }
-                return;
-            }
-        }
-    }
+/// Sheds a connection refused by the `max_conns` cap: counted, warned,
+/// and closed before any handler thread or registry slot is spent.
+fn shed_overcap(kind: &str) {
+    OBS_SHED_OVERCAP.inc();
+    domo_obs::warn!(
+        target: "domo_sink::server",
+        "connection cap reached; shedding connection",
+        kind = kind,
+    );
 }
 
 /// Writes an `ERR <reason>` reply line and counts it, so protocol
@@ -810,13 +796,27 @@ fn stream_subscription(
     out.flush()?;
 
     // Poll the inbound half between receives so QUIT and EOF are
-    // honored promptly even while the stream is quiet.
-    reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_millis(1)))?;
+    // honored promptly even while the stream is quiet. The poll
+    // deadline adapts: 1 ms while events flow (QUIT latency stays
+    // negligible on a busy stream), doubling to a 250 ms ceiling as the
+    // stream idles so a parked subscriber costs a few wakeups per
+    // second instead of a thousand.
+    const POLL_MIN_MS: u64 = 1;
+    const POLL_MAX_MS: u64 = 250;
+    // Events drained per socket poll: bounds inbound-QUIT latency under
+    // a flood without paying the socket deadline per event.
+    const EVENT_BURST: usize = 256;
+    let mut poll_ms = POLL_MIN_MS;
+    let mut armed_ms = 0u64;
     let mut line = String::new();
     let mut shed = false;
-    loop {
+    'push: loop {
+        if armed_ms != poll_ms {
+            reader
+                .get_ref()
+                .set_read_timeout(Some(Duration::from_millis(poll_ms)))?;
+            armed_ms = poll_ms;
+        }
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => break, // client hung up
@@ -830,27 +830,45 @@ fn stream_subscription(
             Err(e) if is_read_deadline(&e) => {}
             Err(e) => return Err(e),
         }
-        match sub.recv(Duration::from_millis(100)) {
-            RecvOutcome::Event(ev) => {
-                emit(
-                    &mut out,
-                    &mut fold,
-                    ev.origin,
-                    ev.seq,
-                    &ev.path,
-                    &ev.hop_times_ms,
-                )?;
-                let lagged = sub.take_lagged();
-                if lagged > 0 {
-                    writeln!(out, "lagged {lagged}")?;
+        let mut delivered = 0usize;
+        while delivered < EVENT_BURST {
+            // After the first delivery the queue is drained without
+            // waiting; an empty queue comes back as an instant Timeout.
+            let wait = if delivered == 0 {
+                Duration::from_millis(100)
+            } else {
+                Duration::ZERO
+            };
+            match sub.recv(wait) {
+                RecvOutcome::Event(ev) => {
+                    emit(
+                        &mut out,
+                        &mut fold,
+                        ev.origin,
+                        ev.seq,
+                        &ev.path,
+                        &ev.hop_times_ms,
+                    )?;
+                    delivered += 1;
                 }
-                out.flush()?;
+                RecvOutcome::Timeout => break,
+                RecvOutcome::Closed { shed: s } => {
+                    shed = s;
+                    break 'push;
+                }
             }
-            RecvOutcome::Timeout => out.flush()?,
-            RecvOutcome::Closed { shed: s } => {
-                shed = s;
-                break;
+        }
+        if delivered > 0 {
+            let lagged = sub.take_lagged();
+            if lagged > 0 {
+                writeln!(out, "lagged {lagged}")?;
             }
+            out.flush()?;
+            poll_ms = POLL_MIN_MS;
+        } else {
+            OBS_SUB_IDLE_WAKEUPS.inc();
+            out.flush()?;
+            poll_ms = (poll_ms * 2).min(POLL_MAX_MS);
         }
     }
     if let Some(f) = fold.as_mut() {
@@ -1089,6 +1107,38 @@ mod tests {
             .and_then(|v| v.parse::<f64>().ok())
             .expect("query error counter exposed");
         assert!(errors >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_ingest_connections_are_shed_and_counted() {
+        let server = local_server(SinkConfig {
+            shards: 1,
+            max_conns: 2,
+            ..SinkConfig::default()
+        });
+
+        // Hold more idle ingest connections than the cap allows; the
+        // accept loop registers two and refuses the third with a typed
+        // counter instead of spawning anything for it.
+        let _held: Vec<TcpStream> = (0..3)
+            .map(|_| TcpStream::connect(server.ingest_addr()).expect("connect"))
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let metrics = query_request(server.query_addr(), "METRICS").expect("metrics");
+            if metrics
+                .iter()
+                .any(|l| l.starts_with("domo_sink_shed_total{reason=\"overcap\"}"))
+            {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "overcap never counted"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
         server.shutdown();
     }
 

@@ -38,7 +38,7 @@ use domo_core::sanitize::{check_packet, SanitizeConfig, TraceError};
 use domo_core::streaming::{ReconstructedPacket, StreamingEstimator, StreamingSnapshot};
 use domo_core::EstimatorConfig;
 use domo_net::{CollectedPacket, NodeId, PacketId};
-use domo_obs::{LazyCounter, LazyGauge};
+use domo_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use domo_query::series::{self, AggBucket, AggConfig, AggStore};
 use domo_query::sub::{Event, SubFilter, SubHub, SubOptions, Subscription};
 use domo_store::results::ResultStoreStats;
@@ -46,8 +46,9 @@ use domo_store::wal::{WalConfig, WalStats};
 use domo_store::{
     CheckpointStore, FaultyIo, FsyncPolicy, RealIo, ResultStore, ResultStoreConfig, StoreIo, Wal,
 };
+use domo_util::hash::FastHashSet;
 use domo_util::running::RunningStats;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -109,6 +110,12 @@ pub struct SinkConfig {
     /// shed after 4× the bound in cumulative drops) — the same
     /// discipline the shard queues apply.
     pub agg: AggConfig,
+    /// Live-connection cap, enforced per listener by the TCP server:
+    /// the ingest reactor registry and the query thread pool each
+    /// refuse connections beyond this bound, counted in
+    /// `domo_sink_shed_total{reason="overcap"}`. Values below 1 are
+    /// treated as 1.
+    pub max_conns: usize,
 }
 
 impl Default for SinkConfig {
@@ -124,6 +131,7 @@ impl Default for SinkConfig {
             ingest_idle_timeout: None,
             query_idle_timeout: None,
             agg: AggConfig::default(),
+            max_conns: 4096,
         }
     }
 }
@@ -140,6 +148,24 @@ pub enum IngestOutcome {
     Quarantined(TraceError),
     /// The service is shutting down; the record was not queued.
     Closed,
+}
+
+/// Tally of one [`SinkService::ingest_batch`] call. Every submitted
+/// record lands in exactly one bucket (`saturated` is a sub-count of
+/// `accepted`), so `accepted + quarantined + closed` equals the batch
+/// length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchIngestReport {
+    /// Records queued for reconstruction.
+    pub accepted: u64,
+    /// Of the accepted records, how many evicted the oldest queued
+    /// record from a saturated shard (the evictions themselves are
+    /// counted as `backpressure_dropped` in the service stats).
+    pub saturated: u64,
+    /// Records rejected by the sanitizer, including duplicates.
+    pub quarantined: u64,
+    /// Records refused because the service is shutting down.
+    pub closed: u64,
 }
 
 /// Durability health — the degradation state machine of DESIGN.md §8.
@@ -317,6 +343,8 @@ static OBS_UNJOURNALED: LazyCounter = LazyCounter::new("domo_sink_unjournaled_to
 static OBS_WD_RESTARTS: LazyCounter = LazyCounter::new("domo_sink_watchdog_restarts_total", &[]);
 static OBS_WD_DROPPED: LazyCounter = LazyCounter::new("domo_sink_watchdog_dropped_total", &[]);
 // Live query layer (SUBSCRIBE fan-out + AGG) telemetry.
+static OBS_BATCH_PACKETS: LazyHistogram = LazyHistogram::new("domo_sink_ingest_batch_packets", &[]);
+
 static OBS_SUB_DELIVERED: LazyCounter = LazyCounter::new("domo_sink_sub_delivered_total", &[]);
 static OBS_SUB_LAGGED: LazyCounter = LazyCounter::new("domo_sink_sub_lagged_dropped_total", &[]);
 static OBS_SUB_SHED: LazyCounter = LazyCounter::new("domo_sink_sub_shed_total", &[]);
@@ -360,7 +388,7 @@ struct Store {
     /// packets are expected — this set makes them idempotent (node
     /// stats, the result log, and the `emitted` counter each advance
     /// exactly once per pid).
-    emitted_pids: HashSet<PacketId>,
+    emitted_pids: FastHashSet<PacketId>,
     /// Per-node time-bucketed delay sketches behind `AGG` queries, fed
     /// under the same `fresh` gate as `node_stats` so every sojourn is
     /// sketched exactly once.
@@ -572,7 +600,7 @@ struct WalState {
     /// packet it cannot replay. (Degraded-mode records are the one
     /// exception: accepted un-journaled, they stay visible here and are
     /// made durable by the next checkpoint instead.)
-    seen: HashSet<PacketId>,
+    seen: FastHashSet<PacketId>,
     appends_since_ckpt: u64,
 }
 
@@ -580,7 +608,7 @@ struct WalState {
 /// gates appends so recovery replay can never double-emit.
 struct ResultState {
     store: ResultStore,
-    persisted: HashSet<PacketId>,
+    persisted: FastHashSet<PacketId>,
     /// Results emitted while durability was suspended, waiting for a
     /// heal. Flushed (in emission order) at the front of every
     /// checkpoint; their pids are already in `persisted`.
@@ -789,7 +817,7 @@ impl Recovered {
         // treated like a corrupt one: skipped, counted, recovered past.
         let mut shard_snapshots: Vec<Option<StreamingSnapshot>> =
             (0..shards).map(|_| None).collect();
-        let mut seen: HashSet<PacketId> = HashSet::new();
+        let mut seen: FastHashSet<PacketId> = FastHashSet::default();
         let mut covered = 0u64;
         if let Some(loaded) = checkpoints.latest()? {
             match persist::decode_checkpoint(&loaded.payload) {
@@ -853,7 +881,7 @@ impl Recovered {
         // from the result log (append order == emission order). A pid
         // in the result log has, by definition, been emitted — seed the
         // emission-dedup set so replay cannot re-count it.
-        let mut persisted: HashSet<PacketId> = HashSet::new();
+        let mut persisted: FastHashSet<PacketId> = FastHashSet::default();
         {
             let mut st = lock_or_recover(store);
             for (_t, bytes) in rstore.scan_all()? {
@@ -927,7 +955,7 @@ struct Core {
     workers: Mutex<Vec<Option<JoinHandle<()>>>>,
     stats: StatsCells,
     store: Mutex<Store>,
-    seen: Mutex<HashSet<PacketId>>,
+    seen: Mutex<FastHashSet<PacketId>>,
     sanitize: SanitizeConfig,
     est_cfg: EstimatorConfig,
     high_water: Option<usize>,
@@ -942,12 +970,12 @@ struct Core {
     chaos_panics: Vec<AtomicU64>,
     /// Pids pushed to each shard and not yet through `record_batch` —
     /// the watchdog's loss ledger.
-    inflight: Vec<Mutex<HashSet<PacketId>>>,
+    inflight: Vec<Mutex<FastHashSet<PacketId>>>,
     /// Pids shed by drop-oldest backpressure since open (durable mode
     /// only): a watchdog WAL replay must not resurrect them, or the
     /// restarted estimator would see a different sequence than the
     /// original worker did. Never pruned (same precedent as `seen`).
-    dropped_pids: Mutex<HashSet<PacketId>>,
+    dropped_pids: Mutex<FastHashSet<PacketId>>,
     /// WAL cut + per-shard snapshots of the last completed checkpoint —
     /// the watchdog's restart baseline.
     last_ckpt: Mutex<(u64, Vec<Option<StreamingSnapshot>>)>,
@@ -1047,6 +1075,187 @@ impl Core {
         outcome
     }
 
+    /// Batched ingest: one `walstate` lock hold covers the dedup, the
+    /// multi-record WAL append, and every in-order shard push of the
+    /// whole batch.
+    ///
+    /// The record-level semantics match a loop of [`Core::ingest`]
+    /// calls exactly — same quarantine decisions, same journal bytes,
+    /// same queue order (journal order == queue order, per record),
+    /// same accounting — with one documented quantization: checkpoint
+    /// and heal-probe triggers are evaluated once at the batch
+    /// boundary, not between records, so the batch is the scheduling
+    /// quantum for those background transitions. A store error
+    /// mid-batch journals exactly the prefix a sequential caller would
+    /// have journaled, engages the error policy once, and accepts the
+    /// rest un-journaled.
+    fn ingest_batch(&self, packets: Vec<CollectedPacket>) -> BatchIngestReport {
+        let mut report = BatchIngestReport::default();
+        if packets.is_empty() {
+            return report;
+        }
+        OBS_BATCH_PACKETS.observe(packets.len() as f64);
+        // Phase 1, no locks: sanitize and route.
+        let mut routed: Vec<(usize, CollectedPacket)> = Vec::with_capacity(packets.len());
+        for p in packets {
+            if check_packet(&p, &self.sanitize).is_err() {
+                report.quarantined += 1;
+                continue;
+            }
+            let Some(root) = p.subtree_root() else {
+                report.quarantined += 1;
+                continue;
+            };
+            routed.push((root.index() % self.shards.len(), p));
+        }
+        if report.quarantined > 0 {
+            self.stats
+                .quarantined
+                .fetch_add(report.quarantined, Ordering::Relaxed);
+            OBS_QUARANTINED.add(report.quarantined);
+        }
+        let Some(persist) = self.persist.clone() else {
+            // Volatile: one dedup-set lock for the whole batch, then
+            // in-order pushes (same lock discipline as `ingest`, which
+            // also releases `seen` before pushing).
+            let mut dups = 0u64;
+            {
+                let mut seen = lock_or_recover(&self.seen);
+                routed.retain(|(_, p)| {
+                    let fresh = seen.insert(p.pid);
+                    if !fresh {
+                        dups += 1;
+                    }
+                    fresh
+                });
+            }
+            if dups > 0 {
+                report.quarantined += dups;
+                self.stats.quarantined.fetch_add(dups, Ordering::Relaxed);
+                OBS_QUARANTINED.add(dups);
+            }
+            self.push_routed(routed, &mut report);
+            return report;
+        };
+        let mut checkpoint_due = false;
+        let mut probe_due = false;
+        {
+            let mut ws = lock_or_recover(&persist.walstate);
+            // Dedup in order; a pid enters the set only in the same
+            // lock window as its journal decision, exactly as the
+            // per-record path guarantees.
+            let mut dups = 0u64;
+            routed.retain(|(_, p)| {
+                let fresh = ws.seen.insert(p.pid);
+                if !fresh {
+                    dups += 1;
+                }
+                fresh
+            });
+            if dups > 0 {
+                report.quarantined += dups;
+                self.stats.quarantined.fetch_add(dups, Ordering::Relaxed);
+                OBS_QUARANTINED.add(dups);
+            }
+            let mut unjournaled = 0u64;
+            // Records a per-record loop would have processed with
+            // durability already suspended: they drive the heal-probe
+            // cadence.
+            let mut probe_tail = 0u64;
+            if routed.is_empty() {
+                // Nothing survived sanitize + dedup.
+            } else if persist.durability_active() {
+                let mut frames: Vec<Vec<u8>> = Vec::with_capacity(routed.len());
+                // `routed` index behind each frame, and the routed
+                // indices of records the wire codec refused (accepted
+                // un-journaled, same as `ingest`).
+                let mut enc_pos: Vec<usize> = Vec::with_capacity(routed.len());
+                let mut unencodable: Vec<usize> = Vec::new();
+                for (i, (_, p)) in routed.iter().enumerate() {
+                    let mut frame = Vec::new();
+                    if wire::encode_packet(p, &mut frame).is_ok() {
+                        frames.push(frame);
+                        enc_pos.push(i);
+                    } else {
+                        unencodable.push(i);
+                    }
+                }
+                let out = ws.wal.append_batch(frames.iter().map(Vec::as_slice));
+                if out.appended > 0 {
+                    ws.appends_since_ckpt += out.appended as u64;
+                    checkpoint_due = ws.appends_since_ckpt >= persist.cfg.checkpoint_every.max(1);
+                }
+                match out.error {
+                    None => unjournaled = unencodable.len() as u64,
+                    Some(e) => {
+                        // Disk trouble degrades durability, not
+                        // service: the failing record and everything
+                        // behind it are accepted un-journaled, and the
+                        // tail counts toward the probe cadence just as
+                        // a per-record loop would count it.
+                        persist.note_store_error("wal append", &e);
+                        let failed_at = enc_pos[out.appended];
+                        let tail = (routed.len() - failed_at - 1) as u64;
+                        let before = unencodable.iter().filter(|&&i| i < failed_at).count() as u64;
+                        unjournaled = before + 1 + tail;
+                        if persist.health() == SinkHealth::Degraded {
+                            probe_tail = tail;
+                        }
+                    }
+                }
+            } else {
+                // Degraded (or dropped/failed) before the batch:
+                // everything is accepted un-journaled.
+                unjournaled = routed.len() as u64;
+                if persist.health() == SinkHealth::Degraded {
+                    probe_tail = routed.len() as u64;
+                }
+            }
+            if unjournaled > 0 {
+                persist
+                    .unjournaled
+                    .fetch_add(unjournaled, Ordering::Relaxed);
+                OBS_UNJOURNALED.add(unjournaled);
+            }
+            if probe_tail > 0 {
+                let pe = persist.cfg.probe_every.max(1);
+                let n = persist.since_probe.fetch_add(probe_tail, Ordering::Relaxed) + probe_tail;
+                if n >= pe {
+                    // A per-record loop zeroes the counter at every
+                    // crossing; over `probe_tail` unit increments that
+                    // leaves exactly the modulus.
+                    persist.since_probe.store(n % pe, Ordering::Relaxed);
+                    probe_due = true;
+                }
+            }
+            // Pushes still happen under the same lock: per shard,
+            // journal order == queue order, the invariant every
+            // checkpoint cut relies on.
+            self.push_routed(routed, &mut report);
+        }
+        if checkpoint_due {
+            self.maybe_checkpoint(&persist);
+        } else if probe_due {
+            self.try_heal(&persist);
+        }
+        report
+    }
+
+    /// Groups sanitized, deduplicated records by shard and pushes each
+    /// group through [`Core::push_batch_to_shard`]. Only per-shard
+    /// record order is preserved — the single order a shard worker can
+    /// observe — so regrouping is invisible to reconstruction.
+    fn push_routed(&self, routed: Vec<(usize, CollectedPacket)>, report: &mut BatchIngestReport) {
+        let mut groups: Vec<Vec<CollectedPacket>> = Vec::new();
+        groups.resize_with(self.shards.len(), Vec::new);
+        for (shard, p) in routed {
+            groups[shard].push(p);
+        }
+        for (shard, ps) in groups.into_iter().enumerate() {
+            self.push_batch_to_shard(shard, ps, report);
+        }
+    }
+
     fn push_to_shard(&self, shard: usize, p: CollectedPacket) -> IngestOutcome {
         let pid = p.pid;
         // The inflight ledger is updated under the same lock window as
@@ -1079,6 +1288,79 @@ impl Core {
                 IngestOutcome::AcceptedDroppingOldest
             }
             PushOutcome::Closed => IngestOutcome::Closed,
+        }
+    }
+
+    /// Pushes a run of same-shard records under one inflight-ledger
+    /// lock and one queue lock, with a single worker wake-up at the
+    /// end. Record-for-record this mirrors a loop of
+    /// [`Core::push_to_shard`] — same eviction order (a batch larger
+    /// than the queue capacity evicts its own head), same ledger
+    /// insert/remove sequence — but the locks, the depth gauge, the
+    /// counters, and the condvar notify are all amortized over the
+    /// run. A shutdown cannot interleave mid-run: `closed` is checked
+    /// once because it can only flip under the queue lock we hold.
+    fn push_batch_to_shard(
+        &self,
+        shard: usize,
+        ps: Vec<CollectedPacket>,
+        report: &mut BatchIngestReport,
+    ) {
+        if ps.is_empty() {
+            return;
+        }
+        let q = &self.shards[shard];
+        let mut evicted: Vec<PacketId> = Vec::new();
+        let accepted;
+        {
+            let mut infl = lock_or_recover(&self.inflight[shard]);
+            let mut st = lock_or_recover(&q.state);
+            if st.closed {
+                report.closed += ps.len() as u64;
+                return;
+            }
+            accepted = ps.len() as u64;
+            for p in ps {
+                let mut old_pid = None;
+                if st.queued_packets >= q.capacity {
+                    if let Some(at) = st
+                        .msgs
+                        .iter()
+                        .position(|m| matches!(m, ShardMsg::Packet(_)))
+                    {
+                        if let Some(ShardMsg::Packet(old)) = st.msgs.remove(at) {
+                            st.queued_packets -= 1;
+                            old_pid = Some(old.pid);
+                        }
+                    }
+                }
+                infl.insert(p.pid);
+                if let Some(old) = old_pid {
+                    infl.remove(&old);
+                    evicted.push(old);
+                }
+                st.msgs.push_back(ShardMsg::Packet(p));
+                st.queued_packets += 1;
+            }
+            q.depth.set(st.queued_packets as f64);
+            if !evicted.is_empty() {
+                q.dropped.add(evicted.len() as u64);
+            }
+        }
+        q.ready.notify_one();
+        self.stats.ingested.fetch_add(accepted, Ordering::Relaxed);
+        OBS_INGESTED.add(accepted);
+        report.accepted += accepted;
+        if !evicted.is_empty() {
+            let shed = evicted.len() as u64;
+            self.stats
+                .backpressure_dropped
+                .fetch_add(shed, Ordering::Relaxed);
+            OBS_BACKPRESSURE.add(shed);
+            report.saturated += shed;
+            if self.persist.is_some() {
+                lock_or_recover(&self.dropped_pids).extend(evicted);
+            }
         }
     }
 
@@ -1470,7 +1752,7 @@ impl SinkService {
             workers: Mutex::new((0..shards).map(|_| None).collect()),
             stats,
             store,
-            seen: Mutex::new(HashSet::new()),
+            seen: Mutex::new(FastHashSet::default()),
             sanitize: cfg.sanitize,
             est_cfg: cfg.estimator.clone(),
             high_water: cfg.high_water,
@@ -1485,8 +1767,10 @@ impl SinkService {
             chaos_panics: (0..shards)
                 .map(|_| AtomicU64::new(CHAOS_DISARMED))
                 .collect(),
-            inflight: (0..shards).map(|_| Mutex::new(HashSet::new())).collect(),
-            dropped_pids: Mutex::new(HashSet::new()),
+            inflight: (0..shards)
+                .map(|_| Mutex::new(FastHashSet::default()))
+                .collect(),
+            dropped_pids: Mutex::new(FastHashSet::default()),
             last_ckpt: Mutex::new((covered, initial.clone())),
             closing: AtomicBool::new(false),
             watchdog_restarts: AtomicU64::new(0),
@@ -1598,6 +1882,26 @@ impl SinkService {
     /// routes one record.
     pub fn ingest(&self, p: CollectedPacket) -> IngestOutcome {
         self.core.ingest(p)
+    }
+
+    /// Validates, deduplicates, journals, and routes a whole batch of
+    /// records with the ingest-order lock taken **once**: dedup, a
+    /// single multi-record WAL append, and every in-order shard push
+    /// are amortized over the batch. Record-level outcomes, journal
+    /// bytes, and queue order are identical to calling
+    /// [`SinkService::ingest`] once per record; checkpoint and
+    /// heal-probe triggers are evaluated at the batch boundary (the
+    /// batch is the scheduling quantum for those background
+    /// transitions). This is the path the TCP reactor feeds with every
+    /// complete frame of each socket read.
+    pub fn ingest_batch(&self, packets: &[CollectedPacket]) -> BatchIngestReport {
+        self.core.ingest_batch(packets.to_vec())
+    }
+
+    /// [`SinkService::ingest_batch`] taking ownership of the batch —
+    /// the allocation-free variant the reactor and benches use.
+    pub fn ingest_batch_owned(&self, packets: Vec<CollectedPacket>) -> BatchIngestReport {
+        self.core.ingest_batch(packets)
     }
 
     /// Decodes the frame at the start of `buf` and ingests it, returning
@@ -2259,7 +2563,7 @@ fn restart_shard(core: &Arc<Core>, shard: usize) {
     // `covered` = pids the restart resurrects: the snapshot buffer, the
     // WAL suffix, the purged queue. Insertion order into `requeue` is
     // WAL order (== original push order), then un-journaled stragglers.
-    let mut covered: HashSet<PacketId> = snap
+    let mut covered: FastHashSet<PacketId> = snap
         .iter()
         .flat_map(|s| s.buffer.iter().map(|p| p.pid))
         .collect();

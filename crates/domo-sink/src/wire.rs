@@ -380,6 +380,86 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<CollectedPacket>, Fr
     Ok(Some(packet))
 }
 
+/// Incremental frame splitter for non-blocking transports.
+///
+/// [`read_frame`] assumes a blocking reader it can park on; a reactor
+/// gets bytes in whatever chunks `read(2)` returns. The splitter
+/// buffers those chunks ([`FrameSplitter::extend`]) and peels off
+/// every complete frame ([`FrameSplitter::drain_frames`]), leaving a
+/// partial tail buffered until the rest arrives. A structural defect
+/// (bad magic, bad checksum, …) is returned as the typed [`WireError`];
+/// frame alignment is lost after it and callers should drop the
+/// connection, exactly as with [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameSplitter {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameSplitter {
+    /// An empty splitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded — the connection's backlog
+    /// (0 means the stream sits exactly on a frame boundary).
+    pub fn backlog(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Decodes the next complete frame, or `Ok(None)` if the buffer
+    /// holds only a partial one (feed more bytes and retry).
+    ///
+    /// # Errors
+    ///
+    /// The [`WireError`] of a structurally invalid frame.
+    pub fn next_frame(&mut self) -> Result<Option<CollectedPacket>, WireError> {
+        match decode_packet(&self.buf[self.at..]) {
+            Ok((p, used)) => {
+                self.at += used;
+                if self.at == self.buf.len() {
+                    self.buf.clear();
+                    self.at = 0;
+                }
+                Ok(Some(p))
+            }
+            Err(WireError::Truncated { .. }) => {
+                // Partial tail: compact the consumed prefix away so the
+                // buffer never grows past one frame per idle stretch.
+                if self.at > 0 {
+                    self.buf.drain(..self.at);
+                    self.at = 0;
+                }
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Decodes *every* complete frame currently buffered into `out`,
+    /// returning how many were appended — the per-read batch a reactor
+    /// hands to `SinkService::ingest_batch`.
+    ///
+    /// # Errors
+    ///
+    /// The [`WireError`] of the first structurally invalid frame;
+    /// frames decoded before it are already in `out`.
+    pub fn drain_frames(&mut self, out: &mut Vec<CollectedPacket>) -> Result<usize, WireError> {
+        let mut n = 0;
+        while let Some(p) = self.next_frame()? {
+            out.push(p);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +613,53 @@ mod tests {
         let torn = &bytes[..good_len + 1];
         let (_, e) = decode_packets(torn).unwrap_err();
         assert!(matches!(e, WireError::Truncated { .. }));
+    }
+
+    #[test]
+    fn splitter_yields_every_frame_at_any_chunking() {
+        let trace = run_simulation(&NetworkConfig::small(9, 902));
+        let stream = encode_packets(&trace.packets).unwrap();
+        // Byte-by-byte, odd chunks, and one giant feed must all yield
+        // the identical packet sequence with no leftover backlog.
+        for chunk in [1usize, 3, 7, 64, stream.len()] {
+            let mut sp = FrameSplitter::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                sp.extend(piece);
+                sp.drain_frames(&mut got).unwrap();
+            }
+            assert_eq!(got, trace.packets, "chunk size {chunk}");
+            assert_eq!(sp.backlog(), 0);
+        }
+    }
+
+    #[test]
+    fn splitter_keeps_a_torn_tail_until_it_completes() {
+        let stream = encode_packets(&[sample_packet(), sample_packet()]).unwrap();
+        // Mid-frame, not on the boundary between the two equal frames.
+        let cut = stream.len() / 2 + 3;
+        let mut sp = FrameSplitter::new();
+        sp.extend(&stream[..cut]);
+        let mut got = Vec::new();
+        sp.drain_frames(&mut got).unwrap();
+        assert!(got.len() < 2);
+        assert!(sp.backlog() > 0, "partial frame stays buffered");
+        sp.extend(&stream[cut..]);
+        sp.drain_frames(&mut got).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(sp.backlog(), 0);
+    }
+
+    #[test]
+    fn splitter_surfaces_typed_defects_and_keeps_earlier_frames() {
+        let mut stream = encode_packets(&[sample_packet()]).unwrap();
+        stream.extend_from_slice(&[0x99; 8]); // garbage after a valid frame
+        let mut sp = FrameSplitter::new();
+        sp.extend(&stream);
+        let mut got = Vec::new();
+        let e = sp.drain_frames(&mut got).unwrap_err();
+        assert_eq!(e, WireError::BadMagic { found: 0x99 });
+        assert_eq!(got.len(), 1, "the valid frame before the defect decoded");
     }
 
     #[test]

@@ -99,6 +99,21 @@ pub struct WalStats {
     pub unsynced: u64,
 }
 
+/// Outcome of [`Wal::append_batch`]: the appended *prefix* of the
+/// batch, and the error (if any) that stopped it. Records past the
+/// failed one are never attempted — the log stays a clean prefix of
+/// what the caller submitted, exactly as sequential appends would
+/// leave it.
+#[derive(Debug, Default)]
+pub struct BatchAppendOutcome {
+    /// Records appended before the first failure.
+    pub appended: usize,
+    /// LSN of the first appended record (`None` when `appended == 0`).
+    pub first_lsn: Option<u64>,
+    /// The error that stopped the batch, if any.
+    pub error: Option<std::io::Error>,
+}
+
 #[derive(Debug, Clone)]
 struct Segment {
     path: PathBuf,
@@ -376,6 +391,38 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// Appends many records in order, stopping at the first failure.
+    ///
+    /// Equivalent — byte-for-byte on disk, and op-for-op against the
+    /// underlying [`StoreIo`] — to calling [`Wal::append`] once per
+    /// payload: rotation and the fsync policy are evaluated per record,
+    /// so a mid-batch failure journals exactly the *prefix* a
+    /// sequential caller would have journaled before seeing the same
+    /// error. The amortization lives in the caller: one lock hold (and
+    /// one health-transition decision) covers the whole batch instead
+    /// of one per record.
+    pub fn append_batch<'a, I>(&mut self, payloads: I) -> BatchAppendOutcome
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut out = BatchAppendOutcome::default();
+        for payload in payloads {
+            match self.append(payload) {
+                Ok(lsn) => {
+                    if out.first_lsn.is_none() {
+                        out.first_lsn = Some(lsn);
+                    }
+                    out.appended += 1;
+                }
+                Err(e) => {
+                    out.error = Some(e);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     fn rotate(&mut self) -> std::io::Result<()> {
         self.file.sync_data()?;
         let (active, file) = Self::fresh_segment(self.io.as_ref(), &self.dir, self.next_lsn)?;
@@ -471,6 +518,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultPlan;
     use std::fs::OpenOptions;
 
     fn tmp(name: &str) -> PathBuf {
@@ -637,6 +685,95 @@ mod tests {
             assert_eq!(*lsn, i as u64);
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        files
+            .into_iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(&p).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_append_is_byte_identical_to_sequential_appends() {
+        // Spans a rotation and an fsync-interval boundary so both code
+        // paths exercise the same per-record policy decisions.
+        let cfg = WalConfig {
+            segment_bytes: 4096,
+            fsync: FsyncPolicy::Interval(7),
+        };
+        let payloads: Vec<Vec<u8>> = (0..80u32).map(|i| vec![i as u8; 192]).collect();
+        let seq_dir = tmp("batch-eq-seq");
+        let bat_dir = tmp("batch-eq-bat");
+        {
+            let (mut wal, _) = Wal::open(&seq_dir, cfg).unwrap();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        {
+            let (mut wal, _) = Wal::open(&bat_dir, cfg).unwrap();
+            let out = wal.append_batch(payloads.iter().map(Vec::as_slice));
+            assert_eq!(out.appended, payloads.len());
+            assert_eq!(out.first_lsn, Some(0));
+            assert!(out.error.is_none());
+            wal.sync().unwrap();
+        }
+        let seq = dir_bytes(&seq_dir);
+        let bat = dir_bytes(&bat_dir);
+        assert_eq!(seq, bat, "segment names and bytes must match exactly");
+        std::fs::remove_dir_all(&seq_dir).unwrap();
+        std::fs::remove_dir_all(&bat_dir).unwrap();
+    }
+
+    #[test]
+    fn batch_append_failure_journals_the_sequential_prefix() {
+        // A write fault mid-batch must leave exactly the records a
+        // sequential caller would have journaled before the same fault,
+        // and report the stop point.
+        let plan = FaultPlan {
+            eio: 1.0,
+            after_ops: 10, // open + a few appends, then hard EIO forever
+            for_ops: 0,
+            ..FaultPlan::default()
+        };
+        let payloads: Vec<Vec<u8>> = (0..32u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let run = |dir: &Path, batch: bool| -> (u64, Vec<(String, Vec<u8>)>) {
+            let io = Arc::new(crate::FaultyIo::new(plan));
+            let (mut wal, _) = Wal::open_with_io(dir, WalConfig::default(), io).unwrap();
+            if batch {
+                let out = wal.append_batch(payloads.iter().map(Vec::as_slice));
+                assert!(out.error.is_some(), "the storm must stop the batch");
+                assert!(out.appended < payloads.len());
+            } else {
+                for p in &payloads {
+                    if wal.append(p).is_err() {
+                        break;
+                    }
+                }
+            }
+            (wal.next_lsn(), dir_bytes(dir))
+        };
+        let seq_dir = tmp("batch-fault-seq");
+        let bat_dir = tmp("batch-fault-bat");
+        let (seq_lsn, seq_bytes) = run(&seq_dir, false);
+        let (bat_lsn, bat_bytes) = run(&bat_dir, true);
+        assert!(seq_lsn > 0, "some prefix must land before the fault");
+        assert_eq!(seq_lsn, bat_lsn);
+        assert_eq!(seq_bytes, bat_bytes);
+        std::fs::remove_dir_all(&seq_dir).unwrap();
+        std::fs::remove_dir_all(&bat_dir).unwrap();
     }
 
     #[test]

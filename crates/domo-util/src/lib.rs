@@ -3,6 +3,8 @@
 //! This crate hosts the three foundations every other crate in the
 //! workspace builds on:
 //!
+//! * [`hash`] — a fast non-cryptographic hasher ([`hash::FastHasher`])
+//!   for hot-path identity sets keyed by small fixed-width ids.
 //! * [`rng`] — a deterministic, dependency-free pseudo-random number
 //!   generator (splitmix64 seeding + xoshiro256++ core) so that every
 //!   simulation and experiment in the repository is bit-reproducible from
@@ -28,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod rng;
 pub mod running;
 pub mod stats;

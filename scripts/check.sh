@@ -15,7 +15,10 @@
 #                        (exits nonzero unless every delivered packet is
 #                        reconstructed and garbage frames are counted),
 #                        plus the ingestion-throughput bench, which
-#                        refreshes BENCH_sink.json
+#                        synthesizes a 100K-packet steady-state
+#                        workload, gates batched ingest at ≥10% of
+#                        decode throughput at 4 shards and ≥80% of the
+#                        committed BENCH_sink.json, then refreshes it
 #   5. estimator bench   domo-exp bench: fails if single-thread window
 #                        throughput regressed >20% vs the committed
 #                        BENCH_estimator.json, then refreshes the file
@@ -50,6 +53,13 @@
 #                        exact computation; then domo-exp querybench
 #                        gates fan-out throughput vs the committed
 #                        BENCH_query.json and refreshes the file
+#  12. connection soak   domo-sink connsoak: 1000+ concurrent replay
+#                        connections against one reactor-backed server;
+#                        fails unless every packet is accounted for
+#                        exactly (emitted + dropped == ingested, zero
+#                        quarantine) and the --max-conns cap sheds
+#                        over-cap connections as counted structured
+#                        refusals
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,8 +86,8 @@ cargo test -q
 echo "==> domo-sink smoke (end-to-end over loopback TCP)"
 ./target/release/domo-sink smoke --nodes 9 --seed 7
 
-echo "==> domo-sink bench (writes BENCH_sink.json)"
-./target/release/domo-sink bench --nodes 16 --seed 7
+echo "==> domo-sink bench (gates on BENCH_sink.json, then refreshes it)"
+./target/release/domo-sink bench --nodes 16 --seed 7 --baseline BENCH_sink.json
 
 echo "==> domo-exp bench (gates on BENCH_estimator.json, then refreshes it)"
 ./target/release/domo-exp bench --baseline BENCH_estimator.json
@@ -116,5 +126,8 @@ echo "==> domo-sink subsmoke (exactly-once live subscriptions + AGG accuracy)"
 
 echo "==> domo-exp querybench (gates on BENCH_query.json, then refreshes it)"
 ./target/release/domo-exp querybench --baseline BENCH_query.json
+
+echo "==> domo-sink connsoak (1000+ concurrent connections, exact accounting)"
+./target/release/domo-sink connsoak --nodes 16 --seed 7
 
 echo "All checks passed."
