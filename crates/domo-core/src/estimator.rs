@@ -603,6 +603,7 @@ fn solve_window(
         None => {
             stats.relaxed_retries += 1;
             OBS_LADDER_UPPER_SUM.inc();
+            domo_obs::flight!("ladder_fallback", rung = "upper_sum");
             attempt(
                 view,
                 cfg,
@@ -622,6 +623,7 @@ fn solve_window(
         None => {
             stats.fifo_relaxed_windows += 1;
             OBS_LADDER_FIFO.inc();
+            domo_obs::flight!("ladder_fallback", rung = "fifo");
             // No lifting on the last rung: the lifted rows *are* the
             // undecided FIFO constraints being dropped.
             attempt(
@@ -664,6 +666,7 @@ fn solve_window(
         None => {
             stats.unsolved_windows += 1;
             OBS_LADDER_MIDPOINT.inc();
+            domo_obs::flight!("ladder_fallback", rung = "midpoint");
             for v in committed_vars {
                 commits.push((v, intervals.midpoint(v)));
             }

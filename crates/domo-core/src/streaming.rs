@@ -336,6 +336,15 @@ impl StreamingEstimator {
             return Ok(Vec::new());
         }
         let commit = commit.min(self.buffer.len());
+        // The committed prefix enters the solve now; stamp it before
+        // the buffer moves.
+        for p in &self.buffer[..commit] {
+            domo_obs::trace::stamp(
+                p.pid.origin.index() as u16,
+                p.pid.seq,
+                domo_obs::trace::Stage::Flush,
+            );
+        }
         // Solve with the full buffer as context.
         let view = TraceView::new(std::mem::take(&mut self.buffer));
         let result = Self::reconstruct_prefix(&view, &self.cfg, commit);
@@ -379,6 +388,11 @@ impl StreamingEstimator {
                 };
                 hop_times_ms.push(t);
             }
+            domo_obs::trace::stamp(
+                p.pid.origin.index() as u16,
+                p.pid.seq,
+                domo_obs::trace::Stage::WindowSolve,
+            );
             out.push(ReconstructedPacket {
                 pid: p.pid,
                 hop_times_ms,

@@ -7,6 +7,9 @@
 //! domo-exp obsbench [--nodes N] [--seed S] [--out PATH] [--max-delta PCT]
 //! domo-exp storebench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //! domo-exp querybench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
+//! domo-exp tracebench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
+//!          [--max-delta PCT]
+//! domo-exp benchall [--sink-bin PATH]
 //! domo-exp chaos [--quick] [--nodes N] [--seed S] [--sink-bin PATH]
 //!
 //! experiments:
@@ -41,6 +44,24 @@
 //!            backfilled window; gates on --baseline (fails if the
 //!            8-subscriber deliveries/s regressed >20%), then writes
 //!            the numbers to --out (default BENCH_query.json)
+//!   tracebench
+//!            per-packet trace-sampling overhead: (1) the cost of a
+//!            disabled `trace::stamp` call, scaled by the hooks a
+//!            packet crosses, against the measured per-packet pipeline
+//!            cost (gate: <=1%); (2) the full in-process pipeline with
+//!            the sampler at 1/256 vs off, judged like obsbench on
+//!            paired ratios (gate: <=--max-delta percent, default 5);
+//!            (3) a fault-induced degrade must land a parseable
+//!            `flight-*.jsonl` dump containing the triggering event.
+//!            Gates on --baseline (fails if the tracing-off pipeline
+//!            throughput regressed >20%), then splices a `"trace"`
+//!            section into --out (default BENCH_obs.json), preserving
+//!            the obsbench fields
+//!   benchall regenerates every committed BENCH_*.json in one go
+//!            (bench, obsbench, tracebench, storebench, querybench,
+//!            plus `domo-sink bench` via the sibling binary) without
+//!            regression gates — the refresh path after an intentional
+//!            perf change — and prints a one-line summary per file
 //!   chaos    the survival soak: spawns a durable `domo-sink serve`
 //!            child with an injected storage fault storm AND a
 //!            scheduled shard-worker panic, streams a trace at it over
@@ -105,11 +126,12 @@ fn parse_args() -> Result<Args, String> {
         || args.experiment == "obsbench"
         || args.experiment == "storebench"
         || args.experiment == "querybench"
+        || args.experiment == "tracebench"
     {
         args.nodes = 25;
         args.seed = 7;
     }
-    if args.experiment == "obsbench" {
+    if args.experiment == "obsbench" || args.experiment == "tracebench" {
         args.out = "BENCH_obs.json".into();
     }
     if args.experiment == "storebench" {
@@ -753,7 +775,7 @@ fn obs_bench(args: &Args) -> Result<(), String> {
     );
 
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let json = format!(
+    let mut json = format!(
         "{{\n  \"bench\": \"obs_overhead\",\n  \"nodes\": {},\n  \"seed\": {},\n  \
          \"host_cpus\": {cpus},\n  \"windows\": {},\n  \
          \"enabled_seconds_per_solve\": {enabled_s:.6},\n  \
@@ -763,6 +785,13 @@ fn obs_bench(args: &Args) -> Result<(), String> {
          \"overhead_pct\": {overhead_pct:.2}\n}}\n",
         args.nodes, args.seed, reference.stats.windows
     );
+    // `tracebench` shares this file: carry its section forward so a
+    // metrics-overhead refresh doesn't silently drop the trace numbers.
+    if let Ok(old) = std::fs::read_to_string(&args.out) {
+        if let Some(trace) = extract_trace_object(&old) {
+            json = with_trace_section(&json, trace);
+        }
+    }
     std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out))?;
     println!("obsbench: wrote {}", args.out);
 
@@ -771,6 +800,355 @@ fn obs_bench(args: &Args) -> Result<(), String> {
             "metrics overhead {overhead_pct:.2}% exceeds the {:.1}% budget",
             args.max_delta
         ));
+    }
+    Ok(())
+}
+
+/// Pulls the flat `"trace": {...}` object out of a committed
+/// BENCH_obs.json, if present. The section is machine-written by
+/// [`trace_bench`] and holds no nested braces, so the first `}` after
+/// the key closes it.
+fn extract_trace_object(json: &str) -> Option<&str> {
+    let at = json.find("\"trace\":")?;
+    let open = at + json[at..].find('{')?;
+    let close = open + json[open..].find('}')? + 1;
+    Some(&json[open..close])
+}
+
+/// Splices `"trace": <trace_obj>` into a flat machine-written bench
+/// JSON object, replacing an existing section or inserting a new one
+/// before the final `}`.
+fn with_trace_section(json: &str, trace_obj: &str) -> String {
+    let mut body = json.trim_end().to_string();
+    if let Some(at) = body.find(",\n  \"trace\":") {
+        if let Some(close) = body[at..].find('}') {
+            body.replace_range(at..at + close + 1, "");
+        }
+    }
+    let insert = body.rfind('}').unwrap_or(body.len());
+    let head = body[..insert].trim_end();
+    format!("{head},\n  \"trace\": {trace_obj}\n}}\n")
+}
+
+/// Pulls `"pipeline_pps_off": <float>` out of a previously committed
+/// BENCH_obs.json trace section (flat machine-written JSON, substring
+/// scan — same approach as [`baseline_throughput`]).
+fn trace_baseline_throughput(json: &str) -> Option<f64> {
+    let key = "\"pipeline_pps_off\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Stage-boundary hooks a packet crosses on the full server path:
+/// reactor_read, batch_submit, wal_append, shard_enqueue,
+/// shard_dequeue, flush, window_solve, result_append, publish,
+/// subscriber_send. The disabled-overhead projection multiplies the
+/// per-call cost by this count.
+const TRACE_HOOKS_PER_PACKET: f64 = 10.0;
+
+/// What per-packet journey tracing costs the pipeline (see the module
+/// docs): a disabled-stamp microbench projected onto the measured
+/// per-packet pipeline cost (gate <=1%), a paired-alternation pipeline
+/// comparison with the sampler at 1/256 vs off (gate <=--max-delta),
+/// and a fault-induced degrade that must land a flight-recorder dump
+/// containing the triggering event. Splices a `"trace"` section into
+/// `--out`, preserving the obsbench fields already there.
+fn trace_bench(args: &Args) -> Result<(), String> {
+    use domo_sink::service::{SinkConfig, SinkService};
+    use domo_sink::StoreConfig;
+
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    let total = trace.packets.len();
+    if total == 0 {
+        return Err("simulated trace delivered nothing".into());
+    }
+
+    // Part 1: the disabled fast path — one relaxed atomic load, the
+    // hash short-circuited. Measured per call, then projected onto the
+    // per-packet pipeline cost via the hook count.
+    domo_obs::trace::set_sample_every(None);
+    const CALLS: u32 = 1_000_000;
+    let secs = time_per_iter(|| {
+        for i in 0..CALLS {
+            domo_obs::trace::stamp(
+                std::hint::black_box((i % 64) as u16),
+                std::hint::black_box(i),
+                domo_obs::trace::Stage::Flush,
+            );
+        }
+    });
+    let stamp_off_ns = secs / f64::from(CALLS) * 1e9;
+    println!("tracebench: disabled stamp costs {stamp_off_ns:.2} ns/call");
+
+    // Part 2: the whole in-process pipeline (fresh single-shard sink,
+    // ingest the trace, drain, shutdown) with the sampler at 1/256 vs
+    // off, alternated per run and judged on paired ratios exactly like
+    // obsbench — pairing cancels the slow load drift of a shared host.
+    let run_pipeline = || {
+        let service = SinkService::start(SinkConfig {
+            shards: 1,
+            ..SinkConfig::default()
+        });
+        for p in &trace.packets {
+            service.ingest(p.clone());
+        }
+        service.drain();
+        service.shutdown();
+    };
+    let mut times = Vec::new();
+    for k in 0..31u32 {
+        domo_obs::trace::set_sample_every(Some(if k % 2 == 0 { 256 } else { 0 }));
+        let one = Instant::now();
+        run_pipeline();
+        times.push(one.elapsed().as_secs_f64());
+    }
+    domo_obs::trace::set_sample_every(None);
+    let mut ratios: Vec<f64> = times
+        .windows(3)
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, w)| w[1] / ((w[0] + w[2]) / 2.0))
+        .collect();
+    let mut sampled_times: Vec<f64> = times.iter().copied().step_by(2).collect();
+    let mut off_times: Vec<f64> = times.iter().copied().skip(1).step_by(2).collect();
+    // Overhead comes from paired ratios (load-drift-immune); the
+    // absolute throughputs use the *fastest* run of each mode — like
+    // `time_per_iter` everywhere else, the minimum is what a regression
+    // gate can compare across differently loaded hosts.
+    off_times.sort_by(f64::total_cmp);
+    sampled_times.sort_by(f64::total_cmp);
+    let off_s = off_times[0];
+    let pps_off = total as f64 / off_s;
+    let pps_sampled = total as f64 / sampled_times[0];
+    let sampled_overhead_pct = (median(&mut ratios) - 1.0) * 100.0;
+    // The disabled projection against the measured tracing-off cost.
+    let packet_ns_off = off_s / total as f64 * 1e9;
+    let disabled_overhead_pct = stamp_off_ns * TRACE_HOOKS_PER_PACKET / packet_ns_off * 100.0;
+    println!(
+        "tracebench: pipeline off {pps_off:.0} pkts/s, sampled 1/256 {pps_sampled:.0} pkts/s, \
+         sampled overhead {sampled_overhead_pct:+.2}%, \
+         disabled projection {disabled_overhead_pct:.4}% \
+         ({TRACE_HOOKS_PER_PACKET:.0} hooks x {stamp_off_ns:.2} ns / {packet_ns_off:.0} ns/pkt)"
+    );
+
+    // Part 3: a degrade must leave a post-mortem behind. The same
+    // seeded storm the chaos soak uses, but in process: WAL appends
+    // start failing after 30 store ops, the health machine degrades,
+    // and the transition dumps the flight ring into the data dir.
+    let scratch = std::env::temp_dir().join(format!("domo-tracebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let faults = domo_store::FaultPlan::parse("eio=1,fsync=1,after=30,for=40,seed=5")
+        .map_err(|e| format!("fault spec: {e}"))?;
+    let service = SinkService::start(SinkConfig {
+        shards: 1,
+        store: Some(StoreConfig {
+            faults: Some(faults),
+            probe_every: 8,
+            ..StoreConfig::at(&scratch)
+        }),
+        ..SinkConfig::default()
+    });
+    for p in &trace.packets {
+        service.ingest(p.clone());
+    }
+    service.drain();
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while service.health_status().degraded_entries == 0 {
+        // Checkpoint attempts burn faulted store ops, so the storm
+        // window is guaranteed to trip even on a tiny trace.
+        let _ = service.checkpoint_now();
+        if Instant::now() > deadline {
+            service.shutdown();
+            return Err("the fault storm never degraded the sink".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    service.shutdown();
+    let mut dump_files = Vec::new();
+    for entry in std::fs::read_dir(&scratch).map_err(|e| format!("read {scratch:?}: {e}"))? {
+        let entry = entry.map_err(|e| format!("read {scratch:?}: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("flight-") && name.ends_with(".jsonl") {
+            dump_files.push(entry.path());
+        }
+    }
+    if dump_files.is_empty() {
+        return Err(format!(
+            "degrade left no flight-*.jsonl dump in {scratch:?}"
+        ));
+    }
+    let mut dump_records = 0usize;
+    let mut saw_trigger = false;
+    for path in &dump_files {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        for line in body.lines() {
+            if !(line.starts_with("{\"seq\":") && line.ends_with('}')) {
+                return Err(format!("unparseable flight record in {path:?}: {line}"));
+            }
+            dump_records += 1;
+            if line.contains("\"kind\":\"degraded\"") {
+                saw_trigger = true;
+            }
+        }
+    }
+    if !saw_trigger {
+        return Err(format!(
+            "no \"degraded\" trigger event in the flight dumps: {dump_files:?}"
+        ));
+    }
+    println!(
+        "tracebench: degrade dumped {} flight file(s), {dump_records} records, trigger present",
+        dump_files.len()
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(json) => match trace_baseline_throughput(&json) {
+                Some(committed) => {
+                    let floor = committed * 0.8;
+                    if pps_off < floor {
+                        return Err(format!(
+                            "tracing-off pipeline throughput regressed >20%: {pps_off:.0} pkts/s \
+                             vs committed {committed:.0} (floor {floor:.0}) in {path}"
+                        ));
+                    }
+                    println!(
+                        "tracebench: pipeline {pps_off:.0} pkts/s vs committed \
+                         {committed:.0} — within the 20% regression budget"
+                    );
+                }
+                None => {
+                    // A baseline without a trace section is the
+                    // bootstrap case: this run writes the first one.
+                    println!("tracebench: no trace section in {path} yet; writing a fresh one");
+                }
+            },
+            Err(e) => {
+                println!("tracebench: no baseline at {path} ({e}); writing a fresh one");
+            }
+        }
+    }
+
+    let trace_obj = format!(
+        "{{\"hooks_per_packet\": {TRACE_HOOKS_PER_PACKET:.0}, \
+         \"stamp_disabled_ns\": {stamp_off_ns:.2}, \
+         \"pipeline_pps_off\": {pps_off:.1}, \
+         \"pipeline_pps_sampled_256\": {pps_sampled:.1}, \
+         \"disabled_overhead_pct\": {disabled_overhead_pct:.4}, \
+         \"sampled_overhead_pct\": {sampled_overhead_pct:.2}, \
+         \"flight_dump_files\": {}, \"flight_dump_records\": {dump_records}}}",
+        dump_files.len()
+    );
+    let base = std::fs::read_to_string(&args.out).unwrap_or_else(|_| {
+        format!(
+            "{{\n  \"bench\": \"obs_overhead\",\n  \"nodes\": {},\n  \"seed\": {}\n}}\n",
+            args.nodes, args.seed
+        )
+    });
+    std::fs::write(&args.out, with_trace_section(&base, &trace_obj))
+        .map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("tracebench: wrote the trace section of {}", args.out);
+
+    if disabled_overhead_pct > 1.0 {
+        return Err(format!(
+            "disabled tracing projects to {disabled_overhead_pct:.4}% per-packet overhead, \
+             over the 1% budget"
+        ));
+    }
+    if sampled_overhead_pct > args.max_delta {
+        return Err(format!(
+            "1/256 sampling costs {sampled_overhead_pct:.2}%, over the {:.1}% budget",
+            args.max_delta
+        ));
+    }
+    Ok(())
+}
+
+/// Regenerates every committed `BENCH_*.json` in one go, gates off
+/// (this is the refresh path after an intentional perf change), and
+/// prints a one-line summary per file at the end.
+fn bench_all(args: &Args) -> Result<(), String> {
+    let fresh = |out: &str| Args {
+        experiment: String::new(),
+        nodes: 25,
+        seed: 7,
+        fast: 1,
+        threads: 1,
+        out: out.into(),
+        baseline: None,
+        metrics_json: None,
+        max_delta: args.max_delta,
+        quick: false,
+        sink_bin: args.sink_bin.clone(),
+    };
+    println!("benchall: estimator");
+    bench(&fresh("BENCH_estimator.json")).map_err(|e| format!("bench: {e}"))?;
+    println!("benchall: obs overhead");
+    obs_bench(&fresh("BENCH_obs.json")).map_err(|e| format!("obsbench: {e}"))?;
+    println!("benchall: trace overhead");
+    trace_bench(&fresh("BENCH_obs.json")).map_err(|e| format!("tracebench: {e}"))?;
+    println!("benchall: store write path");
+    store_bench(&fresh("BENCH_store.json")).map_err(|e| format!("storebench: {e}"))?;
+    println!("benchall: query path");
+    query_bench(&fresh("BENCH_query.json")).map_err(|e| format!("querybench: {e}"))?;
+    println!("benchall: sink ingest (sibling binary)");
+    let sink = sink_binary(args)?;
+    let status = std::process::Command::new(&sink)
+        .args(["bench", "--out", "BENCH_sink.json"])
+        .status()
+        .map_err(|e| format!("spawn {}: {e}", sink.display()))?;
+    if !status.success() {
+        return Err(format!("domo-sink bench failed: {status}"));
+    }
+
+    // The summary pulls one headline number back out of each file so a
+    // refresh ends with a table instead of five pages of scroll.
+    let pick = |path: &str, key: &str| -> String {
+        let Ok(json) = std::fs::read_to_string(path) else {
+            return "missing".into();
+        };
+        let probe = format!("\"{key}\":");
+        json.find(&probe)
+            .map(|at| {
+                let rest = json[at + probe.len()..].trim_start();
+                let end = rest
+                    .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                rest[..end].to_string()
+            })
+            .unwrap_or_else(|| "missing".into())
+    };
+    println!("benchall: summary");
+    for (file, key, unit) in [
+        (
+            "BENCH_estimator.json",
+            "single_thread_windows_per_sec",
+            "windows/s",
+        ),
+        ("BENCH_obs.json", "overhead_pct", "% metrics overhead"),
+        (
+            "BENCH_obs.json",
+            "sampled_overhead_pct",
+            "% trace overhead at 1/256",
+        ),
+        (
+            "BENCH_store.json",
+            "wal_interval_appends_per_sec",
+            "appends/s",
+        ),
+        (
+            "BENCH_query.json",
+            "fanout_8_deliveries_per_sec",
+            "deliveries/s",
+        ),
+        ("BENCH_sink.json", "encode_pkts_per_sec", "encodes/s"),
+    ] {
+        println!("benchall:   {file:<22} {key} = {} {unit}", pick(file, key));
     }
     Ok(())
 }
@@ -1187,6 +1565,18 @@ fn run(experiment: &str, args: &Args) {
                 std::process::exit(1);
             }
         }
+        "tracebench" => {
+            if let Err(msg) = trace_bench(args) {
+                domo_obs::error!(target: "domo_exp", "tracebench failed", error = msg);
+                std::process::exit(1);
+            }
+        }
+        "benchall" => {
+            if let Err(msg) = bench_all(args) {
+                domo_obs::error!(target: "domo_exp", "benchall failed", error = msg);
+                std::process::exit(1);
+            }
+        }
         "chaos" => {
             if let Err(msg) = chaos(args) {
                 domo_obs::error!(target: "domo_exp", "chaos failed", error = msg);
@@ -1247,7 +1637,8 @@ fn main() {
         Err(msg) => {
             let usage = "usage: domo-exp \
                  <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|bench|\
-                 obsbench|storebench|chaos|all> [--nodes N] [--seed S] [--fast K] [--threads T] \
+                 obsbench|storebench|querybench|tracebench|benchall|chaos|all> \
+                 [--nodes N] [--seed S] [--fast K] [--threads T] \
                  [--out PATH] [--baseline PATH] [--metrics-json PATH] [--max-delta PCT] \
                  [--quick] [--sink-bin PATH]";
             domo_obs::error!(target: "domo_exp", "bad invocation", error = msg, usage = usage);
@@ -1258,7 +1649,10 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::{baseline_throughput, store_baseline_throughput};
+    use super::{
+        baseline_throughput, extract_trace_object, store_baseline_throughput,
+        trace_baseline_throughput, with_trace_section,
+    };
 
     #[test]
     fn baseline_parser_reads_the_committed_number() {
@@ -1278,5 +1672,25 @@ mod tests {
                     \"wal_interval_appends_per_sec\": 98765.4,\n  \"rows\": []\n}";
         assert_eq!(store_baseline_throughput(json), Some(98765.4));
         assert_eq!(store_baseline_throughput("{}"), None);
+    }
+
+    #[test]
+    fn trace_section_splices_and_round_trips() {
+        let obs = "{\n  \"bench\": \"obs_overhead\",\n  \"overhead_pct\": -0.51\n}\n";
+        let spliced = with_trace_section(obs, "{\"pipeline_pps_off\": 1234.5}");
+        assert!(spliced.contains("\"overhead_pct\": -0.51"));
+        assert_eq!(
+            extract_trace_object(&spliced),
+            Some("{\"pipeline_pps_off\": 1234.5}")
+        );
+        assert_eq!(trace_baseline_throughput(&spliced), Some(1234.5));
+        // Re-splicing replaces, never duplicates.
+        let again = with_trace_section(&spliced, "{\"pipeline_pps_off\": 99.0}");
+        assert_eq!(again.matches("\"trace\":").count(), 1);
+        assert_eq!(trace_baseline_throughput(&again), Some(99.0));
+        assert!(again.contains("\"overhead_pct\": -0.51"));
+        // No section in a plain obsbench file.
+        assert_eq!(extract_trace_object(obs), None);
+        assert_eq!(trace_baseline_throughput(obs), None);
     }
 }

@@ -143,7 +143,7 @@ pub enum FieldValue {
 }
 
 impl FieldValue {
-    fn render_into(&self, out: &mut String) {
+    pub(crate) fn render_into(&self, out: &mut String) {
         use std::fmt::Write as _;
         match self {
             FieldValue::U64(v) => {

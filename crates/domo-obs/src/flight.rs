@@ -1,0 +1,283 @@
+//! The flight recorder: a fixed-size ring of recent structured events
+//! for post-mortems (DESIGN.md §16).
+//!
+//! Metrics aggregate and events stream past; when a shard watchdog
+//! fires or durability degrades, what the operator actually wants is
+//! *the last few hundred things that happened*, in order, with their
+//! payloads. The flight recorder keeps exactly that: a bounded ring
+//! of pre-rendered JSON records that costs one atomic ticket plus one
+//! short per-slot lock per write, never allocates beyond its
+//! capacity, and can be snapshotted or dumped to
+//! `<data-dir>/flight-<ts>-<n>.jsonl` at any moment — including from
+//! inside the failure paths themselves (the dump touches only the
+//! ring and the real filesystem, so it is safe under the sink's
+//! ingest lock and unaffected by injected store faults).
+//!
+//! Writers never block each other on a shared structure: slot
+//! reservation is a lock-free `fetch_add` ticket; publication takes
+//! only that slot's own mutex (two writers contend only when they are
+//! exactly `capacity` tickets apart). Records carry a global sequence
+//! number, so a snapshot — the surviving suffix of the event history —
+//! is totally ordered and preserves each thread's write order.
+
+use crate::events::FieldValue;
+use crate::metrics::LazyCounter;
+use crate::metrics::{json_string, LazyGauge};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Slots in the process-wide recorder returned by [`flight`].
+pub const FLIGHT_CAPACITY: usize = 1024;
+
+static RECORDED: LazyCounter = LazyCounter::new("domo_flight_events_total", &[]);
+static DUMPS: LazyCounter = LazyCounter::new("domo_flight_dumps_total", &[]);
+static LAST_DUMP_MS: LazyGauge = LazyGauge::new("domo_flight_last_dump_unix_ms", &[]);
+
+struct Slot {
+    /// `(global sequence, rendered JSON line)`; `None` until the slot
+    /// is first written.
+    rec: Mutex<Option<(u64, String)>>,
+}
+
+/// A bounded ring of structured events. Most code uses the
+/// process-wide instance via [`flight`] (or the [`crate::flight!`]
+/// macro); standalone recorders exist for tests.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    next: AtomicU64,
+    dumps: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A fresh recorder with `capacity` slots (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots: Vec<Slot> = (0..capacity.max(1))
+            .map(|_| Slot {
+                rec: Mutex::new(None),
+            })
+            .collect();
+        FlightRecorder {
+            slots: slots.into_boxed_slice(),
+            next: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events ever recorded (not the number retained).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event. `kind` is a short machine-readable tag
+    /// (`"degraded"`, `"watchdog_restart"`, `"ladder_fallback"`, …);
+    /// `fields` land at the top level of the rendered record after the
+    /// reserved `seq`/`ts_ms`/`kind` keys.
+    pub fn record(&self, kind: &str, fields: &[(&str, FieldValue)]) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let mut line = String::with_capacity(48 + kind.len());
+        let _ = write!(
+            line,
+            "{{\"seq\":{seq},\"ts_ms\":{ts_ms},\"kind\":{}",
+            json_string(kind)
+        );
+        for (k, v) in fields {
+            let _ = write!(line, ",{}:", json_string(k));
+            v.render_into(&mut line);
+        }
+        line.push('}');
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut rec = slot
+            .rec
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // A slower writer holding an older ticket for this slot must
+        // not clobber a newer record that lapped it.
+        if rec.as_ref().is_none_or(|&(s, _)| s < seq) {
+            *rec = Some((seq, line));
+        }
+    }
+
+    /// The surviving records, oldest first (ordered by global
+    /// sequence). At most `capacity` lines.
+    pub fn snapshot(&self) -> Vec<String> {
+        let mut recs: Vec<(u64, String)> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                s.rec
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone()
+            })
+            .collect();
+        recs.sort_unstable_by_key(|&(seq, _)| seq);
+        recs.into_iter().map(|(_, line)| line).collect()
+    }
+
+    /// Writes the snapshot to `dir/flight-<unix_ms>-<n>.jsonl` (one
+    /// record per line) and returns the path. `<n>` is a per-recorder
+    /// dump counter, so dumps in the same millisecond never collide.
+    pub fn dump_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let n = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flight-{ts_ms}-{n}.jsonl"));
+        let mut body = String::new();
+        for line in self.snapshot() {
+            body.push_str(&line);
+            body.push('\n');
+        }
+        std::fs::write(&path, body)?;
+        DUMPS.inc();
+        LAST_DUMP_MS.set(ts_ms as f64);
+        Ok(path)
+    }
+}
+
+/// The process-wide flight recorder ([`FLIGHT_CAPACITY`] slots).
+pub fn flight() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::with_capacity(FLIGHT_CAPACITY))
+}
+
+/// Records one event on the process-wide recorder; the function
+/// behind the [`crate::flight!`] macro.
+pub fn flight_record(kind: &str, fields: &[(&str, FieldValue)]) {
+    RECORDED.inc();
+    flight().record(kind, fields);
+}
+
+/// Snapshot of the process-wide recorder, oldest first.
+pub fn flight_snapshot() -> Vec<String> {
+    flight().snapshot()
+}
+
+/// Dumps the process-wide recorder to `dir` (see
+/// [`FlightRecorder::dump_to`]).
+pub fn flight_dump(dir: &Path) -> std::io::Result<PathBuf> {
+    flight().dump_to(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_of(line: &str, key: &str) -> Option<String> {
+        // Good enough for the flat records these tests write.
+        let needle = format!("\"{key}\":");
+        let at = line.find(&needle)? + needle.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim_matches('"').to_string())
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let fr = FlightRecorder::with_capacity(8);
+        fr.record("degraded", &[("shard", FieldValue::from(3u64))]);
+        fr.record("healed", &[]);
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].contains("\"kind\":\"degraded\""));
+        assert!(snap[0].contains("\"shard\":3"));
+        assert!(snap[1].contains("\"kind\":\"healed\""));
+        assert_eq!(field_of(&snap[0], "seq").as_deref(), Some("0"));
+        assert_eq!(field_of(&snap[1], "seq").as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest() {
+        let fr = FlightRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            fr.record("tick", &[("i", FieldValue::from(i))]);
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 4);
+        let seqs: Vec<u64> = snap
+            .iter()
+            .filter_map(|l| field_of(l, "seq")?.parse().ok())
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(fr.recorded(), 10);
+    }
+
+    #[test]
+    fn dump_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join(format!("domo-flight-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let fr = FlightRecorder::with_capacity(8);
+        fr.record("a", &[("msg", FieldValue::from("x \"quoted\"\n"))]);
+        fr.record("b", &[("v", FieldValue::from(1.5))]);
+        let path = fr.dump_to(&dir).expect("dump");
+        let body = std::fs::read_to_string(&path).expect("read dump");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
+        }
+        assert!(lines[0].contains("\\\"quoted\\\""));
+        // Same-millisecond dumps get distinct names.
+        let p2 = fr.dump_to(&dir).expect("dump 2");
+        assert_ne!(path, p2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_preserve_per_thread_order() {
+        // The satellite property test proper lives in
+        // crates/domo-obs/tests/flight_ring.rs; this is the quick
+        // in-crate version.
+        let fr = std::sync::Arc::new(FlightRecorder::with_capacity(64));
+        let threads = 4;
+        let per = 200u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let fr = std::sync::Arc::clone(&fr);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        fr.record(
+                            "w",
+                            &[
+                                ("t", FieldValue::from(t as u64)),
+                                ("i", FieldValue::from(i)),
+                            ],
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer");
+        }
+        let snap = fr.snapshot();
+        assert!(snap.len() <= 64);
+        let mut last: Vec<Option<u64>> = vec![None; threads];
+        for line in &snap {
+            let t: usize = field_of(line, "t").and_then(|s| s.parse().ok()).expect("t");
+            let i: u64 = field_of(line, "i").and_then(|s| s.parse().ok()).expect("i");
+            if let Some(prev) = last[t] {
+                assert!(i > prev, "thread {t} out of order: {i} after {prev}");
+            }
+            last[t] = Some(i);
+        }
+        assert_eq!(fr.recorded(), threads as u64 * per);
+    }
+}

@@ -24,6 +24,15 @@
 //!   leveled, `DOMO_LOG`-filtered, rendered as JSON lines on stderr.
 //!   These replace raw `eprintln!` in the binaries (library crates
 //!   emit metrics, not prose; `scripts/check.sh` enforces this).
+//! * **Tracing** ([`trace`]) — a deterministic pid-hash sampler
+//!   (`DOMO_TRACE_SAMPLE=1/N`, off by default) stamps sampled packets
+//!   at every pipeline stage boundary, feeding per-stage latency
+//!   histograms and a bounded journey store served by `domo-sink`'s
+//!   `TRACE` query command.
+//! * **Flight recorder** ([`flight!`], [`FlightRecorder`]) — a
+//!   fixed-size ring of recent structured events, dumped to
+//!   `flight-<ts>.jsonl` on failure transitions or on demand via the
+//!   `FLIGHT` query command.
 //!
 //! Hot paths declare [`LazyCounter`] / [`LazyGauge`] /
 //! [`LazyHistogram`] statics that register against
@@ -45,9 +54,12 @@
 #![warn(missing_docs)]
 
 mod events;
+pub mod flight;
 mod metrics;
+pub mod trace;
 
 pub use events::{emit, log_enabled, render_event, set_log_filter, FieldValue, Level};
+pub use flight::{flight, flight_dump, flight_record, flight_snapshot, FlightRecorder};
 pub use metrics::{
     bucket_bounds, Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, Recorder,
     SpanTimer,
@@ -132,6 +144,28 @@ macro_rules! warn {
 #[macro_export]
 macro_rules! error {
     ($($tt:tt)*) => { $crate::event!($crate::Level::Error, $($tt)*) };
+}
+
+/// Appends one record to the process-wide [flight recorder]
+/// (`flight`): a short `kind` tag plus structured fields, mirroring
+/// [`event!`]'s field syntax.
+///
+/// ```
+/// domo_obs::flight!("watchdog_restart", shard = 2usize, lost = 0u64);
+/// assert!(domo_obs::flight_snapshot()
+///     .iter()
+///     .any(|l| l.contains("\"kind\":\"watchdog_restart\"")));
+/// ```
+///
+/// [flight recorder]: crate::FlightRecorder
+#[macro_export]
+macro_rules! flight {
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::flight_record(
+            $kind,
+            &[$((stringify!($key), $crate::FieldValue::from($value)),)*],
+        )
+    };
 }
 
 #[cfg(test)]

@@ -519,9 +519,18 @@ impl Recorder {
                 }
                 Cell::Histogram(h) => {
                     let sum = f64::from_bits(h.sum_bits.load(Ordering::Relaxed));
+                    // Bucket upper bounds ride along so dashboards
+                    // never hardcode the log-bucket ladder.
+                    line.push_str(",\"bounds\":[");
+                    for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        let _ = write!(line, "{bound}");
+                    }
                     let _ = write!(
                         line,
-                        ",\"count\":{},\"sum\":{},\"buckets\":[",
+                        "],\"count\":{},\"sum\":{},\"buckets\":[",
                         h.count.load(Ordering::Relaxed),
                         json_f64(sum)
                     );
@@ -880,6 +889,8 @@ mod tests {
         assert!(lines[0].contains("\"labels\":{\"k\":\"v\"}"));
         assert!(lines[1].contains("\"type\":\"histogram\""));
         assert!(lines[1].contains("\"le\":\"+Inf\""));
+        assert!(lines[1].contains("\"bounds\":[0.000001,"));
+        assert!(lines[1].contains(",500000],"));
     }
 
     #[test]

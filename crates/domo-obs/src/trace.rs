@@ -1,0 +1,410 @@
+//! Sampled per-packet journey tracing (DESIGN.md §16).
+//!
+//! The pipeline's own counters say *how many* packets moved; this
+//! module says *where the time went* for a deterministic sample of
+//! them. A packet is **sampled** purely as a function of its identity
+//! (`origin`, `seq`) and the configured rate, so every stage of the
+//! pipeline — across threads, restarts, and replays — agrees on the
+//! sample set without coordination. Each stage boundary calls
+//! [`stamp`], which for a sampled packet records a monotonic
+//! timestamp into a bounded journey store and feeds the elapsed time
+//! since the previous stamp into
+//! `domo_trace_stage_seconds{stage=...}`; the final pipeline stage
+//! additionally feeds `domo_trace_end_to_end_seconds`.
+//!
+//! Sampling is **off by default**. It is enabled either by the
+//! `DOMO_TRACE_SAMPLE=1/N` environment variable (read once, on first
+//! use) or programmatically via [`set_sample_every`] (which always
+//! wins). With sampling off, [`stamp`] is one relaxed atomic load and
+//! a branch — the same disabled-cost contract the metric handles
+//! keep.
+//!
+//! The journey store holds the most recent [`JOURNEY_CAPACITY`]
+//! sampled packets (insertion-ordered eviction), queryable by pid via
+//! [`journey`] — served by `domo-sink`'s `TRACE <origin> <seq>` query
+//! command.
+
+use crate::metrics::LazyHistogram;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Maximum sampled journeys retained; oldest-inserted evicted first.
+pub const JOURNEY_CAPACITY: usize = 1024;
+
+/// Sentinel meaning "not yet resolved from the environment".
+const SAMPLE_UNSET: u64 = u64::MAX;
+
+/// `0` = off, `n` = sample one packet in `n`, [`SAMPLE_UNSET`] = parse
+/// `DOMO_TRACE_SAMPLE` on first use.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(SAMPLE_UNSET);
+
+/// One stage boundary of the packet pipeline, in pipeline order.
+///
+/// The order here *is* the stage catalog: a packet's journey visits a
+/// strictly increasing subset of these (durability and subscribers
+/// are optional, so not every stage appears in every journey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// Frame decoded off an ingest socket by a reactor sweep.
+    ReactorRead = 0,
+    /// Packet accepted (sanitized + routed) by `ingest_batch`.
+    BatchSubmit = 1,
+    /// Packet journaled by the multi-record WAL append.
+    WalAppend = 2,
+    /// Packet pushed onto its shard's bounded queue.
+    ShardEnqueue = 3,
+    /// Packet popped by the shard worker.
+    ShardDequeue = 4,
+    /// Packet entered a streaming-estimator flush.
+    Flush = 5,
+    /// Packet's window solve produced its reconstruction.
+    WindowSolve = 6,
+    /// Reconstruction appended to the durable result store.
+    ResultAppend = 7,
+    /// Reconstruction published to the subscription hub.
+    Publish = 8,
+    /// Reconstruction handed to a live subscriber.
+    SubscriberSend = 9,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 10] = [
+        Stage::ReactorRead,
+        Stage::BatchSubmit,
+        Stage::WalAppend,
+        Stage::ShardEnqueue,
+        Stage::ShardDequeue,
+        Stage::Flush,
+        Stage::WindowSolve,
+        Stage::ResultAppend,
+        Stage::Publish,
+        Stage::SubscriberSend,
+    ];
+
+    /// The stage's metric label / wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::ReactorRead => "reactor_read",
+            Stage::BatchSubmit => "batch_submit",
+            Stage::WalAppend => "wal_append",
+            Stage::ShardEnqueue => "shard_enqueue",
+            Stage::ShardDequeue => "shard_dequeue",
+            Stage::Flush => "flush",
+            Stage::WindowSolve => "window_solve",
+            Stage::ResultAppend => "result_append",
+            Stage::Publish => "publish",
+            Stage::SubscriberSend => "subscriber_send",
+        }
+    }
+
+    fn from_index(i: u8) -> Option<Stage> {
+        Stage::ALL.get(i as usize).copied()
+    }
+}
+
+/// One series per stage: elapsed seconds from the previous stamp of
+/// the same journey to the stamp of this stage. (For the first stamp
+/// of a journey nothing is observed — there is no predecessor.)
+static STAGE_SECONDS: [LazyHistogram; 10] = [
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "reactor_read")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "batch_submit")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "wal_append")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "shard_enqueue")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "shard_dequeue")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "flush")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "window_solve")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "result_append")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "publish")]),
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "subscriber_send")]),
+];
+
+/// First stamp to `ResultAppend` stamp — the ingest-to-result latency.
+static END_TO_END: LazyHistogram = LazyHistogram::new("domo_trace_end_to_end_seconds", &[]);
+
+/// Registers the full `domo_trace_*` metric family so every stage
+/// exports a series even before its first observation. Called when
+/// sampling is switched on; idempotent and cheap.
+pub fn register_trace_metrics() {
+    for h in &STAGE_SECONDS {
+        let _ = h.handle();
+    }
+    let _ = END_TO_END.handle();
+}
+
+/// The process-wide monotonic epoch journeys are stamped against.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Overrides the sampling rate: `Some(n)` samples one packet in `n`
+/// (`Some(1)` samples everything), `None` turns tracing off. Takes
+/// precedence over `DOMO_TRACE_SAMPLE` from then on.
+pub fn set_sample_every(n: Option<u64>) {
+    let v = n.unwrap_or(0);
+    SAMPLE_EVERY.store(v, Ordering::Relaxed);
+    if v != 0 {
+        register_trace_metrics();
+    }
+}
+
+/// The resolved sampling rate: `0` = off, `n` = one in `n`. Resolves
+/// `DOMO_TRACE_SAMPLE` (`1/N` or plain `N`) on first call.
+pub fn sample_every() -> u64 {
+    let v = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if v != SAMPLE_UNSET {
+        return v;
+    }
+    let parsed = std::env::var("DOMO_TRACE_SAMPLE")
+        .ok()
+        .and_then(|s| parse_sample_spec(&s))
+        .unwrap_or(0);
+    // Racing first callers parse the same env, so last-store-wins is
+    // harmless; an explicit set_sample_every afterwards still wins.
+    SAMPLE_EVERY.store(parsed, Ordering::Relaxed);
+    if parsed != 0 {
+        register_trace_metrics();
+    }
+    parsed
+}
+
+/// Parses `1/N`, or a bare `N` meaning the same thing. `0` disables.
+fn parse_sample_spec(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let n = match s.split_once('/') {
+        Some((num, den)) => {
+            if num.trim() != "1" {
+                return None;
+            }
+            den.trim().parse::<u64>().ok()?
+        }
+        None => s.parse::<u64>().ok()?,
+    };
+    Some(n)
+}
+
+/// The identity hash the sampler keys on: the same fxhash-style
+/// rotate-xor-multiply fold the sink's dedup sets use, applied to
+/// `(origin << 32) | seq`. Pure, so every thread/process/run computes
+/// the same sample set for the same packets.
+fn pid_hash(origin: u16, seq: u32) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let key = (u64::from(origin) << 32) | u64::from(seq);
+    let h = (SEED.rotate_left(5) ^ key).wrapping_mul(SEED);
+    // A second fold mixes the high bits down so `% n` sees them.
+    (h.rotate_left(5) ^ (h >> 32)).wrapping_mul(SEED)
+}
+
+/// Whether the packet `(origin, seq)` is in the current sample set.
+/// Deterministic: depends only on identity and the sampling rate.
+pub fn sampled(origin: u16, seq: u32) -> bool {
+    let n = sample_every();
+    n != 0 && pid_hash(origin, seq).is_multiple_of(n)
+}
+
+fn journey_key(origin: u16, seq: u32) -> u64 {
+    (u64::from(origin) << 32) | u64::from(seq)
+}
+
+#[derive(Default)]
+struct JourneyStore {
+    /// pid key → `(stage index, ns since epoch)` stamps, in order.
+    map: HashMap<u64, Vec<(u8, u64)>>,
+    /// Insertion order for capacity eviction.
+    order: VecDeque<u64>,
+}
+
+fn store() -> MutexGuard<'static, JourneyStore> {
+    static STORE: OnceLock<Mutex<JourneyStore>> = OnceLock::new();
+    STORE
+        .get_or_init(|| Mutex::new(JourneyStore::default()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Records stage `stage` for packet `(origin, seq)` *if it is
+/// sampled*; otherwise this is one atomic load and a hash. Feeds the
+/// per-stage and end-to-end histograms as documented on [`Stage`].
+///
+/// A stamp revisiting an *earlier* stage (a dedup replay or a
+/// WAL-restart re-enqueue) restarts the journey; a repeat of the
+/// *same* stage (e.g. delivery to a second subscriber) keeps the
+/// first stamp. Either way a stored journey is always in strict
+/// pipeline order.
+pub fn stamp(origin: u16, seq: u32, stage: Stage) {
+    if !sampled(origin, seq) {
+        return;
+    }
+    let ns = now_ns();
+    let idx = stage as u8;
+    let key = journey_key(origin, seq);
+    let mut st = store();
+    let fresh = !st.map.contains_key(&key);
+    let stamps = st.map.entry(key).or_default();
+    if let Some(&(last_idx, _)) = stamps.last() {
+        if idx == last_idx {
+            return;
+        }
+        if idx < last_idx {
+            stamps.clear();
+        }
+    }
+    let prev_ns = stamps.last().map(|&(_, t)| t);
+    let first_ns = stamps.first().map(|&(_, t)| t);
+    stamps.push((idx, ns));
+    if fresh {
+        st.order.push_back(key);
+        if st.order.len() > JOURNEY_CAPACITY {
+            if let Some(old) = st.order.pop_front() {
+                st.map.remove(&old);
+            }
+        }
+    }
+    drop(st);
+    if let Some(prev) = prev_ns {
+        STAGE_SECONDS[idx as usize].observe((ns.saturating_sub(prev)) as f64 / 1e9);
+    }
+    if stage == Stage::ResultAppend {
+        if let Some(first) = first_ns {
+            END_TO_END.observe((ns.saturating_sub(first)) as f64 / 1e9);
+        }
+    }
+}
+
+/// The recorded journey of a sampled packet: `(stage, ns since the
+/// process trace epoch)` stamps in pipeline order, or `None` if the
+/// packet was never sampled or has been evicted.
+pub fn journey(origin: u16, seq: u32) -> Option<Vec<(Stage, u64)>> {
+    let st = store();
+    let stamps = st.map.get(&journey_key(origin, seq))?;
+    Some(
+        stamps
+            .iter()
+            .filter_map(|&(i, t)| Stage::from_index(i).map(|s| (s, t)))
+            .collect(),
+    )
+}
+
+/// Drops every stored journey (sampling config is untouched).
+/// Intended for benchmarks and tests.
+pub fn clear_journeys() {
+    let mut st = store();
+    st.map.clear();
+    st.order.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sampler and journey store are process globals; tests that
+    /// touch them serialize on this lock.
+    fn guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn parse_sample_spec_forms() {
+        assert_eq!(parse_sample_spec("1/256"), Some(256));
+        assert_eq!(parse_sample_spec(" 1 / 8 "), Some(8));
+        assert_eq!(parse_sample_spec("16"), Some(16));
+        assert_eq!(parse_sample_spec("0"), Some(0));
+        assert_eq!(parse_sample_spec("2/3"), None);
+        assert_eq!(parse_sample_spec("x"), None);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_rate_scaled() {
+        let _g = guard();
+        set_sample_every(Some(4));
+        let first: Vec<bool> = (0..4096u32).map(|s| sampled(3, s)).collect();
+        let second: Vec<bool> = (0..4096u32).map(|s| sampled(3, s)).collect();
+        assert_eq!(first, second);
+        let hits = first.iter().filter(|&&b| b).count();
+        // 1-in-4 sampling over 4096 pids should land near 1024.
+        assert!((700..1400).contains(&hits), "hits = {hits}");
+        set_sample_every(None);
+        assert!(!sampled(3, 0));
+    }
+
+    #[test]
+    fn journey_records_in_order_and_restarts_on_regression() {
+        let _g = guard();
+        set_sample_every(Some(1));
+        clear_journeys();
+        stamp(9, 77, Stage::ReactorRead);
+        stamp(9, 77, Stage::BatchSubmit);
+        stamp(9, 77, Stage::ShardEnqueue);
+        let j = journey(9, 77).expect("journey stored");
+        assert_eq!(
+            j.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![Stage::ReactorRead, Stage::BatchSubmit, Stage::ShardEnqueue]
+        );
+        assert!(j.windows(2).all(|w| w[0].1 <= w[1].1));
+        // A same-stage repeat (second subscriber) keeps the first stamp.
+        stamp(9, 77, Stage::ShardEnqueue);
+        assert_eq!(journey(9, 77).expect("journey stored").len(), 3);
+        // A replayed packet revisits an earlier stage: journey restarts.
+        stamp(9, 77, Stage::ReactorRead);
+        let j = journey(9, 77).expect("journey stored");
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].0, Stage::ReactorRead);
+        set_sample_every(None);
+    }
+
+    #[test]
+    fn journey_store_is_bounded() {
+        let _g = guard();
+        set_sample_every(Some(1));
+        clear_journeys();
+        for seq in 0..(JOURNEY_CAPACITY as u32 + 64) {
+            stamp(1, seq, Stage::ReactorRead);
+        }
+        let mut held = 0usize;
+        for seq in 0..(JOURNEY_CAPACITY as u32 + 64) {
+            if journey(1, seq).is_some() {
+                held += 1;
+            }
+        }
+        assert_eq!(held, JOURNEY_CAPACITY);
+        // The oldest were the ones evicted.
+        assert!(journey(1, 0).is_none());
+        assert!(journey(1, JOURNEY_CAPACITY as u32 + 63).is_some());
+        set_sample_every(None);
+        clear_journeys();
+    }
+
+    #[test]
+    fn unsampled_pids_store_nothing() {
+        let _g = guard();
+        set_sample_every(Some(u64::MAX));
+        clear_journeys();
+        stamp(2, 5, Stage::ReactorRead);
+        assert!(journey(2, 5).is_none());
+        set_sample_every(None);
+    }
+
+    #[test]
+    fn stage_catalog_names_are_unique_and_ordered() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+            assert_eq!(Stage::from_index(i as u8), Some(*s));
+        }
+    }
+}

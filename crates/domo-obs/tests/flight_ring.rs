@@ -1,0 +1,209 @@
+//! Property tests for the flight-recorder ring and the trace sampler.
+//!
+//! The ring's contract under contention: records are never torn
+//! (every surviving line is a complete, well-formed JSON object whose
+//! payload is internally consistent), each thread's surviving records
+//! appear in its own write order, and memory stays bounded at the
+//! slot capacity no matter how many records race in. The sampler's
+//! contract: the sample set is a pure function of packet identity and
+//! rate — identical across runs and across thread counts.
+
+use domo_obs::{FieldValue, FlightRecorder};
+use std::sync::Arc;
+
+/// Tiny deterministic PRNG (splitmix64) so the "property" runs are
+/// seeded and reproducible without any dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Strict validator for the flat records this test writes:
+/// `{"k":v,...}` with string or unsigned-integer values and no
+/// nesting. Any truncated, interleaved, or otherwise torn line fails.
+fn parse_flat_record(line: &str) -> Option<Vec<(String, String)>> {
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut rest = body;
+    loop {
+        rest = rest.strip_prefix('"')?;
+        let kend = rest.find('"')?;
+        let key = rest[..kend].to_string();
+        rest = rest[kend + 1..].strip_prefix(':')?;
+        let value;
+        if let Some(r) = rest.strip_prefix('"') {
+            let vend = r.find('"')?;
+            value = r[..vend].to_string();
+            rest = &r[vend + 1..];
+        } else {
+            let vend = rest.find([',', '}']).unwrap_or(rest.len());
+            value = rest[..vend].to_string();
+            if !value.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            rest = &rest[vend..];
+        }
+        fields.push((key, value));
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r,
+            None => break,
+        }
+    }
+    if rest.is_empty() {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+fn field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn seeded_concurrent_ring_has_no_torn_records_and_keeps_order() {
+    for seed in [7u64, 41, 1234] {
+        let capacity = 128;
+        let threads = 8usize;
+        let fr = Arc::new(FlightRecorder::with_capacity(capacity));
+        let mut expected_total = 0u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let fr = Arc::clone(&fr);
+                let mut rng = Rng(seed ^ (t as u64).wrapping_mul(0x0100_0000_01b3));
+                // Seeded per-thread record count and payload sizes.
+                let count = 200 + (rng.next() % 400);
+                std::thread::spawn(move || {
+                    let mut rng = rng;
+                    for i in 0..count {
+                        let pad = "x".repeat((rng.next() % 64) as usize);
+                        // A checksum field ties the payload together:
+                        // a torn write could not keep it consistent.
+                        let check = (t as u64) ^ i ^ (pad.len() as u64);
+                        fr.record(
+                            "w",
+                            &[
+                                ("t", FieldValue::from(t as u64)),
+                                ("i", FieldValue::from(i)),
+                                ("pad", FieldValue::from(pad.as_str())),
+                                ("check", FieldValue::from(check)),
+                            ],
+                        );
+                    }
+                    count
+                })
+            })
+            .collect();
+        for h in handles {
+            expected_total += h.join().expect("writer thread");
+        }
+
+        let snap = fr.snapshot();
+        // Bounded memory: never more lines than slots.
+        assert!(snap.len() <= capacity, "seed {seed}: {} lines", snap.len());
+        // With >capacity total writes the ring must be full.
+        assert_eq!(snap.len(), capacity, "seed {seed}");
+        assert_eq!(fr.recorded(), expected_total, "seed {seed}");
+
+        let mut last_seq: Option<u64> = None;
+        let mut last_i: Vec<Option<u64>> = vec![None; threads];
+        for line in &snap {
+            let fields = parse_flat_record(line)
+                .unwrap_or_else(|| panic!("seed {seed}: torn/malformed record: {line}"));
+            let seq: u64 = field(&fields, "seq")
+                .and_then(|v| v.parse().ok())
+                .expect("seq");
+            let t: usize = field(&fields, "t").and_then(|v| v.parse().ok()).expect("t");
+            let i: u64 = field(&fields, "i").and_then(|v| v.parse().ok()).expect("i");
+            let pad = field(&fields, "pad").expect("pad");
+            let check: u64 = field(&fields, "check")
+                .and_then(|v| v.parse().ok())
+                .expect("check");
+            // No torn payloads: the checksum still holds.
+            assert_eq!(
+                check,
+                (t as u64) ^ i ^ (pad.len() as u64),
+                "seed {seed}: {line}"
+            );
+            // Snapshot is totally ordered by global sequence...
+            if let Some(prev) = last_seq {
+                assert!(seq > prev, "seed {seed}: seq {seq} after {prev}");
+            }
+            last_seq = Some(seq);
+            // ...which implies strict per-thread write order.
+            if let Some(prev) = last_i[t] {
+                assert!(i > prev, "seed {seed}: thread {t}: i {i} after {prev}");
+            }
+            last_i[t] = Some(i);
+        }
+    }
+}
+
+#[test]
+fn sampler_selects_identical_packet_set_across_runs_and_thread_counts() {
+    domo_obs::trace::set_sample_every(Some(256));
+    let origins: Vec<u16> = (0..25).collect();
+    let seqs = 0..2000u32;
+
+    // Reference set, computed single-threaded.
+    let reference: Vec<(u16, u32)> = origins
+        .iter()
+        .flat_map(|&o| seqs.clone().map(move |s| (o, s)))
+        .filter(|&(o, s)| domo_obs::trace::sampled(o, s))
+        .collect();
+    assert!(
+        !reference.is_empty(),
+        "1/256 over 50k pids must sample something"
+    );
+    // Roughly 1-in-256 of 50_000 ≈ 195; allow wide slack.
+    assert!(reference.len() < 1000, "sampled {}", reference.len());
+
+    // A second identical pass (same process, same rate) must agree.
+    let rerun: Vec<(u16, u32)> = origins
+        .iter()
+        .flat_map(|&o| seqs.clone().map(move |s| (o, s)))
+        .filter(|&(o, s)| domo_obs::trace::sampled(o, s))
+        .collect();
+    assert_eq!(reference, rerun);
+
+    // Partitioning the pid space across any number of threads must
+    // reproduce exactly the same set.
+    for threads in [2usize, 4, 7] {
+        let mut per_thread: Vec<Vec<(u16, u32)>> = Vec::new();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let origins = origins.clone();
+                let seqs = seqs.clone();
+                std::thread::spawn(move || {
+                    origins
+                        .iter()
+                        .flat_map(|&o| seqs.clone().map(move |s| (o, s)))
+                        .enumerate()
+                        .filter(|(idx, _)| idx % threads == t)
+                        .map(|(_, pid)| pid)
+                        .filter(|&(o, s)| domo_obs::trace::sampled(o, s))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            per_thread.push(h.join().expect("sampler thread"));
+        }
+        let mut merged: Vec<(u16, u32)> = per_thread.into_iter().flatten().collect();
+        merged.sort_unstable();
+        let mut want = reference.clone();
+        want.sort_unstable();
+        assert_eq!(merged, want, "thread count {threads}");
+    }
+    domo_obs::trace::set_sample_every(None);
+}

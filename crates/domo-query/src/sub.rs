@@ -159,6 +159,7 @@ impl Subscription {
         let mut st = lock_or_recover(&self.inner.state);
         loop {
             if let Some(ev) = st.queue.pop_front() {
+                domo_obs::trace::stamp(ev.origin, ev.seq, domo_obs::trace::Stage::SubscriberSend);
                 return RecvOutcome::Event(ev);
             }
             if st.closed {
@@ -247,6 +248,7 @@ impl SubHub {
     /// the drop-oldest bound and the shed threshold. Closed
     /// subscribers are purged from the registry here.
     pub fn publish(&self, ev: Event) -> PublishOutcome {
+        domo_obs::trace::stamp(ev.origin, ev.seq, domo_obs::trace::Stage::Publish);
         let ev = Arc::new(ev);
         let mut out = PublishOutcome::default();
         let mut subs = lock_or_recover(&self.subs);
@@ -272,6 +274,7 @@ impl SubHub {
                     st.closed = true;
                     st.shed = true;
                     out.shed += 1;
+                    domo_obs::flight!("subscriber_shed", lagged = st.lagged_total);
                 }
             }
             let keep = !st.closed;

@@ -423,6 +423,10 @@ fn stat(stats: &[(String, u64)], name: &str) -> u64 {
 }
 
 fn smoke(f: &Flags) -> Result<(), String> {
+    // Sample every packet so the end-to-end TRACE check below always
+    // has a journey to show. Must happen before the replay: the first
+    // stamp (reactor_read) fires at frame-decode time.
+    domo_obs::trace::set_sample_every(Some(1));
     let server = SinkServer::bind("127.0.0.1:0", "127.0.0.1:0", sink_config(f))
         .map_err(|e| format!("bind: {e}"))?;
     let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
@@ -520,6 +524,75 @@ fn smoke(f: &Flags) -> Result<(), String> {
         }
     }
     println!("smoke: METRICS exposes {} lines", metrics.len());
+    // Every pipeline stage must export its own latency series once the
+    // trace sampler has seen traffic.
+    for stage in domo_obs::trace::Stage::ALL {
+        let needle = format!(
+            "domo_trace_stage_seconds_count{{stage=\"{}\"}}",
+            stage.name()
+        );
+        if !metrics.iter().any(|l| l.starts_with(&needle)) {
+            return Err(format!(
+                "METRICS is missing the `{}` stage series",
+                stage.name()
+            ));
+        }
+    }
+    // METRICS JSON carries the histogram bucket bounds so downstream
+    // consumers can rebuild the distributions without hardcoding them.
+    let json = q
+        .request("METRICS JSON")
+        .map_err(|e| format!("metrics json: {e}"))?;
+    if !json.iter().any(|l| l.contains("\"bounds\":[0.000001,")) {
+        return Err("METRICS JSON is missing histogram `bounds`".into());
+    }
+    // A sampled packet's journey must cover the pipeline end to end, in
+    // stage order (volatile smoke: no wal_append, no subscribers).
+    let lines = q
+        .request(&format!("TRACE {} {}", pid.origin.index(), pid.seq))
+        .map_err(|e| format!("trace query: {e}"))?;
+    let stage_lines: Vec<&String> = lines.iter().filter(|l| l.starts_with("stage ")).collect();
+    if stage_lines.len() < 6 {
+        return Err(format!(
+            "TRACE shows {} stages, want >=6: {lines:?}",
+            stage_lines.len()
+        ));
+    }
+    let catalog: Vec<&str> = domo_obs::trace::Stage::ALL
+        .iter()
+        .map(|s| s.name())
+        .collect();
+    let mut last = 0usize;
+    for line in &stage_lines {
+        let name = line.split_whitespace().nth(1).unwrap_or("");
+        let idx = catalog
+            .iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| format!("TRACE reports unknown stage `{name}`"))?;
+        if idx < last {
+            return Err(format!("TRACE stages out of pipeline order: {lines:?}"));
+        }
+        last = idx;
+    }
+    println!("smoke: TRACE shows {} pipeline stages", stage_lines.len());
+    // A plain-HTTP scraper can pull the same metrics off the query port.
+    {
+        use std::io::{Read, Write};
+        let mut conn = std::net::TcpStream::connect(server.query_addr())
+            .map_err(|e| format!("http connect: {e}"))?;
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: sink\r\n\r\n")
+            .map_err(|e| format!("http send: {e}"))?;
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp)
+            .map_err(|e| format!("http read: {e}"))?;
+        if !resp.starts_with("HTTP/1.1 200 OK\r\n") || !resp.contains("# TYPE ") {
+            return Err(format!(
+                "GET /metrics returned an unexpected response: {}",
+                resp.lines().next().unwrap_or("<empty>")
+            ));
+        }
+        println!("smoke: GET /metrics served {} bytes", resp.len());
+    }
     server.shutdown();
     println!("smoke: OK");
     Ok(())

@@ -245,7 +245,16 @@ fn pump(
                 *progressed = true;
                 conn.last_progress = Instant::now();
                 conn.splitter.extend(&buf[..n]);
-                if conn.splitter.drain_frames(batch).is_err() {
+                let before = batch.len();
+                let drained = conn.splitter.drain_frames(batch);
+                for p in &batch[before..] {
+                    domo_obs::trace::stamp(
+                        p.pid.origin.index() as u16,
+                        p.pid.seq,
+                        domo_obs::trace::Stage::ReactorRead,
+                    );
+                }
+                if drained.is_err() {
                     // Frame alignment is lost; count it and drop the
                     // connection, keeping the frames decoded before
                     // the defect. The service itself keeps running.

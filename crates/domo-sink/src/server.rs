@@ -322,6 +322,34 @@ fn err_reply(out: &mut impl Write, reason: &str) -> std::io::Result<()> {
     writeln!(out, "ERR {reason}")
 }
 
+/// Reads and discards HTTP request header lines up to (and including)
+/// the blank line that ends them, so a scrape response never races
+/// unread request bytes. Read errors just end the drain — the
+/// connection closes right after the response either way.
+fn drain_http_headers(reader: &mut impl BufRead) {
+    let mut hdr = String::new();
+    loop {
+        hdr.clear();
+        match reader.read_line(&mut hdr) {
+            Ok(0) | Err(_) => return,
+            Ok(_) if hdr == "\r\n" || hdr == "\n" => return,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Parses a pid given as `<origin> <seq>` tokens or as a single
+/// `origin#seq` / `origin:seq` token (the `#` form matches how the
+/// sink prints pids).
+fn parse_pid_tokens(first: Option<&str>, second: Option<&str>) -> Option<(u16, u32)> {
+    let first = first?;
+    let (o, s) = match second {
+        Some(second) => (first, second),
+        None => first.split_once(['#', ':'])?,
+    };
+    Some((o.parse().ok()?, s.parse().ok()?))
+}
+
 fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()> {
     let _conn = ConnGuard::enter("query");
     let peer = stream
@@ -398,6 +426,96 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 out.write_all(body.as_bytes())?;
                 writeln!(out, "END")?;
             }
+            "GET" => {
+                // A stock Prometheus scrape: `GET /metrics HTTP/1.x`.
+                // One-shot plain HTTP on the query port; respond and
+                // close like any scrape endpoint would.
+                let path = parts.next().unwrap_or("").to_string();
+                drain_http_headers(&mut reader);
+                if path == "/metrics" || path.starts_with("/metrics?") {
+                    let body = domo_obs::Recorder::global().render_prometheus();
+                    write!(
+                        out,
+                        "HTTP/1.1 200 OK\r\n\
+                         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                         Content-Length: {}\r\n\
+                         Connection: close\r\n\r\n",
+                        body.len()
+                    )?;
+                    out.write_all(body.as_bytes())?;
+                } else {
+                    OBS_QUERY_ERRORS.inc();
+                    let body = "not found\n";
+                    write!(
+                        out,
+                        "HTTP/1.1 404 Not Found\r\n\
+                         Content-Type: text/plain\r\n\
+                         Content-Length: {}\r\n\
+                         Connection: close\r\n\r\n{body}",
+                        body.len()
+                    )?;
+                }
+                out.flush()?;
+                return Ok(());
+            }
+            "TRACE" => match parse_pid_tokens(parts.next(), parts.next()) {
+                Some((origin, seq)) => {
+                    match domo_obs::trace::journey(origin, seq) {
+                        Some(stamps) if !stamps.is_empty() => {
+                            writeln!(
+                                out,
+                                "pid {origin}#{seq} sample_every {} stages {}",
+                                domo_obs::trace::sample_every(),
+                                stamps.len()
+                            )?;
+                            let t0 = stamps[0].1;
+                            for (stage, ns) in stamps {
+                                writeln!(
+                                    out,
+                                    "stage {} t_ns {} dt_ns {}",
+                                    stage.name(),
+                                    ns,
+                                    ns.saturating_sub(t0)
+                                )?;
+                            }
+                        }
+                        _ => err_reply(
+                            &mut out,
+                            "no journey (pid unsampled, not yet seen, or evicted)",
+                        )?,
+                    }
+                    writeln!(out, "END")?;
+                }
+                None => {
+                    err_reply(&mut out, "usage: TRACE <origin> <seq>")?;
+                    writeln!(out, "END")?;
+                }
+            },
+            "FLIGHT" => match parts.next().map(str::to_ascii_uppercase).as_deref() {
+                None => {
+                    for rec in domo_obs::flight_snapshot() {
+                        writeln!(out, "{rec}")?;
+                    }
+                    writeln!(out, "END")?;
+                }
+                Some("DUMP") => {
+                    match service.store_status() {
+                        Some(status) => match domo_obs::flight_dump(&status.data_dir) {
+                            Ok(path) => writeln!(out, "dumped {}", path.display())?,
+                            Err(e) => err_reply(&mut out, &format!("flight dump failed: {e}"))?,
+                        },
+                        None => err_reply(
+                            &mut out,
+                            "flight dump needs --data-dir (volatile sink has no dump target)",
+                        )?,
+                    }
+                    writeln!(out, "END")?;
+                }
+                Some(_) => {
+                    err_reply(&mut out, "usage: FLIGHT [DUMP]")?;
+                    writeln!(out, "END")?;
+                }
+            },
             "NODES" => {
                 let snap = service.snapshot();
                 for n in &snap.nodes {
@@ -1171,5 +1289,158 @@ mod tests {
         let snap = server.shutdown();
         assert!(snap.stats.malformed_frames >= 1);
         assert_eq!(snap.stats.emitted, trace.packets.len() as u64);
+    }
+
+    #[test]
+    fn trace_flight_and_http_metrics_commands() {
+        // Sample every packet so the journey for a known pid is present.
+        // Set before the ingest bytes hit the reactor: the first stamp
+        // (reactor_read) fires at frame-decode time.
+        domo_obs::trace::set_sample_every(Some(1));
+        let trace = run_simulation(&NetworkConfig::small(9, 927));
+        let dir = std::env::temp_dir().join(format!("domo-server-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = local_server(SinkConfig {
+            shards: 1,
+            store: Some(crate::StoreConfig::at(&dir)),
+            ..SinkConfig::default()
+        });
+
+        let bytes = encode_packets(&trace.packets).expect("encodes");
+        {
+            let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect");
+            conn.write_all(&bytes).expect("send");
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            if server.service().stats().ingested == trace.packets.len() as u64 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+        q.request("DRAIN").expect("drain");
+
+        // TRACE: the sampled pid shows the full pipeline in stage order
+        // with monotone timestamps. With one subscriber-free durable
+        // sink we expect every stage except subscriber_send.
+        let pid = trace.packets[0].pid;
+        let lines = q
+            .request(&format!("TRACE {} {}", pid.origin.index(), pid.seq))
+            .expect("trace");
+        assert!(
+            lines[0].starts_with(&format!(
+                "pid {}#{} sample_every 1 stages ",
+                pid.origin.index(),
+                pid.seq
+            )),
+            "unexpected TRACE header: {}",
+            lines[0]
+        );
+        let stages: Vec<(&str, u64)> = lines[1..]
+            .iter()
+            .map(|l| {
+                let mut it = l.split_whitespace();
+                assert_eq!(it.next(), Some("stage"), "bad stage line: {l}");
+                let name = it.next().expect("stage name");
+                assert_eq!(it.next(), Some("t_ns"));
+                let t: u64 = it.next().expect("t_ns value").parse().expect("t_ns u64");
+                (name, t)
+            })
+            .collect();
+        assert!(
+            stages.len() >= 6,
+            "expected >=6 stages, got {}: {stages:?}",
+            stages.len()
+        );
+        for pair in stages.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "timestamps regressed: {stages:?}");
+        }
+        let catalog: Vec<&str> = domo_obs::trace::Stage::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        let idx_of = |n: &str| catalog.iter().position(|c| *c == n).expect("known stage");
+        for pair in stages.windows(2) {
+            assert!(
+                idx_of(pair[0].0) < idx_of(pair[1].0),
+                "stages out of pipeline order: {stages:?}"
+            );
+        }
+        for expect in [
+            "reactor_read",
+            "wal_append",
+            "flush",
+            "window_solve",
+            "result_append",
+        ] {
+            assert!(
+                stages.iter().any(|(n, _)| *n == expect),
+                "missing stage {expect}: {stages:?}"
+            );
+        }
+        // Unsampled / unknown pids get a structured error, not a hang.
+        let miss = q.request("TRACE 65000 1").expect("miss");
+        assert!(miss[0].starts_with("ERR no journey"));
+        let bad = q.request("TRACE nope").expect("bad");
+        assert!(bad[0].starts_with("ERR usage"));
+
+        // METRICS exports one series per stage plus the end-to-end
+        // histogram; METRICS JSON carries the bucket bounds.
+        let metrics = q.request("METRICS").expect("metrics");
+        for name in &catalog {
+            let needle = format!("domo_trace_stage_seconds_count{{stage=\"{name}\"}}");
+            assert!(
+                metrics.iter().any(|l| l.starts_with(&needle)),
+                "missing series for stage {name}"
+            );
+        }
+        assert!(metrics
+            .iter()
+            .any(|l| l.starts_with("domo_trace_end_to_end_seconds_count")));
+        let json = q.request("METRICS JSON").expect("metrics json");
+        assert!(json.iter().any(|l| l.contains("\"bounds\":[0.000001,")));
+
+        // FLIGHT lists recent structured events newest-last; DUMP on a
+        // durable server lands a parseable JSONL file in the data dir.
+        domo_obs::flight!("server_test_marker", n = 1u64);
+        let flight = q.request("FLIGHT").expect("flight");
+        assert!(flight
+            .iter()
+            .any(|l| l.contains("\"kind\":\"server_test_marker\"")));
+        assert!(flight.iter().all(|l| l.starts_with("{\"seq\":")));
+        let dump = q.request("FLIGHT DUMP").expect("flight dump");
+        let path = dump[0]
+            .strip_prefix("dumped ")
+            .unwrap_or_else(|| panic!("unexpected FLIGHT DUMP reply: {}", dump[0]));
+        let body = std::fs::read_to_string(path).expect("dump file readable");
+        assert!(body.lines().count() >= 1);
+        assert!(body.lines().all(|l| l.starts_with("{\"seq\":")));
+
+        // GET /metrics speaks enough HTTP for a Prometheus scraper.
+        let mut http = TcpStream::connect(server.query_addr()).expect("http connect");
+        http.write_all(b"GET /metrics HTTP/1.1\r\nHost: sink\r\nAccept: */*\r\n\r\n")
+            .expect("send request");
+        let mut resp = String::new();
+        use std::io::Read as _;
+        http.read_to_string(&mut resp).expect("read response");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "got: {resp}");
+        assert!(resp.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+        assert!(resp.contains("Content-Length: "));
+        assert!(resp.contains("# TYPE domo_sink_ingested_total counter"));
+        // Unknown paths 404 without wedging the listener.
+        let mut http = TcpStream::connect(server.query_addr()).expect("http connect");
+        http.write_all(b"GET /nope HTTP/1.1\r\n\r\n").expect("send");
+        let mut resp = String::new();
+        http.read_to_string(&mut resp).expect("read response");
+        assert!(
+            resp.starts_with("HTTP/1.1 404 Not Found\r\n"),
+            "got: {resp}"
+        );
+
+        domo_obs::trace::set_sample_every(None);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -38,6 +38,7 @@ use domo_core::sanitize::{check_packet, SanitizeConfig, TraceError};
 use domo_core::streaming::{ReconstructedPacket, StreamingEstimator, StreamingSnapshot};
 use domo_core::EstimatorConfig;
 use domo_net::{CollectedPacket, NodeId, PacketId};
+use domo_obs::trace::Stage as TraceStage;
 use domo_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use domo_query::series::{self, AggBucket, AggConfig, AggStore};
 use domo_query::sub::{Event, SubFilter, SubHub, SubOptions, Subscription};
@@ -65,6 +66,12 @@ const STALL_AFTER: Duration = Duration::from_secs(1);
 const BARRIER_POLL: Duration = Duration::from_millis(100);
 /// Sentinel: no injected panic armed for this shard.
 const CHAOS_DISARMED: u64 = u64::MAX;
+
+/// Journey stamp for a sampled packet (no-op unless `pid` is in the
+/// trace sample set; see [`domo_obs::trace`]).
+fn trace_stamp(pid: PacketId, stage: TraceStage) {
+    domo_obs::trace::stamp(pid.origin.index() as u16, pid.seq, stage);
+}
 
 /// Configuration of the online service.
 #[derive(Debug, Clone)]
@@ -672,6 +679,13 @@ impl Persistence {
                     "durability suspended",
                     health = to.to_string(),
                 );
+                domo_obs::flight!("degraded", from = cur.to_string(), to = to.to_string(),);
+                // Post-mortem dump at the moment of failure. The dump
+                // touches only the flight ring and the *real*
+                // filesystem (injected store faults live above it), so
+                // this is safe and effective mid-storm. Transitions
+                // fire once per entry, so dump frequency is bounded.
+                let _ = domo_obs::flight_dump(&self.cfg.data_dir);
                 return;
             }
         }
@@ -694,6 +708,7 @@ impl Persistence {
                     target: "domo_sink::health",
                     "store healed; durability re-armed",
                 );
+                domo_obs::flight!("healed", from = cur.to_string());
                 return;
             }
         }
@@ -708,6 +723,12 @@ impl Persistence {
         domo_obs::warn!(
             target: "domo_sink::persist",
             "store operation failed",
+            op = what,
+            error = e.to_string(),
+            policy = self.cfg.on_error.to_string(),
+        );
+        domo_obs::flight!(
+            "store_error",
             op = what,
             error = e.to_string(),
             policy = self.cfg.on_error.to_string(),
@@ -1106,6 +1127,7 @@ impl Core {
                 report.quarantined += 1;
                 continue;
             };
+            trace_stamp(p.pid, TraceStage::BatchSubmit);
             routed.push((root.index() % self.shards.len(), p));
         }
         if report.quarantined > 0 {
@@ -1203,6 +1225,9 @@ impl Core {
                         }
                     }
                 }
+                for &i in &enc_pos[..out.appended] {
+                    trace_stamp(routed[i].1.pid, TraceStage::WalAppend);
+                }
             } else {
                 // Degraded (or dropped/failed) before the batch:
                 // everything is accepted un-journaled.
@@ -1266,6 +1291,7 @@ impl Core {
             PushOutcome::Queued => {
                 infl.insert(pid);
                 drop(infl);
+                trace_stamp(pid, TraceStage::ShardEnqueue);
                 self.stats.ingested.fetch_add(1, Ordering::Relaxed);
                 OBS_INGESTED.inc();
                 IngestOutcome::Accepted
@@ -1274,6 +1300,7 @@ impl Core {
                 infl.insert(pid);
                 infl.remove(&old);
                 drop(infl);
+                trace_stamp(pid, TraceStage::ShardEnqueue);
                 if self.persist.is_some() {
                     // Remember the shed pid forever: a watchdog WAL
                     // replay must reproduce the post-shed sequence.
@@ -1339,6 +1366,7 @@ impl Core {
                     infl.remove(&old);
                     evicted.push(old);
                 }
+                trace_stamp(p.pid, TraceStage::ShardEnqueue);
                 st.msgs.push_back(ShardMsg::Packet(p));
                 st.queued_packets += 1;
             }
@@ -1358,6 +1386,7 @@ impl Core {
                 .fetch_add(shed, Ordering::Relaxed);
             OBS_BACKPRESSURE.add(shed);
             report.saturated += shed;
+            domo_obs::flight!("backpressure_shed", shard = shard as u64, count = shed);
             if self.persist.is_some() {
                 lock_or_recover(&self.dropped_pids).extend(evicted);
             }
@@ -2327,6 +2356,9 @@ fn record_batch(
             };
             let fresh = st.emitted_pids.insert(r.pid);
             if fresh {
+                // The "result recorded" boundary: cache insert plus
+                // (when durable) the store append a few lines down.
+                trace_stamp(r.pid, TraceStage::ResultAppend);
                 for (i, w) in r.hop_times_ms.windows(2).enumerate() {
                     let sojourn = (w[1] - w[0]).max(0.0);
                     if sojourn.is_finite() {
@@ -2476,6 +2508,7 @@ fn worker_loop(core: &Arc<Core>, shard: usize, initial: Option<StreamingSnapshot
         match msg {
             ShardMsg::Packet(p) => {
                 chaos_maybe_panic(core, shard);
+                trace_stamp(p.pid, TraceStage::ShardDequeue);
                 pending_paths.insert(p.pid, p.path.clone());
                 match est.try_push(p) {
                     Ok(batch) => {
@@ -2636,6 +2669,15 @@ fn restart_shard(core: &Arc<Core>, shard: usize) {
         replayed = replay_len,
         lost = lost,
     );
+    domo_obs::flight!(
+        "watchdog_restart",
+        shard = shard as u64,
+        replayed = replay_len as u64,
+        lost = lost,
+    );
+    if let Some(p) = persist {
+        let _ = domo_obs::flight_dump(&p.cfg.data_dir);
+    }
     drop(infl);
     drop(ws_guard);
     spawn_worker(core, shard, snap);

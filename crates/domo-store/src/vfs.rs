@@ -376,6 +376,7 @@ impl FaultCore {
         }
         if self.plan.stall > 0.0 && st.rng.bernoulli(self.plan.stall) {
             OBS_FAULT_STALL.inc();
+            domo_obs::flight!("store_fault", kind = "stall", op = op);
             drop(st);
             std::thread::sleep(std::time::Duration::from_millis(self.plan.stall_ms));
             st = match self.state.lock() {
@@ -386,20 +387,24 @@ impl FaultCore {
         if syncish {
             if self.plan.fsync > 0.0 && st.rng.bernoulli(self.plan.fsync) {
                 OBS_FAULT_FSYNC.inc();
+                domo_obs::flight!("store_fault", kind = "fsync", op = op);
                 return Verdict::Fail(std::io::ErrorKind::Other, "injected fsync failure");
             }
             return Verdict::Clean;
         }
         if self.plan.eio > 0.0 && st.rng.bernoulli(self.plan.eio) {
             OBS_FAULT_EIO.inc();
+            domo_obs::flight!("store_fault", kind = "eio", op = op);
             return Verdict::Fail(std::io::ErrorKind::Other, "injected EIO");
         }
         if self.plan.enospc > 0.0 && st.rng.bernoulli(self.plan.enospc) {
             OBS_FAULT_ENOSPC.inc();
+            domo_obs::flight!("store_fault", kind = "enospc", op = op);
             return Verdict::Fail(std::io::ErrorKind::StorageFull, "injected ENOSPC");
         }
         if buf_len > 0 && self.plan.torn > 0.0 && st.rng.bernoulli(self.plan.torn) {
             OBS_FAULT_TORN.inc();
+            domo_obs::flight!("store_fault", kind = "torn", op = op);
             return Verdict::Torn(st.rng.range_usize(0..buf_len));
         }
         Verdict::Clean

@@ -60,6 +60,14 @@
 #                        quarantine) and the --max-conns cap sheds
 #                        over-cap connections as counted structured
 #                        refusals
+#  13. trace overhead    domo-exp tracebench: per-packet journey tracing
+#                        must cost <=1% disabled and <=5% sampled at
+#                        1/256, a fault-induced degrade must leave a
+#                        parseable flight-*.jsonl post-mortem containing
+#                        the triggering event, and the tracing-off
+#                        pipeline throughput must sit within 20% of the
+#                        committed BENCH_obs.json trace section, which
+#                        it then refreshes
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -129,5 +137,8 @@ echo "==> domo-exp querybench (gates on BENCH_query.json, then refreshes it)"
 
 echo "==> domo-sink connsoak (1000+ concurrent connections, exact accounting)"
 ./target/release/domo-sink connsoak --nodes 16 --seed 7
+
+echo "==> domo-exp tracebench (trace overhead + flight-dump gate, refreshes BENCH_obs.json)"
+./target/release/domo-exp tracebench --baseline BENCH_obs.json
 
 echo "All checks passed."
