@@ -1,0 +1,38 @@
+//! Coordinator-free clustering primitives for Domo sinks
+//! (DESIGN.md §17).
+//!
+//! A Domo deployment shards by **source subtree**: every collected
+//! packet names the last relay before the sink (its subtree root), and
+//! all packets of one subtree must land on the same sink process so
+//! that window solves see complete constraint sets. This crate supplies
+//! the two deterministic building blocks that let N independent
+//! `domo-sink` processes agree on that placement with no coordinator:
+//!
+//! | module | provides |
+//! |--------|----------|
+//! | [`tenant`] | the tenant namespace arithmetic: monitored networks share one sink's `u16` node-id space by striding it (`internal = tenant * 4096 + local`), with sink node `0` shared |
+//! | [`ring`]   | [`Ring`]: a seeded consistent-hash ring with virtual nodes over `(tenant, subtree-root)` keys, balanced to ±20% at 64 vnodes and minimal-movement under membership change |
+//!
+//! Everything is a pure function of `(seed, members, key)`: any router,
+//! client, or sink that holds the same member list computes the same
+//! owner for every packet, across processes and restarts. That
+//! determinism is what makes the cluster coordinator-free — membership
+//! is configuration, not consensus — and it composes with the sink's
+//! pid-dedup to make ownership moves exactly-once: a router that
+//! re-replays a key range after a membership change can only ever
+//! create duplicates that the new owner's dedup set absorbs.
+//!
+//! The crate is dependency-free (not even on other workspace crates):
+//! keys are plain `u16` pairs and members are strings, so the sink and
+//! client layers adapt their own types at the boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod tenant;
+
+pub use ring::{Ring, DEFAULT_SEED, DEFAULT_VNODES};
+pub use tenant::{
+    local_of, namespace_node, split_node, tenant_of, MAX_TENANTS, SINK_NODE, TENANT_STRIDE,
+};

@@ -1,0 +1,293 @@
+//! Seeded consistent-hash ring with virtual nodes (DESIGN.md §17.1).
+//!
+//! The ring maps `(tenant, subtree-root)` keys to cluster members so
+//! that every process holding the same member list — routers, clients,
+//! sinks — computes identical placement with no coordinator. Each
+//! member contributes [`DEFAULT_VNODES`] pseudo-random points on a
+//! `u64` circle; a key hashes to a point and is owned by the first
+//! member point at or after it (wrapping). Two properties follow:
+//!
+//! * **balance** — with 64 vnodes per member the per-member key share
+//!   stays within ±20% of fair (property-tested below);
+//! * **minimal movement** — adding or removing a member remaps only
+//!   the keys adjacent to that member's points, a `~1/N` fraction
+//!   (property-tested at `< 1.5/N`), so rebalancing replays touch a
+//!   bounded slice of the key space.
+//!
+//! Members are kept sorted, so the ring is a pure function of the
+//! member *set* (plus seed and vnode count), not of insertion order —
+//! two routers that learned the membership in different orders still
+//! agree on every owner.
+
+/// Virtual nodes (ring points) per member. 64 keeps the balance bound
+/// in §17.1 while membership changes stay cheap to rebuild.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// Default placement seed. Deployments that want a different placement
+/// (e.g. to decorrelate two overlapping clusters) pick their own seed;
+/// every participant of one cluster must share it.
+pub const DEFAULT_SEED: u64 = 0xD0_40_14_D0_DE_4C_49_FA;
+
+/// `splitmix64` finalizer: a full-avalanche bijection on `u64`, the
+/// same mixer the replay client's deterministic RNG uses.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a-64 fold of a member name, seeded; the vnode index is then
+/// mixed in through two `splitmix64` rounds to spread one member's
+/// points across the whole circle.
+fn member_point(seed: u64, name: &str, vnode: u32) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(splitmix64(h) ^ u64::from(vnode).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A deterministic consistent-hash ring over named members.
+///
+/// Keys are `(tenant, subtree-root)` pairs — the unit of placement is
+/// a tenant's source subtree, matching the sink's shard routing, so a
+/// whole subtree's constraint set always lands on one member.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    vnodes: u32,
+    seed: u64,
+    /// Sorted, deduplicated member names.
+    members: Vec<String>,
+    /// `(point, index into members)`, sorted by point.
+    entries: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// An empty ring with explicit vnode count and seed. `vnodes` is
+    /// clamped to at least 1.
+    pub fn with_params(vnodes: u32, seed: u64) -> Ring {
+        Ring {
+            vnodes: vnodes.max(1),
+            seed,
+            members: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// A ring over `members` with [`DEFAULT_VNODES`] and
+    /// [`DEFAULT_SEED`]. Duplicate names collapse; order is
+    /// irrelevant.
+    pub fn new<I, S>(members: I) -> Ring
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut ring = Ring::with_params(DEFAULT_VNODES, DEFAULT_SEED);
+        for m in members {
+            ring.add_member(&m.into());
+        }
+        ring
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member names, sorted.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Adds `name`; returns `false` (and changes nothing) if it is
+    /// already a member.
+    pub fn add_member(&mut self, name: &str) -> bool {
+        match self.members.binary_search_by(|m| m.as_str().cmp(name)) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.members.insert(pos, name.to_string());
+                self.rebuild();
+                true
+            }
+        }
+    }
+
+    /// Removes `name`; returns `false` if it was not a member.
+    pub fn remove_member(&mut self, name: &str) -> bool {
+        match self.members.binary_search_by(|m| m.as_str().cmp(name)) {
+            Ok(pos) => {
+                self.members.remove(pos);
+                self.rebuild();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.entries.clear();
+        self.entries
+            .reserve(self.members.len() * self.vnodes as usize);
+        for (idx, name) in self.members.iter().enumerate() {
+            for v in 0..self.vnodes {
+                self.entries.push((member_point(self.seed, name, v), idx));
+            }
+        }
+        // Ties (astronomically unlikely) resolve by member index so
+        // the ring stays a pure function of the member set.
+        self.entries.sort_unstable();
+    }
+
+    /// The placement hash of key `(tenant, root)` — exposed so tests
+    /// and the rebalancing protocol can reason about point adjacency.
+    pub fn key_hash(&self, tenant: u16, root: u16) -> u64 {
+        splitmix64(
+            self.seed
+                ^ (u64::from(tenant) << 16 | u64::from(root)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Index (into [`Ring::members`]) of the member owning
+    /// `(tenant, root)`, or `None` on an empty ring.
+    pub fn owner_index(&self, tenant: u16, root: u16) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let h = self.key_hash(tenant, root);
+        let pos = self.entries.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.entries[if pos == self.entries.len() { 0 } else { pos }];
+        Some(idx)
+    }
+
+    /// Name of the member owning `(tenant, root)`, or `None` on an
+    /// empty ring.
+    pub fn owner(&self, tenant: u16, root: u16) -> Option<&str> {
+        self.owner_index(tenant, root)
+            .map(|i| self.members[i].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn member_names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7100 + i)).collect()
+    }
+
+    /// Every `(tenant, root)` key the balance/movement properties are
+    /// checked over: 2 tenants × 2048 subtree roots.
+    fn keys() -> Vec<(u16, u16)> {
+        let mut out = Vec::new();
+        for tenant in 0..2u16 {
+            for root in 1..=2048u16 {
+                out.push((tenant, root));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ring_is_order_independent_and_deterministic() {
+        let a = Ring::new(["c", "a", "b"]);
+        let b = Ring::new(["b", "b", "a", "c"]);
+        assert_eq!(a.members(), b.members());
+        for (t, r) in keys() {
+            assert_eq!(a.owner(t, r), b.owner(t, r));
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::with_params(64, DEFAULT_SEED);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(0, 1), None);
+        assert_eq!(ring.owner_index(3, 9), None);
+    }
+
+    /// ISSUE property 1: at 64 vnodes the per-member share of keys
+    /// stays within ±20% of fair, for every cluster size the smoke and
+    /// bench harnesses use.
+    #[test]
+    fn key_balance_within_twenty_percent_at_64_vnodes() {
+        let keys = keys();
+        for n in [2usize, 3, 4, 5] {
+            let ring = Ring::new(member_names(n));
+            assert_eq!(ring.vnodes, DEFAULT_VNODES);
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for &(t, r) in &keys {
+                *counts.entry(ring.owner_index(t, r).unwrap()).or_default() += 1;
+            }
+            let fair = keys.len() as f64 / n as f64;
+            for idx in 0..n {
+                let got = *counts.get(&idx).unwrap_or(&0) as f64;
+                let dev = (got - fair).abs() / fair;
+                assert!(
+                    dev <= 0.20,
+                    "member {idx}/{n} holds {got} keys, fair {fair:.0}, deviation {:.1}%",
+                    dev * 100.0
+                );
+            }
+        }
+    }
+
+    /// ISSUE property 2: membership changes remap a minimal slice of
+    /// the key space — fewer than `1.5/N` of keys move when going
+    /// between `N` and `N±1` members, and every key that moves on an
+    /// add moves *to* the added member (never between survivors).
+    #[test]
+    fn membership_change_moves_fewer_than_1_5_over_n_keys() {
+        let keys = keys();
+        for n in [2usize, 3, 4, 8] {
+            let names = member_names(n + 1);
+            let mut ring = Ring::new(names[..n].to_vec());
+            let before: Vec<String> = keys
+                .iter()
+                .map(|&(t, r)| ring.owner(t, r).unwrap().to_string())
+                .collect();
+
+            // Add a member: only keys adjacent to its points move.
+            assert!(ring.add_member(&names[n]));
+            let mut moved = 0usize;
+            for (i, &(t, r)) in keys.iter().enumerate() {
+                let now = ring.owner(t, r).unwrap();
+                if now != before[i] {
+                    moved += 1;
+                    assert_eq!(now, names[n], "key ({t},{r}) moved between survivors");
+                }
+            }
+            let bound = (1.5 / (n + 1) as f64) * keys.len() as f64;
+            assert!(
+                (moved as f64) < bound,
+                "add to {n}: {moved} keys moved, bound {bound:.0}"
+            );
+
+            // Remove it again: exactly the keys it held move back, and
+            // every other placement is untouched.
+            assert!(ring.remove_member(&names[n]));
+            for (i, &(t, r)) in keys.iter().enumerate() {
+                assert_eq!(ring.owner(t, r).unwrap(), before[i]);
+            }
+            assert!(((moved as f64) / keys.len() as f64) < 1.5 / (n + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn add_and_remove_report_membership_changes() {
+        let mut ring = Ring::new(["a"]);
+        assert!(!ring.add_member("a"));
+        assert!(ring.add_member("b"));
+        assert!(!ring.remove_member("zzz"));
+        assert!(ring.remove_member("a"));
+        assert_eq!(ring.members(), ["b".to_string()]);
+        // A one-member ring owns everything.
+        assert_eq!(ring.owner(1, 7), Some("b"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Tenant namespace arithmetic (DESIGN.md §17.2).
+//!
+//! A tenant is one monitored network. Rather than widening every pid,
+//! dedup set, WAL record, and result-log key with a tenant column, the
+//! cluster layer *strides* the existing `u16` node-id space: tenant
+//! `t`'s local node `n` becomes internal node `t * TENANT_STRIDE + n`.
+//! The sink node is the shared root of every monitored tree — the
+//! sanitizer requires every path to terminate at node `0` — so local
+//! node `0` maps to internal node `0` for every tenant.
+//!
+//! The payoff is that every tenant-agnostic subsystem becomes
+//! tenant-partitioned for free: dedup sets, shard routing, the WAL,
+//! the result log, `RANGE`/`AGG` queries, and subscriptions all key on
+//! node ids or pids that now embed the tenant. Only the wire header
+//! (v2 frames carry the tenant explicitly) and the stats surface need
+//! to know tenants exist.
+
+/// Internal node-id stride per tenant: tenant `t` owns internal ids
+/// `t * 4096 + 1 ..= t * 4096 + 4095` (plus the shared sink node `0`).
+pub const TENANT_STRIDE: u16 = 4096;
+
+/// Number of tenant namespaces that fit in the `u16` id space
+/// (`65536 / TENANT_STRIDE`). Tenant ids are `0..MAX_TENANTS`.
+pub const MAX_TENANTS: u16 = u16::MAX / TENANT_STRIDE + 1;
+
+/// The shared sink node id: every tenant's paths terminate here, and
+/// it namespaces to itself.
+pub const SINK_NODE: u16 = 0;
+
+/// Maps tenant-local node `local` of tenant `tenant` to its internal
+/// id. Returns `None` when the pair does not fit the namespace:
+/// `tenant` must be below [`MAX_TENANTS`] and `local` below
+/// [`TENANT_STRIDE`]. The sink node (`local == 0`) is shared and maps
+/// to `0` for every valid tenant.
+pub fn namespace_node(tenant: u16, local: u16) -> Option<u16> {
+    if tenant >= MAX_TENANTS || local >= TENANT_STRIDE {
+        return None;
+    }
+    if local == SINK_NODE {
+        return Some(SINK_NODE);
+    }
+    Some(tenant * TENANT_STRIDE + local)
+}
+
+/// The tenant that owns internal node id `node`. The shared sink node
+/// `0` reports tenant `0`; legacy (v1-wire) deployments live entirely
+/// in tenant `0` because their ids never reach [`TENANT_STRIDE`].
+pub fn tenant_of(node: u16) -> u16 {
+    node / TENANT_STRIDE
+}
+
+/// The tenant-local id of internal node `node`.
+pub fn local_of(node: u16) -> u16 {
+    node % TENANT_STRIDE
+}
+
+/// Splits internal node `node` into `(tenant, local)`;
+/// `namespace_node` inverts it for every valid pair.
+pub fn split_node(node: u16) -> (u16, u16) {
+    (tenant_of(node), local_of(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_round_trips_every_valid_pair() {
+        for tenant in 0..MAX_TENANTS {
+            // Non-sink locals round-trip through split_node exactly.
+            for local in [1u16, 2, 77, TENANT_STRIDE - 1] {
+                let node = namespace_node(tenant, local).unwrap();
+                assert_eq!(split_node(node), (tenant, local));
+            }
+            // The sink node is shared: every tenant maps it to 0.
+            assert_eq!(namespace_node(tenant, SINK_NODE), Some(SINK_NODE));
+        }
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let a = namespace_node(1, 5).unwrap();
+        let b = namespace_node(2, 5).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(tenant_of(a), 1);
+        assert_eq!(tenant_of(b), 2);
+        assert_eq!(local_of(a), local_of(b));
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_rejected() {
+        assert_eq!(namespace_node(MAX_TENANTS, 1), None);
+        assert_eq!(namespace_node(0, TENANT_STRIDE), None);
+        assert_eq!(namespace_node(u16::MAX, u16::MAX), None);
+    }
+
+    #[test]
+    fn legacy_ids_all_live_in_tenant_zero() {
+        for node in [0u16, 1, 9, TENANT_STRIDE - 1] {
+            assert_eq!(tenant_of(node), 0);
+            assert_eq!(local_of(node), node);
+        }
+    }
+
+    #[test]
+    fn stride_covers_the_id_space_exactly() {
+        assert_eq!(u32::from(MAX_TENANTS) * u32::from(TENANT_STRIDE), 65536);
+    }
+}

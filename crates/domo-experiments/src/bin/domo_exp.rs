@@ -11,6 +11,8 @@
 //!          [--max-delta PCT]
 //! domo-exp benchall [--sink-bin PATH]
 //! domo-exp chaos [--quick] [--nodes N] [--seed S] [--sink-bin PATH]
+//! domo-exp clustersmoke [--quick] [--nodes N] [--seed S] [--sink-bin PATH]
+//! domo-exp clusterbench [--nodes N] [--seed S] [--out PATH] [--baseline PATH]
 //!
 //! experiments:
 //!   fig1     per-node delay map at two times
@@ -72,6 +74,24 @@
 //!            bit-identically. `--quick` shrinks the trace and storm
 //!            for CI (`scripts/check.sh` gate 10); `--sink-bin` (or
 //!            `$DOMO_SINK_BIN`) overrides the sibling-binary lookup
+//!   clustersmoke
+//!            the multi-sink acceptance gate (DESIGN.md §17,
+//!            `scripts/check.sh` gate 14): spawns a 3-member cluster of
+//!            durable `domo-sink serve` children, streams a 2-tenant
+//!            workload through the consistent-hash router, SIGKILLs
+//!            the busiest member mid-replay, and gates on (1) exactly
+//!            one failover with zero spool drops and zero duplicate
+//!            quarantines, (2) per-tenant reconstructions recovered
+//!            from the survivors bit-identical to a single-process
+//!            reference running the same deterministic placement,
+//!            (3) intact per-member tenant accounting, (4) a
+//!            scatter-gather AGG within the sketch's documented error
+//!            bound of the offline exact quantiles
+//!   clusterbench
+//!            router fan-out throughput at 1/2/4 members against
+//!            in-process sinks; gates on --baseline (fails if any
+//!            member count regressed >20%), then writes the numbers
+//!            to --out (default BENCH_cluster.json)
 //!   all      every figure/table above, in order
 //! ```
 //!
@@ -140,14 +160,19 @@ fn parse_args() -> Result<Args, String> {
     if args.experiment == "querybench" {
         args.out = "BENCH_query.json".into();
     }
-    if args.experiment == "chaos" {
+    if args.experiment == "chaos" || args.experiment == "clustersmoke" {
         args.nodes = 16;
         args.seed = 5;
+    }
+    if args.experiment == "clusterbench" {
+        args.nodes = 25;
+        args.seed = 7;
+        args.out = "BENCH_cluster.json".into();
     }
     while let Some(flag) = it.next() {
         if flag == "--quick" {
             args.quick = true;
-            if args.experiment == "chaos" {
+            if args.experiment == "chaos" || args.experiment == "clustersmoke" {
                 args.nodes = 9;
             }
             continue;
@@ -1478,6 +1503,693 @@ fn chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Spawns a cluster-member `domo-sink serve` child: durable, one
+/// shard, labelled `--cluster-role member`, with a high-water mark far
+/// above the smoke workload so the estimator solves each member's
+/// whole share in one sorted flush at DRAIN — that makes the
+/// reconstruction a function of the *set* a member owns, independent
+/// of the nondeterministic interleave failover replay introduces, so
+/// the bit-identity gate below is exact (DESIGN.md §17.5).
+fn spawn_member_serve(
+    bin: &std::path::Path,
+    data_dir: &str,
+    addr_file: &std::path::Path,
+) -> Result<(ChildGuard, String, String), String> {
+    spawn_soak_serve(
+        bin,
+        data_dir,
+        addr_file,
+        &["--cluster-role", "member", "--high-water", "65536"],
+    )
+}
+
+/// Re-namespaces a simulated packet into `tenant`'s id space: every
+/// node id maps through [`domo_cluster::namespace_node`] (the shared
+/// sink stays node 0), so tenants are disjoint end to end — pids,
+/// dedup, storage, and queries never collide across namespaces.
+fn namespaced(
+    p: &domo_net::CollectedPacket,
+    tenant: u16,
+) -> Result<domo_net::CollectedPacket, String> {
+    use domo_net::NodeId;
+    let map = |n: NodeId| -> Result<NodeId, String> {
+        domo_cluster::namespace_node(tenant, n.index() as u16)
+            .map(NodeId::new)
+            .ok_or_else(|| format!("node {n} does not fit tenant {tenant}"))
+    };
+    let mut q = p.clone();
+    q.pid.origin = map(q.pid.origin)?;
+    for n in &mut q.path {
+        *n = map(*n)?;
+    }
+    Ok(q)
+}
+
+/// The tenant a reconstruction line belongs to, parsed from its
+/// `packet n<origin>#<seq> …` pid token.
+fn line_tenant(line: &str) -> Option<u16> {
+    let pid = line.split_whitespace().nth(1)?;
+    let origin: u16 = pid.strip_prefix('n')?.split('#').next()?.parse().ok()?;
+    Some(domo_cluster::tenant_of(origin))
+}
+
+/// The multi-sink acceptance gate (check.sh gate 14): a 3-member ×
+/// 2-tenant cluster of real `domo-sink serve` processes, fed through
+/// the consistent-hash router, must survive a mid-replay SIGKILL of
+/// its busiest member with (1) every record landing exactly once on a
+/// survivor, (2) per-tenant reconstructions bit-identical to a
+/// single-process reference that runs the same deterministic
+/// placement, and (3) a scatter-gather AGG within the documented
+/// sketch bound of an offline exact computation.
+fn clustersmoke(args: &Args) -> Result<(), String> {
+    use domo_cluster::{split_node, tenant_of, Ring};
+    use domo_sink::client::query_request;
+    use domo_sink::route::{cluster_agg, cluster_range, cluster_stats, RouteOptions, Router};
+    use domo_sink::service::{SinkConfig, SinkService};
+
+    let bin = sink_binary(args)?;
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    if trace.packets.len() < 40 {
+        return Err(format!(
+            "trace too small for a cluster smoke: {} packets",
+            trace.packets.len()
+        ));
+    }
+    // Two tenants stream the same simulated trace, interleaved — same
+    // workload, disjoint namespaces, so the per-tenant truths are
+    // comparable and the ring spreads 2× the subtree keys.
+    let mut workload = Vec::with_capacity(trace.packets.len() * 2);
+    for p in &trace.packets {
+        workload.push(namespaced(p, 1)?);
+        workload.push(namespaced(p, 2)?);
+    }
+    let total = workload.len();
+    let half = total / 2;
+    println!(
+        "clustersmoke: {} packets x 2 tenants = {total} records across 3 members",
+        trace.packets.len()
+    );
+
+    // Three durable members.
+    let scratch = std::env::temp_dir().join(format!("domo-clustersmoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut children: Vec<(ChildGuard, String, String)> = Vec::new();
+    for i in 0..3usize {
+        let data_dir = scratch.join(format!("member-{i}")).display().to_string();
+        let addr_file = scratch.join(format!("addr-{i}"));
+        std::fs::create_dir_all(&scratch).map_err(|e| format!("scratch: {e}"))?;
+        children.push(spawn_member_serve(&bin, &data_dir, &addr_file)?);
+    }
+    let members: Vec<String> = children.iter().map(|(_, i, _)| i.clone()).collect();
+
+    // The victim: whoever owns the most of the second half, so the
+    // kill is guaranteed to hit in-flight traffic (a small tree has
+    // few subtree keys; killing an idle member would test nothing).
+    let ring = Ring::new(members.clone());
+    let owner_of = |p: &domo_net::CollectedPacket| -> Result<String, String> {
+        let root = p
+            .subtree_root()
+            .ok_or_else(|| format!("{} has no subtree root", p.pid))?;
+        let (t, r) = split_node(root.index() as u16);
+        ring.owner(t, r)
+            .map(String::from)
+            .ok_or_else(|| "empty ring".to_string())
+    };
+    let mut second_half_share: std::collections::BTreeMap<String, u64> = Default::default();
+    for p in &workload[half..] {
+        *second_half_share.entry(owner_of(p)?).or_insert(0) += 1;
+    }
+    let victim = second_half_share
+        .iter()
+        .max_by_key(|&(_, n)| n)
+        .map(|(m, _)| m.clone())
+        .ok_or("no second-half owners")?;
+    if second_half_share[&victim] < 2 {
+        return Err("victim owns too little of the second half to force failover".into());
+    }
+
+    // Route the first half, SIGKILL the victim mid-replay, route the
+    // rest. The router detects the death on a failed write, reroutes
+    // the victim's keys, and replays its spool to the new owners.
+    let mut router = Router::new(
+        members.clone(),
+        RouteOptions {
+            max_reconnects: 2,
+            backoff_start_ms: 5,
+            backoff_cap_ms: 50,
+            ..RouteOptions::default()
+        },
+    )
+    .map_err(|e| format!("router: {e}"))?;
+    for p in &workload[..half] {
+        router.forward(p).map_err(|e| format!("forward: {e}"))?;
+    }
+    let victim_idx = members
+        .iter()
+        .position(|m| *m == victim)
+        .ok_or("victim not a member")?;
+    {
+        let (child, ingest, _) = &mut children[victim_idx];
+        child
+            .0
+            .kill()
+            .map_err(|e| format!("kill victim {ingest}: {e}"))?;
+        let _ = child.0.wait();
+    }
+    println!("clustersmoke: SIGKILLed {victim} after {half}/{total} records");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    for p in &workload[half..] {
+        router
+            .forward(p)
+            .map_err(|e| format!("forward after kill: {e}"))?;
+    }
+    let report = router.finish().map_err(|e| format!("finish: {e}"))?;
+    if report.failovers != 1 || report.spool_dropped != 0 || report.forwarded != total as u64 {
+        return Err(format!(
+            "failover accounting off: failovers {} spool_dropped {} forwarded {}/{total}",
+            report.failovers, report.spool_dropped, report.forwarded
+        ));
+    }
+    println!(
+        "clustersmoke: failover rerouted {} records ({} reconnect attempts)",
+        report.rerouted, report.reconnects
+    );
+
+    // Survivors and their deterministic final shares: the ring's owner,
+    // or — for the victim's keys — the owner after removal.
+    let survivors: Vec<usize> = (0..members.len()).filter(|&i| i != victim_idx).collect();
+    let healed = {
+        let mut r = Ring::new(members.clone());
+        r.remove_member(&victim);
+        r
+    };
+    let final_owner = |p: &domo_net::CollectedPacket| -> Result<String, String> {
+        let owner = owner_of(p)?;
+        if owner != victim {
+            return Ok(owner);
+        }
+        let root = p
+            .subtree_root()
+            .ok_or_else(|| format!("{} has no subtree root", p.pid))?;
+        let (t, r) = split_node(root.index() as u16);
+        healed
+            .owner(t, r)
+            .map(String::from)
+            .ok_or_else(|| "healed ring empty".to_string())
+    };
+
+    // Every record must land exactly once across the survivors.
+    let queries: Vec<String> = survivors.iter().map(|&i| children[i].2.clone()).collect();
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let mut ingested = 0;
+        let mut quarantined = 0;
+        for q in &queries {
+            let stats = query_request(q.as_str(), "STATS").map_err(|e| format!("stats: {e}"))?;
+            ingested += reply_stat(&stats, "ingested ");
+            quarantined += reply_stat(&stats, "quarantined ");
+        }
+        if quarantined != 0 {
+            return Err(format!(
+                "exactly-once violated: {quarantined} duplicate records quarantined"
+            ));
+        }
+        if ingested == total as u64 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!("cluster ingest stalled at {ingested}/{total}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The single-process reference: the same placement, run as one
+    // in-process service per surviving member's share. (A lone service
+    // over the whole workload is NOT the right truth: estimator
+    // windows are share-local, which is exactly why the ring keys on
+    // the subtree root — co-constrained packets stay together.)
+    let mut expected: Vec<String> = Vec::with_capacity(total);
+    for &i in &survivors {
+        let share: Vec<domo_net::CollectedPacket> = workload
+            .iter()
+            .filter(|p| final_owner(p).as_deref() == Ok(members[i].as_str()))
+            .cloned()
+            .collect();
+        let svc = SinkService::start(SinkConfig {
+            shards: 1,
+            high_water: Some(65_536),
+            ..SinkConfig::default()
+        });
+        for p in &share {
+            svc.ingest(p.clone());
+        }
+        svc.drain();
+        for p in &share {
+            let r = svc
+                .reconstruction(p.pid)
+                .ok_or_else(|| format!("reference lost {}", p.pid))?;
+            let path: Vec<String> = r.path.iter().map(|n| n.index().to_string()).collect();
+            let times: Vec<String> = r.hop_times_ms.iter().map(|t| format!("{t:.3}")).collect();
+            expected.push(format!(
+                "packet {} path {} times {}",
+                p.pid,
+                path.join("-"),
+                times.join(" ")
+            ));
+        }
+        svc.shutdown();
+    }
+    expected.sort();
+    if expected.len() != total {
+        return Err(format!(
+            "reference emitted {}/{total} reconstructions",
+            expected.len()
+        ));
+    }
+
+    // Drain and scatter-gather until the merged RANGE holds everything,
+    // then require bit-identity per tenant.
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    let got = loop {
+        for q in &queries {
+            query_request(q.as_str(), "DRAIN").map_err(|e| format!("drain: {e}"))?;
+        }
+        let (lines, gather) = cluster_range(&queries, f64::NEG_INFINITY, f64::INFINITY)
+            .map_err(|e| format!("cluster range: {e}"))?;
+        if !gather.missed.is_empty() {
+            return Err(format!("survivor unreachable: {:?}", gather.missed));
+        }
+        if lines.len() == total {
+            break lines;
+        }
+        if lines.len() > total {
+            return Err(format!(
+                "double-emit: {} records for {total} packets",
+                lines.len()
+            ));
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "cluster recovery stalled at {}/{total} records",
+                lines.len()
+            ));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    };
+    for tenant in [1u16, 2] {
+        let want: Vec<&String> = expected
+            .iter()
+            .filter(|l| line_tenant(l) == Some(tenant))
+            .collect();
+        let have: Vec<&String> = got
+            .iter()
+            .filter(|l| line_tenant(l) == Some(tenant))
+            .collect();
+        if want != have {
+            let diff = have
+                .iter()
+                .zip(&want)
+                .find(|(g, e)| g != e)
+                .map(|(g, e)| format!("got `{g}` want `{e}`"))
+                .unwrap_or_else(|| format!("{} vs {} lines", have.len(), want.len()));
+            return Err(format!(
+                "tenant {tenant} diverges from the reference: {diff}"
+            ));
+        }
+        println!(
+            "clustersmoke: tenant {tenant} recovered {} reconstructions bit-identically",
+            want.len()
+        );
+    }
+
+    // Cluster-wide counters and tenant namespaces.
+    let (stats, gather) = cluster_stats(&queries).map_err(|e| format!("cluster stats: {e}"))?;
+    if gather.reached.len() != queries.len() {
+        return Err(format!("cluster stats missed members: {:?}", gather.missed));
+    }
+    let summed = |name: &str| stats.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v);
+    if summed("ingested") != total as u64 || summed("emitted") != total as u64 {
+        return Err(format!(
+            "cluster totals off: ingested {} emitted {} want {total}",
+            summed("ingested"),
+            summed("emitted")
+        ));
+    }
+    let mut per_tenant: std::collections::BTreeMap<u16, u64> = Default::default();
+    for q in &queries {
+        let stats = query_request(q.as_str(), "STATS").map_err(|e| format!("stats: {e}"))?;
+        if !stats.iter().any(|l| l == "cluster_role member") {
+            return Err(format!("member at {q} does not report its cluster role"));
+        }
+        for line in query_request(q.as_str(), "TENANTS").map_err(|e| format!("tenants: {e}"))? {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if let ["tenant", id, "accepted", n] = fields[..] {
+                let id: u16 = id.parse().map_err(|e| format!("tenant id: {e}"))?;
+                let n: u64 = n.parse().map_err(|e| format!("tenant count: {e}"))?;
+                *per_tenant.entry(id).or_insert(0) += n;
+            }
+        }
+    }
+    let share = trace.packets.len() as u64;
+    if per_tenant.get(&1) != Some(&share) || per_tenant.get(&2) != Some(&share) {
+        return Err(format!(
+            "tenant namespaces drifted: {per_tenant:?}, want {share} each"
+        ));
+    }
+    println!("clustersmoke: tenant namespaces intact ({share} records each)");
+
+    // Scatter-gather AGG for the busiest tenant-1 forwarder vs the
+    // offline exact sojourns, within the documented sketch bound.
+    let mut sojourns_by_node: std::collections::BTreeMap<u16, Vec<f64>> = Default::default();
+    for line in &expected {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let (Some(pp), Some(tp)) = (
+            fields.iter().position(|&t| t == "path"),
+            fields.iter().position(|&t| t == "times"),
+        ) else {
+            continue;
+        };
+        let path: Vec<u16> = fields[pp + 1]
+            .split('-')
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        let times: Vec<f64> = fields[tp + 1..]
+            .iter()
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        for (i, w) in times.windows(2).enumerate() {
+            if let Some(&n) = path.get(i) {
+                if tenant_of(n) == 1 {
+                    sojourns_by_node
+                        .entry(n)
+                        .or_default()
+                        .push((w[1] - w[0]).max(0.0));
+                }
+            }
+        }
+    }
+    let (agg_node, mut exact) = sojourns_by_node
+        .into_iter()
+        .max_by_key(|(_, v)| v.len())
+        .ok_or("no tenant-1 sojourn samples")?;
+    exact.sort_by(f64::total_cmp);
+    let (buckets, gather) = cluster_agg(&queries, agg_node, 0.0, 1e9, 1_000_000_000)
+        .map_err(|e| format!("cluster agg: {e}"))?;
+    if gather.reached.len() != queries.len() {
+        return Err(format!("cluster agg missed members: {:?}", gather.missed));
+    }
+    let bucket = buckets
+        .first()
+        .ok_or_else(|| format!("cluster AGG returned no bucket for node {agg_node}"))?;
+    if bucket.count != exact.len() as u64 {
+        return Err(format!(
+            "cluster AGG count {} != offline {}",
+            bucket.count,
+            exact.len()
+        ));
+    }
+    // DelaySketch::relative_error_bound is ≈5.93% (documented < 6.2%);
+    // the offline values carry %.3f wire rounding, hence the slack.
+    let bound = 0.062;
+    let rank = |q: f64| -> f64 {
+        let r = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+        exact[r - 1]
+    };
+    for (name, est, q) in [
+        ("p50", bucket.p50, 0.50),
+        ("p95", bucket.p95, 0.95),
+        ("p99", bucket.p99, 0.99),
+    ] {
+        let truth = rank(q);
+        if (est - truth).abs() > bound * truth.abs() + 1e-2 {
+            return Err(format!(
+                "cluster AGG {name} {est} vs exact {truth} exceeds the {bound} bound"
+            ));
+        }
+    }
+    println!(
+        "clustersmoke: cluster AGG over {} samples of node {agg_node} within the {:.1}% bound",
+        bucket.count,
+        bound * 100.0
+    );
+
+    drop(children);
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("clustersmoke: OK");
+    Ok(())
+}
+
+/// Pulls `(members, pkts_per_sec)` rows out of a previously written
+/// BENCH_cluster.json (flat machine-written JSON, substring scan —
+/// same approach as [`baseline_throughput`]).
+fn cluster_baseline_rows(text: &str) -> Vec<(usize, f64)> {
+    let number_after = |hay: &str, key: &str| -> Option<(usize, f64)> {
+        let at = hay.find(key)?;
+        let rest = hay[at + key.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok().map(|v| (at, v))
+    };
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    while let Some((at, members)) = number_after(&text[cursor..], "\"members\":") {
+        let from = cursor + at;
+        if let Some((_, v)) = number_after(&text[from..], "\"pkts_per_sec\":") {
+            rows.push((members as usize, v));
+        }
+        cursor = from + 1;
+    }
+    rows
+}
+
+/// Replicates a trace time-shifted and seq-offset until it holds at
+/// least `target` packets (pids stay unique, timestamps stay monotone
+/// — the same steady-state trick `domo-sink bench` uses).
+fn replicate_workload(
+    base: &[domo_net::CollectedPacket],
+    target: usize,
+) -> Vec<domo_net::CollectedPacket> {
+    use domo_util::time::{SimDuration, SimTime};
+    let span = base
+        .iter()
+        .map(|p| p.sink_arrival)
+        .max()
+        .unwrap_or(SimTime::ZERO)
+        .saturating_sub(SimTime::ZERO)
+        + SimDuration::from_millis(1);
+    let seq_stride = base.iter().map(|p| p.pid.seq).max().unwrap_or(0) + 1;
+    let rounds = target.div_ceil(base.len().max(1));
+    let mut out = Vec::with_capacity(rounds * base.len());
+    for round in 0..rounds {
+        let shift = span * round as u64;
+        for p in base {
+            let mut q = p.clone();
+            q.pid.seq += seq_stride * round as u32;
+            q.gen_time += shift;
+            q.sink_arrival += shift;
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Router fan-out throughput at 1, 2, and 4 members (in-process
+/// sinks), gated on `--baseline` (>20% regression on any member count
+/// fails), then written to `--out` (default BENCH_cluster.json).
+fn cluster_bench(args: &Args) -> Result<(), String> {
+    use domo_sink::route::{route_packets, RouteOptions};
+    use domo_sink::server::SinkServer;
+    use domo_sink::service::SinkConfig;
+
+    const TARGET: usize = 16_384;
+    const REPS: usize = 3;
+    let trace = run_simulation(&NetworkConfig::small(args.nodes, args.seed));
+    if trace.packets.is_empty() {
+        return Err("simulated trace delivered nothing".into());
+    }
+    // Spread the base trace over four tenant namespaces before
+    // replicating: one small tree has only a handful of subtree roots,
+    // and with so few ring keys a 2- or 4-member ring can legitimately
+    // leave a member idle — which would make the "fan-out at N
+    // members" number a lie. Four tenants × the tree's roots gives the
+    // ring enough keys to load every member.
+    let mut base = Vec::with_capacity(trace.packets.len() * 4);
+    for tenant in 0..4u16 {
+        for p in &trace.packets {
+            base.push(namespaced(p, tenant)?);
+        }
+    }
+    let workload = replicate_workload(&base, TARGET);
+    let total = workload.len();
+    println!("clusterbench: fanning {total} records (4 tenants) out over 1/2/4 members");
+
+    // Correctness leg (untimed): route the whole workload into a real
+    // 4-member cluster of in-process sinks and require every record to
+    // clear the wire, the decode path, and dedup with nothing lost.
+    // The estimator is tuned for speed over accuracy here — tiny
+    // windows, no FIFO rows, a one-iteration solver budget — because
+    // this leg gates losslessness, not reconstruction quality.
+    {
+        let servers: Vec<SinkServer> = (0..4)
+            .map(|_| {
+                SinkServer::bind(
+                    "127.0.0.1:0",
+                    "127.0.0.1:0",
+                    SinkConfig {
+                        shards: 1,
+                        cluster_role: "member".into(),
+                        high_water: Some(64),
+                        estimator: {
+                            let mut est = EstimatorConfig {
+                                fifo_mode: domo_core::estimator::FifoMode::Off,
+                                ..EstimatorConfig::default()
+                            };
+                            est.solver.max_iterations = 1;
+                            est.solver.polish = false;
+                            est
+                        },
+                        ..SinkConfig::default()
+                    },
+                )
+                .map_err(|e| format!("bind member: {e}"))
+            })
+            .collect::<Result<_, String>>()?;
+        let addrs: Vec<String> = servers
+            .iter()
+            .map(|s| s.ingest_addr().to_string())
+            .collect();
+        let report = route_packets(addrs, &workload, RouteOptions::default())
+            .map_err(|e| format!("route: {e}"))?;
+        if report.forwarded != total as u64 || report.failovers != 0 {
+            return Err(format!(
+                "bench route drifted: forwarded {}/{total}, failovers {}",
+                report.forwarded, report.failovers
+            ));
+        }
+        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+        loop {
+            let got: u64 = servers.iter().map(|s| s.service().stats().ingested).sum();
+            if got == total as u64 {
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(format!("bench ingest stalled at {got}/{total}"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        for s in servers {
+            s.shutdown();
+        }
+        println!("clusterbench: loss validation OK ({total} records, 4 live members)");
+    }
+
+    // Throughput leg (timed): the same fan-out into drain listeners
+    // that accept one connection each and discard bytes. That pins the
+    // measurement on the router + wire encode path — what this bench
+    // gates — instead of on solver scheduling noise, which made the
+    // live-sink numbers swing 2x between runs.
+    let drain_member = || -> Result<_, String> {
+        let listener =
+            std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind drain: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("drain addr: {e}"))?
+            .to_string();
+        let handle = std::thread::spawn(move || -> std::io::Result<u64> {
+            let (mut stream, _) = listener.accept()?;
+            std::io::copy(&mut stream, &mut std::io::sink())
+        });
+        Ok((addr, handle))
+    };
+    let mut rows = Vec::new();
+    let mut measured = Vec::new();
+    for members in [1usize, 2, 4] {
+        let mut best = 0f64;
+        for _rep in 0..REPS {
+            let mut addrs = Vec::with_capacity(members);
+            let mut drains = Vec::with_capacity(members);
+            for _ in 0..members {
+                let (addr, handle) = drain_member()?;
+                addrs.push(addr);
+                drains.push(handle);
+            }
+            // The timed window covers the full drain: finish() closes
+            // the connections at a frame boundary, and the join only
+            // returns once every byte left the kernel buffers.
+            let start = Instant::now();
+            let report = route_packets(addrs.clone(), &workload, RouteOptions::default())
+                .map_err(|e| format!("route: {e}"))?;
+            // Wake any drain whose member drew no keys (the router
+            // connects lazily): a throwaway connection that closes
+            // immediately unblocks its accept with zero bytes. Members
+            // already connected just leave it in the backlog.
+            for addr in &addrs {
+                drop(std::net::TcpStream::connect(addr.as_str()));
+            }
+            let mut drained = 0u64;
+            for handle in drains {
+                drained += handle
+                    .join()
+                    .map_err(|_| "drain thread panicked".to_string())?
+                    .map_err(|e| format!("drain read: {e}"))?;
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            if report.forwarded != total as u64 || report.failovers != 0 {
+                return Err(format!(
+                    "bench route drifted: forwarded {}/{total}, failovers {}",
+                    report.forwarded, report.failovers
+                ));
+            }
+            if drained != report.bytes {
+                return Err(format!(
+                    "wire loss: drained {drained} of {} routed bytes",
+                    report.bytes
+                ));
+            }
+            best = best.max(total as f64 / seconds);
+        }
+        println!("clusterbench: {members} member(s): {best:.0} pkts/s fan-out");
+        measured.push((members, best));
+        rows.push(format!(
+            "    {{\"members\": {members}, \"pkts_per_sec\": {best:.1}}}"
+        ));
+    }
+
+    if let Some(path) = args.baseline.as_deref() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: {e}"))?;
+        let old = cluster_baseline_rows(&text);
+        if old.is_empty() {
+            return Err(format!("baseline {path} has no pkts_per_sec rows"));
+        }
+        for (members, old_pps) in old {
+            let Some(&(_, new_pps)) = measured.iter().find(|(m, _)| *m == members) else {
+                continue;
+            };
+            if new_pps < 0.8 * old_pps {
+                return Err(format!(
+                    "regression at {members} member(s): {new_pps:.0} pkts/s < 80% of \
+                     baseline {old_pps:.0}"
+                ));
+            }
+            println!(
+                "clusterbench: {members} member(s) vs baseline: {new_pps:.0} / {old_pps:.0} pkts/s"
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_fanout\",\n  \"nodes\": {},\n  \"seed\": {},\n  \
+         \"packets\": {total},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        args.nodes,
+        args.seed,
+        rows.join(",\n")
+    );
+    std::fs::write(&args.out, json).map_err(|e| format!("write {}: {e}", args.out))?;
+    println!("clusterbench: wrote {}", args.out);
+    Ok(())
+}
+
 fn run(experiment: &str, args: &Args) {
     match experiment {
         "fig1" => println!("{}", figures::delay_map(base_scenario(args))),
@@ -1583,6 +2295,18 @@ fn run(experiment: &str, args: &Args) {
                 std::process::exit(1);
             }
         }
+        "clustersmoke" => {
+            if let Err(msg) = clustersmoke(args) {
+                domo_obs::error!(target: "domo_exp", "clustersmoke failed", error = msg);
+                std::process::exit(1);
+            }
+        }
+        "clusterbench" => {
+            if let Err(msg) = cluster_bench(args) {
+                domo_obs::error!(target: "domo_exp", "clusterbench failed", error = msg);
+                std::process::exit(1);
+            }
+        }
         "all" => {
             for exp in [
                 "workload", "table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
@@ -1637,7 +2361,8 @@ fn main() {
         Err(msg) => {
             let usage = "usage: domo-exp \
                  <fig1|fig6|fig7|fig8|fig9|fig10|table1|ablation|workload|robust|online|bench|\
-                 obsbench|storebench|querybench|tracebench|benchall|chaos|all> \
+                 obsbench|storebench|querybench|tracebench|benchall|chaos|clustersmoke|\
+                 clusterbench|all> \
                  [--nodes N] [--seed S] [--fast K] [--threads T] \
                  [--out PATH] [--baseline PATH] [--metrics-json PATH] [--max-delta PCT] \
                  [--quick] [--sink-bin PATH]";
@@ -1650,9 +2375,23 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::{
-        baseline_throughput, extract_trace_object, store_baseline_throughput,
-        trace_baseline_throughput, with_trace_section,
+        baseline_throughput, cluster_baseline_rows, extract_trace_object,
+        store_baseline_throughput, trace_baseline_throughput, with_trace_section,
     };
+
+    #[test]
+    fn cluster_baseline_parser_reads_every_row() {
+        let json = "{\n  \"bench\": \"cluster_fanout\",\n  \"rows\": [\n    \
+                    {\"members\": 1, \"pkts_per_sec\": 1000.5},\n    \
+                    {\"members\": 2, \"pkts_per_sec\": 1800.0},\n    \
+                    {\"members\": 4, \"pkts_per_sec\": 2500.25}\n  ]\n}";
+        assert_eq!(
+            cluster_baseline_rows(json),
+            vec![(1, 1000.5), (2, 1800.0), (4, 2500.25)]
+        );
+        assert!(cluster_baseline_rows("{}").is_empty());
+        assert!(cluster_baseline_rows("{\"members\": 3}").is_empty());
+    }
 
     #[test]
     fn baseline_parser_reads_the_committed_number() {

@@ -49,31 +49,35 @@ static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(SAMPLE_UNSET);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Stage {
+    /// Frame forwarded to its owning cluster member by a router
+    /// (only present when a `domo-sink route` hop is in the path).
+    RouteForward = 0,
     /// Frame decoded off an ingest socket by a reactor sweep.
-    ReactorRead = 0,
+    ReactorRead = 1,
     /// Packet accepted (sanitized + routed) by `ingest_batch`.
-    BatchSubmit = 1,
+    BatchSubmit = 2,
     /// Packet journaled by the multi-record WAL append.
-    WalAppend = 2,
+    WalAppend = 3,
     /// Packet pushed onto its shard's bounded queue.
-    ShardEnqueue = 3,
+    ShardEnqueue = 4,
     /// Packet popped by the shard worker.
-    ShardDequeue = 4,
+    ShardDequeue = 5,
     /// Packet entered a streaming-estimator flush.
-    Flush = 5,
+    Flush = 6,
     /// Packet's window solve produced its reconstruction.
-    WindowSolve = 6,
+    WindowSolve = 7,
     /// Reconstruction appended to the durable result store.
-    ResultAppend = 7,
+    ResultAppend = 8,
     /// Reconstruction published to the subscription hub.
-    Publish = 8,
+    Publish = 9,
     /// Reconstruction handed to a live subscriber.
-    SubscriberSend = 9,
+    SubscriberSend = 10,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
+        Stage::RouteForward,
         Stage::ReactorRead,
         Stage::BatchSubmit,
         Stage::WalAppend,
@@ -89,6 +93,7 @@ impl Stage {
     /// The stage's metric label / wire name.
     pub const fn name(self) -> &'static str {
         match self {
+            Stage::RouteForward => "route_forward",
             Stage::ReactorRead => "reactor_read",
             Stage::BatchSubmit => "batch_submit",
             Stage::WalAppend => "wal_append",
@@ -110,7 +115,8 @@ impl Stage {
 /// One series per stage: elapsed seconds from the previous stamp of
 /// the same journey to the stamp of this stage. (For the first stamp
 /// of a journey nothing is observed — there is no predecessor.)
-static STAGE_SECONDS: [LazyHistogram; 10] = [
+static STAGE_SECONDS: [LazyHistogram; 11] = [
+    LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "route_forward")]),
     LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "reactor_read")]),
     LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "batch_submit")]),
     LazyHistogram::new("domo_trace_stage_seconds", &[("stage", "wal_append")]),

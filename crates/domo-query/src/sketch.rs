@@ -62,6 +62,69 @@ pub struct SketchParts {
     pub buckets: Vec<(i32, u64)>,
 }
 
+impl SketchParts {
+    /// Renders the parts as one ASCII line for the query protocol's
+    /// `AGG … PARTS` replies: space-separated
+    /// `count zeros <sum> <min> <max> idx:n idx:n …`, with every float
+    /// spelled as its `to_bits` hex — so
+    /// `decode_text(encode_text())` round-trips bit-identically, the
+    /// same contract the checkpoint encoding keeps. No float ever goes
+    /// through decimal formatting.
+    pub fn encode_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{} {} {:016x} {:016x} {:016x}",
+            self.count,
+            self.zeros,
+            self.sum.to_bits(),
+            self.min.to_bits(),
+            self.max.to_bits(),
+        );
+        for (idx, n) in &self.buckets {
+            let _ = write!(s, " {idx}:{n}");
+        }
+        s
+    }
+
+    /// Parses [`SketchParts::encode_text`] output. `None` on any
+    /// structural defect (wrong arity, unparsable field, unsorted or
+    /// duplicate bucket indices) — a scatter-gather merger treats that
+    /// as a malformed member reply, never a panic.
+    pub fn decode_text(s: &str) -> Option<SketchParts> {
+        let mut toks = s.split_whitespace();
+        let count = toks.next()?.parse::<u64>().ok()?;
+        let zeros = toks.next()?.parse::<u64>().ok()?;
+        let mut float = || -> Option<f64> {
+            let tok = toks.next()?;
+            if tok.len() != 16 {
+                return None;
+            }
+            Some(f64::from_bits(u64::from_str_radix(tok, 16).ok()?))
+        };
+        let sum = float()?;
+        let min = float()?;
+        let max = float()?;
+        let mut buckets: Vec<(i32, u64)> = Vec::new();
+        for tok in toks {
+            let (idx, n) = tok.split_once(':')?;
+            let idx = idx.parse::<i32>().ok()?;
+            let n = n.parse::<u64>().ok()?;
+            if buckets.last().is_some_and(|&(prev, _)| prev >= idx) {
+                return None;
+            }
+            buckets.push((idx, n));
+        }
+        Some(SketchParts {
+            count,
+            zeros,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+}
+
 impl DelaySketch {
     /// An empty sketch.
     pub fn new() -> Self {
@@ -389,6 +452,43 @@ mod tests {
                 s.quantile(q).unwrap().to_bits(),
                 back.quantile(q).unwrap().to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn text_codec_round_trips_bit_identically() {
+        let mut rng = Rng(11);
+        let mut s = DelaySketch::new();
+        for _ in 0..300 {
+            s.record(rng.next_f64() * 50.0 - 0.5);
+        }
+        let parts = s.to_parts();
+        let line = parts.encode_text();
+        assert!(line.is_ascii());
+        assert!(!line.contains('\n'));
+        let back = SketchParts::decode_text(&line).unwrap();
+        assert_eq!(back, parts);
+        assert_eq!(DelaySketch::from_parts(&back), s);
+        // The empty sketch (±inf min/max) survives the trip too.
+        let empty = DelaySketch::new().to_parts();
+        let back = SketchParts::decode_text(&empty.encode_text()).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.min.to_bits(), f64::INFINITY.to_bits());
+    }
+
+    #[test]
+    fn text_codec_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "1",
+            "1 2 3",
+            "1 2 zzzz zzzz zzzz",
+            "1 2 0000000000000000 0000000000000000",
+            "1 2 0000000000000000 0000000000000000 0000000000000000 nonsense",
+            "1 2 0000000000000000 0000000000000000 0000000000000000 5:1 4:2",
+            "1 2 0000000000000000 0000000000000000 0000000000000000 5:1 5:2",
+        ] {
+            assert!(SketchParts::decode_text(bad).is_none(), "accepted {bad:?}");
         }
     }
 }

@@ -9,9 +9,16 @@
 //!                      [--on-store-error fail|degrade|drop-durability]
 //!                      [--probe-every N] [--store-faults SPEC]
 //!                      [--chaos-panic SHARD:AFTER] [--max-conns M]
-//! domo-sink replay     --ingest HOST:PORT [--query HOST:PORT] [--nodes N]
-//!                      [--seed S] [--rate PPS] [--garbage G] [--drain]
+//!                      [--tenant-quota N] [--cluster-role NAME]
+//! domo-sink replay     --ingest ADDR[,ADDR...] [--query HOST:PORT]
+//!                      [--members A,B,C] [--nodes N] [--seed S]
+//!                      [--rate PPS] [--garbage G] [--drain]
 //!                      [--reconnects R]
+//! domo-sink route      --members A,B,C [--ingest-port P]
+//!                      [--addr-file PATH] [--reconnects R]
+//! domo-sink cluster    --members Q1,Q2,Q3 [--exec "STATS"]
+//!                      (--exec also takes "RANGE <lo> <hi>" and
+//!                       "AGG <node> <start> <end> <bucket>")
 //! domo-sink smoke      [--nodes N] [--seed S] [--shards K]
 //! domo-sink crashsmoke [--nodes N] [--seed S] [--shards K] [--data-dir D]
 //! domo-sink bench      [--nodes N] [--seed S] [--packets P] [--out PATH]
@@ -23,6 +30,19 @@
 //! domo-sink connsoak   [--conns C] [--packets P] [--shards K]
 //!                      [--nodes N] [--seed S]
 //! ```
+//!
+//! The cluster trio (DESIGN.md §17): `serve --cluster-role member`
+//! labels a sink as one shard of a multi-process deployment (and
+//! `--tenant-quota` caps every tenant namespace's accepted records);
+//! `replay --ingest A,B,C` falls back round-robin across the listed
+//! sinks when one dies, while `replay --members A,B,C` *routes* — an
+//! embedded consistent-hash router sends every record to the member
+//! owning its `(tenant, subtree-root)` key, with reconnect, failover,
+//! and spool replay; `route` runs the same router as a standalone
+//! wire-level relay (accept a v1/v2 ingest stream, fan frames out to
+//! the owning members); `cluster` scatter-gathers a STATS / RANGE /
+//! AGG query across every member's query port and prints the merged
+//! reply (AGG merges the underlying sketches loss-free via `PARTS`).
 //!
 //! `serve` runs the service until killed; with `--data-dir` every
 //! ingested record is journaled to a WAL and reconstructions land in a
@@ -87,7 +107,12 @@
 
 use domo_net::{run_simulation, CollectedPacket, NetworkConfig};
 use domo_sink::client::{
-    parse_stats, replay_packets, tail_events, QueryClient, ReplayOptions, TailOptions,
+    parse_stats, replay_packets, replay_packets_multi, tail_events, QueryClient, ReplayOptions,
+    TailOptions,
+};
+use domo_sink::route::{
+    cluster_agg, cluster_range, cluster_stats, route_connection, route_packets, GatherReport,
+    RouteOptions, Router,
 };
 use domo_sink::server::SinkServer;
 use domo_sink::service::{SinkConfig, SinkHealth, SinkService};
@@ -133,6 +158,10 @@ struct Flags {
     conns: usize,
     packets: usize,
     baseline: Option<String>,
+    members: Option<String>,
+    exec: String,
+    tenant_quota: Option<u64>,
+    cluster_role: Option<String>,
 }
 
 impl Default for Flags {
@@ -173,6 +202,10 @@ impl Default for Flags {
             conns: 1100,
             packets: 100_000,
             baseline: None,
+            members: None,
+            exec: "STATS".into(),
+            tenant_quota: None,
+            cluster_role: None,
         }
     }
 }
@@ -295,6 +328,10 @@ fn parse_flags(argv: &[String]) -> Result<Flags, String> {
             "--conns" => f.conns = num(flag)? as usize,
             "--packets" => f.packets = num(flag)? as usize,
             "--baseline" => f.baseline = Some(value.clone()),
+            "--members" => f.members = Some(value.clone()),
+            "--exec" => f.exec = value.clone(),
+            "--tenant-quota" => f.tenant_quota = Some(num(flag)?),
+            "--cluster-role" => f.cluster_role = Some(value.clone()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -319,8 +356,12 @@ fn sink_config(f: &Flags) -> SinkConfig {
         ingest_idle_timeout: idle,
         query_idle_timeout: idle,
         max_conns: f.max_conns,
+        tenant_quota: f.tenant_quota,
         ..SinkConfig::default()
     };
+    if let Some(role) = f.cluster_role.as_deref() {
+        cfg.cluster_role = role.to_string();
+    }
     // Solver threads *within* each shard's estimator (shards already
     // run concurrently with each other).
     cfg.estimator.threads = f.threads.max(1);
@@ -373,11 +414,16 @@ fn serve(f: &Flags) -> Result<(), String> {
     }
 }
 
+/// Splits a comma-separated address list, dropping empty entries.
+fn split_list(spec: &str) -> Vec<String> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(String::from)
+        .collect()
+}
+
 fn replay(f: &Flags) -> Result<(), String> {
-    let ingest = f
-        .ingest
-        .as_deref()
-        .ok_or("replay needs --ingest HOST:PORT")?;
     let trace = run_simulation(&NetworkConfig::small(f.nodes, f.seed));
     domo_obs::info!(
         target: "domo_sink",
@@ -386,25 +432,56 @@ fn replay(f: &Flags) -> Result<(), String> {
         nodes = f.nodes,
         seed = f.seed,
     );
-    let report = replay_packets(
-        ingest,
-        &trace.packets,
-        &ReplayOptions {
-            rate_pps: f.rate,
-            garbage_frames: f.garbage,
-            max_reconnects: f.reconnects,
-            ..ReplayOptions::default()
-        },
-    )
-    .map_err(|e| format!("replay: {e}"))?;
-    domo_obs::info!(
-        target: "domo_sink",
-        "replay sent",
-        frames = report.frames,
-        bytes = report.bytes,
-        seconds = report.seconds,
-        pkts_per_sec = report.frames as f64 / report.seconds.max(1e-9),
-    );
+    if let Some(members) = f.members.as_deref() {
+        // Cluster mode: an embedded consistent-hash router sends each
+        // record to the member owning its (tenant, subtree-root) key.
+        let report = route_packets(
+            split_list(members),
+            &trace.packets,
+            RouteOptions {
+                max_reconnects: f.reconnects.max(1),
+                ..RouteOptions::default()
+            },
+        )
+        .map_err(|e| format!("route: {e}"))?;
+        domo_obs::info!(
+            target: "domo_sink",
+            "replay routed",
+            forwarded = report.forwarded,
+            rerouted = report.rerouted,
+            bytes = report.bytes,
+            reconnects = report.reconnects,
+            failovers = report.failovers,
+            spool_dropped = report.spool_dropped,
+        );
+    } else {
+        // Plain mode: one sink (or a comma-separated fallback list the
+        // client walks round-robin when a connection dies).
+        let addrs = split_list(
+            f.ingest
+                .as_deref()
+                .ok_or("replay needs --ingest ADDR[,ADDR...] (or --members A,B,C)")?,
+        );
+        let report = replay_packets_multi(
+            &addrs,
+            &trace.packets,
+            &ReplayOptions {
+                rate_pps: f.rate,
+                garbage_frames: f.garbage,
+                max_reconnects: f.reconnects,
+                ..ReplayOptions::default()
+            },
+        )
+        .map_err(|e| format!("replay: {e}"))?;
+        domo_obs::info!(
+            target: "domo_sink",
+            "replay sent",
+            frames = report.frames,
+            bytes = report.bytes,
+            seconds = report.seconds,
+            pkts_per_sec = report.frames as f64 / report.seconds.max(1e-9),
+        );
+    }
     if let Some(query) = f.query.as_deref() {
         let mut q = QueryClient::connect(query).map_err(|e| format!("query connect: {e}"))?;
         if f.drain {
@@ -413,6 +490,128 @@ fn replay(f: &Flags) -> Result<(), String> {
         let stats = q.request("STATS").map_err(|e| format!("stats: {e}"))?;
         for line in stats {
             println!("domo-sink: {line}");
+        }
+    }
+    Ok(())
+}
+
+/// Standalone cluster relay: accepts v1/v2 ingest streams and fans
+/// every decoded frame out to the member owning its
+/// `(tenant, subtree-root)` key, surviving member deaths by failover
+/// and spool replay (DESIGN.md §17.3). Runs until killed.
+fn route(f: &Flags) -> Result<(), String> {
+    let members = split_list(
+        f.members
+            .as_deref()
+            .ok_or("route needs --members A,B,C (ingest addresses)")?,
+    );
+    let listener = std::net::TcpListener::bind(("0.0.0.0", f.ingest_port))
+        .map_err(|e| format!("bind: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("addr: {e}"))?;
+    if let Some(path) = f.addr_file.as_deref() {
+        // Same atomic write the serve path uses; one line, the relay
+        // has no query port of its own.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{local}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| format!("addr-file {path}: {e}"))?;
+    }
+    let mut router = Router::new(
+        members.iter().cloned(),
+        RouteOptions {
+            max_reconnects: f.reconnects.max(3),
+            ..RouteOptions::default()
+        },
+    )
+    .map_err(|e| format!("router: {e}"))?;
+    domo_obs::info!(
+        target: "domo_sink",
+        "routing; ^C to stop",
+        ingest = local.to_string(),
+        members = members.join(","),
+    );
+    loop {
+        let (stream, peer) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+        let routed =
+            route_connection(stream, &mut router).map_err(|e| format!("cluster unusable: {e}"))?;
+        domo_obs::info!(
+            target: "domo_sink",
+            "connection drained",
+            peer = peer.to_string(),
+            routed = routed,
+            live_members = router.live_members().len(),
+        );
+    }
+}
+
+/// Prints which members a scatter-gather query reached.
+fn print_gather(report: &GatherReport) {
+    println!(
+        "cluster: reached {} member(s){}",
+        report.reached.len(),
+        if report.missed.is_empty() {
+            String::new()
+        } else {
+            format!(", missed {}", report.missed.join(","))
+        }
+    );
+}
+
+/// Scatter-gather query mode: fans one STATS / RANGE / AGG query
+/// across every member's query port and prints the merged reply
+/// (DESIGN.md §17.4).
+fn cluster(f: &Flags) -> Result<(), String> {
+    let members = split_list(
+        f.members
+            .as_deref()
+            .ok_or("cluster needs --members Q1,Q2,Q3 (query addresses)")?,
+    );
+    let fields: Vec<&str> = f.exec.split_whitespace().collect();
+    let farg = |i: usize, name: &str| -> Result<f64, String> {
+        fields
+            .get(i)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("--exec {}: bad or missing {name}", f.exec))
+    };
+    match fields.first().copied() {
+        Some("STATS") | None => {
+            let (stats, report) = cluster_stats(&members).map_err(|e| format!("stats: {e}"))?;
+            for (name, value) in &stats {
+                println!("{name} {value}");
+            }
+            print_gather(&report);
+        }
+        Some("RANGE") => {
+            let (lo, hi) = (farg(1, "lo_ms")?, farg(2, "hi_ms")?);
+            let (lines, report) =
+                cluster_range(&members, lo, hi).map_err(|e| format!("range: {e}"))?;
+            for line in &lines {
+                println!("{line}");
+            }
+            println!("count {}", lines.len());
+            print_gather(&report);
+        }
+        Some("AGG") => {
+            let node = farg(1, "node")? as u16;
+            let (start, end) = (farg(2, "start_ms")?, farg(3, "end_ms")?);
+            let bucket = farg(4, "bucket_ms")? as u64;
+            let (buckets, report) =
+                cluster_agg(&members, node, start, end, bucket).map_err(|e| format!("agg: {e}"))?;
+            for b in &buckets {
+                // Same line shape the single-sink AGG reply uses.
+                println!(
+                    "bucket {} count {} mean {:.3} p50 {:.3} p95 {:.3} p99 {:.3} max {:.3}",
+                    b.start_ms, b.count, b.mean, b.p50, b.p95, b.p99, b.max
+                );
+            }
+            println!("count {}", buckets.len());
+            print_gather(&report);
+        }
+        Some(other) => {
+            return Err(format!(
+                "--exec: unknown query `{other}` (STATS, RANGE <lo> <hi>, \
+                 AGG <node> <start> <end> <bucket>)"
+            ));
         }
     }
     Ok(())
@@ -1732,7 +1931,7 @@ fn wait_ingested(q: &mut QueryClient, want: u64) -> Result<(), String> {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: domo-sink <serve|replay|smoke|crashsmoke|bench|tail|subsmoke|connsoak> [flags] (see module docs)";
+    let usage = "usage: domo-sink <serve|replay|route|cluster|smoke|crashsmoke|bench|tail|subsmoke|connsoak> [flags] (see module docs)";
     let Some(command) = argv.first() else {
         domo_obs::error!(target: "domo_sink", "missing command", usage = usage);
         std::process::exit(2);
@@ -1742,6 +1941,8 @@ fn main() {
         Ok(flags) => match command.as_str() {
             "serve" => serve(&flags),
             "replay" => replay(&flags),
+            "route" => route(&flags),
+            "cluster" => cluster(&flags),
             "smoke" => smoke(&flags),
             "crashsmoke" => crashsmoke(&flags),
             "bench" => bench(&flags),

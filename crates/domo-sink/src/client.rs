@@ -148,9 +148,9 @@ fn splitmix64(x: u64) -> u64 {
 }
 
 /// Capped exponential backoff with deterministic jitter, shared by the
-/// replay driver and the tail follower (see [`ReplayOptions::jitter`]
-/// for the schedule's contract).
-fn backoff_delay(
+/// replay driver, the tail follower, and the cluster router (see
+/// [`ReplayOptions::jitter`] for the schedule's contract).
+pub(crate) fn backoff_delay(
     start_ms: u64,
     cap_ms: u64,
     jitter: f64,
@@ -197,14 +197,14 @@ pub struct ReplayReport {
     pub reconnects: usize,
 }
 
-fn connect_with_backoff<A: ToSocketAddrs + Copy>(
-    addr: A,
+fn connect_with_backoff(
+    dial: &mut impl FnMut() -> std::io::Result<TcpStream>,
     opts: &ReplayOptions,
     reconnects: &mut usize,
     consecutive: &mut u32,
 ) -> std::io::Result<BufWriter<TcpStream>> {
     loop {
-        match TcpStream::connect(addr) {
+        match dial() {
             Ok(stream) => {
                 let _ = stream.set_nodelay(true);
                 return Ok(BufWriter::with_capacity(
@@ -244,9 +244,52 @@ pub fn replay_packets<A: ToSocketAddrs + Copy>(
     packets: &[CollectedPacket],
     opts: &ReplayOptions,
 ) -> std::io::Result<ReplayReport> {
+    replay_with(&mut || TcpStream::connect(addr), packets, opts)
+}
+
+/// [`replay_packets`] over a list of sink addresses with round-robin
+/// fallback: the first connection goes to `addrs[0]`, and every
+/// further (re)connection attempt moves to the next address in the
+/// list, wrapping — so a replayer pointed at a replicated ingest tier
+/// keeps streaming as long as *any* address accepts. The sinks'
+/// dedup absorbs the restarted prefix exactly as in the single-address
+/// driver.
+///
+/// # Errors
+///
+/// `InvalidInput` on an empty list; otherwise the same conditions as
+/// [`replay_packets`].
+pub fn replay_packets_multi(
+    addrs: &[String],
+    packets: &[CollectedPacket],
+    opts: &ReplayOptions,
+) -> std::io::Result<ReplayReport> {
+    if addrs.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "replay needs at least one sink address",
+        ));
+    }
+    let mut attempt = 0usize;
+    replay_with(
+        &mut || {
+            let a = &addrs[attempt % addrs.len()];
+            attempt += 1;
+            TcpStream::connect(a.as_str())
+        },
+        packets,
+        opts,
+    )
+}
+
+fn replay_with(
+    dial: &mut impl FnMut() -> std::io::Result<TcpStream>,
+    packets: &[CollectedPacket],
+    opts: &ReplayOptions,
+) -> std::io::Result<ReplayReport> {
     let mut reconnects = 0usize;
     let mut consecutive = 0u32;
-    let mut out = connect_with_backoff(addr, opts, &mut reconnects, &mut consecutive)?;
+    let mut out = connect_with_backoff(dial, opts, &mut reconnects, &mut consecutive)?;
     let start = Instant::now();
     let mut frame = Vec::with_capacity(packets.first().map_or(64, encoded_len));
     let mut frames = 0usize;
@@ -290,7 +333,7 @@ pub fn replay_packets<A: ToSocketAddrs + Copy>(
                 reconnects += 1;
                 std::thread::sleep(opts.backoff(consecutive));
                 consecutive += 1;
-                out = connect_with_backoff(addr, opts, &mut reconnects, &mut consecutive)?;
+                out = connect_with_backoff(dial, opts, &mut reconnects, &mut consecutive)?;
                 i = 0; // restart: delivery on the dead socket is in doubt
             }
         }
@@ -304,7 +347,7 @@ pub fn replay_packets<A: ToSocketAddrs + Copy>(
         reconnects += 1;
         std::thread::sleep(opts.backoff(consecutive));
         consecutive += 1;
-        out = connect_with_backoff(addr, opts, &mut reconnects, &mut consecutive)?;
+        out = connect_with_backoff(dial, opts, &mut reconnects, &mut consecutive)?;
         // Resend everything on the fresh connection, then fall through
         // to retry the flush.
         for p in packets {
@@ -321,7 +364,7 @@ pub fn replay_packets<A: ToSocketAddrs + Copy>(
     let seconds = start.elapsed().as_secs_f64();
 
     if opts.garbage_frames > 0 {
-        let mut side = TcpStream::connect(addr)?;
+        let mut side = dial()?;
         let noise = vec![0x99u8; 16 * opts.garbage_frames];
         // The server drops the connection at the first bad frame; any
         // write error after that is the expected reset, not a failure.
@@ -605,6 +648,46 @@ mod tests {
         // The surviving connection received the complete stream.
         let received = sink.join().expect("sink thread");
         assert_eq!(received, total_bytes);
+    }
+
+    #[test]
+    fn multi_addr_replay_falls_back_round_robin() {
+        // addrs[0] is dead (bound then dropped); addrs[1] is a live
+        // sink. The first dial fails, the round-robin fallback lands
+        // on the live member, and the whole stream arrives.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let trace = run_simulation(&NetworkConfig::small(9, 934));
+        let server =
+            SinkServer::bind("127.0.0.1:0", "127.0.0.1:0", SinkConfig::default()).expect("bind");
+        let addrs = vec![dead, server.ingest_addr().to_string()];
+        let take = 20.min(trace.packets.len());
+        let report = replay_packets_multi(
+            &addrs,
+            &trace.packets[..take],
+            &ReplayOptions {
+                max_reconnects: 2,
+                backoff_start_ms: 1,
+                backoff_cap_ms: 5,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("replay falls back");
+        assert!(report.reconnects >= 1, "the dead address costs a retry");
+        assert_eq!(report.frames, take);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if server.service().stats().ingested == take as u64 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+        // An empty list is a usage error, not a hang.
+        assert!(replay_packets_multi(&[], &trace.packets, &ReplayOptions::default()).is_err());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   consumes a push stream with reconnect and packet-id
 //!   deduplication, so the whole service is testable end-to-end
 //!   without real hardware.
+//! * [`route`] — the coordinator-free cluster layer (DESIGN.md §17):
+//!   a consistent-hash [`route::Router`] that fans frames across N
+//!   sink processes by `(tenant, subtree-root)` with per-member
+//!   reconnect, failover, and exactly-once spool replay, plus the
+//!   scatter-gather query mergers ([`route::cluster_stats`],
+//!   [`route::cluster_range`], [`route::cluster_agg`]).
 //!
 //! # Examples
 //!
@@ -52,15 +58,20 @@
 pub mod client;
 pub mod persist;
 mod reactor;
+pub mod route;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use client::{
-    query_request, replay_packets, tail_events, QueryClient, ReplayOptions, ReplayReport,
-    TailOptions, TailReport,
+    query_request, replay_packets, replay_packets_multi, tail_events, QueryClient, ReplayOptions,
+    ReplayReport, TailOptions, TailReport,
 };
 pub use persist::{RecoveryReport, StoreConfig, StoreErrorPolicy};
+pub use route::{
+    cluster_agg, cluster_range, cluster_stats, route_connection, route_packets, GatherReport,
+    RouteOptions, RouteReport, Router,
+};
 pub use server::SinkServer;
 pub use service::{
     BatchIngestReport, HealthStatus, IngestOutcome, NodeDelaySummary, SinkConfig, SinkHealth,

@@ -1,0 +1,882 @@
+//! Coordinator-free cluster routing and scatter-gather queries
+//! (DESIGN.md §17.3–§17.5).
+//!
+//! A [`Router`] turns N independent `domo-sink` processes into one
+//! logical sink with no coordinator: every router holding the same
+//! member list computes identical placement from the shared
+//! [`domo_cluster::Ring`], keyed by `(tenant, subtree-root)` — the
+//! same subtree key the sink's own shard routing uses, so one
+//! subtree's constraint set always lands whole on one member.
+//!
+//! Forwarded frames are re-encoded with
+//! [`crate::wire::encode_namespaced_packet`]: tenant-0 records stay
+//! byte-identical v1 frames, namespaced records become tenant-tagged
+//! v2 frames, so members never need to know whether a router or a
+//! plain replay client is upstream.
+//!
+//! **Failover and exactly-once.** Each member connection carries the
+//! replay client's capped-backoff reconnect schedule. When a member's
+//! reconnect budget is spent it is declared dead: the router removes
+//! it from the ring (consistent hashing remaps only that member's
+//! share) and replays every frame it had sent to the dead member —
+//! held in a bounded per-member spool — to the new owners. Frames the
+//! dead member *did* process are re-ingested elsewhere, which is
+//! exactly why delivery stays exactly-once: reconstruction identity is
+//! the packet id, the sinks deduplicate on it, and a pid re-routed
+//! after a failover is either new to its new owner (recovered) or a
+//! quarantined duplicate (harmless). The only loss window is a spool
+//! overflow, which is counted ([`RouteReport::spool_dropped`]), never
+//! silent.
+//!
+//! The same module hosts the scatter-gather query side
+//! ([`cluster_stats`], [`cluster_range`], [`cluster_agg`]): fan a
+//! query to every member, merge the replies — counters sum, ranges
+//! dedup by pid, and `AGG` merges loss-free because members ship raw
+//! [`domo_query::SketchParts`] (via `AGG … PARTS`) whose sketches are
+//! associative under [`domo_query::DelaySketch::merge`].
+
+use crate::client::backoff_delay;
+use crate::wire::{encode_namespaced_packet, FrameSplitter};
+use domo_cluster::{split_node, Ring};
+use domo_net::CollectedPacket;
+use domo_obs::trace::Stage as TraceStage;
+use domo_obs::LazyCounter;
+use domo_query::{render_buckets, AggBucket, DelaySketch, SketchParts};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+static OBS_ROUTE_FORWARDED: LazyCounter = LazyCounter::new("domo_route_forwarded_total", &[]);
+static OBS_ROUTE_RECONNECTS: LazyCounter = LazyCounter::new("domo_route_reconnects_total", &[]);
+static OBS_ROUTE_FAILOVERS: LazyCounter = LazyCounter::new("domo_route_failovers_total", &[]);
+static OBS_ROUTE_REROUTED: LazyCounter = LazyCounter::new("domo_route_rerouted_total", &[]);
+static OBS_ROUTE_SKIPPED: LazyCounter = LazyCounter::new("domo_route_skipped_total", &[]);
+
+/// Knobs of a [`Router`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteOptions {
+    /// Connection failures tolerated *per member* before that member
+    /// is declared dead and failed over (`0` = first failure kills).
+    pub max_reconnects: usize,
+    /// First retry delay; doubles per consecutive failure.
+    pub backoff_start_ms: u64,
+    /// Ceiling on the exponential backoff delay.
+    pub backoff_cap_ms: u64,
+    /// Jitter fraction on each backoff delay (see
+    /// [`crate::ReplayOptions::jitter`]).
+    pub jitter: f64,
+    /// Seed for the deterministic jitter draw.
+    pub seed: u64,
+    /// Frames retained per member for failover replay; beyond this the
+    /// oldest are dropped (counted in [`RouteReport::spool_dropped`] if
+    /// a failover then needs them).
+    pub spool_limit: usize,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        Self {
+            max_reconnects: 3,
+            backoff_start_ms: 50,
+            backoff_cap_ms: 2_000,
+            jitter: 0.25,
+            seed: 1,
+            spool_limit: 1 << 20,
+        }
+    }
+}
+
+/// What a routing run did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouteReport {
+    /// Frames forwarded first-time to their owner.
+    pub forwarded: u64,
+    /// Spooled frames re-sent to a new owner after a failover (the
+    /// sinks' pid dedup absorbs any that had already been processed).
+    pub rerouted: u64,
+    /// Records skipped because they cannot be framed (no subtree root
+    /// or an over-long path) — counted, never silent.
+    pub skipped: u64,
+    /// Bytes written, including failover replays.
+    pub bytes: u64,
+    /// Member connections re-established after a failure.
+    pub reconnects: u64,
+    /// Members declared dead and removed from the ring.
+    pub failovers: u64,
+    /// Spooled frames lost to the spool cap before a failover needed
+    /// them (the exactly-once guarantee's only loss window).
+    pub spool_dropped: u64,
+    /// `(member, frames sent)` including reroutes, in member order.
+    pub per_member: Vec<(String, u64)>,
+}
+
+struct Member {
+    name: String,
+    conn: Option<TcpStream>,
+    dead: bool,
+    /// Consecutive failures, for the backoff schedule.
+    consecutive: u32,
+    /// Reconnects spent on this member.
+    reconnects: usize,
+    /// Frames sent to this member since start, for failover replay.
+    spool: VecDeque<CollectedPacket>,
+    spool_dropped: u64,
+    sent: u64,
+}
+
+/// A deterministic frame router over a fixed starting membership.
+///
+/// Feed records with [`Router::forward`]; call [`Router::finish`] to
+/// flush and collect the [`RouteReport`]. Members that exhaust their
+/// reconnect budget are failed over automatically as described in the
+/// module docs.
+pub struct Router {
+    ring: Ring,
+    /// Sorted, fixed at construction; `ring` shrinks on failover but
+    /// every surviving ring member resolves here by binary search.
+    members: Vec<Member>,
+    opts: RouteOptions,
+    report: RouteReport,
+    frame: Vec<u8>,
+}
+
+impl Router {
+    /// A router over `members` (ingest addresses). Duplicates
+    /// collapse; order is irrelevant — every router on the same set
+    /// agrees on placement.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `members` is empty.
+    pub fn new<S: Into<String>>(
+        members: impl IntoIterator<Item = S>,
+        opts: RouteOptions,
+    ) -> std::io::Result<Router> {
+        let ring = Ring::new(members);
+        if ring.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one member",
+            ));
+        }
+        let members = ring
+            .members()
+            .iter()
+            .map(|name| Member {
+                name: name.clone(),
+                conn: None,
+                dead: false,
+                consecutive: 0,
+                reconnects: 0,
+                spool: VecDeque::new(),
+                spool_dropped: 0,
+                sent: 0,
+            })
+            .collect();
+        Ok(Router {
+            ring,
+            members,
+            opts,
+            report: RouteReport::default(),
+            frame: Vec::with_capacity(64),
+        })
+    }
+
+    /// Members still alive (in the ring), in sorted order.
+    pub fn live_members(&self) -> &[String] {
+        self.ring.members()
+    }
+
+    /// Routes one record to its owning member, failing over (and
+    /// replaying the dead member's spool) as needed.
+    ///
+    /// # Errors
+    ///
+    /// An error means the cluster is unusable: the last live member
+    /// died with no failover target left.
+    pub fn forward(&mut self, p: &CollectedPacket) -> std::io::Result<()> {
+        match self.forward_inner(p) {
+            Ok(true) => {
+                self.report.forwarded += 1;
+                OBS_ROUTE_FORWARDED.inc();
+                domo_obs::trace::stamp(
+                    p.pid.origin.index() as u16,
+                    p.pid.seq,
+                    TraceStage::RouteForward,
+                );
+                Ok(())
+            }
+            Ok(false) => {
+                self.report.skipped += 1;
+                OBS_ROUTE_SKIPPED.inc();
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends `p` to its current owner; `Ok(false)` = unframeable.
+    /// Failovers triggered along the way replay their spools before
+    /// this returns.
+    fn forward_inner(&mut self, p: &CollectedPacket) -> std::io::Result<bool> {
+        let Some(root) = p.subtree_root() else {
+            return Ok(false);
+        };
+        let (tenant, local_root) = split_node(root.index() as u16);
+        self.frame.clear();
+        let mut frame = std::mem::take(&mut self.frame);
+        if encode_namespaced_packet(p, &mut frame).is_err() {
+            self.frame = frame;
+            return Ok(false);
+        }
+        loop {
+            let Some(idx) = self.ring.owner(tenant, local_root).and_then(|name| {
+                self.members
+                    .binary_search_by(|m| m.name.as_str().cmp(name))
+                    .ok()
+            }) else {
+                self.frame = frame;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "no live cluster member left to own the record",
+                ));
+            };
+            match self.send_to(idx, &frame) {
+                Ok(()) => {
+                    self.report.bytes += frame.len() as u64;
+                    self.members[idx].sent += 1;
+                    let m = &mut self.members[idx];
+                    if m.spool.len() >= self.opts.spool_limit {
+                        m.spool.pop_front();
+                        m.spool_dropped += 1;
+                    }
+                    m.spool.push_back(p.clone());
+                    self.frame = frame;
+                    return Ok(true);
+                }
+                Err(_) => {
+                    // The owner is dead: shrink the ring and replay its
+                    // spool to the survivors, then retry this record
+                    // against the new owner.
+                    let orphans = self.fail_member(idx);
+                    self.replay_orphans(orphans)?;
+                }
+            }
+        }
+    }
+
+    /// Writes one frame to member `idx`, reconnecting with backoff
+    /// within the member's budget. An error means the budget is spent.
+    fn send_to(&mut self, idx: usize, frame: &[u8]) -> std::io::Result<()> {
+        loop {
+            if self.members[idx].dead {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "member is dead",
+                ));
+            }
+            if self.members[idx].conn.is_none() {
+                match TcpStream::connect(&self.members[idx].name) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        self.members[idx].conn = Some(s);
+                        self.members[idx].consecutive = 0;
+                    }
+                    Err(_) => {
+                        self.note_failure(idx)?;
+                        continue;
+                    }
+                }
+            }
+            let wrote = match self.members[idx].conn.as_mut() {
+                Some(conn) => conn.write_all(frame),
+                None => continue,
+            };
+            match wrote {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    // Drop the broken connection; the budget check in
+                    // note_failure decides whether to retry.
+                    self.members[idx].conn = None;
+                    self.note_failure(idx)?;
+                }
+            }
+        }
+    }
+
+    /// Books one failure against member `idx` and sleeps the backoff,
+    /// or errors when the member's reconnect budget is spent.
+    fn note_failure(&mut self, idx: usize) -> std::io::Result<()> {
+        let m = &mut self.members[idx];
+        if m.reconnects >= self.opts.max_reconnects {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "member reconnect budget spent",
+            ));
+        }
+        m.reconnects += 1;
+        self.report.reconnects += 1;
+        OBS_ROUTE_RECONNECTS.inc();
+        std::thread::sleep(backoff_delay(
+            self.opts.backoff_start_ms,
+            self.opts.backoff_cap_ms,
+            self.opts.jitter,
+            self.opts.seed,
+            m.consecutive,
+        ));
+        self.members[idx].consecutive += 1;
+        Ok(())
+    }
+
+    /// Declares member `idx` dead: removes it from the ring and hands
+    /// back its spool for replay to the new owners.
+    fn fail_member(&mut self, idx: usize) -> VecDeque<CollectedPacket> {
+        let m = &mut self.members[idx];
+        m.dead = true;
+        m.conn = None;
+        self.report.failovers += 1;
+        self.report.spool_dropped += m.spool_dropped;
+        OBS_ROUTE_FAILOVERS.inc();
+        let name = m.name.clone();
+        let spool = std::mem::take(&mut m.spool);
+        self.ring.remove_member(&name);
+        domo_obs::warn!(
+            target: "domo_sink::route",
+            "member dead; failing over its key range",
+            member = name,
+            spooled = spool.len(),
+            live = self.ring.len(),
+        );
+        spool
+    }
+
+    /// Re-routes a dead member's spooled records. Each lands on its
+    /// new owner (possibly cascading into further failovers); the
+    /// sinks' dedup quarantines any the dead member already processed.
+    fn replay_orphans(&mut self, orphans: VecDeque<CollectedPacket>) -> std::io::Result<()> {
+        for p in orphans {
+            if self.forward_inner(&p)? {
+                self.report.rerouted += 1;
+                OBS_ROUTE_REROUTED.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every live member connection and returns the final
+    /// report. A member that fails its final flush is failed over like
+    /// any other death, so the report's totals stay honest.
+    ///
+    /// # Errors
+    ///
+    /// Only when the last live member dies during the final replay.
+    pub fn finish(mut self) -> std::io::Result<RouteReport> {
+        // TcpStream has no userspace buffer, so "flush" here means
+        // closing cleanly at a frame boundary; failover on close
+        // errors is not needed. Dropping the connections does it.
+        for m in &mut self.members {
+            m.conn = None;
+        }
+        let mut report = std::mem::take(&mut self.report);
+        report.per_member = self
+            .members
+            .iter()
+            .map(|m| (m.name.clone(), m.sent))
+            .collect();
+        report.spool_dropped = self.members.iter().map(|m| m.spool_dropped).sum();
+        Ok(report)
+    }
+}
+
+/// Streams `packets` through a fresh [`Router`] — the embedded
+/// cluster-replay path (`domo-sink replay` with a multi-member
+/// `--cluster` list).
+///
+/// # Errors
+///
+/// Propagates [`Router::forward`] failures (every member dead).
+pub fn route_packets<S: Into<String>>(
+    members: impl IntoIterator<Item = S>,
+    packets: &[CollectedPacket],
+    opts: RouteOptions,
+) -> std::io::Result<RouteReport> {
+    let mut router = Router::new(members, opts)?;
+    for p in packets {
+        router.forward(p)?;
+    }
+    router.finish()
+}
+
+/// Drains one upstream ingest connection through `router`: decodes
+/// every complete frame off `stream` (both wire versions) and forwards
+/// each to its owner. Malformed bytes poison the connection, exactly
+/// like the sink's own ingest listener. Returns the number of records
+/// routed from this connection.
+///
+/// This is the standalone `domo-sink route` service loop body: accept,
+/// drain, repeat.
+///
+/// # Errors
+///
+/// Router failures (every member dead); read errors end the
+/// connection cleanly.
+pub fn route_connection(stream: TcpStream, router: &mut Router) -> std::io::Result<u64> {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let mut splitter = FrameSplitter::new();
+    let mut buf = [0u8; 64 * 1024];
+    let mut routed = 0u64;
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return Ok(routed),
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(routed),
+        };
+        splitter.extend(&buf[..n]);
+        loop {
+            match splitter.next_frame() {
+                Ok(Some(p)) => {
+                    router.forward(&p)?;
+                    routed += 1;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Poisoned stream: drop the connection, keep the
+                    // records already routed.
+                    return Ok(routed);
+                }
+            }
+        }
+    }
+}
+
+/// Which members a scatter-gather query reached.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GatherReport {
+    /// Members that answered.
+    pub reached: Vec<String>,
+    /// Members that could not be reached or answered `ERR`.
+    pub missed: Vec<String>,
+}
+
+/// Fans one query to every member's query address, feeding each reply
+/// to `merge`. Errors only when *no* member answers; partial coverage
+/// is reported, not fatal — a killed member must not take the whole
+/// cluster's answer down with it.
+fn scatter<F: FnMut(&str, Vec<String>)>(
+    members: &[String],
+    command: &str,
+    mut merge: F,
+) -> std::io::Result<GatherReport> {
+    let mut report = GatherReport::default();
+    let mut last_err: Option<std::io::Error> = None;
+    for m in members {
+        match crate::client::query_request(m.as_str(), command) {
+            Ok(lines) if lines.first().is_some_and(|l| l.starts_with("ERR ")) => {
+                report.missed.push(m.clone());
+            }
+            Ok(lines) => {
+                report.reached.push(m.clone());
+                merge(m, lines);
+            }
+            Err(e) => {
+                report.missed.push(m.clone());
+                last_err = Some(e);
+            }
+        }
+    }
+    if report.reached.is_empty() {
+        return Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "no cluster member answered",
+            )
+        }));
+    }
+    Ok(report)
+}
+
+/// Scatter-gather `STATS`: numeric counters summed across members,
+/// non-numeric lines dropped (each member's own posture lines make no
+/// sense summed). Returns the merged `(name, value)` pairs in first-
+/// seen order.
+///
+/// # Errors
+///
+/// Only when no member answers.
+pub fn cluster_stats(members: &[String]) -> std::io::Result<(Vec<(String, u64)>, GatherReport)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut sums: BTreeMap<String, u64> = BTreeMap::new();
+    let report = scatter(members, "STATS", |_, lines| {
+        for (name, value) in crate::client::parse_stats(&lines) {
+            if !sums.contains_key(&name) {
+                order.push(name.clone());
+            }
+            *sums.entry(name).or_insert(0) += value;
+        }
+    })?;
+    let merged = order
+        .into_iter()
+        .filter_map(|name| {
+            let v = sums.get(&name).copied()?;
+            Some((name, v))
+        })
+        .collect();
+    Ok((merged, report))
+}
+
+/// Scatter-gather `RANGE <lo> <hi>`: every member's `packet …` lines,
+/// deduplicated by pid (a failover may have landed one pid's record on
+/// two members; identical reconstructions, keep the first) and sorted
+/// for a deterministic merged reply.
+///
+/// # Errors
+///
+/// Only when no member answers.
+pub fn cluster_range(
+    members: &[String],
+    lo_ms: f64,
+    hi_ms: f64,
+) -> std::io::Result<(Vec<String>, GatherReport)> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut lines: Vec<String> = Vec::new();
+    let report = scatter(members, &format!("RANGE {lo_ms} {hi_ms}"), |_, reply| {
+        for l in reply {
+            if !l.starts_with("packet ") {
+                continue;
+            }
+            let pid = l.split_whitespace().nth(1).unwrap_or("").to_string();
+            if seen.insert(pid) {
+                lines.push(l);
+            }
+        }
+    })?;
+    lines.sort();
+    Ok((lines, report))
+}
+
+/// Scatter-gather `AGG`: queries every member with `AGG … PARTS` and
+/// merges the per-bucket sketches with [`DelaySketch::merge`] before
+/// rendering — count/sum/min/max merge exactly, quantiles keep the
+/// single-sketch error bound ([`DelaySketch::relative_error_bound`]),
+/// so the clustered answer is as good as a single sink's.
+///
+/// # Errors
+///
+/// Only when no member answers.
+pub fn cluster_agg(
+    members: &[String],
+    node: u16,
+    start_ms: f64,
+    end_ms: f64,
+    bucket_ms: u64,
+) -> std::io::Result<(Vec<AggBucket>, GatherReport)> {
+    let cmd = format!("AGG {node} {start_ms} {end_ms} {bucket_ms} PARTS");
+    let mut merged: BTreeMap<i64, DelaySketch> = BTreeMap::new();
+    let report = scatter(members, &cmd, |_, reply| {
+        for l in reply {
+            let Some((start, parts)) = l
+                .strip_prefix("bucket ")
+                .and_then(|r| r.split_once(" parts "))
+                .and_then(|(s, t)| Some((s.parse::<i64>().ok()?, SketchParts::decode_text(t)?)))
+            else {
+                continue;
+            };
+            #[allow(clippy::unwrap_or_default)]
+            merged
+                .entry(start)
+                // Not `or_default()`: the derived Default has
+                // `min = 0.0`, which would clobber the merged minimum.
+                .or_insert_with(DelaySketch::new)
+                .merge(&DelaySketch::from_parts(&parts));
+        }
+    })?;
+    Ok((render_buckets(&merged), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::query_request;
+    use crate::server::SinkServer;
+    use crate::service::SinkConfig;
+    use domo_net::{run_simulation, NetworkConfig};
+    use std::time::{Duration, Instant};
+
+    fn cluster(n: usize) -> Vec<SinkServer> {
+        (0..n)
+            .map(|_| {
+                SinkServer::bind(
+                    "127.0.0.1:0",
+                    "127.0.0.1:0",
+                    SinkConfig {
+                        shards: 1,
+                        cluster_role: "member".to_string(),
+                        ..SinkConfig::default()
+                    },
+                )
+                .expect("bind member")
+            })
+            .collect()
+    }
+
+    fn ingest_addrs(servers: &[SinkServer]) -> Vec<String> {
+        servers
+            .iter()
+            .map(|s| s.ingest_addr().to_string())
+            .collect()
+    }
+
+    fn query_addrs(servers: &[SinkServer]) -> Vec<String> {
+        servers.iter().map(|s| s.query_addr().to_string()).collect()
+    }
+
+    fn wait_ingested(servers: &[SinkServer], want: u64) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let got: u64 = servers.iter().map(|s| s.service().stats().ingested).sum();
+            if got == want {
+                return;
+            }
+            assert!(Instant::now() < deadline, "ingest stalled at {got}/{want}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn routing_partitions_a_trace_across_members() {
+        let trace = run_simulation(&NetworkConfig::small(9, 940));
+        let servers = cluster(3);
+        let members = ingest_addrs(&servers);
+
+        let report =
+            route_packets(members.clone(), &trace.packets, RouteOptions::default()).expect("route");
+        assert_eq!(report.forwarded, trace.packets.len() as u64);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.failovers, 0);
+        assert_eq!(
+            report.per_member.iter().map(|&(_, n)| n).sum::<u64>(),
+            report.forwarded
+        );
+
+        wait_ingested(&servers, trace.packets.len() as u64);
+        // Placement is the ring's, exactly: every member ingested the
+        // share the ring assigns it, and the shares are disjoint (the
+        // total matches with zero duplicates quarantined).
+        let ring = Ring::new(members.clone());
+        let mut want = vec![0u64; servers.len()];
+        for p in &trace.packets {
+            let (t, r) = split_node(p.subtree_root().expect("root").index() as u16);
+            let owner = ring.owner(t, r).expect("owner");
+            let idx = members.iter().position(|m| m == owner).expect("member");
+            want[idx] += 1;
+        }
+        for (i, s) in servers.iter().enumerate() {
+            let stats = s.service().stats();
+            assert_eq!(stats.ingested, want[i], "member {i} share");
+            assert_eq!(stats.quarantined, 0);
+        }
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    /// The member owning the most packets of `trace` under the ring
+    /// over `members` — killing anyone else might be a no-op when the
+    /// small simulated tree has only a few subtree roots.
+    fn busiest_member(members: &[String], packets: &[CollectedPacket]) -> String {
+        let ring = Ring::new(members.to_vec());
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for p in packets {
+            let (t, r) = split_node(p.subtree_root().expect("root").index() as u16);
+            *counts.entry(ring.owner(t, r).expect("owner")).or_insert(0) += 1;
+        }
+        let (name, n) = counts
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .expect("an owner");
+        assert!(n > 0);
+        name.to_string()
+    }
+
+    #[test]
+    fn failover_replays_the_dead_members_range_exactly_once() {
+        let trace = run_simulation(&NetworkConfig::small(9, 941));
+        let servers = cluster(3);
+        let members = ingest_addrs(&servers);
+        let half = trace.packets.len() / 2;
+
+        let mut router = Router::new(
+            members.clone(),
+            RouteOptions {
+                max_reconnects: 1,
+                backoff_start_ms: 1,
+                backoff_cap_ms: 5,
+                ..RouteOptions::default()
+            },
+        )
+        .expect("router");
+        for p in &trace.packets[..half] {
+            router.forward(p).expect("forward");
+        }
+        // Kill the busiest member mid-stream. Its share of the first
+        // half is replayed from the spool; the second half routes
+        // around it.
+        let victim = busiest_member(&members, &trace.packets);
+        let mut survivors: Vec<SinkServer> = Vec::new();
+        for s in servers {
+            if s.ingest_addr().to_string() == victim {
+                s.shutdown();
+            } else {
+                survivors.push(s);
+            }
+        }
+        for p in &trace.packets[half..] {
+            router.forward(p).expect("forward after kill");
+        }
+        let report = router.finish().expect("finish");
+        assert_eq!(report.failovers, 1);
+        assert_eq!(report.spool_dropped, 0);
+        assert_eq!(report.forwarded, trace.packets.len() as u64);
+
+        // Every packet lands exactly once across the survivors: the
+        // total unique ingest count is the full trace (replayed frames
+        // the victim had consumed are re-ingested fresh on the new
+        // owner, and nothing is double-counted on one member because
+        // dedup quarantines).
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let got: u64 = survivors.iter().map(|s| s.service().stats().ingested).sum();
+            if got == trace.packets.len() as u64 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "failover ingest stalled at {got}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for s in survivors {
+            let snap = s.shutdown();
+            assert_eq!(snap.stats.quarantined, 0, "no duplicate deliveries");
+        }
+    }
+
+    #[test]
+    fn route_connection_bridges_wire_streams() {
+        let trace = run_simulation(&NetworkConfig::small(9, 942));
+        let servers = cluster(2);
+        let members = ingest_addrs(&servers);
+        let mut router = Router::new(members, RouteOptions::default()).expect("router");
+
+        // An upstream "client" streams plain v1 frames at the router.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let bytes = crate::wire::encode_packets(&trace.packets).expect("encode");
+        let pusher = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(&bytes).expect("send");
+        });
+        let (conn, _) = listener.accept().expect("accept");
+        pusher.join().expect("pusher");
+        let routed = route_connection(conn, &mut router).expect("route");
+        assert_eq!(routed, trace.packets.len() as u64);
+
+        wait_ingested(&servers, trace.packets.len() as u64);
+        for s in servers {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn scatter_gather_merges_stats_range_and_agg() {
+        let trace = run_simulation(&NetworkConfig::small(9, 943));
+        // RANGE serves from the durable result log, so the members of
+        // this cluster get real stores.
+        let dirs: Vec<std::path::PathBuf> = (0..2)
+            .map(|i| {
+                let d = std::env::temp_dir()
+                    .join(format!("domo-route-gather-{}-{i}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&d);
+                d
+            })
+            .collect();
+        let servers: Vec<SinkServer> = dirs
+            .iter()
+            .map(|d| {
+                SinkServer::bind(
+                    "127.0.0.1:0",
+                    "127.0.0.1:0",
+                    SinkConfig {
+                        shards: 1,
+                        cluster_role: "member".to_string(),
+                        store: Some(crate::StoreConfig::at(d)),
+                        ..SinkConfig::default()
+                    },
+                )
+                .expect("bind member")
+            })
+            .collect();
+        let members = ingest_addrs(&servers);
+        route_packets(members, &trace.packets, RouteOptions::default()).expect("route");
+        wait_ingested(&servers, trace.packets.len() as u64);
+        for q in query_addrs(&servers) {
+            query_request(q.as_str(), "DRAIN").expect("drain");
+        }
+        let queries = query_addrs(&servers);
+
+        // STATS counters sum across the cluster.
+        let (stats, rep) = cluster_stats(&queries).expect("stats");
+        assert_eq!(rep.reached.len(), 2);
+        assert!(rep.missed.is_empty());
+        let get = |name: &str| {
+            stats
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .expect("counter")
+        };
+        assert_eq!(get("ingested"), trace.packets.len() as u64);
+        assert_eq!(get("emitted"), trace.packets.len() as u64);
+
+        // RANGE merges to the full reconstruction set, pid-deduplicated.
+        let (lines, _) = cluster_range(&queries, f64::NEG_INFINITY, f64::INFINITY).expect("range");
+        assert_eq!(lines.len(), trace.packets.len());
+
+        // AGG over a node present on exactly one member merges
+        // loss-free: the cluster answer equals that member's own.
+        let node = trace.packets[0].path[trace.packets[0].path.len() - 2].index() as u16;
+        let (buckets, _) = cluster_agg(&queries, node, 0.0, 1e9, 1_000_000_000).expect("agg");
+        let single: Vec<String> = queries
+            .iter()
+            .flat_map(|q| {
+                query_request(q.as_str(), &format!("AGG {node} 0 1000000000 1000000000"))
+                    .expect("agg")
+            })
+            .filter(|l| l.starts_with("bucket "))
+            .collect();
+        assert_eq!(buckets.len(), single.len());
+        if let (Some(b), Some(l)) = (buckets.first(), single.first()) {
+            let rendered = format!(
+                "bucket {} count {} mean {:.3} p50 {:.3} p95 {:.3} p99 {:.3} max {:.3}",
+                b.start_ms, b.count, b.mean, b.p50, b.p95, b.p99, b.max
+            );
+            assert_eq!(&rendered, l, "cluster AGG equals the single-member answer");
+        }
+
+        // A dead member degrades coverage, never the whole answer.
+        let mut with_ghost = queries.clone();
+        with_ghost.push("127.0.0.1:1".to_string());
+        let (_, rep) = cluster_stats(&with_ghost).expect("partial stats");
+        assert_eq!(rep.reached.len(), 2);
+        assert_eq!(rep.missed, vec!["127.0.0.1:1".to_string()]);
+
+        for s in servers {
+            s.shutdown();
+        }
+        for d in dirs {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+}

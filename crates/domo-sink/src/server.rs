@@ -404,6 +404,11 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 // see the value the shards actually use.
                 writeln!(out, "high_water {}", service.effective_high_water())?;
                 writeln!(out, "subscribers {}", service.sub_totals().subscribers)?;
+                // Cluster posture: how many tenant namespaces have
+                // accepted records, and the role this process plays in
+                // a multi-sink deployment (DESIGN.md §17).
+                writeln!(out, "tenants {}", service.tenants().len())?;
+                writeln!(out, "cluster_role {}", service.cluster_role())?;
                 writeln!(out, "uptime_ms {}", service.uptime_ms())?;
                 writeln!(out, "version {}", env!("CARGO_PKG_VERSION"))?;
                 // Durability posture (see the module docs): where state
@@ -645,8 +650,28 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                 let start = parts.next().and_then(|t| t.parse::<f64>().ok());
                 let end = parts.next().and_then(|t| t.parse::<f64>().ok());
                 let bucket = parts.next().and_then(|t| t.parse::<u64>().ok());
-                match (node, start, end, bucket) {
-                    (Some(node), Some(start), Some(end), Some(bucket)) => {
+                // `PARTS` switches the reply from rendered percentiles
+                // to raw mergeable sketch parts, so a scatter-gather
+                // client can combine buckets across members loss-free
+                // (DESIGN.md §17.4).
+                let mode = match parts.next().map(str::to_ascii_uppercase).as_deref() {
+                    None => Some(false),
+                    Some("PARTS") => Some(true),
+                    Some(_) => None,
+                };
+                match (node, start, end, bucket, mode) {
+                    (Some(node), Some(start), Some(end), Some(bucket), Some(true)) => {
+                        match service.agg_query_parts(node, start, end, bucket) {
+                            Ok(rows) => {
+                                for (start_ms, p) in &rows {
+                                    writeln!(out, "bucket {start_ms} parts {}", p.encode_text())?;
+                                }
+                                writeln!(out, "count {}", rows.len())?;
+                            }
+                            Err(e) => err_reply(&mut out, &e.to_string())?,
+                        }
+                    }
+                    (Some(node), Some(start), Some(end), Some(bucket), Some(false)) => {
                         match service.agg_query(node, start, end, bucket) {
                             Ok(buckets) => {
                                 for b in &buckets {
@@ -659,8 +684,36 @@ fn handle_query(stream: TcpStream, service: &SinkService) -> std::io::Result<()>
                     }
                     _ => err_reply(
                         &mut out,
-                        "usage: AGG <node> <start_ms> <end_ms> <bucket_ms>",
+                        "usage: AGG <node> <start_ms> <end_ms> <bucket_ms> [PARTS]",
                     )?,
+                }
+                writeln!(out, "END")?;
+            }
+            "TENANTS" => {
+                match parts.next() {
+                    None => {
+                        for (t, n) in service.tenants() {
+                            writeln!(out, "tenant {t} accepted {n}")?;
+                        }
+                        match service.tenant_quota() {
+                            Some(q) => writeln!(out, "quota {q}")?,
+                            None => writeln!(out, "quota unlimited")?,
+                        }
+                        writeln!(out, "quota_rejected {}", service.quota_rejected())?;
+                    }
+                    Some(tok) => {
+                        // A tenant is "known" once it has an accepted
+                        // record; asking about any other id gets the
+                        // structured reply clients can match on.
+                        let hit = tok
+                            .parse::<u16>()
+                            .ok()
+                            .and_then(|t| service.tenant_accepted(t).map(|n| (t, n)));
+                        match hit {
+                            Some((t, n)) => writeln!(out, "tenant {t} accepted {n}")?,
+                            None => err_reply(&mut out, "unknown-tenant")?,
+                        }
+                    }
                 }
                 writeln!(out, "END")?;
             }
@@ -1072,9 +1125,12 @@ mod tests {
         // One-shot helper and unknown-command handling. 16 status lines
         // plus the `store disabled` durability marker.
         let oneshot = query_request(server.query_addr(), "STATS").expect("oneshot");
-        assert_eq!(oneshot.len(), 17);
+        assert_eq!(oneshot.len(), 19);
         assert!(oneshot.contains(&"store disabled".to_string()));
         assert!(oneshot.contains(&"subscribers 0".to_string()));
+        // Every v1 sender lives in the legacy tenant-0 namespace.
+        assert!(oneshot.contains(&"tenants 1".to_string()));
+        assert!(oneshot.contains(&"cluster_role standalone".to_string()));
         assert!(oneshot.contains(&"health healthy".to_string()));
         assert!(oneshot.contains(&"watchdog_restarts 0".to_string()));
         assert!(oneshot.contains(&"watchdog_dropped 0".to_string()));
@@ -1092,6 +1148,98 @@ mod tests {
         let snap = server.shutdown();
         assert_eq!(snap.stats.emitted, trace.packets.len() as u64);
         assert_eq!(snap.stats.malformed_frames, 0);
+    }
+
+    /// Two tenants stream the same simulated trace as v2 frames into
+    /// one sink with a per-tenant quota: the namespaces stay disjoint,
+    /// the quota rejects the overflow per tenant (visible in `TENANTS`
+    /// and the STATS `tenants` line), and `AGG … PARTS` hands back
+    /// mergeable sketches that agree with the rendered reply.
+    #[test]
+    fn tenant_namespaces_quota_and_parts_over_tcp() {
+        let trace = run_simulation(&NetworkConfig::small(9, 930));
+        let quota = trace.packets.len() as u64 - 3;
+        let server = local_server(SinkConfig {
+            shards: 1,
+            tenant_quota: Some(quota),
+            ..SinkConfig::default()
+        });
+
+        for tenant in [1u16, 2] {
+            let mut bytes = Vec::new();
+            for p in &trace.packets {
+                crate::wire::encode_packet_v2(p, tenant, &mut bytes).expect("encodes v2");
+            }
+            let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect");
+            conn.write_all(&bytes).expect("send");
+        }
+
+        // Each tenant gets `quota` accepts and 3 quota rejections;
+        // per-connection ordering makes both counts exact.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let s = server.service().stats();
+            if s.ingested == 2 * quota && server.service().quota_rejected() == 6 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "ingest stalled");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let mut q = QueryClient::connect(server.query_addr()).expect("query connect");
+        q.request("DRAIN").expect("drain");
+
+        let stats = q.request("STATS").expect("stats");
+        assert!(stats.contains(&"tenants 2".to_string()));
+        let tenants = q.request("TENANTS").expect("tenants");
+        assert_eq!(
+            tenants,
+            vec![
+                format!("tenant 1 accepted {quota}"),
+                format!("tenant 2 accepted {quota}"),
+                format!("quota {quota}"),
+                "quota_rejected 6".to_string(),
+            ]
+        );
+        let one = q.request("TENANTS 2").expect("tenants 2");
+        assert_eq!(one, vec![format!("tenant 2 accepted {quota}")]);
+        for probe in ["TENANTS 9", "TENANTS bogus"] {
+            let unknown = q.request(probe).expect("unknown tenant");
+            assert_eq!(unknown, vec!["ERR unknown-tenant".to_string()]);
+        }
+
+        // Tenant 1's nodes live at stride offset 4096; query one both
+        // rendered and as PARTS and check the sketches agree.
+        let nodes = q.request("NODES").expect("nodes");
+        let node: u16 = nodes
+            .iter()
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse::<u16>().ok())
+            .find(|&n| domo_cluster::tenant_of(n) == 1 && n != domo_cluster::SINK_NODE)
+            .expect("a tenant-1 node");
+        let rendered = q
+            .request(&format!("AGG {node} 0 1000000000 1000000000"))
+            .expect("agg");
+        assert!(rendered[0].starts_with("bucket "));
+        let parts_reply = q
+            .request(&format!("AGG {node} 0 1000000000 1000000000 PARTS"))
+            .expect("agg parts");
+        assert_eq!(parts_reply.len(), rendered.len());
+        let text = parts_reply[0]
+            .strip_prefix("bucket ")
+            .and_then(|r| r.split_once(" parts "))
+            .map(|(_, t)| t)
+            .expect("parts line shape");
+        let parts = domo_query::SketchParts::decode_text(text).expect("parts decode");
+        let count: u64 = rendered[0]
+            .split_whitespace()
+            .nth(3)
+            .and_then(|t| t.parse().ok())
+            .expect("rendered count");
+        assert_eq!(parts.count, count);
+        let bad = q.request("AGG 0 0 10 100 NONSENSE").expect("bad mode");
+        assert!(bad[0].starts_with("ERR usage"));
+
+        server.shutdown();
     }
 
     #[test]

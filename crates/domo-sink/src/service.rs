@@ -49,7 +49,7 @@ use domo_store::{
 };
 use domo_util::hash::FastHashSet;
 use domo_util::running::RunningStats;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -123,6 +123,19 @@ pub struct SinkConfig {
     /// `domo_sink_shed_total{reason="overcap"}`. Values below 1 are
     /// treated as 1.
     pub max_conns: usize,
+    /// Per-tenant ingest quota: `Some(n)` caps the records each tenant
+    /// namespace (DESIGN.md §17.2) may have accepted over the life of
+    /// the dedup set; records beyond it are rejected as
+    /// [`IngestOutcome::QuotaRejected`] — counted, never silent.
+    /// `None` (the default) disables the cap; per-tenant accounting
+    /// runs either way (the STATS `tenants` line and the `TENANTS`
+    /// query command).
+    pub tenant_quota: Option<u64>,
+    /// Role label this process reports on the STATS `cluster_role`
+    /// line: `standalone` (the default), `member` when serving as one
+    /// shard of a cluster, `router` for a forwarding process.
+    /// Free-form; the sink attaches no behavior to it.
+    pub cluster_role: String,
 }
 
 impl Default for SinkConfig {
@@ -139,6 +152,8 @@ impl Default for SinkConfig {
             query_idle_timeout: None,
             agg: AggConfig::default(),
             max_conns: 4096,
+            tenant_quota: None,
+            cluster_role: "standalone".to_string(),
         }
     }
 }
@@ -153,14 +168,20 @@ pub enum IngestOutcome {
     AcceptedDroppingOldest,
     /// Rejected by the sanitizer (counted, never fatal).
     Quarantined(TraceError),
+    /// Rejected because the record's tenant is at its
+    /// [`SinkConfig::tenant_quota`] cap. Counted (`TENANTS` command,
+    /// `domo_sink_tenant_quota_rejected_total`) and stateless: the pid
+    /// is *not* remembered, so the same record is accepted again if
+    /// capacity ever appears.
+    QuotaRejected,
     /// The service is shutting down; the record was not queued.
     Closed,
 }
 
 /// Tally of one [`SinkService::ingest_batch`] call. Every submitted
 /// record lands in exactly one bucket (`saturated` is a sub-count of
-/// `accepted`), so `accepted + quarantined + closed` equals the batch
-/// length.
+/// `accepted`), so `accepted + quarantined + quota_rejected + closed`
+/// equals the batch length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchIngestReport {
     /// Records queued for reconstruction.
@@ -171,6 +192,9 @@ pub struct BatchIngestReport {
     pub saturated: u64,
     /// Records rejected by the sanitizer, including duplicates.
     pub quarantined: u64,
+    /// Records rejected by the per-tenant ingest quota
+    /// ([`SinkConfig::tenant_quota`]).
+    pub quota_rejected: u64,
     /// Records refused because the service is shutting down.
     pub closed: u64,
 }
@@ -358,6 +382,8 @@ static OBS_SUB_SHED: LazyCounter = LazyCounter::new("domo_sink_sub_shed_total", 
 static OBS_SUBSCRIBERS: LazyGauge = LazyGauge::new("domo_sink_subscribers", &[]);
 static OBS_AGG_QUERIES: LazyCounter = LazyCounter::new("domo_sink_agg_queries_total", &[]);
 static OBS_AGG_BACKFILLS: LazyCounter = LazyCounter::new("domo_sink_agg_backfills_total", &[]);
+static OBS_QUOTA_REJECTED: LazyCounter =
+    LazyCounter::new("domo_sink_tenant_quota_rejected_total", &[]);
 
 #[derive(Debug, Default)]
 struct StatsCells {
@@ -1011,9 +1037,42 @@ struct Core {
     hub: SubHub,
     /// Queue policy applied to every subscriber.
     sub_opts: SubOptions,
+    /// Per-tenant ingest quota (`None` = unlimited).
+    tenant_quota: Option<u64>,
+    /// Role label reported on STATS; see [`SinkConfig::cluster_role`].
+    cluster_role: String,
+    /// Accepted-record count per tenant namespace, charged under the
+    /// same lock window as the dedup insert (so a quota rejection can
+    /// un-remember its pid atomically). Seeded from the recovered
+    /// dedup set on open — pids embed their tenant, so the counts
+    /// survive restarts without any new on-disk state.
+    tenant_counts: Mutex<BTreeMap<u16, u64>>,
+    /// Records rejected by the quota since open.
+    quota_rejected: AtomicU64,
 }
 
 impl Core {
+    /// Charges one accepted record of `origin`'s tenant against the
+    /// quota, under the caller-held `tenant_counts` lock. `false`
+    /// means the tenant is at cap and the record must be rejected;
+    /// the caller then un-remembers the pid from its dedup set (the
+    /// charge and the dedup insert sit in one lock window, so the
+    /// rejection leaves no trace).
+    fn charge_tenant(&self, counts: &mut BTreeMap<u16, u64>, origin: NodeId) -> bool {
+        let tenant = domo_cluster::tenant_of(origin.index() as u16);
+        let c = counts.entry(tenant).or_insert(0);
+        if self.tenant_quota.is_some_and(|q| *c >= q) {
+            return false;
+        }
+        *c += 1;
+        true
+    }
+
+    fn note_quota_rejected(&self, n: u64) {
+        self.quota_rejected.fetch_add(n, Ordering::Relaxed);
+        OBS_QUOTA_REJECTED.add(n);
+    }
+
     fn ingest(&self, p: CollectedPacket) -> IngestOutcome {
         if let Err(e) = check_packet(&p, &self.sanitize) {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
@@ -1028,10 +1087,22 @@ impl Core {
         };
         let shard = root.index() % self.shards.len();
         let Some(persist) = self.persist.clone() else {
-            if !lock_or_recover(&self.seen).insert(p.pid) {
-                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                OBS_QUARANTINED.inc();
-                return IngestOutcome::Quarantined(TraceError::DuplicateId);
+            {
+                let mut seen = lock_or_recover(&self.seen);
+                if !seen.insert(p.pid) {
+                    drop(seen);
+                    self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                    OBS_QUARANTINED.inc();
+                    return IngestOutcome::Quarantined(TraceError::DuplicateId);
+                }
+                let mut tc = lock_or_recover(&self.tenant_counts);
+                if !self.charge_tenant(&mut tc, p.pid.origin) {
+                    seen.remove(&p.pid);
+                    drop(tc);
+                    drop(seen);
+                    self.note_quota_rejected(1);
+                    return IngestOutcome::QuotaRejected;
+                }
             }
             return self.push_to_shard(shard, p);
         };
@@ -1051,6 +1122,16 @@ impl Core {
                 self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
                 OBS_QUARANTINED.inc();
                 return IngestOutcome::Quarantined(TraceError::DuplicateId);
+            }
+            {
+                let mut tc = lock_or_recover(&self.tenant_counts);
+                if !self.charge_tenant(&mut tc, p.pid.origin) {
+                    ws.seen.remove(&p.pid);
+                    drop(tc);
+                    drop(ws);
+                    self.note_quota_rejected(1);
+                    return IngestOutcome::QuotaRejected;
+                }
             }
             if persist.durability_active() {
                 let mut frame = Vec::new();
@@ -1137,24 +1218,36 @@ impl Core {
             OBS_QUARANTINED.add(report.quarantined);
         }
         let Some(persist) = self.persist.clone() else {
-            // Volatile: one dedup-set lock for the whole batch, then
-            // in-order pushes (same lock discipline as `ingest`, which
-            // also releases `seen` before pushing).
+            // Volatile: one dedup-set (and tenant-quota) lock hold for
+            // the whole batch, then in-order pushes (same lock
+            // discipline as `ingest`, which also releases `seen`
+            // before pushing).
             let mut dups = 0u64;
+            let mut quota_hits = 0u64;
             {
                 let mut seen = lock_or_recover(&self.seen);
+                let mut tc = lock_or_recover(&self.tenant_counts);
                 routed.retain(|(_, p)| {
-                    let fresh = seen.insert(p.pid);
-                    if !fresh {
+                    if !seen.insert(p.pid) {
                         dups += 1;
+                        return false;
                     }
-                    fresh
+                    if !self.charge_tenant(&mut tc, p.pid.origin) {
+                        seen.remove(&p.pid);
+                        quota_hits += 1;
+                        return false;
+                    }
+                    true
                 });
             }
             if dups > 0 {
                 report.quarantined += dups;
                 self.stats.quarantined.fetch_add(dups, Ordering::Relaxed);
                 OBS_QUARANTINED.add(dups);
+            }
+            if quota_hits > 0 {
+                report.quota_rejected += quota_hits;
+                self.note_quota_rejected(quota_hits);
             }
             self.push_routed(routed, &mut report);
             return report;
@@ -1163,21 +1256,35 @@ impl Core {
         let mut probe_due = false;
         {
             let mut ws = lock_or_recover(&persist.walstate);
-            // Dedup in order; a pid enters the set only in the same
-            // lock window as its journal decision, exactly as the
-            // per-record path guarantees.
+            // Dedup (and quota-charge) in order; a pid enters the set
+            // only in the same lock window as its journal decision,
+            // exactly as the per-record path guarantees.
             let mut dups = 0u64;
-            routed.retain(|(_, p)| {
-                let fresh = ws.seen.insert(p.pid);
-                if !fresh {
-                    dups += 1;
-                }
-                fresh
-            });
+            let mut quota_hits = 0u64;
+            {
+                let mut tc = lock_or_recover(&self.tenant_counts);
+                let seen = &mut ws.seen;
+                routed.retain(|(_, p)| {
+                    if !seen.insert(p.pid) {
+                        dups += 1;
+                        return false;
+                    }
+                    if !self.charge_tenant(&mut tc, p.pid.origin) {
+                        seen.remove(&p.pid);
+                        quota_hits += 1;
+                        return false;
+                    }
+                    true
+                });
+            }
             if dups > 0 {
                 report.quarantined += dups;
                 self.stats.quarantined.fetch_add(dups, Ordering::Relaxed);
                 OBS_QUARANTINED.add(dups);
+            }
+            if quota_hits > 0 {
+                report.quota_rejected += quota_hits;
+                self.note_quota_rejected(quota_hits);
             }
             let mut unjournaled = 0u64;
             // Records a per-record loop would have processed with
@@ -1743,6 +1850,7 @@ impl SinkService {
             &OBS_SUB_SHED,
             &OBS_AGG_QUERIES,
             &OBS_AGG_BACKFILLS,
+            &OBS_QUOTA_REJECTED,
         ] {
             c.add(0);
         }
@@ -1772,6 +1880,20 @@ impl SinkService {
             ),
             None => (None, 0, (0..shards).map(|_| None).collect(), Vec::new()),
         };
+
+        // Seed per-tenant accounting from the recovered dedup set:
+        // pids embed their tenant (DESIGN.md §17.2), so the counts —
+        // and therefore quota enforcement — survive restarts without
+        // any new on-disk state.
+        let mut tenant_counts: BTreeMap<u16, u64> = BTreeMap::new();
+        if let Some(p) = &persist {
+            let ws = lock_or_recover(&p.walstate);
+            for pid in ws.seen.iter() {
+                *tenant_counts
+                    .entry(domo_cluster::tenant_of(pid.origin.index() as u16))
+                    .or_insert(0) += 1;
+            }
+        }
 
         let queues: Vec<Arc<ShardQueue>> = (0..shards)
             .map(|shard| Arc::new(ShardQueue::new(cfg.queue_capacity, shard)))
@@ -1810,6 +1932,10 @@ impl SinkService {
                 capacity: cfg.queue_capacity.max(1),
                 max_lagged: (cfg.queue_capacity.max(1) as u64).saturating_mul(4),
             },
+            tenant_quota: cfg.tenant_quota,
+            cluster_role: cfg.cluster_role,
+            tenant_counts: Mutex::new(tenant_counts),
+            quota_rejected: AtomicU64::new(0),
         });
         for (shard, slot) in initial.iter_mut().enumerate() {
             spawn_worker(&core, shard, slot.take());
@@ -1895,6 +2021,42 @@ impl SinkService {
     /// value, which may have been clamped.
     pub fn effective_high_water(&self) -> usize {
         self.core.effective_high_water
+    }
+
+    /// The role label this service reports on the STATS `cluster_role`
+    /// line ([`SinkConfig::cluster_role`]).
+    pub fn cluster_role(&self) -> String {
+        self.core.cluster_role.clone()
+    }
+
+    /// Per-tenant accepted-record counts, sorted by tenant id — the
+    /// `TENANTS` query command's body and the source of the STATS
+    /// `tenants` line. A tenant appears once its first record is
+    /// accepted (tenant 0 covers every legacy v1 sender).
+    pub fn tenants(&self) -> Vec<(u16, u64)> {
+        lock_or_recover(&self.core.tenant_counts)
+            .iter()
+            .map(|(&t, &n)| (t, n))
+            .collect()
+    }
+
+    /// Accepted-record count of one tenant, or `None` if the tenant
+    /// has never had a record accepted — the distinction behind the
+    /// query protocol's structured `ERR unknown-tenant` reply.
+    pub fn tenant_accepted(&self, tenant: u16) -> Option<u64> {
+        lock_or_recover(&self.core.tenant_counts)
+            .get(&tenant)
+            .copied()
+    }
+
+    /// The configured per-tenant ingest quota (`None` = unlimited).
+    pub fn tenant_quota(&self) -> Option<u64> {
+        self.core.tenant_quota
+    }
+
+    /// Records rejected by the per-tenant quota since open.
+    pub fn quota_rejected(&self) -> u64 {
+        self.core.quota_rejected.load(Ordering::Relaxed)
     }
 
     /// The configured ingest-connection deadline, if any.
@@ -2182,6 +2344,45 @@ impl SinkService {
         end_ms: f64,
         bucket_ms: u64,
     ) -> std::io::Result<Vec<AggBucket>> {
+        Ok(series::render_buckets(
+            &self.agg_sketch_map(node, start_ms, end_ms, bucket_ms)?,
+        ))
+    }
+
+    /// The raw merged sketches behind [`SinkService::agg_query`], as
+    /// `(bucket_start_ms, parts)` pairs — the `AGG … PARTS` reply a
+    /// scatter-gather cluster query merges loss-free
+    /// ([`domo_query::DelaySketch::merge`] is associative and
+    /// [`domo_query::SketchParts`] round-trips bit-identically), so a
+    /// cluster-wide quantile carries exactly the single-sketch error
+    /// bound, not a merge penalty.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`SinkService::agg_query`].
+    pub fn agg_query_parts(
+        &self,
+        node: u16,
+        start_ms: f64,
+        end_ms: f64,
+        bucket_ms: u64,
+    ) -> std::io::Result<Vec<(i64, domo_query::SketchParts)>> {
+        Ok(self
+            .agg_sketch_map(node, start_ms, end_ms, bucket_ms)?
+            .into_iter()
+            .map(|(start, s)| (start, s.to_parts()))
+            .collect())
+    }
+
+    /// Shared sketch assembly for the AGG paths: incremental sketches
+    /// plus the cold result-log backfill below the retention floor.
+    fn agg_sketch_map(
+        &self,
+        node: u16,
+        start_ms: f64,
+        end_ms: f64,
+        bucket_ms: u64,
+    ) -> std::io::Result<BTreeMap<i64, domo_query::DelaySketch>> {
         let invalid = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, m);
         let (mut map, floor) = {
             let st = lock_or_recover(&self.core.store);
@@ -2230,7 +2431,7 @@ impl SinkService {
                 }
             }
         }
-        Ok(series::render_buckets(&map))
+        Ok(map)
     }
 
     /// Forces a checkpoint right now and returns the WAL cut it covers.

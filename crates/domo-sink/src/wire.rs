@@ -6,13 +6,14 @@
 //! ```text
 //! offset  size  field
 //! 0       1     magic      0xD0
-//! 1       1     version    0x01
+//! 1       1     version    0x01 (legacy) or 0x02 (tenant-aware)
 //! 2       2     payload_len (bytes, excludes header and checksum)
 //! 4       len   payload
 //! 4+len   4     checksum   FNV-1a-32 over header + payload
 //!
-//! payload: origin u16 | seq u32 | gen_us u64 | sink_us u64 |
-//!          sum_ms u16 | e2e_ms u16 | path_len u16 | path_len × u16
+//! v1 payload: origin u16 | seq u32 | gen_us u64 | sink_us u64 |
+//!             sum_ms u16 | e2e_ms u16 | path_len u16 | path_len × u16
+//! v2 payload: tenant u16 | <v1 payload with tenant-local node ids>
 //! ```
 //!
 //! The `sum_ms`/`e2e_ms` pair is the paper's 4-byte in-packet overhead;
@@ -21,6 +22,16 @@
 //! Times are microseconds on the collection axis, so a decode is
 //! bit-identical to the encoded record — there is no quantization step
 //! in the codec.
+//!
+//! **Tenancy (DESIGN.md §17.2).** A v2 frame prefixes the payload with
+//! the tenant id of the monitored network the record belongs to; its
+//! node ids are then *tenant-local*. Decoding folds the tenant into the
+//! ids via [`domo_cluster::tenant::namespace_node`], so everything past
+//! the codec — sanitize, dedup, sharding, WAL, result log — sees plain
+//! internal `u16` ids and stays tenant-agnostic. A v1 frame decodes
+//! unchanged: its ids are below [`domo_cluster::TENANT_STRIDE`]
+//! in practice, which *is* tenant 0's namespace, so legacy senders are
+//! the default tenant without any translation step.
 //!
 //! Decoding is total: every malformed input maps to a typed
 //! [`WireError`], never a panic. The codec checks *structure* only
@@ -33,20 +44,33 @@ use std::io::Read;
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xD0;
-/// Wire-format version this build speaks.
+/// Legacy (single-tenant) wire-format version.
 pub const VERSION: u8 = 1;
+/// Tenant-aware wire-format version: the payload gains a leading
+/// tenant id and its node ids are tenant-local.
+pub const VERSION_TENANT: u8 = 2;
 /// Frame header: magic, version, payload length.
 pub const HEADER_LEN: usize = 4;
 /// Trailing checksum length.
 pub const CHECKSUM_LEN: usize = 4;
-/// Payload bytes before the path array.
+/// Payload bytes before the path array (v1).
 const FIXED_PAYLOAD: usize = 2 + 4 + 8 + 8 + 2 + 2 + 2;
 /// Longest encodable path. Generous (the simulator's deepest trees are
 /// well under 20 hops) while bounding what a hostile frame can make the
 /// decoder allocate.
 pub const MAX_PATH_NODES: usize = 512;
-/// Largest legal `payload_len`, implied by [`MAX_PATH_NODES`].
+/// Largest legal v1 `payload_len`, implied by [`MAX_PATH_NODES`]. A v2
+/// payload may carry two more bytes (the tenant prefix).
 pub const MAX_PAYLOAD: usize = FIXED_PAYLOAD + 2 * MAX_PATH_NODES;
+
+/// Bytes the tenant prefix adds to a payload of wire version `v`.
+const fn tenant_prefix(version: u8) -> usize {
+    if version == VERSION_TENANT {
+        2
+    } else {
+        0
+    }
+}
 
 /// Why a frame failed to encode or decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +121,22 @@ pub enum WireError {
         /// Checksum carried by the frame.
         carried: u32,
     },
+    /// A v2 frame names a `(tenant, local)` pair outside the namespace
+    /// (`tenant >= MAX_TENANTS` or `local >= TENANT_STRIDE`).
+    InvalidTenant {
+        /// The tenant id carried by the frame.
+        tenant: u16,
+        /// The offending tenant-local node id.
+        local: u16,
+    },
+    /// Encoding a namespaced record found nodes from two different
+    /// tenants on one path (the sink node `0` is exempt — it is shared).
+    TenantMismatch {
+        /// The record's tenant (from its origin).
+        expected: u16,
+        /// The tenant of the offending path node.
+        found: u16,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -135,6 +175,18 @@ impl std::fmt::Display for WireError {
                 write!(
                     f,
                     "checksum mismatch: computed {computed:#010x}, carried {carried:#010x}"
+                )
+            }
+            Self::InvalidTenant { tenant, local } => {
+                write!(
+                    f,
+                    "tenant {tenant} / local node {local} outside the namespace"
+                )
+            }
+            Self::TenantMismatch { expected, found } => {
+                write!(
+                    f,
+                    "path mixes tenants: record is tenant {expected}, node is tenant {found}"
                 )
             }
         }
@@ -192,6 +244,85 @@ pub fn encode_packet(p: &CollectedPacket, out: &mut Vec<u8>) -> Result<(), WireE
     Ok(())
 }
 
+/// Appends one record as a v2 (tenant-aware) frame. The record's node
+/// ids must be *tenant-local* (`< TENANT_STRIDE`); the receiver folds
+/// `tenant` back into them on decode.
+///
+/// # Errors
+///
+/// [`WireError::PathTooLong`] as for [`encode_packet`], and
+/// [`WireError::InvalidTenant`] when `tenant` is out of range or any
+/// node id is not tenant-local; nothing is written on error.
+pub fn encode_packet_v2(
+    p: &CollectedPacket,
+    tenant: u16,
+    out: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    if p.path.len() > MAX_PATH_NODES {
+        return Err(WireError::PathTooLong { len: p.path.len() });
+    }
+    let locals = std::iter::once(p.pid.origin).chain(p.path.iter().copied());
+    for node in locals {
+        let local = node.index() as u16;
+        if domo_cluster::namespace_node(tenant, local).is_none() {
+            return Err(WireError::InvalidTenant { tenant, local });
+        }
+    }
+    let payload_len = 2 + FIXED_PAYLOAD + 2 * p.path.len();
+    let start = out.len();
+    out.reserve(HEADER_LEN + payload_len + CHECKSUM_LEN);
+    out.push(MAGIC);
+    out.push(VERSION_TENANT);
+    out.extend_from_slice(&(payload_len as u16).to_le_bytes());
+    out.extend_from_slice(&tenant.to_le_bytes());
+    out.extend_from_slice(&(p.pid.origin.index() as u16).to_le_bytes());
+    out.extend_from_slice(&p.pid.seq.to_le_bytes());
+    out.extend_from_slice(&p.gen_time.as_micros().to_le_bytes());
+    out.extend_from_slice(&p.sink_arrival.as_micros().to_le_bytes());
+    out.extend_from_slice(&p.sum_of_delays_ms.to_le_bytes());
+    out.extend_from_slice(&p.e2e_ms.to_le_bytes());
+    out.extend_from_slice(&(p.path.len() as u16).to_le_bytes());
+    for n in &p.path {
+        out.extend_from_slice(&(n.index() as u16).to_le_bytes());
+    }
+    let checksum = fnv1a32(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(())
+}
+
+/// Appends one *internally namespaced* record in whichever wire version
+/// carries it losslessly: tenant 0 records go out as v1 frames
+/// (byte-compatible with legacy receivers), anything else as a v2
+/// frame with the tenant split back out of the node ids. This is the
+/// router's forwarding encoder: `decode → route → encode_namespaced`
+/// round-trips bit-identically through a receiving sink's decoder.
+///
+/// # Errors
+///
+/// [`WireError::TenantMismatch`] when the record's path crosses tenant
+/// namespaces (the shared sink node `0` is exempt), plus anything the
+/// underlying encoder rejects.
+pub fn encode_namespaced_packet(p: &CollectedPacket, out: &mut Vec<u8>) -> Result<(), WireError> {
+    let tenant = domo_cluster::tenant_of(p.pid.origin.index() as u16);
+    if tenant == 0 {
+        return encode_packet(p, out);
+    }
+    let mut local = p.clone();
+    local.pid.origin = NodeId::new(domo_cluster::local_of(local.pid.origin.index() as u16));
+    for n in &mut local.path {
+        let id = n.index() as u16;
+        let node_tenant = domo_cluster::tenant_of(id);
+        if id != domo_cluster::SINK_NODE && node_tenant != tenant {
+            return Err(WireError::TenantMismatch {
+                expected: tenant,
+                found: node_tenant,
+            });
+        }
+        *n = NodeId::new(domo_cluster::local_of(id));
+    }
+    encode_packet_v2(&local, tenant, out)
+}
+
 /// Encodes a whole trace as a contiguous frame stream.
 ///
 /// # Errors
@@ -237,14 +368,17 @@ pub fn decode_packet(buf: &[u8]) -> Result<(CollectedPacket, usize), WireError> 
     if buf[0] != MAGIC {
         return Err(WireError::BadMagic { found: buf[0] });
     }
-    if buf[1] != VERSION {
-        return Err(WireError::UnsupportedVersion { found: buf[1] });
+    let version = buf[1];
+    if version != VERSION && version != VERSION_TENANT {
+        return Err(WireError::UnsupportedVersion { found: version });
     }
+    let prefix = tenant_prefix(version);
+    let fixed = FIXED_PAYLOAD + prefix;
     let payload_len = read_u16(buf, 2) as usize;
-    if payload_len > MAX_PAYLOAD {
+    if payload_len > MAX_PAYLOAD + prefix {
         return Err(WireError::PayloadTooLarge { len: payload_len });
     }
-    if payload_len < FIXED_PAYLOAD {
+    if payload_len < fixed {
         return Err(WireError::PayloadTooSmall { len: payload_len });
     }
     let frame_len = HEADER_LEN + payload_len + CHECKSUM_LEN;
@@ -259,7 +393,13 @@ pub fn decode_packet(buf: &[u8]) -> Result<(CollectedPacket, usize), WireError> 
     if computed != carried {
         return Err(WireError::ChecksumMismatch { computed, carried });
     }
-    let p = HEADER_LEN;
+    // A v2 payload is a v1 payload shifted right by the tenant prefix.
+    let tenant = if prefix > 0 {
+        read_u16(buf, HEADER_LEN)
+    } else {
+        0
+    };
+    let p = HEADER_LEN + prefix;
     let origin = read_u16(buf, p);
     let seq = read_u32(buf, p + 2);
     let gen_us = read_u64(buf, p + 6);
@@ -267,19 +407,30 @@ pub fn decode_packet(buf: &[u8]) -> Result<(CollectedPacket, usize), WireError> 
     let sum_ms = read_u16(buf, p + 22);
     let e2e_ms = read_u16(buf, p + 24);
     let path_len = read_u16(buf, p + 26) as usize;
-    let capacity = (payload_len - FIXED_PAYLOAD) / 2;
-    if path_len != capacity || payload_len != FIXED_PAYLOAD + 2 * path_len {
+    let capacity = (payload_len - fixed) / 2;
+    if path_len != capacity || payload_len != fixed + 2 * path_len {
         return Err(WireError::PathLengthMismatch {
             declared: path_len,
             capacity,
         });
     }
+    // Fold the tenant into the ids: past this point the record is in
+    // the internal namespaced id space and tenancy is invisible. For a
+    // v1 frame the fold is the identity (tenant 0, ids unchanged).
+    let fold = |local: u16| -> Result<NodeId, WireError> {
+        if version == VERSION {
+            return Ok(NodeId::new(local));
+        }
+        domo_cluster::namespace_node(tenant, local)
+            .map(NodeId::new)
+            .ok_or(WireError::InvalidTenant { tenant, local })
+    };
     let path: Vec<NodeId> = (0..path_len)
-        .map(|i| NodeId::new(read_u16(buf, p + FIXED_PAYLOAD + 2 * i)))
-        .collect();
+        .map(|i| fold(read_u16(buf, p + FIXED_PAYLOAD + 2 * i)))
+        .collect::<Result<_, _>>()?;
     Ok((
         CollectedPacket {
-            pid: PacketId::new(NodeId::new(origin), seq),
+            pid: PacketId::new(fold(origin)?, seq),
             gen_time: SimTime::from_micros(gen_us),
             sink_arrival: SimTime::from_micros(sink_us),
             path,
@@ -359,13 +510,13 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Option<CollectedPacket>, Fr
             found: header[0],
         }));
     }
-    if header[1] != VERSION {
+    if header[1] != VERSION && header[1] != VERSION_TENANT {
         return Err(FrameReadError::Wire(WireError::UnsupportedVersion {
             found: header[1],
         }));
     }
     let payload_len = u16::from_le_bytes([header[2], header[3]]) as usize;
-    if payload_len > MAX_PAYLOAD {
+    if payload_len > MAX_PAYLOAD + tenant_prefix(header[1]) {
         return Err(FrameReadError::Wire(WireError::PayloadTooLarge {
             len: payload_len,
         }));
@@ -557,6 +708,153 @@ mod tests {
             decode_packet(&bad).unwrap_err(),
             WireError::PayloadTooSmall { len: 1 }
         ));
+    }
+
+    /// Internal ids of `sample_packet()` under tenant `t`, keeping the
+    /// shared sink node 0 — the decode a v2 frame must produce.
+    fn namespaced_sample(tenant: u16) -> CollectedPacket {
+        let mut p = sample_packet();
+        for n in std::iter::once(&mut p.pid.origin).chain(p.path.iter_mut()) {
+            *n = NodeId::new(domo_cluster::namespace_node(tenant, n.index() as u16).unwrap());
+        }
+        p
+    }
+
+    #[test]
+    fn v2_frames_decode_into_the_tenant_namespace() {
+        let local = sample_packet();
+        let mut bytes = Vec::new();
+        encode_packet_v2(&local, 3, &mut bytes).unwrap();
+        assert_eq!(bytes[1], VERSION_TENANT);
+        let (got, used) = decode_packet(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(got, namespaced_sample(3));
+        // The shared sink node stays node 0 for every tenant.
+        assert!(got.path.last().unwrap().is_sink());
+    }
+
+    /// The compatibility contract: a legacy v1 frame carrying already
+    /// namespaced ids and a v2 frame carrying `(tenant, local ids)`
+    /// decode to the *identical* record — so v1 senders, WAL replays of
+    /// old journals, and v2 routers can be mixed freely.
+    #[test]
+    fn v1_and_v2_decode_the_same_record_identically() {
+        let tenant = 5;
+        let mut v1 = Vec::new();
+        encode_packet(&namespaced_sample(tenant), &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        encode_packet_v2(&sample_packet(), tenant, &mut v2).unwrap();
+        assert_eq!(v2.len(), v1.len() + 2, "v2 adds exactly the tenant prefix");
+        let (from_v1, _) = decode_packet(&v1).unwrap();
+        let (from_v2, _) = decode_packet(&v2).unwrap();
+        assert_eq!(from_v1, from_v2);
+        // And a tenant-0 v2 frame is the identity fold of a v1 frame.
+        let mut v2_zero = Vec::new();
+        encode_packet_v2(&sample_packet(), 0, &mut v2_zero).unwrap();
+        let (from_zero, _) = decode_packet(&v2_zero).unwrap();
+        assert_eq!(from_zero, sample_packet());
+    }
+
+    #[test]
+    fn v2_rejects_out_of_namespace_pairs() {
+        let local = sample_packet();
+        let mut out = Vec::new();
+        // Encode side: tenant out of range, and a non-local node id.
+        assert_eq!(
+            encode_packet_v2(&local, domo_cluster::MAX_TENANTS, &mut out),
+            Err(WireError::InvalidTenant {
+                tenant: domo_cluster::MAX_TENANTS,
+                local: 7,
+            })
+        );
+        let mut wide = local.clone();
+        wide.path[1] = NodeId::new(domo_cluster::TENANT_STRIDE);
+        assert_eq!(
+            encode_packet_v2(&wide, 1, &mut out),
+            Err(WireError::InvalidTenant {
+                tenant: 1,
+                local: domo_cluster::TENANT_STRIDE,
+            })
+        );
+        assert!(out.is_empty(), "failed encodes write nothing");
+        // Decode side: a frame hand-built with a hostile tenant id.
+        let mut bytes = Vec::new();
+        encode_packet_v2(&local, 3, &mut bytes).unwrap();
+        bytes[HEADER_LEN] = 0xff; // tenant low byte -> 255
+        bytes[HEADER_LEN + 1] = 0xff;
+        let len = bytes.len();
+        let sum = fnv1a32(&bytes[..len - CHECKSUM_LEN]);
+        bytes[len - CHECKSUM_LEN..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_packet(&bytes).unwrap_err(),
+            WireError::InvalidTenant { tenant: 0xffff, .. }
+        ));
+    }
+
+    #[test]
+    fn namespaced_forwarding_encoder_round_trips() {
+        // Tenant 0 forwards as byte-identical v1.
+        let mut direct = Vec::new();
+        encode_packet(&sample_packet(), &mut direct).unwrap();
+        let mut forwarded = Vec::new();
+        encode_namespaced_packet(&sample_packet(), &mut forwarded).unwrap();
+        assert_eq!(forwarded, direct);
+        // Other tenants forward as v2 and decode back bit-identically.
+        let internal = namespaced_sample(4);
+        let mut bytes = Vec::new();
+        encode_namespaced_packet(&internal, &mut bytes).unwrap();
+        assert_eq!(bytes[1], VERSION_TENANT);
+        let (back, _) = decode_packet(&bytes).unwrap();
+        assert_eq!(back, internal);
+        // A path crossing tenant namespaces cannot be forwarded.
+        let mut mixed = namespaced_sample(4);
+        mixed.path[1] = NodeId::new(domo_cluster::namespace_node(2, 3).unwrap());
+        let mut out = Vec::new();
+        assert_eq!(
+            encode_namespaced_packet(&mixed, &mut out),
+            Err(WireError::TenantMismatch {
+                expected: 4,
+                found: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn every_single_byte_corruption_of_a_v2_frame_is_rejected() {
+        let mut clean = Vec::new();
+        encode_packet_v2(&sample_packet(), 3, &mut clean).unwrap();
+        for at in 0..clean.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = clean.clone();
+                bad[at] ^= flip;
+                assert!(
+                    decode_packet(&bad).is_err(),
+                    "corrupting v2 byte {at} with {flip:#04x} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splitter_handles_mixed_version_streams() {
+        let mut stream = Vec::new();
+        encode_packet(&namespaced_sample(1), &mut stream).unwrap();
+        encode_packet_v2(&sample_packet(), 2, &mut stream).unwrap();
+        encode_packet(&sample_packet(), &mut stream).unwrap();
+        for chunk in [1usize, 5, stream.len()] {
+            let mut sp = FrameSplitter::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                sp.extend(piece);
+                sp.drain_frames(&mut got).unwrap();
+            }
+            assert_eq!(
+                got,
+                vec![namespaced_sample(1), namespaced_sample(2), sample_packet()],
+                "chunk size {chunk}"
+            );
+            assert_eq!(sp.backlog(), 0);
+        }
     }
 
     #[test]

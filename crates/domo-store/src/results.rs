@@ -22,6 +22,13 @@
 //! started; when sealed segments exceed
 //! [`ResultStoreConfig::max_sealed_segments`], the oldest are deleted.
 //! Opening truncates a torn tail exactly like the WAL does.
+//!
+//! Tenant namespaces (DESIGN.md §17.2) need nothing from this layer:
+//! the sink's payloads name nodes by *internal* id (`tenant * 4096 +
+//! local`), so one log per member holds every tenant's records
+//! side-by-side and a per-tenant scan is just a post-filter on the
+//! decoded payload's origin — the cluster's scatter-gather RANGE
+//! relies on exactly that.
 
 use crate::fnv1a32;
 use crate::vfs::{RealIo, StoreFile, StoreIo};

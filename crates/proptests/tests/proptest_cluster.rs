@@ -1,0 +1,133 @@
+//! Property-based tests for the cluster layer (DESIGN.md §17): the
+//! consistent-hash ring must stay balanced and minimal-movement for
+//! *randomized* member sets — not just the tuned defaults the unit
+//! tests sweep — and the tenant-aware wire version must round-trip
+//! against arbitrary tenant/local-id combinations.
+
+use domo_cluster::{namespace_node, split_node, Ring, MAX_TENANTS, TENANT_STRIDE};
+use domo_net::{CollectedPacket, NodeId, PacketId};
+use domo_sink::wire::{decode_packet, encode_packet_v2, MAX_PATH_NODES};
+use domo_util::time::SimTime;
+use proptest::prelude::*;
+
+/// Random non-empty member sets with unique printable names.
+fn arb_members() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::hash_set("[a-z]{1,12}:[0-9]{2,5}", 1..=8)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+/// A packet whose node ids all live inside one tenant's local space.
+fn arb_local_packet() -> impl Strategy<Value = CollectedPacket> {
+    (
+        0u16..TENANT_STRIDE,
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(0u16..TENANT_STRIDE, 0..=MAX_PATH_NODES),
+    )
+        .prop_map(|(origin, seq, gen_us, sink_us, sum, e2e, path)| CollectedPacket {
+            pid: PacketId::new(NodeId::new(origin), seq),
+            gen_time: SimTime::from_micros(gen_us),
+            sink_arrival: SimTime::from_micros(sink_us),
+            path: path.into_iter().map(NodeId::new).collect(),
+            sum_of_delays_ms: sum,
+            e2e_ms: e2e,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Placement is a pure function of the member set: two rings built
+    /// from the same members in any order agree on every key, and
+    /// every owner is actually a member.
+    #[test]
+    fn placement_is_order_independent(members in arb_members(), keys in proptest::collection::vec((any::<u16>(), any::<u16>()), 32)) {
+        let a = Ring::new(members.clone());
+        let mut reversed = members.clone();
+        reversed.reverse();
+        let b = Ring::new(reversed);
+        for (t, r) in keys {
+            let owner = a.owner(t, r);
+            prop_assert_eq!(owner, b.owner(t, r));
+            prop_assert!(members.iter().any(|m| Some(m.as_str()) == owner));
+        }
+    }
+
+    /// Removing one member of a random set moves only that member's
+    /// keys: every key a survivor owned stays put (the exactly-once
+    /// failover argument of DESIGN.md §17.5 rests on this).
+    #[test]
+    fn survivors_keep_their_keys(members in arb_members(), victim_pick in any::<prop::sample::Index>()) {
+        prop_assume!(members.len() >= 2);
+        let victim = members[victim_pick.index(members.len())].clone();
+        let full = Ring::new(members.clone());
+        let mut healed = Ring::new(members);
+        prop_assert!(healed.remove_member(&victim));
+        for t in 0..MAX_TENANTS {
+            for r in (0..TENANT_STRIDE).step_by(61) {
+                let before = full.owner(t, r).expect("non-empty ring");
+                let after = healed.owner(t, r).expect("survivors remain");
+                if before != victim {
+                    prop_assert_eq!(before, after, "a surviving member's key moved");
+                } else {
+                    prop_assert_ne!(after, victim.as_str());
+                }
+            }
+        }
+    }
+
+    /// Balance holds for *random* member names, not just the tuned
+    /// sets the unit tests sweep. The documented ±20% bound is for the
+    /// default seed over realistic host:port member names
+    /// (`key_balance_within_twenty_percent_at_64_vnodes` in
+    /// domo-cluster); for arbitrary names at 64 vnodes this asserts
+    /// the looser statistical envelope that catches a broken hash —
+    /// any member owning under 40% or over 160% of its ideal share.
+    #[test]
+    fn random_member_sets_stay_balanced(members in arb_members()) {
+        prop_assume!((2..=8).contains(&members.len()));
+        let ring = Ring::new(members.clone());
+        let mut counts = vec![0u64; members.len()];
+        for t in 0..MAX_TENANTS {
+            for r in 0..TENANT_STRIDE {
+                counts[ring.owner_index(t, r).expect("non-empty")] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let ideal = total as f64 / members.len() as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - ideal).abs() / ideal;
+            prop_assert!(
+                dev <= 0.60,
+                "member {} owns {:.1}% of ideal (members: {:?})",
+                members[i], 100.0 * c as f64 / ideal, ring.members()
+            );
+        }
+    }
+
+    /// A v2 (tenant-aware) frame round-trips to the *internal* ids the
+    /// sink stores: tenant * stride + local for every non-sink node.
+    #[test]
+    fn tenant_frames_round_trip_to_internal_ids(p in arb_local_packet(), tenant in 0u16..MAX_TENANTS) {
+        let mut frame = Vec::new();
+        encode_packet_v2(&p, tenant, &mut frame).expect("local ids fit the tenant");
+        let (decoded, used) = decode_packet(&frame).expect("own frames decode");
+        prop_assert_eq!(used, frame.len());
+        let expect_node = |n: NodeId| {
+            NodeId::new(namespace_node(tenant, n.index() as u16).expect("local id"))
+        };
+        prop_assert_eq!(decoded.pid.origin, expect_node(p.pid.origin));
+        prop_assert_eq!(decoded.pid.seq, p.pid.seq);
+        prop_assert_eq!(decoded.path.len(), p.path.len());
+        for (d, o) in decoded.path.iter().zip(&p.path) {
+            prop_assert_eq!(*d, expect_node(*o));
+        }
+        // And the arithmetic inverts: split_node re-derives the pair.
+        let (t, local) = split_node(decoded.pid.origin.index() as u16);
+        prop_assert_eq!(t, if p.pid.origin.index() == 0 { 0 } else { tenant });
+        prop_assert_eq!(local, if p.pid.origin.index() == 0 { 0 } else { p.pid.origin.index() as u16 });
+    }
+}

@@ -68,6 +68,16 @@
 #                        pipeline throughput must sit within 20% of the
 #                        committed BENCH_obs.json trace section, which
 #                        it then refreshes
+#  14. cluster           domo-exp clustersmoke: a 3-member × 2-tenant
+#                        cluster of serve children must survive a
+#                        mid-replay SIGKILL of its busiest member with
+#                        exactly one failover, zero duplicates, and
+#                        per-tenant reconstructions bit-identical to a
+#                        single-process reference of the same
+#                        placement; then domo-exp clusterbench gates
+#                        router fan-out throughput at 1/2/4 members vs
+#                        the committed BENCH_cluster.json and
+#                        refreshes the file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -140,5 +150,11 @@ echo "==> domo-sink connsoak (1000+ concurrent connections, exact accounting)"
 
 echo "==> domo-exp tracebench (trace overhead + flight-dump gate, refreshes BENCH_obs.json)"
 ./target/release/domo-exp tracebench --baseline BENCH_obs.json
+
+echo "==> domo-exp clustersmoke (3-member × 2-tenant failover, bit-identical recovery)"
+./target/release/domo-exp clustersmoke --quick
+
+echo "==> domo-exp clusterbench (gates on BENCH_cluster.json, then refreshes it)"
+./target/release/domo-exp clusterbench --baseline BENCH_cluster.json
 
 echo "All checks passed."

@@ -13,6 +13,7 @@
 //! | [`core`] | `domo-core` | the paper's contribution: constraints, windowed QP/SDP estimator, sub-graph bound LPs |
 //! | [`net`] | `domo-net` | discrete-event wireless collection network (CSMA MAC, CTP-style routing, Algorithm 1 on-node) |
 //! | [`sink`] | `domo-sink` | online sink service: wire codec, sharded streaming reconstruction, TCP ingest/query |
+//! | [`cluster`] | `domo-cluster` | coordinator-free multi-sink clustering: tenant namespaces, seeded consistent-hash ring |
 //! | [`store`] | `domo-store` | durable storage: segmented WAL, atomic checkpoints, time-indexed result log |
 //! | [`query`] | `domo-query` | live query layer: subscription fan-out hub, log-bucketed delay sketches, time-series aggregation |
 //! | [`obs`] | `domo-obs` | zero-dep metrics, spans, and structured events across the pipeline |
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use domo_baselines as baselines;
+pub use domo_cluster as cluster;
 pub use domo_core as core;
 pub use domo_experiments as experiments;
 pub use domo_graph as graph;

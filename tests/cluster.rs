@@ -1,0 +1,255 @@
+//! Acceptance for the coordinator-free cluster layer (DESIGN.md §17):
+//! the consistent-hash ring must place every `(tenant, subtree-root)`
+//! key identically everywhere, the tenant-aware wire version must
+//! round-trip through a live server, the router must partition a
+//! 2-tenant workload across live members exactly along ring ownership,
+//! and scatter-gather queries must merge the members' answers
+//! losslessly.
+
+use domo::cluster::{namespace_node, split_node, tenant_of, Ring};
+use domo::net::{run_simulation, CollectedPacket, NetworkConfig, NodeId};
+use domo::sink::client::QueryClient;
+use domo::sink::route::{cluster_range, cluster_stats, route_packets, RouteOptions};
+use domo::sink::server::SinkServer;
+use domo::sink::service::SinkConfig;
+use domo::sink::StoreConfig;
+use std::time::{Duration, Instant};
+
+/// The simulated trace re-homed into `tenant`'s namespace (the shared
+/// sink node 0 stays node 0).
+fn namespaced(packets: &[CollectedPacket], tenant: u16) -> Vec<CollectedPacket> {
+    let map = |n: NodeId| {
+        NodeId::new(namespace_node(tenant, n.index() as u16).expect("node fits the tenant stride"))
+    };
+    packets
+        .iter()
+        .map(|p| {
+            let mut q = p.clone();
+            q.pid.origin = map(q.pid.origin);
+            for n in &mut q.path {
+                *n = map(*n);
+            }
+            q
+        })
+        .collect()
+}
+
+/// The ring key of a packet: its tenant and tenant-local subtree root.
+fn key_of(p: &CollectedPacket) -> (u16, u16) {
+    let root = p.subtree_root().expect("delivered packets have a root");
+    split_node(root.index() as u16)
+}
+
+/// Live members; `durable` adds a result store (scatter-gather RANGE
+/// scans it) under a scratch dir the caller removes.
+fn member_servers(n: usize, durable: Option<&std::path::Path>) -> Vec<SinkServer> {
+    (0..n)
+        .map(|i| {
+            SinkServer::bind(
+                "127.0.0.1:0",
+                "127.0.0.1:0",
+                SinkConfig {
+                    shards: 1,
+                    cluster_role: "member".into(),
+                    store: durable.map(|base| StoreConfig::at(base.join(format!("member-{i}")))),
+                    ..SinkConfig::default()
+                },
+            )
+            .expect("bind member")
+        })
+        .collect()
+}
+
+fn await_ingested(servers: &[SinkServer], want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let got: u64 = servers.iter().map(|s| s.service().stats().ingested).sum();
+        if got == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster ingest stalled at {got}/{want}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn router_partitions_tenants_along_ring_ownership() {
+    let trace = run_simulation(&NetworkConfig::small(9, 4171));
+    assert!(!trace.packets.is_empty(), "trace delivered nothing");
+
+    // Two tenants, same underlying trace, interleaved.
+    let t1 = namespaced(&trace.packets, 1);
+    let t2 = namespaced(&trace.packets, 2);
+    let mut workload = Vec::with_capacity(t1.len() * 2);
+    for (a, b) in t1.iter().zip(&t2) {
+        workload.push(a.clone());
+        workload.push(b.clone());
+    }
+
+    let scratch = std::env::temp_dir().join(format!("domo-cluster-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let servers = member_servers(3, Some(&scratch));
+    let ingest: Vec<String> = servers
+        .iter()
+        .map(|s| s.ingest_addr().to_string())
+        .collect();
+    let report = route_packets(ingest.clone(), &workload, RouteOptions::default()).expect("route");
+    assert_eq!(report.forwarded, workload.len() as u64);
+    assert_eq!(report.failovers, 0);
+    assert_eq!(report.spool_dropped, 0);
+    await_ingested(&servers, workload.len() as u64);
+
+    // Per-member landings must equal ring ownership exactly — the same
+    // pure function every other router in the deployment computes.
+    let ring = Ring::new(ingest.clone());
+    for (i, server) in servers.iter().enumerate() {
+        let want = workload
+            .iter()
+            .filter(|p| {
+                let (t, r) = key_of(p);
+                ring.owner(t, r) == Some(ingest[i].as_str())
+            })
+            .count() as u64;
+        assert_eq!(
+            server.service().stats().ingested,
+            want,
+            "member {i} landed off-ring records"
+        );
+        // No cross-tenant bleed: each member's dedup set is keyed by
+        // namespaced pids, so both tenants account independently.
+        let tenants = server.service().tenants();
+        let landed: u64 = tenants.iter().map(|&(_, n)| n).sum();
+        assert_eq!(landed, want, "member {i} tenant accounting drifted");
+    }
+
+    // Scatter-gather STATS sums the counters across the live members.
+    let queries: Vec<String> = servers.iter().map(|s| s.query_addr().to_string()).collect();
+    let (stats, gather) = cluster_stats(&queries).expect("cluster stats");
+    assert!(
+        gather.missed.is_empty(),
+        "missed members: {:?}",
+        gather.missed
+    );
+    let ingested = stats
+        .iter()
+        .find(|(name, _)| name == "ingested")
+        .map(|&(_, v)| v);
+    assert_eq!(ingested, Some(workload.len() as u64));
+
+    // Scatter-gather RANGE returns every reconstruction exactly once,
+    // and each line's pid still names its tenant. Emission into the
+    // result log is asynchronous behind the drain barrier, so poll.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let lines = loop {
+        for s in &servers {
+            s.service().drain();
+        }
+        let (lines, gather) =
+            cluster_range(&queries, f64::NEG_INFINITY, f64::INFINITY).expect("cluster range");
+        assert!(gather.missed.is_empty());
+        assert!(lines.len() <= workload.len(), "double-emitted records");
+        if lines.len() == workload.len() {
+            break lines;
+        }
+        assert!(Instant::now() < deadline, "cluster RANGE stalled");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let by_tenant = |t: u16| {
+        lines
+            .iter()
+            .filter(|l| {
+                let pid = l.split_whitespace().nth(1).expect("pid token");
+                let origin: u16 = pid
+                    .strip_prefix('n')
+                    .and_then(|rest| rest.split('#').next())
+                    .and_then(|o| o.parse().ok())
+                    .expect("pid origin");
+                tenant_of(origin) == t
+            })
+            .count()
+    };
+    assert_eq!(by_tenant(1), t1.len());
+    assert_eq!(by_tenant(2), t2.len());
+
+    for s in servers {
+        s.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn tenant_wire_version_round_trips_through_a_live_member() {
+    let trace = run_simulation(&NetworkConfig::small(9, 4172));
+    let tenant = 3u16;
+    let packets = namespaced(&trace.packets, tenant);
+
+    let servers = member_servers(1, None);
+    // The v2 encoder carries `(tenant, local ids)` on the wire; the
+    // decoder re-derives the internal ids, so what the member stores is
+    // exactly the namespaced packet set.
+    let mut frame = Vec::new();
+    let mut encoded = Vec::new();
+    for p in &trace.packets {
+        frame.clear();
+        domo::sink::wire::encode_packet_v2(p, tenant, &mut frame).expect("encode v2");
+        encoded.extend_from_slice(&frame);
+    }
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(servers[0].ingest_addr()).expect("connect");
+    stream.write_all(&encoded).expect("send v2 frames");
+    drop(stream);
+    await_ingested(&servers, packets.len() as u64);
+
+    let tenants = servers[0].service().tenants();
+    assert_eq!(tenants, vec![(tenant, packets.len() as u64)]);
+
+    // ERR unknown-tenant is a structured reply, counted as a query
+    // error, not a dropped connection.
+    let mut q = QueryClient::connect(servers[0].query_addr()).expect("query connect");
+    let reply = q.request("TENANTS 9").expect("tenants query");
+    assert_eq!(reply, vec!["ERR unknown-tenant".to_string()]);
+    let metrics = q.request("METRICS").expect("metrics");
+    let errors: f64 = metrics
+        .iter()
+        .find_map(|l| l.strip_prefix("domo_sink_query_errors_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("query error counter exposed");
+    assert!(errors >= 1.0, "unknown-tenant must count as a query error");
+
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn ring_placement_is_identical_across_independent_routers() {
+    let members = ["10.0.0.1:7000", "10.0.0.2:7000", "10.0.0.3:7000"];
+    let a = Ring::new(members);
+    let b = Ring::new(members);
+    let trace = run_simulation(&NetworkConfig::small(16, 4173));
+    for tenant in [0u16, 1, 5] {
+        for p in namespaced(&trace.packets, tenant) {
+            let (t, r) = key_of(&p);
+            assert_eq!(a.owner(t, r), b.owner(t, r));
+        }
+    }
+
+    // Losing a member only moves the dead member's keys (consistent
+    // hashing's minimal-movement property, the basis of §17.5's
+    // exactly-once failover argument).
+    let mut healed = Ring::new(members);
+    healed.remove_member(members[1]);
+    for p in namespaced(&trace.packets, 1) {
+        let (t, r) = key_of(&p);
+        let before = a.owner(t, r).expect("owner");
+        let after = healed.owner(t, r).expect("owner");
+        if before != members[1] {
+            assert_eq!(before, after, "a surviving member's key moved");
+        } else {
+            assert_ne!(after, members[1]);
+        }
+    }
+}
